@@ -1,0 +1,132 @@
+// Reference [1, Figure 6] analogue — the empirical observation the paper
+// builds on: "the latency distribution of individual operations of a
+// lock-free stack" is tightly concentrated, i.e. lock-free operations
+// behave wait-free in practice.
+//
+// Reproduced inside the model: per-operation latency distribution of the
+// scan-validate pattern (the stack's push/pop skeleton) under the uniform
+// stochastic scheduler, printed as a histogram with percentiles, plus the
+// tail decay P[latency > k * mean].
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/algorithms.hpp"
+#include "core/latency.hpp"
+#include "markov/builders.hpp"
+#include "markov/op_latency.hpp"
+#include "core/simulation.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pwf;
+  using namespace pwf::core;
+
+  bench::print_header(
+      "Appendix-grade check (paper ref [1], Fig. 6): per-operation latency "
+      "distribution of a lock-free structure",
+      "Claim: individual operation latencies concentrate near the mean "
+      "with an exponentially decaying tail - 'practically wait-free'.");
+  constexpr std::size_t kN = 16;
+  constexpr std::uint64_t kSteps = 4'000'000;
+  bench::print_seed(61);
+
+  Simulation::Options opts;
+  opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
+  opts.seed = 61;
+  Simulation sim(kN, scan_validate_factory(),
+                 std::make_unique<UniformScheduler>(), opts);
+  LatencyDistributionObserver observer(kN, 50'000.0, 5'000);
+  sim.set_observer(&observer);
+  sim.run(kSteps);
+
+  const double mean = observer.stats().mean();
+  const auto& hist = observer.histogram();
+  std::cout << "operations observed: " << observer.stats().count()
+            << ", mean individual latency: " << fmt(mean, 1)
+            << " system steps (n * W = " << fmt(16.0 * sim.report().system_latency(), 1)
+            << ")\n\n";
+
+  Table pct({"percentile", "latency (system steps)", "x mean"});
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999}) {
+    const double v = hist.quantile(q);
+    pct.add_row({fmt(100.0 * q, 1) + "%", fmt(v, 0), fmt(v / mean, 2)});
+  }
+  pct.add_row({"max", fmt(observer.max_latency()),
+               fmt(static_cast<double>(observer.max_latency()) / mean, 2)});
+  pct.print(std::cout);
+
+  std::cout << "\ntail decay:\n";
+  Table tail({"threshold", "P[latency > threshold]"});
+  bool decaying = true;
+  double prev = 1.0;
+  for (int k = 1; k <= 6; ++k) {
+    const double frac = observer.tail_fraction(k * 2.0 * mean);
+    tail.add_row({fmt(2 * k) + " x mean", fmt(frac, 6)});
+    if (frac > 0.0 && frac > prev * 0.7) decaying = false;
+    if (frac > 0.0) prev = frac;
+  }
+  tail.print(std::cout);
+
+  // ASCII density sketch of the bulk of the distribution.
+  std::cout << "\nlatency density (up to 4x mean):\n";
+  const double hi = 4.0 * mean;
+  constexpr int kRows = 16;
+  for (int r = 0; r < kRows; ++r) {
+    const double lo_edge = hi * r / kRows;
+    const double hi_edge = hi * (r + 1) / kRows;
+    std::uint64_t count = 0;
+    for (std::size_t b = 0; b < hist.buckets(); ++b) {
+      if (hist.bucket_lo(b) >= lo_edge && hist.bucket_lo(b) < hi_edge) {
+        count += hist.bucket_count(b);
+      }
+    }
+    const int bar = static_cast<int>(
+        60.0 * static_cast<double>(count) /
+        static_cast<double>(hist.total()));
+    std::cout << fmt(lo_edge, 0) << "\t" << std::string(bar, '#') << "\n";
+  }
+
+  // Exact cross-check at small n: the chain determines the entire
+  // per-operation latency law (markov/op_latency.hpp); compare it with a
+  // fresh simulation at n = 4.
+  std::cout << "\nexact phase-type law vs simulation at n = 4:\n";
+  bool exact_matches = true;
+  {
+    constexpr std::size_t kSmallN = 4;
+    const auto ind = markov::build_scan_validate_individual_chain(kSmallN);
+    const auto law = markov::op_latency_distribution(ind, 2'000);
+    Simulation::Options small_opts;
+    small_opts.num_registers = ScuAlgorithm::registers_required(kSmallN, 1);
+    small_opts.seed = 62;
+    Simulation small_sim(kSmallN, scan_validate_factory(),
+                         std::make_unique<UniformScheduler>(), small_opts);
+    LatencyDistributionObserver small_obs(kSmallN, 2'000.0, 2'000);
+    small_sim.set_observer(&small_obs);
+    small_sim.run(2'000'000);
+    Table cmp({"t (steps)", "exact P[latency=t]", "simulated"});
+    const double total = static_cast<double>(small_obs.histogram().total());
+    for (std::size_t t : {2, 4, 8, 12, 16, 24, 32}) {
+      const double simulated =
+          static_cast<double>(small_obs.histogram().bucket_count(t)) / total;
+      cmp.add_row({fmt(t), fmt(law.pmf[t], 5), fmt(simulated, 5)});
+      if (std::abs(simulated - law.pmf[t]) > 0.005) exact_matches = false;
+    }
+    cmp.print(std::cout);
+    std::cout << "exact mean " << fmt(law.mean, 3) << " vs simulated mean "
+              << fmt(small_obs.stats().mean(), 3) << " (Lemma 7: n*W = "
+              << fmt(markov::individual_latency_p0(ind), 3) << ")\n";
+  }
+
+  const bool reproduced = decaying && exact_matches &&
+                          observer.tail_fraction(8.0 * mean) < 0.002 &&
+                          static_cast<double>(observer.max_latency()) <
+                              60.0 * mean;
+  bench::print_verdict(reproduced,
+                       "individual latencies concentrate (p99 within a few "
+                       "means) and the tail decays geometrically - the "
+                       "observed behaviour is wait-free for all practical "
+                       "purposes");
+  return reproduced ? 0 : 1;
+}

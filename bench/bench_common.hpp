@@ -1,0 +1,34 @@
+// Shared helpers for the experiment-reproduction binaries. Every bench
+// prints: a header identifying the paper artifact it regenerates, the
+// seed(s) used, a paper-vs-measured table, and a SHAPE verdict line that
+// states whether the qualitative claim reproduced.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace pwf::bench {
+
+inline void print_header(const std::string& artifact,
+                         const std::string& claim) {
+  std::cout << "==============================================================="
+               "=\n"
+            << artifact << '\n'
+            << claim << '\n'
+            << "==============================================================="
+               "=\n";
+}
+
+inline void print_verdict(bool reproduced, const std::string& detail) {
+  std::cout << "\nSHAPE " << (reproduced ? "REPRODUCED" : "NOT REPRODUCED")
+            << ": " << detail << "\n\n";
+}
+
+inline void print_seed(std::uint64_t seed) {
+  std::cout << "(seed = " << seed << ")\n";
+}
+
+}  // namespace pwf::bench

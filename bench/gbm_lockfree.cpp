@@ -1,0 +1,121 @@
+// Hardware microbenchmarks (google-benchmark) of the native lock-free
+// structures used by the paper's empirical appendix: the CAS counter (the
+// Appendix B workload), the wait-free fetch_add baseline, the Treiber
+// stack, the Michael-Scott queue, and the universal SCU object.
+//
+// These report per-operation hardware cost; the figure-level experiments
+// (fig5_completion_rate) report the paper's completion-rate series.
+#include <benchmark/benchmark.h>
+
+#include "lockfree/counter.hpp"
+#include "lockfree/ebr.hpp"
+#include "lockfree/ms_queue.hpp"
+#include "lockfree/scu_object.hpp"
+#include "lockfree/harris_list.hpp"
+#include "lockfree/hash_map.hpp"
+#include "lockfree/statistical_counter.hpp"
+#include "lockfree/treiber_stack.hpp"
+
+namespace {
+
+using namespace pwf::lockfree;
+
+void BM_CasCounter(benchmark::State& state) {
+  static CasCounter counter;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    steps += counter.fetch_inc().steps;
+  }
+  state.counters["steps/op"] =
+      benchmark::Counter(static_cast<double>(steps),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CasCounter)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_FetchAddCounter(benchmark::State& state) {
+  static FetchAddCounter counter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.fetch_inc().value);
+  }
+}
+BENCHMARK(BM_FetchAddCounter)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_TreiberStackPushPop(benchmark::State& state) {
+  static EbrDomain domain;
+  static TreiberStack<int> stack(domain);
+  EbrThreadHandle handle(domain);
+  for (auto _ : state) {
+    stack.push(handle, 1);
+    benchmark::DoNotOptimize(stack.pop(handle));
+  }
+}
+BENCHMARK(BM_TreiberStackPushPop)->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime();
+
+void BM_MsQueueEnqDeq(benchmark::State& state) {
+  static EbrDomain domain;
+  static MsQueue<int> queue(domain);
+  EbrThreadHandle handle(domain);
+  for (auto _ : state) {
+    queue.enqueue(handle, 1);
+    benchmark::DoNotOptimize(queue.dequeue(handle));
+  }
+}
+BENCHMARK(BM_MsQueueEnqDeq)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_HarrisListInsertErase(benchmark::State& state) {
+  static EbrDomain domain;
+  static HarrisList<int> list(domain);
+  EbrThreadHandle handle(domain);
+  const int key = static_cast<int>(state.thread_index());
+  for (auto _ : state) {
+    list.insert(handle, key);
+    list.erase(handle, key);
+  }
+}
+BENCHMARK(BM_HarrisListInsertErase)->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime();
+
+void BM_HashSetInsertErase(benchmark::State& state) {
+  static EbrDomain domain;
+  static HashSet<int> set(domain, 64);
+  EbrThreadHandle handle(domain);
+  int key = static_cast<int>(state.thread_index()) * 1'000'000;
+  for (auto _ : state) {
+    set.insert(handle, key);
+    set.erase(handle, key);
+    ++key;
+  }
+}
+BENCHMARK(BM_HashSetInsertErase)->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime();
+
+void BM_StatisticalCounterAdd(benchmark::State& state) {
+  static StatisticalCounter counter(8);
+  const auto tid = static_cast<std::size_t>(state.thread_index());
+  for (auto _ : state) {
+    counter.add(tid);
+  }
+}
+BENCHMARK(BM_StatisticalCounterAdd)->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime();
+
+void BM_ScuObjectIncrement(benchmark::State& state) {
+  static EbrDomain domain;
+  static ScuObject<std::uint64_t> object(domain, 0);
+  EbrThreadHandle handle(domain);
+  std::uint64_t attempts = 0;
+  for (auto _ : state) {
+    attempts += object.apply(handle, [](std::uint64_t& v) { return ++v; })
+                    .second;
+  }
+  state.counters["cas/op"] =
+      benchmark::Counter(static_cast<double>(attempts),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ScuObjectIncrement)->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

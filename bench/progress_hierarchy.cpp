@@ -1,0 +1,204 @@
+// Section 2.2 as one experiment: the full progress-property ladder —
+// blocking deadlock-free (spinlock), obstruction-free (claim pair),
+// lock-free (scan-validate), wait-free (helped universal) — run under the
+// schedules that separate them:
+//   * uniform stochastic (what real systems look like long-run),
+//   * a lock-step/crafted schedule (livelocks the OF rung),
+//   * a starving adversary (starves the lock-free rung),
+//   * a crash of the most inconvenient process (halts the blocking rung).
+// The punchline is the paper's: under the stochastic scheduler EVERY rung
+// is practically wait-free, and the guarantees only separate on schedules
+// real systems do not produce.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/algorithms.hpp"
+#include "core/helping.hpp"
+#include "core/progress.hpp"
+#include "core/progress_zoo.hpp"
+#include "core/simulation.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pwf;
+using namespace pwf::core;
+
+constexpr std::size_t kN = 4;
+constexpr std::uint64_t kSteps = 1'500'000;
+
+enum class Sched { kUniform, kLockStep, kStarver, kUniformWithCrash };
+
+std::unique_ptr<Scheduler> make_sched(Sched which) {
+  switch (which) {
+    case Sched::kUniform:
+    case Sched::kUniformWithCrash:
+      return std::make_unique<UniformScheduler>();
+    case Sched::kLockStep:
+      return std::make_unique<RoundRobinScheduler>();
+    case Sched::kStarver:
+      return std::make_unique<AdversarialScheduler>(
+          [](std::uint64_t tau, std::span<const std::size_t> active) {
+            if (active.size() > 1 && tau % 500 == 0) {
+              return active[(tau / 500) % (active.size() - 1)];
+            }
+            return active.back();
+          });
+  }
+  return nullptr;
+}
+
+struct Cell {
+  std::uint64_t completions = 0;
+  bool everyone = false;
+};
+
+Cell summarize(Simulation& sim, const ProgressTracker& tracker,
+               std::size_t crashed) {
+  Cell cell;
+  cell.completions = sim.report().completions;
+  cell.everyone = true;
+  for (std::size_t p = 0; p < kN; ++p) {
+    if (p == crashed) continue;
+    if (tracker.completions(p) == 0) cell.everyone = false;
+  }
+  return cell;
+}
+
+Cell run(const StepMachineFactory& factory, std::size_t regs, Sched which,
+         std::uint64_t seed) {
+  Simulation::Options opts;
+  opts.num_registers = regs;
+  opts.seed = seed;
+  Simulation sim(kN, factory, make_sched(which), opts);
+  std::size_t crashed = kN;  // none
+  if (which == Sched::kUniformWithCrash) {
+    sim.schedule_crash(1'000, 0);  // crash an arbitrary process early
+    crashed = 0;
+  }
+  ProgressTracker tracker(kN);
+  sim.set_observer(&tracker);
+  sim.run(kSteps);
+  return summarize(sim, tracker, crashed);
+}
+
+// The crash column for the *blocking* algorithm must kill the process at
+// its most inconvenient moment — while it holds the lock — which requires
+// inspecting the machines.
+Cell run_spinlock_holder_crash(std::uint64_t seed) {
+  std::vector<const SpinlockCounter*> machines;
+  Simulation::Options opts;
+  opts.num_registers = SpinlockCounter::registers_required();
+  opts.seed = seed;
+  auto factory = [&machines](std::size_t pid, std::size_t /*n*/) {
+    auto m = std::make_unique<SpinlockCounter>(pid);
+    machines.push_back(m.get());
+    return m;
+  };
+  Simulation sim(kN, factory, std::make_unique<UniformScheduler>(), opts);
+  ProgressTracker tracker(kN);
+  sim.set_observer(&tracker);
+  std::size_t holder = kN;
+  while (holder == kN) {
+    sim.run(1);
+    for (std::size_t p = 0; p < kN; ++p) {
+      if (machines[p]->holds_lock()) holder = p;
+    }
+  }
+  sim.schedule_crash(sim.now(), holder);
+  sim.run(kSteps);
+  return summarize(sim, tracker, holder);
+}
+
+std::string describe(const Cell& cell) {
+  if (cell.completions == 0) return "HALTED (0 ops)";
+  if (!cell.everyone) {
+    return "starvation (" + fmt(cell.completions) + " ops)";
+  }
+  return "all progress (" + fmt(cell.completions) + " ops)";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Section 2.2: the progress hierarchy under separating schedules",
+      "Blocking < obstruction-free < lock-free < wait-free — and the "
+      "uniform stochastic scheduler erases the differences in practice.");
+  bench::print_seed(77);
+  std::cout << "n = " << kN << ", horizon = " << kSteps
+            << " steps; crash column kills one process at step 1000\n\n";
+
+  struct Row {
+    std::string name;
+    StepMachineFactory factory;
+    std::size_t regs;
+  };
+  const std::vector<Row> rows = {
+      {"blocking spinlock (deadlock-free)", SpinlockCounter::factory(),
+       SpinlockCounter::registers_required()},
+      {"obstruction-free claim pair", ObstructionPair::factory(),
+       ObstructionPair::registers_required()},
+      {"lock-free scan-validate", scan_validate_factory(),
+       ScuAlgorithm::registers_required(kN, 1)},
+      {"wait-free helped universal", HelpedUniversal::factory(400'000),
+       HelpedUniversal::registers_required(kN, 400'000)},
+  };
+
+  Table table({"algorithm", "uniform stochastic", "lock-step",
+               "starving adversary", "uniform + crash"});
+  std::vector<std::vector<Cell>> cells;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const Row& row = rows[r];
+    std::vector<Cell> line;
+    line.push_back(run(row.factory, row.regs, Sched::kUniform, 77));
+    line.push_back(run(row.factory, row.regs, Sched::kLockStep, 77));
+    line.push_back(run(row.factory, row.regs, Sched::kStarver, 77));
+    // For the blocking row, the crash must hit the lock holder.
+    line.push_back(r == 0 ? run_spinlock_holder_crash(77)
+                          : run(row.factory, row.regs,
+                                Sched::kUniformWithCrash, 77));
+    table.add_row({row.name, describe(line[0]), describe(line[1]),
+                   describe(line[2]), describe(line[3])});
+    cells.push_back(std::move(line));
+  }
+  table.print(std::cout);
+
+  // The separations the theory predicts.
+  const bool uniform_all_good =
+      cells[0][0].everyone && cells[1][0].everyone && cells[2][0].everyone &&
+      cells[3][0].everyone;
+  const bool of_livelocks_lockstep =
+      cells[1][1].completions < cells[2][1].completions / 100;
+  const bool lf_survives_lockstep = cells[2][1].completions > 10'000;
+  const bool lf_starved = !cells[2][2].everyone;
+  const bool wf_survives_starver = cells[3][2].everyone;
+  const bool blocking_halts_on_crash = cells[0][3].completions <
+                                       cells[2][3].completions / 100;
+  const bool nonblocking_survive_crash =
+      cells[1][3].everyone && cells[2][3].everyone && cells[3][3].everyone;
+
+  std::cout << "\nseparations observed:\n"
+            << "  OF livelocks under lock-step, LF does not:        "
+            << (of_livelocks_lockstep && lf_survives_lockstep ? "yes" : "NO")
+            << "\n  LF starves under the adversary, WF does not:      "
+            << (lf_starved && wf_survives_starver ? "yes" : "NO")
+            << "\n  blocking halts after a crash, non-blocking don't: "
+            << (blocking_halts_on_crash && nonblocking_survive_crash ? "yes"
+                                                                     : "NO")
+            << "\n  uniform stochastic: every rung fully progresses:  "
+            << (uniform_all_good ? "yes" : "NO") << "\n";
+
+  const bool reproduced = uniform_all_good && of_livelocks_lockstep &&
+                          lf_survives_lockstep && lf_starved &&
+                          wf_survives_starver && blocking_halts_on_crash &&
+                          nonblocking_survive_crash;
+  bench::print_verdict(reproduced,
+                       "the hierarchy separates exactly on the pathological "
+                       "schedules and collapses to 'practically wait-free' "
+                       "under the stochastic one — the paper's thesis, "
+                       "extended across all of Section 2.2");
+  return reproduced ? 0 : 1;
+}

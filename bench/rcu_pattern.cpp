@@ -1,0 +1,131 @@
+// Section 5's RCU claim, exercised: "The read-copy-update (RCU)
+// synchronization mechanism employed by the Linux kernel is also an
+// instance of this pattern."
+//
+// Three series from the RCU step machine (core/sim_rcu.hpp):
+//   1. readers are wait-free: reader cost is exactly 1 + L of their own
+//      steps regardless of how many writers contend;
+//   2. writers are SCU: their per-update cost carries the contention
+//      factor in the number of *writers* only;
+//   3. the grace-period ablation: the torn-read rate vanishes as the
+//      block-recycling pool deepens (finite pools = no grace period).
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/sim_rcu.hpp"
+#include "core/simulation.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pwf;
+using namespace pwf::core;
+
+struct RcuRun {
+  double reader_own_cost = 0.0;  // reader steps per completed read
+  double writer_own_cost = 0.0;  // writer steps per completed update
+  double torn_rate = 0.0;
+};
+
+RcuRun run(std::size_t writers, std::size_t readers, std::size_t slots,
+           std::uint64_t seed) {
+  RcuConfig config{writers, 3, slots};
+  std::vector<const SimRcu*> machines;
+  Simulation::Options opts;
+  opts.num_registers = SimRcu::registers_required(config);
+  opts.seed = seed;
+  auto factory = [&machines, config](std::size_t pid, std::size_t n) {
+    auto m = std::make_unique<SimRcu>(pid, n, config);
+    machines.push_back(m.get());
+    return m;
+  };
+  Simulation sim(writers + readers, factory,
+                 std::make_unique<UniformScheduler>(), opts);
+  sim.run(100'000);
+  sim.reset_stats();
+  // reset_stats does not clear machine-side op counters; measure with
+  // before/after deltas.
+  std::vector<std::uint64_t> reads0, updates0, torn0;
+  for (const SimRcu* m : machines) {
+    reads0.push_back(m->reads());
+    updates0.push_back(m->updates());
+    torn0.push_back(m->torn_reads());
+  }
+  sim.run(900'000);
+
+  RcuRun out;
+  double r_steps = 0, r_ops = 0, w_steps = 0, w_ops = 0, torn = 0;
+  for (std::size_t p = 0; p < machines.size(); ++p) {
+    const double steps =
+        static_cast<double>(sim.report().steps_per_process[p]);
+    if (machines[p]->is_writer()) {
+      w_steps += steps;
+      w_ops += static_cast<double>(machines[p]->updates() - updates0[p]);
+    } else {
+      r_steps += steps;
+      r_ops += static_cast<double>(machines[p]->reads() - reads0[p]);
+      torn += static_cast<double>(machines[p]->torn_reads() - torn0[p]);
+    }
+  }
+  if (r_ops > 0) {
+    out.reader_own_cost = r_steps / r_ops;
+    out.torn_rate = torn / r_ops;
+  }
+  if (w_ops > 0) out.writer_own_cost = w_steps / w_ops;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Section 5: RCU is an SCU instance — wait-free readers, SCU writers",
+      "Reader cost must be flat in writer count; writer cost must carry "
+      "the contention factor; shallow recycling pools (no grace period) "
+      "must produce torn reads.");
+  bench::print_seed(91);
+
+  std::cout << "payload L = 3 registers; 8 readers throughout\n\n";
+  Table table({"writers", "reader steps/read (4 = 1+L)", "writer steps/update",
+               "torn rate (pool=16)"});
+  bool readers_flat = true;
+  double writer_1 = 0.0, writer_16 = 0.0;
+  for (std::size_t writers : {1, 2, 4, 8, 16}) {
+    const RcuRun r = run(writers, 8, 16, 91 + writers);
+    table.add_row({fmt(writers), fmt(r.reader_own_cost, 3),
+                   fmt(r.writer_own_cost, 2), fmt(r.torn_rate, 6)});
+    readers_flat =
+        readers_flat && std::abs(r.reader_own_cost - 4.0) < 0.05;
+    if (writers == 1) writer_1 = r.writer_own_cost;
+    if (writers == 16) writer_16 = r.writer_own_cost;
+  }
+  table.print(std::cout);
+  std::cout << "writer cost growth 1 -> 16 writers: "
+            << fmt(writer_16 / writer_1, 2)
+            << "x (SCU contention; readers untouched)\n";
+
+  std::cout << "\ngrace-period ablation (4 writers, 8 readers): torn-read "
+               "rate vs recycling pool depth:\n";
+  Table torn({"pool slots per writer", "torn-read rate"});
+  std::vector<double> rates;
+  for (std::size_t slots : {1, 2, 4, 8, 32}) {
+    const RcuRun r = run(4, 8, slots, 191 + slots);
+    torn.add_row({fmt(slots), fmt(r.torn_rate, 6)});
+    rates.push_back(r.torn_rate);
+  }
+  torn.print(std::cout);
+  const bool torn_monotone = rates.front() > 0.01 && rates.back() < 1e-4 &&
+                             rates.front() > rates.back();
+
+  const bool reproduced =
+      readers_flat && writer_16 > 1.3 * writer_1 && torn_monotone;
+  bench::print_verdict(
+      reproduced,
+      "RCU splits exactly as the SCU analysis says: wait-free O(1) reads "
+      "independent of contention, sqrt-style writer contention, and the "
+      "grace-period requirement visible as soon as blocks recycle early");
+  return reproduced ? 0 : 1;
+}

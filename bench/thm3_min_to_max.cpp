@@ -1,0 +1,98 @@
+// Theorem 3 — "Min to Max Progress": under any stochastic scheduler with
+// threshold theta > 0, a boundedly lock-free algorithm is wait-free with
+// probability 1, with expected per-operation bound at most (1/theta)^T.
+//
+// Experiment: scan-validate (bounded minimal progress, solo bound T = 2)
+// driven by an adversary that always schedules the highest-id process,
+// wrapped in a theta-mixture for several theta values. For each theta we
+// report the worst per-process observed latency and completion counts.
+// With theta = 0 (the pure adversary) every process but one starves.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/algorithms.hpp"
+#include "core/progress.hpp"
+#include "core/simulation.hpp"
+#include "core/theory.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pwf;
+using namespace pwf::core;
+
+struct Row {
+  double theta;
+  bool all_completed;
+  std::uint64_t min_completions;
+  double worst_individual_latency;
+};
+
+Row run_with_theta(double theta, std::size_t n, std::uint64_t steps,
+                   std::uint64_t seed) {
+  auto adversary = std::make_unique<AdversarialScheduler>(
+      [](std::uint64_t, std::span<const std::size_t> active) {
+        return active.back();
+      });
+  std::unique_ptr<Scheduler> sched;
+  if (theta > 0.0) {
+    sched = std::make_unique<ThetaMixScheduler>(theta, std::move(adversary));
+  } else {
+    sched = std::move(adversary);
+  }
+  Simulation::Options opts;
+  opts.num_registers = ScuAlgorithm::registers_required(n, 1);
+  opts.seed = seed;
+  Simulation sim(n, scan_validate_factory(), std::move(sched), opts);
+  ProgressTracker tracker(n);
+  sim.set_observer(&tracker);
+  sim.run(steps);
+
+  Row row{theta, tracker.every_process_completed(), ~0ULL, 0.0};
+  for (std::size_t p = 0; p < n; ++p) {
+    row.min_completions = std::min(row.min_completions, tracker.completions(p));
+    if (sim.report().completions_per_process[p] > 0) {
+      row.worst_individual_latency = std::max(
+          row.worst_individual_latency, sim.report().individual_latency(p));
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Theorem 3: bounded minimal progress + stochastic scheduler "
+      "=> maximal progress",
+      "Claim: any theta > 0 rescues every process from an adversary; the "
+      "expected bound scales like (1/theta)^T (T = 2 for scan-validate).");
+  constexpr std::size_t kN = 4;
+  constexpr std::uint64_t kSteps = 3'000'000;
+  bench::print_seed(1234);
+
+  Table table({"theta", "(1/theta)^T", "all completed?", "min completions",
+               "worst W_i observed"});
+  bool theorem_holds = true;
+  for (double theta : {0.20, 0.10, 0.05, 0.02, 0.01}) {
+    const Row row = run_with_theta(theta, kN, kSteps, 1234);
+    table.add_row({fmt(theta, 3),
+                   fmt(theory::theorem3_expected_bound(theta, 2), 1),
+                   row.all_completed ? "yes" : "NO", fmt(row.min_completions),
+                   fmt(row.worst_individual_latency, 1)});
+    theorem_holds = theorem_holds && row.all_completed;
+  }
+  const Row pure = run_with_theta(0.0, kN, kSteps, 1234);
+  table.add_row({"0 (adversary)", "unbounded",
+                 pure.all_completed ? "yes" : "NO", fmt(pure.min_completions),
+                 pure.min_completions ? fmt(pure.worst_individual_latency, 1)
+                                      : "infinite (starved)"});
+  table.print(std::cout);
+
+  const bool contrast = !pure.all_completed;
+  bench::print_verdict(theorem_holds && contrast,
+                       "every theta > 0 yields maximal progress; theta = 0 "
+                       "starves all but the adversary's favourite");
+  return (theorem_holds && contrast) ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+// Theorem 4 — for any algorithm in SCU(q, s) under the uniform stochastic
+// scheduler, the system latency is O(q + s sqrt n) and the individual
+// latency is O(n (q + s sqrt n)).
+//
+// Sweep over (q, s, n): for each configuration print simulated W, the
+// paper's bound q + alpha s sqrt(n) (alpha fitted once on SCU(0,1)), the
+// adversarial worst case Theta(q + s n), and the fairness ratio.
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/algorithms.hpp"
+#include "core/simulation.hpp"
+#include "core/theory.hpp"
+#include "markov/builders.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pwf;
+using namespace pwf::core;
+
+struct Result {
+  double w = 0.0;
+  double fairness = 0.0;
+};
+
+Result simulate(std::size_t n, std::size_t q, std::size_t s,
+                std::uint64_t seed) {
+  Simulation::Options opts;
+  opts.num_registers = ScuAlgorithm::registers_required(n, s);
+  opts.seed = seed;
+  Simulation sim(n, ScuAlgorithm::factory(q, s),
+                 std::make_unique<UniformScheduler>(), opts);
+  sim.run(100'000);
+  sim.reset_stats();
+  // Scale the window so every process logs >= ~1000 completions even in
+  // the slowest configuration (keeps the max-over-processes fairness
+  // statistic from being noise-dominated).
+  sim.run(500'000 + 30'000 * static_cast<std::uint64_t>(n) * s);
+  Result r;
+  r.w = sim.report().system_latency();
+  r.fairness = sim.report().max_individual_latency() /
+               (static_cast<double>(n) * r.w);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Theorem 4: SCU(q, s) system latency is O(q + s sqrt n); "
+      "individual latency is n times that",
+      "Sweep over preamble length q, scan length s and process count n.");
+  bench::print_seed(11);
+
+  // The paper's analysis uses the constant alpha >= 4 (Lemma 8); the exact
+  // SCU(0,1) chain shows the empirical constant is smaller:
+  const double empirical_alpha =
+      markov::system_latency(markov::build_scan_validate_system_chain(64)) /
+      std::sqrt(64.0);
+  const double alpha = 4.0;
+  std::cout << "empirical constant W(0,1,64)/sqrt(64) = "
+            << fmt(empirical_alpha, 3)
+            << "; the bound below uses the paper's alpha = 4\n\n";
+
+  struct Config {
+    std::size_t q, s;
+  };
+  const std::vector<Config> configs{{0, 1}, {0, 2}, {0, 4}, {4, 1},
+                                    {16, 1}, {16, 4}, {64, 2}};
+  bool bound_holds = true;
+  bool fair = true;
+  for (const Config& cfg : configs) {
+    std::cout << "SCU(q=" << cfg.q << ", s=" << cfg.s << "):\n";
+    Table table({"n", "simulated W", "W/(q+s*sqrt n)", "bound q+4s*sqrt(n)",
+                 "worst case q+s*n", "fairness max W_i/(n W)"});
+    for (std::size_t n : {4, 8, 16, 32, 64}) {
+      const Result r = simulate(n, cfg.q, cfg.s, 11 + n + 97 * cfg.q + cfg.s);
+      const double bound = theory::scu_system_latency(cfg.q, cfg.s, n, alpha);
+      const double worst =
+          theory::scu_worst_case_system_latency(cfg.q, cfg.s, n);
+      const double ratio =
+          r.w / theory::scu_system_latency(cfg.q, cfg.s, n, 1.0);
+      table.add_row({fmt(n), fmt(r.w, 2), fmt(ratio, 2), fmt(bound, 2),
+                     fmt(worst, 2), fmt(r.fairness, 3)});
+      bound_holds = bound_holds && r.w <= bound;
+      fair = fair && r.fairness > 0.8 && r.fairness < 1.3;
+    }
+    table.print(std::cout);
+  }
+
+  // Scaling exponent in n for pure scan-validate configs: ~0.5.
+  std::vector<double> ns, ws;
+  for (std::size_t n : {8, 16, 32, 64, 128}) {
+    ns.push_back(static_cast<double>(n));
+    ws.push_back(simulate(n, 0, 2, 1000 + n).w);
+  }
+  const LinearFit fit = fit_power_law(ns, ws);
+  std::cout << "SCU(0,2) growth exponent in n: " << fmt(fit.slope, 3)
+            << " (0.5 predicted asymptotically; at these n the s > 1 "
+               "configurations show a mild finite-size excess, while s = 1 "
+               "fits 0.5 — see thm5_scan_validate)\n";
+
+  const bool reproduced =
+      bound_holds && fair && fit.slope > 0.40 && fit.slope < 0.70;
+  bench::print_verdict(reproduced,
+                       "W <= q + alpha s sqrt(n) across the sweep, sqrt-n "
+                       "growth, far below the adversarial q + s n, and "
+                       "n-fair individual latencies");
+  return reproduced ? 0 : 1;
+}

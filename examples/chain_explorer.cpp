@@ -1,0 +1,131 @@
+// chain_explorer — interactive window into the analysis layer: build any
+// of the paper's Markov chains from the command line and print its
+// structure, ergodicity report, stationary distribution, latencies, and
+// (for individual chains) the exact per-operation latency quantiles.
+//
+// Usage:
+//   ./examples/chain_explorer scan-validate <n>
+//   ./examples/chain_explorer scu <n> <s>
+//   ./examples/chain_explorer parallel <n> <q>
+//   ./examples/chain_explorer fai <n>
+//   ./examples/chain_explorer system scan-validate <n>   (collapsed chain)
+//   ./examples/chain_explorer system fai <n>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "markov/builders.hpp"
+#include "markov/graph.hpp"
+#include "markov/mixing.hpp"
+#include "markov/op_latency.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pwf;
+using namespace pwf::markov;
+
+void usage() {
+  std::cerr << "usage: chain_explorer scan-validate <n> | scu <n> <s> | "
+               "parallel <n> <q> | fai <n> | system {scan-validate|fai} <n>\n";
+}
+
+void describe(const BuiltChain& built, bool individual) {
+  const auto report = analyze_ergodicity(built.chain);
+  std::cout << "states:      " << built.chain.num_states() << '\n'
+            << "irreducible: " << (report.irreducible ? "yes" : "NO") << '\n'
+            << "period:      " << report.period
+            << (report.aperiodic ? " (aperiodic)" : "") << '\n';
+  const std::size_t mix =
+      mixing_time(built.chain, 1e-3, 5'000,
+                  std::vector<std::size_t>{built.initial_state},
+                  /*lazy=*/true);
+  std::cout << "lazy 1e-3 mixing time from the initial state: " << mix
+            << " steps\n\n";
+
+  const double w = system_latency(built);
+  std::cout << "system latency W:       " << fmt(w, 4) << " steps/op\n";
+  if (individual) {
+    const double wi = individual_latency_p0(built);
+    std::cout << "individual latency W_0: " << fmt(wi, 4) << "  (= "
+              << fmt(wi / w, 3) << " x W; Lemma 7 predicts n x W)\n";
+    const auto law = op_latency_distribution(
+        built, static_cast<std::size_t>(100.0 * wi) + 64);
+    std::cout << "\nexact per-operation latency law (process 0):\n";
+    Table q({"quantile", "steps"});
+    double cum = 0.0;
+    std::size_t next = 0;
+    const double targets[] = {0.5, 0.9, 0.99, 0.999};
+    for (std::size_t t = 0; t < law.pmf.size() && next < 4; ++t) {
+      cum += law.pmf[t];
+      while (next < 4 && cum >= targets[next]) {
+        q.add_row({fmt(100.0 * targets[next], 1) + "%", fmt(t)});
+        ++next;
+      }
+    }
+    q.print(std::cout);
+  }
+
+  if (built.chain.num_states() <= 40) {
+    std::cout << "\nstationary distribution:\n";
+    const auto pi = built.chain.stationary();
+    Table t({"state", "pi", "P[success]"});
+    for (std::size_t s = 0; s < pi.size(); ++s) {
+      t.add_row({built.state_names[s], fmt(pi[s], 5),
+                 fmt(built.success_prob[s], 3)});
+    }
+    t.print(std::cout);
+  } else {
+    std::cout << "\n(" << built.chain.num_states()
+              << " states: stationary table suppressed; top-level stats "
+                 "above)\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  const std::string kind = argv[1];
+  try {
+    if (kind == "scan-validate") {
+      describe(build_scan_validate_individual_chain(
+                   std::strtoul(argv[2], nullptr, 10)),
+               true);
+    } else if (kind == "scu" && argc >= 4) {
+      describe(build_scu_scan_individual_chain(
+                   std::strtoul(argv[2], nullptr, 10),
+                   std::strtoul(argv[3], nullptr, 10)),
+               true);
+    } else if (kind == "parallel" && argc >= 4) {
+      describe(build_parallel_individual_chain(
+                   std::strtoul(argv[2], nullptr, 10),
+                   std::strtoul(argv[3], nullptr, 10)),
+               true);
+    } else if (kind == "fai") {
+      describe(build_fai_individual_chain(std::strtoul(argv[2], nullptr, 10)),
+               true);
+    } else if (kind == "system" && argc >= 4) {
+      const std::string which = argv[2];
+      const std::size_t n = std::strtoul(argv[3], nullptr, 10);
+      if (which == "scan-validate") {
+        describe(build_scan_validate_system_chain(n), false);
+      } else if (which == "fai") {
+        describe(build_fai_global_chain(n), false);
+      } else {
+        usage();
+        return 2;
+      }
+    } else {
+      usage();
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+// progress_audit — use the framework the way a concurrency-library author
+// would: audit whether an algorithm's progress guarantee is *practically*
+// wait-free before shipping it, across scheduler assumptions.
+//
+// The audit runs a candidate algorithm under a battery of schedulers
+// (uniform, Zipf-skewed, bursty/sticky, theta-mixed adversary, pure
+// adversary, plus crash injection) and reports, for each: whether every
+// process kept completing, the worst per-process latency, and the
+// completion spread. The paper's message shows up directly: bounded
+// lock-free algorithms pass every stochastic row and fail only under the
+// probability-0 pure adversary; the unbounded Algorithm 1 fails even the
+// uniform row.
+//
+// Usage: ./examples/progress_audit [unbounded|scan-validate|fai]
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "core/progress.hpp"
+#include "core/simulation.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pwf;
+using namespace pwf::core;
+
+struct Candidate {
+  std::string name;
+  StepMachineFactory factory;
+  std::size_t registers;
+};
+
+Candidate pick_candidate(const std::string& which, std::size_t n) {
+  if (which == "unbounded") {
+    return {"Algorithm 1 (unbounded lock-free)", UnboundedLockFree::factory(),
+            UnboundedLockFree::registers_required()};
+  }
+  if (which == "fai") {
+    return {"fetch-and-increment (augmented CAS)",
+            FetchAndIncrement::factory(),
+            FetchAndIncrement::registers_required()};
+  }
+  return {"scan-validate (bounded lock-free)", scan_validate_factory(),
+          ScuAlgorithm::registers_required(n, 1)};
+}
+
+std::unique_ptr<Scheduler> make_adversary() {
+  return std::make_unique<AdversarialScheduler>(
+      [](std::uint64_t, std::span<const std::size_t> active) {
+        return active.back();
+      },
+      "starve-all-but-last");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr std::size_t kN = 8;
+  constexpr std::uint64_t kSteps = 2'000'000;
+  const Candidate candidate =
+      pick_candidate(argc > 1 ? argv[1] : "scan-validate", kN);
+
+  std::cout << "Progress audit: " << candidate.name << ", n = " << kN
+            << ", horizon = " << kSteps << " steps\n\n";
+
+  struct SchedulerCase {
+    std::string label;
+    std::unique_ptr<Scheduler> scheduler;
+    std::size_t crashes = 0;
+  };
+  std::vector<SchedulerCase> cases;
+  cases.push_back({"uniform", std::make_unique<UniformScheduler>()});
+  cases.push_back(
+      {"zipf(1.0) skewed", std::make_unique<WeightedScheduler>(
+                               make_zipf_scheduler(kN, 1.0))});
+  cases.push_back({"sticky rho=0.9", std::make_unique<StickyScheduler>(0.9)});
+  cases.push_back({"theta-mix(0.02) over adversary",
+                   std::make_unique<ThetaMixScheduler>(0.02, make_adversary())});
+  cases.push_back({"pure adversary (theta=0)", make_adversary()});
+  cases.push_back({"uniform + 4 crashes",
+                   std::make_unique<UniformScheduler>(), 4});
+
+  Table table({"scheduler", "all progressed?", "min/max completions",
+               "worst W_i", "verdict"});
+  for (auto& c : cases) {
+    Simulation::Options opts;
+    opts.num_registers = candidate.registers;
+    opts.seed = 7;
+    Simulation sim(kN, candidate.factory, std::move(c.scheduler), opts);
+    for (std::size_t k = 0; k < c.crashes; ++k) {
+      sim.schedule_crash(50'000 * (k + 1), kN - 1 - k);
+    }
+    ProgressTracker tracker(kN);
+    sim.set_observer(&tracker);
+    sim.run(kSteps);
+
+    std::uint64_t lo = ~0ULL, hi = 0;
+    const std::size_t survivors = kN - c.crashes;
+    for (std::size_t p = 0; p < survivors; ++p) {
+      lo = std::min(lo, tracker.completions(p));
+      hi = std::max(hi, tracker.completions(p));
+    }
+    double worst = 0.0;
+    for (std::size_t p = 0; p < survivors; ++p) {
+      if (sim.report().completions_per_process[p] > 0) {
+        worst = std::max(worst, sim.report().individual_latency(p));
+      }
+    }
+    const bool all = lo > 0;
+    table.add_row({c.label, all ? "yes" : "NO",
+                   fmt(lo) + " / " + fmt(hi),
+                   lo ? fmt(worst, 0) : "unbounded",
+                   all ? "practically wait-free" : "starvation"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: a *bounded* lock-free algorithm passes every\n"
+               "stochastic row (theta > 0) -- Theorem 3; only the measure-"
+               "zero\npure adversary starves it. Run with argument "
+               "'unbounded' to watch\nAlgorithm 1 fail even under the "
+               "uniform scheduler (Lemma 2).\n";
+  return 0;
+}

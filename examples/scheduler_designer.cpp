@@ -1,0 +1,131 @@
+// scheduler_designer — the paper's Section 8 question, explored: "could
+// the choice of wait-free versus lock-free be based simply on what
+// assumption a programmer is willing to make about the underlying
+// scheduler?"
+//
+// This example treats the scheduler as the design variable. For a fixed
+// bounded lock-free algorithm (scan-validate), it sweeps the scheduler's
+// weak-fairness threshold theta from adversarial (0) to uniform (1/n) and
+// plots how the worst individual latency responds, then probes two
+// non-uniform stochastic models (Zipf skew, stickiness) to show how robust
+// the uniform-model predictions are.
+//
+// Usage: ./examples/scheduler_designer
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "core/simulation.hpp"
+#include "core/theory.hpp"
+#include "markov/builders.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pwf;
+using namespace pwf::core;
+
+struct Measured {
+  bool all_completed = true;
+  double w = 0.0;
+  double worst_wi = 0.0;
+};
+
+Measured run(std::size_t n, std::unique_ptr<Scheduler> scheduler,
+             std::uint64_t steps) {
+  Simulation::Options opts;
+  opts.num_registers = ScuAlgorithm::registers_required(n, 1);
+  opts.seed = 99;
+  Simulation sim(n, scan_validate_factory(), std::move(scheduler), opts);
+  sim.run(steps / 10);
+  sim.reset_stats();
+  sim.run(steps);
+  Measured m;
+  m.w = sim.report().system_latency();
+  for (std::size_t p = 0; p < n; ++p) {
+    if (sim.report().completions_per_process[p] == 0) {
+      m.all_completed = false;
+    } else {
+      m.worst_wi =
+          std::max(m.worst_wi, sim.report().individual_latency(p));
+    }
+  }
+  return m;
+}
+
+std::unique_ptr<Scheduler> adversary() {
+  return std::make_unique<AdversarialScheduler>(
+      [](std::uint64_t, std::span<const std::size_t> active) {
+        return active.back();
+      });
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kN = 8;
+  constexpr std::uint64_t kSteps = 4'000'000;
+  const double uniform_theta = 1.0 / static_cast<double>(kN);
+
+  std::cout << "Design question: how much scheduler fairness (theta) does a\n"
+               "bounded lock-free algorithm need before helping mechanisms\n"
+               "(wait-freedom) stop paying for themselves?  n = " << kN
+            << "\n\n";
+
+  std::cout << "1. Sweep theta from adversarial to uniform "
+               "(theta-mix over a starving adversary):\n";
+  Table sweep({"theta", "all completed?", "system W", "worst W_i",
+               "(1/theta)^2 scaling"});
+  {
+    const Measured pure = run(kN, adversary(), kSteps);
+    sweep.add_row({"0.000 (pure adversary)", pure.all_completed ? "yes" : "NO",
+                   fmt(pure.w, 2), "unbounded", "n/a"});
+  }
+  for (double theta : {0.005, 0.01, 0.02, 0.05, 0.10, 0.125}) {
+    std::unique_ptr<Scheduler> sched;
+    if (theta >= uniform_theta) {
+      sched = std::make_unique<UniformScheduler>();
+    } else {
+      sched = std::make_unique<ThetaMixScheduler>(theta, adversary());
+    }
+    const Measured m = run(kN, std::move(sched), kSteps);
+    sweep.add_row({fmt(theta, 3) + (theta >= uniform_theta ? " (uniform)" : ""),
+                   m.all_completed ? "yes" : "NO", fmt(m.w, 2),
+                   fmt(m.worst_wi, 0),
+                   fmt(theory::theorem3_expected_bound(theta, 2), 0)});
+  }
+  sweep.print(std::cout);
+
+  std::cout << "\n2. Non-uniform stochastic schedulers (Section 8's open "
+               "direction):\n";
+  const double w_uniform =
+      markov::system_latency(markov::build_scan_validate_system_chain(kN));
+  Table robust({"scheduler", "system W", "worst W_i", "W vs uniform-model"});
+  struct Case {
+    std::string label;
+    std::unique_ptr<Scheduler> sched;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"uniform", std::make_unique<UniformScheduler>()});
+  cases.push_back({"zipf s=0.5", std::make_unique<WeightedScheduler>(
+                                     make_zipf_scheduler(kN, 0.5))});
+  cases.push_back({"zipf s=1.0", std::make_unique<WeightedScheduler>(
+                                     make_zipf_scheduler(kN, 1.0))});
+  cases.push_back({"sticky rho=0.5", std::make_unique<StickyScheduler>(0.5)});
+  cases.push_back({"sticky rho=0.9", std::make_unique<StickyScheduler>(0.9)});
+  for (auto& c : cases) {
+    const Measured m = run(kN, std::move(c.sched), kSteps);
+    robust.add_row({c.label, fmt(m.w, 2), fmt(m.worst_wi, 0),
+                    fmt(m.w / w_uniform, 2) + "x"});
+  }
+  robust.print(std::cout);
+
+  std::cout
+      << "\nReading: every stochastic scheduler keeps all processes "
+         "completing\n(Theorem 3), and even strongly skewed or bursty "
+         "schedulers keep the\nsystem latency within a small factor of the "
+         "uniform-model value --\nthe paper's uniform approximation is a "
+         "robust design assumption.\n";
+  return 0;
+}

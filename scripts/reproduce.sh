@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# One-command reproduction: build, run the full test suite, regenerate
+# every experiment, and (optionally) validate the concurrent code under
+# the sanitizers. Outputs land in test_output.txt / bench_output.txt at
+# the repository root.
+#
+# Usage: scripts/reproduce.sh [--with-sanitizers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== configure + build =="
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+echo "== experiments (each bench self-checks; non-zero exit = regression) =="
+status=0
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "### $b" | tee -a bench_output.txt
+  if ! "$b" 2>&1 | tee -a bench_output.txt; then
+    echo "REGRESSION in $b" | tee -a bench_output.txt
+    status=1
+  fi
+done
+
+if [ "${1:-}" = "--with-sanitizers" ]; then
+  echo "== ThreadSanitizer (concurrent suites) =="
+  cmake -B build-tsan -G Ninja -DPWF_SANITIZE=thread
+  cmake --build build-tsan
+  ctest --test-dir build-tsan -R "lockfree|statistical|sched"
+
+  echo "== AddressSanitizer (concurrent suites) =="
+  cmake -B build-asan -G Ninja -DPWF_SANITIZE=address
+  cmake --build build-asan
+  ctest --test-dir build-asan -R "lockfree|statistical|sched"
+fi
+
+exit $status

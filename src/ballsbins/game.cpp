@@ -1,0 +1,87 @@
+#include "ballsbins/game.hpp"
+
+#include <stdexcept>
+
+namespace pwf::ballsbins {
+
+Range classify_range(std::size_t a, std::size_t n, double c) {
+  const auto da = static_cast<double>(a);
+  const auto dn = static_cast<double>(n);
+  if (da >= dn / 3.0) return Range::kFirst;
+  if (da >= dn / c) return Range::kSecond;
+  return Range::kThird;
+}
+
+IteratedBallsBins::IteratedBallsBins(std::size_t n, Xoshiro256pp rng)
+    : balls_(n, 1), rng_(rng) {
+  if (n == 0) throw std::invalid_argument("IteratedBallsBins: need n >= 1");
+  count_[0] = 0;
+  count_[1] = n;
+  count_[2] = 0;
+  phase_start_a_ = n;
+  phase_start_b_ = 0;
+}
+
+std::size_t IteratedBallsBins::bins_with(int k) const {
+  if (k < 0 || k > 2) throw std::out_of_range("bins_with: k in {0,1,2}");
+  return count_[k];
+}
+
+bool IteratedBallsBins::step() {
+  ++steps_;
+  ++phase_len_;
+  const std::size_t bin = static_cast<std::size_t>(rng_.uniform(balls_.size()));
+  const std::uint8_t before = balls_[bin];
+  if (before < 2) {
+    --count_[before];
+    ++count_[before + 1];
+    ++balls_[bin] ;
+    return false;
+  }
+  // The bin reaches three balls: reset. The full bin returns to one ball;
+  // every two-ball bin is emptied.
+  for (std::size_t i = 0; i < balls_.size(); ++i) {
+    if (balls_[i] == 2) balls_[i] = 0;
+  }
+  balls_[bin] = 1;
+  count_[0] += count_[2] - 1;  // all other two-ball bins become empty
+  count_[1] += 1;
+  count_[2] = 0;
+  ++phases_;
+  phase_len_ = 0;
+  phase_start_a_ = count_[1];
+  phase_start_b_ = count_[0];
+  return true;
+}
+
+std::vector<PhaseRecord> IteratedBallsBins::run_phases(std::size_t phases) {
+  std::vector<PhaseRecord> records;
+  records.reserve(phases);
+  while (records.size() < phases) {
+    const std::size_t start_a = phase_start_a_;
+    const std::size_t start_b = phase_start_b_;
+    std::uint64_t len = current_phase_length();
+    while (!step()) ++len;
+    records.push_back({start_a, start_b, len + 1});
+  }
+  return records;
+}
+
+void RangeStats::add(const PhaseRecord& rec, std::size_t n, double c) {
+  switch (classify_range(rec.start_a, n, c)) {
+    case Range::kFirst:
+      length_first.add(static_cast<double>(rec.length));
+      ++phases_first;
+      break;
+    case Range::kSecond:
+      length_second.add(static_cast<double>(rec.length));
+      ++phases_second;
+      break;
+    case Range::kThird:
+      length_third.add(static_cast<double>(rec.length));
+      ++phases_third;
+      break;
+  }
+}
+
+}  // namespace pwf::ballsbins

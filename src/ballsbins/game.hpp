@@ -1,0 +1,96 @@
+// The iterated balls-into-bins game of Section 6.1.3.
+//
+// Each of n bins is associated with a process of the scan-validate
+// algorithm and holds 0, 1 or 2 balls between resets:
+//   1 ball  <-> the process is about to Read            (2 steps from done)
+//   2 balls <-> the process is about to CAS (current)   (1 step from done)
+//   0 balls <-> the process is about to CAS (stale)     (3 steps from done)
+// Each step throws one ball into a uniformly random bin (= the uniform
+// scheduler picks that process). When a bin reaches three balls the
+// operation completes and a *reset* ends the phase: the full bin goes back
+// to one ball and every two-ball bin is emptied (those processes' CAS
+// values just became stale).
+//
+// The game is, state for state, the system Markov chain of SCU(0,1); the
+// phase length is the system latency W. Lemma 8 bounds the expected phase
+// length by min(2*alpha*n/sqrt(a_i), 3*alpha*n/b_i^(1/3)) and Lemma 9 shows
+// phases with a_i < n/c ("range three") are rare and short-lived.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pwf::ballsbins {
+
+/// Which of the paper's three ranges a phase-start state (a_i, b_i) is in.
+enum class Range { kFirst, kSecond, kThird };
+
+/// Classifies a_i: first range a in [n/3, n], second [n/c, n/3), third
+/// [0, n/c). The paper's c is "a large constant"; default 10.
+Range classify_range(std::size_t a, std::size_t n, double c = 10.0);
+
+/// Snapshot of one completed phase.
+struct PhaseRecord {
+  std::size_t start_a = 0;     ///< bins with one ball at phase start
+  std::size_t start_b = 0;     ///< empty bins at phase start
+  std::uint64_t length = 0;    ///< ball throws in the phase
+};
+
+/// The iterated game.
+class IteratedBallsBins {
+ public:
+  /// Starts with every bin holding one ball (all processes about to read).
+  IteratedBallsBins(std::size_t n, Xoshiro256pp rng);
+
+  /// Throws one ball; returns true iff this throw completed a phase
+  /// (a bin reached three balls and the reset was applied).
+  bool step();
+
+  /// Runs until `phases` more phases complete; returns their records.
+  std::vector<PhaseRecord> run_phases(std::size_t phases);
+
+  std::size_t num_bins() const noexcept { return balls_.size(); }
+  /// Bins currently holding exactly `k` balls (k in {0,1,2}).
+  std::size_t bins_with(int k) const;
+  /// a = bins with one ball; b = empty bins (between resets a+b+c = n).
+  std::size_t a() const noexcept { return count_[1]; }
+  std::size_t b() const noexcept { return count_[0]; }
+
+  std::uint64_t steps() const noexcept { return steps_; }
+  std::uint64_t phases_completed() const noexcept { return phases_; }
+
+  /// (a, b) at the start of the current (incomplete) phase.
+  std::size_t phase_start_a() const noexcept { return phase_start_a_; }
+  std::size_t phase_start_b() const noexcept { return phase_start_b_; }
+
+  /// Length so far of the current phase.
+  std::uint64_t current_phase_length() const noexcept { return phase_len_; }
+
+ private:
+  std::vector<std::uint8_t> balls_;
+  std::size_t count_[3] = {0, 0, 0};  // bins with 0/1/2 balls
+  Xoshiro256pp rng_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t phases_ = 0;
+  std::uint64_t phase_len_ = 0;
+  std::size_t phase_start_a_ = 0;
+  std::size_t phase_start_b_ = 0;
+};
+
+/// Aggregate phase-length statistics bucketed by the paper's ranges.
+struct RangeStats {
+  StreamingStats length_first;
+  StreamingStats length_second;
+  StreamingStats length_third;
+  std::uint64_t phases_first = 0;
+  std::uint64_t phases_second = 0;
+  std::uint64_t phases_third = 0;
+
+  void add(const PhaseRecord& rec, std::size_t n, double c = 10.0);
+};
+
+}  // namespace pwf::ballsbins

@@ -1,0 +1,163 @@
+#include "core/algorithms.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace pwf::core {
+
+// --- ScuAlgorithm ------------------------------------------------------------
+
+ScuAlgorithm::ScuAlgorithm(std::size_t pid, std::size_t n, std::size_t q,
+                           std::size_t s)
+    : pid_(pid), n_(n), q_(q), s_(s),
+      phase_(q > 0 ? Phase::kPreamble : Phase::kScan) {
+  if (s < 1) throw std::invalid_argument("ScuAlgorithm: need s >= 1");
+  if (pid >= n) throw std::invalid_argument("ScuAlgorithm: pid >= n");
+}
+
+std::size_t ScuAlgorithm::registers_required(std::size_t n, std::size_t s) {
+  return s + n;
+}
+
+bool ScuAlgorithm::step(SharedMemory& mem) {
+  switch (phase_) {
+    case Phase::kPreamble: {
+      // Preamble steps update memory (never R): write to our scratch slot.
+      mem.write(s_ + pid_, static_cast<Value>(phase_step_));
+      if (++phase_step_ == q_) {
+        phase_ = Phase::kScan;
+        phase_step_ = 0;
+      }
+      return false;
+    }
+    case Phase::kScan: {
+      if (phase_step_ == 0) {
+        view_ = mem.read(0);  // v <- R.read()
+      } else {
+        mem.read(phase_step_);  // v_k <- R_k.read()
+      }
+      if (++phase_step_ == s_) {
+        phase_ = Phase::kValidate;
+        phase_step_ = 0;
+      }
+      return false;
+    }
+    case Phase::kValidate: {
+      // Propose a globally unique new state for R.
+      ++attempts_;
+      const Value proposal = static_cast<Value>(attempts_ * n_ + pid_ + 1);
+      const bool won = mem.cas(0, view_, proposal);
+      if (won) {
+        // Operation complete; the next step begins a fresh invocation.
+        phase_ = q_ > 0 ? Phase::kPreamble : Phase::kScan;
+        phase_step_ = 0;
+        return true;
+      }
+      // Validation failed: restart the scan loop (not the preamble).
+      phase_ = Phase::kScan;
+      phase_step_ = 0;
+      return false;
+    }
+  }
+  return false;  // unreachable
+}
+
+std::string ScuAlgorithm::name() const {
+  return "SCU(" + std::to_string(q_) + "," + std::to_string(s_) + ")";
+}
+
+StepMachineFactory ScuAlgorithm::factory(std::size_t q, std::size_t s) {
+  return [q, s](std::size_t pid, std::size_t n) {
+    return std::make_unique<ScuAlgorithm>(pid, n, q, s);
+  };
+}
+
+StepMachineFactory scan_validate_factory() {
+  return ScuAlgorithm::factory(/*q=*/0, /*s=*/1);
+}
+
+// --- ParallelCode ------------------------------------------------------------
+
+ParallelCode::ParallelCode(std::size_t pid, std::size_t q)
+    : pid_(pid), q_(q) {
+  if (q < 1) throw std::invalid_argument("ParallelCode: need q >= 1");
+}
+
+bool ParallelCode::step(SharedMemory& mem) {
+  mem.read(0);
+  if (++counter_ == q_) {
+    counter_ = 0;
+    return true;
+  }
+  return false;
+}
+
+std::string ParallelCode::name() const {
+  return "parallel-code(q=" + std::to_string(q_) + ")";
+}
+
+StepMachineFactory ParallelCode::factory(std::size_t q) {
+  return [q](std::size_t pid, std::size_t /*n*/) {
+    return std::make_unique<ParallelCode>(pid, q);
+  };
+}
+
+// --- FetchAndIncrement -------------------------------------------------------
+
+FetchAndIncrement::FetchAndIncrement(std::size_t pid) : pid_(pid) { (void)pid_; }
+
+bool FetchAndIncrement::step(SharedMemory& mem) {
+  const Value before = mem.cas_fetch(0, v_, v_ + 1);
+  if (before == v_) {
+    v_ = v_ + 1;  // we wrote the new current value, so we still hold it
+    return true;
+  }
+  v_ = before;  // adopt the current value the augmented CAS returned
+  return false;
+}
+
+StepMachineFactory FetchAndIncrement::factory() {
+  return [](std::size_t pid, std::size_t /*n*/) {
+    return std::make_unique<FetchAndIncrement>(pid);
+  };
+}
+
+// --- UnboundedLockFree -------------------------------------------------------
+
+UnboundedLockFree::UnboundedLockFree(std::size_t pid, std::size_t n,
+                                     std::uint64_t penalty_cap)
+    : pid_(pid), n_(n), penalty_cap_(penalty_cap) {
+  (void)pid_;
+}
+
+bool UnboundedLockFree::step(SharedMemory& mem) {
+  if (penalty_ > 0) {
+    mem.read(1);  // for j = 1 .. n^2 * v do read(R)
+    --penalty_;
+    return false;
+  }
+  const Value before = mem.cas_fetch(0, v_, v_ + 1);
+  if (before == v_) {
+    v_ = v_ + 1;  // winner keeps the current value (Lemma 2's analysis)
+    return true;
+  }
+  v_ = before;
+  penalty_ = static_cast<std::uint64_t>(n_) * n_ * v_;
+  if (penalty_cap_ != 0 && penalty_ > penalty_cap_) penalty_ = penalty_cap_;
+  return false;
+}
+
+StepMachineFactory UnboundedLockFree::factory() {
+  return [](std::size_t pid, std::size_t n) {
+    return std::make_unique<UnboundedLockFree>(pid, n);
+  };
+}
+
+StepMachineFactory UnboundedLockFree::capped_factory(
+    std::uint64_t penalty_cap) {
+  return [penalty_cap](std::size_t pid, std::size_t n) {
+    return std::make_unique<UnboundedLockFree>(pid, n, penalty_cap);
+  };
+}
+
+}  // namespace pwf::core

@@ -1,0 +1,145 @@
+// The paper's algorithms (Algorithms 1-5), expressed as step machines.
+//
+// Register layout conventions are per-algorithm and documented on each
+// class; factories and register counts are provided so a Simulation can be
+// assembled in one line.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/memory.hpp"
+#include "core/step_machine.hpp"
+
+namespace pwf::core {
+
+/// Algorithm 2 — the class SCU(q, s): a preamble of q shared-memory steps
+/// followed by a scan-and-validate loop that reads s registers (the
+/// decision register R plus s-1 auxiliary registers) and then CAS-es R.
+///
+/// Registers: [0] = R (decision register), [1 .. s-1] = R_1..R_{s-1}
+/// (auxiliary scan registers), [s + pid] = per-process scratch register
+/// written by the preamble (preamble steps may update memory but never R).
+///
+/// Proposed values are globally unique (attempt counter * n + pid + 1), the
+/// paper's "two processes never propose the same value for R" assumption,
+/// so the simulated CAS is ABA-free exactly as the analysis requires.
+///
+/// SCU(0, 1) with q = 0, s = 1 is Algorithm 3 (the scan-validate pattern).
+class ScuAlgorithm final : public StepMachine {
+ public:
+  /// Preconditions: s >= 1, pid < n.
+  ScuAlgorithm(std::size_t pid, std::size_t n, std::size_t q, std::size_t s);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override;
+
+  /// Registers a Simulation must allocate for this configuration.
+  static std::size_t registers_required(std::size_t n, std::size_t s);
+
+  static StepMachineFactory factory(std::size_t q, std::size_t s);
+
+ private:
+  enum class Phase { kPreamble, kScan, kValidate };
+
+  std::size_t pid_;
+  std::size_t n_;
+  std::size_t q_;
+  std::size_t s_;
+  Phase phase_;
+  std::size_t phase_step_ = 0;  // preamble step or scan register index
+  Value view_ = 0;              // value of R observed by the current scan
+  std::uint64_t attempts_ = 0;  // proposal uniqueness counter
+};
+
+/// Algorithm 3 — the scan-validate pattern == SCU(0, 1).
+StepMachineFactory scan_validate_factory();
+
+/// Algorithm 4 — parallel code: a method call completes after the process
+/// executes q shared-memory steps, regardless of other processes. Each step
+/// reads register [0].
+class ParallelCode final : public StepMachine {
+ public:
+  /// Precondition: q >= 1.
+  ParallelCode(std::size_t pid, std::size_t q);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override;
+
+  static constexpr std::size_t registers_required() { return 1; }
+  static StepMachineFactory factory(std::size_t q);
+
+ private:
+  std::size_t pid_;
+  std::size_t q_;
+  std::size_t counter_ = 0;
+};
+
+/// Algorithm 5 — lock-free fetch-and-increment on an augmented CAS
+/// (Section 7). Register [0] = R, initially 0; every process starts with
+/// local value v = 0, so initially all processes hold the current value
+/// (the chain's initial state s_Pi).
+///
+/// Semantics follow the paper's Markov-chain description: a successful
+/// CAS(R, v, v+1) leaves the caller holding the current value (its local v
+/// becomes v+1); a failed augmented CAS returns the current value, which
+/// the caller adopts. (The pseudocode in the paper keeps v = old after a
+/// success, which would contradict its own chain in Section 7.1; we follow
+/// the chain. See DESIGN.md.)
+class FetchAndIncrement final : public StepMachine {
+ public:
+  explicit FetchAndIncrement(std::size_t pid);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override { return "fetch-and-increment"; }
+
+  /// The value this process last observed/wrote; for tests.
+  Value local_value() const noexcept { return v_; }
+
+  static constexpr std::size_t registers_required() { return 1; }
+  static StepMachineFactory factory();
+
+ private:
+  std::size_t pid_;
+  Value v_ = 0;
+};
+
+/// Algorithm 1 — the *unbounded* lock-free algorithm used by Lemma 2 to
+/// show that without a finite minimal-progress bound, stochastic schedulers
+/// do not grant wait-freedom: a process that loses the CAS on C must read
+/// register R n^2 * v times (v = the value it observed) before retrying, so
+/// losers fall ever further behind while one winner monopolizes progress.
+///
+/// `penalty_cap` is the constructive remedy: capping the backoff at any
+/// finite bound restores bounded minimal progress, so Theorem 3 applies
+/// again and the algorithm becomes practically wait-free. The default cap
+/// of 0 means "uncapped" — the paper's Algorithm 1 verbatim.
+///
+/// Registers: [0] = C (the CAS object, initially 0), [1] = R.
+class UnboundedLockFree final : public StepMachine {
+ public:
+  UnboundedLockFree(std::size_t pid, std::size_t n,
+                    std::uint64_t penalty_cap = 0);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override {
+    return penalty_cap_ ? "capped-backoff-lock-free" : "unbounded-lock-free";
+  }
+
+  std::uint64_t pending_penalty_reads() const noexcept { return penalty_; }
+
+  static constexpr std::size_t registers_required() { return 2; }
+  static StepMachineFactory factory();
+  /// The bounded variant: penalties truncate at `penalty_cap` reads.
+  static StepMachineFactory capped_factory(std::uint64_t penalty_cap);
+
+ private:
+  std::size_t pid_;
+  std::size_t n_;
+  std::uint64_t penalty_cap_;
+  Value v_ = 0;
+  std::uint64_t penalty_ = 0;
+};
+
+}  // namespace pwf::core

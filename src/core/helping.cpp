@@ -1,0 +1,142 @@
+#include "core/helping.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace pwf::core {
+
+HelpedUniversal::HelpedUniversal(std::size_t pid, std::size_t n,
+                                 std::size_t max_cells_per_process)
+    : pid_(pid), n_(n), max_cells_(max_cells_per_process) {
+  if (pid >= n) throw std::invalid_argument("HelpedUniversal: pid >= n");
+  if (max_cells_per_process == 0) {
+    throw std::invalid_argument("HelpedUniversal: need a cell budget");
+  }
+}
+
+std::size_t HelpedUniversal::registers_required(
+    std::size_t n, std::size_t max_cells_per_process) {
+  return 3 + n + 2 * n * max_cells_per_process;
+}
+
+StepMachineFactory HelpedUniversal::factory(
+    std::size_t max_cells_per_process) {
+  return [max_cells_per_process](std::size_t pid, std::size_t n) {
+    return std::make_unique<HelpedUniversal>(pid, n, max_cells_per_process);
+  };
+}
+
+bool HelpedUniversal::step(SharedMemory& mem) {
+  switch (phase_) {
+    case Phase::kAnnounce: {
+      if (cells_used_ == max_cells_) {
+        throw std::runtime_error("HelpedUniversal: cell arena exhausted");
+      }
+      // Fresh cell: registers are zero-initialized and never reused, so
+      // next == 0 and seq == 0 hold without extra writes.
+      const std::uint64_t cell_index = pid_ + cells_used_ * n_;
+      ++cells_used_;
+      my_cell_ = arena_base() + 2 * cell_index;
+      mem.write(1 + pid_, my_cell_);
+      phase_ = Phase::kCheckDone;
+      return false;
+    }
+    case Phase::kCheckDone: {
+      const Value seq = mem.read(my_cell_ + 1);
+      if (seq != 0) {
+        last_ticket_ = seq;
+        phase_ = Phase::kAnnounce;
+        return true;  // someone (maybe us) threaded our cell: op complete
+      }
+      phase_ = Phase::kReadHead;
+      return false;
+    }
+    case Phase::kReadHead: {
+      const Value raw = mem.read(0);
+      if (raw == 0) {
+        head_pos_ = 0;
+        head_ref_ = sentinel_ref();
+      } else {
+        head_pos_ = raw >> 32;
+        head_ref_ = raw & 0xffffffffULL;
+      }
+      phase_ = Phase::kReadTurn;
+      return false;
+    }
+    case Phase::kReadTurn: {
+      turn_cell_ = mem.read(1 + (head_pos_ % n_));
+      if (turn_cell_ == 0) {
+        // Turn process has never announced: fall back to our own cell,
+        // after re-checking we are still pending.
+        phase_ = Phase::kRecheckOwn;
+      } else {
+        phase_ = Phase::kReadTurnSeq;
+      }
+      return false;
+    }
+    case Phase::kReadTurnSeq: {
+      const Value seq = mem.read(turn_cell_ + 1);
+      if (seq == 0) {
+        // The turn process has a pending cell: help it first.
+        candidate_ = turn_cell_;
+        phase_ = Phase::kCasNext;
+      } else {
+        phase_ = Phase::kRecheckOwn;
+      }
+      return false;
+    }
+    case Phase::kRecheckOwn: {
+      // We are about to propose our own cell; if it was threaded since the
+      // round began (possibly making it the head cell itself), proposing
+      // it would create a cycle — and we are in fact done.
+      const Value seq = mem.read(my_cell_ + 1);
+      if (seq != 0) {
+        last_ticket_ = seq;
+        phase_ = Phase::kAnnounce;
+        return true;
+      }
+      candidate_ = my_cell_;
+      phase_ = Phase::kCasNext;
+      return false;
+    }
+    case Phase::kCasNext: {
+      // Thread the candidate after the head cell. next == 0 exactly until
+      // the unique successor is installed; cells are never reused, so the
+      // CAS is ABA-free.
+      mem.cas(head_ref_, 0, candidate_);
+      phase_ = Phase::kReadNext;
+      return false;
+    }
+    case Phase::kReadNext: {
+      const Value successor = mem.read(head_ref_);
+      if (successor == 0) {
+        // Impossible: our own kCasNext either installed a successor or
+        // failed because one was already installed, and next pointers are
+        // write-once (cells are never reused).
+        throw std::logic_error("HelpedUniversal: head cell lost its successor");
+      }
+      candidate_ = successor;  // reuse as "s" for the finish-up steps
+      phase_ = Phase::kWriteSeq;
+      return false;
+    }
+    case Phase::kWriteSeq: {
+      // Idempotent: every helper that saw HEAD = (k, h) computes the same
+      // position k+1 for h's unique successor.
+      mem.write(candidate_ + 1, head_pos_ + 1);
+      phase_ = Phase::kCasHead;
+      return false;
+    }
+    case Phase::kCasHead: {
+      const Value expected =
+          head_pos_ == 0 && head_ref_ == sentinel_ref()
+              ? 0
+              : pack(head_pos_, head_ref_);
+      mem.cas(0, expected, pack(head_pos_ + 1, candidate_));
+      phase_ = Phase::kCheckDone;
+      return false;
+    }
+  }
+  return false;  // unreachable
+}
+
+}  // namespace pwf::core

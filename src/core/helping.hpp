@@ -1,0 +1,98 @@
+// A wait-free universal object with announce-and-help, in step-machine
+// form — the "specialized helping mechanism" whose cost the paper's
+// introduction argues programmers can usually avoid (Section 1: the
+// difference between a wait-free and a lock-free algorithm "typically
+// involves the introduction of specialized helping mechanisms, which
+// significantly increase the complexity ... of the solution").
+//
+// The construction is Herlihy-style: operations are cells threaded onto a
+// global linked history. Every process announces its cell, then repeatedly
+// helps thread the announced cell of the process whose turn it is (turn =
+// head position mod n), falling back to its own cell. Threading a cell is
+// one CAS on the head cell's next pointer; the helper then writes the new
+// cell's position and swings the HEAD register. A process is done when its
+// cell has been threaded (its seq register becomes non-zero) — no matter
+// who threaded it, so every operation completes within O(n) of its own
+// steps under ANY schedule: wait-free, with the helping overhead of ~7
+// shared-memory steps per help round.
+//
+// Cells are allocated fresh from a per-process arena region and never
+// reused, which makes every CAS ABA-free (mirroring an implementation that
+// relies on a reclamation scheme such as the EBR in src/lockfree).
+//
+// Register layout (see registers_required):
+//   [0]                 HEAD: (position << 32) | cell_ref; raw 0 decodes
+//                       as (0, sentinel).
+//   [1 .. n]            announce[i]: cell_ref of process i's pending cell.
+//   [1+n, 2+n]          the sentinel cell (next, seq).
+//   [3+n ..]            cell arena; cell c occupies registers
+//                       base + 2c (next) and base + 2c + 1 (seq).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/memory.hpp"
+#include "core/step_machine.hpp"
+
+namespace pwf::core {
+
+/// Wait-free universal object (ticket dispenser flavour: each completed
+/// operation owns a unique, dense history position).
+class HelpedUniversal final : public StepMachine {
+ public:
+  /// `max_cells_per_process`: arena budget; one cell per completed or
+  /// attempted operation of this process. The simulation throws if a
+  /// process exhausts its budget.
+  HelpedUniversal(std::size_t pid, std::size_t n,
+                  std::size_t max_cells_per_process);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override { return "helped-universal"; }
+
+  /// History position of the last completed operation (unique across all
+  /// completions, dense from 1).
+  std::uint64_t last_ticket() const noexcept { return last_ticket_; }
+
+  static std::size_t registers_required(std::size_t n,
+                                        std::size_t max_cells_per_process);
+
+  static StepMachineFactory factory(std::size_t max_cells_per_process);
+
+ private:
+  enum class Phase {
+    kAnnounce,     // write announce[pid] = fresh cell
+    kCheckDone,    // read own cell.seq; non-zero => operation complete
+    kReadHead,     // read HEAD -> (k, h)
+    kReadTurn,     // read announce[k mod n] -> a
+    kReadTurnSeq,  // read a.seq: pending? candidate = a : own
+    kRecheckOwn,   // before proposing own cell, re-read own seq (done?)
+    kCasNext,      // CAS(h.next, 0, candidate)
+    kReadNext,     // read h.next -> s (whoever won)
+    kWriteSeq,     // write s.seq = k + 1 (idempotent)
+    kCasHead,      // CAS(HEAD, (k, h), (k+1, s))
+  };
+
+  // HEAD encoding.
+  static constexpr Value pack(std::uint64_t position, std::uint64_t ref) {
+    return (position << 32) | ref;
+  }
+  std::uint64_t sentinel_ref() const noexcept { return 1 + n_; }
+  std::uint64_t arena_base() const noexcept { return 3 + n_; }
+
+  std::size_t pid_;
+  std::size_t n_;
+  std::size_t max_cells_;
+  std::size_t cells_used_ = 0;
+
+  Phase phase_ = Phase::kAnnounce;
+  std::uint64_t my_cell_ = 0;    // register index of my pending cell
+  std::uint64_t head_pos_ = 0;   // k from the last HEAD read
+  std::uint64_t head_ref_ = 0;   // h from the last HEAD read
+  std::uint64_t turn_cell_ = 0;  // announced cell of the turn process
+  std::uint64_t candidate_ = 0;  // cell we will try to thread
+  std::uint64_t last_ticket_ = 0;
+};
+
+}  // namespace pwf::core

@@ -1,0 +1,33 @@
+#include "core/latency.hpp"
+
+#include <algorithm>
+
+namespace pwf::core {
+
+LatencyDistributionObserver::LatencyDistributionObserver(std::size_t n,
+                                                         double hist_hi,
+                                                         std::size_t buckets)
+    : last_completion_(n, 0), histogram_(0.0, hist_hi, buckets) {}
+
+void LatencyDistributionObserver::on_step(std::uint64_t tau,
+                                          std::size_t process,
+                                          bool completed) {
+  if (!completed) return;
+  const std::uint64_t latency = tau - last_completion_.at(process);
+  last_completion_[process] = tau;
+  const auto as_double = static_cast<double>(latency);
+  histogram_.add(as_double);
+  stats_.add(as_double);
+  raw_.push_back(as_double);
+  max_latency_ = std::max(max_latency_, latency);
+}
+
+double LatencyDistributionObserver::tail_fraction(double threshold) const {
+  if (raw_.empty()) return 0.0;
+  const auto over = static_cast<double>(
+      std::count_if(raw_.begin(), raw_.end(),
+                    [threshold](double x) { return x > threshold; }));
+  return over / static_cast<double>(raw_.size());
+}
+
+}  // namespace pwf::core

@@ -1,0 +1,42 @@
+#include "core/memory.hpp"
+
+#include <stdexcept>
+
+namespace pwf::core {
+
+SharedMemory::SharedMemory(std::size_t num_registers, Value initial)
+    : regs_(num_registers, initial) {
+  if (num_registers == 0) {
+    throw std::invalid_argument("SharedMemory: need at least one register");
+  }
+}
+
+Value SharedMemory::read(std::size_t r) {
+  ++ops_;
+  return regs_.at(r);
+}
+
+void SharedMemory::write(std::size_t r, Value v) {
+  ++ops_;
+  regs_.at(r) = v;
+}
+
+bool SharedMemory::cas(std::size_t r, Value expected, Value desired) {
+  ++ops_;
+  Value& reg = regs_.at(r);
+  if (reg == expected) {
+    reg = desired;
+    return true;
+  }
+  return false;
+}
+
+Value SharedMemory::cas_fetch(std::size_t r, Value expected, Value desired) {
+  ++ops_;
+  Value& reg = regs_.at(r);
+  const Value before = reg;
+  if (before == expected) reg = desired;
+  return before;
+}
+
+}  // namespace pwf::core

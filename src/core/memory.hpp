@@ -1,0 +1,54 @@
+// Simulated shared memory (paper, Section 2.1): a fixed array of registers
+// supporting atomic read, write, compare-and-swap, and the "augmented" CAS
+// of Section 7 that returns the current value of the register. Every call
+// counts as exactly one shared-memory step, the paper's unit of cost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pwf::core {
+
+using Value = std::uint64_t;
+
+/// The register array a simulation's step machines operate on. Not
+/// thread-safe: the simulation is a sequential discrete-event model in
+/// which one process steps per time unit, which is exactly the paper's
+/// atomicity assumption.
+class SharedMemory {
+ public:
+  explicit SharedMemory(std::size_t num_registers, Value initial = 0);
+
+  std::size_t num_registers() const noexcept { return regs_.size(); }
+
+  Value read(std::size_t r);
+  void write(std::size_t r, Value v);
+
+  /// Classic CAS: if regs[r] == expected, set it to desired and return
+  /// true; otherwise return false.
+  bool cas(std::size_t r, Value expected, Value desired);
+
+  /// Augmented CAS (paper, Section 7): performs the same update but returns
+  /// the value the register held *before* the operation, so a failed caller
+  /// learns the current value. (On success the returned value equals
+  /// `expected`.)
+  Value cas_fetch(std::size_t r, Value expected, Value desired);
+
+  /// Total shared-memory operations performed ("system steps").
+  std::uint64_t ops() const noexcept { return ops_; }
+
+  /// Peek without counting a step (for assertions and metrics only).
+  Value peek(std::size_t r) const { return regs_.at(r); }
+
+  /// Set a register without counting a step (for pre-execution
+  /// initialization of data-structure invariants, e.g. a queue's dummy
+  /// node; never call mid-simulation).
+  void poke(std::size_t r, Value v) { regs_.at(r) = v; }
+
+ private:
+  std::vector<Value> regs_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace pwf::core

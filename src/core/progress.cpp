@@ -1,0 +1,53 @@
+#include "core/progress.hpp"
+
+#include <algorithm>
+
+namespace pwf::core {
+
+ProgressTracker::ProgressTracker(std::size_t n)
+    : last_completion_by_(n, 0), max_gap_by_(n, 0), completions_by_(n, 0) {}
+
+void ProgressTracker::on_step(std::uint64_t tau, std::size_t process,
+                              bool completed) {
+  now_ = tau;
+  if (!completed) return;
+  max_system_gap_ = std::max(max_system_gap_, tau - last_completion_);
+  last_completion_ = tau;
+  max_gap_by_[process] =
+      std::max(max_gap_by_[process], tau - last_completion_by_[process]);
+  last_completion_by_[process] = tau;
+  ++completions_by_[process];
+}
+
+std::uint64_t ProgressTracker::max_individual_gap(std::size_t p) const {
+  // Include the still-open gap so a starving process is visible.
+  return std::max(max_gap_by_.at(p), now_ - last_completion_by_.at(p));
+}
+
+std::uint64_t ProgressTracker::max_individual_gap() const {
+  std::uint64_t worst = 0;
+  for (std::size_t p = 0; p < max_gap_by_.size(); ++p) {
+    worst = std::max(worst, max_individual_gap(p));
+  }
+  return worst;
+}
+
+std::uint64_t ProgressTracker::completions(std::size_t p) const {
+  return completions_by_.at(p);
+}
+
+bool ProgressTracker::every_process_completed() const {
+  return std::all_of(completions_by_.begin(), completions_by_.end(),
+                     [](std::uint64_t c) { return c > 0; });
+}
+
+std::vector<std::size_t> ProgressTracker::starving(
+    std::uint64_t threshold) const {
+  std::vector<std::size_t> out;
+  for (std::size_t p = 0; p < last_completion_by_.size(); ++p) {
+    if (now_ - last_completion_by_[p] > threshold) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace pwf::core

@@ -1,0 +1,63 @@
+// Progress-condition checkers (paper, Section 2.2 and Section 4).
+//
+// Minimal progress: in every suffix, some pending invocation completes.
+// Maximal progress: in every suffix, every pending invocation completes.
+// Bounded minimal progress with bound B: from any step with a pending
+// active invocation, some invocation returns within the next B system
+// steps. Theorem 3 says a stochastic scheduler turns bounded minimal
+// progress into maximal progress with probability 1, with expected
+// per-operation bound (1/theta)^T.
+//
+// These trackers observe a Simulation and report the empirical analogues:
+// the largest observed system gap between completions (minimal progress
+// bound), per-process gaps (maximal progress), and starvation flags.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace pwf::core {
+
+/// Observes completions and tracks the empirical progress bounds.
+class ProgressTracker final : public SimObserver {
+ public:
+  explicit ProgressTracker(std::size_t n);
+
+  void on_step(std::uint64_t tau, std::size_t process, bool completed) override;
+
+  /// Largest observed gap (in system steps) between consecutive
+  /// completions by anyone — the empirical minimal-progress bound.
+  std::uint64_t max_system_gap() const noexcept { return max_system_gap_; }
+
+  /// Largest observed gap between consecutive completions of process p —
+  /// the empirical maximal-progress bound for p. Gaps still open at the end
+  /// of the run are included (censored from below).
+  std::uint64_t max_individual_gap(std::size_t p) const;
+
+  /// Largest individual gap over all processes.
+  std::uint64_t max_individual_gap() const;
+
+  std::uint64_t completions(std::size_t p) const;
+
+  /// True iff every process has completed at least one invocation — the
+  /// observable part of maximal progress.
+  bool every_process_completed() const;
+
+  /// Processes whose open gap at the end of observation exceeds
+  /// `threshold` system steps (starvation suspects for Lemma 2's
+  /// unbounded algorithm).
+  std::vector<std::size_t> starving(std::uint64_t threshold) const;
+
+ private:
+  std::uint64_t now_ = 0;
+  std::uint64_t last_completion_ = 0;
+  std::uint64_t max_system_gap_ = 0;
+  std::vector<std::uint64_t> last_completion_by_;
+  std::vector<std::uint64_t> max_gap_by_;
+  std::vector<std::uint64_t> completions_by_;
+};
+
+}  // namespace pwf::core

@@ -1,0 +1,72 @@
+#include "core/progress_zoo.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace pwf::core {
+
+SpinlockCounter::SpinlockCounter(std::size_t pid) : pid_(pid) { (void)pid_; }
+
+StepMachineFactory SpinlockCounter::factory() {
+  return [](std::size_t pid, std::size_t /*n*/) {
+    return std::make_unique<SpinlockCounter>(pid);
+  };
+}
+
+bool SpinlockCounter::step(SharedMemory& mem) {
+  switch (phase_) {
+    case Phase::kAcquire:
+      if (mem.cas(0, 0, 1)) phase_ = Phase::kReadCounter;
+      return false;  // spinning costs a step either way
+    case Phase::kReadCounter:
+      counter_snapshot_ = mem.read(1);
+      phase_ = Phase::kWriteCounter;
+      return false;
+    case Phase::kWriteCounter:
+      mem.write(1, counter_snapshot_ + 1);
+      phase_ = Phase::kRelease;
+      return false;
+    case Phase::kRelease:
+      mem.write(0, 0);
+      phase_ = Phase::kAcquire;
+      return true;
+  }
+  return false;  // unreachable
+}
+
+ObstructionPair::ObstructionPair(std::size_t pid, std::size_t n)
+    : pid_(pid), tag_(static_cast<Value>(pid) + 1) {
+  if (pid >= n) throw std::invalid_argument("ObstructionPair: pid >= n");
+}
+
+StepMachineFactory ObstructionPair::factory() {
+  return [](std::size_t pid, std::size_t n) {
+    return std::make_unique<ObstructionPair>(pid, n);
+  };
+}
+
+bool ObstructionPair::step(SharedMemory& mem) {
+  switch (phase_) {
+    case Phase::kWriteA:
+      mem.write(0, tag_);
+      phase_ = Phase::kWriteB;
+      return false;
+    case Phase::kWriteB:
+      mem.write(1, tag_);
+      phase_ = Phase::kCheckA;
+      return false;
+    case Phase::kCheckA:
+      phase_ = mem.read(0) == tag_ ? Phase::kCheckB : Phase::kWriteA;
+      return false;
+    case Phase::kCheckB:
+      if (mem.read(1) == tag_) {
+        phase_ = Phase::kWriteA;
+        return true;  // both claims validated: the operation commits
+      }
+      phase_ = Phase::kWriteA;
+      return false;
+  }
+  return false;  // unreachable
+}
+
+}  // namespace pwf::core

@@ -1,0 +1,87 @@
+// The rest of the paper's Section 2.2 progress-property zoo, as step
+// machines, so the full hierarchy can be exercised side by side:
+//
+//   blocking deadlock-free   SpinlockCounter   (locks: minimal progress
+//                                              only while nobody crashes
+//                                              holding the lock)
+//   obstruction-free         ObstructionPair   (maximal progress only in
+//                                              uniformly isolating
+//                                              executions; livelocks under
+//                                              lock-step interference)
+//   lock-free                ScuAlgorithm      (core/algorithms.hpp)
+//   wait-free                HelpedUniversal   (core/helping.hpp)
+//
+// Theorem 3 applies to any *bounded* minimal/maximal progress condition,
+// so under a stochastic scheduler all the non-blocking rungs become
+// practically wait-free — at very different latency costs, which the
+// progress_hierarchy bench quantifies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/memory.hpp"
+#include "core/step_machine.hpp"
+
+namespace pwf::core {
+
+/// A blocking counter: test-and-set spinlock around a read+write critical
+/// section. Deadlock-free (crash-free executions always make minimal
+/// progress; the uniform scheduler even makes it starvation-free in
+/// practice) but *blocking*: a process that crashes while holding the
+/// lock halts every other process forever — the dichotomy the paper draws
+/// in Section 2.2.
+///
+/// Registers: [0] = lock (0 free, 1 held), [1] = counter.
+class SpinlockCounter final : public StepMachine {
+ public:
+  explicit SpinlockCounter(std::size_t pid);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override { return "spinlock-counter"; }
+
+  /// True while this process holds the lock (used by tests to crash the
+  /// holder at the worst moment).
+  bool holds_lock() const noexcept { return phase_ != Phase::kAcquire; }
+
+  static constexpr std::size_t registers_required() { return 2; }
+  static StepMachineFactory factory();
+
+ private:
+  enum class Phase { kAcquire, kReadCounter, kWriteCounter, kRelease };
+
+  std::size_t pid_;
+  Phase phase_ = Phase::kAcquire;
+  Value counter_snapshot_ = 0;
+};
+
+/// The canonical obstruction-free pattern: claim two registers with your
+/// tag, then validate both still carry it. A process running in isolation
+/// finishes in four steps (bounded obstruction-freedom, T = 4), but two
+/// processes in lock-step can overwrite each other's claims forever:
+/// *no* operation completes — minimal progress fails, so the algorithm is
+/// obstruction-free but not lock-free. Under the uniform stochastic
+/// scheduler, Theorem 3 (for bounded clash-freedom) still delivers
+/// maximal progress with probability 1.
+///
+/// Registers: [0] = claim A, [1] = claim B.
+class ObstructionPair final : public StepMachine {
+ public:
+  ObstructionPair(std::size_t pid, std::size_t n);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override { return "obstruction-pair"; }
+
+  static constexpr std::size_t registers_required() { return 2; }
+  static StepMachineFactory factory();
+
+ private:
+  enum class Phase { kWriteA, kWriteB, kCheckA, kCheckB };
+
+  std::size_t pid_;
+  Phase phase_ = Phase::kWriteA;
+  Value tag_;
+};
+
+}  // namespace pwf::core

@@ -1,0 +1,150 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pwf::core {
+
+std::size_t UniformScheduler::next(std::uint64_t /*tau*/,
+                                   std::span<const std::size_t> active,
+                                   Xoshiro256pp& rng) {
+  return active[rng.uniform(active.size())];
+}
+
+double UniformScheduler::theta(std::size_t num_active) const {
+  return num_active ? 1.0 / static_cast<double>(num_active) : 0.0;
+}
+
+WeightedScheduler::WeightedScheduler(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  if (weights_.empty()) {
+    throw std::invalid_argument("WeightedScheduler: empty weights");
+  }
+  min_weight_ = weights_[0];
+  total_weight_ = 0.0;
+  for (double w : weights_) {
+    if (!(w > 0.0)) {
+      throw std::invalid_argument("WeightedScheduler: weights must be > 0");
+    }
+    min_weight_ = std::min(min_weight_, w);
+    total_weight_ += w;
+  }
+}
+
+std::size_t WeightedScheduler::next(std::uint64_t /*tau*/,
+                                    std::span<const std::size_t> active,
+                                    Xoshiro256pp& rng) {
+  double total = 0.0;
+  for (std::size_t p : active) total += weights_.at(p);
+  double x = rng.uniform_double() * total;
+  for (std::size_t p : active) {
+    x -= weights_.at(p);
+    if (x < 0.0) return p;
+  }
+  return active.back();  // numerical fallthrough
+}
+
+double WeightedScheduler::theta(std::size_t num_active) const {
+  // Lower bound over all active sets of the given size: the minimum weight
+  // against the full total (removing crashed processes only increases each
+  // remaining probability).
+  (void)num_active;
+  return min_weight_ / total_weight_;
+}
+
+WeightedScheduler make_zipf_scheduler(std::size_t n, double exponent) {
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+  }
+  return WeightedScheduler(std::move(weights));
+}
+
+WeightedScheduler make_lottery_scheduler(std::vector<unsigned> tickets) {
+  std::vector<double> weights;
+  weights.reserve(tickets.size());
+  for (unsigned t : tickets) weights.push_back(static_cast<double>(t));
+  return WeightedScheduler(std::move(weights));
+}
+
+StickyScheduler::StickyScheduler(double rho) : rho_(rho) {
+  if (!(rho >= 0.0 && rho < 1.0)) {
+    throw std::invalid_argument("StickyScheduler: need 0 <= rho < 1");
+  }
+}
+
+std::size_t StickyScheduler::next(std::uint64_t /*tau*/,
+                                  std::span<const std::size_t> active,
+                                  Xoshiro256pp& rng) {
+  if (prev_ != static_cast<std::size_t>(-1) && rng.bernoulli(rho_) &&
+      std::binary_search(active.begin(), active.end(), prev_)) {
+    return prev_;
+  }
+  prev_ = active[rng.uniform(active.size())];
+  return prev_;
+}
+
+double StickyScheduler::theta(std::size_t num_active) const {
+  return num_active ? (1.0 - rho_) / static_cast<double>(num_active) : 0.0;
+}
+
+std::size_t RoundRobinScheduler::next(std::uint64_t /*tau*/,
+                                      std::span<const std::size_t> active,
+                                      Xoshiro256pp& /*rng*/) {
+  const std::size_t chosen = active[cursor_ % active.size()];
+  ++cursor_;
+  return chosen;
+}
+
+AdversarialScheduler::AdversarialScheduler(Strategy strategy, std::string label)
+    : strategy_(std::move(strategy)), label_(std::move(label)) {
+  if (!strategy_) {
+    throw std::invalid_argument("AdversarialScheduler: null strategy");
+  }
+}
+
+std::size_t AdversarialScheduler::next(std::uint64_t tau,
+                                       std::span<const std::size_t> active,
+                                       Xoshiro256pp& /*rng*/) {
+  const std::size_t chosen = strategy_(tau, active);
+  if (!std::binary_search(active.begin(), active.end(), chosen)) {
+    throw std::logic_error(
+        "AdversarialScheduler: strategy chose an inactive process");
+  }
+  return chosen;
+}
+
+ThetaMixScheduler::ThetaMixScheduler(double theta,
+                                     std::unique_ptr<Scheduler> inner)
+    : theta_(theta), inner_(std::move(inner)) {
+  if (!(theta > 0.0)) {
+    throw std::invalid_argument("ThetaMixScheduler: need theta > 0");
+  }
+  if (!inner_) {
+    throw std::invalid_argument("ThetaMixScheduler: null inner scheduler");
+  }
+}
+
+std::size_t ThetaMixScheduler::next(std::uint64_t tau,
+                                    std::span<const std::size_t> active,
+                                    Xoshiro256pp& rng) {
+  const double uniform_mass = theta_ * static_cast<double>(active.size());
+  if (uniform_mass > 1.0) {
+    throw std::logic_error("ThetaMixScheduler: n * theta > 1");
+  }
+  if (rng.bernoulli(uniform_mass)) {
+    return active[rng.uniform(active.size())];
+  }
+  return inner_->next(tau, active, rng);
+}
+
+double ThetaMixScheduler::theta(std::size_t /*num_active*/) const {
+  return theta_;
+}
+
+std::string ThetaMixScheduler::name() const {
+  return "theta-mix(" + inner_->name() + ")";
+}
+
+}  // namespace pwf::core

@@ -1,0 +1,161 @@
+// Stochastic schedulers (paper, Definition 1).
+//
+// A scheduler for n processes is a triple (Pi_tau, A_tau, theta): at every
+// discrete time step tau it draws the process to schedule from a
+// distribution Pi_tau supported on the possibly-active set A_tau, and it is
+// *stochastic* when every active process has probability >= theta > 0
+// (weak fairness). The simulation engine owns A_tau (crashes only shrink
+// it — crash containment); a Scheduler implements Pi_tau.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pwf::core {
+
+/// Chooses which process takes the next step. Implementations may be
+/// randomized (stochastic schedulers) or deterministic (adversaries).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Returns the process to schedule at time `tau`. `active` is A_tau, the
+  /// non-crashed processes, sorted ascending and never empty. `rng` is the
+  /// simulation's random stream.
+  virtual std::size_t next(std::uint64_t tau,
+                           std::span<const std::size_t> active,
+                           Xoshiro256pp& rng) = 0;
+
+  /// The weak-fairness threshold theta given the current number of active
+  /// processes: every active process is scheduled with probability at least
+  /// theta at every step. Returns 0 for non-stochastic (adversarial)
+  /// schedulers.
+  virtual double theta(std::size_t num_active) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The uniform stochastic scheduler (paper, Section 2.3): every active
+/// process is scheduled with probability exactly 1/|A_tau|. theta = 1/n.
+class UniformScheduler final : public Scheduler {
+ public:
+  std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
+                   Xoshiro256pp& rng) override;
+  double theta(std::size_t num_active) const override;
+  std::string name() const override { return "uniform"; }
+};
+
+/// A fixed-weight stochastic scheduler: process i is chosen with probability
+/// proportional to weights[i] among the active set. Models lottery
+/// scheduling (Petrou et al., reference [19] in the paper) and any other
+/// non-uniform Pi with a positive threshold.
+class WeightedScheduler final : public Scheduler {
+ public:
+  /// All weights must be > 0 (otherwise theta would be 0 and the scheduler
+  /// would not be stochastic; use an adversary for that).
+  explicit WeightedScheduler(std::vector<double> weights);
+
+  std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
+                   Xoshiro256pp& rng) override;
+  double theta(std::size_t num_active) const override;
+  std::string name() const override { return "weighted"; }
+
+ private:
+  std::vector<double> weights_;
+  double min_weight_;
+  double total_weight_;
+};
+
+/// Zipf-weighted scheduler: weight of process i is 1/(i+1)^exponent.
+/// An extension probe for the paper's Section 8 question about non-uniform
+/// stochastic schedulers.
+WeightedScheduler make_zipf_scheduler(std::size_t n, double exponent);
+
+/// Lottery scheduling (Petrou, Milford & Gibson — the paper's reference
+/// [19]): each process holds an integer number of tickets and is scheduled
+/// with probability proportional to its holding. theta = min tickets /
+/// total tickets > 0, so every lottery scheduler is stochastic.
+WeightedScheduler make_lottery_scheduler(std::vector<unsigned> tickets);
+
+/// A sticky (bursty) stochastic scheduler: with probability rho it
+/// reschedules the previously scheduled process (if still active),
+/// otherwise it picks uniformly. theta = (1 - rho)/n > 0, so Theorem 3
+/// still applies; used to probe robustness of the uniform-model
+/// predictions against schedule burstiness.
+class StickyScheduler final : public Scheduler {
+ public:
+  /// Precondition: 0 <= rho < 1.
+  explicit StickyScheduler(double rho);
+
+  std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
+                   Xoshiro256pp& rng) override;
+  double theta(std::size_t num_active) const override;
+  std::string name() const override { return "sticky"; }
+
+ private:
+  double rho_;
+  std::size_t prev_ = static_cast<std::size_t>(-1);
+};
+
+/// Deterministic round-robin over the active set. Not stochastic
+/// (theta = 0 under Definition 1, since the choice is a point mass), but
+/// uniformly fair; useful as a baseline.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
+                   Xoshiro256pp& rng) override;
+  double theta(std::size_t num_active) const override { (void)num_active; return 0.0; }
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// A fully adversarial scheduler driven by a callback: models the classic
+/// worst-case adversary by putting probability 1 on its chosen process
+/// (paper, "An Adversarial Scheduler"). theta = 0.
+class AdversarialScheduler final : public Scheduler {
+ public:
+  using Strategy = std::function<std::size_t(
+      std::uint64_t tau, std::span<const std::size_t> active)>;
+
+  explicit AdversarialScheduler(Strategy strategy, std::string label = "adversarial");
+
+  std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
+                   Xoshiro256pp& rng) override;
+  double theta(std::size_t num_active) const override { (void)num_active; return 0.0; }
+  std::string name() const override { return label_; }
+
+ private:
+  Strategy strategy_;
+  std::string label_;
+};
+
+/// Theta-mixed scheduler: with probability n*theta it schedules uniformly,
+/// otherwise it defers to an inner (possibly adversarial) scheduler. This
+/// realizes an *arbitrary* stochastic scheduler with threshold exactly
+/// theta, the minimal assumption of Theorem 3.
+class ThetaMixScheduler final : public Scheduler {
+ public:
+  /// Precondition: 0 < theta and n_max * theta <= 1 for every active-set
+  /// size used (checked at next()).
+  ThetaMixScheduler(double theta, std::unique_ptr<Scheduler> inner);
+
+  std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
+                   Xoshiro256pp& rng) override;
+  double theta(std::size_t num_active) const override;
+  std::string name() const override;
+
+ private:
+  double theta_;
+  std::unique_ptr<Scheduler> inner_;
+};
+
+}  // namespace pwf::core

@@ -1,0 +1,187 @@
+#include "core/sim_queue.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace pwf::core {
+
+SimQueue::SimQueue(std::size_t pid, std::size_t n,
+                   std::size_t slots_per_process)
+    : pid_(pid), n_(n), phase_(Phase::kEnqWriteValue) {
+  if (pid >= n) throw std::invalid_argument("SimQueue: pid >= n");
+  if (slots_per_process == 0) {
+    throw std::invalid_argument("SimQueue: need at least one slot");
+  }
+  pool_.reserve(slots_per_process);
+  // Slot 1 is the shared initial dummy; private slots start at 2.
+  for (std::size_t s = 0; s < slots_per_process; ++s) {
+    pool_.push_back({2 + pid * slots_per_process + s, /*gen=*/0});
+  }
+  begin_op();
+}
+
+std::size_t SimQueue::registers_required(std::size_t n,
+                                         std::size_t slots_per_process) {
+  const std::size_t slots = 1 + n * slots_per_process;
+  return 2 * (slots + 1);
+}
+
+std::vector<std::pair<std::size_t, Value>> SimQueue::initial_values() {
+  // head = tail = (tag 0, dummy slot 1).
+  return {{0, pack(0, 1)}, {1, pack(0, 1)}};
+}
+
+StepMachineFactory SimQueue::factory(std::size_t slots_per_process) {
+  return [slots_per_process](std::size_t pid, std::size_t n) {
+    return std::make_unique<SimQueue>(pid, n, slots_per_process);
+  };
+}
+
+void SimQueue::begin_op() {
+  const bool enqueue_turn = op_counter_ % 2 == 0;
+  if (enqueue_turn && !pool_.empty()) {
+    my_slot_ = pool_.back().first;
+    my_gen_ = pool_.back().second + 1;  // new usage epoch for this slot
+    phase_ = Phase::kEnqWriteValue;
+  } else {
+    phase_ = Phase::kDeqReadHead;
+  }
+}
+
+bool SimQueue::step(SharedMemory& mem) {
+  switch (phase_) {
+    // ---- enqueue --------------------------------------------------------
+    case Phase::kEnqWriteValue: {
+      const Value value =
+          (static_cast<Value>(pid_ + 1) << 32) | static_cast<Value>(enqueues_);
+      mem.write(value_reg(my_slot_), value);
+      phase_ = Phase::kEnqResetNext;
+      return false;
+    }
+    case Phase::kEnqResetNext: {
+      // Bump the generation: any stale CAS against the old epoch fails.
+      mem.write(next_reg(my_slot_), pack(my_gen_, 0));
+      phase_ = Phase::kEnqReadTail;
+      return false;
+    }
+    case Phase::kEnqReadTail: {
+      tail_snapshot_ = mem.read(1);
+      phase_ = Phase::kEnqReadNext;
+      return false;
+    }
+    case Phase::kEnqReadNext: {
+      next_snapshot_ = mem.read(next_reg(lo_of(tail_snapshot_)));
+      phase_ = Phase::kEnqRecheckTail;
+      return false;
+    }
+    case Phase::kEnqRecheckTail: {
+      // The Michael-Scott consistency check: the next field we just read
+      // is only meaningful if the tail register has not moved in between.
+      // Together with the generation stamp on next this makes slot reuse
+      // safe: a slot recycled *before* the next-read moves the (tagged)
+      // tail and fails this check; one recycled *after* bumps the
+      // generation and fails the kEnqCasNext below.
+      const Value tail_now = mem.read(1);
+      if (tail_now != tail_snapshot_) {
+        tail_snapshot_ = tail_now;
+        phase_ = Phase::kEnqReadNext;
+        return false;
+      }
+      phase_ = lo_of(next_snapshot_) != 0 ? Phase::kEnqHelpTail
+                                          : Phase::kEnqCasNext;
+      return false;
+    }
+    case Phase::kEnqHelpTail: {
+      // Tail is lagging: help swing it to its successor, then retry.
+      mem.cas(1, tail_snapshot_,
+              pack(hi_of(tail_snapshot_) + 1, lo_of(next_snapshot_)));
+      phase_ = Phase::kEnqReadTail;
+      return false;
+    }
+    case Phase::kEnqCasNext: {
+      // Link my node after the observed tail. Expected value carries the
+      // generation we read, so reused slots cannot be confused.
+      if (mem.cas(next_reg(lo_of(tail_snapshot_)), next_snapshot_,
+                  pack(hi_of(next_snapshot_), my_slot_))) {
+        phase_ = Phase::kEnqSwingTail;
+      } else {
+        phase_ = Phase::kEnqReadTail;
+      }
+      return false;
+    }
+    case Phase::kEnqSwingTail: {
+      mem.cas(1, tail_snapshot_, pack(hi_of(tail_snapshot_) + 1, my_slot_));
+      pool_.pop_back();  // the slot now belongs to the queue
+      ++enqueues_;
+      ++op_counter_;
+      begin_op();
+      return true;  // linearized at the successful kEnqCasNext
+    }
+    // ---- dequeue --------------------------------------------------------
+    case Phase::kDeqReadHead: {
+      head_snapshot_ = mem.read(0);
+      phase_ = Phase::kDeqReadTail;
+      return false;
+    }
+    case Phase::kDeqReadTail: {
+      tail_snapshot_ = mem.read(1);
+      phase_ = Phase::kDeqReadNext;
+      return false;
+    }
+    case Phase::kDeqReadNext: {
+      next_snapshot_ = mem.read(next_reg(lo_of(head_snapshot_)));
+      if (lo_of(next_snapshot_) == 0) {
+        phase_ = Phase::kDeqCheckEmpty;
+      } else if (lo_of(head_snapshot_) == lo_of(tail_snapshot_)) {
+        phase_ = Phase::kDeqHelpTail;
+      } else {
+        phase_ = Phase::kDeqReadValue;
+      }
+      return false;
+    }
+    case Phase::kDeqCheckEmpty: {
+      // next was null: if head is unchanged, the queue was empty when we
+      // read next (nothing was dequeued in between), so the operation
+      // linearizes there as an empty dequeue.
+      const Value head_now = mem.read(0);
+      if (head_now == head_snapshot_) {
+        ++empty_dequeues_;
+        ++op_counter_;
+        begin_op();
+        return true;
+      }
+      head_snapshot_ = head_now;
+      phase_ = Phase::kDeqReadTail;
+      return false;
+    }
+    case Phase::kDeqHelpTail: {
+      mem.cas(1, tail_snapshot_,
+              pack(hi_of(tail_snapshot_) + 1, lo_of(next_snapshot_)));
+      phase_ = Phase::kDeqReadHead;
+      return false;
+    }
+    case Phase::kDeqReadValue: {
+      deq_value_ = mem.read(value_reg(lo_of(next_snapshot_)));
+      phase_ = Phase::kDeqCasHead;
+      return false;
+    }
+    case Phase::kDeqCasHead: {
+      if (mem.cas(0, head_snapshot_,
+                  pack(hi_of(head_snapshot_) + 1, lo_of(next_snapshot_)))) {
+        // The old dummy (previous head slot) is ours now; remember the
+        // generation its next field currently carries so our reuse bumps it.
+        pool_.push_back({lo_of(head_snapshot_), hi_of(next_snapshot_)});
+        dequeued_.push_back(deq_value_);
+        ++dequeues_;
+        ++op_counter_;
+        begin_op();
+        return true;
+      }
+      phase_ = Phase::kDeqReadHead;
+      return false;
+    }
+  }
+  return false;  // unreachable
+}
+
+}  // namespace pwf::core

@@ -1,0 +1,105 @@
+// The Michael-Scott queue (paper reference [17]) as a step machine on
+// simulated shared memory — the second concrete SCU-class structure the
+// paper names. Enqueue scans the tail and its next pointer and validates
+// with a CAS on next (helping a lagging tail forward); dequeue scans head,
+// tail and head->next and validates with a CAS on head.
+//
+// Both the head/tail registers and every node's next register are
+// generation-stamped in their upper 32 bits, so slot reuse is ABA-safe: a
+// slot's generation increments each time its new owner re-initializes it,
+// and stale CASes (whose expected value carries the old generation) fail.
+//
+// Register layout:
+//   [0]  head: (tag << 32) | slot_ref
+//   [1]  tail: (tag << 32) | slot_ref
+//   slot s >= 1: next at [2*s], value at [2*s + 1];
+//   next holds (gen << 32) | successor_ref (successor_ref 0 = none).
+// Slot 1 is the initial dummy node; the engine must poke
+// head = tail = pack(0, 1) before running (see initial_values()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/memory.hpp"
+#include "core/step_machine.hpp"
+
+namespace pwf::core {
+
+/// Alternating enqueue/dequeue Michael-Scott queue workload for one
+/// process.
+class SimQueue final : public StepMachine {
+ public:
+  SimQueue(std::size_t pid, std::size_t n, std::size_t slots_per_process);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override { return "sim-ms-queue"; }
+
+  static std::size_t registers_required(std::size_t n,
+                                        std::size_t slots_per_process);
+  /// The initial register overrides every SimQueue simulation needs.
+  static std::vector<std::pair<std::size_t, Value>> initial_values();
+  static StepMachineFactory factory(std::size_t slots_per_process);
+
+  std::uint64_t enqueues() const noexcept { return enqueues_; }
+  std::uint64_t dequeues() const noexcept { return dequeues_; }
+  std::uint64_t empty_dequeues() const noexcept { return empty_dequeues_; }
+  const std::vector<Value>& dequeued_values() const noexcept {
+    return dequeued_;
+  }
+
+ private:
+  enum class Phase {
+    kEnqWriteValue,   // write my slot's value register
+    kEnqResetNext,    // write my slot's next = (gen+1, 0)
+    kEnqReadTail,     // read tail -> (ttag, tref)
+    kEnqReadNext,     // read tref's next
+    kEnqRecheckTail,  // re-read tail: unchanged? (guards slot reuse)
+    kEnqHelpTail,     // CAS(tail, (ttag,tref), (ttag+1, next))
+    kEnqCasNext,      // CAS(tref.next, (gen,0), (gen,my slot))
+    kEnqSwingTail,    // CAS(tail, (ttag,tref), (ttag+1,my)); completes op
+    kDeqReadHead,    // read head -> (htag, href)
+    kDeqReadTail,    // read tail -> (ttag, tref)
+    kDeqReadNext,    // read href's next
+    kDeqCheckEmpty,  // re-read head; unchanged + next null => empty-pop
+    kDeqHelpTail,    // CAS(tail, (ttag,tref), (ttag+1,next))
+    kDeqReadValue,   // read next's value register
+    kDeqCasHead,     // CAS(head, (htag,href), (htag+1,next)); completes op
+  };
+
+  static constexpr Value pack(std::uint64_t hi, std::uint64_t lo) {
+    return (hi << 32) | lo;
+  }
+  static std::uint64_t hi_of(Value v) { return v >> 32; }
+  static std::uint64_t lo_of(Value v) { return v & 0xffffffffULL; }
+  static std::size_t next_reg(std::uint64_t slot) {
+    return static_cast<std::size_t>(2 * slot);
+  }
+  static std::size_t value_reg(std::uint64_t slot) {
+    return static_cast<std::size_t>(2 * slot + 1);
+  }
+
+  void begin_op();
+
+  std::size_t pid_;
+  std::size_t n_;
+  Phase phase_;
+  /// Private pool of (slot, generation-of-its-next-field) pairs.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pool_;
+  std::uint64_t my_slot_ = 0;
+  std::uint64_t my_gen_ = 0;      // generation written into my slot's next
+  Value head_snapshot_ = 0;
+  Value tail_snapshot_ = 0;
+  Value next_snapshot_ = 0;       // (gen, ref) of the relevant next field
+  Value deq_value_ = 0;
+  std::uint64_t enqueues_ = 0;
+  std::uint64_t dequeues_ = 0;
+  std::uint64_t empty_dequeues_ = 0;
+  std::uint64_t op_counter_ = 0;
+  std::vector<Value> dequeued_;
+};
+
+}  // namespace pwf::core

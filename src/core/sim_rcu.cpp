@@ -1,0 +1,91 @@
+#include "core/sim_rcu.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace pwf::core {
+
+SimRcu::SimRcu(std::size_t pid, std::size_t n, const RcuConfig& config)
+    : config_(config), pid_(pid), is_writer_(pid < config.writers) {
+  if (pid >= n) throw std::invalid_argument("SimRcu: pid >= n");
+  if (config.writers == 0 || config.writers > n) {
+    throw std::invalid_argument("SimRcu: need 1 <= writers <= n");
+  }
+  if (config.payload_len == 0 || config.slots_per_writer == 0) {
+    throw std::invalid_argument("SimRcu: payload_len, slots_per_writer >= 1");
+  }
+}
+
+std::size_t SimRcu::registers_required(const RcuConfig& config) {
+  return 1 + config.writers * config.slots_per_writer * config.payload_len;
+}
+
+StepMachineFactory SimRcu::factory(const RcuConfig& config) {
+  return [config](std::size_t pid, std::size_t n) {
+    return std::make_unique<SimRcu>(pid, n, config);
+  };
+}
+
+std::size_t SimRcu::block_base(std::size_t slot) const {
+  return 1 + (pid_ * config_.slots_per_writer + slot) * config_.payload_len;
+}
+
+bool SimRcu::step(SharedMemory& mem) {
+  const std::size_t L = config_.payload_len;
+  if (is_writer_) {
+    switch (wphase_) {
+      case WPhase::kReadP: {
+        p_snapshot_ = mem.read(0);
+        copy_index_ = 0;
+        wphase_ = WPhase::kCopy;
+        return false;
+      }
+      case WPhase::kCopy: {
+        // Build the new version in our private slot: every payload
+        // register carries the version number it will be published as.
+        const std::uint64_t next_version = version_of(p_snapshot_) + 1;
+        mem.write(block_base(slot_cursor_) + copy_index_, next_version);
+        if (++copy_index_ == L) wphase_ = WPhase::kCas;
+        return false;
+      }
+      case WPhase::kCas: {
+        const std::uint64_t next_version = version_of(p_snapshot_) + 1;
+        const Value proposed =
+            pack(next_version, block_base(slot_cursor_));
+        if (mem.cas(0, p_snapshot_, proposed)) {
+          slot_cursor_ = (slot_cursor_ + 1) % config_.slots_per_writer;
+          ++updates_;
+          wphase_ = WPhase::kReadP;
+          return true;
+        }
+        wphase_ = WPhase::kReadP;  // rescan and rebuild against the new P
+        return false;
+      }
+    }
+    return false;  // unreachable
+  }
+
+  // Reader: P read, then L payload reads; wait-free, no retries.
+  if (read_index_ == 0) {
+    p_snapshot_ = mem.read(0);
+    torn_ = false;
+    if (base_of(p_snapshot_) == 0) {
+      // No version published yet: the read completes trivially.
+      ++reads_;
+      return true;
+    }
+    read_index_ = 1;
+    return false;
+  }
+  const Value payload = mem.read(base_of(p_snapshot_) + read_index_ - 1);
+  if (payload != version_of(p_snapshot_)) torn_ = true;
+  if (read_index_++ == L) {
+    ++reads_;
+    if (torn_) ++torn_reads_;
+    read_index_ = 0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace pwf::core

@@ -1,0 +1,89 @@
+// Read-copy-update as a step machine — the paper's last named SCU
+// instance: "The read-copy-update (RCU) synchronization mechanism
+// employed by the Linux kernel is also an instance of this pattern"
+// (Section 1).
+//
+// A version pointer P (register 0, tagged with the version number)
+// publishes a block of L payload registers. Writers run the SCU pattern:
+// scan P, copy out a fresh block (the preamble work), and validate with a
+// CAS on P. Readers are wait-free: one P read plus L payload reads, never
+// retried.
+//
+// Block slots are recycled round-robin from a per-writer pool of K slots.
+// Real RCU defers reuse past a *grace period*; with finite K a reader
+// that holds a pointer long enough can observe a recycled block. The
+// machine detects this (every payload register of version v holds v, so
+// any mismatch flags a torn read), which lets experiments measure the
+// torn-read rate as a function of K — the simulation analogue of why
+// grace periods exist.
+//
+// Registers: [0] P = (version << 32) | block_base;
+//   writer w's slot t occupies registers
+//   [1 + (w*K + t)*L .. 1 + (w*K + t)*L + L - 1].
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/memory.hpp"
+#include "core/step_machine.hpp"
+
+namespace pwf::core {
+
+/// Configuration shared by all RCU processes in a simulation.
+struct RcuConfig {
+  std::size_t writers = 1;          ///< processes 0..writers-1 write
+  std::size_t payload_len = 3;      ///< L: registers per version block
+  std::size_t slots_per_writer = 4; ///< K: recycling pool depth
+};
+
+/// One RCU process: writer (pid < writers) or reader (pid >= writers).
+class SimRcu final : public StepMachine {
+ public:
+  SimRcu(std::size_t pid, std::size_t n, const RcuConfig& config);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override {
+    return is_writer_ ? "rcu-writer" : "rcu-reader";
+  }
+
+  bool is_writer() const noexcept { return is_writer_; }
+  std::uint64_t updates() const noexcept { return updates_; }
+  std::uint64_t reads() const noexcept { return reads_; }
+  /// Reads that observed a recycled/torn block (payload != version tag).
+  std::uint64_t torn_reads() const noexcept { return torn_reads_; }
+
+  static std::size_t registers_required(const RcuConfig& config);
+  static StepMachineFactory factory(const RcuConfig& config);
+
+ private:
+  static constexpr Value pack(std::uint64_t version, std::uint64_t base) {
+    return (version << 32) | base;
+  }
+  static std::uint64_t version_of(Value v) { return v >> 32; }
+  static std::uint64_t base_of(Value v) { return v & 0xffffffffULL; }
+
+  std::size_t block_base(std::size_t slot) const;
+
+  RcuConfig config_;
+  std::size_t pid_;
+  bool is_writer_;
+
+  // Writer state.
+  enum class WPhase { kReadP, kCopy, kCas };
+  WPhase wphase_ = WPhase::kReadP;
+  std::size_t slot_cursor_ = 0;
+  std::size_t copy_index_ = 0;
+  Value p_snapshot_ = 0;
+
+  // Reader state.
+  std::size_t read_index_ = 0;  // 0 = about to read P; 1..L payload reads
+  bool torn_ = false;
+
+  std::uint64_t updates_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t torn_reads_ = 0;
+};
+
+}  // namespace pwf::core

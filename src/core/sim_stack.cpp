@@ -1,0 +1,114 @@
+#include "core/sim_stack.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace pwf::core {
+
+SimStack::SimStack(std::size_t pid, std::size_t n,
+                   std::size_t slots_per_process)
+    : pid_(pid), n_(n), phase_(Phase::kPushWriteValue) {
+  if (pid >= n) throw std::invalid_argument("SimStack: pid >= n");
+  if (slots_per_process == 0) {
+    throw std::invalid_argument("SimStack: need at least one slot");
+  }
+  free_slots_.reserve(slots_per_process);
+  for (std::size_t s = 0; s < slots_per_process; ++s) {
+    free_slots_.push_back(pid * slots_per_process + s + 1);  // slots are 1-based
+  }
+  begin_op();
+}
+
+std::size_t SimStack::registers_required(std::size_t n,
+                                         std::size_t slots_per_process) {
+  return 1 + 2 * n * slots_per_process;
+}
+
+StepMachineFactory SimStack::factory(std::size_t slots_per_process) {
+  return [slots_per_process](std::size_t pid, std::size_t n) {
+    return std::make_unique<SimStack>(pid, n, slots_per_process);
+  };
+}
+
+void SimStack::begin_op() {
+  const bool push_turn = op_counter_ % 2 == 0;
+  if (push_turn && !free_slots_.empty()) {
+    pending_slot_ = free_slots_.back();  // consumed on successful CAS
+    phase_ = Phase::kPushWriteValue;
+  } else {
+    phase_ = Phase::kPopReadHead;
+  }
+}
+
+bool SimStack::step(SharedMemory& mem) {
+  switch (phase_) {
+    case Phase::kPushWriteValue: {
+      const Value value =
+          (static_cast<Value>(pid_ + 1) << 32) | static_cast<Value>(pushes_);
+      mem.write(value_reg(pending_slot_), value);
+      phase_ = Phase::kPushReadHead;
+      return false;
+    }
+    case Phase::kPushReadHead: {
+      head_snapshot_ = mem.read(0);
+      phase_ = Phase::kPushLinkNode;
+      return false;
+    }
+    case Phase::kPushLinkNode: {
+      mem.write(next_reg(pending_slot_), ref_of(head_snapshot_));
+      phase_ = Phase::kPushCas;
+      return false;
+    }
+    case Phase::kPushCas: {
+      const Value next_head =
+          pack(tag_of(head_snapshot_) + 1, pending_slot_);
+      if (mem.cas(0, head_snapshot_, next_head)) {
+        free_slots_.pop_back();
+        ++pushes_;
+        ++op_counter_;
+        begin_op();
+        return true;
+      }
+      phase_ = Phase::kPushReadHead;  // rescan; value already written
+      return false;
+    }
+    case Phase::kPopReadHead: {
+      head_snapshot_ = mem.read(0);
+      if (ref_of(head_snapshot_) == 0) {
+        ++empty_pops_;
+        ++op_counter_;
+        begin_op();
+        return true;  // pop on empty completes immediately
+      }
+      phase_ = Phase::kPopReadNext;
+      return false;
+    }
+    case Phase::kPopReadNext: {
+      pop_next_ = mem.read(next_reg(ref_of(head_snapshot_)));
+      phase_ = Phase::kPopReadValue;
+      return false;
+    }
+    case Phase::kPopReadValue: {
+      pop_value_ = mem.read(value_reg(ref_of(head_snapshot_)));
+      phase_ = Phase::kPopCas;
+      return false;
+    }
+    case Phase::kPopCas: {
+      const Value next_head = pack(tag_of(head_snapshot_) + 1, pop_next_);
+      if (mem.cas(0, head_snapshot_, next_head)) {
+        // We own the popped slot now.
+        free_slots_.push_back(ref_of(head_snapshot_));
+        popped_.push_back(pop_value_);
+        ++pops_;
+        ++op_counter_;
+        begin_op();
+        return true;
+      }
+      phase_ = Phase::kPopReadHead;
+      return false;
+    }
+  }
+  return false;  // unreachable
+}
+
+}  // namespace pwf::core

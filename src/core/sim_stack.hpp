@@ -1,0 +1,87 @@
+// A Treiber stack expressed as a step machine on simulated shared memory —
+// the paper's flagship example of an SCU-class structure (reference [21]):
+// push is SCU(1, 1) (one preamble write to link the node, one head read,
+// one CAS) and pop is SCU(0, 2) (head read, next read, CAS).
+//
+// Each process runs an alternating push/pop workload. The head register is
+// tag-stamped (upper 32 bits increment on every successful CAS) so node
+// reuse is ABA-safe, exactly like a tagged-pointer implementation on
+// hardware. Node slots migrate between processes: a popper takes ownership
+// of the popped node's slot for its own later pushes.
+//
+// Register layout:
+//   [0]            head: (tag << 32) | slot_ref; ref 0 = empty stack.
+//   [1 + 2*(s-1)]  slot s >= 1: next (slot_ref of the node below, 0 = none)
+//   [2 + 2*(s-1)]  slot s >= 1: value (set by push; checked by tests)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/memory.hpp"
+#include "core/step_machine.hpp"
+
+namespace pwf::core {
+
+/// Alternating push/pop Treiber-stack workload for one process.
+class SimStack final : public StepMachine {
+ public:
+  /// `slots_per_process`: initial private free slots of each process; the
+  /// global arena holds n * slots_per_process nodes.
+  SimStack(std::size_t pid, std::size_t n, std::size_t slots_per_process);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override { return "sim-treiber-stack"; }
+
+  static std::size_t registers_required(std::size_t n,
+                                        std::size_t slots_per_process);
+  static StepMachineFactory factory(std::size_t slots_per_process);
+
+  std::uint64_t pushes() const noexcept { return pushes_; }
+  std::uint64_t pops() const noexcept { return pops_; }
+  std::uint64_t empty_pops() const noexcept { return empty_pops_; }
+  /// Values popped by this process, in pop order (for conservation tests).
+  const std::vector<Value>& popped_values() const noexcept { return popped_; }
+
+ private:
+  enum class Phase {
+    kPushWriteValue,  // preamble: write my node's value register
+    kPushReadHead,    // read head -> (tag, top)
+    kPushLinkNode,    // write my node's next = top
+    kPushCas,         // CAS(head, (tag, top), (tag+1, my node))
+    kPopReadHead,     // read head; empty => op completes as empty-pop
+    kPopReadNext,     // read top node's next
+    kPopReadValue,    // read top node's value (the scan's second register)
+    kPopCas,          // CAS(head, (tag, top), (tag+1, next))
+  };
+
+  static constexpr Value pack(std::uint64_t tag, std::uint64_t ref) {
+    return (tag << 32) | ref;
+  }
+  static std::uint64_t tag_of(Value v) { return v >> 32; }
+  static std::uint64_t ref_of(Value v) { return v & 0xffffffffULL; }
+  static std::size_t next_reg(std::uint64_t slot) { return 1 + 2 * (slot - 1); }
+  static std::size_t value_reg(std::uint64_t slot) { return 2 + 2 * (slot - 1); }
+
+  /// Chooses the next operation (alternating, adapted to slot supply) and
+  /// sets the entry phase.
+  void begin_op();
+
+  std::size_t pid_;
+  std::size_t n_;
+  Phase phase_;
+  std::vector<std::uint64_t> free_slots_;  // private slot pool
+  Value head_snapshot_ = 0;                // last head read
+  std::uint64_t pending_slot_ = 0;         // slot being pushed
+  Value pop_next_ = 0;                     // next-ref read during pop
+  Value pop_value_ = 0;                    // value read during pop
+  std::uint64_t pushes_ = 0;
+  std::uint64_t pops_ = 0;
+  std::uint64_t empty_pops_ = 0;
+  std::uint64_t op_counter_ = 0;  // alternation + unique push values
+  std::vector<Value> popped_;
+};
+
+}  // namespace pwf::core

@@ -1,0 +1,124 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace pwf::core {
+
+double LatencyReport::completion_rate() const {
+  return steps ? static_cast<double>(completions) / static_cast<double>(steps)
+               : 0.0;
+}
+
+double LatencyReport::system_latency() const { return system_gaps.mean(); }
+
+double LatencyReport::individual_latency(std::size_t p) const {
+  return individual_gaps.at(p).mean();
+}
+
+double LatencyReport::max_individual_latency() const {
+  double worst = 0.0;
+  for (const auto& gaps : individual_gaps) {
+    worst = std::max(worst, gaps.mean());
+  }
+  return worst;
+}
+
+std::uint64_t LatencyReport::min_completions() const {
+  std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint64_t c : completions_per_process) lo = std::min(lo, c);
+  return lo;
+}
+
+Simulation::Simulation(std::size_t n, const StepMachineFactory& factory,
+                       std::unique_ptr<Scheduler> scheduler, Options options)
+    : memory_(options.num_registers, options.initial_value),
+      scheduler_(std::move(scheduler)),
+      rng_(options.seed) {
+  if (n == 0) throw std::invalid_argument("Simulation: need n >= 1");
+  if (!scheduler_) throw std::invalid_argument("Simulation: null scheduler");
+  for (const auto& [reg, value] : options.initial_values) {
+    memory_.poke(reg, value);
+  }
+  machines_.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) machines_.push_back(factory(p, n));
+  active_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) active_[p] = p;
+  report_.individual_gaps.resize(n);
+  report_.completions_per_process.assign(n, 0);
+  report_.steps_per_process.assign(n, 0);
+  last_completion_by_.assign(n, 0);
+}
+
+void Simulation::schedule_crash(std::uint64_t tau, std::size_t process) {
+  if (process >= machines_.size()) {
+    throw std::out_of_range("schedule_crash: process out of range");
+  }
+  if (tau < now_) {
+    throw std::invalid_argument("schedule_crash: time already passed");
+  }
+  crash_plan_.push_back({tau, process});
+  std::stable_sort(crash_plan_.begin(), crash_plan_.end(),
+                   [](const Crash& a, const Crash& b) { return a.tau < b.tau; });
+  next_crash_ = 0;
+  while (next_crash_ < crash_plan_.size() &&
+         crash_plan_[next_crash_].tau < now_) {
+    ++next_crash_;
+  }
+}
+
+void Simulation::apply_crashes() {
+  while (next_crash_ < crash_plan_.size() &&
+         crash_plan_[next_crash_].tau <= now_) {
+    const std::size_t victim = crash_plan_[next_crash_].process;
+    ++next_crash_;
+    auto it = std::find(active_.begin(), active_.end(), victim);
+    if (it == active_.end()) continue;  // already crashed
+    if (active_.size() == 1) {
+      throw std::logic_error(
+          "Simulation: cannot crash the last active process (at most n-1 "
+          "crashes allowed)");
+    }
+    active_.erase(it);  // keeps the vector sorted
+  }
+}
+
+void Simulation::run(std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    apply_crashes();
+    const std::size_t p = scheduler_->next(now_, active_, rng_);
+    ++now_;
+    const bool completed = machines_[p]->step(memory_);
+
+    ++report_.steps;
+    ++report_.steps_per_process[p];
+    if (completed) {
+      ++report_.completions;
+      ++report_.completions_per_process[p];
+      report_.system_gaps.add(
+          static_cast<double>(now_ - last_completion_));
+      last_completion_ = now_;
+      report_.individual_gaps[p].add(
+          static_cast<double>(now_ - last_completion_by_[p]));
+      last_completion_by_[p] = now_;
+    }
+    if (observer_) observer_->on_step(now_, p, completed);
+  }
+}
+
+void Simulation::reset_stats() {
+  const std::size_t n = machines_.size();
+  report_ = LatencyReport{};
+  report_.individual_gaps.resize(n);
+  report_.completions_per_process.assign(n, 0);
+  report_.steps_per_process.assign(n, 0);
+  last_completion_ = now_;
+  last_completion_by_.assign(n, now_);
+}
+
+std::uint64_t Simulation::open_gap(std::size_t p) const {
+  return now_ - last_completion_by_.at(p);
+}
+
+}  // namespace pwf::core

@@ -1,0 +1,128 @@
+// The discrete-time execution engine (paper, Section 2).
+//
+// At every time step tau the engine asks the scheduler to pick one process
+// from the active set A_tau, lets that process's step machine perform
+// exactly one shared-memory operation, and records completions. Crashes
+// (processes leaving A_tau, never to return — crash containment) are
+// injected from a pre-registered crash plan.
+//
+// Latency bookkeeping follows the paper's Section 2.4 definitions:
+//   * system latency  = expected system steps between two consecutive
+//     completions by anyone;
+//   * individual latency of p = expected system steps between two
+//     consecutive completions by p.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/memory.hpp"
+#include "core/scheduler.hpp"
+#include "core/step_machine.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pwf::core {
+
+/// Observer hook invoked after every simulated step. Used by the schedule
+/// recorder, progress trackers, and tests.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  /// `tau` is the 1-based global step count; `completed` reports whether
+  /// this step finished a method invocation of `process`.
+  virtual void on_step(std::uint64_t tau, std::size_t process,
+                       bool completed) = 0;
+};
+
+/// Aggregated latency statistics for a measurement window.
+struct LatencyReport {
+  std::uint64_t steps = 0;        ///< system steps in the window
+  std::uint64_t completions = 0;  ///< completed invocations in the window
+  StreamingStats system_gaps;     ///< steps between consecutive completions
+  std::vector<StreamingStats> individual_gaps;  ///< per-process, system steps
+  std::vector<std::uint64_t> completions_per_process;
+  std::vector<std::uint64_t> steps_per_process;
+
+  /// completions / steps; the paper's "completion rate" (Appendix B),
+  /// approximately 1 / system latency.
+  double completion_rate() const;
+  /// Mean observed system latency W.
+  double system_latency() const;
+  /// Mean observed individual latency W_i.
+  double individual_latency(std::size_t p) const;
+  /// max_i W_i — the worst process, for fairness checks.
+  double max_individual_latency() const;
+  /// min completions over processes; > 0 means every process progressed.
+  std::uint64_t min_completions() const;
+};
+
+/// The simulation engine.
+class Simulation {
+ public:
+  struct Options {
+    std::size_t num_registers = 1;
+    Value initial_value = 0;
+    std::uint64_t seed = 1;
+    /// Per-register overrides applied once before execution (step-free);
+    /// used to establish data-structure invariants such as a queue's
+    /// initial dummy node.
+    std::vector<std::pair<std::size_t, Value>> initial_values;
+  };
+
+  Simulation(std::size_t n, const StepMachineFactory& factory,
+             std::unique_ptr<Scheduler> scheduler, Options options);
+
+  /// Registers a crash: process leaves the active set at time `tau`
+  /// (before the step at tau is scheduled). At most n-1 processes may
+  /// crash (the engine refuses to crash the last active process).
+  void schedule_crash(std::uint64_t tau, std::size_t process);
+
+  /// Runs `steps` more time units.
+  void run(std::uint64_t steps);
+
+  /// Discards statistics gathered so far (keeps algorithm/memory state).
+  /// Call after a warmup run to measure the stationary regime only.
+  void reset_stats();
+
+  void set_observer(SimObserver* observer) { observer_ = observer; }
+
+  const LatencyReport& report() const noexcept { return report_; }
+  std::uint64_t now() const noexcept { return now_; }
+  std::span<const std::size_t> active() const noexcept { return active_; }
+  std::size_t num_processes() const noexcept { return machines_.size(); }
+  SharedMemory& memory() noexcept { return memory_; }
+  const Scheduler& scheduler() const noexcept { return *scheduler_; }
+
+  /// System steps since process p last completed (censored open gap);
+  /// used by starvation detectors.
+  std::uint64_t open_gap(std::size_t p) const;
+
+ private:
+  struct Crash {
+    std::uint64_t tau;
+    std::size_t process;
+  };
+
+  void apply_crashes();
+
+  SharedMemory memory_;
+  std::vector<std::unique_ptr<StepMachine>> machines_;
+  std::unique_ptr<Scheduler> scheduler_;
+  Xoshiro256pp rng_;
+  std::vector<std::size_t> active_;
+  std::vector<Crash> crash_plan_;  // sorted by tau
+  std::size_t next_crash_ = 0;
+  std::uint64_t now_ = 0;
+
+  LatencyReport report_;
+  std::uint64_t last_completion_ = 0;  // time of last completion (any)
+  std::vector<std::uint64_t> last_completion_by_;
+  SimObserver* observer_ = nullptr;
+};
+
+}  // namespace pwf::core

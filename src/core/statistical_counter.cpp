@@ -1,0 +1,55 @@
+#include "core/statistical_counter.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace pwf::core {
+
+StatisticalCounter::StatisticalCounter(std::size_t pid, std::size_t n,
+                                       double read_fraction,
+                                       std::uint64_t seed)
+    : pid_(pid), n_(n), read_fraction_(read_fraction),
+      rng_(seed ^ (0x9e3779b97f4a7c15ULL * (pid + 1))) {
+  if (pid >= n) throw std::invalid_argument("StatisticalCounter: pid >= n");
+  if (!(read_fraction >= 0.0 && read_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "StatisticalCounter: read_fraction in [0, 1]");
+  }
+  begin_op();
+}
+
+StepMachineFactory StatisticalCounter::factory(double read_fraction,
+                                               std::uint64_t seed) {
+  return [read_fraction, seed](std::size_t pid, std::size_t n) {
+    return std::make_unique<StatisticalCounter>(pid, n, read_fraction, seed);
+  };
+}
+
+void StatisticalCounter::begin_op() {
+  reading_ = rng_.bernoulli(read_fraction_);
+  scan_index_ = 0;
+  accum_ = 0;
+}
+
+bool StatisticalCounter::step(SharedMemory& mem) {
+  if (!reading_) {
+    // Increment: one uncontended write to our own subcounter. Wait-free
+    // with a hard bound of 1 — no sqrt(n) factor anywhere.
+    ++local_count_;
+    mem.write(pid_, local_count_);
+    ++increments_;
+    begin_op();
+    return true;
+  }
+  // Read: sum the n subcounters, one register per step.
+  accum_ += mem.read(scan_index_);
+  if (++scan_index_ == n_) {
+    last_read_ = accum_;
+    ++reads_;
+    begin_op();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace pwf::core

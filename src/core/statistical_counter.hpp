@@ -1,0 +1,65 @@
+// The statistical counter of Dice, Lev and Moir (the paper's reference
+// [4]) as a step machine — an answer to the question Section 8 leaves
+// open: "whether there exist concurrent algorithms which avoid the
+// Theta(sqrt n) contention factor in the latency".
+//
+// Increments are wait-free and contention-free: each process adds to its
+// own dedicated register (one shared-memory step, no CAS). Reads must sum
+// all n per-process registers (n steps) and are only statistically
+// consistent — the trade the paper's reference [4] makes for scalability.
+//
+// The workload mixes increments and reads with a configurable read
+// fraction, so the crossover against the CAS counter (whose every
+// operation costs Theta(sqrt n) in system latency) can be mapped.
+//
+// Registers: [i] = process i's subcounter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/memory.hpp"
+#include "core/step_machine.hpp"
+#include "util/rng.hpp"
+
+namespace pwf::core {
+
+/// Mixed increment/read workload on a distributed statistical counter.
+class StatisticalCounter final : public StepMachine {
+ public:
+  /// `read_fraction` in [0, 1]: probability that an operation is a read
+  /// (sums all subcounters) instead of an increment. Draws come from a
+  /// private deterministic stream seeded by (seed, pid).
+  StatisticalCounter(std::size_t pid, std::size_t n, double read_fraction,
+                     std::uint64_t seed);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override { return "statistical-counter"; }
+
+  std::uint64_t increments() const noexcept { return increments_; }
+  std::uint64_t reads() const noexcept { return reads_; }
+  /// The value observed by this process's last completed read.
+  Value last_read_value() const noexcept { return last_read_; }
+
+  static std::size_t registers_required(std::size_t n) { return n; }
+  static StepMachineFactory factory(double read_fraction,
+                                    std::uint64_t seed);
+
+ private:
+  void begin_op();
+
+  std::size_t pid_;
+  std::size_t n_;
+  double read_fraction_;
+  Xoshiro256pp rng_;
+  bool reading_ = false;
+  std::size_t scan_index_ = 0;  // next subcounter a read will visit
+  Value accum_ = 0;
+  Value local_count_ = 0;  // mirror of our subcounter (we are sole writer)
+  Value last_read_ = 0;
+  std::uint64_t increments_ = 0;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace pwf::core

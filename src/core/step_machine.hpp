@@ -1,0 +1,39 @@
+// The step-machine abstraction: an algorithm, expressed so that each
+// scheduled time unit performs exactly one shared-memory operation
+// (paper, Section 2.1: "a process can perform any number of local
+// computations ... after which it issues a step, which consists of a
+// single shared memory operation").
+//
+// A step machine runs an infinite sequence of method invocations; step()
+// reports when the current invocation completes so the engine can record
+// latencies.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/memory.hpp"
+
+namespace pwf::core {
+
+/// One process's algorithm as an explicit state machine.
+class StepMachine {
+ public:
+  virtual ~StepMachine() = default;
+
+  /// Performs exactly one shared-memory operation (plus any amount of local
+  /// computation). Returns true iff this step completed the process's
+  /// current method invocation; the next step then begins a new invocation.
+  virtual bool step(SharedMemory& mem) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Creates the step machine for process `process_id` out of `n` processes.
+using StepMachineFactory =
+    std::function<std::unique_ptr<StepMachine>(std::size_t process_id,
+                                               std::size_t n)>;
+
+}  // namespace pwf::core

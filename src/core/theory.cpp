@@ -1,0 +1,76 @@
+#include "core/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/special.hpp"
+
+namespace pwf::core::theory {
+
+double theorem3_expected_bound(double theta, std::uint64_t T) {
+  if (!(theta > 0.0 && theta <= 1.0)) {
+    throw std::invalid_argument("theorem3_expected_bound: need 0 < theta <= 1");
+  }
+  return std::pow(1.0 / theta, static_cast<double>(T));
+}
+
+double scu_system_latency(std::size_t q, std::size_t s, std::size_t n,
+                          double alpha) {
+  return static_cast<double>(q) +
+         alpha * static_cast<double>(s) * std::sqrt(static_cast<double>(n));
+}
+
+double scu_individual_latency(std::size_t q, std::size_t s, std::size_t n,
+                              double alpha) {
+  return static_cast<double>(n) * scu_system_latency(q, s, n, alpha);
+}
+
+double parallel_system_latency(std::size_t q) {
+  return static_cast<double>(q);
+}
+
+double parallel_individual_latency(std::size_t n, std::size_t q) {
+  return static_cast<double>(n) * static_cast<double>(q);
+}
+
+double fai_system_latency_exact(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("fai_system_latency_exact: n >= 1");
+  return fai_hitting_time(n - 1, n);
+}
+
+double fai_system_latency_asymptotic(std::size_t n) {
+  return ramanujan_q_asymptotic(n);
+}
+
+double fai_individual_latency_exact(std::size_t n) {
+  return static_cast<double>(n) * fai_system_latency_exact(n);
+}
+
+double fai_completion_rate_predicted(std::size_t n) {
+  return 1.0 / fai_system_latency_exact(n);
+}
+
+double fai_completion_rate_worst_case(std::size_t n) {
+  if (n == 0) return 0.0;
+  return 1.0 / static_cast<double>(n);
+}
+
+double scu_worst_case_system_latency(std::size_t q, std::size_t s,
+                                     std::size_t n) {
+  return static_cast<double>(q) +
+         static_cast<double>(s) * static_cast<double>(n);
+}
+
+double phase_length_bound(std::size_t n, std::size_t a, std::size_t b,
+                          double alpha) {
+  const double nn = static_cast<double>(n);
+  double via_a = std::numeric_limits<double>::infinity();
+  double via_b = std::numeric_limits<double>::infinity();
+  if (a > 0) via_a = 2.0 * alpha * nn / std::sqrt(static_cast<double>(a));
+  if (b > 0) via_b = 3.0 * alpha * nn / std::cbrt(static_cast<double>(b));
+  return std::min(via_a, via_b);
+}
+
+}  // namespace pwf::core::theory

@@ -1,0 +1,60 @@
+// Closed-form predictions from the paper's theorems, used by the benchmark
+// harness to print paper-vs-measured series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pwf::core::theory {
+
+/// Theorem 3: under a stochastic scheduler with threshold theta, an
+/// algorithm with minimal-progress bound T completes each operation within
+/// (1/theta)^T expected steps. (A loose but scheduler-free guarantee.)
+double theorem3_expected_bound(double theta, std::uint64_t T);
+
+/// Theorem 4 (upper-bound shape): system latency of SCU(q, s) under the
+/// uniform stochastic scheduler is O(q + s * sqrt(n)). `alpha` is the
+/// constant in front of the sqrt term (the paper uses alpha >= 4 in the
+/// analysis; empirically the constant is near 1 — benches fit it).
+double scu_system_latency(std::size_t q, std::size_t s, std::size_t n,
+                          double alpha = 1.0);
+
+/// Theorem 4: individual latency = n * system latency (Lemma 7 fairness).
+double scu_individual_latency(std::size_t q, std::size_t s, std::size_t n,
+                              double alpha = 1.0);
+
+/// Lemma 11: parallel code has system latency exactly q and individual
+/// latency exactly n*q.
+double parallel_system_latency(std::size_t q);
+double parallel_individual_latency(std::size_t n, std::size_t q);
+
+/// Section 7 / Lemma 12: the fetch-and-increment system latency is the
+/// expected return time of the win state, W = Z(n-1), computed exactly by
+/// the recurrence Z(i) = i*Z(i-1)/n + 1. Equal to the Ramanujan Q-function
+/// Q(n), which is sqrt(pi*n/2)(1 + o(1)).
+double fai_system_latency_exact(std::size_t n);
+
+/// The asymptotic form sqrt(pi*n/2) the paper quotes for Z(n-1).
+double fai_system_latency_asymptotic(std::size_t n);
+
+/// Corollary 3: individual latency of fetch-and-increment is n * W.
+double fai_individual_latency_exact(std::size_t n);
+
+/// Appendix B: the predicted completion rate of the CAS counter is
+/// Theta(1/sqrt(n)); this returns 1/Z(n-1) (exact under the uniform
+/// model). The worst-case rate is 1/n per the adversarial bound.
+double fai_completion_rate_predicted(std::size_t n);
+double fai_completion_rate_worst_case(std::size_t n);
+
+/// Worst-case (adversarial) system latency of SCU(q, s): Theta(q + s*n)
+/// (paper, Section 6 intro).
+double scu_worst_case_system_latency(std::size_t q, std::size_t s,
+                                     std::size_t n);
+
+/// Lemma 8: expected length of a balls-into-bins phase starting with a bins
+/// holding one ball and b empty bins is at most
+/// min(2*alpha*n/sqrt(a), 3*alpha*n/b^(1/3)).
+double phase_length_bound(std::size_t n, std::size_t a, std::size_t b,
+                          double alpha = 4.0);
+
+}  // namespace pwf::core::theory

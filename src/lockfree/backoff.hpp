@@ -1,0 +1,44 @@
+// Bounded exponential backoff for CAS retry loops on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace pwf::lockfree {
+
+/// Spins with exponentially growing pause counts, falling back to
+/// std::this_thread::yield() once the spin budget is large. Reset between
+/// operations; escalate after each failed CAS.
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (spins_ <= kMaxSpins) {
+      for (std::uint32_t i = 0; i < spins_; ++i) cpu_relax();
+      spins_ *= 2;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { spins_ = 1; }
+
+ private:
+  static constexpr std::uint32_t kMaxSpins = 64;
+
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#else
+    // Portable fallback: a compiler barrier keeps the loop from collapsing.
+    asm volatile("" ::: "memory");
+#endif
+  }
+
+  std::uint32_t spins_ = 1;
+};
+
+}  // namespace pwf::lockfree

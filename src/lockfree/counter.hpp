@@ -1,0 +1,70 @@
+// Lock-free fetch-and-increment counters on native atomics (the paper's
+// Appendix B workload and the Section 7 algorithm).
+//
+// CasCounter is the paper's Algorithm 5 on hardware: the x86
+// compare-exchange instruction *is* the augmented CAS of Section 7 (a
+// failed compare_exchange loads the current value into `expected`), so a
+// loser immediately holds the current value for its next attempt.
+// FetchAddCounter is the wait-free hardware baseline (lock xadd).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pwf::lockfree {
+
+/// Result of one counter operation, for completion-rate accounting: the
+/// paper's completion rate = operations / total CAS steps (Appendix B).
+struct OpCost {
+  std::uint64_t value = 0;  ///< the value fetched
+  std::uint64_t steps = 0;  ///< shared-memory steps (CAS attempts) spent
+};
+
+/// Lock-free counter: fetch-and-increment via a CAS loop (Algorithm 5).
+class CasCounter {
+ public:
+  explicit CasCounter(std::uint64_t initial = 0) noexcept : value_(initial) {}
+
+  /// Increments and returns the pre-increment value plus the number of CAS
+  /// attempts it took. Lock-free but not wait-free: an unlucky thread can
+  /// retry unboundedly; the paper's point is that in practice it will not.
+  OpCost fetch_inc() noexcept {
+    std::uint64_t expected = value_.load(std::memory_order_relaxed);
+    std::uint64_t steps = 1;  // the initial load counts as a step
+    while (!value_.compare_exchange_weak(expected, expected + 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      // compare_exchange reloads `expected`: the augmented-CAS semantics.
+      ++steps;
+    }
+    ++steps;  // the successful CAS
+    return {expected, steps};
+  }
+
+  std::uint64_t load() const noexcept {
+    return value_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_;
+};
+
+/// Wait-free counter baseline: hardware fetch_add.
+class FetchAddCounter {
+ public:
+  explicit FetchAddCounter(std::uint64_t initial = 0) noexcept
+      : value_(initial) {}
+
+  OpCost fetch_inc() noexcept {
+    return {value_.fetch_add(1, std::memory_order_acq_rel), 1};
+  }
+
+  std::uint64_t load() const noexcept {
+    return value_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_;
+};
+
+}  // namespace pwf::lockfree

@@ -1,0 +1,106 @@
+#include "lockfree/ebr.hpp"
+
+#include <stdexcept>
+
+namespace pwf::lockfree {
+
+EbrDomain::EbrDomain() = default;
+
+EbrDomain::~EbrDomain() {
+  // All handles must be gone by now; free whatever they handed over.
+  std::lock_guard<std::mutex> lock(orphan_mu_);
+  for (auto& [ptr, deleter] : orphans_) deleter(ptr);
+  orphans_.clear();
+}
+
+void EbrDomain::try_advance() noexcept {
+  const std::uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+  for (const Slot& slot : slots_) {
+    if (!slot.in_use.load(std::memory_order_seq_cst)) continue;
+    if (!slot.pinned.load(std::memory_order_seq_cst)) continue;
+    if (slot.local_epoch.load(std::memory_order_seq_cst) != epoch) {
+      return;  // someone is still in an older epoch
+    }
+  }
+  std::uint64_t expected = epoch;
+  global_epoch_.compare_exchange_strong(expected, epoch + 1,
+                                        std::memory_order_seq_cst);
+}
+
+EbrGuard::EbrGuard(EbrThreadHandle& handle) noexcept : handle_(handle) {
+  handle_.enter();
+}
+
+EbrGuard::~EbrGuard() { handle_.exit(); }
+
+EbrThreadHandle::EbrThreadHandle(EbrDomain& domain)
+    : domain_(domain), slot_index_(EbrDomain::kMaxThreads) {
+  for (std::size_t i = 0; i < EbrDomain::kMaxThreads; ++i) {
+    bool expected = false;
+    if (domain_.slots_[i].in_use.compare_exchange_strong(
+            expected, true, std::memory_order_seq_cst)) {
+      slot_index_ = i;
+      break;
+    }
+  }
+  if (slot_index_ == EbrDomain::kMaxThreads) {
+    throw std::runtime_error("EbrThreadHandle: no free slots");
+  }
+}
+
+EbrThreadHandle::~EbrThreadHandle() {
+  collect();
+  if (!retired_.empty()) {
+    std::lock_guard<std::mutex> lock(domain_.orphan_mu_);
+    for (const Retired& r : retired_) {
+      domain_.orphans_.emplace_back(r.ptr, r.deleter);
+    }
+    domain_.retired_total_.fetch_sub(retired_.size(),
+                                     std::memory_order_relaxed);
+    retired_.clear();
+  }
+  domain_.slots_[slot_index_].pinned.store(false, std::memory_order_seq_cst);
+  domain_.slots_[slot_index_].in_use.store(false, std::memory_order_seq_cst);
+}
+
+void EbrThreadHandle::enter() noexcept {
+  EbrDomain::Slot& slot = domain_.slots_[slot_index_];
+  slot.pinned.store(true, std::memory_order_seq_cst);
+  slot.local_epoch.store(domain_.global_epoch_.load(std::memory_order_seq_cst),
+                         std::memory_order_seq_cst);
+}
+
+void EbrThreadHandle::exit() noexcept {
+  domain_.slots_[slot_index_].pinned.store(false, std::memory_order_seq_cst);
+}
+
+void EbrThreadHandle::retire_erased(void* p, void (*deleter)(void*)) {
+  retired_.push_back(
+      {p, deleter, domain_.global_epoch_.load(std::memory_order_seq_cst)});
+  domain_.retired_total_.fetch_add(1, std::memory_order_relaxed);
+  if (retired_.size() >= kScanThreshold) collect();
+}
+
+void EbrThreadHandle::collect() noexcept {
+  domain_.try_advance();
+  const std::uint64_t safe_before =
+      domain_.global_epoch_.load(std::memory_order_seq_cst);
+  // Entries retired at epoch e are safe once global >= e + 2.
+  std::size_t kept = 0;
+  std::size_t freed = 0;
+  for (Retired& r : retired_) {
+    if (r.epoch + 2 <= safe_before) {
+      r.deleter(r.ptr);
+      ++freed;
+    } else {
+      retired_[kept++] = r;
+    }
+  }
+  retired_.resize(kept);
+  if (freed) {
+    domain_.retired_total_.fetch_sub(freed, std::memory_order_relaxed);
+    domain_.freed_total_.fetch_add(freed, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace pwf::lockfree

@@ -1,0 +1,141 @@
+// Epoch-based memory reclamation (EBR) for the lock-free data structures.
+//
+// The classic three-epoch scheme: readers pin the global epoch for the
+// duration of each operation; retired nodes are stamped with the epoch at
+// retirement and freed once the global epoch has advanced twice past the
+// stamp, which guarantees no pinned reader can still hold a reference.
+//
+// Threads participate through explicit ThreadHandle objects (one per
+// thread, created by the caller), which keeps registration deterministic
+// and testable — no hidden thread_local state.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace pwf::lockfree {
+
+class EbrThreadHandle;
+
+/// A reclamation domain shared by the threads operating on one (or more)
+/// data structures. Destroying the domain frees everything still retired;
+/// the caller must ensure no thread is pinned at that point.
+class EbrDomain {
+ public:
+  static constexpr std::size_t kMaxThreads = 256;
+
+  EbrDomain();
+  ~EbrDomain();
+
+  EbrDomain(const EbrDomain&) = delete;
+  EbrDomain& operator=(const EbrDomain&) = delete;
+
+  std::uint64_t global_epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Nodes retired and not yet freed, across all handles (approximate;
+  /// for tests and leak accounting).
+  std::size_t retired_count() const noexcept {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Total nodes freed so far.
+  std::size_t freed_count() const noexcept {
+    return freed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class EbrThreadHandle;
+
+  struct Slot {
+    std::atomic<bool> in_use{false};
+    std::atomic<bool> pinned{false};
+    std::atomic<std::uint64_t> local_epoch{0};
+  };
+
+  /// Attempts to advance the global epoch: succeeds iff every pinned
+  /// thread has observed the current epoch.
+  void try_advance() noexcept;
+
+  std::atomic<std::uint64_t> global_epoch_{2};  // start past the free horizon
+  std::atomic<std::size_t> retired_total_{0};
+  std::atomic<std::size_t> freed_total_{0};
+  std::vector<Slot> slots_{kMaxThreads};
+
+  // Retire lists handed over by destroyed thread handles; freed in the
+  // domain destructor (coarse locking — handle teardown is a slow path).
+  std::mutex orphan_mu_;
+  std::vector<std::pair<void*, void (*)(void*)>> orphans_;
+};
+
+/// RAII pin: while alive, no node retired at the pinned epoch or later can
+/// be freed out from under this thread.
+class EbrGuard {
+ public:
+  explicit EbrGuard(EbrThreadHandle& handle) noexcept;
+  ~EbrGuard();
+
+  EbrGuard(const EbrGuard&) = delete;
+  EbrGuard& operator=(const EbrGuard&) = delete;
+
+ private:
+  EbrThreadHandle& handle_;
+};
+
+/// Per-thread participation handle. Create one per thread; it claims a
+/// domain slot on construction and releases it (after flushing its retire
+/// list into the domain's quiescent pool... in this implementation, after
+/// freeing what is safe and handing the rest to the domain) on destruction.
+class EbrThreadHandle {
+ public:
+  explicit EbrThreadHandle(EbrDomain& domain);
+  ~EbrThreadHandle();
+
+  EbrThreadHandle(const EbrThreadHandle&) = delete;
+  EbrThreadHandle& operator=(const EbrThreadHandle&) = delete;
+
+  EbrDomain& domain() noexcept { return domain_; }
+
+  /// Pins the current epoch for the scope of the returned guard.
+  /// Guards do not nest: hold at most one per handle at a time (the inner
+  /// guard's destruction would unpin the outer's epoch).
+  EbrGuard pin() noexcept { return EbrGuard(*this); }
+
+  /// Schedules `p` for deletion once no pinned thread can reach it.
+  template <typename T>
+  void retire(T* p) {
+    retire_erased(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  /// Frees every retired node that is provably unreachable; called
+  /// automatically every kScanThreshold retirements.
+  void collect() noexcept;
+
+  std::size_t pending() const noexcept { return retired_.size(); }
+
+ private:
+  friend class EbrGuard;
+
+  static constexpr std::size_t kScanThreshold = 64;
+
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  void retire_erased(void* p, void (*deleter)(void*));
+  void enter() noexcept;
+  void exit() noexcept;
+
+  EbrDomain& domain_;
+  std::size_t slot_index_;
+  std::vector<Retired> retired_;
+};
+
+}  // namespace pwf::lockfree

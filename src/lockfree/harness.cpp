@@ -1,0 +1,107 @@
+#include "lockfree/harness.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace pwf::lockfree {
+
+std::uint64_t HarnessResult::total_ops() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& t : per_thread) total += t.ops;
+  return total;
+}
+
+std::uint64_t HarnessResult::total_steps() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& t : per_thread) total += t.steps;
+  return total;
+}
+
+double HarnessResult::completion_rate() const noexcept {
+  const std::uint64_t steps = total_steps();
+  return steps ? static_cast<double>(total_ops()) / static_cast<double>(steps)
+               : 0.0;
+}
+
+double HarnessResult::ops_per_second() const noexcept {
+  return seconds > 0.0 ? static_cast<double>(total_ops()) / seconds : 0.0;
+}
+
+namespace {
+
+// Cache-line padded accumulator so threads do not false-share their totals.
+struct alignas(64) PaddedTotals {
+  std::uint64_t ops = 0;
+  std::uint64_t steps = 0;
+};
+
+HarnessResult run_impl(std::size_t threads,
+                       const std::function<std::uint64_t(std::size_t)>& one_op,
+                       std::chrono::milliseconds duration,
+                       std::uint64_t ops_per_thread) {
+  if (threads == 0) throw std::invalid_argument("harness: need threads >= 1");
+  if (!one_op) throw std::invalid_argument("harness: null operation");
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::vector<PaddedTotals> totals(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+
+  const bool timed = ops_per_thread == 0;
+  for (std::size_t tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      PaddedTotals& mine = totals[tid];
+      if (timed) {
+        while (!stop.load(std::memory_order_relaxed)) {
+          mine.steps += one_op(tid);
+          ++mine.ops;
+        }
+      } else {
+        for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+          mine.steps += one_op(tid);
+          ++mine.ops;
+        }
+      }
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  if (timed) {
+    std::this_thread::sleep_for(duration);
+    stop.store(true, std::memory_order_relaxed);
+  }
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  HarnessResult result;
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.per_thread.reserve(threads);
+  for (const auto& t : totals) result.per_thread.push_back({t.ops, t.steps});
+  return result;
+}
+
+}  // namespace
+
+HarnessResult run_throughput(
+    std::size_t threads, std::chrono::milliseconds duration,
+    const std::function<std::uint64_t(std::size_t)>& one_op) {
+  return run_impl(threads, one_op, duration, /*ops_per_thread=*/0);
+}
+
+HarnessResult run_fixed_ops(
+    std::size_t threads, std::uint64_t ops_per_thread,
+    const std::function<std::uint64_t(std::size_t)>& one_op) {
+  if (ops_per_thread == 0) {
+    throw std::invalid_argument("run_fixed_ops: need ops_per_thread >= 1");
+  }
+  return run_impl(threads, one_op, std::chrono::milliseconds(0),
+                  ops_per_thread);
+}
+
+}  // namespace pwf::lockfree

@@ -1,0 +1,46 @@
+// A small driver for hardware experiments: runs one operation closure on T
+// real threads for a fixed wall-clock duration and aggregates per-thread
+// operation and step counts, from which the paper's completion rate
+// (operations / shared-memory steps, Appendix B) is computed.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pwf::lockfree {
+
+/// Per-thread totals from a throughput run.
+struct ThreadTotals {
+  std::uint64_t ops = 0;
+  std::uint64_t steps = 0;
+};
+
+/// Aggregated result of run_throughput().
+struct HarnessResult {
+  std::vector<ThreadTotals> per_thread;
+  double seconds = 0.0;
+
+  std::uint64_t total_ops() const noexcept;
+  std::uint64_t total_steps() const noexcept;
+  /// ops / steps — approximately 1 / system latency (paper, Appendix B).
+  double completion_rate() const noexcept;
+  double ops_per_second() const noexcept;
+};
+
+/// Runs `one_op(thread_id)` in a loop on `threads` threads for `duration`.
+/// `one_op` returns the number of shared-memory steps that operation spent
+/// (e.g. CAS attempts). Threads start together behind a barrier.
+HarnessResult run_throughput(
+    std::size_t threads, std::chrono::milliseconds duration,
+    const std::function<std::uint64_t(std::size_t)>& one_op);
+
+/// Runs until every thread has performed `ops_per_thread` operations
+/// (deterministic totals; used by correctness tests).
+HarnessResult run_fixed_ops(
+    std::size_t threads, std::uint64_t ops_per_thread,
+    const std::function<std::uint64_t(std::size_t)>& one_op);
+
+}  // namespace pwf::lockfree

@@ -1,0 +1,183 @@
+// Harris's lock-free ordered linked-list set (the construction behind the
+// lock-free hash tables of Fraser [6], which the paper cites as a main
+// consumer of the SCU pattern). Deletion is two-phase: a logical delete
+// marks the low bit of the node's next pointer (one CAS), then the node is
+// physically unlinked (another CAS) either by the deleter or by any later
+// traversal that encounters the mark. Both insert and delete are
+// scan-validate instances: traverse (scan), CAS a next pointer (validate).
+//
+// Memory reclamation is epoch-based: a node is retired only after it has
+// been physically unlinked, and EBR guarantees no pinned traversal still
+// holds it when it is freed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "lockfree/ebr.hpp"
+
+namespace pwf::lockfree {
+
+/// Lock-free sorted set of Key (requires operator< and operator==).
+template <typename Key>
+class HarrisList {
+ public:
+  explicit HarrisList(EbrDomain& domain) : domain_(&domain) {
+    head_.store(0, std::memory_order_relaxed);
+  }
+
+  ~HarrisList() {
+    // Single-threaded teardown.
+    Node* node = strip(head_.load(std::memory_order_relaxed));
+    while (node) {
+      Node* next = strip(node->next.load(std::memory_order_relaxed));
+      delete node;
+      node = next;
+    }
+  }
+
+  HarrisList(const HarrisList&) = delete;
+  HarrisList& operator=(const HarrisList&) = delete;
+
+  /// Inserts `key`; returns false if already present.
+  bool insert(EbrThreadHandle& handle, const Key& key) {
+    const EbrGuard guard = handle.pin();
+    auto* node = new Node{key, {}};
+    while (true) {
+      auto [prev, curr] = search(handle, key);
+      if (curr && curr->key == key) {
+        delete node;
+        return false;
+      }
+      node->next.store(pack(curr, false), std::memory_order_relaxed);
+      std::uintptr_t expected = pack(curr, false);
+      std::atomic<std::uintptr_t>& link = prev ? prev->next : head_raw();
+      if (link.compare_exchange_strong(expected, pack(node, false),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        return true;
+      }
+      // Validation failed: rescan.
+    }
+  }
+
+  /// Removes `key`; returns false if absent.
+  bool erase(EbrThreadHandle& handle, const Key& key) {
+    const EbrGuard guard = handle.pin();
+    while (true) {
+      auto [prev, curr] = search(handle, key);
+      if (!curr || !(curr->key == key)) return false;
+      const std::uintptr_t succ = curr->next.load(std::memory_order_acquire);
+      if (marked(succ)) continue;  // someone is deleting it; re-search helps
+      // Logical delete: mark curr's next pointer.
+      std::uintptr_t expected = succ;
+      if (!curr->next.compare_exchange_strong(expected, mark(succ),
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+        continue;
+      }
+      // Physical unlink (best effort; search() also unlinks marked nodes).
+      std::uintptr_t link_expected = pack(curr, false);
+      std::atomic<std::uintptr_t>& link = prev ? prev->next : head_raw();
+      if (link.compare_exchange_strong(link_expected, succ,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        handle.retire(curr);
+      }
+      return true;
+    }
+  }
+
+  /// Membership test. Wait-free except for helping unlink of marked nodes.
+  bool contains(EbrThreadHandle& handle, const Key& key) {
+    const EbrGuard guard = handle.pin();
+    Node* curr = strip(head_.load(std::memory_order_acquire));
+    while (curr && curr->key < key) {
+      curr = strip(curr->next.load(std::memory_order_acquire));
+    }
+    if (!curr || !(curr->key == key)) return false;
+    // Present unless logically deleted.
+    return !marked(curr->next.load(std::memory_order_acquire));
+  }
+
+  /// Number of unmarked nodes; O(n), for tests (call quiescent).
+  std::size_t size_slow(EbrThreadHandle& handle) {
+    const EbrGuard guard = handle.pin();
+    std::size_t count = 0;
+    Node* curr = strip(head_.load(std::memory_order_acquire));
+    while (curr) {
+      if (!marked(curr->next.load(std::memory_order_acquire))) ++count;
+      curr = strip(curr->next.load(std::memory_order_acquire));
+    }
+    return count;
+  }
+
+  /// Applies `fn` to every unmarked key in order (quiescent use only).
+  void for_each(EbrThreadHandle& handle,
+                const std::function<void(const Key&)>& fn) {
+    const EbrGuard guard = handle.pin();
+    Node* curr = strip(head_.load(std::memory_order_acquire));
+    while (curr) {
+      const std::uintptr_t next = curr->next.load(std::memory_order_acquire);
+      if (!marked(next)) fn(curr->key);
+      curr = strip(next);
+    }
+  }
+
+ private:
+  struct Node {
+    Key key;
+    std::atomic<std::uintptr_t> next{0};
+  };
+
+  static constexpr std::uintptr_t kMark = 1;
+
+  static bool marked(std::uintptr_t p) noexcept { return p & kMark; }
+  static std::uintptr_t mark(std::uintptr_t p) noexcept { return p | kMark; }
+  static Node* strip(std::uintptr_t p) noexcept {
+    return reinterpret_cast<Node*>(p & ~kMark);
+  }
+  static std::uintptr_t pack(Node* p, bool is_marked) noexcept {
+    return reinterpret_cast<std::uintptr_t>(p) | (is_marked ? kMark : 0);
+  }
+
+  std::atomic<std::uintptr_t>& head_raw() noexcept { return head_; }
+
+  /// Finds the first unmarked node with key >= `key`, unlinking marked
+  /// nodes on the way (Harris's helping). Returns (predecessor, node);
+  /// predecessor is nullptr when node is the head.
+  std::pair<Node*, Node*> search(EbrThreadHandle& handle, const Key& key) {
+  restart:
+    Node* prev = nullptr;
+    std::uintptr_t curr_raw = head_raw().load(std::memory_order_acquire);
+    Node* curr = strip(curr_raw);
+    while (curr) {
+      const std::uintptr_t next_raw =
+          curr->next.load(std::memory_order_acquire);
+      if (marked(next_raw)) {
+        // curr is logically deleted: unlink it before moving on.
+        std::uintptr_t expected = pack(curr, false);
+        std::atomic<std::uintptr_t>& link = prev ? prev->next : head_raw();
+        if (!link.compare_exchange_strong(
+                expected, reinterpret_cast<std::uintptr_t>(strip(next_raw)),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          goto restart;  // the predecessor changed under us
+        }
+        handle.retire(curr);
+        curr = strip(next_raw);
+        continue;
+      }
+      if (!(curr->key < key)) break;
+      prev = curr;
+      curr = strip(next_raw);
+    }
+    return {prev, curr};
+  }
+
+  EbrDomain* domain_;
+  std::atomic<std::uintptr_t> head_;  // pack()-encoded, never marked
+};
+
+}  // namespace pwf::lockfree

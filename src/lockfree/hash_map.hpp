@@ -1,0 +1,76 @@
+// A lock-free hash set built from HarrisList buckets — the shape of the
+// lock-free hash tables in Fraser's "Practical lock-freedom" [6], one of
+// the paper's motivating SCU-class structures. The bucket count is fixed
+// at construction (no resizing), which keeps every operation a pure
+// scan-validate instance on one bucket list.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "lockfree/ebr.hpp"
+#include "lockfree/harris_list.hpp"
+
+namespace pwf::lockfree {
+
+/// Lock-free fixed-capacity hash set of Key.
+template <typename Key, typename Hash = std::hash<Key>>
+class HashSet {
+ public:
+  /// `buckets` should be ~2x the expected element count for short chains.
+  HashSet(EbrDomain& domain, std::size_t buckets)
+      : hash_(), buckets_() {
+    if (buckets == 0) {
+      throw std::invalid_argument("HashSet: need at least one bucket");
+    }
+    buckets_.reserve(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) {
+      buckets_.push_back(std::make_unique<HarrisList<Key>>(domain));
+    }
+  }
+
+  HashSet(const HashSet&) = delete;
+  HashSet& operator=(const HashSet&) = delete;
+
+  /// Inserts `key`; returns false if already present.
+  bool insert(EbrThreadHandle& handle, const Key& key) {
+    return bucket(key).insert(handle, key);
+  }
+
+  /// Removes `key`; returns false if absent.
+  bool erase(EbrThreadHandle& handle, const Key& key) {
+    return bucket(key).erase(handle, key);
+  }
+
+  bool contains(EbrThreadHandle& handle, const Key& key) {
+    return bucket(key).contains(handle, key);
+  }
+
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// O(total) element count; for tests (call quiescent).
+  std::size_t size_slow(EbrThreadHandle& handle) {
+    std::size_t total = 0;
+    for (const auto& b : buckets_) total += b->size_slow(handle);
+    return total;
+  }
+
+  /// Applies `fn` to every key (unordered across buckets; quiescent only).
+  void for_each(EbrThreadHandle& handle,
+                const std::function<void(const Key&)>& fn) {
+    for (const auto& b : buckets_) b->for_each(handle, fn);
+  }
+
+ private:
+  HarrisList<Key>& bucket(const Key& key) {
+    return *buckets_[hash_(key) % buckets_.size()];
+  }
+
+  Hash hash_;
+  std::vector<std::unique_ptr<HarrisList<Key>>> buckets_;
+};
+
+}  // namespace pwf::lockfree

@@ -1,0 +1,114 @@
+// The Michael-Scott lock-free FIFO queue (reference [17] in the paper),
+// with epoch-based reclamation. Another canonical SCU-pattern structure:
+// enqueue/dequeue scan tail/head and validate with a CAS, helping the tail
+// forward when it lags.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "lockfree/ebr.hpp"
+
+namespace pwf::lockfree {
+
+/// Lock-free FIFO queue of T (Michael & Scott, PODC '96).
+template <typename T>
+class MsQueue {
+ public:
+  explicit MsQueue(EbrDomain& domain) : domain_(&domain) {
+    auto* dummy = new Node{};
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  ~MsQueue() {
+    // Single-threaded teardown.
+    Node* node = head_.load(std::memory_order_relaxed);
+    while (node) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  MsQueue(const MsQueue&) = delete;
+  MsQueue& operator=(const MsQueue&) = delete;
+
+  /// Enqueues `value`; returns the number of tail-CAS attempts (>= 1).
+  std::uint64_t enqueue(EbrThreadHandle& handle, T value) {
+    auto* node = new Node{std::move(value)};
+    const EbrGuard guard = handle.pin();
+    std::uint64_t attempts = 0;
+    while (true) {
+      Node* tail = tail_.load(std::memory_order_acquire);
+      Node* next = tail->next.load(std::memory_order_acquire);
+      if (tail != tail_.load(std::memory_order_acquire)) continue;
+      if (next != nullptr) {
+        // Tail is lagging: help swing it forward, then retry.
+        tail_.compare_exchange_weak(tail, next, std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+        continue;
+      }
+      ++attempts;
+      Node* expected = nullptr;
+      if (tail->next.compare_exchange_weak(expected, node,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        // Linearization point; swing the tail (may fail if helped).
+        tail_.compare_exchange_weak(tail, node, std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+        return attempts;
+      }
+    }
+  }
+
+  /// Dequeues the oldest element, or nullopt when the queue is empty.
+  std::optional<T> dequeue(EbrThreadHandle& handle) {
+    return dequeue_counted(handle).first;
+  }
+
+  std::pair<std::optional<T>, std::uint64_t> dequeue_counted(
+      EbrThreadHandle& handle) {
+    const EbrGuard guard = handle.pin();
+    std::uint64_t attempts = 0;
+    while (true) {
+      Node* head = head_.load(std::memory_order_acquire);
+      Node* tail = tail_.load(std::memory_order_acquire);
+      Node* next = head->next.load(std::memory_order_acquire);
+      if (head != head_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) return {std::nullopt, attempts};  // empty
+      if (head == tail) {
+        // Tail lagging behind a non-empty queue: help it forward.
+        tail_.compare_exchange_weak(tail, next, std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+        continue;
+      }
+      ++attempts;
+      if (head_.compare_exchange_weak(head, next, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        T out = std::move(next->value);
+        handle.retire(head);
+        return {std::move(out), attempts};
+      }
+    }
+  }
+
+  bool empty() const noexcept {
+    Node* head = head_.load(std::memory_order_acquire);
+    return head->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    T value{};
+    std::atomic<Node*> next{nullptr};
+  };
+
+  EbrDomain* domain_;
+  std::atomic<Node*> head_;
+  std::atomic<Node*> tail_;
+};
+
+}  // namespace pwf::lockfree

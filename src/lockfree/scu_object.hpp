@@ -1,0 +1,73 @@
+// A universal lock-free object following exactly the SCU(q, s) pattern
+// (paper, Section 5 and Herlihy's universal construction, reference [9]):
+// the entire object state lives behind one atomic pointer; an operation
+// scans (loads the state pointer and reads the state), computes the updated
+// state locally (the "preamble" work is the state copy), and validates with
+// a single CAS on the pointer. Old states are reclaimed through EBR.
+//
+// Any sequential object gets a lock-free concurrent implementation this
+// way, which is why the paper's analysis of SCU covers "a concurrent
+// version of every sequential object".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "lockfree/ebr.hpp"
+
+namespace pwf::lockfree {
+
+/// Universal lock-free wrapper around a copyable sequential state.
+template <typename State>
+class ScuObject {
+ public:
+  explicit ScuObject(EbrDomain& domain, State initial = State{})
+      : domain_(&domain), state_(new State(std::move(initial))) {}
+
+  ~ScuObject() { delete state_.load(std::memory_order_relaxed); }
+
+  ScuObject(const ScuObject&) = delete;
+  ScuObject& operator=(const ScuObject&) = delete;
+
+  /// Applies `update` atomically: `update` receives a mutable copy of the
+  /// current state and may return a value. Retries on contention (the CAS
+  /// validation step). Returns {update's result, CAS attempts}.
+  ///
+  /// `update` must be a pure function of its argument — it can run many
+  /// times, once per attempt.
+  template <typename F>
+  auto apply(EbrThreadHandle& handle, F&& update)
+      -> std::pair<decltype(update(std::declval<State&>())), std::uint64_t> {
+    const EbrGuard guard = handle.pin();
+    std::uint64_t attempts = 0;
+    while (true) {
+      State* current = state_.load(std::memory_order_acquire);
+      auto* proposed = new State(*current);  // scan: copy the state
+      auto result = update(*proposed);       // local computation
+      ++attempts;
+      if (state_.compare_exchange_strong(current, proposed,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        handle.retire(current);
+        return {std::move(result), attempts};
+      }
+      delete proposed;  // validation failed: rescan
+    }
+  }
+
+  /// Read-only snapshot access: `reader` receives a const reference to a
+  /// state that is kept alive for the duration of the call.
+  template <typename F>
+  auto read(EbrThreadHandle& handle, F&& reader) const {
+    const EbrGuard guard = handle.pin();
+    const State* current = state_.load(std::memory_order_acquire);
+    return reader(*current);
+  }
+
+ private:
+  EbrDomain* domain_;
+  std::atomic<State*> state_;
+};
+
+}  // namespace pwf::lockfree

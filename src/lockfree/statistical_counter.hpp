@@ -1,0 +1,55 @@
+// Native statistical counter (Dice, Lev, Moir — the paper's reference
+// [4]): per-thread cache-line-padded subcounters. Increments are wait-free
+// single stores with no cross-thread contention; reads sum all slots and
+// are only statistically consistent. The hardware counterpart of
+// core/statistical_counter.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace pwf::lockfree {
+
+/// Distributed counter with wait-free O(1) increments and O(threads)
+/// statistically-consistent reads.
+class StatisticalCounter {
+ public:
+  explicit StatisticalCounter(std::size_t max_threads)
+      : slots_(max_threads) {
+    if (max_threads == 0) {
+      throw std::invalid_argument("StatisticalCounter: need >= 1 slot");
+    }
+  }
+
+  /// Adds `delta` to thread `tid`'s subcounter. Wait-free, one store.
+  /// Precondition: tid < max_threads and each tid has a single owner.
+  void add(std::size_t tid, std::uint64_t delta = 1) noexcept {
+    Slot& slot = slots_[tid];
+    slot.value.store(slot.value.load(std::memory_order_relaxed) + delta,
+                     std::memory_order_release);
+  }
+
+  /// Sums all subcounters. The result is a valid value the counter passed
+  /// through only in quiescence; concurrently it is a statistical snapshot.
+  std::uint64_t read() const noexcept {
+    std::uint64_t total = 0;
+    for (const Slot& slot : slots_) {
+      total += slot.value.load(std::memory_order_acquire);
+    }
+    return total;
+  }
+
+  std::size_t max_threads() const noexcept { return slots_.size(); }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace pwf::lockfree

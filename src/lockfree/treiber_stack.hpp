@@ -1,0 +1,92 @@
+// Treiber's lock-free stack (reference [21] in the paper) — a canonical
+// member of the class SCU(q, s): push/pop read the head (scan) and CAS it
+// (validate). Memory is reclaimed through epoch-based reclamation, which
+// also makes the head CAS ABA-safe (a node address cannot be reused while
+// any concurrent operation might still compare against it).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "lockfree/ebr.hpp"
+
+namespace pwf::lockfree {
+
+/// Lock-free LIFO stack of T. All operations require the calling thread's
+/// EbrThreadHandle for the domain passed at construction.
+template <typename T>
+class TreiberStack {
+ public:
+  explicit TreiberStack(EbrDomain& domain) noexcept : domain_(&domain) {}
+
+  ~TreiberStack() {
+    // Single-threaded teardown: free remaining nodes directly.
+    Node* node = head_.load(std::memory_order_relaxed);
+    while (node) {
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+
+  TreiberStack(const TreiberStack&) = delete;
+  TreiberStack& operator=(const TreiberStack&) = delete;
+
+  /// Pushes `value`; returns the number of CAS attempts (>= 1).
+  std::uint64_t push(EbrThreadHandle& handle, T value) {
+    auto* node = new Node{std::move(value), nullptr};
+    const EbrGuard guard = handle.pin();
+    std::uint64_t attempts = 0;
+    Node* expected = head_.load(std::memory_order_acquire);
+    do {
+      node->next = expected;
+      ++attempts;
+    } while (!head_.compare_exchange_weak(expected, node,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire));
+    return attempts;
+  }
+
+  /// Pops the top element, or nullopt when the stack is empty.
+  std::optional<T> pop(EbrThreadHandle& handle) {
+    return pop_counted(handle).first;
+  }
+
+  /// Pop with CAS-attempt accounting (attempts == 0 means observed empty
+  /// on the first read).
+  std::pair<std::optional<T>, std::uint64_t> pop_counted(
+      EbrThreadHandle& handle) {
+    const EbrGuard guard = handle.pin();
+    std::uint64_t attempts = 0;
+    Node* node = head_.load(std::memory_order_acquire);
+    while (node) {
+      ++attempts;
+      if (head_.compare_exchange_weak(node, node->next,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        T out = std::move(node->value);
+        handle.retire(node);
+        return {std::move(out), attempts};
+      }
+      // compare_exchange reloaded `node` with the current head.
+    }
+    return {std::nullopt, attempts};
+  }
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    T value;
+    Node* next;
+  };
+
+  EbrDomain* domain_;
+  std::atomic<Node*> head_{nullptr};
+};
+
+}  // namespace pwf::lockfree

@@ -1,0 +1,532 @@
+#include "markov/builders.hpp"
+
+#include <bit>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace pwf::markov {
+namespace {
+
+/// Outcome of one scheduled step while enumerating a chain.
+struct Outcome {
+  std::uint64_t next_key;
+  double prob;
+  bool success_any;
+  bool success_p0;
+};
+
+/// Generic reachable-state enumerator: expand(key) lists the outcomes of one
+/// step from the state with canonical key `key`. States are indexed in BFS
+/// discovery order starting from `initial_key`.
+template <typename ExpandFn, typename NameFn>
+BuiltChain enumerate_chain(std::uint64_t initial_key, ExpandFn&& expand,
+                           NameFn&& name) {
+  std::map<std::uint64_t, std::size_t> index;
+  std::vector<std::uint64_t> keys;
+  std::deque<std::uint64_t> frontier;
+  index.emplace(initial_key, 0);
+  keys.push_back(initial_key);
+  frontier.push_back(initial_key);
+
+  std::vector<std::vector<Outcome>> rows;
+  while (!frontier.empty()) {
+    const std::uint64_t key = frontier.front();
+    frontier.pop_front();
+    auto outs = expand(key);
+    for (const Outcome& out : outs) {
+      if (!index.contains(out.next_key)) {
+        index.emplace(out.next_key, keys.size());
+        keys.push_back(out.next_key);
+        frontier.push_back(out.next_key);
+      }
+    }
+    rows.push_back(std::move(outs));
+  }
+
+  const std::size_t n_states = keys.size();
+  BuiltChain built{MarkovChain(n_states), {}, {}, {}, {}, {}, 0};
+  built.state_keys = keys;
+  built.success_prob.assign(n_states, 0.0);
+  built.success_prob_p0.assign(n_states, 0.0);
+  built.success_p0_target.assign(n_states, BuiltChain::kNoTarget);
+  built.state_names.reserve(n_states);
+  for (std::uint64_t key : keys) built.state_names.push_back(name(key));
+  for (std::size_t s = 0; s < n_states; ++s) {
+    for (const Outcome& out : rows[s]) {
+      built.chain.add_transition(s, index.at(out.next_key), out.prob);
+      if (out.success_any) built.success_prob[s] += out.prob;
+      if (out.success_p0) {
+        built.success_prob_p0[s] += out.prob;
+        built.success_p0_target[s] = index.at(out.next_key);
+      }
+    }
+  }
+  return built;
+}
+
+// --- scan-validate encodings -------------------------------------------------
+
+enum ExtState : std::uint64_t { kRead = 0, kCCAS = 1, kOldCAS = 2 };
+
+std::uint64_t sv_get(std::uint64_t key, std::size_t i) {
+  std::uint64_t k = key;
+  for (std::size_t j = 0; j < i; ++j) k /= 3;
+  return k % 3;
+}
+
+std::uint64_t sv_set(std::uint64_t key, std::size_t i, std::uint64_t value) {
+  std::uint64_t pow = 1;
+  for (std::size_t j = 0; j < i; ++j) pow *= 3;
+  const std::uint64_t old = (key / pow) % 3;
+  return key + (value - old) * pow;
+}
+
+std::string sv_name(std::uint64_t key, std::size_t n) {
+  static constexpr const char* kNames[] = {"R", "C", "O"};
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) oss << ',';
+    oss << 'p' << i + 1 << '=' << kNames[sv_get(key, i)];
+  }
+  return oss.str();
+}
+
+std::uint64_t sv_system_key(std::uint64_t ind_key, std::size_t n) {
+  std::size_t a = 0, b = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto st = sv_get(ind_key, i);
+    if (st == kRead) ++a;
+    if (st == kOldCAS) ++b;
+  }
+  return static_cast<std::uint64_t>(a) * (n + 1) + b;
+}
+
+// --- parallel-code encodings -------------------------------------------------
+
+std::uint64_t par_get(std::uint64_t key, std::size_t i, std::size_t q) {
+  std::uint64_t k = key;
+  for (std::size_t j = 0; j < i; ++j) k /= q;
+  return k % q;
+}
+
+std::uint64_t par_set(std::uint64_t key, std::size_t i, std::uint64_t value,
+                      std::size_t q) {
+  std::uint64_t pow = 1;
+  for (std::size_t j = 0; j < i; ++j) pow *= q;
+  const std::uint64_t old = (key / pow) % q;
+  return key + (value - old) * pow;
+}
+
+std::uint64_t par_system_key(std::uint64_t ind_key, std::size_t n,
+                             std::size_t q) {
+  // Occupancy vector encoded base (n+1).
+  std::uint64_t sys = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t c = par_get(ind_key, i, q);
+    std::uint64_t pow = 1;
+    for (std::size_t j = 0; j < c; ++j) pow *= (n + 1);
+    sys += pow;
+  }
+  return sys;
+}
+
+std::uint64_t par_occupancy(std::uint64_t sys_key, std::size_t j,
+                            std::size_t n) {
+  std::uint64_t k = sys_key;
+  for (std::size_t i = 0; i < j; ++i) k /= (n + 1);
+  return k % (n + 1);
+}
+
+}  // namespace
+
+std::size_t BuiltChain::index_of_key(std::uint64_t key) const {
+  for (std::size_t s = 0; s < state_keys.size(); ++s) {
+    if (state_keys[s] == key) return s;
+  }
+  throw std::out_of_range("BuiltChain::index_of_key: key not present");
+}
+
+// --- scan-validate -----------------------------------------------------------
+
+BuiltChain build_scan_validate_individual_chain(std::size_t n) {
+  if (n < 1 || n > 13) {
+    throw std::invalid_argument("scan_validate_individual: need 1 <= n <= 13");
+  }
+  const double p = 1.0 / static_cast<double>(n);
+  auto expand = [n, p](std::uint64_t key) {
+    std::vector<Outcome> outs;
+    outs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto st = sv_get(key, i);
+      std::uint64_t next = key;
+      bool success = false;
+      switch (st) {
+        case kRead:
+          next = sv_set(key, i, kCCAS);
+          break;
+        case kOldCAS:
+          // CAS with a stale value fails; the process restarts its loop.
+          next = sv_set(key, i, kRead);
+          break;
+        case kCCAS:
+          // CAS succeeds: p_i completes and returns to Read; every other
+          // process holding the (now old) value moves to OldCAS.
+          success = true;
+          next = sv_set(key, i, kRead);
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j != i && sv_get(next, j) == kCCAS) {
+              next = sv_set(next, j, kOldCAS);
+            }
+          }
+          break;
+      }
+      outs.push_back({next, p, success, success && i == 0});
+    }
+    return outs;
+  };
+  auto name = [n](std::uint64_t key) { return sv_name(key, n); };
+  return enumerate_chain(/*initial: all Read*/ 0, expand, name);
+}
+
+BuiltChain build_scan_validate_system_chain(std::size_t n) {
+  if (n < 1) throw std::invalid_argument("scan_validate_system: need n >= 1");
+  const double inv_n = 1.0 / static_cast<double>(n);
+  auto expand = [n, inv_n](std::uint64_t key) {
+    const std::size_t a = key / (n + 1);
+    const std::size_t b = key % (n + 1);
+    const std::size_t c = n - a - b;
+    std::vector<Outcome> outs;
+    if (b > 0) {
+      // A process CAS-ing with an old value steps and fails: (a+1, b-1).
+      outs.push_back({static_cast<std::uint64_t>(a + 1) * (n + 1) + (b - 1),
+                      static_cast<double>(b) * inv_n, false, false});
+    }
+    if (a > 0) {
+      // A reader steps: (a-1, b).
+      outs.push_back({static_cast<std::uint64_t>(a - 1) * (n + 1) + b,
+                      static_cast<double>(a) * inv_n, false, false});
+    }
+    if (c > 0) {
+      // A process CAS-ing with the current value steps and succeeds: it
+      // returns to Read and the other c-1 current CAS-ers become stale:
+      // (a+1, b + c - 1) = (a+1, n - a - 1).
+      outs.push_back({static_cast<std::uint64_t>(a + 1) * (n + 1) + (n - a - 1),
+                      static_cast<double>(c) * inv_n, true, false});
+    }
+    return outs;
+  };
+  auto name = [n](std::uint64_t key) {
+    std::ostringstream oss;
+    oss << "(a=" << key / (n + 1) << ",b=" << key % (n + 1) << ")";
+    return oss.str();
+  };
+  BuiltChain built =
+      enumerate_chain(static_cast<std::uint64_t>(n) * (n + 1), expand, name);
+  // System-chain success is anonymous; attribute 1/n of it to process 0 by
+  // symmetry so individual_latency_p0 is also defined on the system chain.
+  for (std::size_t s = 0; s < built.success_prob.size(); ++s) {
+    built.success_prob_p0[s] = built.success_prob[s] * inv_n;
+  }
+  return built;
+}
+
+std::vector<std::size_t> scan_validate_lifting_map(const BuiltChain& individual,
+                                                   const BuiltChain& system,
+                                                   std::size_t n) {
+  std::map<std::uint64_t, std::size_t> sys_index;
+  for (std::size_t s = 0; s < system.state_keys.size(); ++s) {
+    sys_index.emplace(system.state_keys[s], s);
+  }
+  std::vector<std::size_t> f(individual.state_keys.size());
+  for (std::size_t x = 0; x < individual.state_keys.size(); ++x) {
+    f[x] = sys_index.at(sv_system_key(individual.state_keys[x], n));
+  }
+  return f;
+}
+
+// --- generalized scan-validate SCU(0, s) --------------------------------------
+
+namespace {
+
+// Per-process codes, base (2s+1): 0 = about to read R (k = 0);
+// 1 + 2*(k-1) + 0 = at position k with a valid view;
+// 1 + 2*(k-1) + 1 = at position k with an invalidated view.
+std::uint64_t scu_get(std::uint64_t key, std::size_t i, std::uint64_t base) {
+  for (std::size_t j = 0; j < i; ++j) key /= base;
+  return key % base;
+}
+
+std::uint64_t scu_set(std::uint64_t key, std::size_t i, std::uint64_t value,
+                      std::uint64_t base) {
+  std::uint64_t pow = 1;
+  for (std::size_t j = 0; j < i; ++j) pow *= base;
+  const std::uint64_t old = (key / pow) % base;
+  return key + (value - old) * pow;
+}
+
+}  // namespace
+
+BuiltChain build_scu_scan_individual_chain(std::size_t n, std::size_t s) {
+  if (n < 1 || s < 1) {
+    throw std::invalid_argument("scu_scan_individual: need n, s >= 1");
+  }
+  const std::uint64_t base = 2 * s + 1;
+  double states = 1.0;
+  for (std::size_t i = 0; i < n; ++i) states *= static_cast<double>(base);
+  if (states > 2e5) {
+    throw std::invalid_argument("scu_scan_individual: state space too large");
+  }
+  const double p = 1.0 / static_cast<double>(n);
+  auto code_of = [](std::size_t k, bool valid) -> std::uint64_t {
+    return k == 0 ? 0 : 1 + 2 * (k - 1) + (valid ? 0 : 1);
+  };
+  auto expand = [n, s, p, base, code_of](std::uint64_t key) {
+    std::vector<Outcome> outs;
+    outs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t code = scu_get(key, i, base);
+      const std::size_t k = code == 0 ? 0 : 1 + (code - 1) / 2;
+      const bool valid = code == 0 || ((code - 1) % 2 == 0);
+      std::uint64_t next = key;
+      bool success = false;
+      if (k < s) {
+        // Scan step; the step at k = 0 (re-)reads R, making the view valid.
+        next = scu_set(key, i, code_of(k + 1, k == 0 ? true : valid), base);
+      } else if (!valid) {
+        // CAS with a stale view fails: restart the attempt.
+        next = scu_set(key, i, 0, base);
+      } else {
+        // CAS succeeds: we restart and every other in-flight view dies.
+        success = true;
+        next = scu_set(key, i, 0, base);
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          const std::uint64_t cj = scu_get(next, j, base);
+          if (cj != 0 && (cj - 1) % 2 == 0) {
+            next = scu_set(next, j, cj + 1, base);  // valid -> invalid
+          }
+        }
+      }
+      outs.push_back({next, p, success, success && i == 0});
+    }
+    return outs;
+  };
+  auto name = [n, s, base](std::uint64_t key) {
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i) oss << ',';
+      const std::uint64_t code = scu_get(key, i, base);
+      if (code == 0) {
+        oss << "k0";
+      } else {
+        oss << 'k' << 1 + (code - 1) / 2 << ((code - 1) % 2 ? "!" : "");
+      }
+    }
+    (void)s;
+    return oss.str();
+  };
+  return enumerate_chain(/*initial: everyone at k = 0*/ 0, expand, name);
+}
+
+// --- parallel code -----------------------------------------------------------
+
+BuiltChain build_parallel_individual_chain(std::size_t n, std::size_t q) {
+  if (n < 1 || q < 1) {
+    throw std::invalid_argument("parallel_individual: need n, q >= 1");
+  }
+  if (n * static_cast<std::size_t>(std::ceil(std::log2(double(q) + 1))) > 24) {
+    throw std::invalid_argument("parallel_individual: state space too large");
+  }
+  const double p = 1.0 / static_cast<double>(n);
+  auto expand = [n, q, p](std::uint64_t key) {
+    std::vector<Outcome> outs;
+    outs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t c = par_get(key, i, q);
+      const bool success = c == q - 1;  // counter wraps to 0: op completes
+      const std::uint64_t next = par_set(key, i, (c + 1) % q, q);
+      outs.push_back({next, p, success, success && i == 0});
+    }
+    return outs;
+  };
+  auto name = [n, q](std::uint64_t key) {
+    std::ostringstream oss;
+    oss << '(';
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i) oss << ',';
+      oss << par_get(key, i, q);
+    }
+    oss << ')';
+    return oss.str();
+  };
+  return enumerate_chain(/*initial: all counters 0*/ 0, expand, name);
+}
+
+BuiltChain build_parallel_system_chain(std::size_t n, std::size_t q) {
+  if (n < 1 || q < 1) {
+    throw std::invalid_argument("parallel_system: need n, q >= 1");
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  auto expand = [n, q, inv_n](std::uint64_t key) {
+    std::vector<Outcome> outs;
+    for (std::size_t j = 0; j < q; ++j) {
+      const std::uint64_t vj = par_occupancy(key, j, n);
+      if (vj == 0) continue;
+      // Move one process from counter class j to class (j+1) mod q.
+      std::uint64_t pow_j = 1;
+      for (std::size_t t = 0; t < j; ++t) pow_j *= (n + 1);
+      std::uint64_t pow_next = 1;
+      for (std::size_t t = 0; t < (j + 1) % q; ++t) pow_next *= (n + 1);
+      std::uint64_t next = key - pow_j;
+      if (q > 1) next += pow_next;
+      else next += pow_j;  // q == 1: the class is its own successor
+      const bool success = j == q - 1;
+      outs.push_back(
+          {next, static_cast<double>(vj) * inv_n, success, false});
+    }
+    return outs;
+  };
+  auto name = [n, q](std::uint64_t key) {
+    std::ostringstream oss;
+    oss << '[';
+    for (std::size_t j = 0; j < q; ++j) {
+      if (j) oss << ',';
+      oss << par_occupancy(key, j, n);
+    }
+    oss << ']';
+    return oss.str();
+  };
+  // Initial state: all n processes in class 0.
+  BuiltChain built = enumerate_chain(static_cast<std::uint64_t>(n), expand, name);
+  for (std::size_t s = 0; s < built.success_prob.size(); ++s) {
+    built.success_prob_p0[s] = built.success_prob[s] * inv_n;
+  }
+  return built;
+}
+
+std::vector<std::size_t> parallel_lifting_map(const BuiltChain& individual,
+                                              const BuiltChain& system,
+                                              std::size_t n, std::size_t q) {
+  std::map<std::uint64_t, std::size_t> sys_index;
+  for (std::size_t s = 0; s < system.state_keys.size(); ++s) {
+    sys_index.emplace(system.state_keys[s], s);
+  }
+  std::vector<std::size_t> f(individual.state_keys.size());
+  for (std::size_t x = 0; x < individual.state_keys.size(); ++x) {
+    f[x] = sys_index.at(par_system_key(individual.state_keys[x], n, q));
+  }
+  return f;
+}
+
+// --- fetch-and-increment -----------------------------------------------------
+
+BuiltChain build_fai_individual_chain(std::size_t n) {
+  if (n < 1 || n > 20) {
+    throw std::invalid_argument("fai_individual: need 1 <= n <= 20");
+  }
+  const double p = 1.0 / static_cast<double>(n);
+  auto expand = [n, p](std::uint64_t key) {
+    std::vector<Outcome> outs;
+    outs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t bit = std::uint64_t{1} << i;
+      if (key & bit) {
+        // p_i holds the current value: its CAS succeeds and everyone else's
+        // value becomes stale. New state {p_i}.
+        outs.push_back({bit, p, true, i == 0});
+      } else {
+        // p_i CAS-es with a stale value: it fails, but the augmented CAS
+        // returns the current value, so p_i joins the current set.
+        outs.push_back({key | bit, p, false, false});
+      }
+    }
+    return outs;
+  };
+  auto name = [n](std::uint64_t key) {
+    std::ostringstream oss;
+    oss << '{';
+    bool first = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (key & (std::uint64_t{1} << i)) {
+        if (!first) oss << ',';
+        oss << 'p' << i + 1;
+        first = false;
+      }
+    }
+    oss << '}';
+    return oss.str();
+  };
+  // Initial state s_Pi: every process holds the current value.
+  const std::uint64_t all = n == 64 ? ~std::uint64_t{0}
+                                    : (std::uint64_t{1} << n) - 1;
+  return enumerate_chain(all, expand, name);
+}
+
+BuiltChain build_fai_global_chain(std::size_t n) {
+  if (n < 1) throw std::invalid_argument("fai_global: need n >= 1");
+  const double inv_n = 1.0 / static_cast<double>(n);
+  auto expand = [n, inv_n](std::uint64_t key) {
+    // key = i, the number of processes holding the current value (1..n).
+    const auto i = static_cast<std::size_t>(key);
+    std::vector<Outcome> outs;
+    outs.push_back({1, static_cast<double>(i) * inv_n, true, false});
+    if (i < n) {
+      outs.push_back({key + 1, static_cast<double>(n - i) * inv_n, false,
+                      false});
+    }
+    return outs;
+  };
+  auto name = [](std::uint64_t key) {
+    return "v" + std::to_string(key);
+  };
+  BuiltChain built = enumerate_chain(static_cast<std::uint64_t>(n), expand, name);
+  for (std::size_t s = 0; s < built.success_prob.size(); ++s) {
+    built.success_prob_p0[s] = built.success_prob[s] * inv_n;
+  }
+  return built;
+}
+
+std::vector<std::size_t> fai_lifting_map(const BuiltChain& individual,
+                                         const BuiltChain& global) {
+  std::map<std::uint64_t, std::size_t> glob_index;
+  for (std::size_t s = 0; s < global.state_keys.size(); ++s) {
+    glob_index.emplace(global.state_keys[s], s);
+  }
+  std::vector<std::size_t> f(individual.state_keys.size());
+  for (std::size_t x = 0; x < individual.state_keys.size(); ++x) {
+    f[x] = glob_index.at(std::popcount(individual.state_keys[x]));
+  }
+  return f;
+}
+
+// --- latency extraction ------------------------------------------------------
+
+double system_latency(const BuiltChain& built) {
+  const auto pi = built.chain.stationary();
+  double mu = 0.0;
+  for (std::size_t s = 0; s < pi.size(); ++s) {
+    mu += pi[s] * built.success_prob[s];
+  }
+  if (mu <= 0.0) {
+    throw std::logic_error("system_latency: no successes in stationarity");
+  }
+  return 1.0 / mu;
+}
+
+double individual_latency_p0(const BuiltChain& built) {
+  const auto pi = built.chain.stationary();
+  double mu = 0.0;
+  for (std::size_t s = 0; s < pi.size(); ++s) {
+    mu += pi[s] * built.success_prob_p0[s];
+  }
+  if (mu <= 0.0) {
+    throw std::logic_error(
+        "individual_latency_p0: no successes in stationarity");
+  }
+  return 1.0 / mu;
+}
+
+}  // namespace pwf::markov

@@ -1,0 +1,115 @@
+// Exact constructions of every Markov chain the paper analyzes, obtained by
+// breadth-first enumeration of the reachable state space from the paper's
+// initial state:
+//
+//  * scan-validate SCU(0,1) (Section 6.1): the *individual chain* over
+//    extended local states {Read, CCAS, OldCAS}^n (3^n - 1 reachable
+//    states) and the *system chain* over (a, b) = (#Read, #OldCAS);
+//  * parallel code SCU(q,0) (Section 6.2): the individual chain over
+//    counter vectors {0..q-1}^n and the system chain over occupancy
+//    vectors (v_0..v_{q-1});
+//  * fetch-and-increment with augmented CAS (Section 7): the individual
+//    chain over non-empty subsets of processes holding the current value
+//    (2^n - 1 states) and the global chain v_1..v_n.
+//
+// Each builder annotates states with the probability that the next system
+// step completes an operation (for the system latency W) and with the
+// probability that it completes an operation *of process 0* (for the
+// individual latency W_0; by symmetry W_i = W_0 for all i, Lemma 6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "markov/chain.hpp"
+
+namespace pwf::markov {
+
+/// A chain built from one of the paper's algorithms, with the success
+/// structure needed to read off latencies from the stationary distribution.
+struct BuiltChain {
+  MarkovChain chain;
+  /// Canonical key of each state (encoding is chain-specific; used to
+  /// construct lifting maps between the individual and system versions).
+  std::vector<std::uint64_t> state_keys;
+  /// Human-readable names (used by the Figure 1 bench).
+  std::vector<std::string> state_names;
+  /// P[the next system step completes some operation | state].
+  std::vector<double> success_prob;
+  /// P[the next system step completes an operation of process 0 | state].
+  std::vector<double> success_prob_p0;
+  /// State reached when process 0 completes from this state (kNoTarget
+  /// where success_prob_p0 == 0, and on system chains, whose successes are
+  /// anonymous). Used by op_latency_distribution().
+  std::vector<std::size_t> success_p0_target;
+  std::size_t initial_state = 0;
+
+  static constexpr std::size_t kNoTarget = static_cast<std::size_t>(-1);
+
+  /// Index of the state with canonical key `key`; throws if absent.
+  std::size_t index_of_key(std::uint64_t key) const;
+};
+
+// -- Scan-validate SCU(0,1), Section 6.1 ------------------------------------
+
+/// Individual chain: one extended local state per process, Read/CCAS/OldCAS,
+/// uniform scheduler. Reachable state count is 3^n - 1. Requires 1 <= n <= 13.
+BuiltChain build_scan_validate_individual_chain(std::size_t n);
+
+/// System chain over (a, b) = (#Read, #OldCAS). Requires 1 <= n.
+BuiltChain build_scan_validate_system_chain(std::size_t n);
+
+/// Lifting map f: individual state -> system state (Definition 2).
+std::vector<std::size_t> scan_validate_lifting_map(const BuiltChain& individual,
+                                                   const BuiltChain& system,
+                                                   std::size_t n);
+
+/// Generalized scan-validate individual chain for SCU(0, s) with s scan
+/// steps (Corollary 1): each process's extended state is its position
+/// k in {0..s} within the current attempt (k = 0: about to read R;
+/// k = s: about to CAS) plus, for k >= 1, whether its view of R is still
+/// valid. Any process's successful CAS invalidates every other in-flight
+/// view. For s = 1 this is exactly the Read/CCAS/OldCAS chain.
+/// State count is (2s+1)^n; keep n * log2(2s+1) small (n <= 5 for s <= 3).
+BuiltChain build_scu_scan_individual_chain(std::size_t n, std::size_t s);
+
+// -- Parallel code SCU(q,0), Section 6.2 ------------------------------------
+
+/// Individual chain over counter vectors (C_1..C_n), C_i in {0..q-1}.
+/// Requires q >= 1 and q^n to fit comfortably (n*log2(q) <= 24).
+BuiltChain build_parallel_individual_chain(std::size_t n, std::size_t q);
+
+/// System chain over occupancy vectors (v_0..v_{q-1}), sum v_j = n.
+BuiltChain build_parallel_system_chain(std::size_t n, std::size_t q);
+
+/// Lifting map f: counter vector -> occupancy vector (Lemma 10).
+std::vector<std::size_t> parallel_lifting_map(const BuiltChain& individual,
+                                              const BuiltChain& system,
+                                              std::size_t n, std::size_t q);
+
+// -- Fetch-and-increment with augmented CAS, Section 7 ----------------------
+
+/// Individual chain over non-empty subsets S of processes holding the
+/// current value (2^n - 1 states). Requires 1 <= n <= 20.
+BuiltChain build_fai_individual_chain(std::size_t n);
+
+/// Global chain v_1..v_n (v_i: i processes hold the current value).
+BuiltChain build_fai_global_chain(std::size_t n);
+
+/// Lifting map f: subset S -> v_{|S|} (Lemma 13).
+std::vector<std::size_t> fai_lifting_map(const BuiltChain& individual,
+                                         const BuiltChain& global);
+
+// -- Latency extraction ------------------------------------------------------
+
+/// W: expected system steps between two completions in the stationary
+/// distribution (= 1 / sum_s pi_s * success_prob[s]).
+double system_latency(const BuiltChain& built);
+
+/// W_0: expected system steps between two completions by process 0
+/// (= 1 / sum_s pi_s * success_prob_p0[s]). By Lemma 7, W_0 = n * W.
+double individual_latency_p0(const BuiltChain& built);
+
+}  // namespace pwf::markov

@@ -1,0 +1,210 @@
+#include "markov/chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace pwf::markov {
+
+MarkovChain::MarkovChain(std::size_t num_states) : rows_(num_states) {
+  if (num_states == 0) {
+    throw std::invalid_argument("MarkovChain: need at least one state");
+  }
+}
+
+void MarkovChain::add_transition(std::size_t from, std::size_t to,
+                                 double prob) {
+  if (from >= rows_.size() || to >= rows_.size()) {
+    throw std::out_of_range("MarkovChain::add_transition: state out of range");
+  }
+  if (!(prob > 0.0)) {
+    throw std::invalid_argument(
+        "MarkovChain::add_transition: probability must be > 0");
+  }
+  auto& row = rows_[from];
+  auto it = std::find_if(row.begin(), row.end(),
+                         [to](const Transition& t) { return t.to == to; });
+  if (it != row.end()) {
+    it->prob += prob;
+  } else {
+    row.push_back({to, prob});
+  }
+}
+
+std::span<const Transition> MarkovChain::transitions_from(
+    std::size_t state) const {
+  return rows_.at(state);
+}
+
+double MarkovChain::transition_prob(std::size_t from, std::size_t to) const {
+  for (const auto& t : rows_.at(from)) {
+    if (t.to == to) return t.prob;
+  }
+  return 0.0;
+}
+
+void MarkovChain::validate(double tol) const {
+  for (std::size_t s = 0; s < rows_.size(); ++s) {
+    double sum = 0.0;
+    for (const auto& t : rows_[s]) {
+      if (t.prob < 0.0 || t.prob > 1.0 + tol) {
+        throw std::logic_error("MarkovChain: probability outside [0,1] at " +
+                               std::to_string(s));
+      }
+      sum += t.prob;
+    }
+    if (std::abs(sum - 1.0) > tol) {
+      throw std::logic_error("MarkovChain: row " + std::to_string(s) +
+                             " sums to " + std::to_string(sum));
+    }
+  }
+}
+
+std::vector<double> MarkovChain::stationary(double tol,
+                                            std::size_t max_iters) const {
+  const std::size_t n = rows_.size();
+  std::vector<double> cur(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t s = 0; s < n; ++s) {
+      const double mass = cur[s];
+      if (mass == 0.0) continue;
+      // Lazy chain: stay put with probability 1/2, move with probability 1/2.
+      next[s] += 0.5 * mass;
+      for (const auto& t : rows_[s]) next[t.to] += 0.5 * mass * t.prob;
+    }
+    double diff = 0.0;
+    for (std::size_t s = 0; s < n; ++s) diff += std::abs(next[s] - cur[s]);
+    cur.swap(next);
+    if (diff < tol) return cur;
+  }
+  return cur;  // best effort after max_iters
+}
+
+std::vector<double> MarkovChain::stationary_exact() const {
+  const std::size_t n = rows_.size();
+  if (n > 2048) {
+    throw std::invalid_argument(
+        "stationary_exact: chain too large for the dense solver");
+  }
+  // Build A = P^T - I, then replace the last equation with sum(pi) = 1.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n + 1, 0.0));
+  for (std::size_t s = 0; s < n; ++s) {
+    for (const auto& t : rows_[s]) a[t.to][s] += t.prob;
+    a[s][s] -= 1.0;
+  }
+  for (std::size_t c = 0; c < n; ++c) a[n - 1][c] = 1.0;
+  a[n - 1][n] = 1.0;
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-14) {
+      throw std::logic_error(
+          "stationary_exact: singular system (chain not irreducible?)");
+    }
+    std::swap(a[col], a[pivot]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col || a[r][col] == 0.0) continue;
+      const double factor = a[r][col] / a[col][col];
+      for (std::size_t c = col; c <= n; ++c) a[r][c] -= factor * a[col][c];
+    }
+  }
+  std::vector<double> pi(n);
+  for (std::size_t s = 0; s < n; ++s) pi[s] = a[s][n] / a[s][s];
+  return pi;
+}
+
+std::vector<double> MarkovChain::hitting_times(std::size_t target, double tol,
+                                               std::size_t max_iters) const {
+  const std::size_t n = rows_.size();
+  if (target >= n) {
+    throw std::out_of_range("MarkovChain::hitting_times: target out of range");
+  }
+  // Restrict to states that can reach `target` (reverse BFS); others get inf.
+  std::vector<std::vector<std::size_t>> reverse(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (const auto& t : rows_[s]) reverse[t.to].push_back(s);
+  }
+  std::vector<char> reaches(n, 0);
+  std::vector<std::size_t> stack{target};
+  reaches[target] = 1;
+  while (!stack.empty()) {
+    const std::size_t s = stack.back();
+    stack.pop_back();
+    for (std::size_t prev : reverse[s]) {
+      if (!reaches[prev]) {
+        reaches[prev] = 1;
+        stack.push_back(prev);
+      }
+    }
+  }
+
+  std::vector<double> h(n, 0.0);
+  // Gauss-Seidel sweeps on h(i) = 1 + sum_{j != target} p_ij h(j).
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    double diff = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == target || !reaches[s]) continue;
+      double acc = 1.0;
+      double self = 0.0;
+      for (const auto& t : rows_[s]) {
+        if (t.to == target) continue;
+        if (t.to == s) {
+          self = t.prob;
+        } else {
+          acc += t.prob * h[t.to];
+        }
+      }
+      // Solve the diagonal self-loop exactly: h = acc + self*h.
+      const double updated = self < 1.0
+                                 ? acc / (1.0 - self)
+                                 : std::numeric_limits<double>::infinity();
+      diff = std::max(diff, std::abs(updated - h[s]));
+      h[s] = updated;
+    }
+    if (diff < tol) break;
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!reaches[s] && s != target) {
+      h[s] = std::numeric_limits<double>::infinity();
+    }
+  }
+  return h;
+}
+
+double MarkovChain::return_time(std::size_t state) const {
+  const auto h = hitting_times(state);
+  double total = 1.0;
+  for (const auto& t : rows_.at(state)) {
+    if (t.to == state) continue;  // immediate return contributes 0 extra
+    if (std::isinf(h[t.to])) return std::numeric_limits<double>::infinity();
+    total += t.prob * h[t.to];
+  }
+  return total;
+}
+
+double MarkovChain::ergodic_flow(std::size_t from, std::size_t to,
+                                 std::span<const double> pi) const {
+  return pi[from] * transition_prob(from, to);
+}
+
+void MarkovChain::step_distribution(std::span<const double> in,
+                                    std::span<double> out) const {
+  if (in.size() != rows_.size() || out.size() != rows_.size()) {
+    throw std::invalid_argument("step_distribution: size mismatch");
+  }
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t s = 0; s < rows_.size(); ++s) {
+    if (in[s] == 0.0) continue;
+    for (const auto& t : rows_[s]) out[t.to] += in[s] * t.prob;
+  }
+}
+
+}  // namespace pwf::markov

@@ -1,0 +1,80 @@
+// Discrete-time, time-invariant, finite Markov chains (paper, Section 3).
+//
+// The representation is sparse (adjacency lists of (state, probability)),
+// because every chain in the paper has out-degree at most n while the state
+// counts grow like 3^n or 2^n. Provides exactly the machinery the paper's
+// analysis uses: stationary distributions, hitting/return times, ergodic
+// flow, and (in lifting.hpp) Markov-chain lifting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pwf::markov {
+
+/// One outgoing edge of a chain: move to `to` with probability `prob`.
+struct Transition {
+  std::size_t to;
+  double prob;
+};
+
+/// A finite time-invariant Markov chain with sparse transition structure.
+///
+/// Rows must sum to 1 (checked by validate()); duplicate (from, to) entries
+/// added via add_transition accumulate into a single edge.
+class MarkovChain {
+ public:
+  explicit MarkovChain(std::size_t num_states);
+
+  /// Accumulates probability mass on edge from -> to. prob must be > 0.
+  void add_transition(std::size_t from, std::size_t to, double prob);
+
+  std::size_t num_states() const noexcept { return rows_.size(); }
+
+  std::span<const Transition> transitions_from(std::size_t state) const;
+
+  /// Probability of the edge from -> to (0 if absent).
+  double transition_prob(std::size_t from, std::size_t to) const;
+
+  /// Throws std::logic_error if any row's probabilities do not sum to 1
+  /// within `tol`, or if any probability is outside [0, 1].
+  void validate(double tol = 1e-9) const;
+
+  /// Stationary distribution pi with pi = pi * P, computed by power
+  /// iteration on the lazy chain (P + I)/2 — the lazy chain has the same
+  /// stationary distribution and is aperiodic, so the iteration converges
+  /// even for periodic chains. Requires irreducibility for uniqueness.
+  std::vector<double> stationary(double tol = 1e-13,
+                                 std::size_t max_iters = 2'000'000) const;
+
+  /// Stationary distribution by direct Gaussian elimination on
+  /// (P^T - I) pi = 0 with the normalization constraint — O(n^3) time and
+  /// O(n^2) memory, so only for small chains (n <= ~2000). Used to
+  /// cross-validate the iterative solver.
+  std::vector<double> stationary_exact() const;
+
+  /// Expected hitting times h[i] = E[steps to first reach `target` from i],
+  /// with h[target] = 0, solved by Gauss-Seidel on the linear system
+  /// h = 1 + P_{-target} h. States that cannot reach `target` are reported
+  /// as +infinity.
+  std::vector<double> hitting_times(std::size_t target, double tol = 1e-12,
+                                    std::size_t max_iters = 1'000'000) const;
+
+  /// Expected return time to `state`: 1 + sum_j p(state, j) * h_j(state).
+  /// For an ergodic chain this equals 1 / pi[state] (paper, Theorem 1).
+  double return_time(std::size_t state) const;
+
+  /// Ergodic flow Q_ij = pi_i * p_ij for a given stationary vector.
+  double ergodic_flow(std::size_t from, std::size_t to,
+                      std::span<const double> pi) const;
+
+  /// Distribution after one step: out = in * P.
+  void step_distribution(std::span<const double> in,
+                         std::span<double> out) const;
+
+ private:
+  std::vector<std::vector<Transition>> rows_;
+};
+
+}  // namespace pwf::markov

@@ -1,0 +1,121 @@
+#include "markov/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+namespace pwf::markov {
+
+std::vector<std::size_t> strongly_connected_components(
+    const MarkovChain& chain, std::size_t* num_sccs) {
+  const std::size_t n = chain.num_states();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<std::size_t> scc_id(n, kUnvisited);
+  std::vector<std::size_t> stack;
+  std::size_t next_index = 0;
+  std::size_t next_scc = 0;
+
+  // Iterative Tarjan: each frame remembers the state and the next edge to
+  // explore in its adjacency list.
+  struct Frame {
+    std::size_t state;
+    std::size_t edge;
+  };
+  std::vector<Frame> call_stack;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const std::size_t v = frame.state;
+      if (frame.edge == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      const auto edges = chain.transitions_from(v);
+      bool descended = false;
+      while (frame.edge < edges.size()) {
+        const std::size_t w = edges[frame.edge].to;
+        ++frame.edge;
+        if (index[w] == kUnvisited) {
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      // All edges explored: close the frame.
+      if (lowlink[v] == index[v]) {
+        while (true) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          scc_id[w] = next_scc;
+          if (w == v) break;
+        }
+        ++next_scc;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const std::size_t parent = call_stack.back().state;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  if (num_sccs) *num_sccs = next_scc;
+  return scc_id;
+}
+
+std::size_t chain_period(const MarkovChain& chain) {
+  const std::size_t n = chain.num_states();
+  constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> dist(n, kUnset);
+  std::deque<std::size_t> queue;
+  dist[0] = 0;
+  queue.push_back(0);
+  std::size_t g = 0;
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    for (const auto& t : chain.transitions_from(v)) {
+      if (dist[t.to] == kUnset) {
+        dist[t.to] = dist[v] + 1;
+        queue.push_back(t.to);
+      } else {
+        // Every edge closes a (not necessarily simple) cycle of length
+        // dist(v) + 1 - dist(to) modulo the period.
+        const auto diff =
+            static_cast<long long>(dist[v]) + 1 - static_cast<long long>(dist[t.to]);
+        g = std::gcd(g, static_cast<std::size_t>(diff < 0 ? -diff : diff));
+      }
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (dist[s] == kUnset) {
+      throw std::logic_error("chain_period: chain is not irreducible");
+    }
+  }
+  return g;
+}
+
+ErgodicityReport analyze_ergodicity(const MarkovChain& chain) {
+  ErgodicityReport report;
+  strongly_connected_components(chain, &report.num_sccs);
+  report.irreducible = report.num_sccs == 1;
+  if (report.irreducible) {
+    report.period = chain_period(chain);
+    report.aperiodic = report.period == 1;
+  }
+  report.ergodic = report.irreducible && report.aperiodic;
+  return report;
+}
+
+}  // namespace pwf::markov

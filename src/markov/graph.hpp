@@ -1,0 +1,38 @@
+// Graph-theoretic structure of a Markov chain: strongly connected
+// components (irreducibility), periodicity, and the combined ergodicity
+// check the paper relies on (Lemma 3, Lemma 13: "the individual chain and
+// the system chain are ergodic").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/chain.hpp"
+
+namespace pwf::markov {
+
+/// Result of analyze_ergodicity().
+struct ErgodicityReport {
+  std::size_t num_sccs = 0;
+  bool irreducible = false;
+  /// gcd of all directed cycle lengths (only meaningful when irreducible;
+  /// 0 if the chain has no cycle, which cannot happen for a valid chain).
+  std::size_t period = 0;
+  bool aperiodic = false;
+  bool ergodic = false;  ///< irreducible && aperiodic
+};
+
+/// Tarjan-style SCC decomposition (iterative, no recursion). Returns the
+/// component id of every state; ids are dense in [0, num_sccs).
+std::vector<std::size_t> strongly_connected_components(
+    const MarkovChain& chain, std::size_t* num_sccs = nullptr);
+
+/// Period of an irreducible chain: gcd over all edges (u, v) of
+/// dist(u) + 1 - dist(v), where dist is BFS distance from any root.
+/// Precondition: the chain is irreducible.
+std::size_t chain_period(const MarkovChain& chain);
+
+/// Full report: SCC count, irreducibility, period, aperiodicity, ergodicity.
+ErgodicityReport analyze_ergodicity(const MarkovChain& chain);
+
+}  // namespace pwf::markov

@@ -1,0 +1,97 @@
+#include "markov/lifting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace pwf::markov {
+
+LiftingCheck verify_lifting(const MarkovChain& lifted, const MarkovChain& base,
+                            std::span<const std::size_t> f, double tol) {
+  if (f.size() != lifted.num_states()) {
+    throw std::invalid_argument("verify_lifting: |f| != |lifted states|");
+  }
+  for (std::size_t x = 0; x < f.size(); ++x) {
+    if (f[x] >= base.num_states()) {
+      throw std::invalid_argument("verify_lifting: f maps outside base chain");
+    }
+  }
+
+  const std::vector<double> pi_lifted = lifted.stationary();
+  const std::vector<double> pi_base = base.stationary();
+
+  // Aggregate lifted flows by (f(x), f(y)).
+  std::map<std::pair<std::size_t, std::size_t>, double> lifted_flow;
+  for (std::size_t x = 0; x < lifted.num_states(); ++x) {
+    for (const auto& t : lifted.transitions_from(x)) {
+      lifted_flow[{f[x], f[t.to]}] += pi_lifted[x] * t.prob;
+    }
+  }
+
+  LiftingCheck check;
+  // Compare against base flows on the union of edge sets.
+  std::map<std::pair<std::size_t, std::size_t>, double> base_flow;
+  for (std::size_t i = 0; i < base.num_states(); ++i) {
+    for (const auto& t : base.transitions_from(i)) {
+      base_flow[{i, t.to}] = pi_base[i] * t.prob;
+    }
+  }
+  for (const auto& [edge, q] : lifted_flow) {
+    const auto it = base_flow.find(edge);
+    const double base_q = it == base_flow.end() ? 0.0 : it->second;
+    check.max_flow_error = std::max(check.max_flow_error, std::abs(q - base_q));
+  }
+  for (const auto& [edge, q] : base_flow) {
+    if (!lifted_flow.contains(edge)) {
+      check.max_flow_error = std::max(check.max_flow_error, q);
+    }
+  }
+
+  // Lemma 1: stationary mass of a base state equals the mass of its preimage.
+  std::vector<double> collapsed(base.num_states(), 0.0);
+  for (std::size_t x = 0; x < f.size(); ++x) collapsed[f[x]] += pi_lifted[x];
+  for (std::size_t v = 0; v < base.num_states(); ++v) {
+    check.max_stationary_error =
+        std::max(check.max_stationary_error, std::abs(collapsed[v] - pi_base[v]));
+  }
+
+  check.is_lifting =
+      check.max_flow_error <= tol && check.max_stationary_error <= tol;
+  return check;
+}
+
+MarkovChain collapse(const MarkovChain& lifted,
+                     std::span<const std::size_t> f,
+                     std::size_t num_base_states) {
+  if (f.size() != lifted.num_states()) {
+    throw std::invalid_argument("collapse: |f| != |lifted states|");
+  }
+  const std::vector<double> pi = lifted.stationary();
+
+  std::vector<double> mass(num_base_states, 0.0);
+  for (std::size_t x = 0; x < f.size(); ++x) {
+    if (f[x] >= num_base_states) {
+      throw std::invalid_argument("collapse: f maps outside base range");
+    }
+    mass[f[x]] += pi[x];
+  }
+
+  std::map<std::pair<std::size_t, std::size_t>, double> flow;
+  for (std::size_t x = 0; x < lifted.num_states(); ++x) {
+    for (const auto& t : lifted.transitions_from(x)) {
+      flow[{f[x], f[t.to]}] += pi[x] * t.prob;
+    }
+  }
+
+  MarkovChain base(num_base_states);
+  for (const auto& [edge, q] : flow) {
+    const auto [from, to] = edge;
+    if (mass[from] <= 0.0) continue;  // unreachable cluster: no outgoing law
+    base.add_transition(from, to, q / mass[from]);
+  }
+  return base;
+}
+
+}  // namespace pwf::markov

@@ -1,0 +1,49 @@
+// Markov chain lifting (paper, Section 3 and Definition 2).
+//
+// A chain M' on states S' is a *lifting* of a chain M on states S when a
+// surjection f : S' -> S preserves ergodic flows:
+//     Q_ij = sum_{x in f^-1(i), y in f^-1(j)} Q'_xy         for all i, j,
+// where Q_ij = pi_i p_ij and Q'_xy = pi'_x p'_xy. Lemma 1 then gives
+//     pi(v) = sum_{x in f^-1(v)} pi'(x).
+//
+// verify_lifting() checks the flow homomorphism numerically; collapse()
+// constructs the unique base chain induced by a mapping (the chain whose
+// transition probabilities are the pi'-weighted averages over preimages),
+// which is how the paper derives the system chain from the individual chain.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "markov/chain.hpp"
+
+namespace pwf::markov {
+
+/// Result of verify_lifting().
+struct LiftingCheck {
+  bool is_lifting = false;
+  /// max_{i,j} | Q_ij - sum over preimage flows |
+  double max_flow_error = 0.0;
+  /// max_v | pi(v) - sum_{x in f^-1(v)} pi'(x) |   (Lemma 1)
+  double max_stationary_error = 0.0;
+};
+
+/// Checks that `base` is obtained from `lifted` by the mapping `f`
+/// (f[x] = base state of lifted state x). Both chains must be ergodic so
+/// their stationary distributions are unique. `tol` bounds the allowed
+/// numerical error in the flow homomorphism.
+LiftingCheck verify_lifting(const MarkovChain& lifted, const MarkovChain& base,
+                            std::span<const std::size_t> f,
+                            double tol = 1e-9);
+
+/// Collapses `lifted` through `f` onto `num_base_states` states:
+///   p_hat(k, j) = sum_{x in f^-1(k)} pi'_x sum_{y in f^-1(j)} p'_xy / pi_k.
+/// This is the transition law of the image process when the lifted chain is
+/// stationary; if f is a true lifting, the image process is Markov and this
+/// is the base chain.
+MarkovChain collapse(const MarkovChain& lifted,
+                     std::span<const std::size_t> f,
+                     std::size_t num_base_states);
+
+}  // namespace pwf::markov

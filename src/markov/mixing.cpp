@@ -1,0 +1,92 @@
+#include "markov/mixing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pwf::markov {
+
+double total_variation(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("total_variation: size mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) sum += std::abs(p[i] - q[i]);
+  return 0.5 * sum;
+}
+
+std::vector<double> distance_to_stationarity(const MarkovChain& chain,
+                                             std::size_t from,
+                                             std::size_t max_t, bool lazy) {
+  if (from >= chain.num_states()) {
+    throw std::out_of_range("distance_to_stationarity: bad start state");
+  }
+  const std::vector<double> pi = chain.stationary();
+  std::vector<double> cur(chain.num_states(), 0.0);
+  std::vector<double> next(chain.num_states(), 0.0);
+  cur[from] = 1.0;
+  std::vector<double> out;
+  out.reserve(max_t + 1);
+  out.push_back(total_variation(cur, pi));
+  for (std::size_t t = 1; t <= max_t; ++t) {
+    chain.step_distribution(cur, next);
+    if (lazy) {
+      for (std::size_t s = 0; s < cur.size(); ++s) {
+        next[s] = 0.5 * next[s] + 0.5 * cur[s];
+      }
+    }
+    cur.swap(next);
+    out.push_back(total_variation(cur, pi));
+  }
+  return out;
+}
+
+std::size_t mixing_time(const MarkovChain& chain, double epsilon,
+                        std::size_t max_t,
+                        std::span<const std::size_t> starts, bool lazy) {
+  std::vector<std::size_t> all;
+  if (starts.empty()) {
+    all.resize(chain.num_states());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    starts = all;
+  }
+  std::size_t worst = 0;
+  for (std::size_t from : starts) {
+    const auto dist = distance_to_stationarity(chain, from, max_t, lazy);
+    const auto it = std::find_if(dist.begin(), dist.end(),
+                                 [epsilon](double d) { return d <= epsilon; });
+    if (it == dist.end()) return max_t + 1;
+    worst = std::max(worst, static_cast<std::size_t>(it - dist.begin()));
+  }
+  return worst;
+}
+
+std::vector<std::size_t> sample_trajectory(const MarkovChain& chain,
+                                           std::size_t from,
+                                           std::size_t steps,
+                                           Xoshiro256pp& rng) {
+  if (from >= chain.num_states()) {
+    throw std::out_of_range("sample_trajectory: bad start state");
+  }
+  std::vector<std::size_t> out;
+  out.reserve(steps);
+  std::size_t state = from;
+  for (std::size_t t = 0; t < steps; ++t) {
+    const double x = rng.uniform_double();
+    double acc = 0.0;
+    std::size_t chosen = state;
+    for (const auto& tr : chain.transitions_from(state)) {
+      acc += tr.prob;
+      if (x < acc) {
+        chosen = tr.to;
+        break;
+      }
+    }
+    state = chosen;
+    out.push_back(state);
+  }
+  return out;
+}
+
+}  // namespace pwf::markov

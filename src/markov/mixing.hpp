@@ -1,0 +1,52 @@
+// Mixing-time machinery. The paper's latency results are stationary
+// statements ("the behavior of the algorithm at infinity", Section 6.3);
+// every simulation in this repository therefore discards a warmup window.
+// These utilities make that rigorous: they compute the total-variation
+// distance to stationarity after t steps and the epsilon-mixing time of a
+// chain, so tests can assert that the warmup used actually suffices.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "markov/chain.hpp"
+#include "util/rng.hpp"
+
+namespace pwf::markov {
+
+/// Total-variation distance between two distributions on the same state
+/// space: 0.5 * sum_i |p_i - q_i|. Precondition: equal sizes.
+double total_variation(std::span<const double> p, std::span<const double> q);
+
+/// Distance to stationarity d(t) = TV(delta_from * P^t, pi), for
+/// t = 0..max_t. Monotone non-increasing, and convergent to 0 only for
+/// *aperiodic* chains. Several of the paper's chains are periodic (the
+/// scan-validate chains have period 2, the parallel-code chains period q
+/// — a small correction to Lemma 3's "ergodic"; see DESIGN.md), so pass
+/// lazy = true to analyze the lazy chain (P + I)/2 instead: it has the
+/// same stationary distribution, is aperiodic, and its mixing profile
+/// governs the time-averaged statistics the paper's results are about.
+std::vector<double> distance_to_stationarity(const MarkovChain& chain,
+                                             std::size_t from,
+                                             std::size_t max_t,
+                                             bool lazy = false);
+
+/// The epsilon-mixing time from a worst-case point start:
+/// min { t : max_from TV(delta_from * P^t, pi) <= epsilon }.
+/// `starts` restricts the maximization (empty = all states, which can be
+/// expensive for big chains). Returns max_t + 1 if not mixed by max_t.
+std::size_t mixing_time(const MarkovChain& chain, double epsilon,
+                        std::size_t max_t,
+                        std::span<const std::size_t> starts = {},
+                        bool lazy = false);
+
+/// Samples a trajectory of the chain: returns the state visited at each of
+/// `steps` steps, starting from `from`. Used by tests to cross-check the
+/// stationary distribution against empirical occupation frequencies.
+std::vector<std::size_t> sample_trajectory(const MarkovChain& chain,
+                                           std::size_t from,
+                                           std::size_t steps,
+                                           Xoshiro256pp& rng);
+
+}  // namespace pwf::markov

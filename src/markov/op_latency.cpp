@@ -1,0 +1,73 @@
+#include "markov/op_latency.hpp"
+
+#include <stdexcept>
+
+namespace pwf::markov {
+
+double OpLatencyLaw::tail(std::size_t t) const {
+  double sum = truncated;
+  for (std::size_t i = t + 1; i < pmf.size(); ++i) sum += pmf[i];
+  return sum;
+}
+
+OpLatencyLaw op_latency_distribution(const BuiltChain& built,
+                                     std::size_t max_t) {
+  const MarkovChain& chain = built.chain;
+  const std::size_t n_states = chain.num_states();
+  const std::vector<double> pi = chain.stationary();
+
+  // Start distribution: where the chain lands immediately after a
+  // p0-success, weighted by the stationary flow through each success edge.
+  std::vector<double> cur(n_states, 0.0);
+  double flow = 0.0;
+  for (std::size_t s = 0; s < n_states; ++s) {
+    const double f = pi[s] * built.success_prob_p0[s];
+    if (f <= 0.0) continue;
+    if (built.success_p0_target[s] == BuiltChain::kNoTarget) {
+      throw std::invalid_argument(
+          "op_latency_distribution: chain lacks success targets (use an "
+          "individual chain, not a system chain)");
+    }
+    cur[built.success_p0_target[s]] += f;
+    flow += f;
+  }
+  if (flow <= 0.0) {
+    throw std::invalid_argument(
+        "op_latency_distribution: process 0 never completes");
+  }
+  for (double& mass : cur) mass /= flow;
+
+  OpLatencyLaw law;
+  law.pmf.assign(max_t + 1, 0.0);
+  std::vector<double> next(n_states, 0.0);
+  for (std::size_t t = 1; t <= max_t; ++t) {
+    // One step: move all mass, diverting what crosses a p0-success edge
+    // into pmf[t].
+    std::fill(next.begin(), next.end(), 0.0);
+    double absorbed = 0.0;
+    for (std::size_t s = 0; s < n_states; ++s) {
+      const double mass = cur[s];
+      if (mass == 0.0) continue;
+      for (const auto& tr : chain.transitions_from(s)) {
+        next[tr.to] += mass * tr.prob;
+      }
+      const double sp = built.success_prob_p0[s];
+      if (sp > 0.0) {
+        next[built.success_p0_target[s]] -= mass * sp;
+        absorbed += mass * sp;
+      }
+    }
+    law.pmf[t] = absorbed;
+    law.mean += absorbed * static_cast<double>(t);
+    cur.swap(next);
+    double remaining = 0.0;
+    for (double m : cur) remaining += m;
+    if (remaining < 1e-15) break;
+  }
+  for (double m : cur) law.truncated += m;
+  // Lower-bound contribution of the truncated tail to the mean.
+  law.mean += law.truncated * static_cast<double>(max_t);
+  return law;
+}
+
+}  // namespace pwf::markov

@@ -1,0 +1,39 @@
+// Exact per-operation latency law from the chain analysis.
+//
+// The paper bounds *expected* latencies; the chain actually determines the
+// entire distribution. In the stationary regime, the latency of one
+// operation of process 0 is the phase-type random variable "system steps
+// between two traversals of a p0-success edge". This module computes its
+// distribution exactly: starting from the stationary post-completion
+// distribution (the normalized image of the p0-success flow), it iterates
+// the transition law, absorbing mass each time it crosses a p0-success
+// edge. Tests pin its mean to Lemma 7's n*W; the appx_latency_distribution
+// bench overlays it on the simulated histogram.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/builders.hpp"
+
+namespace pwf::markov {
+
+/// Exact stationary distribution of one operation's latency for process 0.
+struct OpLatencyLaw {
+  /// pmf[t] = P[latency == t], t = 0..max_t (pmf[0] is always 0).
+  std::vector<double> pmf;
+  /// Probability mass beyond max_t (not included in pmf).
+  double truncated = 0.0;
+  double mean = 0.0;  ///< mean of the truncated law + tail lower bound
+
+  /// P[latency > t] within the computed horizon.
+  double tail(std::size_t t) const;
+};
+
+/// Computes the latency law of process 0's operations on an *individual*
+/// chain (one whose success_p0_target fields are populated), truncated at
+/// max_t steps. Requires sum of stationary p0-success flow > 0.
+OpLatencyLaw op_latency_distribution(const BuiltChain& built,
+                                     std::size_t max_t);
+
+}  // namespace pwf::markov

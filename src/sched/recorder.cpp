@@ -1,0 +1,159 @@
+#include "sched/recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+namespace pwf::sched {
+
+ScheduleStats::ScheduleStats(std::size_t num_threads)
+    : counts_(num_threads, 0),
+      next_counts_(num_threads, std::vector<std::uint64_t>(num_threads, 0)) {
+  if (num_threads == 0) {
+    throw std::invalid_argument("ScheduleStats: need num_threads >= 1");
+  }
+}
+
+void ScheduleStats::add_schedule(std::span<const std::uint32_t> order) {
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::uint32_t t = order[i];
+    ++counts_.at(t);
+    ++total_;
+    if (i + 1 < order.size()) {
+      ++next_counts_.at(t).at(order[i + 1]);
+    }
+  }
+}
+
+std::vector<double> ScheduleStats::shares() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t t = 0; t < counts_.size(); ++t) {
+    out[t] = static_cast<double>(counts_[t]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+std::vector<double> ScheduleStats::next_distribution(std::size_t t) const {
+  const auto& row = next_counts_.at(t);
+  std::uint64_t row_total = 0;
+  for (std::uint64_t c : row) row_total += c;
+  std::vector<double> out(row.size(), 0.0);
+  if (row_total == 0) return out;
+  for (std::size_t u = 0; u < row.size(); ++u) {
+    out[u] = static_cast<double>(row[u]) / static_cast<double>(row_total);
+  }
+  return out;
+}
+
+double ScheduleStats::max_share_deviation() const {
+  const double uniform = 1.0 / static_cast<double>(counts_.size());
+  double worst = 0.0;
+  for (double share : shares()) {
+    worst = std::max(worst, std::abs(share - uniform));
+  }
+  return worst;
+}
+
+double ScheduleStats::max_conditional_deviation() const {
+  const double uniform = 1.0 / static_cast<double>(counts_.size());
+  double worst = 0.0;
+  for (std::size_t t = 0; t < counts_.size(); ++t) {
+    for (double p : next_distribution(t)) {
+      worst = std::max(worst, std::abs(p - uniform));
+    }
+  }
+  return worst;
+}
+
+double ScheduleStats::chi_square_uniform() const {
+  if (total_ == 0) return 0.0;
+  const double expected =
+      static_cast<double>(total_) / static_cast<double>(counts_.size());
+  double stat = 0.0;
+  for (std::uint64_t c : counts_) {
+    const double diff = static_cast<double>(c) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+std::vector<std::uint32_t> record_schedule_tickets(std::size_t threads,
+                                                   std::uint64_t total_steps) {
+  if (threads == 0) throw std::invalid_argument("tickets: threads >= 1");
+  std::vector<std::uint32_t> owner(total_steps, 0);
+  std::atomic<std::uint64_t> tickets{0};
+  std::atomic<bool> start{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      while (true) {
+        const std::uint64_t ticket =
+            tickets.fetch_add(1, std::memory_order_acq_rel);
+        if (ticket >= total_steps) break;
+        // Each slot is written exactly once, by the ticket's owner.
+        owner[ticket] = static_cast<std::uint32_t>(tid);
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  return owner;
+}
+
+std::vector<std::uint32_t> record_schedule_timestamps(
+    std::size_t threads, std::uint64_t steps_per_thread) {
+  if (threads == 0) throw std::invalid_argument("timestamps: threads >= 1");
+  using Stamp = std::pair<std::chrono::steady_clock::time_point, std::uint32_t>;
+  std::vector<std::vector<Stamp>> logs(threads);
+  std::atomic<bool> start{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      auto& log = logs[tid];
+      log.reserve(steps_per_thread);
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (std::uint64_t i = 0; i < steps_per_thread; ++i) {
+        log.emplace_back(std::chrono::steady_clock::now(),
+                         static_cast<std::uint32_t>(tid));
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+
+  std::vector<Stamp> merged;
+  merged.reserve(threads * steps_per_thread);
+  for (const auto& log : logs) {
+    merged.insert(merged.end(), log.begin(), log.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  std::vector<std::uint32_t> order;
+  order.reserve(merged.size());
+  for (const auto& [when, tid] : merged) order.push_back(tid);
+  return order;
+}
+
+SimScheduleRecorder::SimScheduleRecorder(std::size_t max_steps)
+    : max_steps_(max_steps) {
+  order_.reserve(max_steps);
+}
+
+void SimScheduleRecorder::on_step(std::uint64_t /*tau*/, std::size_t process,
+                                  bool /*completed*/) {
+  if (order_.size() < max_steps_) {
+    order_.push_back(static_cast<std::uint32_t>(process));
+  }
+}
+
+}  // namespace pwf::sched

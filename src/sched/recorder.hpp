@@ -1,0 +1,91 @@
+// Schedule recording and statistics (paper, Appendix A).
+//
+// The paper justifies the uniform stochastic scheduler empirically by
+// recording hardware schedules in two ways and summarizing them as
+//   Figure 3: the long-run share of steps taken by each thread, and
+//   Figure 4: the distribution of which thread steps next, conditioned on
+//             a step by a fixed thread.
+// Both recorders are reproduced here:
+//   * the ticket method — every thread hammers an atomic
+//     fetch-and-increment and keeps the tickets it received; the ticket
+//     value is the global step index, so sorting recovers the total order;
+//   * the timestamp method — every thread logs a timestamp per step and
+//     the merged sort order approximates the schedule (the paper notes the
+//     timer call perturbs the schedule; ours does too).
+// The same statistics can be computed over *simulated* schedules through
+// SimScheduleRecorder, closing the loop between model and measurement.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace pwf::sched {
+
+/// Per-thread step-share and conditional next-step statistics over one or
+/// more recorded schedules (a schedule is a sequence of thread ids).
+class ScheduleStats {
+ public:
+  explicit ScheduleStats(std::size_t num_threads);
+
+  /// Accumulates a recorded schedule (thread ids, in execution order).
+  void add_schedule(std::span<const std::uint32_t> order);
+
+  std::size_t num_threads() const noexcept { return counts_.size(); }
+  std::uint64_t total_steps() const noexcept { return total_; }
+
+  /// Figure 3: fraction of all steps taken by each thread.
+  std::vector<double> shares() const;
+
+  /// Figure 4: P[next step is by u | current step is by t], for all u.
+  std::vector<double> next_distribution(std::size_t t) const;
+
+  /// Largest |share - 1/n| over threads: long-run fairness deviation.
+  double max_share_deviation() const;
+
+  /// Largest |P[u | t] - 1/n| over all (t, u): local-uniformity deviation.
+  double max_conditional_deviation() const;
+
+  /// Pearson chi-square statistic of the per-thread step counts against
+  /// the uniform expectation total/n. Under a uniform random schedule it
+  /// is approximately chi^2 with n-1 degrees of freedom, so values far
+  /// above n flag a non-uniform scheduler quantitatively.
+  double chi_square_uniform() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::vector<std::uint64_t>> next_counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Records a hardware schedule with the atomic-ticket method: `threads`
+/// threads repeatedly fetch-and-increment a shared counter until
+/// `total_steps` tickets are drawn; slot i of the result is the thread
+/// that drew ticket i.
+std::vector<std::uint32_t> record_schedule_tickets(std::size_t threads,
+                                                   std::uint64_t total_steps);
+
+/// Records a hardware schedule with the timestamp method: each thread logs
+/// `steps_per_thread` monotonic timestamps; the merged order approximates
+/// the schedule.
+std::vector<std::uint32_t> record_schedule_timestamps(
+    std::size_t threads, std::uint64_t steps_per_thread);
+
+/// Observer that records a simulated schedule (bounded by `max_steps`).
+class SimScheduleRecorder final : public core::SimObserver {
+ public:
+  explicit SimScheduleRecorder(std::size_t max_steps);
+
+  void on_step(std::uint64_t tau, std::size_t process, bool completed) override;
+
+  std::span<const std::uint32_t> order() const noexcept { return order_; }
+
+ private:
+  std::vector<std::uint32_t> order_;
+  std::size_t max_steps_;
+};
+
+}  // namespace pwf::sched

@@ -1,0 +1,74 @@
+#include "util/rng.hpp"
+
+namespace pwf {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm();
+}
+
+Xoshiro256pp::result_type Xoshiro256pp::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256pp::uniform(std::uint64_t bound) noexcept {
+  // Lemire's method: multiply-shift with rejection of the biased low range.
+  using u128 = unsigned __int128;
+  std::uint64_t x = (*this)();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256pp::uniform_double() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256pp::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_double() < p;
+}
+
+Xoshiro256pp Xoshiro256pp::split() noexcept { return Xoshiro256pp((*this)()); }
+
+void Xoshiro256pp::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (std::uint64_t{1} << bit)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s_[i];
+      }
+      (*this)();
+    }
+  }
+  s_ = acc;
+}
+
+}  // namespace pwf

@@ -1,0 +1,53 @@
+#include "util/special.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pwf {
+
+double fai_hitting_time(std::uint64_t i, std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("fai_hitting_time: n must be >= 1");
+  if (i >= n) throw std::invalid_argument("fai_hitting_time: need i <= n-1");
+  double z = 1.0;  // Z(0)
+  for (std::uint64_t k = 1; k <= i; ++k) {
+    z = static_cast<double>(k) * z / static_cast<double>(n) + 1.0;
+  }
+  return z;
+}
+
+double ramanujan_q(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("ramanujan_q: n must be >= 1");
+  // Q(n) = sum_{k=1}^{n} prod_{j=0}^{k-1} (n-j)/n, evaluated by running
+  // product; terms decay geometrically past k ~ sqrt(n).
+  double term = 1.0;
+  double sum = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    term *= static_cast<double>(n - (k - 1)) / static_cast<double>(n);
+    sum += term;
+    if (term < 1e-18 * sum) break;
+  }
+  return sum;
+}
+
+double ramanujan_q_asymptotic(std::uint64_t n) {
+  return std::sqrt(std::numbers::pi * static_cast<double>(n) / 2.0);
+}
+
+double birthday_expected_throws(std::uint64_t bins) {
+  // With b bins, the expected number of throws until the first collision is
+  // sum_{k>=0} P[no collision after k throws] = 1 + Q(b) + ... exactly
+  // 2 + Q(b) - 1 = Q(b) + 1 throws counting the colliding throw itself.
+  return ramanujan_q(bins) + 1.0;
+}
+
+double log_factorial(std::uint64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) throw std::invalid_argument("log_binomial: k > n");
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+}  // namespace pwf

@@ -1,0 +1,37 @@
+// Special functions used by the paper's analysis (Sections 6-7):
+//   - the Ramanujan Q-function, whose value Q(n) = Z(n-1) is the expected
+//     return time of the fetch-and-increment global chain (paper, Lemma 12
+//     and the remark after it),
+//   - the Z(i) = i*Z(i-1)/n + 1 hitting-time recurrence itself,
+//   - birthday-paradox expectations used by the balls-into-bins bounds.
+#pragma once
+
+#include <cstdint>
+
+namespace pwf {
+
+/// Exact evaluation of the paper's hitting-time recurrence for the
+/// fetch-and-increment global chain (proof of Lemma 12):
+///   Z(0) = 1,  Z(i) = i*Z(i-1)/n + 1.
+/// Returns Z(i). Preconditions: n >= 1, 0 <= i <= n-1.
+double fai_hitting_time(std::uint64_t i, std::uint64_t n);
+
+/// Ramanujan Q-function: Q(n) = sum_{k=1}^{n} n! / ((n-k)! * n^k).
+/// Z(n-1) = Q(n) exactly; asymptotically Q(n) ~ sqrt(pi*n/2) - 1/3 + ...
+/// Evaluated by the numerically stable product form.
+double ramanujan_q(std::uint64_t n);
+
+/// Leading-order asymptotic sqrt(pi*n/2) that the paper quotes for Z(n-1).
+double ramanujan_q_asymptotic(std::uint64_t n);
+
+/// Expected number of uniform throws into `bins` bins until some bin first
+/// holds two balls (the classic birthday expectation, = Q(bins) + 1 throws).
+double birthday_expected_throws(std::uint64_t bins);
+
+/// ln(n!) via lgamma.
+double log_factorial(std::uint64_t n);
+
+/// ln C(n, k). Preconditions: k <= n.
+double log_binomial(std::uint64_t n, std::uint64_t k);
+
+}  // namespace pwf

@@ -1,0 +1,169 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pwf {
+
+void StreamingStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double StreamingStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double StreamingStats::stderr_mean() const noexcept {
+  return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double StreamingStats::ci_halfwidth(double z) const noexcept {
+  return z * stderr_mean();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  if (!(hi > lo) || buckets == 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and buckets > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  std::size_t idx;
+  if (x < lo_) {
+    ++underflow_;
+    idx = 0;
+  } else if (x >= hi_) {
+    ++overflow_;
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) throw std::logic_error("Histogram::quantile: empty");
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double inside =
+          counts_[i] ? (target - cum) / static_cast<double>(counts_[i]) : 0.0;
+      return bucket_lo(i) + inside * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_linear: need matching sizes >= 2");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  fit.slope = sxx > 0 ? sxy / sxx : 0.0;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (sxx > 0 && syy > 0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+LinearFit fit_power_law(std::span<const double> xs,
+                        std::span<const double> ys) {
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0 || ys[i] <= 0) {
+      throw std::invalid_argument("fit_power_law: values must be positive");
+    }
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+double l1_distance(std::span<const double> p, std::span<const double> q) {
+  assert(p.size() == q.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) d += std::abs(p[i] - q[i]);
+  return d;
+}
+
+double linf_distance(std::span<const double> p, std::span<const double> q) {
+  assert(p.size() == q.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    d = std::max(d, std::abs(p[i] - q[i]));
+  }
+  return d;
+}
+
+}  // namespace pwf

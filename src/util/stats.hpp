@@ -1,0 +1,97 @@
+// Streaming and batch statistics used by the simulation engine, tests and
+// the benchmark harness: Welford accumulators, histograms, percentiles,
+// confidence intervals, and (log-log) least-squares fits for scaling laws.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pwf {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; O(1) memory.
+class StreamingStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const StreamingStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean; 0 when fewer than two samples.
+  double stderr_mean() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Half-width of an asymptotic normal confidence interval around the mean
+  /// (default 95%, z = 1.96).
+  double ci_halfwidth(double z = 1.96) const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bucket and counted in underflow()/overflow().
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const noexcept;
+  double bucket_hi(std::size_t i) const noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Approximate quantile via linear interpolation inside the bucket.
+  /// Precondition: total() > 0 and 0 <= q <= 1.
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Exact percentile of a sample (sorts a copy; nearest-rank with linear
+/// interpolation). Precondition: !xs.empty(), 0 <= q <= 1.
+double percentile(std::span<const double> xs, double q);
+
+/// Result of an ordinary least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// OLS fit. Precondition: xs.size() == ys.size() >= 2.
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Fits y = C * x^p by OLS on (log x, log y); returns slope = p,
+/// intercept = log C. Preconditions: all xs, ys strictly positive.
+LinearFit fit_power_law(std::span<const double> xs,
+                        std::span<const double> ys);
+
+/// L1 (total-variation x2) distance between two discrete distributions of
+/// equal support size. Precondition: p.size() == q.size().
+double l1_distance(std::span<const double> p, std::span<const double> q);
+
+/// Maximum absolute elementwise difference.
+double linf_distance(std::span<const double> p, std::span<const double> q);
+
+}  // namespace pwf

@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pwf {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " ") << std::setw(static_cast<int>(widths[c]))
+         << row[c] << " |";
+    }
+    os << '\n';
+  };
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+    }
+    os << '\n';
+  };
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string fmt(std::uint64_t value) { return std::to_string(value); }
+std::string fmt(std::int64_t value) { return std::to_string(value); }
+std::string fmt(int value) { return std::to_string(value); }
+std::string fmt(unsigned value) { return std::to_string(value); }
+
+}  // namespace pwf

@@ -1,0 +1,45 @@
+// Minimal ASCII table renderer for the benchmark harness. Every bench binary
+// prints paper-style series as aligned tables through this class so output
+// is uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pwf {
+
+/// Column-aligned ASCII table.
+///
+/// Usage:
+///   Table t({"n", "measured", "predicted"});
+///   t.add_row({"8", "12.3", "11.9"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string fmt(double value, int precision = 3);
+
+/// Formats an integer count.
+std::string fmt(std::uint64_t value);
+std::string fmt(std::int64_t value);
+std::string fmt(int value);
+std::string fmt(unsigned value);
+
+}  // namespace pwf

@@ -1,0 +1,179 @@
+// Tests for the iterated balls-into-bins game, including the structural
+// equivalence with the scan-validate system chain (Section 6.1.3) and the
+// Lemma 8 / Lemma 9 phase statistics.
+#include "ballsbins/game.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/theory.hpp"
+#include "markov/builders.hpp"
+#include "util/rng.hpp"
+
+namespace pwf::ballsbins {
+namespace {
+
+TEST(Game, StartsAllBinsWithOneBall) {
+  IteratedBallsBins game(5, Xoshiro256pp(1));
+  EXPECT_EQ(game.bins_with(1), 5u);
+  EXPECT_EQ(game.bins_with(0), 0u);
+  EXPECT_EQ(game.bins_with(2), 0u);
+  EXPECT_EQ(game.phase_start_a(), 5u);
+  EXPECT_EQ(game.phase_start_b(), 0u);
+}
+
+TEST(Game, RejectsZeroBins) {
+  EXPECT_THROW(IteratedBallsBins(0, Xoshiro256pp(1)), std::invalid_argument);
+}
+
+TEST(Game, BinCountsAlwaysSumToN) {
+  IteratedBallsBins game(7, Xoshiro256pp(2));
+  for (int i = 0; i < 10'000; ++i) {
+    game.step();
+    EXPECT_EQ(game.bins_with(0) + game.bins_with(1) + game.bins_with(2), 7u);
+  }
+}
+
+TEST(Game, PhaseStartHasNoTwoBallBins) {
+  IteratedBallsBins game(6, Xoshiro256pp(3));
+  std::size_t checked = 0;
+  for (int i = 0; i < 50'000 && checked < 100; ++i) {
+    if (game.step()) {
+      // Immediately after a reset: a + b = n.
+      EXPECT_EQ(game.bins_with(2), 0u);
+      EXPECT_EQ(game.phase_start_a() + game.phase_start_b(), 6u);
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 100u);
+}
+
+TEST(Game, SingleBinPhaseIsAlwaysTwoThrows) {
+  // n = 1: the single bin goes 1 -> 2 -> reset; every phase has length 2.
+  IteratedBallsBins game(1, Xoshiro256pp(4));
+  const auto records = game.run_phases(50);
+  for (const auto& rec : records) {
+    EXPECT_EQ(rec.length, 2u);
+    EXPECT_EQ(rec.start_a, 1u);
+    EXPECT_EQ(rec.start_b, 0u);
+  }
+}
+
+TEST(Game, RunPhasesCountsMatchStepCounting) {
+  IteratedBallsBins game(8, Xoshiro256pp(5));
+  const auto records = game.run_phases(200);
+  EXPECT_EQ(records.size(), 200u);
+  EXPECT_EQ(game.phases_completed(), 200u);
+  std::uint64_t total_len = 0;
+  for (const auto& rec : records) total_len += rec.length;
+  EXPECT_EQ(total_len, game.steps());
+}
+
+TEST(Game, MeanPhaseLengthMatchesSystemChainLatency) {
+  // The game IS the system chain: its mean phase length must equal the
+  // exact system latency W of SCU(0,1).
+  for (std::size_t n : {2, 4, 8, 16}) {
+    IteratedBallsBins game(n, Xoshiro256pp(100 + n));
+    const auto records = game.run_phases(40'000);
+    double mean = 0.0;
+    for (const auto& rec : records) mean += static_cast<double>(rec.length);
+    mean /= static_cast<double>(records.size());
+    const double exact =
+        markov::system_latency(markov::build_scan_validate_system_chain(n));
+    EXPECT_NEAR(mean, exact, 0.03 * exact) << "n = " << n;
+  }
+}
+
+TEST(Game, TransitionLawMatchesSystemChain) {
+  // Stronger: empirical per-state transition frequencies of the game match
+  // the system chain's transition probabilities.
+  constexpr std::size_t kN = 4;
+  const auto sys = markov::build_scan_validate_system_chain(kN);
+  IteratedBallsBins game(kN, Xoshiro256pp(42));
+
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> edge_counts;
+  std::map<std::uint64_t, std::uint64_t> state_counts;
+  auto key = [&] {
+    // (a, b) key in the builder's encoding: a*(n+1) + b, where
+    // a = one-ball bins + two-ball bins mapped... NO: a = #Read = one-ball
+    // bins, b = #OldCAS = zero-ball bins.
+    return static_cast<std::uint64_t>(game.bins_with(1)) * (kN + 1) +
+           game.bins_with(0);
+  };
+  std::uint64_t prev = key();
+  for (int i = 0; i < 400'000; ++i) {
+    game.step();
+    const std::uint64_t cur = key();
+    ++edge_counts[{prev, cur}];
+    ++state_counts[prev];
+    prev = cur;
+  }
+  for (const auto& [edge, count] : edge_counts) {
+    const auto [from, to] = edge;
+    const double freq = static_cast<double>(count) /
+                        static_cast<double>(state_counts.at(from));
+    const double exact = sys.chain.transition_prob(sys.index_of_key(from),
+                                                   sys.index_of_key(to));
+    EXPECT_GT(exact, 0.0) << "game took edge the chain forbids: " << from
+                          << " -> " << to;
+    EXPECT_NEAR(freq, exact, 0.05) << "edge " << from << " -> " << to;
+  }
+}
+
+TEST(Game, PhaseLengthsRespectLemma8Bound) {
+  // E[phase length | a_i, b_i] <= min(2 alpha n / sqrt(a), 3 alpha n / b^(1/3))
+  // with alpha = 4. Group observed phases by start state and compare means.
+  constexpr std::size_t kN = 32;
+  IteratedBallsBins game(kN, Xoshiro256pp(7));
+  std::map<std::pair<std::size_t, std::size_t>, StreamingStats> by_start;
+  for (const auto& rec : game.run_phases(30'000)) {
+    by_start[{rec.start_a, rec.start_b}].add(static_cast<double>(rec.length));
+  }
+  for (const auto& [start, stats] : by_start) {
+    if (stats.count() < 50) continue;  // skip rare states (noisy means)
+    const double bound =
+        core::theory::phase_length_bound(kN, start.first, start.second, 4.0);
+    EXPECT_LT(stats.mean(), bound)
+        << "start a=" << start.first << " b=" << start.second;
+  }
+}
+
+TEST(Game, RangeThreeIsRare) {
+  // Lemma 9: phases starting in range three (a < n/c) are a vanishing
+  // fraction in steady state.
+  constexpr std::size_t kN = 64;
+  IteratedBallsBins game(kN, Xoshiro256pp(8));
+  RangeStats ranges;
+  for (const auto& rec : game.run_phases(20'000)) {
+    ranges.add(rec, kN);
+  }
+  const double total = static_cast<double>(
+      ranges.phases_first + ranges.phases_second + ranges.phases_third);
+  EXPECT_LT(static_cast<double>(ranges.phases_third) / total, 0.01);
+}
+
+TEST(ClassifyRange, Boundaries) {
+  EXPECT_EQ(classify_range(100, 100), Range::kFirst);
+  EXPECT_EQ(classify_range(34, 100), Range::kFirst);   // >= n/3
+  EXPECT_EQ(classify_range(33, 100), Range::kSecond);  // in [n/c, n/3)
+  EXPECT_EQ(classify_range(10, 100), Range::kSecond);  // = n/c exactly
+  EXPECT_EQ(classify_range(9, 100), Range::kThird);
+  EXPECT_EQ(classify_range(0, 100), Range::kThird);
+}
+
+TEST(RangeStats, BucketsByRange) {
+  RangeStats stats;
+  stats.add({50, 14, 10}, 64);  // a = 50 >= 64/3: first range
+  stats.add({10, 54, 20}, 64);  // 64/10 <= 10 < 64/3: second range
+  stats.add({2, 62, 30}, 64);   // a < 6.4: third range
+  EXPECT_EQ(stats.phases_first, 1u);
+  EXPECT_EQ(stats.phases_second, 1u);
+  EXPECT_EQ(stats.phases_third, 1u);
+  EXPECT_DOUBLE_EQ(stats.length_first.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(stats.length_second.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(stats.length_third.mean(), 30.0);
+}
+
+}  // namespace
+}  // namespace pwf::ballsbins

@@ -1,0 +1,190 @@
+// Tests for the paper's algorithms as step machines: exact step sequences,
+// completion points, and contention behaviour.
+#include "core/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace pwf::core {
+namespace {
+
+TEST(ScuAlgorithm, RejectsBadParameters) {
+  EXPECT_THROW(ScuAlgorithm(0, 2, 0, 0), std::invalid_argument);  // s < 1
+  EXPECT_THROW(ScuAlgorithm(2, 2, 0, 1), std::invalid_argument);  // pid >= n
+}
+
+TEST(ScuAlgorithm, SoloProcessCompletesEveryQPlusSPlusOneSteps) {
+  // Alone, SCU(q, s) never fails its CAS: one op = q + s + 1 steps.
+  for (std::size_t q : {0, 1, 3}) {
+    for (std::size_t s : {1, 2, 4}) {
+      SharedMemory mem(ScuAlgorithm::registers_required(1, s));
+      ScuAlgorithm alg(0, 1, q, s);
+      for (int op = 0; op < 5; ++op) {
+        for (std::size_t i = 0; i + 1 < q + s + 1; ++i) {
+          EXPECT_FALSE(alg.step(mem)) << "q=" << q << " s=" << s;
+        }
+        EXPECT_TRUE(alg.step(mem)) << "q=" << q << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(ScuAlgorithm, FailedValidationRestartsScanNotPreamble) {
+  // Two interleaved processes: the loser re-enters the scan (s + 1 steps to
+  // retry), not the preamble.
+  constexpr std::size_t kQ = 5, kS = 1;
+  SharedMemory mem(ScuAlgorithm::registers_required(2, kS));
+  ScuAlgorithm a(0, 2, kQ, kS);
+  ScuAlgorithm b(1, 2, kQ, kS);
+  // Drive both through the preamble (q steps each) and the scan (1 step).
+  for (std::size_t i = 0; i < kQ + 1; ++i) {
+    EXPECT_FALSE(a.step(mem));
+    EXPECT_FALSE(b.step(mem));
+  }
+  // Both now validate; a wins, b fails.
+  EXPECT_TRUE(a.step(mem));
+  EXPECT_FALSE(b.step(mem));
+  // b needs exactly scan (1) + CAS (1) more steps, NOT q more.
+  EXPECT_FALSE(b.step(mem));  // rescan
+  EXPECT_TRUE(b.step(mem));   // revalidate, now unopposed
+}
+
+TEST(ScuAlgorithm, ProposedValuesAreUnique) {
+  // After any completed operation, R holds a value distinct from all prior
+  // ones (attempt counter * n + pid + 1 is strictly increasing per process
+  // and disjoint across processes).
+  SharedMemory mem(ScuAlgorithm::registers_required(2, 1));
+  ScuAlgorithm a(0, 2, 0, 1);
+  std::set<Value> seen{mem.peek(0)};
+  for (int op = 0; op < 10; ++op) {
+    while (!a.step(mem)) {
+    }
+    const Value v = mem.peek(0);
+    EXPECT_FALSE(seen.contains(v));
+    seen.insert(v);
+  }
+}
+
+TEST(ScuAlgorithm, RegistersRequired) {
+  EXPECT_EQ(ScuAlgorithm::registers_required(4, 3), 7u);
+  EXPECT_EQ(ScuAlgorithm::registers_required(1, 1), 2u);
+}
+
+TEST(ScuAlgorithm, FactoryBuildsPerProcessMachines) {
+  const auto factory = ScuAlgorithm::factory(2, 3);
+  const auto machine = factory(1, 4);
+  EXPECT_EQ(machine->name(), "SCU(2,3)");
+}
+
+TEST(ParallelCode, CompletesEveryQSteps) {
+  SharedMemory mem(1);
+  ParallelCode alg(0, 4);
+  for (int op = 0; op < 3; ++op) {
+    EXPECT_FALSE(alg.step(mem));
+    EXPECT_FALSE(alg.step(mem));
+    EXPECT_FALSE(alg.step(mem));
+    EXPECT_TRUE(alg.step(mem));
+  }
+}
+
+TEST(ParallelCode, QOneCompletesEveryStep) {
+  SharedMemory mem(1);
+  ParallelCode alg(0, 1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(alg.step(mem));
+}
+
+TEST(ParallelCode, RejectsZeroQ) {
+  EXPECT_THROW(ParallelCode(0, 0), std::invalid_argument);
+}
+
+TEST(FetchAndIncrement, SoloAlwaysSucceeds) {
+  SharedMemory mem(1);
+  FetchAndIncrement alg(0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(alg.step(mem));
+    EXPECT_EQ(mem.peek(0), static_cast<Value>(i + 1));
+    EXPECT_EQ(alg.local_value(), static_cast<Value>(i + 1));
+  }
+}
+
+TEST(FetchAndIncrement, LoserAdoptsCurrentValueThenWins) {
+  SharedMemory mem(1);
+  FetchAndIncrement a(0);
+  FetchAndIncrement b(1);
+  EXPECT_TRUE(a.step(mem));   // R: 0 -> 1; a holds 1
+  EXPECT_FALSE(b.step(mem));  // b's CAS(0 -> 1) fails, adopts current 1
+  EXPECT_EQ(b.local_value(), 1u);
+  EXPECT_TRUE(b.step(mem));  // CAS(1 -> 2) succeeds
+  EXPECT_EQ(mem.peek(0), 2u);
+  // Now a is stale: it fails once, then wins.
+  EXPECT_FALSE(a.step(mem));
+  EXPECT_TRUE(a.step(mem));
+  EXPECT_EQ(mem.peek(0), 3u);
+}
+
+TEST(FetchAndIncrement, EveryIncrementIsExactlyOnce) {
+  // Interleave arbitrarily; total completions == final register value.
+  SharedMemory mem(1);
+  FetchAndIncrement a(0);
+  FetchAndIncrement b(1);
+  FetchAndIncrement c(2);
+  int completions = 0;
+  Xoshiro256pp rng(9);
+  FetchAndIncrement* machines[3] = {&a, &b, &c};
+  for (int i = 0; i < 3000; ++i) {
+    if (machines[rng.uniform(3)]->step(mem)) ++completions;
+  }
+  EXPECT_EQ(mem.peek(0), static_cast<Value>(completions));
+}
+
+TEST(UnboundedLockFree, WinnerPaysNoPenalty) {
+  SharedMemory mem(2);
+  UnboundedLockFree alg(0, 4);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(alg.step(mem));
+    EXPECT_EQ(alg.pending_penalty_reads(), 0u);
+  }
+  EXPECT_EQ(mem.peek(0), 5u);
+}
+
+TEST(UnboundedLockFree, LoserPenaltyGrowsWithValue) {
+  constexpr std::size_t kN = 3;
+  SharedMemory mem(2);
+  UnboundedLockFree winner(0, kN);
+  UnboundedLockFree loser(1, kN);
+  EXPECT_TRUE(winner.step(mem));  // C: 0 -> 1
+  EXPECT_FALSE(loser.step(mem));  // loser fails at v=0, observes 1
+  // Penalty = n^2 * v = 9 * 1 = 9 reads before the next CAS attempt.
+  EXPECT_EQ(loser.pending_penalty_reads(), 9u);
+  for (int i = 0; i < 9; ++i) EXPECT_FALSE(loser.step(mem));
+  EXPECT_EQ(loser.pending_penalty_reads(), 0u);
+  // Winner advances twice more; loser fails again with larger penalty.
+  EXPECT_TRUE(winner.step(mem));
+  EXPECT_TRUE(winner.step(mem));  // C = 3
+  EXPECT_FALSE(loser.step(mem));  // fails at v=1, observes 3
+  EXPECT_EQ(loser.pending_penalty_reads(), 27u);
+}
+
+TEST(UnboundedLockFree, IsLockFreeSomeProcessAlwaysProgresses) {
+  // Under any interleaving without penalties pending for everyone, a CAS
+  // attempt on C either succeeds or means someone else succeeded; total
+  // completions equals the final value of C.
+  SharedMemory mem(2);
+  UnboundedLockFree a(0, 2);
+  UnboundedLockFree b(1, 2);
+  Xoshiro256pp rng(4);
+  int completions = 0;
+  for (int i = 0; i < 5000; ++i) {
+    UnboundedLockFree& m = rng.bernoulli(0.5) ? a : b;
+    if (m.step(mem)) ++completions;
+  }
+  EXPECT_EQ(mem.peek(0), static_cast<Value>(completions));
+  EXPECT_GT(completions, 0);
+}
+
+}  // namespace
+}  // namespace pwf::core

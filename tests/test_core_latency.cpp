@@ -1,0 +1,107 @@
+// Tests for the per-operation latency distribution observer, including the
+// "practically wait-free" tail property the paper's thesis rests on: under
+// the uniform stochastic scheduler, individual-operation latencies have an
+// exponentially decaying tail rather than the unbounded worst case.
+#include "core/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "core/simulation.hpp"
+
+namespace pwf::core {
+namespace {
+
+TEST(LatencyDistribution, RecordsEveryCompletion) {
+  constexpr std::size_t kN = 3;
+  Simulation::Options opts;
+  opts.num_registers = ParallelCode::registers_required();
+  opts.seed = 4;
+  Simulation sim(kN, ParallelCode::factory(2),
+                 std::make_unique<UniformScheduler>(), opts);
+  LatencyDistributionObserver observer(kN, 200.0, 100);
+  sim.set_observer(&observer);
+  sim.run(60'000);
+  EXPECT_EQ(observer.stats().count(), sim.report().completions);
+  EXPECT_EQ(observer.histogram().total(), sim.report().completions);
+}
+
+TEST(LatencyDistribution, SoloDeterministicLatency) {
+  Simulation::Options opts;
+  opts.num_registers = ParallelCode::registers_required();
+  Simulation sim(1, ParallelCode::factory(5),
+                 std::make_unique<UniformScheduler>(), opts);
+  LatencyDistributionObserver observer(1, 20.0, 20);
+  sim.set_observer(&observer);
+  sim.run(5'000);
+  EXPECT_DOUBLE_EQ(observer.stats().mean(), 5.0);
+  EXPECT_DOUBLE_EQ(observer.stats().variance(), 0.0);
+  EXPECT_EQ(observer.max_latency(), 5u);
+  EXPECT_DOUBLE_EQ(observer.tail_fraction(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(observer.tail_fraction(4.0), 1.0);
+}
+
+TEST(LatencyDistribution, MeanMatchesReportIndividualLatency) {
+  constexpr std::size_t kN = 4;
+  Simulation::Options opts;
+  opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
+  opts.seed = 17;
+  Simulation sim(kN, scan_validate_factory(),
+                 std::make_unique<UniformScheduler>(), opts);
+  LatencyDistributionObserver observer(kN, 2000.0, 200);
+  sim.set_observer(&observer);
+  sim.run(400'000);
+  // The observer's overall mean is the completion-weighted average of the
+  // per-process individual latencies; under symmetry all are ~equal.
+  double weighted = 0.0;
+  for (std::size_t p = 0; p < kN; ++p) {
+    weighted += sim.report().individual_latency(p) *
+                static_cast<double>(sim.report().completions_per_process[p]);
+  }
+  weighted /= static_cast<double>(sim.report().completions);
+  EXPECT_NEAR(observer.stats().mean(), weighted, 1e-6);
+}
+
+TEST(LatencyDistribution, ScanValidateTailDecaysExponentially) {
+  // "Practically wait-free": P[latency > k * mean] should decay roughly
+  // geometrically in k. Check the tail at 2x, 4x and 8x the mean.
+  constexpr std::size_t kN = 8;
+  Simulation::Options opts;
+  opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
+  opts.seed = 23;
+  Simulation sim(kN, scan_validate_factory(),
+                 std::make_unique<UniformScheduler>(), opts);
+  LatencyDistributionObserver observer(kN, 5000.0, 500);
+  sim.set_observer(&observer);
+  sim.run(2'000'000);
+  const double mean = observer.stats().mean();
+  const double t2 = observer.tail_fraction(2.0 * mean);
+  const double t4 = observer.tail_fraction(4.0 * mean);
+  const double t8 = observer.tail_fraction(8.0 * mean);
+  EXPECT_LT(t2, 0.25);
+  EXPECT_LT(t4, t2 / 2.0);
+  EXPECT_LT(t8, 0.002);
+  // The empirical max is a small multiple of the mean, not astronomical.
+  EXPECT_LT(static_cast<double>(observer.max_latency()), 40.0 * mean);
+}
+
+TEST(LatencyDistribution, HistogramQuantilesAreOrdered) {
+  constexpr std::size_t kN = 4;
+  Simulation::Options opts;
+  opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
+  opts.seed = 29;
+  Simulation sim(kN, scan_validate_factory(),
+                 std::make_unique<UniformScheduler>(), opts);
+  LatencyDistributionObserver observer(kN, 1000.0, 200);
+  sim.set_observer(&observer);
+  sim.run(300'000);
+  const auto& h = observer.histogram();
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+  EXPECT_GT(h.quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace pwf::core

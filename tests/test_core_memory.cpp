@@ -1,0 +1,77 @@
+// Tests for the simulated shared-memory register array.
+#include "core/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pwf::core {
+namespace {
+
+TEST(SharedMemory, RejectsZeroRegisters) {
+  EXPECT_THROW(SharedMemory(0), std::invalid_argument);
+}
+
+TEST(SharedMemory, InitialValueAppliesToAll) {
+  SharedMemory mem(3, 42);
+  EXPECT_EQ(mem.read(0), 42u);
+  EXPECT_EQ(mem.read(1), 42u);
+  EXPECT_EQ(mem.read(2), 42u);
+}
+
+TEST(SharedMemory, ReadWriteRoundTrip) {
+  SharedMemory mem(2);
+  mem.write(0, 7);
+  mem.write(1, 9);
+  EXPECT_EQ(mem.read(0), 7u);
+  EXPECT_EQ(mem.read(1), 9u);
+}
+
+TEST(SharedMemory, CasSucceedsOnMatch) {
+  SharedMemory mem(1);
+  EXPECT_TRUE(mem.cas(0, 0, 5));
+  EXPECT_EQ(mem.peek(0), 5u);
+}
+
+TEST(SharedMemory, CasFailsOnMismatchAndLeavesValue) {
+  SharedMemory mem(1, 3);
+  EXPECT_FALSE(mem.cas(0, 0, 5));
+  EXPECT_EQ(mem.peek(0), 3u);
+}
+
+TEST(SharedMemory, CasFetchReturnsPriorValue) {
+  SharedMemory mem(1, 10);
+  EXPECT_EQ(mem.cas_fetch(0, 10, 11), 10u);  // success: returns expected
+  EXPECT_EQ(mem.peek(0), 11u);
+  EXPECT_EQ(mem.cas_fetch(0, 10, 12), 11u);  // failure: returns current
+  EXPECT_EQ(mem.peek(0), 11u);
+}
+
+TEST(SharedMemory, EveryOperationCountsOneStep) {
+  SharedMemory mem(2);
+  EXPECT_EQ(mem.ops(), 0u);
+  mem.read(0);
+  EXPECT_EQ(mem.ops(), 1u);
+  mem.write(1, 1);
+  EXPECT_EQ(mem.ops(), 2u);
+  mem.cas(0, 0, 1);
+  EXPECT_EQ(mem.ops(), 3u);
+  mem.cas_fetch(0, 9, 9);  // failed CAS still costs one step
+  EXPECT_EQ(mem.ops(), 4u);
+}
+
+TEST(SharedMemory, PeekDoesNotCountSteps) {
+  SharedMemory mem(1, 5);
+  EXPECT_EQ(mem.peek(0), 5u);
+  EXPECT_EQ(mem.ops(), 0u);
+}
+
+TEST(SharedMemory, OutOfRangeThrows) {
+  SharedMemory mem(1);
+  EXPECT_THROW(mem.read(1), std::out_of_range);
+  EXPECT_THROW(mem.write(2, 0), std::out_of_range);
+  EXPECT_THROW(mem.cas(3, 0, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pwf::core

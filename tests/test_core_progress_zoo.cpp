@@ -1,0 +1,201 @@
+// Tests for the Section 2.2 progress-property zoo: the blocking spinlock
+// counter (deadlock-free, not non-blocking) and the obstruction-free
+// claim-pair (maximal progress only in isolation; livelocks under
+// lock-step interference; practically wait-free under the stochastic
+// scheduler by Theorem 3's clash-free case).
+#include "core/progress_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "core/progress.hpp"
+#include "core/simulation.hpp"
+
+namespace pwf::core {
+namespace {
+
+// ---- spinlock counter -------------------------------------------------------
+
+TEST(SpinlockCounter, SoloCompletesEveryFourSteps) {
+  SharedMemory mem(SpinlockCounter::registers_required());
+  SpinlockCounter alg(0);
+  for (int op = 0; op < 5; ++op) {
+    EXPECT_FALSE(alg.step(mem));  // acquire
+    EXPECT_FALSE(alg.step(mem));  // read
+    EXPECT_FALSE(alg.step(mem));  // write
+    EXPECT_TRUE(alg.step(mem));   // release
+  }
+  EXPECT_EQ(mem.peek(1), 5u);
+  EXPECT_EQ(mem.peek(0), 0u);  // lock free at quiescence
+}
+
+TEST(SpinlockCounter, CounterIsExactUnderUniformScheduler) {
+  constexpr std::size_t kN = 6;
+  Simulation::Options opts;
+  opts.num_registers = SpinlockCounter::registers_required();
+  opts.seed = 3;
+  Simulation sim(kN, SpinlockCounter::factory(),
+                 std::make_unique<UniformScheduler>(), opts);
+  sim.run(300'000);
+  // The counter leads completions by one when the run ends with a process
+  // inside the critical section after its write but before its release.
+  const Value counter = sim.memory().peek(1);
+  const auto completions = static_cast<Value>(sim.report().completions);
+  EXPECT_GE(counter, completions);
+  EXPECT_LE(counter, completions + 1);
+  // Deadlock-free in practice becomes starvation-free: everyone completes.
+  EXPECT_GT(sim.report().min_completions(), 1'000u);
+}
+
+TEST(SpinlockCounter, CrashedLockHolderBlocksEveryoneForever) {
+  // The blocking/non-blocking dichotomy of Section 2.2: crash the lock
+  // holder and the whole system halts.
+  constexpr std::size_t kN = 4;
+  std::vector<const SpinlockCounter*> machines;
+  Simulation::Options opts;
+  opts.num_registers = SpinlockCounter::registers_required();
+  opts.seed = 5;
+  auto factory = [&machines](std::size_t pid, std::size_t /*n*/) {
+    auto m = std::make_unique<SpinlockCounter>(pid);
+    machines.push_back(m.get());
+    return m;
+  };
+  Simulation sim(kN, factory, std::make_unique<UniformScheduler>(), opts);
+  // Step until someone holds the lock, then crash exactly that process.
+  std::size_t holder = kN;
+  while (holder == kN) {
+    sim.run(1);
+    for (std::size_t p = 0; p < kN; ++p) {
+      if (machines[p]->holds_lock()) holder = p;
+    }
+  }
+  sim.schedule_crash(sim.now(), holder);
+  const std::uint64_t completions_before = sim.report().completions;
+  sim.run(200'000);
+  EXPECT_EQ(sim.report().completions, completions_before)
+      << "a blocking algorithm must make no progress after the holder dies";
+}
+
+TEST(SpinlockCounter, LockFreeControlSurvivesTheSameCrash) {
+  // Control: scan-validate shrugs off any crash (non-blocking).
+  constexpr std::size_t kN = 4;
+  Simulation::Options opts;
+  opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
+  opts.seed = 5;
+  Simulation sim(kN, scan_validate_factory(),
+                 std::make_unique<UniformScheduler>(), opts);
+  sim.run(50);
+  sim.schedule_crash(sim.now(), 0);
+  const std::uint64_t before = sim.report().completions;
+  sim.run(200'000);
+  EXPECT_GT(sim.report().completions, before + 10'000);
+}
+
+// ---- obstruction-free claim pair --------------------------------------------
+
+TEST(ObstructionPair, SoloCompletesEveryFourSteps) {
+  SharedMemory mem(ObstructionPair::registers_required());
+  ObstructionPair alg(0, 1);
+  for (int op = 0; op < 5; ++op) {
+    EXPECT_FALSE(alg.step(mem));
+    EXPECT_FALSE(alg.step(mem));
+    EXPECT_FALSE(alg.step(mem));
+    EXPECT_TRUE(alg.step(mem));
+  }
+}
+
+TEST(ObstructionPair, LockStepInterferenceLivelocks) {
+  // Under strict round-robin with two processes, at most one early
+  // operation completes before the writes settle into the mutual-
+  // invalidation cycle: minimal progress fails, so the algorithm is NOT
+  // lock-free (it is obstruction-free only).
+  Simulation::Options opts;
+  opts.num_registers = ObstructionPair::registers_required();
+  Simulation sim(2, ObstructionPair::factory(),
+                 std::make_unique<RoundRobinScheduler>(), opts);
+  sim.run(100'000);
+  EXPECT_LE(sim.report().completions, 2u);
+}
+
+TEST(ObstructionPair, CraftedAdversaryYieldsZeroCompletions) {
+  // The 6-step mutual-overwrite cycle, entered from the very first steps:
+  // p0 takes two steps, then strict alternation starting with p1.
+  Simulation::Options opts;
+  opts.num_registers = ObstructionPair::registers_required();
+  Simulation sim(2, ObstructionPair::factory(),
+                 std::make_unique<AdversarialScheduler>(
+                     [](std::uint64_t tau, std::span<const std::size_t> a) {
+                       if (tau < 2) return a.front();
+                       return tau % 2 == 0 ? a.back() : a.front();
+                     }),
+                 opts);
+  sim.run(120'000);
+  EXPECT_EQ(sim.report().completions, 0u)
+      << "the crafted schedule must livelock the claim pair completely";
+}
+
+TEST(ObstructionPair, ScanValidateSurvivesTheSameAdversary) {
+  // Control: the lock-free algorithm guarantees minimal progress under
+  // EVERY schedule, including the one that livelocks the OF pair.
+  constexpr std::size_t kN = 2;
+  Simulation::Options opts;
+  opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
+  Simulation sim(kN, scan_validate_factory(),
+                 std::make_unique<AdversarialScheduler>(
+                     [](std::uint64_t tau, std::span<const std::size_t> a) {
+                       if (tau < 2) return a.front();
+                       return tau % 2 == 0 ? a.back() : a.front();
+                     }),
+                 opts);
+  sim.run(120'000);
+  EXPECT_GT(sim.report().completions, 10'000u);
+}
+
+TEST(ObstructionPair, StochasticSchedulerRestoresMaximalProgress) {
+  // Theorem 3 covers bounded clash-freedom: under the uniform scheduler
+  // every process keeps completing despite the livelock potential.
+  constexpr std::size_t kN = 6;
+  Simulation::Options opts;
+  opts.num_registers = ObstructionPair::registers_required();
+  opts.seed = 9;
+  Simulation sim(kN, ObstructionPair::factory(),
+                 std::make_unique<UniformScheduler>(), opts);
+  ProgressTracker tracker(kN);
+  sim.set_observer(&tracker);
+  sim.run(1'000'000);
+  EXPECT_TRUE(tracker.every_process_completed());
+  for (std::size_t p = 0; p < kN; ++p) {
+    EXPECT_GT(tracker.completions(p), 500u) << "process " << p;
+  }
+}
+
+TEST(ObstructionPair, LatencyIsWorseThanLockFreeUnderUniform) {
+  // The price of the weaker guarantee: restarts cost the OF pair more
+  // than scan-validate's CAS failures at the same n.
+  constexpr std::size_t kN = 8;
+  Simulation::Options opts;
+  opts.num_registers = ObstructionPair::registers_required();
+  opts.seed = 10;
+  Simulation of_sim(kN, ObstructionPair::factory(),
+                    std::make_unique<UniformScheduler>(), opts);
+  of_sim.run(100'000);
+  of_sim.reset_stats();
+  of_sim.run(800'000);
+
+  Simulation::Options lf_opts;
+  lf_opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
+  lf_opts.seed = 10;
+  Simulation lf_sim(kN, scan_validate_factory(),
+                    std::make_unique<UniformScheduler>(), lf_opts);
+  lf_sim.run(100'000);
+  lf_sim.reset_stats();
+  lf_sim.run(800'000);
+
+  EXPECT_GT(of_sim.report().system_latency(),
+            lf_sim.report().system_latency());
+}
+
+}  // namespace
+}  // namespace pwf::core

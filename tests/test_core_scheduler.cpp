@@ -1,0 +1,209 @@
+// Tests for the scheduler implementations against Definition 1's
+// requirements (well-formedness, weak fairness, crash handling).
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+namespace pwf::core {
+namespace {
+
+std::vector<std::size_t> iota_active(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  std::iota(v.begin(), v.end(), std::size_t{0});
+  return v;
+}
+
+std::vector<double> empirical_distribution(Scheduler& sched,
+                                           std::span<const std::size_t> active,
+                                           std::size_t n, int draws,
+                                           std::uint64_t seed = 1) {
+  Xoshiro256pp rng(seed);
+  std::vector<double> freq(n, 0.0);
+  for (int i = 0; i < draws; ++i) {
+    ++freq.at(sched.next(static_cast<std::uint64_t>(i), active, rng));
+  }
+  for (double& f : freq) f /= draws;
+  return freq;
+}
+
+TEST(UniformScheduler, IsApproximatelyUniform) {
+  UniformScheduler sched;
+  const auto active = iota_active(8);
+  const auto freq = empirical_distribution(sched, active, 8, 200'000);
+  for (double f : freq) EXPECT_NEAR(f, 1.0 / 8.0, 0.005);
+}
+
+TEST(UniformScheduler, RespectsActiveSet) {
+  UniformScheduler sched;
+  const std::vector<std::size_t> active{1, 4, 6};
+  Xoshiro256pp rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t p = sched.next(i, active, rng);
+    EXPECT_TRUE(p == 1 || p == 4 || p == 6);
+  }
+}
+
+TEST(UniformScheduler, ThetaIsOneOverN) {
+  UniformScheduler sched;
+  EXPECT_DOUBLE_EQ(sched.theta(4), 0.25);
+  EXPECT_DOUBLE_EQ(sched.theta(1), 1.0);
+  EXPECT_DOUBLE_EQ(sched.theta(0), 0.0);
+}
+
+TEST(WeightedScheduler, MatchesWeights) {
+  WeightedScheduler sched({1.0, 3.0});
+  const auto active = iota_active(2);
+  const auto freq = empirical_distribution(sched, active, 2, 200'000);
+  EXPECT_NEAR(freq[0], 0.25, 0.01);
+  EXPECT_NEAR(freq[1], 0.75, 0.01);
+}
+
+TEST(WeightedScheduler, RenormalizesAfterCrash) {
+  WeightedScheduler sched({1.0, 1.0, 2.0});
+  const std::vector<std::size_t> active{0, 2};  // process 1 crashed
+  const auto freq = empirical_distribution(sched, active, 3, 100'000);
+  EXPECT_NEAR(freq[0], 1.0 / 3.0, 0.01);
+  EXPECT_DOUBLE_EQ(freq[1], 0.0);
+  EXPECT_NEAR(freq[2], 2.0 / 3.0, 0.01);
+}
+
+TEST(WeightedScheduler, RejectsBadWeights) {
+  EXPECT_THROW(WeightedScheduler({}), std::invalid_argument);
+  EXPECT_THROW(WeightedScheduler({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(WeightedScheduler({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(WeightedScheduler, ThetaIsMinWeightOverTotal) {
+  WeightedScheduler sched({1.0, 3.0, 6.0});
+  EXPECT_DOUBLE_EQ(sched.theta(3), 0.1);
+}
+
+TEST(ZipfScheduler, HeaviestFirst) {
+  WeightedScheduler sched = make_zipf_scheduler(4, 1.0);
+  const auto active = iota_active(4);
+  const auto freq = empirical_distribution(sched, active, 4, 200'000);
+  // Weights 1, 1/2, 1/3, 1/4 over total 25/12.
+  EXPECT_NEAR(freq[0], 12.0 / 25.0, 0.01);
+  EXPECT_NEAR(freq[3], 3.0 / 25.0, 0.01);
+  EXPECT_GT(freq[0], freq[1]);
+  EXPECT_GT(freq[1], freq[2]);
+  EXPECT_GT(freq[2], freq[3]);
+}
+
+TEST(LotteryScheduler, MatchesTicketHoldings) {
+  // Reference [19]'s lottery scheduling: probabilities proportional to
+  // integer ticket counts.
+  WeightedScheduler sched = make_lottery_scheduler({10, 30, 60});
+  const auto active = iota_active(3);
+  const auto freq = empirical_distribution(sched, active, 3, 200'000);
+  EXPECT_NEAR(freq[0], 0.10, 0.01);
+  EXPECT_NEAR(freq[1], 0.30, 0.01);
+  EXPECT_NEAR(freq[2], 0.60, 0.01);
+  EXPECT_DOUBLE_EQ(sched.theta(3), 0.1);
+}
+
+TEST(LotteryScheduler, RejectsZeroTickets) {
+  EXPECT_THROW(make_lottery_scheduler({5, 0}), std::invalid_argument);
+  EXPECT_THROW(make_lottery_scheduler({}), std::invalid_argument);
+}
+
+TEST(StickyScheduler, LongRunSharesStayUniform) {
+  StickyScheduler sched(0.8);
+  const auto active = iota_active(4);
+  const auto freq = empirical_distribution(sched, active, 4, 400'000);
+  for (double f : freq) EXPECT_NEAR(f, 0.25, 0.02);
+}
+
+TEST(StickyScheduler, RepeatsMoreThanUniform) {
+  StickyScheduler sched(0.9);
+  const auto active = iota_active(4);
+  Xoshiro256pp rng(5);
+  std::size_t prev = sched.next(0, active, rng);
+  int repeats = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 1; i < kDraws; ++i) {
+    const std::size_t cur = sched.next(i, active, rng);
+    if (cur == prev) ++repeats;
+    prev = cur;
+  }
+  // Expected repeat rate = rho + (1-rho)/n = 0.9 + 0.025 = 0.925.
+  EXPECT_NEAR(static_cast<double>(repeats) / kDraws, 0.925, 0.01);
+}
+
+TEST(StickyScheduler, ThetaAccountsForStickiness) {
+  StickyScheduler sched(0.5);
+  EXPECT_DOUBLE_EQ(sched.theta(4), 0.125);
+  EXPECT_THROW(StickyScheduler(1.0), std::invalid_argument);
+  EXPECT_THROW(StickyScheduler(-0.1), std::invalid_argument);
+}
+
+TEST(RoundRobinScheduler, CyclesInOrder) {
+  RoundRobinScheduler sched;
+  const auto active = iota_active(3);
+  Xoshiro256pp rng(1);
+  EXPECT_EQ(sched.next(0, active, rng), 0u);
+  EXPECT_EQ(sched.next(1, active, rng), 1u);
+  EXPECT_EQ(sched.next(2, active, rng), 2u);
+  EXPECT_EQ(sched.next(3, active, rng), 0u);
+  EXPECT_DOUBLE_EQ(sched.theta(3), 0.0);
+}
+
+TEST(AdversarialScheduler, FollowsStrategy) {
+  AdversarialScheduler sched(
+      [](std::uint64_t tau, std::span<const std::size_t> active) {
+        return active[tau % 2 == 0 ? 0 : active.size() - 1];
+      });
+  const auto active = iota_active(5);
+  Xoshiro256pp rng(1);
+  EXPECT_EQ(sched.next(0, active, rng), 0u);
+  EXPECT_EQ(sched.next(1, active, rng), 4u);
+  EXPECT_DOUBLE_EQ(sched.theta(5), 0.0);
+}
+
+TEST(AdversarialScheduler, RejectsInactiveChoice) {
+  AdversarialScheduler sched(
+      [](std::uint64_t, std::span<const std::size_t>) { return 9; });
+  const auto active = iota_active(3);
+  Xoshiro256pp rng(1);
+  EXPECT_THROW(sched.next(0, active, rng), std::logic_error);
+}
+
+TEST(AdversarialScheduler, RejectsNullStrategy) {
+  EXPECT_THROW(AdversarialScheduler(nullptr), std::invalid_argument);
+}
+
+TEST(ThetaMixScheduler, EveryProcessGetsAtLeastTheta) {
+  // Inner adversary starves process 0; the theta mixture must still
+  // schedule it with probability >= theta.
+  auto adversary = std::make_unique<AdversarialScheduler>(
+      [](std::uint64_t, std::span<const std::size_t> active) {
+        return active.back();
+      });
+  const double theta = 0.05;
+  ThetaMixScheduler sched(theta, std::move(adversary));
+  const auto active = iota_active(4);
+  const auto freq = empirical_distribution(sched, active, 4, 200'000);
+  EXPECT_GE(freq[0], theta * 0.8);
+  EXPECT_GE(freq[1], theta * 0.8);
+  EXPECT_GE(freq[2], theta * 0.8);
+  EXPECT_GT(freq[3], 0.8);  // the adversary's favourite
+  EXPECT_DOUBLE_EQ(sched.theta(4), theta);
+}
+
+TEST(ThetaMixScheduler, RejectsOversizedTheta) {
+  auto inner = std::make_unique<UniformScheduler>();
+  ThetaMixScheduler sched(0.5, std::move(inner));
+  const auto active = iota_active(4);  // 4 * 0.5 > 1
+  Xoshiro256pp rng(1);
+  EXPECT_THROW(sched.next(0, active, rng), std::logic_error);
+  EXPECT_THROW(ThetaMixScheduler(0.0, std::make_unique<UniformScheduler>()),
+               std::invalid_argument);
+  EXPECT_THROW(ThetaMixScheduler(0.1, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pwf::core

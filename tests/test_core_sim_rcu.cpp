@@ -1,0 +1,148 @@
+// Tests for the RCU step machine: wait-free readers, SCU-writer behaviour,
+// version consistency, and the torn-read/grace-period trade-off.
+#include "core/sim_rcu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace pwf::core {
+namespace {
+
+struct RcuSim {
+  std::vector<const SimRcu*> machines;
+  Simulation sim;
+};
+
+RcuSim make_rcu_sim(std::size_t n, const RcuConfig& config,
+                    std::uint64_t seed = 1) {
+  auto machines = std::make_shared<std::vector<const SimRcu*>>();
+  Simulation::Options opts;
+  opts.num_registers = SimRcu::registers_required(config);
+  opts.seed = seed;
+  auto factory = [machines, config](std::size_t pid, std::size_t nn) {
+    auto machine = std::make_unique<SimRcu>(pid, nn, config);
+    machines->push_back(machine.get());
+    return machine;
+  };
+  RcuSim out{{}, Simulation(n, factory,
+                            std::make_unique<UniformScheduler>(), opts)};
+  out.machines = *machines;
+  return out;
+}
+
+TEST(SimRcu, RejectsBadConfiguration) {
+  EXPECT_THROW(SimRcu(3, 3, RcuConfig{}), std::invalid_argument);
+  EXPECT_THROW(SimRcu(0, 2, RcuConfig{0, 3, 4}), std::invalid_argument);
+  EXPECT_THROW(SimRcu(0, 2, RcuConfig{3, 3, 4}), std::invalid_argument);
+  EXPECT_THROW(SimRcu(0, 2, RcuConfig{1, 0, 4}), std::invalid_argument);
+  EXPECT_THROW(SimRcu(0, 2, RcuConfig{1, 3, 0}), std::invalid_argument);
+}
+
+TEST(SimRcu, SoloWriterPublishesEveryTwoPlusLSteps) {
+  RcuConfig config{1, 3, 4};
+  auto r = make_rcu_sim(1, config);
+  r.sim.run(6'000);
+  // Solo: read P (1) + copy L (3) + CAS (1) = 5 steps per update.
+  EXPECT_NEAR(r.sim.report().system_latency(), 5.0, 0.01);
+  EXPECT_EQ(r.machines[0]->updates(), r.sim.report().completions);
+  // Final version equals the number of updates.
+  EXPECT_EQ(r.sim.memory().peek(0) >> 32, r.machines[0]->updates());
+}
+
+TEST(SimRcu, ReadersAreWaitFreeAndNeverTornWithDeepPools) {
+  RcuConfig config{2, 3, 64};  // deep pools ~ long grace period
+  constexpr std::size_t kN = 8;
+  auto r = make_rcu_sim(kN, config, 5);
+  r.sim.run(400'000);
+  for (std::size_t p = config.writers; p < kN; ++p) {
+    const SimRcu& reader = *r.machines[p];
+    EXPECT_GT(reader.reads(), 5'000u);
+    EXPECT_EQ(reader.torn_reads(), 0u)
+        << "reader " << p << " saw a recycled block despite deep pools";
+    // Wait-free: every read costs exactly 1 + L of its own steps (the few
+    // trivial pre-publication reads cost 1), so completions ~= steps / 4.
+    EXPECT_NEAR(static_cast<double>(reader.reads()),
+                static_cast<double>(
+                    r.sim.report().steps_per_process[p]) / 4.0,
+                8.0);
+  }
+}
+
+TEST(SimRcu, ShallowPoolsProduceTornReads) {
+  // With a single slot per writer, a reader that holds a pointer across
+  // one full writer turnaround sees recycled payload — the reason real
+  // RCU needs grace periods before reuse.
+  RcuConfig config{4, 3, 1};
+  constexpr std::size_t kN = 16;
+  auto r = make_rcu_sim(kN, config, 7);
+  r.sim.run(400'000);
+  std::uint64_t torn = 0, reads = 0;
+  for (std::size_t p = config.writers; p < kN; ++p) {
+    torn += r.machines[p]->torn_reads();
+    reads += r.machines[p]->reads();
+  }
+  EXPECT_GT(reads, 60'000u);
+  EXPECT_GT(torn, 0u) << "expected some torn reads with slots_per_writer=1";
+}
+
+TEST(SimRcu, TornRateDecreasesWithPoolDepth) {
+  auto torn_rate = [](std::size_t slots, std::uint64_t seed) {
+    RcuConfig config{4, 3, slots};
+    auto r = make_rcu_sim(12, config, seed);
+    r.sim.run(600'000);
+    std::uint64_t torn = 0, reads = 0;
+    for (std::size_t p = 4; p < 12; ++p) {
+      torn += r.machines[p]->torn_reads();
+      reads += r.machines[p]->reads();
+    }
+    return static_cast<double>(torn) / static_cast<double>(reads);
+  };
+  const double r1 = torn_rate(1, 11);
+  const double r4 = torn_rate(4, 11);
+  const double r16 = torn_rate(16, 11);
+  EXPECT_GT(r1, r4);
+  EXPECT_GE(r4, r16);
+  EXPECT_LT(r16, 1e-3);
+}
+
+TEST(SimRcu, WriterContentionScalesWithWriterCountOnly) {
+  // Readers do not contend with writers: writer latency at fixed writer
+  // count is unchanged when readers are added (in *their own* steps).
+  auto writer_own_cost = [](std::size_t writers, std::size_t readers,
+                            std::uint64_t seed) {
+    RcuConfig config{writers, 3, 8};
+    auto r = make_rcu_sim(writers + readers, config, seed);
+    r.sim.run(100'000);
+    r.sim.reset_stats();
+    r.sim.run(800'000);
+    double own_steps = 0.0, updates = 0.0;
+    for (std::size_t p = 0; p < writers; ++p) {
+      own_steps +=
+          static_cast<double>(r.sim.report().steps_per_process[p]);
+      updates += static_cast<double>(r.machines[p]->updates());
+    }
+    return own_steps / updates;  // writer steps per completed update
+  };
+  const double lonely = writer_own_cost(4, 0, 3);
+  const double crowded = writer_own_cost(4, 12, 3);
+  EXPECT_NEAR(crowded, lonely, 0.15 * lonely);
+  // And writer cost grows with writer count (the SCU contention factor).
+  const double more_writers = writer_own_cost(16, 0, 3);
+  EXPECT_GT(more_writers, lonely * 1.1);
+}
+
+TEST(SimRcu, VersionCountsUpdatesExactly) {
+  RcuConfig config{3, 2, 8};
+  auto r = make_rcu_sim(6, config, 13);
+  r.sim.run(300'000);
+  std::uint64_t updates = 0;
+  for (std::size_t p = 0; p < 3; ++p) updates += r.machines[p]->updates();
+  EXPECT_EQ(r.sim.memory().peek(0) >> 32, updates);
+}
+
+}  // namespace
+}  // namespace pwf::core

@@ -1,0 +1,155 @@
+// Tests for the simulated Treiber stack: LIFO/conservation invariants
+// under the model scheduler, tag-based ABA safety, and the SCU-class
+// latency behaviour the paper predicts for stacks (reference [21]).
+#include "core/sim_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "markov/builders.hpp"
+#include "util/stats.hpp"
+
+namespace pwf::core {
+namespace {
+
+struct StackSim {
+  std::vector<const SimStack*> machines;
+  Simulation sim;
+};
+
+StackSim make_stack_sim(std::size_t n, std::size_t slots,
+                        std::uint64_t seed = 1) {
+  auto machines = std::make_shared<std::vector<const SimStack*>>();
+  Simulation::Options opts;
+  opts.num_registers = SimStack::registers_required(n, slots);
+  opts.seed = seed;
+  auto factory = [machines, slots](std::size_t pid, std::size_t nn) {
+    auto machine = std::make_unique<SimStack>(pid, nn, slots);
+    machines->push_back(machine.get());
+    return machine;
+  };
+  StackSim out{*machines, Simulation(n, factory,
+                                     std::make_unique<UniformScheduler>(),
+                                     opts)};
+  out.machines = *machines;
+  return out;
+}
+
+TEST(SimStack, RejectsBadConstruction) {
+  EXPECT_THROW(SimStack(1, 1, 4), std::invalid_argument);
+  EXPECT_THROW(SimStack(0, 1, 0), std::invalid_argument);
+}
+
+TEST(SimStack, SoloAlternatesPushPop) {
+  auto s = make_stack_sim(1, 4);
+  s.sim.run(10'000);
+  const SimStack& m = *s.machines[0];
+  // Solo: push (4 steps), pop (4 steps), strictly alternating, no empties
+  // after the first push.
+  EXPECT_GT(m.pushes(), 1000u);
+  EXPECT_NEAR(static_cast<double>(m.pushes()),
+              static_cast<double>(m.pops()), 1.0);
+  EXPECT_EQ(m.empty_pops(), 0u);
+  // Solo pops return exactly the value just pushed (LIFO).
+  const auto& popped = m.popped_values();
+  for (std::size_t i = 0; i < popped.size(); ++i) {
+    EXPECT_EQ(popped[i], (Value{1} << 32) | i);
+  }
+}
+
+TEST(SimStack, ConservationNoValueLostOrDuplicated) {
+  constexpr std::size_t kN = 6;
+  auto s = make_stack_sim(kN, 8, 77);
+  s.sim.run(500'000);
+  std::uint64_t pushes = 0, pops = 0, empties = 0;
+  std::set<Value> popped;
+  for (const SimStack* m : s.machines) {
+    pushes += m->pushes();
+    pops += m->pops();
+    empties += m->empty_pops();
+    for (Value v : m->popped_values()) {
+      ASSERT_TRUE(popped.insert(v).second) << "value popped twice: " << v;
+    }
+  }
+  EXPECT_EQ(popped.size(), pops);
+  EXPECT_LE(pops, pushes);  // cannot pop more than was pushed
+  // Whatever was not popped is still on the stack: walk it.
+  std::uint64_t depth = 0;
+  SharedMemory& mem = s.sim.memory();
+  std::uint64_t ref = mem.peek(0) & 0xffffffffULL;
+  while (ref != 0) {
+    ++depth;
+    ASSERT_LT(depth, 1'000'000u) << "cycle in stack: ABA corruption";
+    ref = mem.peek(1 + 2 * (ref - 1));
+  }
+  EXPECT_EQ(depth, pushes - pops);
+}
+
+TEST(SimStack, PoppedValuesWereActuallyPushed) {
+  constexpr std::size_t kN = 4;
+  auto s = make_stack_sim(kN, 6, 13);
+  s.sim.run(200'000);
+  for (const SimStack* m : s.machines) {
+    for (Value v : m->popped_values()) {
+      const auto owner = static_cast<std::size_t>(v >> 32);
+      const Value seq = v & 0xffffffffULL;
+      ASSERT_GE(owner, 1u);
+      ASSERT_LE(owner, kN);
+      // The pushing process performed at least seq+1 pushes.
+      EXPECT_LT(seq, s.machines[owner - 1]->pushes());
+    }
+  }
+}
+
+TEST(SimStack, CompletionsMatchOperationCounts) {
+  constexpr std::size_t kN = 3;
+  auto s = make_stack_sim(kN, 4, 5);
+  s.sim.run(100'000);
+  std::uint64_t ops = 0;
+  for (const SimStack* m : s.machines) {
+    ops += m->pushes() + m->pops() + m->empty_pops();
+  }
+  EXPECT_EQ(ops, s.sim.report().completions);
+}
+
+TEST(SimStack, LatencyScalesLikeScuPrediction) {
+  // The stack is in SCU(~1, ~2); its system latency under the uniform
+  // scheduler should grow like sqrt(n), staying within a constant factor
+  // of the exact SCU(0,1) chain value.
+  std::vector<double> ns, ws;
+  for (std::size_t n : {4, 8, 16, 32}) {
+    auto s = make_stack_sim(n, 8, 100 + n);
+    s.sim.run(100'000);
+    s.sim.reset_stats();
+    s.sim.run(800'000);
+    ns.push_back(static_cast<double>(n));
+    ws.push_back(s.sim.report().system_latency());
+    const double sv =
+        markov::system_latency(markov::build_scan_validate_system_chain(n));
+    EXPECT_GT(ws.back(), sv * 0.8);
+    EXPECT_LT(ws.back(), sv * 4.0);
+  }
+  const LinearFit fit = fit_power_law(ns, ws);
+  EXPECT_GT(fit.slope, 0.30);
+  EXPECT_LT(fit.slope, 0.75);
+}
+
+TEST(SimStack, FairnessIndividualLatencyIsNTimesSystem) {
+  constexpr std::size_t kN = 8;
+  auto s = make_stack_sim(kN, 8, 21);
+  s.sim.run(100'000);
+  s.sim.reset_stats();
+  s.sim.run(1'000'000);
+  const double w = s.sim.report().system_latency();
+  for (std::size_t p = 0; p < kN; ++p) {
+    EXPECT_NEAR(s.sim.report().individual_latency(p), kN * w,
+                0.15 * kN * w);
+  }
+}
+
+}  // namespace
+}  // namespace pwf::core

@@ -1,0 +1,208 @@
+// Tests for the discrete-time simulation engine: accounting invariants,
+// determinism, crash handling, and fairness under the uniform scheduler.
+#include "core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/algorithms.hpp"
+
+namespace pwf::core {
+namespace {
+
+Simulation make_parallel_sim(std::size_t n, std::size_t q,
+                             std::uint64_t seed = 1) {
+  Simulation::Options opts;
+  opts.num_registers = ParallelCode::registers_required();
+  opts.seed = seed;
+  return Simulation(n, ParallelCode::factory(q),
+                    std::make_unique<UniformScheduler>(), opts);
+}
+
+Simulation make_scan_validate_sim(std::size_t n, std::uint64_t seed = 1) {
+  Simulation::Options opts;
+  opts.num_registers = ScuAlgorithm::registers_required(n, 1);
+  opts.seed = seed;
+  return Simulation(n, scan_validate_factory(),
+                    std::make_unique<UniformScheduler>(), opts);
+}
+
+TEST(Simulation, RejectsBadConstruction) {
+  Simulation::Options opts;
+  EXPECT_THROW(Simulation(0, ParallelCode::factory(1),
+                          std::make_unique<UniformScheduler>(), opts),
+               std::invalid_argument);
+  EXPECT_THROW(Simulation(2, ParallelCode::factory(1), nullptr, opts),
+               std::invalid_argument);
+}
+
+TEST(Simulation, StepAccountingAddsUp) {
+  auto sim = make_parallel_sim(4, 3);
+  sim.run(10'000);
+  const LatencyReport& rep = sim.report();
+  EXPECT_EQ(rep.steps, 10'000u);
+  EXPECT_EQ(sim.now(), 10'000u);
+  std::uint64_t per_process = 0;
+  for (std::uint64_t s : rep.steps_per_process) per_process += s;
+  EXPECT_EQ(per_process, rep.steps);
+  std::uint64_t completions = 0;
+  for (std::uint64_t c : rep.completions_per_process) completions += c;
+  EXPECT_EQ(completions, rep.completions);
+  EXPECT_EQ(sim.memory().ops(), 10'000u);
+}
+
+TEST(Simulation, ParallelCodeCompletionCountIsExact) {
+  // Every process completes exactly floor(own_steps / q) operations.
+  auto sim = make_parallel_sim(3, 5);
+  sim.run(50'000);
+  const LatencyReport& rep = sim.report();
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(rep.completions_per_process[p], rep.steps_per_process[p] / 5);
+  }
+}
+
+TEST(Simulation, DeterministicForFixedSeed) {
+  auto a = make_scan_validate_sim(5, 1234);
+  auto b = make_scan_validate_sim(5, 1234);
+  a.run(20'000);
+  b.run(20'000);
+  EXPECT_EQ(a.report().completions, b.report().completions);
+  for (std::size_t p = 0; p < 5; ++p) {
+    EXPECT_EQ(a.report().steps_per_process[p], b.report().steps_per_process[p]);
+  }
+  EXPECT_EQ(a.memory().peek(0), b.memory().peek(0));
+}
+
+TEST(Simulation, DifferentSeedsDiverge) {
+  auto a = make_scan_validate_sim(5, 1);
+  auto b = make_scan_validate_sim(5, 2);
+  a.run(20'000);
+  b.run(20'000);
+  bool any_diff = a.report().completions != b.report().completions;
+  for (std::size_t p = 0; p < 5 && !any_diff; ++p) {
+    any_diff =
+        a.report().steps_per_process[p] != b.report().steps_per_process[p];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Simulation, UniformSchedulerIsFairOverLongRuns) {
+  auto sim = make_scan_validate_sim(8, 7);
+  sim.run(400'000);
+  const LatencyReport& rep = sim.report();
+  const double expect = 400'000.0 / 8.0;
+  for (std::uint64_t s : rep.steps_per_process) {
+    EXPECT_NEAR(static_cast<double>(s), expect, 0.03 * expect);
+  }
+}
+
+TEST(Simulation, ResetStatsClearsWindowButKeepsState) {
+  auto sim = make_parallel_sim(2, 2);
+  sim.run(1000);
+  EXPECT_GT(sim.report().completions, 0u);
+  sim.reset_stats();
+  EXPECT_EQ(sim.report().steps, 0u);
+  EXPECT_EQ(sim.report().completions, 0u);
+  EXPECT_EQ(sim.now(), 1000u);  // time marches on
+  sim.run(1000);
+  EXPECT_EQ(sim.report().steps, 1000u);
+  EXPECT_GT(sim.report().completions, 0u);
+}
+
+TEST(Simulation, CrashRemovesProcessFromSchedule) {
+  auto sim = make_parallel_sim(4, 1, 77);
+  sim.schedule_crash(1000, 2);
+  sim.run(1000);
+  const std::uint64_t steps_before = sim.report().steps_per_process[2];
+  EXPECT_GT(steps_before, 0u);
+  sim.run(10'000);
+  EXPECT_EQ(sim.report().steps_per_process[2], steps_before);
+  EXPECT_EQ(sim.active().size(), 3u);
+}
+
+TEST(Simulation, CrashContainmentActiveSetOnlyShrinks) {
+  auto sim = make_parallel_sim(5, 1);
+  sim.schedule_crash(100, 0);
+  sim.schedule_crash(200, 3);
+  sim.run(50);
+  EXPECT_EQ(sim.active().size(), 5u);
+  sim.run(100);
+  EXPECT_EQ(sim.active().size(), 4u);
+  sim.run(100);
+  EXPECT_EQ(sim.active().size(), 3u);
+  // Crashed processes never return.
+  sim.run(1000);
+  EXPECT_EQ(sim.active().size(), 3u);
+}
+
+TEST(Simulation, RefusesToCrashLastProcess) {
+  auto sim = make_parallel_sim(2, 1);
+  sim.schedule_crash(10, 0);
+  sim.schedule_crash(20, 1);
+  EXPECT_THROW(sim.run(100), std::logic_error);
+}
+
+TEST(Simulation, CrashValidation) {
+  auto sim = make_parallel_sim(2, 1);
+  EXPECT_THROW(sim.schedule_crash(0, 5), std::out_of_range);
+  sim.run(100);
+  EXPECT_THROW(sim.schedule_crash(50, 0), std::invalid_argument);
+}
+
+TEST(Simulation, DuplicateCrashIsIgnored) {
+  auto sim = make_parallel_sim(3, 1);
+  sim.schedule_crash(10, 1);
+  sim.schedule_crash(20, 1);
+  sim.run(100);
+  EXPECT_EQ(sim.active().size(), 2u);
+}
+
+class CountingObserver final : public SimObserver {
+ public:
+  void on_step(std::uint64_t tau, std::size_t process, bool completed) override {
+    ++steps;
+    last_tau = tau;
+    last_process = process;
+    if (completed) ++completions;
+  }
+  std::uint64_t steps = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t last_tau = 0;
+  std::size_t last_process = 0;
+};
+
+TEST(Simulation, ObserverSeesEveryStep) {
+  auto sim = make_parallel_sim(2, 3);
+  CountingObserver obs;
+  sim.set_observer(&obs);
+  sim.run(5000);
+  EXPECT_EQ(obs.steps, 5000u);
+  EXPECT_EQ(obs.completions, sim.report().completions);
+  EXPECT_EQ(obs.last_tau, 5000u);
+}
+
+TEST(Simulation, OpenGapTracksTimeSinceCompletion) {
+  auto sim = make_parallel_sim(1, 4);
+  sim.run(4);  // exactly one completion at tau = 4
+  EXPECT_EQ(sim.open_gap(0), 0u);
+  sim.run(2);
+  EXPECT_EQ(sim.open_gap(0), 2u);
+}
+
+TEST(Simulation, SystemLatencyOfSoloParallelCodeIsQ) {
+  auto sim = make_parallel_sim(1, 6);
+  sim.run(6000);
+  EXPECT_DOUBLE_EQ(sim.report().system_latency(), 6.0);
+  EXPECT_DOUBLE_EQ(sim.report().completion_rate(), 1.0 / 6.0);
+}
+
+TEST(LatencyReport, MinCompletions) {
+  auto sim = make_parallel_sim(3, 2, 5);
+  sim.run(30'000);
+  EXPECT_GT(sim.report().min_completions(), 0u);
+}
+
+}  // namespace
+}  // namespace pwf::core

@@ -1,0 +1,80 @@
+// Tests for the closed-form predictors.
+#include "core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/special.hpp"
+
+namespace pwf::core::theory {
+namespace {
+
+TEST(Theory, Theorem3Bound) {
+  EXPECT_DOUBLE_EQ(theorem3_expected_bound(0.25, 1), 4.0);
+  EXPECT_DOUBLE_EQ(theorem3_expected_bound(0.5, 3), 8.0);
+  EXPECT_THROW(theorem3_expected_bound(-1.0, 1), std::invalid_argument);
+  EXPECT_THROW(theorem3_expected_bound(1.5, 1), std::invalid_argument);
+}
+
+TEST(Theory, ScuLatencyShape) {
+  EXPECT_DOUBLE_EQ(scu_system_latency(0, 1, 16), 4.0);
+  EXPECT_DOUBLE_EQ(scu_system_latency(10, 2, 25, 2.0), 10.0 + 2.0 * 2 * 5);
+  EXPECT_DOUBLE_EQ(scu_individual_latency(0, 1, 16),
+                   16.0 * scu_system_latency(0, 1, 16));
+}
+
+TEST(Theory, ParallelLatencies) {
+  EXPECT_DOUBLE_EQ(parallel_system_latency(7), 7.0);
+  EXPECT_DOUBLE_EQ(parallel_individual_latency(4, 7), 28.0);
+}
+
+TEST(Theory, FaiExactMatchesRecurrence) {
+  for (std::size_t n : {1, 2, 3, 10, 100}) {
+    EXPECT_DOUBLE_EQ(fai_system_latency_exact(n),
+                     fai_hitting_time(n - 1, n));
+  }
+  EXPECT_THROW(fai_system_latency_exact(0), std::invalid_argument);
+}
+
+TEST(Theory, FaiAsymptoticConvergesToExact) {
+  const double ratio = fai_system_latency_exact(100'000) /
+                       fai_system_latency_asymptotic(100'000);
+  EXPECT_NEAR(ratio, 1.0, 0.002);
+}
+
+TEST(Theory, FaiIndividualIsNTimesSystem) {
+  for (std::size_t n : {2, 8, 64}) {
+    EXPECT_DOUBLE_EQ(fai_individual_latency_exact(n),
+                     static_cast<double>(n) * fai_system_latency_exact(n));
+  }
+}
+
+TEST(Theory, CompletionRates) {
+  EXPECT_DOUBLE_EQ(fai_completion_rate_predicted(1), 1.0);
+  EXPECT_NEAR(fai_completion_rate_predicted(100),
+              1.0 / fai_system_latency_exact(100), 1e-15);
+  EXPECT_DOUBLE_EQ(fai_completion_rate_worst_case(20), 0.05);
+  // Predicted rate must dominate the worst case for all n > 1.
+  for (std::size_t n : {2, 4, 16, 256}) {
+    EXPECT_GT(fai_completion_rate_predicted(n),
+              fai_completion_rate_worst_case(n));
+  }
+}
+
+TEST(Theory, WorstCaseIsLinearInN) {
+  EXPECT_DOUBLE_EQ(scu_worst_case_system_latency(3, 2, 10), 23.0);
+}
+
+TEST(Theory, PhaseLengthBound) {
+  // Balanced start (a = n, b = 0): only the sqrt branch applies.
+  EXPECT_DOUBLE_EQ(phase_length_bound(16, 16, 0), 2.0 * 4.0 * 16.0 / 4.0);
+  // Empty-heavy start: the cube-root branch can win.
+  const double b_branch = 3.0 * 4.0 * 1000.0 / std::cbrt(999.0);
+  EXPECT_NEAR(phase_length_bound(1000, 1, 999), b_branch, 1e-9);
+  // Degenerate zero/zero start.
+  EXPECT_TRUE(std::isinf(phase_length_bound(4, 0, 0)));
+}
+
+}  // namespace
+}  // namespace pwf::core::theory

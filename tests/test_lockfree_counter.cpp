@@ -1,0 +1,117 @@
+// Tests for the native-atomics counters (Appendix B workload).
+#include "lockfree/counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "lockfree/harness.hpp"
+
+namespace pwf::lockfree {
+namespace {
+
+TEST(CasCounter, SingleThreadSequence) {
+  CasCounter counter;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const OpCost cost = counter.fetch_inc();
+    EXPECT_EQ(cost.value, i);
+    // Uncontended: one load + one successful CAS.
+    EXPECT_EQ(cost.steps, 2u);
+  }
+  EXPECT_EQ(counter.load(), 100u);
+}
+
+TEST(CasCounter, InitialValueRespected) {
+  CasCounter counter(41);
+  EXPECT_EQ(counter.fetch_inc().value, 41u);
+  EXPECT_EQ(counter.load(), 42u);
+}
+
+TEST(CasCounter, ConcurrentIncrementsAreExact) {
+  CasCounter counter;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kOps = 20'000;
+  const HarnessResult result = run_fixed_ops(
+      kThreads, kOps, [&](std::size_t) { return counter.fetch_inc().steps; });
+  EXPECT_EQ(counter.load(), kThreads * kOps);
+  EXPECT_EQ(result.total_ops(), kThreads * kOps);
+  // Steps >= 2 per op; contention adds more.
+  EXPECT_GE(result.total_steps(), 2 * kThreads * kOps);
+}
+
+TEST(CasCounter, ConcurrentValuesAreUniqueAndDense) {
+  // Every fetched value in [0, total) appears exactly once.
+  CasCounter counter;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kOps = 5'000;
+  std::vector<std::vector<std::uint64_t>> fetched(kThreads);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      fetched[t].reserve(kOps);
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        fetched[t].push_back(counter.fetch_inc().value);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::vector<bool> seen(kThreads * kOps, false);
+  for (const auto& values : fetched) {
+    for (std::uint64_t v : values) {
+      ASSERT_LT(v, seen.size());
+      ASSERT_FALSE(seen[v]) << "duplicate ticket " << v;
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(FetchAddCounter, SingleThreadSequence) {
+  FetchAddCounter counter;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const OpCost cost = counter.fetch_inc();
+    EXPECT_EQ(cost.value, i);
+    EXPECT_EQ(cost.steps, 1u);  // wait-free: always exactly one step
+  }
+}
+
+TEST(FetchAddCounter, ConcurrentIncrementsAreExact) {
+  FetchAddCounter counter;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kOps = 20'000;
+  const HarnessResult result = run_fixed_ops(
+      kThreads, kOps, [&](std::size_t) { return counter.fetch_inc().steps; });
+  EXPECT_EQ(counter.load(), kThreads * kOps);
+  // Wait-free: exactly one step per operation, no retries ever.
+  EXPECT_EQ(result.total_steps(), kThreads * kOps);
+  EXPECT_DOUBLE_EQ(result.completion_rate(), 1.0);
+}
+
+TEST(Harness, TimedRunProducesWork) {
+  CasCounter counter;
+  const HarnessResult result =
+      run_throughput(2, std::chrono::milliseconds(50),
+                     [&](std::size_t) { return counter.fetch_inc().steps; });
+  EXPECT_GT(result.total_ops(), 100u);
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_GT(result.ops_per_second(), 0.0);
+  EXPECT_EQ(result.per_thread.size(), 2u);
+  EXPECT_EQ(counter.load(), result.total_ops());
+  // Completion rate is in (0, 1/2]: at least 2 steps per op.
+  EXPECT_LE(result.completion_rate(), 0.5);
+  EXPECT_GT(result.completion_rate(), 0.0);
+}
+
+TEST(Harness, RejectsBadArguments) {
+  EXPECT_THROW(
+      run_throughput(0, std::chrono::milliseconds(1), [](std::size_t) {
+        return std::uint64_t{1};
+      }),
+      std::invalid_argument);
+  EXPECT_THROW(run_fixed_ops(1, 0, [](std::size_t) { return std::uint64_t{1}; }),
+               std::invalid_argument);
+  EXPECT_THROW(run_fixed_ops(1, 10, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pwf::lockfree

@@ -1,0 +1,136 @@
+// Tests for the lock-free hash set (HarrisList buckets).
+#include "lockfree/hash_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pwf::lockfree {
+namespace {
+
+TEST(HashSet, RejectsZeroBuckets) {
+  EbrDomain domain;
+  EXPECT_THROW(HashSet<int>(domain, 0), std::invalid_argument);
+}
+
+TEST(HashSet, BasicOperations) {
+  EbrDomain domain;
+  EbrThreadHandle handle(domain);
+  HashSet<int> set(domain, 16);
+  EXPECT_TRUE(set.insert(handle, 1));
+  EXPECT_TRUE(set.insert(handle, 17));  // same bucket as 1 (mod 16)
+  EXPECT_FALSE(set.insert(handle, 1));
+  EXPECT_TRUE(set.contains(handle, 1));
+  EXPECT_TRUE(set.contains(handle, 17));
+  EXPECT_FALSE(set.contains(handle, 33));
+  EXPECT_TRUE(set.erase(handle, 1));
+  EXPECT_FALSE(set.contains(handle, 1));
+  EXPECT_TRUE(set.contains(handle, 17));
+  EXPECT_EQ(set.bucket_count(), 16u);
+}
+
+TEST(HashSet, StringKeys) {
+  EbrDomain domain;
+  EbrThreadHandle handle(domain);
+  HashSet<std::string> set(domain, 8);
+  EXPECT_TRUE(set.insert(handle, "alpha"));
+  EXPECT_TRUE(set.insert(handle, "beta"));
+  EXPECT_TRUE(set.contains(handle, "alpha"));
+  EXPECT_FALSE(set.contains(handle, "gamma"));
+  EXPECT_TRUE(set.erase(handle, "alpha"));
+  EXPECT_EQ(set.size_slow(handle), 1u);
+}
+
+TEST(HashSet, SingleBucketDegeneratesToList) {
+  EbrDomain domain;
+  EbrThreadHandle handle(domain);
+  HashSet<int> set(domain, 1);
+  for (int k = 0; k < 100; ++k) EXPECT_TRUE(set.insert(handle, k));
+  EXPECT_EQ(set.size_slow(handle), 100u);
+  for (int k = 0; k < 100; ++k) EXPECT_TRUE(set.contains(handle, k));
+}
+
+TEST(HashSet, MatchesReferenceSetUnderRandomOps) {
+  EbrDomain domain;
+  EbrThreadHandle handle(domain);
+  HashSet<int> set(domain, 32);
+  std::set<int> reference;
+  Xoshiro256pp rng(7);
+  for (int i = 0; i < 30'000; ++i) {
+    const int key = static_cast<int>(rng.uniform(500));
+    switch (rng.uniform(3)) {
+      case 0:
+        EXPECT_EQ(set.insert(handle, key), reference.insert(key).second);
+        break;
+      case 1:
+        EXPECT_EQ(set.erase(handle, key), reference.erase(key) > 0);
+        break;
+      default:
+        EXPECT_EQ(set.contains(handle, key), reference.contains(key));
+    }
+  }
+  EXPECT_EQ(set.size_slow(handle), reference.size());
+  std::set<int> drained;
+  set.for_each(handle, [&](const int& k) { drained.insert(k); });
+  EXPECT_EQ(drained, reference);
+}
+
+TEST(HashSet, ConcurrentInsertsAreExactlyOnce) {
+  EbrDomain domain;
+  HashSet<int> set(domain, 64);
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 4'000;
+  std::atomic<int> successes{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      EbrThreadHandle handle(domain);
+      for (int k = 0; k < kKeys; ++k) {
+        if (set.insert(handle, k)) successes.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(successes.load(), kKeys);
+  EbrThreadHandle handle(domain);
+  EXPECT_EQ(set.size_slow(handle), static_cast<std::size_t>(kKeys));
+}
+
+TEST(HashSet, ConcurrentMixedWorkloadStaysConsistent) {
+  EbrDomain domain;
+  HashSet<int> set(domain, 16);
+  constexpr int kKeySpace = 128;
+  std::vector<std::atomic<int>> net(kKeySpace);
+  for (auto& a : net) a.store(0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      EbrThreadHandle handle(domain);
+      Xoshiro256pp rng(55 + t);
+      for (int i = 0; i < 25'000; ++i) {
+        const int key = static_cast<int>(rng.uniform(kKeySpace));
+        if (rng.bernoulli(0.5)) {
+          if (set.insert(handle, key)) net[key].fetch_add(1);
+        } else {
+          if (set.erase(handle, key)) net[key].fetch_sub(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EbrThreadHandle handle(domain);
+  for (int k = 0; k < kKeySpace; ++k) {
+    const int n = net[k].load();
+    ASSERT_TRUE(n == 0 || n == 1);
+    EXPECT_EQ(set.contains(handle, k), n == 1) << "key " << k;
+  }
+}
+
+}  // namespace
+}  // namespace pwf::lockfree

@@ -1,0 +1,156 @@
+// Tests for the Treiber stack: sequential LIFO semantics plus concurrent
+// conservation (no lost or duplicated elements) under churn.
+#include "lockfree/treiber_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace pwf::lockfree {
+namespace {
+
+TEST(TreiberStack, LifoOrderSingleThread) {
+  EbrDomain domain;
+  EbrThreadHandle handle(domain);
+  TreiberStack<int> stack(domain);
+  for (int i = 0; i < 10; ++i) stack.push(handle, i);
+  for (int i = 9; i >= 0; --i) {
+    const auto popped = stack.pop(handle);
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(*popped, i);
+  }
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(TreiberStack, PopOnEmptyReturnsNullopt) {
+  EbrDomain domain;
+  EbrThreadHandle handle(domain);
+  TreiberStack<int> stack(domain);
+  EXPECT_FALSE(stack.pop(handle).has_value());
+  stack.push(handle, 1);
+  EXPECT_TRUE(stack.pop(handle).has_value());
+  EXPECT_FALSE(stack.pop(handle).has_value());
+}
+
+TEST(TreiberStack, UncontendedOpsTakeOneAttempt) {
+  EbrDomain domain;
+  EbrThreadHandle handle(domain);
+  TreiberStack<int> stack(domain);
+  EXPECT_EQ(stack.push(handle, 7), 1u);
+  const auto [value, attempts] = stack.pop_counted(handle);
+  EXPECT_EQ(*value, 7);
+  EXPECT_EQ(attempts, 1u);
+  // Observed-empty pop costs zero CAS attempts.
+  EXPECT_EQ(stack.pop_counted(handle).second, 0u);
+}
+
+TEST(TreiberStack, MovesNonCopyableValues) {
+  EbrDomain domain;
+  EbrThreadHandle handle(domain);
+  TreiberStack<std::unique_ptr<int>> stack(domain);
+  stack.push(handle, std::make_unique<int>(99));
+  auto popped = stack.pop(handle);
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(**popped, 99);
+}
+
+TEST(TreiberStack, DestructorFreesRemainingNodes) {
+  EbrDomain domain;
+  {
+    EbrThreadHandle handle(domain);
+    TreiberStack<int> stack(domain);
+    for (int i = 0; i < 100; ++i) stack.push(handle, i);
+    // Stack destroyed non-empty: must not leak (verified under ASan runs;
+    // structurally verified here by it simply not crashing).
+  }
+  SUCCEED();
+}
+
+TEST(TreiberStack, ConcurrentPushesPreserveAllElements) {
+  EbrDomain domain;
+  TreiberStack<int> stack(domain);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      EbrThreadHandle handle(domain);
+      for (int i = 0; i < kPerThread; ++i) {
+        stack.push(handle, t * kPerThread + i);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EbrThreadHandle handle(domain);
+  std::vector<bool> seen(kThreads * kPerThread, false);
+  std::size_t count = 0;
+  while (auto popped = stack.pop(handle)) {
+    ASSERT_GE(*popped, 0);
+    ASSERT_LT(*popped, kThreads * kPerThread);
+    ASSERT_FALSE(seen[*popped]) << "duplicate element " << *popped;
+    seen[*popped] = true;
+    ++count;
+  }
+  EXPECT_EQ(count, static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(TreiberStack, ConcurrentMixedChurnConservesElements) {
+  // Producers push tagged values; consumers pop everything. Total popped
+  // must equal total pushed with no duplicates (ABA safety via EBR).
+  EbrDomain domain;
+  TreiberStack<int> stack(domain);
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 20'000;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> popped_count{0};
+  std::vector<std::atomic<int>> pop_seen(kProducers * kPerProducer);
+  for (auto& flag : pop_seen) flag.store(0);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kProducers; ++t) {
+    workers.emplace_back([&, t] {
+      EbrThreadHandle handle(domain);
+      for (int i = 0; i < kPerProducer; ++i) {
+        stack.push(handle, t * kPerProducer + i);
+      }
+    });
+  }
+  for (int t = 0; t < kConsumers; ++t) {
+    workers.emplace_back([&] {
+      EbrThreadHandle handle(domain);
+      auto record = [&](int value) {
+        ASSERT_EQ(pop_seen[value].fetch_add(1), 0)
+            << "element popped twice: " << value;
+        popped_count.fetch_add(1);
+      };
+      while (true) {
+        if (const auto popped = stack.pop(handle)) {
+          record(*popped);
+        } else if (done.load()) {
+          // All pushes happened before `done` was set; one more pop after
+          // observing it distinguishes "drained" from a stale empty.
+          const auto last = stack.pop(handle);
+          if (!last) break;
+          record(*last);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kProducers; ++t) workers[t].join();
+  done.store(true);
+  for (int t = kProducers; t < kProducers + kConsumers; ++t) workers[t].join();
+
+  EXPECT_EQ(popped_count.load(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+}
+
+}  // namespace
+}  // namespace pwf::lockfree

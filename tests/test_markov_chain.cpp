@@ -1,0 +1,215 @@
+// Tests for the Markov chain substrate against chains with closed-form
+// stationary distributions and hitting times.
+#include "markov/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pwf::markov {
+namespace {
+
+MarkovChain two_state(double p, double q) {
+  // 0 -> 1 with prob p, 1 -> 0 with prob q.
+  MarkovChain chain(2);
+  if (p > 0) chain.add_transition(0, 1, p);
+  if (p < 1) chain.add_transition(0, 0, 1 - p);
+  if (q > 0) chain.add_transition(1, 0, q);
+  if (q < 1) chain.add_transition(1, 1, 1 - q);
+  return chain;
+}
+
+TEST(MarkovChain, RejectsZeroStates) {
+  EXPECT_THROW(MarkovChain(0), std::invalid_argument);
+}
+
+TEST(MarkovChain, AddTransitionValidation) {
+  MarkovChain chain(2);
+  EXPECT_THROW(chain.add_transition(2, 0, 0.5), std::out_of_range);
+  EXPECT_THROW(chain.add_transition(0, 2, 0.5), std::out_of_range);
+  EXPECT_THROW(chain.add_transition(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(chain.add_transition(0, 1, -0.1), std::invalid_argument);
+}
+
+TEST(MarkovChain, AddTransitionAccumulates) {
+  MarkovChain chain(2);
+  chain.add_transition(0, 1, 0.3);
+  chain.add_transition(0, 1, 0.7);
+  EXPECT_DOUBLE_EQ(chain.transition_prob(0, 1), 1.0);
+  EXPECT_EQ(chain.transitions_from(0).size(), 1u);
+}
+
+TEST(MarkovChain, ValidateCatchesBadRows) {
+  MarkovChain chain(2);
+  chain.add_transition(0, 1, 0.5);
+  chain.add_transition(1, 0, 1.0);
+  EXPECT_THROW(chain.validate(), std::logic_error);  // row 0 sums to 0.5
+  chain.add_transition(0, 0, 0.5);
+  EXPECT_NO_THROW(chain.validate());
+}
+
+TEST(MarkovChain, TwoStateStationary) {
+  // Stationary of the (p, q) two-state chain is (q, p)/(p+q).
+  const MarkovChain chain = two_state(0.3, 0.1);
+  chain.validate();
+  const auto pi = chain.stationary();
+  EXPECT_NEAR(pi[0], 0.1 / 0.4, 1e-10);
+  EXPECT_NEAR(pi[1], 0.3 / 0.4, 1e-10);
+}
+
+TEST(MarkovChain, PeriodicChainStationaryStillConverges) {
+  // Pure 2-cycle has period 2; the lazy power iteration must still find
+  // pi = (1/2, 1/2).
+  MarkovChain chain(2);
+  chain.add_transition(0, 1, 1.0);
+  chain.add_transition(1, 0, 1.0);
+  const auto pi = chain.stationary();
+  EXPECT_NEAR(pi[0], 0.5, 1e-10);
+  EXPECT_NEAR(pi[1], 0.5, 1e-10);
+}
+
+TEST(MarkovChain, RingStationaryIsUniform) {
+  constexpr std::size_t kN = 7;
+  MarkovChain chain(kN);
+  for (std::size_t s = 0; s < kN; ++s) {
+    chain.add_transition(s, (s + 1) % kN, 0.5);
+    chain.add_transition(s, (s + kN - 1) % kN, 0.5);
+  }
+  const auto pi = chain.stationary();
+  for (double mass : pi) EXPECT_NEAR(mass, 1.0 / kN, 1e-10);
+}
+
+TEST(MarkovChain, HittingTimesSimpleChain) {
+  // 0 -> 1 with prob 1/3 (else self-loop); h(0 -> 1) = 3.
+  MarkovChain chain(2);
+  chain.add_transition(0, 1, 1.0 / 3.0);
+  chain.add_transition(0, 0, 2.0 / 3.0);
+  chain.add_transition(1, 1, 1.0);
+  const auto h = chain.hitting_times(1);
+  EXPECT_DOUBLE_EQ(h[1], 0.0);
+  EXPECT_NEAR(h[0], 3.0, 1e-9);
+}
+
+TEST(MarkovChain, HittingTimesRandomWalkOnPath) {
+  // Symmetric walk on {0..4} with reflecting ends; expected hitting time of
+  // state 4 from 0 is 16 (= L^2 for L = 4).
+  constexpr std::size_t kL = 4;
+  MarkovChain chain(kL + 1);
+  chain.add_transition(0, 1, 1.0);
+  chain.add_transition(kL, kL - 1, 1.0);
+  for (std::size_t s = 1; s < kL; ++s) {
+    chain.add_transition(s, s - 1, 0.5);
+    chain.add_transition(s, s + 1, 0.5);
+  }
+  const auto h = chain.hitting_times(kL);
+  EXPECT_NEAR(h[0], 16.0, 1e-8);
+  EXPECT_NEAR(h[1], 15.0, 1e-8);
+}
+
+TEST(MarkovChain, UnreachableTargetIsInfinity) {
+  MarkovChain chain(3);
+  chain.add_transition(0, 1, 1.0);
+  chain.add_transition(1, 0, 1.0);
+  chain.add_transition(2, 2, 1.0);
+  const auto h = chain.hitting_times(2);
+  EXPECT_TRUE(std::isinf(h[0]));
+  EXPECT_TRUE(std::isinf(h[1]));
+  EXPECT_EQ(h[2], 0.0);
+}
+
+TEST(MarkovChain, ReturnTimeMatchesOneOverPi) {
+  // Theorem 1: h_jj = 1 / pi_j, checked on an asymmetric ergodic chain.
+  MarkovChain chain(3);
+  chain.add_transition(0, 0, 0.5);
+  chain.add_transition(0, 1, 0.5);
+  chain.add_transition(1, 2, 1.0);
+  chain.add_transition(2, 0, 0.75);
+  chain.add_transition(2, 1, 0.25);
+  chain.validate();
+  const auto pi = chain.stationary();
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_NEAR(chain.return_time(s), 1.0 / pi[s], 1e-6) << "state " << s;
+  }
+}
+
+TEST(MarkovChain, ErgodicFlowSumsToStationary) {
+  // pi_j = sum_i Q_ij (Section 3).
+  MarkovChain chain(3);
+  chain.add_transition(0, 1, 0.9);
+  chain.add_transition(0, 0, 0.1);
+  chain.add_transition(1, 2, 0.6);
+  chain.add_transition(1, 0, 0.4);
+  chain.add_transition(2, 0, 1.0);
+  const auto pi = chain.stationary();
+  for (std::size_t j = 0; j < 3; ++j) {
+    double inflow = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      inflow += chain.ergodic_flow(i, j, pi);
+    }
+    EXPECT_NEAR(inflow, pi[j], 1e-10);
+  }
+}
+
+TEST(MarkovChain, StepDistribution) {
+  const MarkovChain chain = two_state(1.0, 1.0);
+  std::vector<double> in{1.0, 0.0};
+  std::vector<double> out(2);
+  chain.step_distribution(in, out);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  chain.step_distribution(out, in);
+  EXPECT_DOUBLE_EQ(in[0], 1.0);
+}
+
+TEST(MarkovChain, ExactSolverMatchesKnownStationary) {
+  const MarkovChain chain = two_state(0.3, 0.1);
+  const auto pi = chain.stationary_exact();
+  EXPECT_NEAR(pi[0], 0.25, 1e-12);
+  EXPECT_NEAR(pi[1], 0.75, 1e-12);
+}
+
+TEST(MarkovChain, ExactSolverAgreesWithPowerIteration) {
+  // Cross-validate the two solvers on an asymmetric ergodic chain and on
+  // a periodic one (where only the unique stationary vector, not
+  // pointwise convergence, is defined).
+  MarkovChain chain(4);
+  chain.add_transition(0, 1, 0.6);
+  chain.add_transition(0, 0, 0.4);
+  chain.add_transition(1, 2, 0.9);
+  chain.add_transition(1, 3, 0.1);
+  chain.add_transition(2, 0, 1.0);
+  chain.add_transition(3, 0, 0.5);
+  chain.add_transition(3, 2, 0.5);
+  const auto iterative = chain.stationary();
+  const auto exact = chain.stationary_exact();
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_NEAR(iterative[s], exact[s], 1e-9) << "state " << s;
+  }
+
+  MarkovChain cycle(3);
+  cycle.add_transition(0, 1, 1.0);
+  cycle.add_transition(1, 2, 1.0);
+  cycle.add_transition(2, 0, 1.0);
+  const auto cyc_exact = cycle.stationary_exact();
+  for (double mass : cyc_exact) EXPECT_NEAR(mass, 1.0 / 3.0, 1e-12);
+}
+
+TEST(MarkovChain, ExactSolverRejectsReducibleChains) {
+  MarkovChain chain(2);
+  chain.add_transition(0, 0, 1.0);
+  chain.add_transition(1, 1, 1.0);  // two closed classes: pi not unique
+  EXPECT_THROW(chain.stationary_exact(), std::logic_error);
+}
+
+TEST(MarkovChain, StationaryIsFixedPoint) {
+  const MarkovChain chain = two_state(0.25, 0.6);
+  const auto pi = chain.stationary();
+  std::vector<double> next(2);
+  chain.step_distribution(pi, next);
+  EXPECT_NEAR(next[0], pi[0], 1e-10);
+  EXPECT_NEAR(next[1], pi[1], 1e-10);
+}
+
+}  // namespace
+}  // namespace pwf::markov

@@ -1,0 +1,142 @@
+// Tests for SCC decomposition, periodicity and the ergodicity report.
+#include "markov/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace pwf::markov {
+namespace {
+
+TEST(Scc, SingleStateSelfLoop) {
+  MarkovChain chain(1);
+  chain.add_transition(0, 0, 1.0);
+  std::size_t count = 0;
+  const auto ids = strongly_connected_components(chain, &count);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(ids[0], 0u);
+}
+
+TEST(Scc, TwoIsolatedComponents) {
+  MarkovChain chain(4);
+  chain.add_transition(0, 1, 1.0);
+  chain.add_transition(1, 0, 1.0);
+  chain.add_transition(2, 3, 1.0);
+  chain.add_transition(3, 2, 1.0);
+  std::size_t count = 0;
+  const auto ids = strongly_connected_components(chain, &count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(ids[0], ids[1]);
+  EXPECT_EQ(ids[2], ids[3]);
+  EXPECT_NE(ids[0], ids[2]);
+}
+
+TEST(Scc, ChainOfSingletons) {
+  // 0 -> 1 -> 2 (with 2 absorbing): three SCCs.
+  MarkovChain chain(3);
+  chain.add_transition(0, 1, 1.0);
+  chain.add_transition(1, 2, 1.0);
+  chain.add_transition(2, 2, 1.0);
+  std::size_t count = 0;
+  const auto ids = strongly_connected_components(chain, &count);
+  EXPECT_EQ(count, 3u);
+  const std::set<std::size_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(Scc, CycleWithTailIsTwoComponents) {
+  // 0 -> 1 <-> 2: singleton {0} plus component {1, 2}.
+  MarkovChain chain(3);
+  chain.add_transition(0, 1, 1.0);
+  chain.add_transition(1, 2, 1.0);
+  chain.add_transition(2, 1, 1.0);
+  std::size_t count = 0;
+  const auto ids = strongly_connected_components(chain, &count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(ids[1], ids[2]);
+  EXPECT_NE(ids[0], ids[1]);
+}
+
+TEST(Period, PureCycleHasPeriodN) {
+  for (std::size_t n : {2, 3, 5, 8}) {
+    MarkovChain chain(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      chain.add_transition(s, (s + 1) % n, 1.0);
+    }
+    EXPECT_EQ(chain_period(chain), n) << "cycle length " << n;
+  }
+}
+
+TEST(Period, SelfLoopMakesAperiodic) {
+  MarkovChain chain(3);
+  chain.add_transition(0, 1, 1.0);
+  chain.add_transition(1, 2, 1.0);
+  chain.add_transition(2, 0, 0.5);
+  chain.add_transition(2, 2, 0.5);
+  EXPECT_EQ(chain_period(chain), 1u);
+}
+
+TEST(Period, TwoAndThreeCyclesGivePeriodOne) {
+  // Cycles of length 2 and 3 through state 0: gcd(2, 3) = 1.
+  MarkovChain chain(4);
+  chain.add_transition(0, 1, 0.5);  // 0-1-0: length 2
+  chain.add_transition(1, 0, 1.0);
+  chain.add_transition(0, 2, 0.5);  // 0-2-3-0: length 3
+  chain.add_transition(2, 3, 1.0);
+  chain.add_transition(3, 0, 1.0);
+  EXPECT_EQ(chain_period(chain), 1u);
+}
+
+TEST(Period, EvenCyclesGivePeriodTwo) {
+  // Cycles of length 2 and 4 through state 0: gcd = 2.
+  MarkovChain chain(4);
+  chain.add_transition(0, 1, 0.5);
+  chain.add_transition(1, 0, 1.0);
+  chain.add_transition(0, 2, 0.5);
+  chain.add_transition(2, 3, 1.0);
+  chain.add_transition(3, 1, 1.0);  // 0-2-3-1-0: length 4
+  EXPECT_EQ(chain_period(chain), 2u);
+}
+
+TEST(Period, ThrowsOnReducibleChain) {
+  MarkovChain chain(2);
+  chain.add_transition(0, 0, 1.0);
+  chain.add_transition(1, 0, 1.0);
+  EXPECT_THROW(chain_period(chain), std::logic_error);
+}
+
+TEST(Ergodicity, FullReport) {
+  MarkovChain good(2);
+  good.add_transition(0, 1, 0.5);
+  good.add_transition(0, 0, 0.5);
+  good.add_transition(1, 0, 1.0);
+  const auto report = analyze_ergodicity(good);
+  EXPECT_TRUE(report.irreducible);
+  EXPECT_EQ(report.period, 1u);
+  EXPECT_TRUE(report.aperiodic);
+  EXPECT_TRUE(report.ergodic);
+}
+
+TEST(Ergodicity, PeriodicIsNotErgodic) {
+  MarkovChain cycle(2);
+  cycle.add_transition(0, 1, 1.0);
+  cycle.add_transition(1, 0, 1.0);
+  const auto report = analyze_ergodicity(cycle);
+  EXPECT_TRUE(report.irreducible);
+  EXPECT_EQ(report.period, 2u);
+  EXPECT_FALSE(report.ergodic);
+}
+
+TEST(Ergodicity, ReducibleIsNotErgodic) {
+  MarkovChain chain(2);
+  chain.add_transition(0, 1, 1.0);
+  chain.add_transition(1, 1, 1.0);
+  const auto report = analyze_ergodicity(chain);
+  EXPECT_FALSE(report.irreducible);
+  EXPECT_EQ(report.num_sccs, 2u);
+  EXPECT_FALSE(report.ergodic);
+}
+
+}  // namespace
+}  // namespace pwf::markov

@@ -1,0 +1,120 @@
+// Tests for Markov-chain lifting verification and collapse (paper,
+// Section 3: Definition 2 and Lemma 1).
+#include "markov/lifting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace pwf::markov {
+namespace {
+
+// A 4-state chain symmetric under swapping {0,1} and {2,3}; collapsing the
+// pairs yields an exact 2-state lifting base.
+MarkovChain symmetric_four_state() {
+  MarkovChain chain(4);
+  // States 0,1 form cluster A; 2,3 form cluster B.
+  // From any A state: stay in A (split over both A states) w.p. 0.6,
+  // move to B (split) w.p. 0.4, and symmetrically from B with 0.3/0.7.
+  for (std::size_t s : {0, 1}) {
+    chain.add_transition(s, 0, 0.3);
+    chain.add_transition(s, 1, 0.3);
+    chain.add_transition(s, 2, 0.2);
+    chain.add_transition(s, 3, 0.2);
+  }
+  for (std::size_t s : {2, 3}) {
+    chain.add_transition(s, 0, 0.35);
+    chain.add_transition(s, 1, 0.35);
+    chain.add_transition(s, 2, 0.15);
+    chain.add_transition(s, 3, 0.15);
+  }
+  return chain;
+}
+
+MarkovChain collapsed_two_state() {
+  MarkovChain base(2);
+  base.add_transition(0, 0, 0.6);
+  base.add_transition(0, 1, 0.4);
+  base.add_transition(1, 0, 0.7);
+  base.add_transition(1, 1, 0.3);
+  return base;
+}
+
+TEST(Lifting, VerifiesTrueLifting) {
+  const MarkovChain lifted = symmetric_four_state();
+  const MarkovChain base = collapsed_two_state();
+  const std::vector<std::size_t> f{0, 0, 1, 1};
+  const auto check = verify_lifting(lifted, base, f);
+  EXPECT_TRUE(check.is_lifting);
+  EXPECT_LT(check.max_flow_error, 1e-10);
+  EXPECT_LT(check.max_stationary_error, 1e-10);
+}
+
+TEST(Lifting, RejectsWrongBaseChain) {
+  const MarkovChain lifted = symmetric_four_state();
+  MarkovChain wrong(2);
+  wrong.add_transition(0, 0, 0.5);
+  wrong.add_transition(0, 1, 0.5);
+  wrong.add_transition(1, 0, 0.5);
+  wrong.add_transition(1, 1, 0.5);
+  const std::vector<std::size_t> f{0, 0, 1, 1};
+  const auto check = verify_lifting(lifted, wrong, f);
+  EXPECT_FALSE(check.is_lifting);
+  EXPECT_GT(check.max_flow_error, 1e-3);
+}
+
+TEST(Lifting, RejectsWrongMapping) {
+  const MarkovChain lifted = symmetric_four_state();
+  const MarkovChain base = collapsed_two_state();
+  // Mixing the clusters breaks the flow homomorphism.
+  const std::vector<std::size_t> f{0, 1, 0, 1};
+  const auto check = verify_lifting(lifted, base, f);
+  EXPECT_FALSE(check.is_lifting);
+}
+
+TEST(Lifting, SizeMismatchThrows) {
+  const MarkovChain lifted = symmetric_four_state();
+  const MarkovChain base = collapsed_two_state();
+  EXPECT_THROW(
+      verify_lifting(lifted, base, std::vector<std::size_t>{0, 0, 1}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      verify_lifting(lifted, base, std::vector<std::size_t>{0, 0, 1, 5}),
+      std::invalid_argument);
+}
+
+TEST(Lifting, IdentityMapIsAlwaysALifting) {
+  const MarkovChain chain = collapsed_two_state();
+  const std::vector<std::size_t> id{0, 1};
+  const auto check = verify_lifting(chain, chain, id);
+  EXPECT_TRUE(check.is_lifting);
+}
+
+TEST(Collapse, RecoversBaseChain) {
+  const MarkovChain lifted = symmetric_four_state();
+  const std::vector<std::size_t> f{0, 0, 1, 1};
+  const MarkovChain collapsed = collapse(lifted, f, 2);
+  collapsed.validate(1e-9);
+  EXPECT_NEAR(collapsed.transition_prob(0, 0), 0.6, 1e-10);
+  EXPECT_NEAR(collapsed.transition_prob(0, 1), 0.4, 1e-10);
+  EXPECT_NEAR(collapsed.transition_prob(1, 0), 0.7, 1e-10);
+  EXPECT_NEAR(collapsed.transition_prob(1, 1), 0.3, 1e-10);
+}
+
+TEST(Collapse, CollapsedChainVerifiesAsLifting) {
+  const MarkovChain lifted = symmetric_four_state();
+  const std::vector<std::size_t> f{0, 0, 1, 1};
+  const MarkovChain base = collapse(lifted, f, 2);
+  const auto check = verify_lifting(lifted, base, f);
+  EXPECT_TRUE(check.is_lifting);
+}
+
+TEST(Collapse, MappingOutOfRangeThrows) {
+  const MarkovChain lifted = symmetric_four_state();
+  EXPECT_THROW(collapse(lifted, std::vector<std::size_t>{0, 0, 1, 7}, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pwf::markov

@@ -1,0 +1,122 @@
+// Tests for total variation, distance to stationarity, mixing times, and
+// trajectory sampling — including the check that the warmup windows used
+// by the simulation tests/benches really do reach stationarity.
+#include "markov/mixing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "markov/builders.hpp"
+
+namespace pwf::markov {
+namespace {
+
+MarkovChain lazy_two_state() {
+  MarkovChain chain(2);
+  chain.add_transition(0, 0, 0.5);
+  chain.add_transition(0, 1, 0.5);
+  chain.add_transition(1, 0, 0.5);
+  chain.add_transition(1, 1, 0.5);
+  return chain;
+}
+
+TEST(TotalVariation, BasicProperties) {
+  const std::vector<double> p{1.0, 0.0};
+  const std::vector<double> q{0.0, 1.0};
+  const std::vector<double> r{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(total_variation(p, q), 1.0);
+  EXPECT_DOUBLE_EQ(total_variation(p, r), 0.5);
+  EXPECT_DOUBLE_EQ(total_variation(p, p), 0.0);
+  EXPECT_THROW(total_variation(p, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(DistanceToStationarity, LazyCoinMixesGeometrically) {
+  // The lazy 2-state chain reaches uniform in exactly one step.
+  const MarkovChain chain = lazy_two_state();
+  const auto dist = distance_to_stationarity(chain, 0, 4);
+  EXPECT_DOUBLE_EQ(dist[0], 0.5);
+  EXPECT_NEAR(dist[1], 0.0, 1e-12);
+}
+
+TEST(DistanceToStationarity, PeriodicChainStaysBoundedAway) {
+  // Reproduction finding: the scan-validate chains have period 2 (Lemma 3
+  // claims ergodicity; only irreducibility actually holds, which is all
+  // the latency analysis needs). A point start therefore never converges
+  // in TV on the raw chain...
+  const BuiltChain sv = build_scan_validate_individual_chain(3);
+  const auto raw = distance_to_stationarity(sv.chain, sv.initial_state, 200);
+  EXPECT_GT(raw.back(), 0.2);
+  // ...but the lazy chain (same stationary distribution) mixes fine.
+  const auto lazy =
+      distance_to_stationarity(sv.chain, sv.initial_state, 200, /*lazy=*/true);
+  for (std::size_t t = 1; t < lazy.size(); ++t) {
+    EXPECT_LE(lazy[t], lazy[t - 1] + 1e-12) << "t = " << t;
+  }
+  EXPECT_LT(lazy.back(), 1e-6);
+}
+
+TEST(MixingTime, LazyCoinIsOne) {
+  EXPECT_EQ(mixing_time(lazy_two_state(), 1e-9, 10), 1u);
+}
+
+TEST(MixingTime, ReturnsSentinelWhenNotMixed) {
+  // Period-2 cycle never mixes from a point start.
+  MarkovChain cycle(2);
+  cycle.add_transition(0, 1, 1.0);
+  cycle.add_transition(1, 0, 1.0);
+  EXPECT_EQ(mixing_time(cycle, 0.01, 50), 51u);
+}
+
+TEST(MixingTime, ScanValidateMixesWellWithinWarmup) {
+  // The simulation tests discard >= 50k steps of warmup; the (lazy) chain
+  // mixes in a few hundred steps for the n they use, so the warmup is
+  // ample for the time-averaged statistics being measured.
+  for (std::size_t n : {2, 4, 6}) {
+    const BuiltChain sys = build_scan_validate_system_chain(n);
+    const std::size_t t_mix =
+        mixing_time(sys.chain, 1e-3, 2'000, {}, /*lazy=*/true);
+    EXPECT_LT(t_mix, 500u) << "n = " << n;
+  }
+}
+
+TEST(MixingTime, FaiGlobalChainMixesFast) {
+  const BuiltChain glob = build_fai_global_chain(32);
+  EXPECT_LT(mixing_time(glob.chain, 1e-3, 2'000), 300u);
+}
+
+TEST(SampleTrajectory, RespectsTransitionStructure) {
+  MarkovChain chain(3);
+  chain.add_transition(0, 1, 1.0);
+  chain.add_transition(1, 2, 1.0);
+  chain.add_transition(2, 0, 1.0);
+  Xoshiro256pp rng(5);
+  const auto traj = sample_trajectory(chain, 0, 9, rng);
+  const std::vector<std::size_t> expected{1, 2, 0, 1, 2, 0, 1, 2, 0};
+  EXPECT_EQ(traj, expected);
+}
+
+TEST(SampleTrajectory, OccupationMatchesStationary) {
+  MarkovChain chain(2);
+  chain.add_transition(0, 1, 0.3);
+  chain.add_transition(0, 0, 0.7);
+  chain.add_transition(1, 0, 0.6);
+  chain.add_transition(1, 1, 0.4);
+  Xoshiro256pp rng(11);
+  const auto traj = sample_trajectory(chain, 0, 200'000, rng);
+  double in_one = 0.0;
+  for (std::size_t s : traj) in_one += static_cast<double>(s);
+  in_one /= static_cast<double>(traj.size());
+  const auto pi = chain.stationary();
+  EXPECT_NEAR(in_one, pi[1], 0.01);
+}
+
+TEST(SampleTrajectory, BadStartThrows) {
+  const MarkovChain chain = lazy_two_state();
+  Xoshiro256pp rng(1);
+  EXPECT_THROW(sample_trajectory(chain, 7, 10, rng), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pwf::markov

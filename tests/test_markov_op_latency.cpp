@@ -1,0 +1,112 @@
+// Tests for the exact per-operation latency law: its mean must equal the
+// renewal-theoretic W_0 = n*W (Lemma 7), its shape must match simulation,
+// and degenerate cases must be exact.
+#include "markov/op_latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "core/algorithms.hpp"
+#include "core/latency.hpp"
+#include "core/simulation.hpp"
+#include "markov/builders.hpp"
+
+namespace pwf::markov {
+namespace {
+
+TEST(OpLatencyLaw, SoloScanValidateIsDeterministicTwo) {
+  // n = 1: read, CAS, repeat — every operation takes exactly 2 steps.
+  const BuiltChain ind = build_scan_validate_individual_chain(1);
+  const OpLatencyLaw law = op_latency_distribution(ind, 16);
+  EXPECT_NEAR(law.pmf[2], 1.0, 1e-12);
+  EXPECT_NEAR(law.mean, 2.0, 1e-12);
+  EXPECT_NEAR(law.truncated, 0.0, 1e-12);
+}
+
+TEST(OpLatencyLaw, SoloFaiIsDeterministicOne) {
+  const BuiltChain ind = build_fai_individual_chain(1);
+  const OpLatencyLaw law = op_latency_distribution(ind, 8);
+  EXPECT_NEAR(law.pmf[1], 1.0, 1e-12);
+  EXPECT_NEAR(law.mean, 1.0, 1e-12);
+}
+
+TEST(OpLatencyLaw, MeanEqualsIndividualLatency) {
+  // Renewal theory: E[latency] == W_0 == n * W (Lemma 7), for each of the
+  // paper's algorithm classes.
+  struct Case {
+    BuiltChain built;
+    std::size_t horizon;
+  };
+  for (std::size_t n : {2, 3, 4}) {
+    {
+      const BuiltChain ind = build_scan_validate_individual_chain(n);
+      const double wi = individual_latency_p0(ind);
+      const OpLatencyLaw law =
+          op_latency_distribution(ind, static_cast<std::size_t>(200 * wi));
+      EXPECT_NEAR(law.mean, wi, 0.01 * wi) << "scan-validate n=" << n;
+      EXPECT_LT(law.truncated, 1e-6);
+    }
+    {
+      const BuiltChain ind = build_fai_individual_chain(n);
+      const double wi = individual_latency_p0(ind);
+      const OpLatencyLaw law =
+          op_latency_distribution(ind, static_cast<std::size_t>(200 * wi));
+      EXPECT_NEAR(law.mean, wi, 0.01 * wi) << "fai n=" << n;
+    }
+  }
+}
+
+TEST(OpLatencyLaw, PmfSumsToOne) {
+  const BuiltChain ind = build_scan_validate_individual_chain(3);
+  const OpLatencyLaw law = op_latency_distribution(ind, 3'000);
+  const double total =
+      std::accumulate(law.pmf.begin(), law.pmf.end(), law.truncated);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(law.pmf[0], 0.0);
+}
+
+TEST(OpLatencyLaw, TailIsMonotone) {
+  const BuiltChain ind = build_fai_individual_chain(4);
+  const OpLatencyLaw law = op_latency_distribution(ind, 2'000);
+  for (std::size_t t = 1; t < 100; ++t) {
+    EXPECT_LE(law.tail(t), law.tail(t - 1) + 1e-12);
+  }
+  EXPECT_LT(law.tail(500), 1e-9);
+}
+
+TEST(OpLatencyLaw, MatchesSimulatedDistribution) {
+  // The exact law and the simulated per-op latency histogram agree.
+  constexpr std::size_t kN = 4;
+  const BuiltChain ind = build_scan_validate_individual_chain(kN);
+  const OpLatencyLaw law = op_latency_distribution(ind, 2'000);
+
+  core::Simulation::Options opts;
+  opts.num_registers = core::ScuAlgorithm::registers_required(kN, 1);
+  opts.seed = 12345;
+  core::Simulation sim(kN, core::scan_validate_factory(),
+                       std::make_unique<core::UniformScheduler>(), opts);
+  core::LatencyDistributionObserver observer(kN, 2'000.0, 2'000);
+  sim.set_observer(&observer);
+  sim.run(50'000);  // warmup within observer is negligible vs 2M samples
+  sim.set_observer(&observer);
+  sim.run(2'000'000);
+
+  // Compare P[latency == t] for the head of the distribution.
+  const double total = static_cast<double>(observer.histogram().total());
+  for (std::size_t t = 1; t <= 60; ++t) {
+    const double simulated =
+        static_cast<double>(observer.histogram().bucket_count(t)) / total;
+    EXPECT_NEAR(simulated, law.pmf[t], 0.004) << "t = " << t;
+  }
+  EXPECT_NEAR(observer.stats().mean(), law.mean, 0.02 * law.mean);
+}
+
+TEST(OpLatencyLaw, SystemChainIsRejected) {
+  const BuiltChain sys = build_scan_validate_system_chain(3);
+  EXPECT_THROW(op_latency_distribution(sys, 100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pwf::markov

@@ -1,0 +1,150 @@
+// Property tests on randomly generated ergodic chains: the Markov-chain
+// substrate must satisfy the textbook identities (Theorem 1, ergodic-flow
+// balance, Lemma 1 collapse consistency) on arbitrary inputs, not just the
+// paper's hand-built chains.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "markov/chain.hpp"
+#include "markov/graph.hpp"
+#include "markov/lifting.hpp"
+#include "markov/mixing.hpp"
+#include "util/rng.hpp"
+
+namespace pwf::markov {
+namespace {
+
+/// Random ergodic chain: a ring backbone guarantees irreducibility, a
+/// self-loop guarantees aperiodicity, plus random extra edges.
+MarkovChain random_ergodic_chain(std::size_t states, Xoshiro256pp& rng) {
+  MarkovChain chain(states);
+  for (std::size_t s = 0; s < states; ++s) {
+    // Raw weights: ring successor, self-loop, and up to 3 random targets.
+    std::vector<std::pair<std::size_t, double>> edges;
+    edges.emplace_back((s + 1) % states, 0.2 + rng.uniform_double());
+    edges.emplace_back(s, 0.1 + rng.uniform_double());
+    const std::size_t extras = 1 + rng.uniform(3);
+    for (std::size_t e = 0; e < extras; ++e) {
+      edges.emplace_back(rng.uniform(states), rng.uniform_double());
+    }
+    double total = 0.0;
+    for (const auto& [to, w] : edges) total += w;
+    for (const auto& [to, w] : edges) {
+      chain.add_transition(s, to, w / total);
+    }
+  }
+  return chain;
+}
+
+class RandomChains : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomChains, IsErgodicByConstruction) {
+  Xoshiro256pp rng(GetParam());
+  const MarkovChain chain = random_ergodic_chain(12, rng);
+  chain.validate(1e-9);
+  const auto report = analyze_ergodicity(chain);
+  EXPECT_TRUE(report.ergodic);
+}
+
+TEST_P(RandomChains, StationaryIsNormalizedFixedPoint) {
+  Xoshiro256pp rng(GetParam());
+  const MarkovChain chain = random_ergodic_chain(15, rng);
+  const auto pi = chain.stationary();
+  EXPECT_NEAR(std::accumulate(pi.begin(), pi.end(), 0.0), 1.0, 1e-9);
+  std::vector<double> next(pi.size());
+  chain.step_distribution(pi, next);
+  EXPECT_LT(total_variation(pi, next), 1e-9);
+  for (double mass : pi) EXPECT_GT(mass, 0.0);
+}
+
+TEST_P(RandomChains, ExactAndIterativeSolversAgree) {
+  Xoshiro256pp rng(GetParam());
+  const MarkovChain chain = random_ergodic_chain(20, rng);
+  const auto iterative = chain.stationary();
+  const auto exact = chain.stationary_exact();
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    EXPECT_NEAR(iterative[s], exact[s], 1e-9) << "state " << s;
+  }
+}
+
+TEST_P(RandomChains, ReturnTimeIsOneOverPi) {
+  // Theorem 1 on arbitrary ergodic chains.
+  Xoshiro256pp rng(GetParam());
+  const MarkovChain chain = random_ergodic_chain(10, rng);
+  const auto pi = chain.stationary();
+  for (std::size_t s = 0; s < chain.num_states(); s += 3) {
+    EXPECT_NEAR(chain.return_time(s), 1.0 / pi[s], 1e-5 / pi[s])
+        << "state " << s;
+  }
+}
+
+TEST_P(RandomChains, ErgodicFlowBalances) {
+  // sum_i Q_ij == pi_j == sum_k Q_jk.
+  Xoshiro256pp rng(GetParam());
+  const MarkovChain chain = random_ergodic_chain(12, rng);
+  const auto pi = chain.stationary();
+  for (std::size_t j = 0; j < chain.num_states(); ++j) {
+    double inflow = 0.0;
+    for (std::size_t i = 0; i < chain.num_states(); ++i) {
+      inflow += chain.ergodic_flow(i, j, pi);
+    }
+    EXPECT_NEAR(inflow, pi[j], 1e-10);
+  }
+}
+
+TEST_P(RandomChains, CollapseAlwaysYieldsAVerifiedLifting) {
+  // For ANY mapping f, collapsing through f produces the unique base chain
+  // whose flows aggregate the lifted flows — so verify_lifting must accept
+  // the (lifted, collapsed, f) triple... *when the collapsed chain is
+  // Markov-consistent, which collapse() guarantees by construction on the
+  // flow level (the stationary projection always matches; Lemma 1).
+  Xoshiro256pp rng(GetParam());
+  const MarkovChain chain = random_ergodic_chain(12, rng);
+  std::vector<std::size_t> f(12);
+  for (auto& v : f) v = rng.uniform(4);
+  // Ensure surjectivity onto {0..3} so the base chain has no dead states.
+  for (std::size_t k = 0; k < 4; ++k) f[k] = k;
+  const MarkovChain base = collapse(chain, f, 4);
+  base.validate(1e-9);
+  const auto check = verify_lifting(chain, base, f, 1e-8);
+  EXPECT_LT(check.max_flow_error, 1e-8);
+  EXPECT_LT(check.max_stationary_error, 1e-8);
+}
+
+TEST_P(RandomChains, HittingTimesSatisfyOneStepEquations) {
+  Xoshiro256pp rng(GetParam());
+  const MarkovChain chain = random_ergodic_chain(10, rng);
+  const std::size_t target = rng.uniform(10);
+  const auto h = chain.hitting_times(target);
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    if (s == target) {
+      EXPECT_EQ(h[s], 0.0);
+      continue;
+    }
+    double expect = 1.0;
+    for (const auto& t : chain.transitions_from(s)) {
+      if (t.to != target) expect += t.prob * h[t.to];
+    }
+    EXPECT_NEAR(h[s], expect, 1e-7) << "state " << s;
+  }
+}
+
+TEST_P(RandomChains, EmpiricalOccupationMatchesStationary) {
+  Xoshiro256pp rng(GetParam());
+  const MarkovChain chain = random_ergodic_chain(8, rng);
+  const auto pi = chain.stationary();
+  Xoshiro256pp walk_rng(GetParam() ^ 0xabcdef);
+  const auto traj = sample_trajectory(chain, 0, 300'000, walk_rng);
+  std::vector<double> freq(8, 0.0);
+  for (std::size_t s : traj) ++freq[s];
+  for (double& f : freq) f /= static_cast<double>(traj.size());
+  EXPECT_LT(total_variation(freq, pi), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChains,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+}  // namespace
+}  // namespace pwf::markov

@@ -1,0 +1,124 @@
+// Unit tests for the deterministic RNG layer.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pwf {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, IsDeterministic) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, UniformRespectsBound) {
+  Xoshiro256pp rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, UniformBoundOneIsAlwaysZero) {
+  Xoshiro256pp rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Xoshiro, UniformCoversAllResidues) {
+  Xoshiro256pp rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro, UniformIsApproximatelyUnbiased) {
+  Xoshiro256pp rng(2024);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 200'000;
+  std::array<int, kBound> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform(kBound)];
+  const double expect = static_cast<double>(kDraws) / kBound;
+  for (int c : counts) {
+    // ~5 sigma band for a binomial with p = 1/10.
+    EXPECT_NEAR(static_cast<double>(c), expect, 5.0 * std::sqrt(expect));
+  }
+}
+
+TEST(Xoshiro, UniformDoubleInUnitInterval) {
+  Xoshiro256pp rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = rng.uniform_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Xoshiro, BernoulliEdgeCases) {
+  Xoshiro256pp rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Xoshiro, BernoulliMatchesProbability) {
+  Xoshiro256pp rng(12);
+  int hits = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Xoshiro, SplitProducesDistinctStream) {
+  Xoshiro256pp parent(77);
+  Xoshiro256pp child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, JumpChangesState) {
+  Xoshiro256pp a(5);
+  Xoshiro256pp b(5);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace pwf

@@ -1,0 +1,174 @@
+// Tests for schedule recording and the Figure 3 / Figure 4 statistics,
+// on synthetic schedules, simulated schedules, and real hardware threads.
+#include "sched/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <thread>
+
+#include "core/algorithms.hpp"
+
+namespace pwf::sched {
+namespace {
+
+TEST(ScheduleStats, RejectsZeroThreads) {
+  EXPECT_THROW(ScheduleStats(0), std::invalid_argument);
+}
+
+TEST(ScheduleStats, CountsSyntheticSchedule) {
+  ScheduleStats stats(3);
+  const std::vector<std::uint32_t> order{0, 1, 2, 0, 1, 2};
+  stats.add_schedule(order);
+  EXPECT_EQ(stats.total_steps(), 6u);
+  const auto shares = stats.shares();
+  EXPECT_DOUBLE_EQ(shares[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(shares[1], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(shares[2], 1.0 / 3.0);
+  EXPECT_NEAR(stats.max_share_deviation(), 0.0, 1e-12);
+}
+
+TEST(ScheduleStats, ConditionalDistributionOfRoundRobin) {
+  ScheduleStats stats(3);
+  std::vector<std::uint32_t> order;
+  for (int i = 0; i < 300; ++i) order.push_back(i % 3);
+  stats.add_schedule(order);
+  // Round robin: after thread t, always thread (t+1) % 3.
+  const auto after0 = stats.next_distribution(0);
+  EXPECT_DOUBLE_EQ(after0[1], 1.0);
+  EXPECT_DOUBLE_EQ(after0[0], 0.0);
+  // Deviation from uniform is maximal: |1 - 1/3| = 2/3.
+  EXPECT_NEAR(stats.max_conditional_deviation(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ScheduleStats, MultipleSchedulesAccumulate) {
+  ScheduleStats stats(2);
+  stats.add_schedule(std::vector<std::uint32_t>{0, 0, 0});
+  stats.add_schedule(std::vector<std::uint32_t>{1, 1, 1});
+  EXPECT_EQ(stats.total_steps(), 6u);
+  EXPECT_DOUBLE_EQ(stats.shares()[0], 0.5);
+  // The boundary between schedules contributes no transition: row 0 has
+  // only 0 -> 0 transitions.
+  EXPECT_DOUBLE_EQ(stats.next_distribution(0)[0], 1.0);
+}
+
+TEST(ScheduleStats, ChiSquareZeroForPerfectBalanceAndEmptiness) {
+  ScheduleStats stats(4);
+  EXPECT_DOUBLE_EQ(stats.chi_square_uniform(), 0.0);  // no data
+  stats.add_schedule(std::vector<std::uint32_t>{0, 1, 2, 3, 0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(stats.chi_square_uniform(), 0.0);  // perfectly balanced
+}
+
+TEST(ScheduleStats, ChiSquareDetectsSkew) {
+  ScheduleStats uniform_stats(2);
+  ScheduleStats skewed_stats(2);
+  std::vector<std::uint32_t> balanced, skewed;
+  for (int i = 0; i < 10'000; ++i) {
+    balanced.push_back(i % 2);
+    skewed.push_back(i % 10 == 0 ? 1 : 0);  // 90/10 split
+  }
+  uniform_stats.add_schedule(balanced);
+  skewed_stats.add_schedule(skewed);
+  EXPECT_LT(uniform_stats.chi_square_uniform(), 1.0);
+  // 90/10 on 10k steps: chi2 = 2 * (4000^2)/5000 = 6400.
+  EXPECT_NEAR(skewed_stats.chi_square_uniform(), 6400.0, 1.0);
+}
+
+TEST(ScheduleStats, ChiSquareOfSimulatedUniformIsChi2Scale) {
+  // For a genuinely uniform random schedule the statistic is ~chi2(n-1):
+  // mean n-1, rarely above ~5n.
+  constexpr std::size_t kN = 8;
+  core::Simulation::Options opts;
+  opts.num_registers = 1;
+  opts.seed = 123;
+  core::Simulation sim(kN, core::ParallelCode::factory(1),
+                       std::make_unique<core::UniformScheduler>(), opts);
+  SimScheduleRecorder recorder(300'000);
+  sim.set_observer(&recorder);
+  sim.run(300'000);
+  ScheduleStats stats(kN);
+  stats.add_schedule(recorder.order());
+  EXPECT_LT(stats.chi_square_uniform(), 5.0 * kN);
+}
+
+TEST(ScheduleStats, EmptyNextRowIsZeros) {
+  ScheduleStats stats(2);
+  stats.add_schedule(std::vector<std::uint32_t>{0});
+  const auto row = stats.next_distribution(1);
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+  EXPECT_DOUBLE_EQ(row[1], 0.0);
+}
+
+TEST(SimScheduleRecorder, MatchesSimulatedUniformScheduler) {
+  // Close the loop: recording a simulated uniform schedule must show the
+  // Figure 3 / Figure 4 uniformity almost exactly.
+  constexpr std::size_t kN = 4;
+  constexpr std::size_t kSteps = 200'000;
+  core::Simulation::Options opts;
+  opts.num_registers = core::ParallelCode::registers_required();
+  opts.seed = 99;
+  core::Simulation sim(kN, core::ParallelCode::factory(2),
+                       std::make_unique<core::UniformScheduler>(), opts);
+  SimScheduleRecorder recorder(kSteps);
+  sim.set_observer(&recorder);
+  sim.run(kSteps);
+  ASSERT_EQ(recorder.order().size(), kSteps);
+
+  ScheduleStats stats(kN);
+  stats.add_schedule(recorder.order());
+  EXPECT_LT(stats.max_share_deviation(), 0.01);
+  EXPECT_LT(stats.max_conditional_deviation(), 0.02);
+}
+
+TEST(SimScheduleRecorder, TruncatesAtCapacity) {
+  core::Simulation::Options opts;
+  opts.num_registers = 1;
+  core::Simulation sim(2, core::ParallelCode::factory(1),
+                       std::make_unique<core::UniformScheduler>(), opts);
+  SimScheduleRecorder recorder(100);
+  sim.set_observer(&recorder);
+  sim.run(500);
+  EXPECT_EQ(recorder.order().size(), 100u);
+}
+
+TEST(TicketRecorder, ProducesExactlyTotalSteps) {
+  const auto order = record_schedule_tickets(2, 20'000);
+  EXPECT_EQ(order.size(), 20'000u);
+  for (std::uint32_t tid : order) EXPECT_LT(tid, 2u);
+  ScheduleStats stats(2);
+  stats.add_schedule(order);
+  EXPECT_GT(stats.shares()[0] + stats.shares()[1], 0.99);
+  if (std::thread::hardware_concurrency() > 1) {
+    // With real parallelism both threads race on the counter; on a
+    // single-core box one thread can legitimately drain all tickets
+    // within one scheduling quantum, so only assert this when parallel.
+    EXPECT_GT(stats.shares()[0], 0.0);
+    EXPECT_GT(stats.shares()[1], 0.0);
+  }
+}
+
+TEST(TicketRecorder, SingleThreadDegenerate) {
+  const auto order = record_schedule_tickets(1, 1000);
+  EXPECT_EQ(order.size(), 1000u);
+  for (std::uint32_t tid : order) EXPECT_EQ(tid, 0u);
+}
+
+TEST(TimestampRecorder, ProducesAllSteps) {
+  const auto order = record_schedule_timestamps(2, 5'000);
+  EXPECT_EQ(order.size(), 10'000u);
+  std::size_t count0 = 0;
+  for (std::uint32_t tid : order) {
+    ASSERT_LT(tid, 2u);
+    if (tid == 0) ++count0;
+  }
+  EXPECT_EQ(count0, 5'000u);
+}
+
+TEST(Recorders, RejectZeroThreads) {
+  EXPECT_THROW(record_schedule_tickets(0, 10), std::invalid_argument);
+  EXPECT_THROW(record_schedule_timestamps(0, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pwf::sched

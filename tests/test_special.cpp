@@ -1,0 +1,92 @@
+// Tests for the special functions backing the Section 7 analysis.
+#include "util/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pwf {
+namespace {
+
+TEST(FaiHittingTime, BaseCase) {
+  // Z(0) = 1 for every n.
+  for (std::uint64_t n : {1, 2, 5, 100}) {
+    EXPECT_DOUBLE_EQ(fai_hitting_time(0, n), 1.0);
+  }
+}
+
+TEST(FaiHittingTime, SmallValuesByHand) {
+  // n = 2: Z(1) = 1*Z(0)/2 + 1 = 1.5.
+  EXPECT_DOUBLE_EQ(fai_hitting_time(1, 2), 1.5);
+  // n = 3: Z(1) = 1/3 + 1 = 4/3; Z(2) = 2*(4/3)/3 + 1 = 17/9.
+  EXPECT_NEAR(fai_hitting_time(1, 3), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(fai_hitting_time(2, 3), 17.0 / 9.0, 1e-12);
+}
+
+TEST(FaiHittingTime, RejectsBadArguments) {
+  EXPECT_THROW(fai_hitting_time(0, 0), std::invalid_argument);
+  EXPECT_THROW(fai_hitting_time(3, 3), std::invalid_argument);
+  EXPECT_THROW(fai_hitting_time(10, 5), std::invalid_argument);
+}
+
+TEST(RamanujanQ, MatchesDirectSumSmall) {
+  // Q(1) = 1. Q(2) = 1 + 2!/(0! * 4) = 1.5. Q(3) = 1 + 2/3 + 2/9 = 17/9.
+  EXPECT_DOUBLE_EQ(ramanujan_q(1), 1.0);
+  EXPECT_DOUBLE_EQ(ramanujan_q(2), 1.5);
+  EXPECT_NEAR(ramanujan_q(3), 17.0 / 9.0, 1e-12);
+}
+
+TEST(RamanujanQ, EqualsHittingTimeRecurrence) {
+  // The paper's remark after Lemma 12: Z(n-1) is the Ramanujan Q-function.
+  for (std::uint64_t n : {1, 2, 3, 5, 10, 50, 200, 1000}) {
+    EXPECT_NEAR(ramanujan_q(n), fai_hitting_time(n - 1, n),
+                1e-9 * ramanujan_q(n))
+        << "n = " << n;
+  }
+}
+
+TEST(RamanujanQ, AsymptoticRatioApproachesOne) {
+  // Q(n) = sqrt(pi n / 2)(1 + o(1)); the correction is -1/3 + O(1/sqrt n).
+  double prev_err = 1e9;
+  for (std::uint64_t n : {100, 1000, 10'000, 100'000}) {
+    const double err =
+        std::abs(ramanujan_q(n) / ramanujan_q_asymptotic(n) - 1.0);
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.002);
+}
+
+TEST(RamanujanQ, RejectsZero) {
+  EXPECT_THROW(ramanujan_q(0), std::invalid_argument);
+}
+
+TEST(Birthday, MatchesKnown365) {
+  // Expected throws until a birthday collision with 365 days is ~ 24.617.
+  EXPECT_NEAR(birthday_expected_throws(365), 24.617, 0.01);
+}
+
+TEST(Birthday, TwoBins) {
+  // With 2 bins: collision after 2 throws w.p. 1/2, after 3 w.p. 1/2:
+  // expectation 2.5 = Q(2) + 1.
+  EXPECT_DOUBLE_EQ(birthday_expected_throws(2), 2.5);
+}
+
+TEST(LogFactorial, SmallValues) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogBinomial, Identities) {
+  EXPECT_NEAR(log_binomial(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(log_binomial(10, 10), 0.0, 1e-12);
+  EXPECT_NEAR(log_binomial(10, 3), std::log(120.0), 1e-9);
+  EXPECT_NEAR(log_binomial(52, 5), std::log(2598960.0), 1e-8);
+  EXPECT_THROW(log_binomial(3, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pwf

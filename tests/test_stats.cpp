@@ -1,0 +1,168 @@
+// Unit tests for streaming statistics, histograms and scaling-law fits.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pwf {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(StreamingStats, KnownSample) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample (unbiased) variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(StreamingStats, MergeMatchesCombined) {
+  Xoshiro256pp rng(42);
+  StreamingStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_double() * 10.0 - 3.0;
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(StreamingStats, CiHalfwidthShrinks) {
+  StreamingStats small, large;
+  Xoshiro256pp rng(1);
+  for (int i = 0; i < 100; ++i) small.add(rng.uniform_double());
+  for (int i = 0; i < 10'000; ++i) large.add(rng.uniform_double());
+  EXPECT_GT(small.ci_halfwidth(), large.ci_halfwidth());
+}
+
+TEST(Histogram, RejectsBadArguments) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bucket 0
+  h.add(9.5);    // bucket 9
+  h.add(-1.0);   // underflow -> bucket 0
+  h.add(100.0);  // overflow -> bucket 9
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 4.0);
+}
+
+TEST(Histogram, QuantileOnUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Xoshiro256pp rng(9);
+  for (int i = 0; i < 100'000; ++i) h.add(rng.uniform_double());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, QuantileEmptyThrows) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.quantile(0.5), std::logic_error);
+}
+
+TEST(Percentile, ExactValues) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(FitLinear, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 7.0);
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, RejectsTooFewPoints) {
+  EXPECT_THROW(fit_linear(std::vector<double>{1.0}, std::vector<double>{2.0}),
+               std::invalid_argument);
+}
+
+TEST(FitPowerLaw, RecoversSqrtLaw) {
+  std::vector<double> xs, ys;
+  for (double x : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    xs.push_back(x);
+    ys.push_back(2.5 * std::sqrt(x));
+  }
+  const LinearFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 2.5, 1e-8);
+}
+
+TEST(FitPowerLaw, RejectsNonPositive) {
+  EXPECT_THROW(fit_power_law(std::vector<double>{1.0, -1.0},
+                             std::vector<double>{1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Distances, L1AndLinf) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{0.25, 0.75};
+  EXPECT_DOUBLE_EQ(l1_distance(p, q), 0.5);
+  EXPECT_DOUBLE_EQ(linf_distance(p, q), 0.25);
+  EXPECT_DOUBLE_EQ(l1_distance(p, p), 0.0);
+}
+
+}  // namespace
+}  // namespace pwf

@@ -1,0 +1,53 @@
+// Tests for the ASCII table renderer used by the bench harness.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pwf {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsRowWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"n", "value"});
+  t.add_row({"1", "10.5"});
+  t.add_row({"100", "2"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("|   n | value |"), std::string::npos);
+  EXPECT_NE(out.find("|   1 |  10.5 |"), std::string::npos);
+  EXPECT_NE(out.find("| 100 |     2 |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, EmptyBodyStillRendersHeader) {
+  Table t({"x"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+TEST(Fmt, Doubles) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Fmt, Integers) {
+  EXPECT_EQ(fmt(std::uint64_t{18446744073709551615ULL}),
+            "18446744073709551615");
+  EXPECT_EQ(fmt(std::int64_t{-42}), "-42");
+  EXPECT_EQ(fmt(7), "7");
+  EXPECT_EQ(fmt(7u), "7");
+}
+
+}  // namespace
+}  // namespace pwf
