@@ -10,24 +10,30 @@
 // alive. Prints mean and tail latencies for both algorithms under both
 // schedulers — the quantified version of the paper's thesis.
 #include <cmath>
-#include <iostream>
 #include <memory>
+#include <ostream>
+#include <span>
+#include <vector>
 
-#include "bench_common.hpp"
 #include "core/algorithms.hpp"
 #include "core/helping.hpp"
 #include "core/latency.hpp"
 #include "core/progress.hpp"
 #include "core/simulation.hpp"
+#include "exp/registry.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace pwf;
 using namespace pwf::core;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
 constexpr std::size_t kN = 8;
-constexpr std::uint64_t kSteps = 2'000'000;
 
 AdversarialScheduler::Strategy starving_strategy() {
   constexpr std::uint64_t kGap = 500;
@@ -39,109 +45,153 @@ AdversarialScheduler::Strategy starving_strategy() {
   };
 }
 
-struct Measured {
-  double w = 0.0;               // system latency
-  double mean_individual = 0.0; // mean per-op latency
-  double p99 = 0.0;             // 99th percentile per-op latency
-  bool everyone_completed = false;
-  std::uint64_t starving = 0;
-};
-
-Measured run(bool helped, bool adversarial, std::uint64_t seed) {
-  Simulation::Options opts;
-  opts.seed = seed;
-  StepMachineFactory factory;
-  if (helped) {
-    constexpr std::size_t kCells = 400'000;
-    opts.num_registers = HelpedUniversal::registers_required(kN, kCells);
-    factory = HelpedUniversal::factory(kCells);
-  } else {
-    opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
-    factory = scan_validate_factory();
-  }
-  std::unique_ptr<Scheduler> sched;
-  if (adversarial) {
-    sched = std::make_unique<AdversarialScheduler>(starving_strategy());
-  } else {
-    sched = std::make_unique<UniformScheduler>();
-  }
-  Simulation sim(kN, factory, std::move(sched), opts);
-  LatencyDistributionObserver latencies(kN, 1e6, 10'000);
-  ProgressTracker progress(kN);
-
-  // Chain the two observers through a tiny fan-out.
-  struct FanOut final : SimObserver {
-    SimObserver* a;
-    SimObserver* b;
-    void on_step(std::uint64_t tau, std::size_t p, bool c) override {
-      a->on_step(tau, p, c);
-      b->on_step(tau, p, c);
-    }
-  } fan{};
-  fan.a = &latencies;
-  fan.b = &progress;
-  sim.set_observer(&fan);
-  sim.run(kSteps);
-
-  Measured m;
-  m.w = sim.report().system_latency();
-  m.mean_individual = latencies.stats().mean();
-  m.p99 = latencies.histogram().total()
-              ? latencies.histogram().quantile(0.99)
-              : 0.0;
-  m.everyone_completed = progress.every_process_completed();
-  m.starving = progress.starving(kSteps / 2).size();
-  return m;
-}
-
 std::string yn(bool b) { return b ? "yes" : "NO"; }
 
+class AblationHelping final : public exp::Experiment {
+ public:
+  std::string name() const override { return "ablation_helping"; }
+  std::string artifact() const override {
+    return "Ablation: lock-free vs wait-free (helping) across schedulers";
+  }
+  std::string claim() const override {
+    return "Claim: under the stochastic scheduler helping buys nothing and "
+           "costs latency; only against an adversary does it matter.";
+  }
+  std::uint64_t default_seed() const override { return 31; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    std::vector<Trial> grid;
+    for (int adversarial : {0, 1}) {
+      for (int helped : {0, 1}) {
+        Trial t;
+        t.id = std::string(helped ? "wait-free (helping)"
+                                  : "lock-free scan-validate") +
+               (adversarial ? " / starving adversary" : " / uniform");
+        t.params = {{"helped", static_cast<double>(helped)},
+                    {"adversarial", static_cast<double>(adversarial)}};
+        t.seed = base;
+        grid.push_back(std::move(t));
+      }
+    }
+    (void)options;
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    const bool helped = exp::flag(trial.params.at("helped"));
+    const bool adversarial = exp::flag(trial.params.at("adversarial"));
+    const std::uint64_t steps = options.horizon(2'000'000, 400'000);
+    Simulation::Options opts;
+    opts.seed = trial.seed;
+    StepMachineFactory factory;
+    if (helped) {
+      constexpr std::size_t kCells = 400'000;
+      opts.num_registers = HelpedUniversal::registers_required(kN, kCells);
+      factory = HelpedUniversal::factory(kCells);
+    } else {
+      opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
+      factory = scan_validate_factory();
+    }
+    std::unique_ptr<Scheduler> sched;
+    if (adversarial) {
+      sched = std::make_unique<AdversarialScheduler>(starving_strategy());
+    } else {
+      sched = std::make_unique<UniformScheduler>();
+    }
+    Simulation sim(kN, factory, std::move(sched), opts);
+    LatencyDistributionObserver latencies(kN, 1e6, 10'000);
+    ProgressTracker progress(kN);
+
+    // Chain the two observers through a tiny fan-out.
+    struct FanOut final : SimObserver {
+      SimObserver* a;
+      SimObserver* b;
+      void on_step(std::uint64_t tau, std::size_t p, bool c) override {
+        a->on_step(tau, p, c);
+        b->on_step(tau, p, c);
+      }
+    } fan{};
+    fan.a = &latencies;
+    fan.b = &progress;
+    sim.set_observer(&fan);
+    sim.run(steps);
+
+    return {{"w", sim.report().system_latency()},
+            {"mean_individual", latencies.stats().mean()},
+            {"p99", latencies.histogram().total()
+                        ? latencies.histogram().quantile(0.99)
+                        : 0.0},
+            {"everyone_completed",
+             progress.every_process_completed() ? 1.0 : 0.0},
+            {"starving",
+             static_cast<double>(progress.starving(steps / 2).size())}};
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& options, std::ostream& os) const override {
+    os << "n = " << kN << ", horizon = "
+       << options.horizon(2'000'000, 400'000) << " steps\n\n";
+
+    auto result_at = [&](bool helped, bool adversarial) -> const Metrics& {
+      for (const TrialResult& r : results) {
+        if (exp::flag(r.trial.params.at("helped")) == helped &&
+            exp::flag(r.trial.params.at("adversarial")) == adversarial) {
+          return r.metrics;
+        }
+      }
+      throw std::logic_error("ablation_helping: missing trial");
+    };
+    const Metrics& lf_uniform = result_at(false, false);
+    const Metrics& wf_uniform = result_at(true, false);
+    const Metrics& lf_adv = result_at(false, true);
+    const Metrics& wf_adv = result_at(true, true);
+
+    Table table({"algorithm", "scheduler", "system W", "mean op latency",
+                 "p99 op latency", "everyone completes?", "starving"});
+    auto add = [&](const std::string& alg, const std::string& sched,
+                   const Metrics& m) {
+      table.add_row({alg, sched, fmt(m.at("w"), 2),
+                     fmt(m.at("mean_individual"), 1), fmt(m.at("p99"), 1),
+                     yn(exp::flag(m.at("everyone_completed"))),
+                     fmt(m.at("starving"), 0)});
+    };
+    add("lock-free scan-validate", "uniform", lf_uniform);
+    add("wait-free (helping)", "uniform", wf_uniform);
+    add("lock-free scan-validate", "starving adversary", lf_adv);
+    add("wait-free (helping)", "starving adversary", wf_adv);
+    table.print(os);
+
+    os << "\nhelping overhead under the uniform scheduler: "
+       << fmt(wf_uniform.at("w") / lf_uniform.at("w"), 2)
+       << "x system latency, "
+       << fmt(wf_uniform.at("mean_individual") /
+                  lf_uniform.at("mean_individual"),
+              2)
+       << "x mean op latency\n";
+
+    Verdict v;
+    v.reproduced =
+        // Uniform: both are practically wait-free; helping is slower.
+        exp::flag(lf_uniform.at("everyone_completed")) &&
+        exp::flag(wf_uniform.at("everyone_completed")) &&
+        wf_uniform.at("w") > 1.2 * lf_uniform.at("w") &&
+        // Adversary: helping is the only survivor.
+        !exp::flag(lf_adv.at("everyone_completed")) &&
+        exp::flag(wf_adv.at("everyone_completed")) &&
+        wf_adv.at("starving") < 0.5;
+    v.detail =
+        "under the stochastic scheduler the lock-free algorithm already "
+        "behaves wait-free and the helping mechanism only adds cost; the "
+        "adversary that justifies helping is exactly the schedule real "
+        "systems do not produce";
+    v.summary = {{"helping_overhead_w",
+                  wf_uniform.at("w") / lf_uniform.at("w")}};
+    return v;
+  }
+};
+
+const exp::RegisterExperiment reg(std::make_unique<AblationHelping>());
+
 }  // namespace
-
-int main() {
-  bench::print_header(
-      "Ablation: lock-free vs wait-free (helping) across schedulers",
-      "Claim: under the stochastic scheduler helping buys nothing and "
-      "costs latency; only against an adversary does it matter.");
-  bench::print_seed(31);
-  std::cout << "n = " << kN << ", horizon = " << kSteps << " steps\n\n";
-
-  const Measured lf_uniform = run(false, false, 31);
-  const Measured wf_uniform = run(true, false, 31);
-  const Measured lf_adv = run(false, true, 31);
-  const Measured wf_adv = run(true, true, 31);
-
-  Table table({"algorithm", "scheduler", "system W", "mean op latency",
-               "p99 op latency", "everyone completes?", "starving"});
-  auto add = [&](const std::string& alg, const std::string& sched,
-                 const Measured& m) {
-    table.add_row({alg, sched, fmt(m.w, 2), fmt(m.mean_individual, 1),
-                   fmt(m.p99, 1), yn(m.everyone_completed),
-                   fmt(m.starving)});
-  };
-  add("lock-free scan-validate", "uniform", lf_uniform);
-  add("wait-free (helping)", "uniform", wf_uniform);
-  add("lock-free scan-validate", "starving adversary", lf_adv);
-  add("wait-free (helping)", "starving adversary", wf_adv);
-  table.print(std::cout);
-
-  std::cout << "\nhelping overhead under the uniform scheduler: "
-            << fmt(wf_uniform.w / lf_uniform.w, 2) << "x system latency, "
-            << fmt(wf_uniform.mean_individual / lf_uniform.mean_individual, 2)
-            << "x mean op latency\n";
-
-  const bool reproduced =
-      // Uniform: both are practically wait-free; helping is slower.
-      lf_uniform.everyone_completed && wf_uniform.everyone_completed &&
-      wf_uniform.w > 1.2 * lf_uniform.w &&
-      // Adversary: helping is the only survivor.
-      !lf_adv.everyone_completed && wf_adv.everyone_completed &&
-      wf_adv.starving == 0;
-  bench::print_verdict(
-      reproduced,
-      "under the stochastic scheduler the lock-free algorithm already "
-      "behaves wait-free and the helping mechanism only adds cost; the "
-      "adversary that justifies helping is exactly the schedule real "
-      "systems do not produce");
-  return reproduced ? 0 : 1;
-}

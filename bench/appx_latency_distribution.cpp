@@ -8,125 +8,201 @@
 // stochastic scheduler, printed as a histogram with percentiles, plus the
 // tail decay P[latency > k * mean].
 #include <cmath>
-#include <iostream>
 #include <memory>
+#include <ostream>
+#include <vector>
 
-#include "bench_common.hpp"
 #include "core/algorithms.hpp"
 #include "core/latency.hpp"
+#include "core/simulation.hpp"
+#include "exp/registry.hpp"
 #include "markov/builders.hpp"
 #include "markov/op_latency.hpp"
-#include "core/simulation.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace pwf;
-  using namespace pwf::core;
+namespace {
 
-  bench::print_header(
-      "Appendix-grade check (paper ref [1], Fig. 6): per-operation latency "
-      "distribution of a lock-free structure",
-      "Claim: individual operation latencies concentrate near the mean "
-      "with an exponentially decaying tail - 'practically wait-free'.");
-  constexpr std::size_t kN = 16;
-  constexpr std::uint64_t kSteps = 4'000'000;
-  bench::print_seed(61);
+using namespace pwf;
+using namespace pwf::core;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
-  Simulation::Options opts;
-  opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
-  opts.seed = 61;
-  Simulation sim(kN, scan_validate_factory(),
-                 std::make_unique<UniformScheduler>(), opts);
-  LatencyDistributionObserver observer(kN, 50'000.0, 5'000);
-  sim.set_observer(&observer);
-  sim.run(kSteps);
+constexpr std::size_t kN = 16;
+constexpr std::size_t kDensityRows = 16;
+const std::vector<double> kQuantiles{0.10, 0.25, 0.50,  0.75,
+                                     0.90, 0.99, 0.999};
+const std::vector<std::size_t> kPmfPoints{2, 4, 8, 12, 16, 24, 32};
 
-  const double mean = observer.stats().mean();
-  const auto& hist = observer.histogram();
-  std::cout << "operations observed: " << observer.stats().count()
-            << ", mean individual latency: " << fmt(mean, 1)
-            << " system steps (n * W = " << fmt(16.0 * sim.report().system_latency(), 1)
-            << ")\n\n";
+std::string qkey(double q) { return "q" + fmt(1000.0 * q, 0); }
 
-  Table pct({"percentile", "latency (system steps)", "x mean"});
-  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999}) {
-    const double v = hist.quantile(q);
-    pct.add_row({fmt(100.0 * q, 1) + "%", fmt(v, 0), fmt(v / mean, 2)});
+class AppxLatencyDistribution final : public exp::Experiment {
+ public:
+  std::string name() const override { return "appx_latency_distribution"; }
+  std::string artifact() const override {
+    return "Appendix-grade check (paper ref [1], Fig. 6): per-operation "
+           "latency distribution of a lock-free structure";
   }
-  pct.add_row({"max", fmt(observer.max_latency()),
-               fmt(static_cast<double>(observer.max_latency()) / mean, 2)});
-  pct.print(std::cout);
-
-  std::cout << "\ntail decay:\n";
-  Table tail({"threshold", "P[latency > threshold]"});
-  bool decaying = true;
-  double prev = 1.0;
-  for (int k = 1; k <= 6; ++k) {
-    const double frac = observer.tail_fraction(k * 2.0 * mean);
-    tail.add_row({fmt(2 * k) + " x mean", fmt(frac, 6)});
-    if (frac > 0.0 && frac > prev * 0.7) decaying = false;
-    if (frac > 0.0) prev = frac;
+  std::string claim() const override {
+    return "Claim: individual operation latencies concentrate near the "
+           "mean with an exponentially decaying tail - 'practically "
+           "wait-free'.";
   }
-  tail.print(std::cout);
+  std::uint64_t default_seed() const override { return 61; }
 
-  // ASCII density sketch of the bulk of the distribution.
-  std::cout << "\nlatency density (up to 4x mean):\n";
-  const double hi = 4.0 * mean;
-  constexpr int kRows = 16;
-  for (int r = 0; r < kRows; ++r) {
-    const double lo_edge = hi * r / kRows;
-    const double hi_edge = hi * (r + 1) / kRows;
-    std::uint64_t count = 0;
-    for (std::size_t b = 0; b < hist.buckets(); ++b) {
-      if (hist.bucket_lo(b) >= lo_edge && hist.bucket_lo(b) < hi_edge) {
-        count += hist.bucket_count(b);
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    std::vector<Trial> grid(2);
+    grid[0].id = "n=16 distribution";
+    grid[0].params = {{"n", 16.0}};
+    grid[0].seed = base;
+    grid[1].id = "n=4 exact phase-type law";
+    grid[1].params = {{"n", 4.0}, {"exact", 1.0}};
+    grid[1].seed = base + 1;
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    if (trial.params.count("exact")) {
+      // Exact cross-check at small n: the chain determines the entire
+      // per-operation latency law (markov/op_latency.hpp); compare it
+      // with a fresh simulation at n = 4.
+      constexpr std::size_t kSmallN = 4;
+      const auto ind = markov::build_scan_validate_individual_chain(kSmallN);
+      const auto law = markov::op_latency_distribution(ind, 2'000);
+      Simulation::Options opts;
+      opts.num_registers = ScuAlgorithm::registers_required(kSmallN, 1);
+      opts.seed = trial.seed;
+      Simulation sim(kSmallN, scan_validate_factory(),
+                     std::make_unique<UniformScheduler>(), opts);
+      LatencyDistributionObserver obs(kSmallN, 2'000.0, 2'000);
+      sim.set_observer(&obs);
+      sim.run(options.horizon(2'000'000, 400'000));
+      Metrics m{{"exact_mean", law.mean},
+                {"sim_mean", obs.stats().mean()},
+                {"exact_nw", markov::individual_latency_p0(ind)}};
+      const double total = static_cast<double>(obs.histogram().total());
+      for (std::size_t t : kPmfPoints) {
+        m["pmf" + fmt(t) + "_exact"] = law.pmf[t];
+        m["pmf" + fmt(t) + "_sim"] =
+            static_cast<double>(obs.histogram().bucket_count(t)) / total;
       }
+      return m;
     }
-    const int bar = static_cast<int>(
-        60.0 * static_cast<double>(count) /
-        static_cast<double>(hist.total()));
-    std::cout << fmt(lo_edge, 0) << "\t" << std::string(bar, '#') << "\n";
+
+    Simulation::Options opts;
+    opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
+    opts.seed = trial.seed;
+    Simulation sim(kN, scan_validate_factory(),
+                   std::make_unique<UniformScheduler>(), opts);
+    LatencyDistributionObserver observer(kN, 50'000.0, 5'000);
+    sim.set_observer(&observer);
+    sim.run(options.horizon(4'000'000, 600'000));
+
+    const double mean = observer.stats().mean();
+    const auto& hist = observer.histogram();
+    Metrics m{{"ops", static_cast<double>(observer.stats().count())},
+              {"mean", mean},
+              {"nw", static_cast<double>(kN) *
+                         sim.report().system_latency()},
+              {"max_latency",
+               static_cast<double>(observer.max_latency())}};
+    for (double q : kQuantiles) m[qkey(q)] = hist.quantile(q);
+    for (int k = 1; k <= 6; ++k) {
+      m["tail" + fmt(2 * k)] = observer.tail_fraction(k * 2.0 * mean);
+    }
+    m["tail8x"] = observer.tail_fraction(8.0 * mean);
+    // Bulk density, 16 bins up to 4x mean, as fractions of all ops.
+    const double hi = 4.0 * mean;
+    for (std::size_t r = 0; r < kDensityRows; ++r) {
+      const double lo_edge = hi * static_cast<double>(r) / kDensityRows;
+      const double hi_edge =
+          hi * static_cast<double>(r + 1) / kDensityRows;
+      std::uint64_t count = 0;
+      for (std::size_t b = 0; b < hist.buckets(); ++b) {
+        if (hist.bucket_lo(b) >= lo_edge && hist.bucket_lo(b) < hi_edge) {
+          count += hist.bucket_count(b);
+        }
+      }
+      m["density" + fmt(r)] = static_cast<double>(count) /
+                              static_cast<double>(hist.total());
+    }
+    return m;
   }
 
-  // Exact cross-check at small n: the chain determines the entire
-  // per-operation latency law (markov/op_latency.hpp); compare it with a
-  // fresh simulation at n = 4.
-  std::cout << "\nexact phase-type law vs simulation at n = 4:\n";
-  bool exact_matches = true;
-  {
-    constexpr std::size_t kSmallN = 4;
-    const auto ind = markov::build_scan_validate_individual_chain(kSmallN);
-    const auto law = markov::op_latency_distribution(ind, 2'000);
-    Simulation::Options small_opts;
-    small_opts.num_registers = ScuAlgorithm::registers_required(kSmallN, 1);
-    small_opts.seed = 62;
-    Simulation small_sim(kSmallN, scan_validate_factory(),
-                         std::make_unique<UniformScheduler>(), small_opts);
-    LatencyDistributionObserver small_obs(kSmallN, 2'000.0, 2'000);
-    small_sim.set_observer(&small_obs);
-    small_sim.run(2'000'000);
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& options, std::ostream& os) const override {
+    const Metrics& dist = results.at(0).metrics;
+    const Metrics& exact = results.at(1).metrics;
+    const double mean = dist.at("mean");
+
+    os << "operations observed: " << fmt(dist.at("ops"), 0)
+       << ", mean individual latency: " << fmt(mean, 1)
+       << " system steps (n * W = " << fmt(dist.at("nw"), 1) << ")\n\n";
+
+    Table pct({"percentile", "latency (system steps)", "x mean"});
+    for (double q : kQuantiles) {
+      const double v = dist.at(qkey(q));
+      pct.add_row({fmt(100.0 * q, 1) + "%", fmt(v, 0), fmt(v / mean, 2)});
+    }
+    pct.add_row({"max", fmt(dist.at("max_latency"), 0),
+                 fmt(dist.at("max_latency") / mean, 2)});
+    pct.print(os);
+
+    os << "\ntail decay:\n";
+    Table tail({"threshold", "P[latency > threshold]"});
+    bool decaying = true;
+    double prev = 1.0;
+    for (int k = 1; k <= 6; ++k) {
+      const double frac = dist.at("tail" + fmt(2 * k));
+      tail.add_row({fmt(2 * k) + " x mean", fmt(frac, 6)});
+      if (frac > 0.0 && frac > prev * 0.7) decaying = false;
+      if (frac > 0.0) prev = frac;
+    }
+    tail.print(os);
+
+    // ASCII density sketch of the bulk of the distribution.
+    os << "\nlatency density (up to 4x mean):\n";
+    const double hi = 4.0 * mean;
+    for (std::size_t r = 0; r < kDensityRows; ++r) {
+      const int bar =
+          static_cast<int>(60.0 * dist.at("density" + fmt(r)));
+      os << fmt(hi * static_cast<double>(r) / kDensityRows, 0) << "\t"
+         << std::string(bar, '#') << "\n";
+    }
+
+    os << "\nexact phase-type law vs simulation at n = 4:\n";
     Table cmp({"t (steps)", "exact P[latency=t]", "simulated"});
-    const double total = static_cast<double>(small_obs.histogram().total());
-    for (std::size_t t : {2, 4, 8, 12, 16, 24, 32}) {
-      const double simulated =
-          static_cast<double>(small_obs.histogram().bucket_count(t)) / total;
-      cmp.add_row({fmt(t), fmt(law.pmf[t], 5), fmt(simulated, 5)});
-      if (std::abs(simulated - law.pmf[t]) > 0.005) exact_matches = false;
+    bool exact_matches = true;
+    const double pmf_tol = options.quick ? 0.012 : 0.005;
+    for (std::size_t t : kPmfPoints) {
+      const double e = exact.at("pmf" + fmt(t) + "_exact");
+      const double s = exact.at("pmf" + fmt(t) + "_sim");
+      cmp.add_row({fmt(t), fmt(e, 5), fmt(s, 5)});
+      if (std::abs(s - e) > pmf_tol) exact_matches = false;
     }
-    cmp.print(std::cout);
-    std::cout << "exact mean " << fmt(law.mean, 3) << " vs simulated mean "
-              << fmt(small_obs.stats().mean(), 3) << " (Lemma 7: n*W = "
-              << fmt(markov::individual_latency_p0(ind), 3) << ")\n";
-  }
+    cmp.print(os);
+    os << "exact mean " << fmt(exact.at("exact_mean"), 3)
+       << " vs simulated mean " << fmt(exact.at("sim_mean"), 3)
+       << " (Lemma 7: n*W = " << fmt(exact.at("exact_nw"), 3) << ")\n";
 
-  const bool reproduced = decaying && exact_matches &&
-                          observer.tail_fraction(8.0 * mean) < 0.002 &&
-                          static_cast<double>(observer.max_latency()) <
-                              60.0 * mean;
-  bench::print_verdict(reproduced,
-                       "individual latencies concentrate (p99 within a few "
-                       "means) and the tail decays geometrically - the "
-                       "observed behaviour is wait-free for all practical "
-                       "purposes");
-  return reproduced ? 0 : 1;
-}
+    Verdict v;
+    v.reproduced = decaying && exact_matches && dist.at("tail8x") < 0.002 &&
+                   dist.at("max_latency") < 60.0 * mean;
+    v.detail =
+        "individual latencies concentrate (p99 within a few means) and the "
+        "tail decays geometrically - the observed behaviour is wait-free "
+        "for all practical purposes";
+    v.summary = {{"p99_over_mean", dist.at(qkey(0.99)) / mean},
+                 {"tail8x", dist.at("tail8x")}};
+    return v;
+  }
+};
+
+const exp::RegisterExperiment reg(
+    std::make_unique<AppxLatencyDistribution>());
+
+}  // namespace

@@ -5,45 +5,104 @@
 // Runs the game at several n, reports phase-length statistics grouped by
 // the paper's three ranges, checks the per-state bound, and prints the
 // steady-state distribution of a_i (bins with one ball at phase start).
-#include <cmath>
-#include <iostream>
 #include <algorithm>
+#include <cmath>
 #include <map>
+#include <ostream>
+#include <vector>
 
 #include "ballsbins/game.hpp"
-#include "bench_common.hpp"
 #include "core/theory.hpp"
+#include "exp/registry.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace pwf;
-  using namespace pwf::ballsbins;
+namespace {
 
-  bench::print_header(
-      "Lemmas 8-9: iterated balls-into-bins phase behaviour",
-      "Claim: E[phase | a, b] <= min(2an/sqrt(a), 3an/b^(1/3)) with a = 4; "
-      "phases starting in range three (a < n/c) are rare.");
-  bench::print_seed(99);
+using namespace pwf;
+using namespace pwf::ballsbins;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
-  Table table({"n", "phases", "mean phase", "p50", "p99", "range1 %",
-               "range2 %", "range3 %", "bound violations"});
-  bool reproduced = true;
-  for (std::size_t n : {8, 32, 128, 512}) {
-    IteratedBallsBins game(n, Xoshiro256pp(99 + n));
-    const auto records = game.run_phases(60'000);
+constexpr std::size_t kTopStates = 8;
 
+std::vector<std::size_t> game_ns(const RunOptions& options) {
+  if (options.quick) return {8, 32, 128};
+  return {8, 32, 128, 512};
+}
+
+class BallsbinsPhases final : public exp::Experiment {
+ public:
+  std::string name() const override { return "ballsbins_phases"; }
+  std::string artifact() const override {
+    return "Lemmas 8-9: iterated balls-into-bins phase behaviour";
+  }
+  std::string claim() const override {
+    return "Claim: E[phase | a, b] <= min(2an/sqrt(a), 3an/b^(1/3)) with "
+           "a = 4; phases starting in range three (a < n/c) are rare.";
+  }
+  std::uint64_t default_seed() const override { return 99; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    std::vector<Trial> grid;
+    for (std::size_t n : game_ns(options)) {
+      Trial t;
+      t.id = "n=" + fmt(n);
+      t.params = {{"n", static_cast<double>(n)}};
+      t.seed = base + n;
+      grid.push_back(std::move(t));
+    }
+    Trial top;
+    top.id = "phase-start composition n=128";
+    top.params = {{"n", 128.0}, {"composition", 1.0}};
+    top.seed = exp::derive_seed(base, 128);
+    grid.push_back(std::move(top));
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    const auto n = static_cast<std::size_t>(trial.params.at("n"));
+    IteratedBallsBins game(n, Xoshiro256pp(trial.seed));
+
+    if (trial.params.count("composition")) {
+      const auto records =
+          game.run_phases(options.horizon(40'000, 8'000));
+      std::map<std::size_t, std::uint64_t> start_a_freq;
+      for (const auto& rec : records) ++start_a_freq[rec.start_a];
+      std::vector<std::pair<std::uint64_t, std::size_t>> sorted;
+      for (const auto& [a, count] : start_a_freq) {
+        sorted.push_back({count, a});
+      }
+      std::sort(sorted.rbegin(), sorted.rend());
+      Metrics m{{"phases", static_cast<double>(records.size())}};
+      for (std::size_t i = 0; i < kTopStates && i < sorted.size(); ++i) {
+        const std::string rank = std::to_string(i + 1);
+        m["top" + rank + "_a"] = static_cast<double>(sorted[i].second);
+        m["top" + rank + "_pct"] =
+            100.0 * static_cast<double>(sorted[i].first) /
+            static_cast<double>(records.size());
+      }
+      return m;
+    }
+
+    const auto records = game.run_phases(options.horizon(60'000, 8'000));
     RangeStats ranges;
     Histogram lengths(0.0, 40.0 * std::sqrt(static_cast<double>(n)), 200);
     std::map<std::pair<std::size_t, std::size_t>, StreamingStats> by_start;
+    StreamingStats overall;
     for (const auto& rec : records) {
       ranges.add(rec, n);
       lengths.add(static_cast<double>(rec.length));
       by_start[{rec.start_a, rec.start_b}].add(
           static_cast<double>(rec.length));
+      overall.add(static_cast<double>(rec.length));
     }
-
     std::size_t violations = 0;
     for (const auto& [start, stats] : by_start) {
       if (stats.count() < 100) continue;
@@ -51,45 +110,69 @@ int main() {
           n, start.first, start.second, 4.0);
       if (stats.mean() > bound) ++violations;
     }
-
-    StreamingStats overall;
-    for (const auto& rec : records) {
-      overall.add(static_cast<double>(rec.length));
-    }
     const double total = static_cast<double>(records.size());
-    table.add_row(
-        {fmt(n), fmt(records.size()), fmt(overall.mean(), 2),
-         fmt(lengths.quantile(0.5), 1), fmt(lengths.quantile(0.99), 1),
-         fmt(100.0 * ranges.phases_first / total, 2),
-         fmt(100.0 * ranges.phases_second / total, 2),
-         fmt(100.0 * ranges.phases_third / total, 2), fmt(violations)});
-    reproduced = reproduced && violations == 0 &&
-                 static_cast<double>(ranges.phases_third) / total < 0.01;
+    return {{"phases", total},
+            {"mean_phase", overall.mean()},
+            {"p50", lengths.quantile(0.5)},
+            {"p99", lengths.quantile(0.99)},
+            {"range1_pct", 100.0 * static_cast<double>(ranges.phases_first) /
+                               total},
+            {"range2_pct", 100.0 * static_cast<double>(ranges.phases_second) /
+                               total},
+            {"range3_pct", 100.0 * static_cast<double>(ranges.phases_third) /
+                               total},
+            {"violations", static_cast<double>(violations)}};
   }
-  table.print(std::cout);
 
-  std::cout << "\nphase-start composition at n = 128 (top states):\n";
-  {
-    constexpr std::size_t kN = 128;
-    IteratedBallsBins game(kN, Xoshiro256pp(5));
-    std::map<std::size_t, std::uint64_t> start_a_freq;
-    const auto records = game.run_phases(40'000);
-    for (const auto& rec : records) ++start_a_freq[rec.start_a];
-    Table top({"a at phase start", "frequency %", "n - a (stale+empty)"});
-    std::size_t shown = 0;
-    std::vector<std::pair<std::uint64_t, std::size_t>> sorted;
-    for (const auto& [a, count] : start_a_freq) sorted.push_back({count, a});
-    std::sort(sorted.rbegin(), sorted.rend());
-    for (const auto& [count, a] : sorted) {
-      if (++shown > 8) break;
-      top.add_row({fmt(a), fmt(100.0 * count / records.size(), 2),
-                   fmt(kN - a)});
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& options, std::ostream& os) const override {
+    Table table({"n", "phases", "mean phase", "p50", "p99", "range1 %",
+                 "range2 %", "range3 %", "bound violations"});
+    bool reproduced = true;
+    const TrialResult* composition = nullptr;
+    for (const TrialResult& r : results) {
+      if (r.trial.params.count("composition")) {
+        composition = &r;
+        continue;
+      }
+      const auto n = static_cast<std::size_t>(r.trial.params.at("n"));
+      const Metrics& m = r.metrics;
+      table.add_row({fmt(n), fmt(m.at("phases"), 0), fmt(m.at("mean_phase"), 2),
+                     fmt(m.at("p50"), 1), fmt(m.at("p99"), 1),
+                     fmt(m.at("range1_pct"), 2), fmt(m.at("range2_pct"), 2),
+                     fmt(m.at("range3_pct"), 2), fmt(m.at("violations"), 0)});
+      reproduced = reproduced && m.at("violations") < 0.5 &&
+                   m.at("range3_pct") < 1.0;
     }
-    top.print(std::cout);
-  }
+    table.print(os);
 
-  bench::print_verdict(reproduced,
-                       "per-state phase bounds hold with alpha = 4 and the "
-                       "third range has < 1% occupancy");
-  return reproduced ? 0 : 1;
-}
+    if (composition) {
+      os << "\nphase-start composition at n = 128 (top states):\n";
+      Table top({"a at phase start", "frequency %", "n - a (stale+empty)"});
+      for (std::size_t i = 1; i <= kTopStates; ++i) {
+        const std::string rank = std::to_string(i);
+        const auto a_it = composition->metrics.find("top" + rank + "_a");
+        const auto pct_it = composition->metrics.find("top" + rank + "_pct");
+        if (a_it == composition->metrics.end() ||
+            pct_it == composition->metrics.end()) {
+          break;
+        }
+        const auto a = static_cast<std::size_t>(a_it->second);
+        top.add_row({fmt(a), fmt(pct_it->second, 2), fmt(128 - a)});
+      }
+      top.print(os);
+    }
+    (void)options;
+
+    Verdict v;
+    v.reproduced = reproduced;
+    v.detail =
+        "per-state phase bounds hold with alpha = 4 and the third range "
+        "has < 1% occupancy";
+    return v;
+  }
+};
+
+const exp::RegisterExperiment reg(std::make_unique<BallsbinsPhases>());
+
+}  // namespace

@@ -11,92 +11,139 @@
 // the sqrt(n) factor exactly when reads are rarer than ~1/sqrt(n),
 // and the crossover moves as predicted.
 #include <cmath>
-#include <iostream>
 #include <memory>
+#include <ostream>
+#include <vector>
 
-#include "bench_common.hpp"
 #include "core/algorithms.hpp"
 #include "core/simulation.hpp"
 #include "core/statistical_counter.hpp"
 #include "core/theory.hpp"
+#include "exp/registry.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace pwf;
 using namespace pwf::core;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
-double cas_counter_latency(std::size_t n, std::uint64_t seed) {
-  Simulation::Options opts;
-  opts.num_registers = FetchAndIncrement::registers_required();
-  opts.seed = seed;
-  Simulation sim(n, FetchAndIncrement::factory(),
-                 std::make_unique<UniformScheduler>(), opts);
-  sim.run(100'000);
-  sim.reset_stats();
-  sim.run(600'000);
-  return sim.report().system_latency();
-}
+const std::vector<double> kReadFractions{0.0, 0.02, 0.10, 0.50};
 
-double statistical_latency(std::size_t n, double read_fraction,
-                           std::uint64_t seed) {
-  Simulation::Options opts;
-  opts.num_registers = StatisticalCounter::registers_required(n);
-  opts.seed = seed;
-  Simulation sim(n, StatisticalCounter::factory(read_fraction, seed),
-                 std::make_unique<UniformScheduler>(), opts);
-  sim.run(100'000);
-  sim.reset_stats();
-  sim.run(600'000);
-  return sim.report().system_latency();
-}
+std::string rkey(double r) { return "stat_r" + fmt(100.0 * r, 0); }
+
+class ExploreContention final : public exp::Experiment {
+ public:
+  std::string name() const override { return "explore_contention"; }
+  std::string artifact() const override {
+    return "Section 8 exploration: escaping the Theta(sqrt n) contention "
+           "factor";
+  }
+  std::string claim() const override {
+    return "The statistical counter (paper ref [4]) makes increments O(1) "
+           "and reads O(n); it beats the CAS counter whenever reads are "
+           "rare.";
+  }
+  std::uint64_t default_seed() const override { return 88; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    const std::vector<std::size_t> ns =
+        options.quick ? std::vector<std::size_t>{4, 8, 16, 32, 64}
+                      : std::vector<std::size_t>{4, 8, 16, 32, 64, 128};
+    std::vector<Trial> grid;
+    for (std::size_t n : ns) {
+      Trial t;
+      t.id = "n=" + fmt(n);
+      t.params = {{"n", static_cast<double>(n)}};
+      t.seed = base + n;
+      grid.push_back(std::move(t));
+    }
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    const auto n = static_cast<std::size_t>(trial.params.at("n"));
+    auto latency = [&](const StepMachineFactory& factory,
+                       std::size_t registers, std::uint64_t seed) {
+      Simulation::Options opts;
+      opts.num_registers = registers;
+      opts.seed = seed;
+      Simulation sim(n, factory, std::make_unique<UniformScheduler>(), opts);
+      sim.run(options.horizon(100'000, 20'000));
+      sim.reset_stats();
+      sim.run(options.horizon(600'000, 120'000));
+      return sim.report().system_latency();
+    };
+
+    Metrics m{{"cas", latency(FetchAndIncrement::factory(),
+                              FetchAndIncrement::registers_required(),
+                              trial.seed)}};
+    // Old binary: stat runs at n used seeds 880+n..883+n; keep them
+    // distinct per read fraction relative to the trial seed.
+    std::uint64_t offset = 792;  // 880 - 88
+    for (double r : kReadFractions) {
+      const std::uint64_t seed = trial.seed + offset++;
+      m[rkey(r)] = latency(StatisticalCounter::factory(r, seed),
+                           StatisticalCounter::registers_required(n), seed);
+    }
+    return m;
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& /*options*/, std::ostream& os) const
+      override {
+    os << "System latency (steps/op) by counter design and read "
+          "fraction r:\n";
+    Table table({"n", "CAS counter Z(n-1)", "stat r=0", "stat r=0.02",
+                 "stat r=0.10", "stat r=0.50", "winner at r=0.02"});
+    bool shape_ok = true;
+    for (const TrialResult& r : results) {
+      const auto n = static_cast<std::size_t>(r.trial.params.at("n"));
+      const Metrics& m = r.metrics;
+      table.add_row({fmt(n), fmt(m.at("cas"), 2), fmt(m.at(rkey(0.0)), 2),
+                     fmt(m.at(rkey(0.02)), 2), fmt(m.at(rkey(0.10)), 2),
+                     fmt(m.at(rkey(0.50)), 2),
+                     m.at(rkey(0.02)) < m.at("cas") ? "statistical"
+                                                    : "CAS"});
+      // Shape: r = 0 is O(1) (always ~1); r = 0.5 is Theta(n); the CAS
+      // counter sits at Theta(sqrt n) in between.
+      const double expected_half = 0.5 + 0.5 * static_cast<double>(n);
+      shape_ok = shape_ok && std::abs(m.at(rkey(0.0)) - 1.0) < 0.05 &&
+                 std::abs(m.at(rkey(0.50)) - expected_half) <
+                     0.12 * expected_half;
+    }
+    table.print(os);
+
+    // Crossover analysis: statistical beats CAS iff (1-r) + r*n < Z(n-1),
+    // i.e. r < (Z(n-1) - 1) / (n - 1) ~ sqrt(pi/(2n)).
+    os << "\npredicted crossover read fraction r*(n) = "
+          "(Z(n-1)-1)/(n-1) ~ sqrt(pi/2n):\n";
+    Table cross({"n", "r* exact", "sqrt(pi/(2n))"});
+    for (std::size_t n : {8, 32, 128, 512}) {
+      const double z = theory::fai_system_latency_exact(n);
+      cross.add_row(
+          {fmt(n), fmt((z - 1.0) / (static_cast<double>(n) - 1.0), 4),
+           fmt(std::sqrt(3.14159265 / (2.0 * static_cast<double>(n))), 4)});
+    }
+    cross.print(os);
+
+    Verdict v;
+    v.reproduced = shape_ok;
+    v.detail =
+        "the sqrt(n) factor is avoidable (O(1) increments via per-process "
+        "subcounters) at the price of O(n) reads; which design wins is set "
+        "by the read fraction against r* ~ sqrt(pi/2n) — answering the "
+        "paper's closing question for this object";
+    return v;
+  }
+};
+
+const exp::RegisterExperiment reg(std::make_unique<ExploreContention>());
 
 }  // namespace
-
-int main() {
-  bench::print_header(
-      "Section 8 exploration: escaping the Theta(sqrt n) contention factor",
-      "The statistical counter (paper ref [4]) makes increments O(1) and "
-      "reads O(n); it beats the CAS counter whenever reads are rare.");
-  bench::print_seed(88);
-
-  std::cout << "System latency (steps/op) by counter design and read "
-               "fraction r:\n";
-  Table table({"n", "CAS counter Z(n-1)", "stat r=0", "stat r=0.02",
-               "stat r=0.10", "stat r=0.50", "winner at r=0.02"});
-  bool shape_ok = true;
-  for (std::size_t n : {4, 8, 16, 32, 64, 128}) {
-    const double cas = cas_counter_latency(n, 88 + n);
-    const double s0 = statistical_latency(n, 0.0, 880 + n);
-    const double s2 = statistical_latency(n, 0.02, 881 + n);
-    const double s10 = statistical_latency(n, 0.10, 882 + n);
-    const double s50 = statistical_latency(n, 0.50, 883 + n);
-    table.add_row({fmt(n), fmt(cas, 2), fmt(s0, 2), fmt(s2, 2), fmt(s10, 2),
-                   fmt(s50, 2), s2 < cas ? "statistical" : "CAS"});
-    // Shape: r = 0 is O(1) (always ~1); r = 0.5 is Theta(n); the CAS
-    // counter sits at Theta(sqrt n) in between.
-    shape_ok = shape_ok && std::abs(s0 - 1.0) < 0.05 &&
-               std::abs(s50 - (0.5 + 0.5 * n)) < 0.12 * (0.5 + 0.5 * n);
-  }
-  table.print(std::cout);
-
-  // Crossover analysis: statistical beats CAS iff (1-r) + r*n < Z(n-1),
-  // i.e. r < (Z(n-1) - 1) / (n - 1) ~ sqrt(pi/(2n)).
-  std::cout << "\npredicted crossover read fraction r*(n) = "
-               "(Z(n-1)-1)/(n-1) ~ sqrt(pi/2n):\n";
-  Table cross({"n", "r* exact", "sqrt(pi/(2n))"});
-  for (std::size_t n : {8, 32, 128, 512}) {
-    const double z = theory::fai_system_latency_exact(n);
-    cross.add_row({fmt(n), fmt((z - 1.0) / (static_cast<double>(n) - 1.0), 4),
-                   fmt(std::sqrt(3.14159265 / (2.0 * static_cast<double>(n))), 4)});
-  }
-  cross.print(std::cout);
-
-  bench::print_verdict(
-      shape_ok,
-      "the sqrt(n) factor is avoidable (O(1) increments via per-process "
-      "subcounters) at the price of O(n) reads; which design wins is set "
-      "by the read fraction against r* ~ sqrt(pi/2n) — answering the "
-      "paper's closing question for this object");
-  return shape_ok ? 0 : 1;
-}

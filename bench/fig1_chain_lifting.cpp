@@ -4,11 +4,13 @@
 // Regenerates the figure as data: enumerates both chains for n = 2 (and the
 // analogous fetch-and-increment pair of Section 7.1), prints every state
 // with its stationary probability and transitions, and verifies the lifting
-// homomorphism numerically.
+// homomorphism numerically. Everything here is exact chain analysis — the
+// trials carry no randomness, only the (cheap, deterministic) numerics.
 #include <cmath>
-#include <iostream>
+#include <ostream>
+#include <vector>
 
-#include "bench_common.hpp"
+#include "exp/registry.hpp"
 #include "markov/builders.hpp"
 #include "markov/graph.hpp"
 #include "markov/lifting.hpp"
@@ -18,11 +20,34 @@ namespace {
 
 using namespace pwf;
 using namespace pwf::markov;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
-void print_chain(const std::string& title, const BuiltChain& built,
+struct Pair {
+  BuiltChain ind, sys;
+  std::vector<std::size_t> f;
+};
+
+Pair build_pair(bool fai) {
+  if (fai) {
+    Pair p{build_fai_individual_chain(2), build_fai_global_chain(2), {}};
+    p.f = fai_lifting_map(p.ind, p.sys);
+    return p;
+  }
+  Pair p{build_scan_validate_individual_chain(2),
+         build_scan_validate_system_chain(2), {}};
+  p.f = scan_validate_lifting_map(p.ind, p.sys, 2);
+  return p;
+}
+
+void print_chain(std::ostream& os, const std::string& title,
+                 const BuiltChain& built,
                  const std::vector<std::size_t>* lifting_map) {
-  std::cout << "\n--- " << title << " (" << built.chain.num_states()
-            << " states) ---\n";
+  os << "\n--- " << title << " (" << built.chain.num_states()
+     << " states) ---\n";
   const auto pi = built.chain.stationary();
   std::vector<std::string> header{"state", "pi", "P[success]"};
   if (lifting_map) header.push_back("f(state)");
@@ -33,64 +58,104 @@ void print_chain(const std::string& title, const BuiltChain& built,
     if (lifting_map) row.push_back(fmt((*lifting_map)[s]));
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
+  table.print(os);
 
-  std::cout << "transitions:\n";
+  os << "transitions:\n";
   for (std::size_t s = 0; s < built.chain.num_states(); ++s) {
-    std::cout << "  " << built.state_names[s] << " -> ";
+    os << "  " << built.state_names[s] << " -> ";
     bool first = true;
     for (const auto& t : built.chain.transitions_from(s)) {
-      if (!first) std::cout << ", ";
-      std::cout << built.state_names[t.to] << " (" << fmt(t.prob, 2) << ")";
+      if (!first) os << ", ";
+      os << built.state_names[t.to] << " (" << fmt(t.prob, 2) << ")";
       first = false;
     }
-    std::cout << '\n';
+    os << '\n';
   }
 }
 
-bool report_pair(const std::string& what, const BuiltChain& ind,
-                 const BuiltChain& sys, const std::vector<std::size_t>& f) {
-  print_chain(what + ": individual chain", ind, &f);
-  print_chain(what + ": system chain", sys, nullptr);
+class Fig1ChainLifting final : public exp::Experiment {
+ public:
+  std::string name() const override { return "fig1_chain_lifting"; }
+  std::string artifact() const override {
+    return "Figure 1 / Lemmas 4-7: chains for two processes";
+  }
+  std::string claim() const override {
+    return "The scan-validate individual chain (3^2 - 1 = 8 states) "
+           "collapses onto the (a, b) system chain via a Markov-chain "
+           "lifting.";
+  }
+  std::uint64_t default_seed() const override { return 1; }
 
-  const auto check = verify_lifting(ind.chain, sys.chain, f, 1e-9);
-  std::cout << "\nlifting check (" << what << "): flow error "
-            << check.max_flow_error << ", stationary error "
-            << check.max_stationary_error << " -> "
-            << (check.is_lifting ? "LIFTING VERIFIED" : "NOT A LIFTING")
-            << '\n';
-  const double w_ind = system_latency(ind);
-  const double w_sys = system_latency(sys);
-  const double wi = individual_latency_p0(ind);
-  std::cout << "W (from individual chain)  = " << fmt(w_ind, 6) << '\n'
-            << "W (from system chain)      = " << fmt(w_sys, 6) << '\n'
-            << "W_i (process 0)            = " << fmt(wi, 6) << " = "
-            << fmt(wi / w_ind, 4) << " x W   (Lemma 7 predicts n x W)\n";
-  return check.is_lifting && std::abs(wi - 2.0 * w_ind) < 1e-4 * wi;
-}
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    std::vector<Trial> grid(2);
+    grid[0].id = "scan-validate n=2";
+    grid[0].params = {{"fai", 0.0}};
+    grid[0].seed = base;
+    grid[1].id = "fetch-and-increment n=2";
+    grid[1].params = {{"fai", 1.0}};
+    grid[1].seed = base + 1;
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& /*options*/) const override {
+    const Pair p = build_pair(trial.params.at("fai") > 0.5);
+    const auto check = verify_lifting(p.ind.chain, p.sys.chain, p.f, 1e-9);
+    const double w_ind = system_latency(p.ind);
+    const double wi = individual_latency_p0(p.ind);
+    return {{"flow_error", check.max_flow_error},
+            {"stationary_error", check.max_stationary_error},
+            {"is_lifting", check.is_lifting ? 1.0 : 0.0},
+            {"w_individual_chain", w_ind},
+            {"w_system_chain", system_latency(p.sys)},
+            {"wi_p0", wi},
+            {"wi_over_w", wi / w_ind}};
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& /*options*/, std::ostream& os) const
+      override {
+    bool all_ok = true;
+    for (const TrialResult& r : results) {
+      const bool fai = r.trial.params.at("fai") > 0.5;
+      const std::string what =
+          fai ? "fetch-and-increment, n=2" : "scan-validate, n=2";
+      if (fai) {
+        os << "\n(For comparison, Section 7.1's fetch-and-increment pair, "
+              "n=2: 2^2 - 1 = 3 states.)\n";
+      }
+      const Pair p = build_pair(fai);
+      print_chain(os, what + ": individual chain", p.ind, &p.f);
+      print_chain(os, what + ": system chain", p.sys, nullptr);
+
+      const Metrics& m = r.metrics;
+      os << "\nlifting check (" << what << "): flow error "
+         << m.at("flow_error") << ", stationary error "
+         << m.at("stationary_error") << " -> "
+         << (exp::flag(m.at("is_lifting")) ? "LIFTING VERIFIED"
+                                           : "NOT A LIFTING")
+         << '\n';
+      const double w_ind = m.at("w_individual_chain");
+      const double wi = m.at("wi_p0");
+      os << "W (from individual chain)  = " << fmt(w_ind, 6) << '\n'
+         << "W (from system chain)      = " << fmt(m.at("w_system_chain"), 6)
+         << '\n'
+         << "W_i (process 0)            = " << fmt(wi, 6) << " = "
+         << fmt(m.at("wi_over_w"), 4)
+         << " x W   (Lemma 7 predicts n x W)\n";
+      all_ok = all_ok && exp::flag(m.at("is_lifting")) &&
+               std::abs(wi - 2.0 * w_ind) < 1e-4 * wi;
+    }
+
+    Verdict v;
+    v.reproduced = all_ok;
+    v.detail =
+        "both liftings verified numerically; W_i = n * W on each pair";
+    return v;
+  }
+};
+
+const exp::RegisterExperiment reg(std::make_unique<Fig1ChainLifting>());
 
 }  // namespace
-
-int main() {
-  pwf::bench::print_header(
-      "Figure 1 / Lemmas 4-7: chains for two processes",
-      "The scan-validate individual chain (3^2 - 1 = 8 states) collapses "
-      "onto the (a, b) system chain via a Markov-chain lifting.");
-
-  const BuiltChain ind = build_scan_validate_individual_chain(2);
-  const BuiltChain sys = build_scan_validate_system_chain(2);
-  const auto f = scan_validate_lifting_map(ind, sys, 2);
-  const bool ok_sv = report_pair("scan-validate, n=2", ind, sys, f);
-
-  std::cout << "\n(For comparison, Section 7.1's fetch-and-increment pair, "
-               "n=2: 2^2 - 1 = 3 states.)\n";
-  const BuiltChain find = build_fai_individual_chain(2);
-  const BuiltChain fglob = build_fai_global_chain(2);
-  const auto ff = fai_lifting_map(find, fglob);
-  const bool ok_fai = report_pair("fetch-and-increment, n=2", find, fglob, ff);
-
-  pwf::bench::print_verdict(
-      ok_sv && ok_fai,
-      "both liftings verified numerically; W_i = n * W on each pair");
-  return (ok_sv && ok_fai) ? 0 : 1;
-}

@@ -6,85 +6,147 @@
 // paper's observation: over long executions the scheduler is fair — every
 // thread takes about 1/n of the steps. For reference the same statistic is
 // printed for a *simulated* uniform stochastic schedule of the same length.
+// Hardware trials measure the host, so this experiment is exclusive: its
+// trials never share the machine with other work.
 #include <algorithm>
-#include <iostream>
 #include <memory>
+#include <ostream>
 #include <thread>
+#include <vector>
 
-#include "bench_common.hpp"
 #include "core/algorithms.hpp"
 #include "core/simulation.hpp"
+#include "exp/registry.hpp"
 #include "sched/recorder.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace pwf;
-  using namespace pwf::sched;
+namespace {
 
-  bench::print_header(
-      "Figure 3: per-thread share of steps over a long execution",
-      "Claim: the long-run hardware schedule is fair (share ~= 1/n each).");
-  const unsigned hw = std::thread::hardware_concurrency();
-  std::cout << "hardware threads available: " << hw
-            << (hw <= 1 ? "  [single core: shares reflect OS time-slicing]"
-                        : "")
-            << "\n\n";
+using namespace pwf;
+using namespace pwf::sched;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
-  constexpr std::size_t kThreads = 4;
-  constexpr std::uint64_t kSteps = 2'000'000;
+constexpr std::size_t kThreads = 4;
+constexpr std::uint64_t kSteps = 2'000'000;
 
-  // Method 1: atomic fetch-and-increment tickets (the paper's primary).
-  // Each repetition must span several OS scheduling quanta, or a
-  // single-core host hands all tickets to one thread per quantum.
-  ScheduleStats ticket_stats(kThreads);
-  for (int rep = 0; rep < 5; ++rep) {
-    ticket_stats.add_schedule(record_schedule_tickets(kThreads, 6 * kSteps));
-  }
-
-  // Method 2: timestamps (the paper notes this perturbs the schedule).
-  ScheduleStats stamp_stats(kThreads);
-  stamp_stats.add_schedule(
-      record_schedule_timestamps(kThreads, kSteps / kThreads / 10));
-
-  // Reference: the uniform stochastic scheduler in simulation.
-  core::Simulation::Options opts;
-  opts.num_registers = core::ParallelCode::registers_required();
-  opts.seed = 2014;
-  bench::print_seed(opts.seed);
-  core::Simulation sim(kThreads, core::ParallelCode::factory(2),
-                       std::make_unique<core::UniformScheduler>(), opts);
-  SimScheduleRecorder recorder(kSteps);
-  sim.set_observer(&recorder);
-  sim.run(kSteps);
-  ScheduleStats sim_stats(kThreads);
-  sim_stats.add_schedule(recorder.order());
-
-  Table table({"thread", "tickets share %", "timestamps share %",
-               "simulated uniform %", "ideal %"});
-  const auto t_shares = ticket_stats.shares();
-  const auto s_shares = stamp_stats.shares();
-  const auto m_shares = sim_stats.shares();
+Metrics shares_to_metrics(ScheduleStats& stats) {
+  Metrics m;
+  const auto shares = stats.shares();
   for (std::size_t t = 0; t < kThreads; ++t) {
-    table.add_row({"p" + std::to_string(t + 1), fmt(100.0 * t_shares[t], 2),
-                   fmt(100.0 * s_shares[t], 2), fmt(100.0 * m_shares[t], 2),
-                   fmt(100.0 / kThreads, 2)});
+    m["share_p" + std::to_string(t + 1)] = shares[t];
   }
-  table.print(std::cout);
-
-  std::cout << "max |share - 1/n|: tickets " << fmt(ticket_stats.max_share_deviation(), 4)
-            << ", timestamps " << fmt(stamp_stats.max_share_deviation(), 4)
-            << ", simulated " << fmt(sim_stats.max_share_deviation(), 4) << '\n';
-
-  // On a multicore box the hardware shares should be within a few percent
-  // of uniform; on one core the OS time-slices coarsely, so accept more.
-  // The paper used both recording methods; either one witnessing long-run
-  // fairness reproduces the figure's claim.
-  const double tolerance = hw > 1 ? 0.10 : 0.20;
-  const double best_hw_deviation = std::min(
-      ticket_stats.max_share_deviation(), stamp_stats.max_share_deviation());
-  const bool reproduced = best_hw_deviation < tolerance;
-  bench::print_verdict(reproduced,
-                       "long-run fairness of the recorded schedule (paper's "
-                       "justification for the uniform model)");
-  return reproduced ? 0 : 1;
+  m["max_dev"] = stats.max_share_deviation();
+  return m;
 }
+
+class Fig3StepShare final : public exp::Experiment {
+ public:
+  std::string name() const override { return "fig3_step_share"; }
+  std::string artifact() const override {
+    return "Figure 3: per-thread share of steps over a long execution";
+  }
+  std::string claim() const override {
+    return "Claim: the long-run hardware schedule is fair "
+           "(share ~= 1/n each).";
+  }
+  std::uint64_t default_seed() const override { return 2014; }
+  bool exclusive() const override { return true; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    std::vector<Trial> grid(3);
+    grid[0].id = "tickets";
+    grid[0].params = {{"method", 0.0}};
+    grid[0].seed = base;
+    grid[1].id = "timestamps";
+    grid[1].params = {{"method", 1.0}};
+    grid[1].seed = base + 1;
+    grid[2].id = "simulated uniform";
+    grid[2].params = {{"method", 2.0}};
+    grid[2].seed = base;
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    const int method = static_cast<int>(trial.params.at("method"));
+    ScheduleStats stats(kThreads);
+    if (method == 0) {
+      // Atomic fetch-and-increment tickets (the paper's primary). Each
+      // repetition must span several OS scheduling quanta, or a
+      // single-core host hands all tickets to one thread per quantum.
+      const int reps = options.quick ? 2 : 5;
+      for (int rep = 0; rep < reps; ++rep) {
+        stats.add_schedule(record_schedule_tickets(
+            kThreads, options.horizon(6 * kSteps, 1'000'000)));
+      }
+    } else if (method == 1) {
+      // Timestamps (the paper notes this perturbs the schedule).
+      stats.add_schedule(record_schedule_timestamps(
+          kThreads, options.horizon(kSteps / kThreads / 10, 10'000)));
+    } else {
+      core::Simulation::Options opts;
+      opts.num_registers = core::ParallelCode::registers_required();
+      opts.seed = trial.seed;
+      core::Simulation sim(kThreads, core::ParallelCode::factory(2),
+                           std::make_unique<core::UniformScheduler>(), opts);
+      const std::uint64_t steps = options.horizon(kSteps, 200'000);
+      SimScheduleRecorder recorder(steps);
+      sim.set_observer(&recorder);
+      sim.run(steps);
+      stats.add_schedule(recorder.order());
+    }
+    return shares_to_metrics(stats);
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& /*options*/, std::ostream& os) const
+      override {
+    const unsigned hw = std::thread::hardware_concurrency();
+    os << "hardware threads available: " << hw
+       << (hw <= 1 ? "  [single core: shares reflect OS time-slicing]" : "")
+       << "\n\n";
+
+    const Metrics& tickets = results.at(0).metrics;
+    const Metrics& stamps = results.at(1).metrics;
+    const Metrics& sim = results.at(2).metrics;
+    Table table({"thread", "tickets share %", "timestamps share %",
+                 "simulated uniform %", "ideal %"});
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      const std::string key = "share_p" + std::to_string(t + 1);
+      table.add_row({"p" + std::to_string(t + 1),
+                     fmt(100.0 * tickets.at(key), 2),
+                     fmt(100.0 * stamps.at(key), 2),
+                     fmt(100.0 * sim.at(key), 2), fmt(100.0 / kThreads, 2)});
+    }
+    table.print(os);
+
+    os << "max |share - 1/n|: tickets " << fmt(tickets.at("max_dev"), 4)
+       << ", timestamps " << fmt(stamps.at("max_dev"), 4) << ", simulated "
+       << fmt(sim.at("max_dev"), 4) << '\n';
+
+    // On a multicore box the hardware shares should be within a few percent
+    // of uniform; on one core the OS time-slices coarsely, so accept more.
+    // The paper used both recording methods; either one witnessing long-run
+    // fairness reproduces the figure's claim.
+    const double tolerance = hw > 1 ? 0.10 : 0.20;
+    const double best_hw_deviation =
+        std::min(tickets.at("max_dev"), stamps.at("max_dev"));
+    Verdict v;
+    v.reproduced = best_hw_deviation < tolerance;
+    v.detail =
+        "long-run fairness of the recorded schedule (paper's justification "
+        "for the uniform model)";
+    v.summary = {{"best_hw_deviation", best_hw_deviation},
+                 {"sim_deviation", sim.at("max_dev")}};
+    return v;
+  }
+};
+
+const exp::RegisterExperiment reg(std::make_unique<Fig3StepShare>());
+
+}  // namespace

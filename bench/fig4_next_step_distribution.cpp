@@ -8,73 +8,133 @@
 // OS quantum (long self-runs), which the paper's caveat anticipates: the
 // claim is about long-run behaviour, which Figure 3 covers; this figure is
 // reproduced exactly under the simulated scheduler.
-#include <iostream>
 #include <memory>
+#include <ostream>
 #include <thread>
+#include <vector>
 
-#include "bench_common.hpp"
 #include "core/algorithms.hpp"
 #include "core/simulation.hpp"
+#include "exp/registry.hpp"
 #include "sched/recorder.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace pwf;
-  using namespace pwf::sched;
+namespace {
 
-  bench::print_header(
-      "Figure 4: P[next step by p_j | step by p_i]",
-      "Claim: conditioned on any process stepping, the next step is "
-      "approximately uniform across processes.");
-  const unsigned hw = std::thread::hardware_concurrency();
-  constexpr std::size_t kThreads = 4;
-  constexpr std::uint64_t kSteps = 2'000'000;
+using namespace pwf;
+using namespace pwf::sched;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
-  ScheduleStats hw_stats(kThreads);
-  for (int rep = 0; rep < 10; ++rep) {
-    hw_stats.add_schedule(record_schedule_tickets(kThreads, kSteps / 10));
+constexpr std::size_t kThreads = 4;
+constexpr std::uint64_t kSteps = 2'000'000;
+
+Metrics matrix_to_metrics(ScheduleStats& stats) {
+  Metrics m;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    const auto dist = stats.next_distribution(t);
+    for (std::size_t u = 0; u < kThreads; ++u) {
+      m["next_p" + std::to_string(t + 1) + "_p" + std::to_string(u + 1)] =
+          dist[u];
+    }
+  }
+  m["max_dev"] = stats.max_conditional_deviation();
+  return m;
+}
+
+class Fig4NextStepDistribution final : public exp::Experiment {
+ public:
+  std::string name() const override { return "fig4_next_step_distribution"; }
+  std::string artifact() const override {
+    return "Figure 4: P[next step by p_j | step by p_i]";
+  }
+  std::string claim() const override {
+    return "Claim: conditioned on any process stepping, the next step is "
+           "approximately uniform across processes.";
+  }
+  std::uint64_t default_seed() const override { return 2014; }
+  bool exclusive() const override { return true; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    std::vector<Trial> grid(2);
+    grid[0].id = "hardware (ticket method)";
+    grid[0].params = {{"hardware", 1.0}};
+    grid[0].seed = base;
+    grid[1].id = "simulated uniform scheduler";
+    grid[1].params = {{"hardware", 0.0}};
+    grid[1].seed = base;
+    return grid;
   }
 
-  core::Simulation::Options opts;
-  opts.num_registers = core::ParallelCode::registers_required();
-  opts.seed = 2014;
-  bench::print_seed(opts.seed);
-  core::Simulation sim(kThreads, core::ParallelCode::factory(2),
-                       std::make_unique<core::UniformScheduler>(), opts);
-  SimScheduleRecorder recorder(kSteps);
-  sim.set_observer(&recorder);
-  sim.run(kSteps);
-  ScheduleStats sim_stats(kThreads);
-  sim_stats.add_schedule(recorder.order());
-
-  auto print_matrix = [&](const std::string& title, ScheduleStats& stats) {
-    std::cout << "\n" << title << ":\n";
-    std::vector<std::string> header{"given step by"};
-    for (std::size_t u = 0; u < kThreads; ++u) {
-      header.push_back("next p" + std::to_string(u + 1) + " %");
-    }
-    Table table(header);
-    for (std::size_t t = 0; t < kThreads; ++t) {
-      std::vector<std::string> row{"p" + std::to_string(t + 1)};
-      for (double p : stats.next_distribution(t)) {
-        row.push_back(fmt(100.0 * p, 2));
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    ScheduleStats stats(kThreads);
+    if (trial.params.at("hardware") > 0.5) {
+      const int reps = options.quick ? 3 : 10;
+      for (int rep = 0; rep < reps; ++rep) {
+        stats.add_schedule(record_schedule_tickets(
+            kThreads, options.horizon(kSteps / 10, 50'000)));
       }
-      table.add_row(std::move(row));
+    } else {
+      core::Simulation::Options opts;
+      opts.num_registers = core::ParallelCode::registers_required();
+      opts.seed = trial.seed;
+      core::Simulation sim(kThreads, core::ParallelCode::factory(2),
+                           std::make_unique<core::UniformScheduler>(), opts);
+      const std::uint64_t steps = options.horizon(kSteps, 200'000);
+      SimScheduleRecorder recorder(steps);
+      sim.set_observer(&recorder);
+      sim.run(steps);
+      stats.add_schedule(recorder.order());
     }
-    table.print(std::cout);
-    std::cout << "max |P[u|t] - 1/n| = "
-              << fmt(stats.max_conditional_deviation(), 4) << '\n';
-  };
+    return matrix_to_metrics(stats);
+  }
 
-  print_matrix("hardware (ticket method)", hw_stats);
-  print_matrix("simulated uniform scheduler", sim_stats);
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& /*options*/, std::ostream& os) const
+      override {
+    const unsigned hw = std::thread::hardware_concurrency();
+    for (const TrialResult& r : results) {
+      os << "\n" << r.trial.id << ":\n";
+      std::vector<std::string> header{"given step by"};
+      for (std::size_t u = 0; u < kThreads; ++u) {
+        header.push_back("next p" + std::to_string(u + 1) + " %");
+      }
+      Table table(header);
+      for (std::size_t t = 0; t < kThreads; ++t) {
+        std::vector<std::string> row{"p" + std::to_string(t + 1)};
+        for (std::size_t u = 0; u < kThreads; ++u) {
+          row.push_back(
+              fmt(100.0 * r.metrics.at("next_p" + std::to_string(t + 1) +
+                                       "_p" + std::to_string(u + 1)),
+                  2));
+        }
+        table.add_row(std::move(row));
+      }
+      table.print(os);
+      os << "max |P[u|t] - 1/n| = " << fmt(r.metrics.at("max_dev"), 4)
+         << '\n';
+    }
 
-  const bool sim_ok = sim_stats.max_conditional_deviation() < 0.02;
-  const bool hw_ok = hw > 1 ? hw_stats.max_conditional_deviation() < 0.25
-                            : true;  // single core: quantum dominates
-  bench::print_verdict(
-      sim_ok && hw_ok,
-      "local near-uniformity of the schedule (exact in the model; "
-      "approximate on hardware, per the paper's own caveat)");
-  return (sim_ok && hw_ok) ? 0 : 1;
-}
+    const double hw_dev = results.at(0).metrics.at("max_dev");
+    const double sim_dev = results.at(1).metrics.at("max_dev");
+    const bool sim_ok = sim_dev < 0.02;
+    const bool hw_ok = hw > 1 ? hw_dev < 0.25
+                              : true;  // single core: quantum dominates
+    Verdict v;
+    v.reproduced = sim_ok && hw_ok;
+    v.detail =
+        "local near-uniformity of the schedule (exact in the model; "
+        "approximate on hardware, per the paper's own caveat)";
+    v.summary = {{"hw_deviation", hw_dev}, {"sim_deviation", sim_dev}};
+    return v;
+  }
+};
+
+const exp::RegisterExperiment reg(std::make_unique<Fig4NextStepDistribution>());
+
+}  // namespace

@@ -15,96 +15,142 @@
 // prediction without any scaling.
 #include <chrono>
 #include <cmath>
-#include <iostream>
 #include <memory>
+#include <ostream>
 #include <thread>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/algorithms.hpp"
 #include "core/simulation.hpp"
 #include "core/theory.hpp"
+#include "exp/registry.hpp"
 #include "lockfree/counter.hpp"
 #include "lockfree/harness.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-double measured_rate(std::size_t threads) {
+using namespace pwf;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
+
+double measured_rate(std::size_t threads, const RunOptions& options) {
   pwf::lockfree::CasCounter counter;
   const auto result = pwf::lockfree::run_throughput(
-      threads, std::chrono::milliseconds(250),
+      threads, std::chrono::milliseconds(options.quick ? 100 : 250),
       [&](std::size_t) { return counter.fetch_inc().steps; });
   return result.completion_rate();
 }
 
-double simulated_rate(std::size_t n, std::uint64_t seed) {
+double simulated_rate(std::size_t n, std::uint64_t seed,
+                      const RunOptions& options) {
   pwf::core::Simulation::Options opts;
   opts.num_registers = pwf::core::FetchAndIncrement::registers_required();
   opts.seed = seed;
   pwf::core::Simulation sim(n, pwf::core::FetchAndIncrement::factory(),
                             std::make_unique<pwf::core::UniformScheduler>(),
                             opts);
-  sim.run(100'000);
+  sim.run(options.horizon(100'000, 20'000));
   sim.reset_stats();
-  sim.run(1'000'000);
+  sim.run(options.horizon(1'000'000, 150'000));
   return sim.report().completion_rate();
 }
 
-}  // namespace
-
-int main() {
-  using namespace pwf;
-
-  bench::print_header(
-      "Figure 5: completion rate of the CAS counter vs. thread count",
-      "Claim: the measured rate tracks the Theta(1/sqrt n) prediction of "
-      "the uniform stochastic model and sits far above the 1/n worst case.");
-  const unsigned hw = std::thread::hardware_concurrency();
-  std::cout << "hardware threads available: " << hw << "\n";
-  bench::print_seed(77);
-
-  const std::vector<std::size_t> thread_counts{1, 2, 3, 4, 6, 8};
-  std::vector<double> measured, simulated, predicted, worst;
-  for (std::size_t n : thread_counts) {
-    measured.push_back(measured_rate(n));
-    simulated.push_back(simulated_rate(n, 77 + n));
-    predicted.push_back(core::theory::fai_completion_rate_predicted(n));
-    worst.push_back(core::theory::fai_completion_rate_worst_case(n));
+class Fig5CompletionRate final : public exp::Experiment {
+ public:
+  std::string name() const override { return "fig5_completion_rate"; }
+  std::string artifact() const override {
+    return "Figure 5: completion rate of the CAS counter vs. thread count";
   }
-  // Scale the prediction to the first hardware data point (paper: "we
-  // scaled the prediction to the first data point").
-  const double scale = measured[0] / predicted[0];
-
-  Table table({"threads", "measured", "prediction (scaled)",
-               "simulated (model)", "prediction 1/Z(n-1)", "worst case 1/n"});
-  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
-    table.add_row({fmt(thread_counts[i]), fmt(measured[i], 4),
-                   fmt(scale * predicted[i], 4), fmt(simulated[i], 4),
-                   fmt(predicted[i], 4), fmt(worst[i], 4)});
+  std::string claim() const override {
+    return "Claim: the measured rate tracks the Theta(1/sqrt n) prediction "
+           "of the uniform stochastic model and sits far above the 1/n "
+           "worst case.";
   }
-  table.print(std::cout);
+  std::uint64_t default_seed() const override { return 77; }
+  bool exclusive() const override { return true; }
 
-  // Shape checks.
-  bool model_exact = true;
-  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
-    if (std::abs(simulated[i] - predicted[i]) > 0.05 * predicted[i]) {
-      model_exact = false;
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    std::vector<Trial> grid;
+    for (std::size_t n : {1, 2, 3, 4, 6, 8}) {
+      Trial t;
+      t.id = "threads=" + fmt(n);
+      t.params = {{"n", static_cast<double>(n)}};
+      t.seed = base + n;
+      grid.push_back(std::move(t));
     }
+    return grid;
   }
-  // Hardware: rate decreases with n and beats the worst case clearly for
-  // larger n. (On one core, contention is serialized by the OS, so the
-  // curve is flatter; the dominance over 1/n is the robust shape.)
-  bool decreasing_or_flat = true;
-  for (std::size_t i = 1; i < measured.size(); ++i) {
-    if (measured[i] > measured[i - 1] * 1.15) decreasing_or_flat = false;
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    const auto n = static_cast<std::size_t>(trial.params.at("n"));
+    return {{"measured", measured_rate(n, options)},
+            {"simulated", simulated_rate(n, trial.seed, options)}};
   }
-  const bool beats_worst_case =
-      measured.back() > 1.5 * worst.back();
-  const bool reproduced = model_exact && decreasing_or_flat && beats_worst_case;
-  bench::print_verdict(
-      reproduced,
-      "simulated rate matches 1/Z(n-1) exactly; hardware rate decays "
-      "gently and dominates the 1/n worst case, as in the paper's Figure 5");
-  return reproduced ? 0 : 1;
-}
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& /*options*/, std::ostream& os) const
+      override {
+    const unsigned hw = std::thread::hardware_concurrency();
+    os << "hardware threads available: " << hw << "\n";
+
+    std::vector<double> measured, simulated, predicted, worst;
+    std::vector<std::size_t> thread_counts;
+    for (const TrialResult& r : results) {
+      const auto n = static_cast<std::size_t>(r.trial.params.at("n"));
+      thread_counts.push_back(n);
+      measured.push_back(r.metrics.at("measured"));
+      simulated.push_back(r.metrics.at("simulated"));
+      predicted.push_back(core::theory::fai_completion_rate_predicted(n));
+      worst.push_back(core::theory::fai_completion_rate_worst_case(n));
+    }
+    // Scale the prediction to the first hardware data point (paper: "we
+    // scaled the prediction to the first data point").
+    const double scale = measured[0] / predicted[0];
+
+    Table table({"threads", "measured", "prediction (scaled)",
+                 "simulated (model)", "prediction 1/Z(n-1)",
+                 "worst case 1/n"});
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      table.add_row({fmt(thread_counts[i]), fmt(measured[i], 4),
+                     fmt(scale * predicted[i], 4), fmt(simulated[i], 4),
+                     fmt(predicted[i], 4), fmt(worst[i], 4)});
+    }
+    table.print(os);
+
+    // Shape checks.
+    bool model_exact = true;
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      if (std::abs(simulated[i] - predicted[i]) > 0.05 * predicted[i]) {
+        model_exact = false;
+      }
+    }
+    // Hardware: rate decreases with n and beats the worst case clearly for
+    // larger n. (On one core, contention is serialized by the OS, so the
+    // curve is flatter; the dominance over 1/n is the robust shape.)
+    bool decreasing_or_flat = true;
+    for (std::size_t i = 1; i < measured.size(); ++i) {
+      if (measured[i] > measured[i - 1] * 1.15) decreasing_or_flat = false;
+    }
+    const bool beats_worst_case = measured.back() > 1.5 * worst.back();
+
+    Verdict v;
+    v.reproduced = model_exact && decreasing_or_flat && beats_worst_case;
+    v.detail =
+        "simulated rate matches 1/Z(n-1) exactly; hardware rate decays "
+        "gently and dominates the 1/n worst case, as in the paper's "
+        "Figure 5";
+    v.summary = {{"model_exact", model_exact ? 1.0 : 0.0},
+                 {"beats_worst_case", beats_worst_case ? 1.0 : 0.0}};
+    return v;
+  }
+};
+
+const exp::RegisterExperiment reg(std::make_unique<Fig5CompletionRate>());
+
+}  // namespace

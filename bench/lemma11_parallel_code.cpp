@@ -5,13 +5,14 @@
 // Sweep over (n, q): exact chain values, simulated values, and closed
 // forms side by side.
 #include <cmath>
-#include <iostream>
 #include <memory>
+#include <ostream>
+#include <vector>
 
-#include "bench_common.hpp"
 #include "core/algorithms.hpp"
 #include "core/simulation.hpp"
 #include "core/theory.hpp"
+#include "exp/registry.hpp"
 #include "markov/builders.hpp"
 #include "util/table.hpp"
 
@@ -19,55 +20,90 @@ namespace {
 
 using namespace pwf;
 using namespace pwf::core;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
-struct Result {
-  double w;
-  double wi_worst;
-};
+class Lemma11ParallelCode final : public exp::Experiment {
+ public:
+  std::string name() const override { return "lemma11_parallel_code"; }
+  std::string artifact() const override {
+    return "Lemma 11: parallel code has W = q and W_i = n*q exactly";
+  }
+  std::string claim() const override {
+    return "Claim: with no contention the lifting gives exact latencies, "
+           "the baseline against which the sqrt(n) contention factor is "
+           "visible.";
+  }
+  std::uint64_t default_seed() const override { return 3; }
 
-Result simulate(std::size_t n, std::size_t q, std::uint64_t seed) {
-  Simulation::Options opts;
-  opts.num_registers = ParallelCode::registers_required();
-  opts.seed = seed;
-  Simulation sim(n, ParallelCode::factory(q),
-                 std::make_unique<UniformScheduler>(), opts);
-  sim.run(100'000);
-  sim.reset_stats();
-  sim.run(1'000'000);
-  return {sim.report().system_latency(),
-          sim.report().max_individual_latency()};
-}
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    std::vector<Trial> grid;
+    for (std::size_t n : {2, 4, 8}) {
+      for (std::size_t q : {1, 3, 8}) {
+        Trial t;
+        t.id = "n=" + fmt(n) + " q=" + fmt(q);
+        t.params = {{"n", static_cast<double>(n)},
+                    {"q", static_cast<double>(q)}};
+        t.seed = base + 13 * n + q;
+        grid.push_back(std::move(t));
+      }
+    }
+    (void)options;
+    return grid;
+  }
 
-}  // namespace
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    const auto n = static_cast<std::size_t>(trial.params.at("n"));
+    const auto q = static_cast<std::size_t>(trial.params.at("q"));
+    Simulation::Options opts;
+    opts.num_registers = ParallelCode::registers_required();
+    opts.seed = trial.seed;
+    Simulation sim(n, ParallelCode::factory(q),
+                   std::make_unique<UniformScheduler>(), opts);
+    sim.run(options.horizon(100'000, 20'000));
+    sim.reset_stats();
+    sim.run(options.horizon(1'000'000, 250'000));
+    return {{"w_chain", markov::system_latency(
+                            markov::build_parallel_system_chain(n, q))},
+            {"w_sim", sim.report().system_latency()},
+            {"wi_worst", sim.report().max_individual_latency()}};
+  }
 
-int main() {
-  bench::print_header(
-      "Lemma 11: parallel code has W = q and W_i = n*q exactly",
-      "Claim: with no contention the lifting gives exact latencies, the "
-      "baseline against which the sqrt(n) contention factor is visible.");
-  bench::print_seed(3);
-
-  Table table({"n", "q", "W exact chain", "W simulated", "W predicted",
-               "max W_i simulated", "W_i predicted"});
-  bool reproduced = true;
-  for (std::size_t n : {2, 4, 8}) {
-    for (std::size_t q : {1, 3, 8}) {
-      const double w_chain =
-          markov::system_latency(markov::build_parallel_system_chain(n, q));
-      const Result r = simulate(n, q, 3 + 13 * n + q);
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& /*options*/, std::ostream& os) const
+      override {
+    Table table({"n", "q", "W exact chain", "W simulated", "W predicted",
+                 "max W_i simulated", "W_i predicted"});
+    bool reproduced = true;
+    for (const TrialResult& r : results) {
+      const auto n = static_cast<std::size_t>(r.trial.params.at("n"));
+      const auto q = static_cast<std::size_t>(r.trial.params.at("q"));
+      const Metrics& m = r.metrics;
       const double w_pred = theory::parallel_system_latency(q);
       const double wi_pred = theory::parallel_individual_latency(n, q);
-      table.add_row({fmt(n), fmt(q), fmt(w_chain, 4), fmt(r.w, 4),
-                     fmt(w_pred, 1), fmt(r.wi_worst, 2), fmt(wi_pred, 1)});
-      reproduced = reproduced && std::abs(w_chain - w_pred) < 1e-6 &&
-                   std::abs(r.w - w_pred) < 0.02 * w_pred &&
-                   std::abs(r.wi_worst - wi_pred) < 0.10 * wi_pred;
+      table.add_row({fmt(n), fmt(q), fmt(m.at("w_chain"), 4),
+                     fmt(m.at("w_sim"), 4), fmt(w_pred, 1),
+                     fmt(m.at("wi_worst"), 2), fmt(wi_pred, 1)});
+      reproduced = reproduced && std::abs(m.at("w_chain") - w_pred) < 1e-6 &&
+                   std::abs(m.at("w_sim") - w_pred) < 0.02 * w_pred &&
+                   std::abs(m.at("wi_worst") - wi_pred) < 0.10 * wi_pred;
     }
-  }
-  table.print(std::cout);
+    table.print(os);
 
-  bench::print_verdict(reproduced,
-                       "W = q and W_i = n*q hold exactly in the chain and "
-                       "within noise in simulation");
-  return reproduced ? 0 : 1;
-}
+    Verdict v;
+    v.reproduced = reproduced;
+    v.detail =
+        "W = q and W_i = n*q hold exactly in the chain and within noise in "
+        "simulation";
+    return v;
+  }
+};
+
+const exp::RegisterExperiment reg(std::make_unique<Lemma11ParallelCode>());
+
+}  // namespace

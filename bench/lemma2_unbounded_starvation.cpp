@@ -7,85 +7,127 @@
 // and seeds; report the share of completions taken by the single dominant
 // process and how many processes are starving at the end. Contrast with
 // bounded scan-validate under identical conditions.
-#include <iostream>
+#include <algorithm>
 #include <memory>
+#include <ostream>
+#include <vector>
 
-#include "bench_common.hpp"
 #include "core/algorithms.hpp"
 #include "core/progress.hpp"
 #include "core/simulation.hpp"
+#include "exp/registry.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace pwf;
 using namespace pwf::core;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
-struct Outcome {
-  double winner_share = 0.0;
-  std::size_t starving = 0;
-  std::uint64_t total = 0;
+class Lemma2UnboundedStarvation final : public exp::Experiment {
+ public:
+  std::string name() const override { return "lemma2_unbounded_starvation"; }
+  std::string artifact() const override {
+    return "Lemma 2: an unbounded lock-free algorithm is not practically "
+           "wait-free";
+  }
+  std::string claim() const override {
+    return "Claim: under the uniform scheduler, Algorithm 1's penalty loops "
+           "grow without bound, so one process monopolizes progress w.h.p.; "
+           "the bounded scan-validate control shares progress fairly.";
+  }
+  std::uint64_t default_seed() const override { return 42; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    std::vector<Trial> grid;
+    for (std::size_t n : {4, 8, 16}) {
+      for (int unbounded : {1, 0}) {
+        Trial t;
+        t.id = std::string(unbounded ? "Algorithm 1" : "scan-validate") +
+               " n=" + fmt(n);
+        t.params = {{"n", static_cast<double>(n)},
+                    {"unbounded", static_cast<double>(unbounded)}};
+        t.seed = base + n;
+        grid.push_back(std::move(t));
+      }
+    }
+    (void)options;
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    const auto n = static_cast<std::size_t>(trial.params.at("n"));
+    const bool unbounded = exp::flag(trial.params.at("unbounded"));
+    // Quick mode keeps steps/4 (not /10): Algorithm 1's monopolist needs
+    // time to pull ahead before the winner-share check is meaningful.
+    const std::uint64_t steps = options.horizon(3'000'000, 750'000);
+    Simulation::Options opts;
+    opts.num_registers = unbounded ? UnboundedLockFree::registers_required()
+                                   : ScuAlgorithm::registers_required(n, 1);
+    opts.seed = trial.seed;
+    Simulation sim(n,
+                   unbounded ? UnboundedLockFree::factory()
+                             : scan_validate_factory(),
+                   std::make_unique<UniformScheduler>(), opts);
+    ProgressTracker tracker(n);
+    sim.set_observer(&tracker);
+    sim.run(steps);
+
+    std::uint64_t total = 0, best = 0;
+    for (std::size_t p = 0; p < n; ++p) {
+      total += tracker.completions(p);
+      best = std::max(best, tracker.completions(p));
+    }
+    return {{"total", static_cast<double>(total)},
+            {"winner_share",
+             total ? static_cast<double>(best) / static_cast<double>(total)
+                   : 0.0},
+            {"starving", static_cast<double>(tracker.starving(steps / 2)
+                                                 .size())}};
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& /*options*/, std::ostream& os) const
+      override {
+    Table table({"n", "algorithm", "completions", "winner share %",
+                 "starving processes"});
+    bool reproduced = true;
+    for (const TrialResult& r : results) {
+      const auto n = static_cast<std::size_t>(r.trial.params.at("n"));
+      const bool unbounded = exp::flag(r.trial.params.at("unbounded"));
+      const Metrics& m = r.metrics;
+      table.add_row({fmt(n),
+                     unbounded ? "Algorithm 1 (unbounded)"
+                               : "scan-validate (bounded)",
+                     fmt(m.at("total"), 0),
+                     fmt(100.0 * m.at("winner_share"), 1),
+                     fmt(m.at("starving"), 0) + " of " + fmt(n)});
+      if (unbounded) {
+        reproduced = reproduced && m.at("winner_share") > 0.9 &&
+                     m.at("starving") >= static_cast<double>(n - 2);
+      } else {
+        reproduced = reproduced && m.at("starving") < 0.5 &&
+                     m.at("winner_share") < 2.5 / static_cast<double>(n);
+      }
+    }
+    table.print(os);
+
+    Verdict v;
+    v.reproduced = reproduced;
+    v.detail =
+        "Algorithm 1: one winner, everyone else starves (minimal progress "
+        "only); the bounded control gives everyone ~1/n of completions";
+    return v;
+  }
 };
 
-Outcome run(const StepMachineFactory& factory, std::size_t registers,
-            std::size_t n, std::uint64_t steps, std::uint64_t seed) {
-  Simulation::Options opts;
-  opts.num_registers = registers;
-  opts.seed = seed;
-  Simulation sim(n, factory, std::make_unique<UniformScheduler>(), opts);
-  ProgressTracker tracker(n);
-  sim.set_observer(&tracker);
-  sim.run(steps);
-  Outcome out;
-  std::uint64_t best = 0;
-  for (std::size_t p = 0; p < n; ++p) {
-    out.total += tracker.completions(p);
-    best = std::max(best, tracker.completions(p));
-  }
-  out.winner_share =
-      out.total ? static_cast<double>(best) / static_cast<double>(out.total)
-                : 0.0;
-  out.starving = tracker.starving(steps / 2).size();
-  return out;
-}
+const exp::RegisterExperiment reg(
+    std::make_unique<Lemma2UnboundedStarvation>());
 
 }  // namespace
-
-int main() {
-  bench::print_header(
-      "Lemma 2: an unbounded lock-free algorithm is not practically "
-      "wait-free",
-      "Claim: under the uniform scheduler, Algorithm 1's penalty loops grow "
-      "without bound, so one process monopolizes progress w.h.p.; the "
-      "bounded scan-validate control shares progress fairly.");
-  constexpr std::uint64_t kSteps = 3'000'000;
-  bench::print_seed(42);
-
-  Table table({"n", "algorithm", "completions", "winner share %",
-               "starving processes"});
-  bool reproduced = true;
-  for (std::size_t n : {4, 8, 16}) {
-    const Outcome unbounded =
-        run(UnboundedLockFree::factory(),
-            UnboundedLockFree::registers_required(), n, kSteps, 42 + n);
-    const Outcome bounded =
-        run(scan_validate_factory(), ScuAlgorithm::registers_required(n, 1), n,
-            kSteps, 42 + n);
-    table.add_row({fmt(n), "Algorithm 1 (unbounded)", fmt(unbounded.total),
-                   fmt(100.0 * unbounded.winner_share, 1),
-                   fmt(unbounded.starving) + " of " + fmt(n)});
-    table.add_row({fmt(n), "scan-validate (bounded)", fmt(bounded.total),
-                   fmt(100.0 * bounded.winner_share, 1),
-                   fmt(bounded.starving) + " of " + fmt(n)});
-    reproduced = reproduced && unbounded.winner_share > 0.9 &&
-                 unbounded.starving >= n - 2 && bounded.starving == 0 &&
-                 bounded.winner_share < 2.5 / static_cast<double>(n);
-  }
-  table.print(std::cout);
-
-  bench::print_verdict(
-      reproduced,
-      "Algorithm 1: one winner, everyone else starves (minimal progress "
-      "only); the bounded control gives everyone ~1/n of completions");
-  return reproduced ? 0 : 1;
-}

@@ -9,27 +9,53 @@
 // The punchline is the paper's: under the stochastic scheduler EVERY rung
 // is practically wait-free, and the guarantees only separate on schedules
 // real systems do not produce.
-#include <iostream>
 #include <memory>
+#include <ostream>
+#include <span>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/algorithms.hpp"
 #include "core/helping.hpp"
 #include "core/progress.hpp"
 #include "core/progress_zoo.hpp"
 #include "core/simulation.hpp"
+#include "exp/registry.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace pwf;
 using namespace pwf::core;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
 constexpr std::size_t kN = 4;
-constexpr std::uint64_t kSteps = 1'500'000;
 
+enum class Alg { kSpinlock, kObstruction, kLockFree, kWaitFree };
 enum class Sched { kUniform, kLockStep, kStarver, kUniformWithCrash };
+
+const char* alg_name(Alg a) {
+  switch (a) {
+    case Alg::kSpinlock: return "blocking spinlock (deadlock-free)";
+    case Alg::kObstruction: return "obstruction-free claim pair";
+    case Alg::kLockFree: return "lock-free scan-validate";
+    case Alg::kWaitFree: return "wait-free helped universal";
+  }
+  return "?";
+}
+
+const char* sched_name(Sched s) {
+  switch (s) {
+    case Sched::kUniform: return "uniform stochastic";
+    case Sched::kLockStep: return "lock-step";
+    case Sched::kStarver: return "starving adversary";
+    case Sched::kUniformWithCrash: return "uniform + crash";
+  }
+  return "?";
+}
 
 std::unique_ptr<Scheduler> make_sched(Sched which) {
   switch (which) {
@@ -50,44 +76,21 @@ std::unique_ptr<Scheduler> make_sched(Sched which) {
   return nullptr;
 }
 
-struct Cell {
-  std::uint64_t completions = 0;
-  bool everyone = false;
-};
-
-Cell summarize(Simulation& sim, const ProgressTracker& tracker,
-               std::size_t crashed) {
-  Cell cell;
-  cell.completions = sim.report().completions;
-  cell.everyone = true;
+Metrics summarize(Simulation& sim, const ProgressTracker& tracker,
+                  std::size_t crashed) {
+  bool everyone = true;
   for (std::size_t p = 0; p < kN; ++p) {
     if (p == crashed) continue;
-    if (tracker.completions(p) == 0) cell.everyone = false;
+    if (tracker.completions(p) == 0) everyone = false;
   }
-  return cell;
+  return {{"completions", static_cast<double>(sim.report().completions)},
+          {"everyone", everyone ? 1.0 : 0.0}};
 }
 
-Cell run(const StepMachineFactory& factory, std::size_t regs, Sched which,
-         std::uint64_t seed) {
-  Simulation::Options opts;
-  opts.num_registers = regs;
-  opts.seed = seed;
-  Simulation sim(kN, factory, make_sched(which), opts);
-  std::size_t crashed = kN;  // none
-  if (which == Sched::kUniformWithCrash) {
-    sim.schedule_crash(1'000, 0);  // crash an arbitrary process early
-    crashed = 0;
-  }
-  ProgressTracker tracker(kN);
-  sim.set_observer(&tracker);
-  sim.run(kSteps);
-  return summarize(sim, tracker, crashed);
-}
-
-// The crash column for the *blocking* algorithm must kill the process at
+// The crash cell for the *blocking* algorithm must kill the process at
 // its most inconvenient moment — while it holds the lock — which requires
 // inspecting the machines.
-Cell run_spinlock_holder_crash(std::uint64_t seed) {
+Metrics run_spinlock_holder_crash(std::uint64_t seed, std::uint64_t steps) {
   std::vector<const SpinlockCounter*> machines;
   Simulation::Options opts;
   opts.num_registers = SpinlockCounter::registers_required();
@@ -108,97 +111,178 @@ Cell run_spinlock_holder_crash(std::uint64_t seed) {
     }
   }
   sim.schedule_crash(sim.now(), holder);
-  sim.run(kSteps);
+  sim.run(steps);
   return summarize(sim, tracker, holder);
 }
 
-std::string describe(const Cell& cell) {
-  if (cell.completions == 0) return "HALTED (0 ops)";
-  if (!cell.everyone) {
-    return "starvation (" + fmt(cell.completions) + " ops)";
+class ProgressHierarchy final : public exp::Experiment {
+ public:
+  std::string name() const override { return "progress_hierarchy"; }
+  std::string artifact() const override {
+    return "Section 2.2: the progress hierarchy under separating schedules";
   }
-  return "all progress (" + fmt(cell.completions) + " ops)";
-}
+  std::string claim() const override {
+    return "Blocking < obstruction-free < lock-free < wait-free — and the "
+           "uniform stochastic scheduler erases the differences in "
+           "practice.";
+  }
+  std::uint64_t default_seed() const override { return 77; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    std::vector<Trial> grid;
+    for (int a = 0; a < 4; ++a) {
+      for (int s = 0; s < 4; ++s) {
+        Trial t;
+        t.id = std::string(alg_name(static_cast<Alg>(a))) + " / " +
+               sched_name(static_cast<Sched>(s));
+        t.params = {{"alg", static_cast<double>(a)},
+                    {"sched", static_cast<double>(s)}};
+        t.seed = base;
+        grid.push_back(std::move(t));
+      }
+    }
+    (void)options;
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    const auto alg = static_cast<Alg>(
+        static_cast<int>(trial.params.at("alg")));
+    const auto sched = static_cast<Sched>(
+        static_cast<int>(trial.params.at("sched")));
+    const std::uint64_t steps = options.horizon(1'500'000, 300'000);
+
+    if (alg == Alg::kSpinlock && sched == Sched::kUniformWithCrash) {
+      return run_spinlock_holder_crash(trial.seed, steps);
+    }
+
+    StepMachineFactory factory;
+    std::size_t regs = 0;
+    switch (alg) {
+      case Alg::kSpinlock:
+        factory = SpinlockCounter::factory();
+        regs = SpinlockCounter::registers_required();
+        break;
+      case Alg::kObstruction:
+        factory = ObstructionPair::factory();
+        regs = ObstructionPair::registers_required();
+        break;
+      case Alg::kLockFree:
+        factory = scan_validate_factory();
+        regs = ScuAlgorithm::registers_required(kN, 1);
+        break;
+      case Alg::kWaitFree:
+        factory = HelpedUniversal::factory(400'000);
+        regs = HelpedUniversal::registers_required(kN, 400'000);
+        break;
+    }
+    Simulation::Options opts;
+    opts.num_registers = regs;
+    opts.seed = trial.seed;
+    Simulation sim(kN, factory, make_sched(sched), opts);
+    std::size_t crashed = kN;  // none
+    if (sched == Sched::kUniformWithCrash) {
+      sim.schedule_crash(1'000, 0);  // crash an arbitrary process early
+      crashed = 0;
+    }
+    ProgressTracker tracker(kN);
+    sim.set_observer(&tracker);
+    sim.run(steps);
+    return summarize(sim, tracker, crashed);
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& options, std::ostream& os) const override {
+    os << "n = " << kN << ", horizon = "
+       << options.horizon(1'500'000, 300'000)
+       << " steps; crash column kills one process at step 1000\n\n";
+
+    auto cell = [&](Alg a, Sched s) -> const Metrics& {
+      for (const TrialResult& r : results) {
+        if (static_cast<int>(r.trial.params.at("alg")) ==
+                static_cast<int>(a) &&
+            static_cast<int>(r.trial.params.at("sched")) ==
+                static_cast<int>(s)) {
+          return r.metrics;
+        }
+      }
+      throw std::logic_error("progress_hierarchy: missing trial");
+    };
+    auto describe = [](const Metrics& m) -> std::string {
+      if (m.at("completions") < 0.5) return "HALTED (0 ops)";
+      if (!exp::flag(m.at("everyone"))) {
+        return "starvation (" + fmt(m.at("completions"), 0) + " ops)";
+      }
+      return "all progress (" + fmt(m.at("completions"), 0) + " ops)";
+    };
+
+    Table table({"algorithm", "uniform stochastic", "lock-step",
+                 "starving adversary", "uniform + crash"});
+    for (int a = 0; a < 4; ++a) {
+      const Alg alg = static_cast<Alg>(a);
+      table.add_row({alg_name(alg), describe(cell(alg, Sched::kUniform)),
+                     describe(cell(alg, Sched::kLockStep)),
+                     describe(cell(alg, Sched::kStarver)),
+                     describe(cell(alg, Sched::kUniformWithCrash))});
+    }
+    table.print(os);
+
+    auto everyone = [&](Alg a, Sched s) {
+      return exp::flag(cell(a, s).at("everyone"));
+    };
+    auto completions = [&](Alg a, Sched s) {
+      return cell(a, s).at("completions");
+    };
+
+    // The separations the theory predicts.
+    const bool uniform_all_good =
+        everyone(Alg::kSpinlock, Sched::kUniform) &&
+        everyone(Alg::kObstruction, Sched::kUniform) &&
+        everyone(Alg::kLockFree, Sched::kUniform) &&
+        everyone(Alg::kWaitFree, Sched::kUniform);
+    const bool of_livelocks_lockstep =
+        completions(Alg::kObstruction, Sched::kLockStep) <
+        completions(Alg::kLockFree, Sched::kLockStep) / 100;
+    const bool lf_survives_lockstep =
+        completions(Alg::kLockFree, Sched::kLockStep) >
+        (options.quick ? 2'000 : 10'000);
+    const bool lf_starved = !everyone(Alg::kLockFree, Sched::kStarver);
+    const bool wf_survives_starver =
+        everyone(Alg::kWaitFree, Sched::kStarver);
+    const bool blocking_halts_on_crash =
+        completions(Alg::kSpinlock, Sched::kUniformWithCrash) <
+        completions(Alg::kLockFree, Sched::kUniformWithCrash) / 100;
+    const bool nonblocking_survive_crash =
+        everyone(Alg::kObstruction, Sched::kUniformWithCrash) &&
+        everyone(Alg::kLockFree, Sched::kUniformWithCrash) &&
+        everyone(Alg::kWaitFree, Sched::kUniformWithCrash);
+
+    os << "\nseparations observed:\n"
+       << "  OF livelocks under lock-step, LF does not:        "
+       << (of_livelocks_lockstep && lf_survives_lockstep ? "yes" : "NO")
+       << "\n  LF starves under the adversary, WF does not:      "
+       << (lf_starved && wf_survives_starver ? "yes" : "NO")
+       << "\n  blocking halts after a crash, non-blocking don't: "
+       << (blocking_halts_on_crash && nonblocking_survive_crash ? "yes"
+                                                                : "NO")
+       << "\n  uniform stochastic: every rung fully progresses:  "
+       << (uniform_all_good ? "yes" : "NO") << "\n";
+
+    Verdict v;
+    v.reproduced = uniform_all_good && of_livelocks_lockstep &&
+                   lf_survives_lockstep && lf_starved &&
+                   wf_survives_starver && blocking_halts_on_crash &&
+                   nonblocking_survive_crash;
+    v.detail =
+        "the hierarchy separates exactly on the pathological schedules and "
+        "collapses to 'practically wait-free' under the stochastic one — "
+        "the paper's thesis, extended across all of Section 2.2";
+    return v;
+  }
+};
+
+const exp::RegisterExperiment reg(std::make_unique<ProgressHierarchy>());
 
 }  // namespace
-
-int main() {
-  bench::print_header(
-      "Section 2.2: the progress hierarchy under separating schedules",
-      "Blocking < obstruction-free < lock-free < wait-free — and the "
-      "uniform stochastic scheduler erases the differences in practice.");
-  bench::print_seed(77);
-  std::cout << "n = " << kN << ", horizon = " << kSteps
-            << " steps; crash column kills one process at step 1000\n\n";
-
-  struct Row {
-    std::string name;
-    StepMachineFactory factory;
-    std::size_t regs;
-  };
-  const std::vector<Row> rows = {
-      {"blocking spinlock (deadlock-free)", SpinlockCounter::factory(),
-       SpinlockCounter::registers_required()},
-      {"obstruction-free claim pair", ObstructionPair::factory(),
-       ObstructionPair::registers_required()},
-      {"lock-free scan-validate", scan_validate_factory(),
-       ScuAlgorithm::registers_required(kN, 1)},
-      {"wait-free helped universal", HelpedUniversal::factory(400'000),
-       HelpedUniversal::registers_required(kN, 400'000)},
-  };
-
-  Table table({"algorithm", "uniform stochastic", "lock-step",
-               "starving adversary", "uniform + crash"});
-  std::vector<std::vector<Cell>> cells;
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    const Row& row = rows[r];
-    std::vector<Cell> line;
-    line.push_back(run(row.factory, row.regs, Sched::kUniform, 77));
-    line.push_back(run(row.factory, row.regs, Sched::kLockStep, 77));
-    line.push_back(run(row.factory, row.regs, Sched::kStarver, 77));
-    // For the blocking row, the crash must hit the lock holder.
-    line.push_back(r == 0 ? run_spinlock_holder_crash(77)
-                          : run(row.factory, row.regs,
-                                Sched::kUniformWithCrash, 77));
-    table.add_row({row.name, describe(line[0]), describe(line[1]),
-                   describe(line[2]), describe(line[3])});
-    cells.push_back(std::move(line));
-  }
-  table.print(std::cout);
-
-  // The separations the theory predicts.
-  const bool uniform_all_good =
-      cells[0][0].everyone && cells[1][0].everyone && cells[2][0].everyone &&
-      cells[3][0].everyone;
-  const bool of_livelocks_lockstep =
-      cells[1][1].completions < cells[2][1].completions / 100;
-  const bool lf_survives_lockstep = cells[2][1].completions > 10'000;
-  const bool lf_starved = !cells[2][2].everyone;
-  const bool wf_survives_starver = cells[3][2].everyone;
-  const bool blocking_halts_on_crash = cells[0][3].completions <
-                                       cells[2][3].completions / 100;
-  const bool nonblocking_survive_crash =
-      cells[1][3].everyone && cells[2][3].everyone && cells[3][3].everyone;
-
-  std::cout << "\nseparations observed:\n"
-            << "  OF livelocks under lock-step, LF does not:        "
-            << (of_livelocks_lockstep && lf_survives_lockstep ? "yes" : "NO")
-            << "\n  LF starves under the adversary, WF does not:      "
-            << (lf_starved && wf_survives_starver ? "yes" : "NO")
-            << "\n  blocking halts after a crash, non-blocking don't: "
-            << (blocking_halts_on_crash && nonblocking_survive_crash ? "yes"
-                                                                     : "NO")
-            << "\n  uniform stochastic: every rung fully progresses:  "
-            << (uniform_all_good ? "yes" : "NO") << "\n";
-
-  const bool reproduced = uniform_all_good && of_livelocks_lockstep &&
-                          lf_survives_lockstep && lf_starved &&
-                          wf_survives_starver && blocking_halts_on_crash &&
-                          nonblocking_survive_crash;
-  bench::print_verdict(reproduced,
-                       "the hierarchy separates exactly on the pathological "
-                       "schedules and collapses to 'practically wait-free' "
-                       "under the stochastic one — the paper's thesis, "
-                       "extended across all of Section 2.2");
-  return reproduced ? 0 : 1;
-}

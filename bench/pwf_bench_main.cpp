@@ -1,0 +1,185 @@
+// pwf_bench — the unified experiment driver. Replaces the per-bench
+// binaries: every experiment registers itself with exp::Registry and this
+// driver selects, runs (in parallel where safe), prints, and serializes
+// them.
+//
+//   pwf_bench --list                 enumerate experiments
+//   pwf_bench --filter thm4,fig5     substring selection (comma-separated)
+//   pwf_bench --seed 123             override every experiment's base seed
+//   pwf_bench --quick                CI-sized grids and horizons
+//   pwf_bench --threads 8            trial-pool width (0 = hardware)
+//   pwf_bench --trials 3             repetitions per grid point (averaged)
+//   pwf_bench --json out.json        structured results (schema
+//                                    pwf-bench-results/1)
+//
+// Exit status is the regression signal scripts/reproduce.sh keys on:
+// 0 iff every selected experiment's SHAPE verdict is REPRODUCED.
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/registry.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
+
+namespace {
+
+using namespace pwf;
+
+void print_usage(std::ostream& os) {
+  os << "usage: pwf_bench [options]\n"
+        "  --list            list registered experiments and exit\n"
+        "  --filter NAMES    run experiments whose name contains any of\n"
+        "                    the comma-separated substrings (default: all)\n"
+        "  --seed N          override every experiment's base seed\n"
+        "  --quick           reduced grids/horizons (CI mode)\n"
+        "  --threads N       trial worker threads (0 = hardware, default)\n"
+        "  --trials N        repetitions per grid point, averaged "
+        "(default 1)\n"
+        "  --json PATH       write structured results to PATH\n"
+        "  --help            this message\n";
+}
+
+struct Args {
+  exp::RunOptions options;
+  std::string filter;
+  std::string json_path;
+  bool list = false;
+  bool help = false;
+};
+
+bool parse_args(int argc, char** argv, Args& args, std::string& error) {
+  auto need_value = [&](int& i, const std::string& flag) -> const char* {
+    if (i + 1 >= argc) {
+      error = flag + " requires a value";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--list") {
+        args.list = true;
+      } else if (arg == "--help" || arg == "-h") {
+        args.help = true;
+      } else if (arg == "--quick") {
+        args.options.quick = true;
+      } else if (arg == "--filter") {
+        const char* v = need_value(i, arg);
+        if (!v) return false;
+        args.filter = v;
+      } else if (arg == "--seed") {
+        const char* v = need_value(i, arg);
+        if (!v) return false;
+        args.options.seed_override = std::stoull(v);
+      } else if (arg == "--threads") {
+        const char* v = need_value(i, arg);
+        if (!v) return false;
+        args.options.threads = static_cast<unsigned>(std::stoul(v));
+      } else if (arg == "--trials") {
+        const char* v = need_value(i, arg);
+        if (!v) return false;
+        args.options.trials = static_cast<unsigned>(std::stoul(v));
+        if (args.options.trials == 0) {
+          error = "--trials must be >= 1";
+          return false;
+        }
+      } else if (arg == "--json") {
+        const char* v = need_value(i, arg);
+        if (!v) return false;
+        args.json_path = v;
+      } else {
+        error = "unknown option: " + arg;
+        return false;
+      }
+    } catch (const std::exception&) {
+      error = "bad value for " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  std::string error;
+  if (!parse_args(argc, argv, args, error)) {
+    std::cerr << "pwf_bench: " << error << "\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+  if (args.help) {
+    print_usage(std::cout);
+    return 0;
+  }
+
+  const auto& registry = exp::Registry::instance();
+  if (args.list) {
+    for (const exp::Experiment* e : registry.all()) {
+      std::cout << e->name() << (e->exclusive() ? "  [exclusive]" : "")
+                << "\n    " << e->artifact() << "\n";
+    }
+    std::cout << registry.size() << " experiments\n";
+    return 0;
+  }
+
+  const auto selected = registry.match(args.filter);
+  if (selected.empty()) {
+    std::cerr << "pwf_bench: no experiment matches filter '" << args.filter
+              << "' (see --list)\n";
+    return 2;
+  }
+
+  const exp::TrialRunner runner(args.options);
+  exp::ResultSink sink;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const exp::Experiment* e : selected) {
+    try {
+      exp::ExperimentRun run = runner.run(*e);
+      exp::write_text(std::cout, run);
+      sink.add(std::move(run));
+    } catch (const std::exception& ex) {
+      std::cerr << "pwf_bench: experiment '" << e->name()
+                << "' failed: " << ex.what() << "\n";
+      return 2;
+    }
+  }
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::cout << "\n==================================================\n"
+            << "pwf_bench: " << sink.num_reproduced() << "/"
+            << sink.runs().size() << " experiments REPRODUCED in "
+            << static_cast<std::uint64_t>(total_ms) << " ms";
+  if (!sink.all_reproduced()) {
+    std::cout << "\n  not reproduced:";
+    for (const exp::ExperimentRun& run : sink.runs()) {
+      if (!run.verdict.reproduced) {
+        std::cout << " " << run.experiment->name();
+      }
+    }
+  }
+  std::cout << "\n";
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::cerr << "pwf_bench: cannot open " << args.json_path
+                << " for writing\n";
+      return 2;
+    }
+    sink.write_json(out, runner.options());
+    std::cout << "results written to " << args.json_path << "\n";
+  }
+
+  return sink.all_reproduced() ? 0 : 1;
+}

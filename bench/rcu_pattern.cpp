@@ -10,28 +10,27 @@
 //   3. the grace-period ablation: the torn-read rate vanishes as the
 //      block-recycling pool deepens (finite pools = no grace period).
 #include <cmath>
-#include <iostream>
 #include <memory>
+#include <ostream>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/sim_rcu.hpp"
 #include "core/simulation.hpp"
+#include "exp/registry.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace pwf;
 using namespace pwf::core;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
-struct RcuRun {
-  double reader_own_cost = 0.0;  // reader steps per completed read
-  double writer_own_cost = 0.0;  // writer steps per completed update
-  double torn_rate = 0.0;
-};
-
-RcuRun run(std::size_t writers, std::size_t readers, std::size_t slots,
-           std::uint64_t seed) {
+Metrics run_rcu(std::size_t writers, std::size_t readers, std::size_t slots,
+                std::uint64_t seed, const RunOptions& options) {
   RcuConfig config{writers, 3, slots};
   std::vector<const SimRcu*> machines;
   Simulation::Options opts;
@@ -44,7 +43,7 @@ RcuRun run(std::size_t writers, std::size_t readers, std::size_t slots,
   };
   Simulation sim(writers + readers, factory,
                  std::make_unique<UniformScheduler>(), opts);
-  sim.run(100'000);
+  sim.run(options.horizon(100'000, 20'000));
   sim.reset_stats();
   // reset_stats does not clear machine-side op counters; measure with
   // before/after deltas.
@@ -54,9 +53,8 @@ RcuRun run(std::size_t writers, std::size_t readers, std::size_t slots,
     updates0.push_back(m->updates());
     torn0.push_back(m->torn_reads());
   }
-  sim.run(900'000);
+  sim.run(options.horizon(900'000, 180'000));
 
-  RcuRun out;
   double r_steps = 0, r_ops = 0, w_steps = 0, w_ops = 0, torn = 0;
   for (std::size_t p = 0; p < machines.size(); ++p) {
     const double steps =
@@ -70,62 +68,112 @@ RcuRun run(std::size_t writers, std::size_t readers, std::size_t slots,
       torn += static_cast<double>(machines[p]->torn_reads() - torn0[p]);
     }
   }
+  Metrics out{{"reader_own_cost", 0.0},
+              {"writer_own_cost", 0.0},
+              {"torn_rate", 0.0}};
   if (r_ops > 0) {
-    out.reader_own_cost = r_steps / r_ops;
-    out.torn_rate = torn / r_ops;
+    out["reader_own_cost"] = r_steps / r_ops;
+    out["torn_rate"] = torn / r_ops;
   }
-  if (w_ops > 0) out.writer_own_cost = w_steps / w_ops;
+  if (w_ops > 0) out["writer_own_cost"] = w_steps / w_ops;
   return out;
 }
 
+class RcuPattern final : public exp::Experiment {
+ public:
+  std::string name() const override { return "rcu_pattern"; }
+  std::string artifact() const override {
+    return "Section 5: RCU is an SCU instance — wait-free readers, SCU "
+           "writers";
+  }
+  std::string claim() const override {
+    return "Reader cost must be flat in writer count; writer cost must "
+           "carry the contention factor; shallow recycling pools (no grace "
+           "period) must produce torn reads.";
+  }
+  std::uint64_t default_seed() const override { return 91; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    std::vector<Trial> grid;
+    for (std::size_t writers : {1, 2, 4, 8, 16}) {
+      Trial t;
+      t.id = "writers=" + fmt(writers);
+      t.params = {{"writers", static_cast<double>(writers)},
+                  {"slots", 16.0}};
+      t.seed = base + writers;
+      grid.push_back(std::move(t));
+    }
+    for (std::size_t slots : {1, 2, 4, 8, 32}) {
+      Trial t;
+      t.id = "pool slots=" + fmt(slots);
+      t.params = {{"writers", 4.0},
+                  {"slots", static_cast<double>(slots)},
+                  {"ablation", 1.0}};
+      t.seed = base + 100 + slots;  // old binary: 191 + slots
+      grid.push_back(std::move(t));
+    }
+    (void)options;
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    return run_rcu(static_cast<std::size_t>(trial.params.at("writers")), 8,
+                   static_cast<std::size_t>(trial.params.at("slots")),
+                   trial.seed, options);
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& /*options*/, std::ostream& os) const
+      override {
+    os << "payload L = 3 registers; 8 readers throughout\n\n";
+    Table table({"writers", "reader steps/read (4 = 1+L)",
+                 "writer steps/update", "torn rate (pool=16)"});
+    bool readers_flat = true;
+    double writer_1 = 0.0, writer_16 = 0.0;
+    for (const TrialResult& r : results) {
+      if (r.trial.params.count("ablation")) continue;
+      const auto writers =
+          static_cast<std::size_t>(r.trial.params.at("writers"));
+      const Metrics& m = r.metrics;
+      table.add_row({fmt(writers), fmt(m.at("reader_own_cost"), 3),
+                     fmt(m.at("writer_own_cost"), 2),
+                     fmt(m.at("torn_rate"), 6)});
+      readers_flat =
+          readers_flat && std::abs(m.at("reader_own_cost") - 4.0) < 0.05;
+      if (writers == 1) writer_1 = m.at("writer_own_cost");
+      if (writers == 16) writer_16 = m.at("writer_own_cost");
+    }
+    table.print(os);
+    os << "writer cost growth 1 -> 16 writers: " << fmt(writer_16 / writer_1, 2)
+       << "x (SCU contention; readers untouched)\n";
+
+    os << "\ngrace-period ablation (4 writers, 8 readers): torn-read "
+          "rate vs recycling pool depth:\n";
+    Table torn({"pool slots per writer", "torn-read rate"});
+    std::vector<double> rates;
+    for (const TrialResult& r : results) {
+      if (!r.trial.params.count("ablation")) continue;
+      const auto slots = static_cast<std::size_t>(r.trial.params.at("slots"));
+      torn.add_row({fmt(slots), fmt(r.metrics.at("torn_rate"), 6)});
+      rates.push_back(r.metrics.at("torn_rate"));
+    }
+    torn.print(os);
+    const bool torn_monotone = rates.front() > 0.01 && rates.back() < 1e-4 &&
+                               rates.front() > rates.back();
+
+    Verdict v;
+    v.reproduced = readers_flat && writer_16 > 1.3 * writer_1 && torn_monotone;
+    v.detail =
+        "RCU splits exactly as the SCU analysis says: wait-free O(1) reads "
+        "independent of contention, sqrt-style writer contention, and the "
+        "grace-period requirement visible as soon as blocks recycle early";
+    v.summary = {{"writer_growth", writer_16 / writer_1}};
+    return v;
+  }
+};
+
+const exp::RegisterExperiment reg(std::make_unique<RcuPattern>());
+
 }  // namespace
-
-int main() {
-  bench::print_header(
-      "Section 5: RCU is an SCU instance — wait-free readers, SCU writers",
-      "Reader cost must be flat in writer count; writer cost must carry "
-      "the contention factor; shallow recycling pools (no grace period) "
-      "must produce torn reads.");
-  bench::print_seed(91);
-
-  std::cout << "payload L = 3 registers; 8 readers throughout\n\n";
-  Table table({"writers", "reader steps/read (4 = 1+L)", "writer steps/update",
-               "torn rate (pool=16)"});
-  bool readers_flat = true;
-  double writer_1 = 0.0, writer_16 = 0.0;
-  for (std::size_t writers : {1, 2, 4, 8, 16}) {
-    const RcuRun r = run(writers, 8, 16, 91 + writers);
-    table.add_row({fmt(writers), fmt(r.reader_own_cost, 3),
-                   fmt(r.writer_own_cost, 2), fmt(r.torn_rate, 6)});
-    readers_flat =
-        readers_flat && std::abs(r.reader_own_cost - 4.0) < 0.05;
-    if (writers == 1) writer_1 = r.writer_own_cost;
-    if (writers == 16) writer_16 = r.writer_own_cost;
-  }
-  table.print(std::cout);
-  std::cout << "writer cost growth 1 -> 16 writers: "
-            << fmt(writer_16 / writer_1, 2)
-            << "x (SCU contention; readers untouched)\n";
-
-  std::cout << "\ngrace-period ablation (4 writers, 8 readers): torn-read "
-               "rate vs recycling pool depth:\n";
-  Table torn({"pool slots per writer", "torn-read rate"});
-  std::vector<double> rates;
-  for (std::size_t slots : {1, 2, 4, 8, 32}) {
-    const RcuRun r = run(4, 8, slots, 191 + slots);
-    torn.add_row({fmt(slots), fmt(r.torn_rate, 6)});
-    rates.push_back(r.torn_rate);
-  }
-  torn.print(std::cout);
-  const bool torn_monotone = rates.front() > 0.01 && rates.back() < 1e-4 &&
-                             rates.front() > rates.back();
-
-  const bool reproduced =
-      readers_flat && writer_16 > 1.3 * writer_1 && torn_monotone;
-  bench::print_verdict(
-      reproduced,
-      "RCU splits exactly as the SCU analysis says: wait-free O(1) reads "
-      "independent of contention, sqrt-style writer contention, and the "
-      "grace-period requirement visible as soon as blocks recycle early");
-  return reproduced ? 0 : 1;
-}

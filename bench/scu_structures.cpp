@@ -6,14 +6,14 @@
 // must show the same Theta(sqrt n) law and n-fairness as the abstract
 // SCU(q, s) analysis predicts.
 #include <cmath>
-#include <iostream>
 #include <memory>
+#include <ostream>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/sim_queue.hpp"
 #include "core/sim_stack.hpp"
 #include "core/simulation.hpp"
+#include "exp/registry.hpp"
 #include "markov/builders.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -22,86 +22,129 @@ namespace {
 
 using namespace pwf;
 using namespace pwf::core;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
-struct Measured {
-  double w = 0.0;
-  double fairness = 0.0;
+class ScuStructures final : public exp::Experiment {
+ public:
+  std::string name() const override { return "scu_structures"; }
+  std::string artifact() const override {
+    return "Section 5: stacks and queues are SCU-class — and inherit its "
+           "latency law";
+  }
+  std::string claim() const override {
+    return "Claim: structure workloads show the same Theta(sqrt n) system "
+           "latency and n-fair individual latency as abstract SCU(q, s).";
+  }
+  std::uint64_t default_seed() const override { return 55; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    const std::vector<std::size_t> ns =
+        options.quick ? std::vector<std::size_t>{4, 8, 16, 32}
+                      : std::vector<std::size_t>{4, 8, 16, 32, 64};
+    std::vector<Trial> grid;
+    for (std::size_t n : ns) {
+      for (int queue : {0, 1}) {
+        Trial t;
+        t.id = std::string(queue ? "queue" : "stack") + " n=" + fmt(n);
+        t.params = {{"n", static_cast<double>(n)},
+                    {"queue", static_cast<double>(queue)}};
+        // Old binary: stack seeds 55+n, queue seeds 550+n.
+        t.seed = queue ? base + 495 + n : base + n;
+        grid.push_back(std::move(t));
+      }
+    }
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    const auto n = static_cast<std::size_t>(trial.params.at("n"));
+    const bool queue = exp::flag(trial.params.at("queue"));
+    Simulation::Options opts;
+    opts.seed = trial.seed;
+    StepMachineFactory factory;
+    if (queue) {
+      opts.num_registers = SimQueue::registers_required(n, 8);
+      opts.initial_values = SimQueue::initial_values();
+      factory = SimQueue::factory(8);
+    } else {
+      opts.num_registers = SimStack::registers_required(n, 8);
+      factory = SimStack::factory(8);
+    }
+    Simulation sim(n, factory, std::make_unique<UniformScheduler>(), opts);
+    sim.run(options.horizon(100'000, 20'000));
+    sim.reset_stats();
+    sim.run(options.horizon(1'200'000, 250'000));
+    const double w = sim.report().system_latency();
+    return {{"w", w},
+            {"fairness", sim.report().max_individual_latency() /
+                             (static_cast<double>(n) * w)}};
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& options, std::ostream& os) const override {
+    auto metric = [&](std::size_t n, bool queue,
+                      const std::string& key) -> double {
+      for (const TrialResult& r : results) {
+        if (static_cast<std::size_t>(r.trial.params.at("n")) == n &&
+            exp::flag(r.trial.params.at("queue")) == queue) {
+          return r.metrics.at(key);
+        }
+      }
+      throw std::logic_error("scu_structures: missing trial");
+    };
+
+    std::vector<double> ns, stack_ws, queue_ws;
+    Table table({"n", "scan-validate W (exact)", "stack W", "stack fairness",
+                 "queue W", "queue fairness"});
+    bool fair = true;
+    const double fair_lo = options.quick ? 0.75 : 0.8;
+    const double fair_hi = options.quick ? 1.4 : 1.3;
+    for (const TrialResult& r : results) {
+      if (exp::flag(r.trial.params.at("queue"))) continue;
+      const auto n = static_cast<std::size_t>(r.trial.params.at("n"));
+      const double sv = markov::system_latency(
+          markov::build_scan_validate_system_chain(n));
+      const double stack_w = metric(n, false, "w");
+      const double stack_f = metric(n, false, "fairness");
+      const double queue_w = metric(n, true, "w");
+      const double queue_f = metric(n, true, "fairness");
+      ns.push_back(static_cast<double>(n));
+      stack_ws.push_back(stack_w);
+      queue_ws.push_back(queue_w);
+      table.add_row({fmt(n), fmt(sv, 2), fmt(stack_w, 2), fmt(stack_f, 3),
+                     fmt(queue_w, 2), fmt(queue_f, 3)});
+      fair = fair && stack_f > fair_lo && stack_f < fair_hi &&
+             queue_f > fair_lo && queue_f < fair_hi;
+    }
+    table.print(os);
+
+    const LinearFit stack_fit = fit_power_law(ns, stack_ws);
+    const LinearFit queue_fit = fit_power_law(ns, queue_ws);
+    os << "growth exponents: stack n^" << fmt(stack_fit.slope, 3)
+       << ", queue n^" << fmt(queue_fit.slope, 3)
+       << " (0.5 predicted asymptotically; both match the mild "
+          "finite-size excess that abstract SCU(0, s>1) also shows at "
+          "these n — see thm4_scu_latency)\n";
+
+    Verdict v;
+    v.reproduced = fair && stack_fit.slope > 0.25 &&
+                   stack_fit.slope < 0.75 && queue_fit.slope > 0.1 &&
+                   queue_fit.slope < 0.75;
+    v.detail =
+        "both structures inherit the SCU latency shape: sublinear "
+        "sqrt-like growth and n-fair individual latencies";
+    v.summary = {{"stack_exponent", stack_fit.slope},
+                 {"queue_exponent", queue_fit.slope}};
+    return v;
+  }
 };
 
-Measured measure(Simulation& sim, std::size_t n) {
-  sim.run(100'000);
-  sim.reset_stats();
-  sim.run(1'200'000);
-  Measured m;
-  m.w = sim.report().system_latency();
-  m.fairness = sim.report().max_individual_latency() /
-               (static_cast<double>(n) * m.w);
-  return m;
-}
-
-Measured run_stack(std::size_t n, std::uint64_t seed) {
-  Simulation::Options opts;
-  opts.num_registers = SimStack::registers_required(n, 8);
-  opts.seed = seed;
-  Simulation sim(n, SimStack::factory(8),
-                 std::make_unique<UniformScheduler>(), opts);
-  return measure(sim, n);
-}
-
-Measured run_queue(std::size_t n, std::uint64_t seed) {
-  Simulation::Options opts;
-  opts.num_registers = SimQueue::registers_required(n, 8);
-  opts.initial_values = SimQueue::initial_values();
-  opts.seed = seed;
-  Simulation sim(n, SimQueue::factory(8),
-                 std::make_unique<UniformScheduler>(), opts);
-  return measure(sim, n);
-}
+const exp::RegisterExperiment reg(std::make_unique<ScuStructures>());
 
 }  // namespace
-
-int main() {
-  bench::print_header(
-      "Section 5: stacks and queues are SCU-class — and inherit its "
-      "latency law",
-      "Claim: structure workloads show the same Theta(sqrt n) system "
-      "latency and n-fair individual latency as abstract SCU(q, s).");
-  bench::print_seed(55);
-
-  std::vector<double> ns, stack_ws, queue_ws;
-  Table table({"n", "scan-validate W (exact)", "stack W", "stack fairness",
-               "queue W", "queue fairness"});
-  bool fair = true;
-  for (std::size_t n : {4, 8, 16, 32, 64}) {
-    const double sv =
-        markov::system_latency(markov::build_scan_validate_system_chain(n));
-    const Measured stack = run_stack(n, 55 + n);
-    const Measured queue = run_queue(n, 550 + n);
-    ns.push_back(static_cast<double>(n));
-    stack_ws.push_back(stack.w);
-    queue_ws.push_back(queue.w);
-    table.add_row({fmt(n), fmt(sv, 2), fmt(stack.w, 2),
-                   fmt(stack.fairness, 3), fmt(queue.w, 2),
-                   fmt(queue.fairness, 3)});
-    fair = fair && stack.fairness > 0.8 && stack.fairness < 1.3 &&
-           queue.fairness > 0.8 && queue.fairness < 1.3;
-  }
-  table.print(std::cout);
-
-  const LinearFit stack_fit = fit_power_law(ns, stack_ws);
-  const LinearFit queue_fit = fit_power_law(ns, queue_ws);
-  std::cout << "growth exponents: stack n^" << fmt(stack_fit.slope, 3)
-            << ", queue n^" << fmt(queue_fit.slope, 3)
-            << " (0.5 predicted asymptotically; both match the mild "
-               "finite-size excess that abstract SCU(0, s>1) also shows at "
-               "these n — see thm4_scu_latency)\n";
-
-  const bool reproduced = fair && stack_fit.slope > 0.25 &&
-                          stack_fit.slope < 0.75 && queue_fit.slope > 0.1 &&
-                          queue_fit.slope < 0.75;
-  bench::print_verdict(reproduced,
-                       "both structures inherit the SCU latency shape: "
-                       "sublinear sqrt-like growth and n-fair individual "
-                       "latencies");
-  return reproduced ? 0 : 1;
-}

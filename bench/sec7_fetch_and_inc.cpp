@@ -6,13 +6,14 @@
 // simulation, plus the crash-tolerant variant of Corollary 2 (with k < n
 // correct processes the latency depends only on k).
 #include <cmath>
-#include <iostream>
 #include <memory>
+#include <ostream>
+#include <vector>
 
-#include "bench_common.hpp"
 #include "core/algorithms.hpp"
 #include "core/simulation.hpp"
 #include "core/theory.hpp"
+#include "exp/registry.hpp"
 #include "markov/builders.hpp"
 #include "util/table.hpp"
 
@@ -20,8 +21,14 @@ namespace {
 
 using namespace pwf;
 using namespace pwf::core;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
-double simulate(std::size_t n, std::uint64_t seed, std::size_t crashes = 0) {
+double simulate(std::size_t n, std::uint64_t seed, const RunOptions& options,
+                std::size_t crashes = 0) {
   Simulation::Options opts;
   opts.num_registers = FetchAndIncrement::registers_required();
   opts.seed = seed;
@@ -30,51 +37,106 @@ double simulate(std::size_t n, std::uint64_t seed, std::size_t crashes = 0) {
   for (std::size_t c = 0; c < crashes; ++c) {
     sim.schedule_crash(1000 + c, n - 1 - c);
   }
-  sim.run(100'000);
+  sim.run(options.horizon(100'000, 20'000));
   sim.reset_stats();
-  sim.run(1'500'000);
+  sim.run(options.horizon(1'500'000, 300'000));
   return sim.report().system_latency();
 }
 
+class Sec7FetchAndInc final : public exp::Experiment {
+ public:
+  std::string name() const override { return "sec7_fetch_and_inc"; }
+  std::string artifact() const override {
+    return "Section 7 / Corollary 3: fetch-and-increment latency";
+  }
+  std::string claim() const override {
+    return "Claim: W = Z(n-1) = RamanujanQ(n) ~ sqrt(pi n / 2); W_i = n W; "
+           "with only k correct processes the bounds hold in k "
+           "(Corollary 2).";
+  }
+  std::uint64_t default_seed() const override { return 2718; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    const std::vector<std::size_t> ns =
+        options.quick ? std::vector<std::size_t>{2, 4, 8, 16, 32}
+                      : std::vector<std::size_t>{2, 4, 8, 16, 32, 64};
+    std::vector<Trial> grid;
+    for (std::size_t n : ns) {
+      Trial t;
+      t.id = "n=" + fmt(n);
+      t.params = {{"n", static_cast<double>(n)}};
+      t.seed = base + n;
+      grid.push_back(std::move(t));
+    }
+    for (std::size_t c : {0, 8, 16, 24}) {
+      Trial t;
+      t.id = "crashes c=" + fmt(c);
+      t.params = {{"n", 32.0}, {"crashes", static_cast<double>(c)}};
+      // Old binary seeded the crash runs independently of the sweep.
+      t.seed = exp::derive_seed(base, 1000 + c);
+      grid.push_back(std::move(t));
+    }
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    const auto n = static_cast<std::size_t>(trial.params.at("n"));
+    const auto it = trial.params.find("crashes");
+    if (it != trial.params.end()) {
+      const auto c = static_cast<std::size_t>(it->second);
+      return {{"w_sim", simulate(n, trial.seed, options, c)}};
+    }
+    return {{"w_sim", simulate(n, trial.seed, options)},
+            {"w_chain", markov::system_latency(
+                            markov::build_fai_global_chain(n))}};
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& /*options*/, std::ostream& os) const
+      override {
+    Table table({"n", "W simulated", "Z(n-1) exact", "chain W",
+                 "sqrt(pi n/2)", "sim/exact"});
+    bool reproduced = true;
+    for (const TrialResult& r : results) {
+      if (r.trial.params.count("crashes")) continue;
+      const auto n = static_cast<std::size_t>(r.trial.params.at("n"));
+      const double sim_w = r.metrics.at("w_sim");
+      const double chain_w = r.metrics.at("w_chain");
+      const double exact = theory::fai_system_latency_exact(n);
+      table.add_row({fmt(n), fmt(sim_w, 3), fmt(exact, 3), fmt(chain_w, 3),
+                     fmt(theory::fai_system_latency_asymptotic(n), 3),
+                     fmt(sim_w / exact, 3)});
+      reproduced = reproduced && std::abs(sim_w - exact) < 0.03 * exact &&
+                   std::abs(chain_w - exact) < 1e-6 * exact;
+    }
+    table.print(os);
+
+    os << "\nCorollary 2 (crashes): n = 32 with c crashed processes "
+          "behaves like k = 32 - c correct ones:\n";
+    Table crash_table({"crashed c", "k = n-c", "W simulated",
+                       "Z(k-1) exact"});
+    for (const TrialResult& r : results) {
+      if (!r.trial.params.count("crashes")) continue;
+      const auto c = static_cast<std::size_t>(r.trial.params.at("crashes"));
+      const double sim_w = r.metrics.at("w_sim");
+      const double exact = theory::fai_system_latency_exact(32 - c);
+      crash_table.add_row(
+          {fmt(c), fmt(std::size_t{32} - c), fmt(sim_w, 3), fmt(exact, 3)});
+      reproduced = reproduced && std::abs(sim_w - exact) < 0.05 * exact;
+    }
+    crash_table.print(os);
+
+    Verdict v;
+    v.reproduced = reproduced;
+    v.detail =
+        "W = Z(n-1) to within noise at every n, matching the Ramanujan-Q "
+        "asymptotics, including under crashes";
+    return v;
+  }
+};
+
+const exp::RegisterExperiment reg(std::make_unique<Sec7FetchAndInc>());
+
 }  // namespace
-
-int main() {
-  bench::print_header(
-      "Section 7 / Corollary 3: fetch-and-increment latency",
-      "Claim: W = Z(n-1) = RamanujanQ(n) ~ sqrt(pi n / 2); W_i = n W; with "
-      "only k correct processes the bounds hold in k (Corollary 2).");
-  bench::print_seed(2718);
-
-  Table table({"n", "W simulated", "Z(n-1) exact", "chain W",
-               "sqrt(pi n/2)", "sim/exact"});
-  bool reproduced = true;
-  for (std::size_t n : {2, 4, 8, 16, 32, 64}) {
-    const double sim_w = simulate(n, 2718 + n);
-    const double exact = theory::fai_system_latency_exact(n);
-    const double chain_w =
-        markov::system_latency(markov::build_fai_global_chain(n));
-    const double asym = theory::fai_system_latency_asymptotic(n);
-    table.add_row({fmt(n), fmt(sim_w, 3), fmt(exact, 3), fmt(chain_w, 3),
-                   fmt(asym, 3), fmt(sim_w / exact, 3)});
-    reproduced = reproduced && std::abs(sim_w - exact) < 0.03 * exact &&
-                 std::abs(chain_w - exact) < 1e-6 * exact;
-  }
-  table.print(std::cout);
-
-  std::cout << "\nCorollary 2 (crashes): n = 32 with c crashed processes "
-               "behaves like k = 32 - c correct ones:\n";
-  Table crash_table({"crashed c", "k = n-c", "W simulated", "Z(k-1) exact"});
-  for (std::size_t c : {0, 8, 16, 24}) {
-    const double sim_w = simulate(32, 999 + c, c);
-    const double exact = theory::fai_system_latency_exact(32 - c);
-    crash_table.add_row(
-        {fmt(c), fmt(std::size_t{32} - c), fmt(sim_w, 3), fmt(exact, 3)});
-    reproduced = reproduced && std::abs(sim_w - exact) < 0.05 * exact;
-  }
-  crash_table.print(std::cout);
-
-  bench::print_verdict(reproduced,
-                       "W = Z(n-1) to within noise at every n, matching the "
-                       "Ramanujan-Q asymptotics, including under crashes");
-  return reproduced ? 0 : 1;
-}

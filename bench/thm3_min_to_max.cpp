@@ -7,92 +7,140 @@
 // wrapped in a theta-mixture for several theta values. For each theta we
 // report the worst per-process observed latency and completion counts.
 // With theta = 0 (the pure adversary) every process but one starves.
-#include <iostream>
+#include <algorithm>
 #include <memory>
+#include <ostream>
+#include <span>
+#include <vector>
 
-#include "bench_common.hpp"
 #include "core/algorithms.hpp"
 #include "core/progress.hpp"
 #include "core/simulation.hpp"
 #include "core/theory.hpp"
+#include "exp/registry.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace pwf;
 using namespace pwf::core;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
-struct Row {
-  double theta;
-  bool all_completed;
-  std::uint64_t min_completions;
-  double worst_individual_latency;
+constexpr std::size_t kN = 4;
+
+class Thm3MinToMax final : public exp::Experiment {
+ public:
+  std::string name() const override { return "thm3_min_to_max"; }
+  std::string artifact() const override {
+    return "Theorem 3: bounded minimal progress + stochastic scheduler "
+           "=> maximal progress";
+  }
+  std::string claim() const override {
+    return "Claim: any theta > 0 rescues every process from an adversary; "
+           "the expected bound scales like (1/theta)^T (T = 2 for "
+           "scan-validate).";
+  }
+  std::uint64_t default_seed() const override { return 1234; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    const std::vector<double> thetas = options.quick
+                                           ? std::vector<double>{0.20, 0.05,
+                                                                 0.01}
+                                           : std::vector<double>{0.20, 0.10,
+                                                                 0.05, 0.02,
+                                                                 0.01};
+    std::vector<Trial> grid;
+    for (double theta : thetas) {
+      Trial t;
+      t.id = "theta=" + fmt(theta, 3);
+      t.params = {{"theta", theta}};
+      t.seed = base;
+      grid.push_back(std::move(t));
+    }
+    Trial pure;
+    pure.id = "theta=0 (adversary)";
+    pure.params = {{"theta", 0.0}};
+    pure.seed = base;
+    grid.push_back(std::move(pure));
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    const double theta = trial.params.at("theta");
+    auto adversary = std::make_unique<AdversarialScheduler>(
+        [](std::uint64_t, std::span<const std::size_t> active) {
+          return active.back();
+        });
+    std::unique_ptr<Scheduler> sched;
+    if (theta > 0.0) {
+      sched = std::make_unique<ThetaMixScheduler>(theta, std::move(adversary));
+    } else {
+      sched = std::move(adversary);
+    }
+    Simulation::Options opts;
+    opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
+    opts.seed = trial.seed;
+    Simulation sim(kN, scan_validate_factory(), std::move(sched), opts);
+    ProgressTracker tracker(kN);
+    sim.set_observer(&tracker);
+    sim.run(options.horizon(3'000'000, 400'000));
+
+    std::uint64_t min_completions = ~0ULL;
+    double worst_wi = 0.0;
+    for (std::size_t p = 0; p < kN; ++p) {
+      min_completions = std::min(min_completions, tracker.completions(p));
+      if (sim.report().completions_per_process[p] > 0) {
+        worst_wi = std::max(worst_wi, sim.report().individual_latency(p));
+      }
+    }
+    return {{"all_completed", tracker.every_process_completed() ? 1.0 : 0.0},
+            {"min_completions", static_cast<double>(min_completions)},
+            {"worst_wi", worst_wi}};
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& /*options*/, std::ostream& os) const
+      override {
+    Table table({"theta", "(1/theta)^T", "all completed?", "min completions",
+                 "worst W_i observed"});
+    bool theorem_holds = true;
+    bool contrast = false;
+    for (const TrialResult& r : results) {
+      const double theta = r.trial.params.at("theta");
+      const Metrics& m = r.metrics;
+      const bool all = exp::flag(m.at("all_completed"));
+      if (theta > 0.0) {
+        table.add_row({fmt(theta, 3),
+                       fmt(theory::theorem3_expected_bound(theta, 2), 1),
+                       all ? "yes" : "NO", fmt(m.at("min_completions"), 0),
+                       fmt(m.at("worst_wi"), 1)});
+        theorem_holds = theorem_holds && all;
+      } else {
+        table.add_row({"0 (adversary)", "unbounded", all ? "yes" : "NO",
+                       fmt(m.at("min_completions"), 0),
+                       m.at("min_completions") > 0.5
+                           ? fmt(m.at("worst_wi"), 1)
+                           : "infinite (starved)"});
+        contrast = !all;
+      }
+    }
+    table.print(os);
+
+    Verdict v;
+    v.reproduced = theorem_holds && contrast;
+    v.detail =
+        "every theta > 0 yields maximal progress; theta = 0 starves all "
+        "but the adversary's favourite";
+    return v;
+  }
 };
 
-Row run_with_theta(double theta, std::size_t n, std::uint64_t steps,
-                   std::uint64_t seed) {
-  auto adversary = std::make_unique<AdversarialScheduler>(
-      [](std::uint64_t, std::span<const std::size_t> active) {
-        return active.back();
-      });
-  std::unique_ptr<Scheduler> sched;
-  if (theta > 0.0) {
-    sched = std::make_unique<ThetaMixScheduler>(theta, std::move(adversary));
-  } else {
-    sched = std::move(adversary);
-  }
-  Simulation::Options opts;
-  opts.num_registers = ScuAlgorithm::registers_required(n, 1);
-  opts.seed = seed;
-  Simulation sim(n, scan_validate_factory(), std::move(sched), opts);
-  ProgressTracker tracker(n);
-  sim.set_observer(&tracker);
-  sim.run(steps);
-
-  Row row{theta, tracker.every_process_completed(), ~0ULL, 0.0};
-  for (std::size_t p = 0; p < n; ++p) {
-    row.min_completions = std::min(row.min_completions, tracker.completions(p));
-    if (sim.report().completions_per_process[p] > 0) {
-      row.worst_individual_latency = std::max(
-          row.worst_individual_latency, sim.report().individual_latency(p));
-    }
-  }
-  return row;
-}
+const exp::RegisterExperiment reg(std::make_unique<Thm3MinToMax>());
 
 }  // namespace
-
-int main() {
-  bench::print_header(
-      "Theorem 3: bounded minimal progress + stochastic scheduler "
-      "=> maximal progress",
-      "Claim: any theta > 0 rescues every process from an adversary; the "
-      "expected bound scales like (1/theta)^T (T = 2 for scan-validate).");
-  constexpr std::size_t kN = 4;
-  constexpr std::uint64_t kSteps = 3'000'000;
-  bench::print_seed(1234);
-
-  Table table({"theta", "(1/theta)^T", "all completed?", "min completions",
-               "worst W_i observed"});
-  bool theorem_holds = true;
-  for (double theta : {0.20, 0.10, 0.05, 0.02, 0.01}) {
-    const Row row = run_with_theta(theta, kN, kSteps, 1234);
-    table.add_row({fmt(theta, 3),
-                   fmt(theory::theorem3_expected_bound(theta, 2), 1),
-                   row.all_completed ? "yes" : "NO", fmt(row.min_completions),
-                   fmt(row.worst_individual_latency, 1)});
-    theorem_holds = theorem_holds && row.all_completed;
-  }
-  const Row pure = run_with_theta(0.0, kN, kSteps, 1234);
-  table.add_row({"0 (adversary)", "unbounded",
-                 pure.all_completed ? "yes" : "NO", fmt(pure.min_completions),
-                 pure.min_completions ? fmt(pure.worst_individual_latency, 1)
-                                      : "infinite (starved)"});
-  table.print(std::cout);
-
-  const bool contrast = !pure.all_completed;
-  bench::print_verdict(theorem_holds && contrast,
-                       "every theta > 0 yields maximal progress; theta = 0 "
-                       "starves all but the adversary's favourite");
-  return (theorem_holds && contrast) ? 0 : 1;
-}

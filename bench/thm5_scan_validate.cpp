@@ -9,14 +9,14 @@
 // A log-log fit reports the growth exponent (0.5 predicted), and the
 // fairness column reports max_i W_i / (n W) (1.0 predicted by Lemma 7).
 #include <cmath>
-#include <iostream>
 #include <memory>
+#include <ostream>
 #include <vector>
 
 #include "ballsbins/game.hpp"
-#include "bench_common.hpp"
 #include "core/algorithms.hpp"
 #include "core/simulation.hpp"
+#include "exp/registry.hpp"
 #include "markov/builders.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -26,70 +26,106 @@ namespace {
 
 using namespace pwf;
 using namespace pwf::core;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
 
-struct Measurement {
-  double simulated = 0.0;
-  double fairness = 0.0;  // max_i W_i / (n * W)
-};
+class Thm5ScanValidate final : public exp::Experiment {
+ public:
+  std::string name() const override { return "thm5_scan_validate"; }
+  std::string artifact() const override {
+    return "Theorem 5 / Corollary 1: scan-validate system latency is "
+           "Theta(sqrt n)";
+  }
+  std::string claim() const override {
+    return "Claim: W(n) grows like sqrt(n) (exponent 0.5) and every "
+           "process's individual latency is n * W (fairness ratio 1).";
+  }
+  std::uint64_t default_seed() const override { return 7; }
 
-Measurement simulate(std::size_t n, std::uint64_t seed) {
-  Simulation::Options opts;
-  opts.num_registers = ScuAlgorithm::registers_required(n, 1);
-  opts.seed = seed;
-  Simulation sim(n, scan_validate_factory(),
-                 std::make_unique<UniformScheduler>(), opts);
-  sim.run(200'000);
-  sim.reset_stats();
-  sim.run(2'000'000);
-  Measurement m;
-  m.simulated = sim.report().system_latency();
-  m.fairness = sim.report().max_individual_latency() /
-               (static_cast<double>(n) * m.simulated);
-  return m;
-}
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    const std::vector<std::size_t> ns =
+        options.quick ? std::vector<std::size_t>{2, 4, 8, 16, 32}
+                      : std::vector<std::size_t>{2, 4, 8, 16, 32, 64};
+    std::vector<Trial> grid;
+    for (std::size_t n : ns) {
+      Trial t;
+      t.id = "n=" + fmt(n);
+      t.params = {{"n", static_cast<double>(n)}};
+      t.seed = base + n;
+      grid.push_back(std::move(t));
+    }
+    return grid;
+  }
 
-double game_phase_mean(std::size_t n, std::uint64_t seed) {
-  ballsbins::IteratedBallsBins game(n, Xoshiro256pp(seed));
-  const auto records = game.run_phases(60'000);
-  double mean = 0.0;
-  for (const auto& rec : records) mean += static_cast<double>(rec.length);
-  return mean / static_cast<double>(records.size());
-}
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    const auto n = static_cast<std::size_t>(trial.params.at("n"));
 
-}  // namespace
+    Simulation::Options opts;
+    opts.num_registers = ScuAlgorithm::registers_required(n, 1);
+    opts.seed = trial.seed;
+    Simulation sim(n, scan_validate_factory(),
+                   std::make_unique<UniformScheduler>(), opts);
+    sim.run(options.horizon(200'000, 50'000));
+    sim.reset_stats();
+    sim.run(options.horizon(2'000'000, 400'000));
+    const double w_sim = sim.report().system_latency();
+    const double fairness = sim.report().max_individual_latency() /
+                            (static_cast<double>(n) * w_sim);
 
-int main() {
-  bench::print_header(
-      "Theorem 5 / Corollary 1: scan-validate system latency is "
-      "Theta(sqrt n)",
-      "Claim: W(n) grows like sqrt(n) (exponent 0.5) and every process's "
-      "individual latency is n * W (fairness ratio 1).");
-  bench::print_seed(7);
+    ballsbins::IteratedBallsBins game(
+        n, Xoshiro256pp(trial.seed + 63));  // 63 = old seed gap (70+n)-(7+n)
+    const auto records = game.run_phases(options.horizon(60'000, 10'000));
+    double game_mean = 0.0;
+    for (const auto& rec : records) game_mean += static_cast<double>(rec.length);
+    game_mean /= static_cast<double>(records.size());
 
-  std::vector<double> ns, sims;
-  Table table({"n", "exact chain W", "simulated W", "balls-bins W",
-               "W/sqrt(n)", "fairness max W_i/(n W)"});
-  for (std::size_t n : {2, 4, 8, 16, 32, 64}) {
     const double exact =
         markov::system_latency(markov::build_scan_validate_system_chain(n));
-    const Measurement m = simulate(n, 7 + n);
-    const double game = game_phase_mean(n, 70 + n);
-    ns.push_back(static_cast<double>(n));
-    sims.push_back(m.simulated);
-    table.add_row({fmt(n), fmt(exact, 3), fmt(m.simulated, 3), fmt(game, 3),
-                   fmt(exact / std::sqrt(static_cast<double>(n)), 3),
-                   fmt(m.fairness, 3)});
+    return {{"exact", exact},
+            {"simulated", w_sim},
+            {"game", game_mean},
+            {"fairness", fairness}};
   }
-  table.print(std::cout);
 
-  const LinearFit fit = fit_power_law(ns, sims);
-  std::cout << "log-log fit: W(n) ~ n^" << fmt(fit.slope, 3)
-            << "  (R^2 = " << fmt(fit.r_squared, 4)
-            << "; Theorem 5 predicts exponent 0.5)\n";
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& /*options*/, std::ostream& os) const
+      override {
+    std::vector<double> ns, sims;
+    Table table({"n", "exact chain W", "simulated W", "balls-bins W",
+                 "W/sqrt(n)", "fairness max W_i/(n W)"});
+    for (const TrialResult& r : results) {
+      const auto n = static_cast<std::size_t>(r.trial.params.at("n"));
+      const Metrics& m = r.metrics;
+      ns.push_back(static_cast<double>(n));
+      sims.push_back(m.at("simulated"));
+      table.add_row({fmt(n), fmt(m.at("exact"), 3), fmt(m.at("simulated"), 3),
+                     fmt(m.at("game"), 3),
+                     fmt(m.at("exact") / std::sqrt(static_cast<double>(n)), 3),
+                     fmt(m.at("fairness"), 3)});
+    }
+    table.print(os);
 
-  const bool reproduced = fit.slope > 0.40 && fit.slope < 0.60;
-  bench::print_verdict(reproduced,
-                       "sqrt-n scaling of the system latency, agreement of "
-                       "chain / simulation / balls-into-bins, and n-fairness");
-  return reproduced ? 0 : 1;
-}
+    const LinearFit fit = fit_power_law(ns, sims);
+    os << "log-log fit: W(n) ~ n^" << fmt(fit.slope, 3)
+       << "  (R^2 = " << fmt(fit.r_squared, 4)
+       << "; Theorem 5 predicts exponent 0.5)\n";
+
+    Verdict v;
+    v.reproduced = fit.slope > 0.40 && fit.slope < 0.60;
+    v.detail =
+        "sqrt-n scaling of the system latency, agreement of chain / "
+        "simulation / balls-into-bins, and n-fairness";
+    v.summary = {{"growth_exponent", fit.slope},
+                 {"r_squared", fit.r_squared}};
+    return v;
+  }
+};
+
+const exp::RegisterExperiment reg(std::make_unique<Thm5ScanValidate>());
+
+}  // namespace

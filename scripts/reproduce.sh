@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
 # One-command reproduction: build, run the full test suite, regenerate
-# every experiment, and (optionally) validate the concurrent code under
-# the sanitizers. Outputs land in test_output.txt / bench_output.txt at
-# the repository root.
+# every experiment through the unified pwf_bench driver, and (optionally)
+# validate the concurrent code under the sanitizers. Outputs land in
+# test_output.txt / bench_output.txt / BENCH_results.json at the
+# repository root.
 #
-# Usage: scripts/reproduce.sh [--with-sanitizers]
+# Usage: scripts/reproduce.sh [--with-sanitizers] [--quick]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+with_sanitizers=0
+quick_flags=()
+for arg in "$@"; do
+  case "$arg" in
+    --with-sanitizers) with_sanitizers=1 ;;
+    --quick) quick_flags=(--quick) ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== configure + build =="
 cmake -B build -G Ninja
@@ -15,19 +26,27 @@ cmake --build build
 echo "== tests =="
 ctest --test-dir build 2>&1 | tee test_output.txt
 
-echo "== experiments (each bench self-checks; non-zero exit = regression) =="
+echo "== experiments (each self-checks; non-zero exit = regression) =="
+# Run experiments one at a time so a single regression is named in the
+# log but every remaining experiment still gets regenerated; the final
+# combined run emits the machine-readable BENCH_results.json.
 status=0
 : > bench_output.txt
-for b in build/bench/*; do
-  [ -x "$b" ] || continue
-  echo "### $b" | tee -a bench_output.txt
-  if ! "$b" 2>&1 | tee -a bench_output.txt; then
-    echo "REGRESSION in $b" | tee -a bench_output.txt
+while read -r name; do
+  echo "### $name" | tee -a bench_output.txt
+  if ! build/bench/pwf_bench --filter "$name" "${quick_flags[@]+"${quick_flags[@]}"}" \
+      2>&1 | tee -a bench_output.txt; then
+    echo "REGRESSION in $name" | tee -a bench_output.txt
     status=1
   fi
-done
+done < <(build/bench/pwf_bench --list | awk '/^[a-z]/{print $1}')
 
-if [ "${1:-}" = "--with-sanitizers" ]; then
+echo "== combined JSON results =="
+build/bench/pwf_bench "${quick_flags[@]+"${quick_flags[@]}"}" \
+  --json BENCH_results.json >/dev/null || status=1
+echo "wrote BENCH_results.json"
+
+if [ "$with_sanitizers" = 1 ]; then
   echo "== ThreadSanitizer (concurrent suites) =="
   cmake -B build-tsan -G Ninja -DPWF_SANITIZE=thread
   cmake --build build-tsan

@@ -77,12 +77,20 @@ StickyScheduler::StickyScheduler(double rho) : rho_(rho) {
 std::size_t StickyScheduler::next(std::uint64_t /*tau*/,
                                   std::span<const std::size_t> active,
                                   Xoshiro256pp& rng) {
-  if (prev_ != static_cast<std::size_t>(-1) && rng.bernoulli(rho_) &&
-      std::binary_search(active.begin(), active.end(), prev_)) {
-    return prev_;
+  // Membership is checked before any randomness is consumed: a stale
+  // prev_ (possible only when the caller never reports crashes via
+  // on_crash) behaves exactly like "no previous process" instead of
+  // skewing the draw sequence.
+  if (prev_ != kNone && std::binary_search(active.begin(), active.end(),
+                                           prev_)) {
+    if (rng.bernoulli(rho_)) return prev_;
   }
   prev_ = active[rng.uniform(active.size())];
   return prev_;
+}
+
+void StickyScheduler::on_crash(std::size_t process) {
+  if (prev_ == process) prev_ = kNone;
 }
 
 double StickyScheduler::theta(std::size_t num_active) const {

@@ -39,6 +39,11 @@ class Scheduler {
   /// schedulers.
   virtual double theta(std::size_t num_active) const = 0;
 
+  /// Crash notification: `process` has left the active set for good
+  /// (crash containment). The engine calls this before the next next();
+  /// stateful schedulers drop any reference to the crashed process here.
+  virtual void on_crash(std::size_t process) { (void)process; }
+
   virtual std::string name() const = 0;
 };
 
@@ -97,11 +102,17 @@ class StickyScheduler final : public Scheduler {
   std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
                    Xoshiro256pp& rng) override;
   double theta(std::size_t num_active) const override;
+  /// Forgets prev_ if it crashed; without this the scheduler would carry
+  /// a stale favourite across Simulation crash events (next() also
+  /// guards by membership, so a stale prev_ degrades to uniform rather
+  /// than scheduling a dead process).
+  void on_crash(std::size_t process) override;
   std::string name() const override { return "sticky"; }
 
  private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   double rho_;
-  std::size_t prev_ = static_cast<std::size_t>(-1);
+  std::size_t prev_ = kNone;
 };
 
 /// Deterministic round-robin over the active set. Not stochastic
@@ -151,6 +162,7 @@ class ThetaMixScheduler final : public Scheduler {
   std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
                    Xoshiro256pp& rng) override;
   double theta(std::size_t num_active) const override;
+  void on_crash(std::size_t process) override { inner_->on_crash(process); }
   std::string name() const override;
 
  private:

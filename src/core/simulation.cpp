@@ -81,6 +81,7 @@ void Simulation::apply_crashes() {
           "crashes allowed)");
     }
     active_.erase(it);  // keeps the vector sorted
+    scheduler_->on_crash(victim);
   }
 }
 

@@ -1,0 +1,115 @@
+// The experiment layer: every paper artifact (figure, theorem, lemma,
+// ablation) is an Experiment — a named parameter grid plus a pure trial
+// function returning a metric map — instead of a hand-rolled main().
+//
+// Contract:
+//   * trials()   — expands the parameter grid (honouring quick mode) and
+//     assigns every trial its deterministic seed;
+//   * run_trial() — a *pure* function of (trial, options): it owns all of
+//     its state (typically one Simulation), never touches globals or
+//     cout, and is therefore safe to run from any thread. All randomness
+//     must flow from trial.seed;
+//   * analyze()  — sequential; receives the trial results in grid order
+//     (independent of execution order), renders the paper-vs-measured
+//     tables to the stream, and returns the SHAPE verdict.
+//
+// Experiments whose trials measure the host itself (hardware schedule
+// recordings, wall-clock throughput) declare exclusive() and are run
+// one trial at a time with the worker pool idle.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pwf::exp {
+
+/// Ordered, deterministic metric map. Values must be finite; every key's
+/// value ends up verbatim in BENCH_results.json.
+using Metrics = std::map<std::string, double>;
+
+/// One point of an experiment's parameter grid.
+struct Trial {
+  std::string id;     ///< human-readable, e.g. "q=4 s=1 n=32"
+  Metrics params;     ///< the numeric parameters behind `id`
+  std::uint64_t seed = 0;  ///< deterministic per-trial seed
+};
+
+/// Options shared by every experiment in a pwf_bench run.
+struct RunOptions {
+  std::uint64_t seed_override = 0;  ///< 0 = use each experiment's default
+  bool quick = false;               ///< CI-sized grids / horizons
+  std::size_t threads = 1;          ///< worker pool size
+  std::size_t trials = 1;           ///< repetitions per grid point
+
+  /// The effective base seed for an experiment with the given default.
+  std::uint64_t base_seed(std::uint64_t experiment_default) const noexcept {
+    return seed_override ? seed_override : experiment_default;
+  }
+
+  /// Scales a simulation horizon for quick mode. `full` is the
+  /// publication-quality step count; quick mode divides by 10 but never
+  /// goes below `floor` (verdict thresholds need a minimum of statistics).
+  std::uint64_t horizon(std::uint64_t full,
+                        std::uint64_t floor = 50'000) const noexcept {
+    if (!quick) return full;
+    const std::uint64_t scaled = full / 10;
+    return scaled < floor ? (full < floor ? full : floor) : scaled;
+  }
+};
+
+/// Result of one grid point: metrics averaged over the run's repetitions
+/// (rep r uses seed derive_seed(trial.seed, r); rep 0 uses trial.seed).
+struct TrialResult {
+  Trial trial;
+  Metrics metrics;      ///< mean over repetitions, key-wise
+  std::size_t reps = 1;
+  double wall_ms = 0.0;  ///< host-dependent; excluded from determinism
+};
+
+/// The SHAPE verdict plus headline numbers for the JSON record.
+struct Verdict {
+  bool reproduced = false;
+  std::string detail;   ///< one line, printed after "SHAPE ..."
+  Metrics summary;      ///< experiment-level derived metrics (fits, ratios)
+};
+
+/// A registered paper experiment. Implementations are stateless: all
+/// mutable state lives inside run_trial's frame.
+class Experiment {
+ public:
+  virtual ~Experiment() = default;
+
+  /// Stable identifier; `pwf_bench --filter` matches substrings of this.
+  virtual std::string name() const = 0;
+  /// The paper artifact regenerated, e.g. "Theorem 4: ...".
+  virtual std::string artifact() const = 0;
+  /// The qualitative claim being checked.
+  virtual std::string claim() const = 0;
+  /// Default base seed (printed; overridden by --seed).
+  virtual std::uint64_t default_seed() const = 0;
+  /// True if trials measure the host (hardware threads, wall clock) and
+  /// must run alone; such experiments are also host-dependent, i.e. not
+  /// covered by the bit-identical determinism guarantee.
+  virtual bool exclusive() const { return false; }
+
+  virtual std::vector<Trial> trials(const RunOptions& options) const = 0;
+  virtual Metrics run_trial(const Trial& trial,
+                            const RunOptions& options) const = 0;
+  virtual Verdict analyze(const std::vector<TrialResult>& results,
+                          const RunOptions& options, std::ostream& os) const = 0;
+};
+
+/// SplitMix64-derived child seed: used for repetition seeds and anywhere
+/// an experiment needs several independent streams from one base seed.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept;
+
+/// Convenience for analyze() code reading 0/1 flags that become
+/// fractions when averaged over repetitions.
+inline bool flag(double mean_of_indicator) noexcept {
+  return mean_of_indicator > 0.5;
+}
+
+}  // namespace pwf::exp

@@ -1,0 +1,56 @@
+// Minimal JSON emitter for BENCH_results.json. No external dependency;
+// numbers are serialized with std::to_chars (shortest round-trip form),
+// so a given metric value always produces the same bytes — the property
+// the cross-thread-count determinism test diffs on.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace pwf::exp {
+
+/// JSON string literal (quotes + escapes control characters, '"', '\\').
+std::string json_escape(const std::string& raw);
+
+/// Shortest round-trip decimal form of a double. Non-finite values map to
+/// null (metrics are required to be finite; this is belt-and-braces for
+/// hand-written summaries).
+std::string json_number(double value);
+
+/// Streaming writer with just enough structure for the results file:
+/// explicit begin/end for objects and arrays, automatic commas.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Starts a "key": inside an object; follow with a value or container.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+
+  /// Whole metric map as an object value.
+  JsonWriter& value(const Metrics& metrics);
+
+ private:
+  void separate();  ///< emits ',' between siblings, tracks nesting
+
+  std::ostream& os_;
+  // Per-depth "has the current container already emitted a child?".
+  std::vector<bool> needs_comma_{false};
+  bool after_key_ = false;
+};
+
+}  // namespace pwf::exp

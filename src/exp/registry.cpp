@@ -1,0 +1,79 @@
+#include "exp/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace pwf::exp {
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  // Decorrelate (base, index) pairs before the SplitMix64 output stage so
+  // that nearby bases with nearby indices cannot collide.
+  SplitMix64 sm(base ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  return sm();
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(std::unique_ptr<Experiment> experiment) {
+  if (!experiment) {
+    throw std::invalid_argument("Registry: null experiment");
+  }
+  if (find(experiment->name()) != nullptr) {
+    throw std::invalid_argument("Registry: duplicate experiment name '" +
+                                experiment->name() + "'");
+  }
+  experiments_.push_back(std::move(experiment));
+}
+
+std::vector<const Experiment*> Registry::all() const {
+  std::vector<const Experiment*> out;
+  out.reserve(experiments_.size());
+  for (const auto& e : experiments_) out.push_back(e.get());
+  std::sort(out.begin(), out.end(),
+            [](const Experiment* a, const Experiment* b) {
+              return a->name() < b->name();
+            });
+  return out;
+}
+
+std::vector<const Experiment*> Registry::match(
+    const std::string& filter) const {
+  if (filter.empty()) return all();
+  std::vector<std::string> needles;
+  std::size_t pos = 0;
+  while (pos <= filter.size()) {
+    const std::size_t comma = filter.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? filter.size() : comma;
+    if (end > pos) needles.push_back(filter.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  std::vector<const Experiment*> out;
+  for (const Experiment* e : all()) {
+    for (const std::string& needle : needles) {
+      if (e->name().find(needle) != std::string::npos) {
+        out.push_back(e);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+const Experiment* Registry::find(const std::string& name) const {
+  for (const auto& e : experiments_) {
+    if (e->name() == name) return e.get();
+  }
+  return nullptr;
+}
+
+RegisterExperiment::RegisterExperiment(
+    std::unique_ptr<Experiment> experiment) {
+  Registry::instance().add(std::move(experiment));
+}
+
+}  // namespace pwf::exp

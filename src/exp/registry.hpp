@@ -1,0 +1,45 @@
+// Static experiment registry. Each experiment translation unit registers
+// itself at static-initialization time via RegisterExperiment; the driver
+// (and tests) enumerate by name. Registration order across translation
+// units is unspecified, so every accessor returns name-sorted views.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace pwf::exp {
+
+class Registry {
+ public:
+  /// The process-wide registry (function-local static: safe during the
+  /// static initialization of the registration objects).
+  static Registry& instance();
+
+  /// Takes ownership. Throws std::invalid_argument on duplicate names.
+  void add(std::unique_ptr<Experiment> experiment);
+
+  /// All experiments, sorted by name.
+  std::vector<const Experiment*> all() const;
+
+  /// Experiments whose name contains any of the comma-separated
+  /// substrings in `filter` (empty filter = all), sorted by name.
+  std::vector<const Experiment*> match(const std::string& filter) const;
+
+  /// Exact-name lookup; nullptr if absent.
+  const Experiment* find(const std::string& name) const;
+
+  std::size_t size() const noexcept { return experiments_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Experiment>> experiments_;
+};
+
+/// File-scope helper: `static RegisterExperiment reg(make_thm4());`
+struct RegisterExperiment {
+  explicit RegisterExperiment(std::unique_ptr<Experiment> experiment);
+};
+
+}  // namespace pwf::exp

@@ -1,0 +1,115 @@
+#include "exp/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace pwf::exp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// One (grid point, repetition) unit of work.
+struct Job {
+  std::size_t grid_index = 0;
+  Trial trial;  // seed already replaced with the repetition seed
+  Metrics metrics;
+  double wall_ms = 0.0;
+  std::exception_ptr error;
+};
+
+void run_job(const Experiment& experiment, const RunOptions& options,
+             Job& job) {
+  const auto start = Clock::now();
+  try {
+    job.metrics = experiment.run_trial(job.trial, options);
+  } catch (...) {
+    job.error = std::current_exception();
+  }
+  job.wall_ms = ms_since(start);
+}
+
+}  // namespace
+
+TrialRunner::TrialRunner(RunOptions options) : options_(options) {
+  if (options_.threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options_.threads = hw ? hw : 1;
+  }
+  if (options_.trials == 0) options_.trials = 1;
+}
+
+ExperimentRun TrialRunner::run(const Experiment& experiment) const {
+  const auto start = Clock::now();
+  ExperimentRun out;
+  out.experiment = &experiment;
+  out.base_seed = options_.base_seed(experiment.default_seed());
+
+  const std::vector<Trial> grid = experiment.trials(options_);
+  const std::size_t reps = options_.trials;
+
+  std::vector<Job> jobs;
+  jobs.reserve(grid.size() * reps);
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    for (std::size_t r = 0; r < reps; ++r) {
+      Job job;
+      job.grid_index = g;
+      job.trial = grid[g];
+      if (r > 0) job.trial.seed = derive_seed(grid[g].seed, r);
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  const std::size_t pool_size =
+      experiment.exclusive() ? 1 : std::min(options_.threads, jobs.size());
+  if (pool_size <= 1) {
+    for (Job& job : jobs) run_job(experiment, options_, job);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs.size()) return;
+        run_job(experiment, options_, jobs[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(pool_size);
+    for (std::size_t t = 0; t < pool_size; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const Job& job : jobs) {
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+  // Fold repetitions into grid-order results (key-wise mean). A metric
+  // key must appear in every repetition of its grid point.
+  out.results.resize(grid.size());
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    out.results[g].trial = grid[g];
+    out.results[g].reps = reps;
+  }
+  for (const Job& job : jobs) {
+    TrialResult& result = out.results[job.grid_index];
+    result.wall_ms += job.wall_ms;
+    for (const auto& [key, value] : job.metrics) {
+      result.metrics[key] += value / static_cast<double>(reps);
+    }
+  }
+  std::ostringstream body;
+  out.verdict = experiment.analyze(out.results, options_, body);
+  out.text = body.str();
+  out.wall_ms = ms_since(start);
+  return out;
+}
+
+}  // namespace pwf::exp

@@ -1,0 +1,42 @@
+// The parallel trial runner. Fans an experiment's (config, seed) trials
+// across a std::thread worker pool; because every trial owns its own
+// Simulation/RNG and results are stored by grid index, the metric output
+// is bit-identical for any pool size (only wall time changes).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace pwf::exp {
+
+/// One completed experiment: everything the sinks need.
+struct ExperimentRun {
+  const Experiment* experiment = nullptr;
+  std::uint64_t base_seed = 0;   ///< effective (after --seed)
+  std::vector<TrialResult> results;  ///< grid order
+  Verdict verdict;
+  std::string text;    ///< analyze()'s rendered body (tables, prose)
+  double wall_ms = 0.0;
+};
+
+class TrialRunner {
+ public:
+  explicit TrialRunner(RunOptions options);
+
+  /// Runs the full grid (options.trials repetitions per point) and then
+  /// analyze(). Exclusive experiments run their trials sequentially on
+  /// the calling thread. Trial exceptions propagate to the caller after
+  /// the pool drains.
+  ExperimentRun run(const Experiment& experiment) const;
+
+  const RunOptions& options() const noexcept { return options_; }
+
+ private:
+  RunOptions options_;
+};
+
+}  // namespace pwf::exp

@@ -1,0 +1,107 @@
+#include "exp/sink.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "exp/json.hpp"
+
+namespace pwf::exp {
+
+void write_text(std::ostream& os, const ExperimentRun& run) {
+  const Experiment& e = *run.experiment;
+  os << "================================================================\n"
+     << e.artifact() << '\n'
+     << e.claim() << '\n'
+     << "================================================================\n"
+     << "(experiment = " << e.name() << ", seed = " << run.base_seed << ")\n";
+  os << run.text;
+  os << "\nSHAPE " << (run.verdict.reproduced ? "REPRODUCED" : "NOT REPRODUCED")
+     << ": " << run.verdict.detail << "\n\n";
+}
+
+void ResultSink::add(ExperimentRun run) { runs_.push_back(std::move(run)); }
+
+bool ResultSink::all_reproduced() const noexcept {
+  for (const ExperimentRun& run : runs_) {
+    if (!run.verdict.reproduced) return false;
+  }
+  return true;
+}
+
+std::size_t ResultSink::num_reproduced() const noexcept {
+  std::size_t count = 0;
+  for (const ExperimentRun& run : runs_) {
+    if (run.verdict.reproduced) ++count;
+  }
+  return count;
+}
+
+void ResultSink::write_json(std::ostream& os,
+                            const RunOptions& options) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value("pwf-bench-results/1");
+  w.key("options").begin_object();
+  w.key("seed_override").value(options.seed_override);
+  w.key("quick").value(options.quick);
+  w.key("threads").value(static_cast<std::uint64_t>(options.threads));
+  w.key("trials").value(static_cast<std::uint64_t>(options.trials));
+  w.end_object();
+  w.key("all_reproduced").value(all_reproduced());
+  w.key("experiments").begin_array();
+  for (const ExperimentRun& run : runs_) {
+    const Experiment& e = *run.experiment;
+    w.begin_object();
+    w.key("name").value(e.name());
+    w.key("artifact").value(e.artifact());
+    w.key("claim").value(e.claim());
+    w.key("seed").value(run.base_seed);
+    w.key("exclusive").value(e.exclusive());
+    w.key("reproduced").value(run.verdict.reproduced);
+    w.key("verdict").value(run.verdict.detail);
+    w.key("summary").value(run.verdict.summary);
+    w.key("wall_ms").value(run.wall_ms);
+    w.key("trials").begin_array();
+    for (const TrialResult& result : run.results) {
+      w.begin_object();
+      w.key("id").value(result.trial.id);
+      w.key("params").value(result.trial.params);
+      w.key("seed").value(result.trial.seed);
+      w.key("reps").value(static_cast<std::uint64_t>(result.reps));
+      w.key("metrics").value(result.metrics);
+      w.key("wall_ms").value(result.wall_ms);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+std::string ResultSink::metrics_fingerprint() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  for (const ExperimentRun& run : runs_) {
+    w.key(run.experiment->name()).begin_object();
+    w.key("seed").value(run.base_seed);
+    w.key("reproduced").value(run.verdict.reproduced);
+    w.key("summary").value(run.verdict.summary);
+    w.key("trials").begin_array();
+    for (const TrialResult& result : run.results) {
+      w.begin_object();
+      w.key("id").value(result.trial.id);
+      w.key("seed").value(result.trial.seed);
+      w.key("metrics").value(result.metrics);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace pwf::exp

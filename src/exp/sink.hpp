@@ -1,0 +1,53 @@
+// Result sinks: the uniform text rendering every experiment shares
+// (header / seed / SHAPE verdict — formerly bench/bench_common.hpp) and
+// the structured JSON writer behind `pwf_bench --json`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace pwf::exp {
+
+/// Renders one completed experiment in the classic bench format:
+/// banner, artifact, claim, seed, analyze() body, SHAPE verdict.
+void write_text(std::ostream& os, const ExperimentRun& run);
+
+/// Collects completed experiments and serializes BENCH_results.json.
+class ResultSink {
+ public:
+  void add(ExperimentRun run);
+
+  const std::vector<ExperimentRun>& runs() const noexcept { return runs_; }
+  bool all_reproduced() const noexcept;
+  std::size_t num_reproduced() const noexcept;
+
+  /// Schema (pwf-bench-results/1):
+  /// {
+  ///   "schema": "pwf-bench-results/1",
+  ///   "options": {"seed_override", "quick", "threads", "trials"},
+  ///   "all_reproduced": bool,
+  ///   "experiments": [{
+  ///     "name", "artifact", "claim", "seed", "exclusive",
+  ///     "reproduced", "verdict", "summary": {metric: value},
+  ///     "wall_ms",
+  ///     "trials": [{"id", "params": {...}, "seed", "reps",
+  ///                 "metrics": {...}, "wall_ms"}]
+  ///   }]
+  /// }
+  /// Metric maps are deterministic for a fixed seed regardless of
+  /// --threads; "wall_ms" fields and exclusive (hardware) experiments'
+  /// metrics are host-dependent.
+  void write_json(std::ostream& os, const RunOptions& options) const;
+
+  /// The metric-bearing fragment only (trial metrics + summaries), used
+  /// by the determinism tests to diff runs across thread counts.
+  std::string metrics_fingerprint() const;
+
+ private:
+  std::vector<ExperimentRun> runs_;
+};
+
+}  // namespace pwf::exp

@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <numeric>
 #include <vector>
+
+#include "core/algorithms.hpp"
+#include "core/simulation.hpp"
 
 namespace pwf::core {
 namespace {
@@ -132,6 +136,89 @@ TEST(StickyScheduler, RepeatsMoreThanUniform) {
   }
   // Expected repeat rate = rho + (1-rho)/n = 0.9 + 0.025 = 0.925.
   EXPECT_NEAR(static_cast<double>(repeats) / kDraws, 0.925, 0.01);
+}
+
+TEST(StickyScheduler, NeverSchedulesACrashedFavourite) {
+  // Regression: the scheduler keeps its previous pick as the sticky
+  // favourite. If that process crashes (leaves the active set) the
+  // favourite must not be scheduled again, even before on_crash() is
+  // delivered — membership in A_tau wins over stickiness.
+  StickyScheduler sched(0.95);
+  auto active = iota_active(4);
+  Xoshiro256pp rng(11);
+  // Establish some favourite, then crash it.
+  const std::size_t favourite = sched.next(0, active, rng);
+  active.erase(std::find(active.begin(), active.end(), favourite));
+  for (int i = 0; i < 20'000; ++i) {
+    EXPECT_NE(sched.next(i + 1, active, rng), favourite);
+  }
+}
+
+TEST(StickyScheduler, UniformFallbackAfterFavouriteCrashes) {
+  // After the favourite crashes, the survivors must share steps
+  // uniformly in the long run — a stale favourite would skew the very
+  // first redraw, a sticky-but-reset one does not.
+  StickyScheduler sched(0.9);
+  auto active = iota_active(4);
+  Xoshiro256pp rng(23);
+  const std::size_t favourite = sched.next(0, active, rng);
+  active.erase(std::find(active.begin(), active.end(), favourite));
+  sched.on_crash(favourite);
+  std::vector<double> freq(4, 0.0);
+  constexpr int kDraws = 300'000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++freq.at(sched.next(i + 1, active, rng));
+  }
+  EXPECT_DOUBLE_EQ(freq[favourite], 0.0);
+  for (std::size_t p : active) {
+    EXPECT_NEAR(freq[p] / kDraws, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(StickyScheduler, OnCrashOfBystanderKeepsFavourite) {
+  // on_crash for a process that is not the favourite must not disturb
+  // stickiness: with rho = 1 - epsilon the favourite keeps running.
+  StickyScheduler sched(0.999);
+  auto active = iota_active(4);
+  Xoshiro256pp rng(7);
+  const std::size_t favourite = sched.next(0, active, rng);
+  const std::size_t bystander = (favourite + 1) % 4;
+  active.erase(std::find(active.begin(), active.end(), bystander));
+  sched.on_crash(bystander);
+  int kept = 0;
+  for (int i = 0; i < 1'000; ++i) {
+    if (sched.next(i + 1, active, rng) == favourite) ++kept;
+  }
+  EXPECT_GT(kept, 980);
+}
+
+TEST(StickyScheduler, CrashPlanInSimulationKeepsSurvivorsProgressing) {
+  // End-to-end regression for the crash-notification path: drive
+  // scan-validate under a very sticky scheduler, crash the top half of
+  // the processes mid-run (each crash likely hits the current
+  // favourite), and require every survivor to keep completing with
+  // near-uniform step shares afterwards.
+  constexpr std::size_t kN = 4;
+  Simulation::Options opts;
+  opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
+  opts.seed = 99;
+  Simulation sim(kN, scan_validate_factory(),
+                 std::make_unique<StickyScheduler>(0.95), opts);
+  sim.schedule_crash(50'000, 3);
+  sim.schedule_crash(100'000, 2);
+  sim.run(150'000);
+  sim.reset_stats();
+  sim.run(300'000);
+  ASSERT_EQ(sim.active().size(), 2u);
+  const auto& report = sim.report();
+  for (std::size_t p = 0; p < 2; ++p) {
+    EXPECT_GT(report.completions_per_process[p], 0u);
+    EXPECT_NEAR(static_cast<double>(report.steps_per_process[p]) /
+                    static_cast<double>(report.steps),
+                0.5, 0.05);
+  }
+  EXPECT_EQ(report.steps_per_process[2], 0u);
+  EXPECT_EQ(report.steps_per_process[3], 0u);
 }
 
 TEST(StickyScheduler, ThetaAccountsForStickiness) {

@@ -1,0 +1,231 @@
+// Tests for the experiment framework: registry lookup/filtering, the
+// parallel trial runner's determinism and repetition averaging, and the
+// JSON writer's output shape.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/json.hpp"
+#include "exp/registry.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
+
+namespace pwf::exp {
+namespace {
+
+/// A tiny deterministic experiment: metric = seed-dependent pseudo-random
+/// value so that thread-count invariance is a real check, not a tautology.
+class ToyExperiment final : public Experiment {
+ public:
+  explicit ToyExperiment(std::string name = "toy", bool throws = false)
+      : name_(std::move(name)), throws_(throws) {}
+
+  std::string name() const override { return name_; }
+  std::string artifact() const override { return "toy artifact"; }
+  std::string claim() const override { return "toy claim"; }
+  std::uint64_t default_seed() const override { return 17; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    std::vector<Trial> grid;
+    for (int i = 0; i < 6; ++i) {
+      Trial t;
+      t.id = "i=" + std::to_string(i);
+      t.params = {{"i", static_cast<double>(i)}};
+      t.seed = derive_seed(base, static_cast<std::uint64_t>(i));
+      grid.push_back(std::move(t));
+    }
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& /*options*/) const override {
+    if (throws_) throw std::runtime_error("toy trial failure");
+    // A few SplitMix64 steps: distinct per seed, identical per rerun.
+    const double value =
+        static_cast<double>(derive_seed(trial.seed, 1) % 1000) / 1000.0;
+    return {{"value", value}, {"i_echo", trial.params.at("i")}};
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& /*options*/,
+                  std::ostream& os) const override {
+    os << "toy body\n";
+    Verdict v;
+    v.reproduced = results.size() == 6;
+    v.detail = "toy detail";
+    v.summary = {{"n_results", static_cast<double>(results.size())}};
+    return v;
+  }
+
+ private:
+  std::string name_;
+  bool throws_;
+};
+
+TEST(Registry, HasAllBenchExperiments) {
+  auto& reg = Registry::instance();
+  EXPECT_GE(reg.size(), 18u);
+  for (const char* name :
+       {"thm4_scu_latency", "ballsbins_phases", "fig1_chain_lifting",
+        "fig5_completion_rate", "sched_robustness", "progress_hierarchy"}) {
+    EXPECT_NE(reg.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(reg.find("no_such_experiment"), nullptr);
+}
+
+TEST(Registry, AllIsNameSorted) {
+  const auto all = Registry::instance().all();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1]->name(), all[i]->name());
+  }
+}
+
+TEST(Registry, MatchFiltersBySubstringList) {
+  auto& reg = Registry::instance();
+  const auto figs = reg.match("fig");
+  EXPECT_GE(figs.size(), 4u);
+  for (const Experiment* e : figs) {
+    EXPECT_NE(e->name().find("fig"), std::string::npos);
+  }
+  const auto two = reg.match("thm4,ballsbins");
+  EXPECT_EQ(two.size(), 2u);
+  EXPECT_EQ(reg.match("").size(), reg.size());
+  EXPECT_TRUE(reg.match("zzz_nothing").empty());
+}
+
+TEST(Registry, RejectsDuplicateNames) {
+  auto& reg = Registry::instance();
+  ASSERT_NE(reg.find("thm4_scu_latency"), nullptr);
+  EXPECT_THROW(reg.add(std::make_unique<ToyExperiment>("thm4_scu_latency")),
+               std::invalid_argument);
+}
+
+TEST(TrialRunner, MetricsAreThreadCountInvariant) {
+  ToyExperiment toy;
+  RunOptions one;
+  one.threads = 1;
+  RunOptions eight;
+  eight.threads = 8;
+  const ExperimentRun a = TrialRunner(one).run(toy);
+  const ExperimentRun b = TrialRunner(eight).run(toy);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].trial.id, b.results[i].trial.id);
+    EXPECT_EQ(a.results[i].trial.seed, b.results[i].trial.seed);
+    EXPECT_EQ(a.results[i].metrics, b.results[i].metrics);
+  }
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.verdict.reproduced, b.verdict.reproduced);
+}
+
+TEST(TrialRunner, SeedOverrideChangesEveryTrialSeed) {
+  ToyExperiment toy;
+  RunOptions dflt;
+  RunOptions forced;
+  forced.seed_override = 123;
+  const ExperimentRun a = TrialRunner(dflt).run(toy);
+  const ExperimentRun b = TrialRunner(forced).run(toy);
+  EXPECT_EQ(a.base_seed, 17u);
+  EXPECT_EQ(b.base_seed, 123u);
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_NE(a.results[i].trial.seed, b.results[i].trial.seed);
+    EXPECT_NE(a.results[i].metrics.at("value"),
+              b.results[i].metrics.at("value"));
+  }
+}
+
+TEST(TrialRunner, RepetitionsAverageKeyWise) {
+  ToyExperiment toy;
+  RunOptions reps;
+  reps.trials = 3;
+  const ExperimentRun run = TrialRunner(reps).run(toy);
+  for (const TrialResult& r : run.results) {
+    EXPECT_EQ(r.reps, 3u);
+    // Reproduce the runner's folding by hand: rep 0 = trial.seed, rep
+    // r > 0 = derive_seed(trial.seed, r).
+    double sum = 0.0;
+    for (std::uint64_t rep = 0; rep < 3; ++rep) {
+      const std::uint64_t seed =
+          rep == 0 ? r.trial.seed : derive_seed(r.trial.seed, rep);
+      sum += static_cast<double>(derive_seed(seed, 1) % 1000) / 1000.0;
+    }
+    EXPECT_DOUBLE_EQ(r.metrics.at("value"), sum / 3.0);
+    // Constant-per-trial metrics survive averaging exactly.
+    EXPECT_DOUBLE_EQ(r.metrics.at("i_echo"), r.trial.params.at("i"));
+  }
+}
+
+TEST(TrialRunner, TrialExceptionsPropagate) {
+  ToyExperiment bad("toy_bad", /*throws=*/true);
+  RunOptions opts;
+  opts.threads = 4;
+  EXPECT_THROW(TrialRunner(opts).run(bad), std::runtime_error);
+}
+
+TEST(DeriveSeed, IsDeterministicAndSpreads) {
+  EXPECT_EQ(derive_seed(1, 0), derive_seed(1, 0));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+TEST(Json, EscapesAndFormatsNumbers) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+  EXPECT_EQ(json_number(0.5), "0.5");
+  EXPECT_EQ(json_number(1e300), "1e+300");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  // Shortest round-trip form: parsing json_number(x) must recover x.
+  const double x = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(json_number(x)), x);
+}
+
+TEST(ResultSink, JsonHasSchemaAndExperimentRecords) {
+  ToyExperiment toy;
+  RunOptions opts;
+  opts.quick = true;
+  ResultSink sink;
+  sink.add(TrialRunner(opts).run(toy));
+  EXPECT_TRUE(sink.all_reproduced());
+  EXPECT_EQ(sink.num_reproduced(), 1u);
+
+  std::ostringstream os;
+  sink.write_json(os, opts);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\":\"pwf-bench-results/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"toy\""), std::string::npos);
+  EXPECT_NE(json.find("\"quick\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"trials\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\""), std::string::npos);
+  EXPECT_NE(json.find("\"reproduced\":true"), std::string::npos);
+}
+
+TEST(ResultSink, FingerprintIgnoresWallTime) {
+  ToyExperiment toy;
+  RunOptions opts;
+  ResultSink a, b;
+  ExperimentRun ra = TrialRunner(opts).run(toy);
+  ExperimentRun rb = TrialRunner(opts).run(toy);
+  ra.wall_ms = 1.0;
+  rb.wall_ms = 99999.0;
+  for (auto& r : rb.results) r.wall_ms = 1234.5;
+  a.add(std::move(ra));
+  b.add(std::move(rb));
+  EXPECT_EQ(a.metrics_fingerprint(), b.metrics_fingerprint());
+}
+
+TEST(RunOptions, HorizonQuickScaling) {
+  RunOptions full;
+  EXPECT_EQ(full.horizon(1'000'000), 1'000'000u);
+  RunOptions quick;
+  quick.quick = true;
+  EXPECT_EQ(quick.horizon(1'000'000), 100'000u);
+  EXPECT_EQ(quick.horizon(200'000, 50'000), 50'000u);   // floor clamps
+  EXPECT_EQ(quick.horizon(30'000, 50'000), 30'000u);    // full below floor
+}
+
+}  // namespace
+}  // namespace pwf::exp

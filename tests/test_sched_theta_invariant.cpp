@@ -1,0 +1,100 @@
+// Empirical Definition-1 check for every stochastic scheduler in the
+// repo: over a long run, each active process must be scheduled with
+// frequency at least theta(n) — the weak-fairness threshold the paper's
+// Theorem 3 hypotheses rest on. (Adversarial/round-robin schedulers
+// declare theta = 0 and are exempt by definition.)
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace pwf::core {
+namespace {
+
+constexpr std::size_t kN = 6;
+constexpr int kDraws = 1'000'000;
+
+struct Candidate {
+  std::string label;
+  std::unique_ptr<Scheduler> scheduler;
+};
+
+std::vector<Candidate> stochastic_schedulers() {
+  std::vector<Candidate> out;
+  out.push_back({"uniform", std::make_unique<UniformScheduler>()});
+  out.push_back({"weighted 1..n",
+                 std::make_unique<WeightedScheduler>(
+                     std::vector<double>{1, 2, 3, 4, 5, 6})});
+  out.push_back({"zipf 1.0", std::make_unique<WeightedScheduler>(
+                                 make_zipf_scheduler(kN, 1.0))});
+  out.push_back({"lottery", std::make_unique<WeightedScheduler>(
+                                make_lottery_scheduler(
+                                    {1, 1, 2, 3, 5, 8}))});
+  out.push_back({"sticky 0.8", std::make_unique<StickyScheduler>(0.8)});
+  out.push_back(
+      {"theta-mix 0.05 over adversary",
+       std::make_unique<ThetaMixScheduler>(
+           0.05, std::make_unique<AdversarialScheduler>(
+                     [](std::uint64_t, std::span<const std::size_t> active) {
+                       return active.back();
+                     }))});
+  return out;
+}
+
+TEST(ThetaInvariant, EveryProcessScheduledAtLeastThetaOfTheTime) {
+  for (Candidate& c : stochastic_schedulers()) {
+    std::vector<std::size_t> active(kN);
+    std::iota(active.begin(), active.end(), std::size_t{0});
+    const double theta = c.scheduler->theta(kN);
+    ASSERT_GT(theta, 0.0) << c.label;
+    ASSERT_LE(theta, 1.0 / static_cast<double>(kN)) << c.label;
+
+    Xoshiro256pp rng(20140701);
+    std::vector<std::uint64_t> count(kN, 0);
+    for (int i = 0; i < kDraws; ++i) {
+      ++count.at(c.scheduler->next(static_cast<std::uint64_t>(i), active,
+                                   rng));
+    }
+    for (std::size_t p = 0; p < kN; ++p) {
+      const double freq =
+          static_cast<double>(count[p]) / static_cast<double>(kDraws);
+      // 5% slack absorbs sampling noise at 1e6 draws; a scheduler whose
+      // true frequency dips below theta fails by far more than that.
+      EXPECT_GE(freq, 0.95 * theta) << c.label << " process " << p;
+    }
+  }
+}
+
+TEST(ThetaInvariant, HoldsAfterCrashesShrinkTheActiveSet) {
+  for (Candidate& c : stochastic_schedulers()) {
+    // Crash processes kN-1 and kN-2; notify and re-measure on survivors.
+    std::vector<std::size_t> active(kN - 2);
+    std::iota(active.begin(), active.end(), std::size_t{0});
+    c.scheduler->on_crash(kN - 1);
+    c.scheduler->on_crash(kN - 2);
+    const double theta = c.scheduler->theta(active.size());
+    ASSERT_GT(theta, 0.0) << c.label;
+
+    Xoshiro256pp rng(20140702);
+    std::vector<std::uint64_t> count(kN, 0);
+    for (int i = 0; i < kDraws; ++i) {
+      ++count.at(c.scheduler->next(static_cast<std::uint64_t>(i), active,
+                                   rng));
+    }
+    EXPECT_EQ(count[kN - 1], 0u) << c.label;
+    EXPECT_EQ(count[kN - 2], 0u) << c.label;
+    for (std::size_t p = 0; p + 2 < kN; ++p) {
+      const double freq =
+          static_cast<double>(count[p]) / static_cast<double>(kDraws);
+      EXPECT_GE(freq, 0.95 * theta) << c.label << " process " << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pwf::core
