@@ -41,6 +41,7 @@ void print_usage(std::ostream& os) {
         "  --trials N        repetitions per grid point, averaged "
         "(default 1)\n"
         "  --json PATH       write structured results to PATH\n"
+        "  --out PATH        alias for --json; '-' writes to stdout\n"
         "  --help            this message\n";
 }
 
@@ -89,7 +90,7 @@ bool parse_args(int argc, char** argv, Args& args, std::string& error) {
           error = "--trials must be >= 1";
           return false;
         }
-      } else if (arg == "--json") {
+      } else if (arg == "--json" || arg == "--out") {
         const char* v = need_value(i, arg);
         if (!v) return false;
         args.json_path = v;
@@ -171,14 +172,18 @@ int main(int argc, char** argv) {
   std::cout << "\n";
 
   if (!args.json_path.empty()) {
-    std::ofstream out(args.json_path);
-    if (!out) {
-      std::cerr << "pwf_bench: cannot open " << args.json_path
-                << " for writing\n";
-      return 2;
+    if (args.json_path == "-") {
+      sink.write_json(std::cout, runner.options());
+    } else {
+      std::ofstream out(args.json_path);
+      if (!out) {
+        std::cerr << "pwf_bench: cannot open " << args.json_path
+                  << " for writing\n";
+        return 2;
+      }
+      sink.write_json(out, runner.options());
+      std::cout << "results written to " << args.json_path << "\n";
     }
-    sink.write_json(out, runner.options());
-    std::cout << "results written to " << args.json_path << "\n";
   }
 
   return sink.all_reproduced() ? 0 : 1;

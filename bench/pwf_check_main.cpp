@@ -1,0 +1,388 @@
+// pwf_check — the linearizability checking driver. Mirrors pwf_bench's
+// flag conventions over the src/check subsystem: it explores randomized
+// schedules (with crash plans) per workload, checks every captured
+// history, minimizes failing traces, and reports per-workload verdicts.
+//
+//   pwf_check --list                  enumerate workloads + hw structures
+//   pwf_check --filter stack,queue    substring selection (comma-separated)
+//   pwf_check --schedules 100         schedules per workload
+//   pwf_check --steps N / --n N       override horizon / process count
+//   pwf_check --seed 123              base seed
+//   pwf_check --smoke                 CI preset (small, < 60 s, all checks)
+//   pwf_check --hw                    also capture + check hardware runs
+//   pwf_check --replay t.trace        strict-replay a saved trace
+//   pwf_check --save-trace PATH       save the first witness trace
+//   pwf_check --out PATH              JSON report (pwf-check-report/1);
+//                                     '-' means stdout
+//
+// Exit status: 0 iff every selected workload matched its expectation
+// (stock structures LINEARIZABLE everywhere, mutants caught with a
+// replayable witness) and every hardware capture (if requested) passed.
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/explore.hpp"
+#include "check/hw_capture.hpp"
+#include "check/trace.hpp"
+#include "check/workloads.hpp"
+#include "exp/json.hpp"
+
+namespace {
+
+using namespace pwf;
+
+void print_usage(std::ostream& os) {
+  os << "usage: pwf_check [options]\n"
+        "  --list            list workloads and hardware structures\n"
+        "  --filter NAMES    run workloads whose name contains any of the\n"
+        "                    comma-separated substrings (default: all)\n"
+        "  --schedules N     random schedules per workload (default 100)\n"
+        "  --steps N         steps per schedule (default: per workload)\n"
+        "  --n N             processes (default: per workload)\n"
+        "  --seed N          base seed (default 1)\n"
+        "  --no-crashes      disable crash plans\n"
+        "  --no-minimize     report the first failing trace unshrunk\n"
+        "  --smoke           CI preset: reduced schedules, all workloads,\n"
+        "                    hardware captures included\n"
+        "  --hw              capture + check the hardware structures too\n"
+        "  --replay PATH     strict-replay a pwf-trace/1 file and exit\n"
+        "  --save-trace PATH write the first witness trace to PATH\n"
+        "  --out PATH        write a JSON report ('-' = stdout)\n"
+        "  --help            this message\n";
+}
+
+struct Args {
+  check::ExploreOptions explore;
+  std::string filter;
+  std::string out_path;
+  std::string replay_path;
+  std::string save_trace_path;
+  bool list = false;
+  bool help = false;
+  bool smoke = false;
+  bool hw = false;
+};
+
+bool parse_args(int argc, char** argv, Args& args, std::string& error) {
+  auto need_value = [&](int& i, const std::string& flag) -> const char* {
+    if (i + 1 >= argc) {
+      error = flag + " requires a value";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--list") {
+        args.list = true;
+      } else if (arg == "--help" || arg == "-h") {
+        args.help = true;
+      } else if (arg == "--smoke") {
+        args.smoke = true;
+      } else if (arg == "--hw") {
+        args.hw = true;
+      } else if (arg == "--no-crashes") {
+        args.explore.crashes = false;
+      } else if (arg == "--no-minimize") {
+        args.explore.minimize = false;
+      } else if (arg == "--filter") {
+        const char* v = need_value(i, arg);
+        if (!v) return false;
+        args.filter = v;
+      } else if (arg == "--schedules") {
+        const char* v = need_value(i, arg);
+        if (!v) return false;
+        args.explore.schedules = std::stoul(v);
+      } else if (arg == "--steps") {
+        const char* v = need_value(i, arg);
+        if (!v) return false;
+        args.explore.steps = std::stoull(v);
+      } else if (arg == "--n") {
+        const char* v = need_value(i, arg);
+        if (!v) return false;
+        args.explore.n = std::stoul(v);
+      } else if (arg == "--seed") {
+        const char* v = need_value(i, arg);
+        if (!v) return false;
+        args.explore.base_seed = std::stoull(v);
+      } else if (arg == "--replay") {
+        const char* v = need_value(i, arg);
+        if (!v) return false;
+        args.replay_path = v;
+      } else if (arg == "--save-trace") {
+        const char* v = need_value(i, arg);
+        if (!v) return false;
+        args.save_trace_path = v;
+      } else if (arg == "--out") {
+        const char* v = need_value(i, arg);
+        if (!v) return false;
+        args.out_path = v;
+      } else {
+        error = "unknown option: " + arg;
+        return false;
+      }
+    } catch (const std::exception&) {
+      error = "bad value for " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool matches_filter(const std::string& name, const std::string& filter) {
+  if (filter.empty()) return true;
+  std::stringstream ss(filter);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty() && name.find(token) != std::string::npos) return true;
+  }
+  return false;
+}
+
+struct WorkloadReport {
+  std::string name;
+  bool expect_linearizable = false;
+  check::ExploreResult result;
+  bool fp_stable = false;  ///< witness replays to the same fingerprint twice
+  bool pass = false;
+  double wall_ms = 0.0;
+};
+
+int run_replay(const Args& args) {
+  std::ifstream in(args.replay_path);
+  if (!in) {
+    std::cerr << "pwf_check: cannot open " << args.replay_path << "\n";
+    return 2;
+  }
+  const check::ScheduleTrace trace = check::ScheduleTrace::parse(in);
+  const check::Workload& workload = check::find_workload(trace.workload);
+  const check::RunOutcome out =
+      check::replay_trace(workload, trace, /*strict=*/true, {});
+  std::cout << "workload:            " << workload.name << "\n"
+            << "trace fingerprint:   " << trace.fingerprint() << "\n"
+            << "history fingerprint: " << out.history.fingerprint() << "\n"
+            << "verdict:             " << check::verdict_name(out.lin.verdict)
+            << " (" << out.lin.nodes << " nodes)\n\n"
+            << out.history.render();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  std::string error;
+  if (!parse_args(argc, argv, args, error)) {
+    std::cerr << "pwf_check: " << error << "\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+  if (args.help) {
+    print_usage(std::cout);
+    return 0;
+  }
+  if (args.list) {
+    std::cout << "simulated workloads:\n";
+    for (const check::Workload& w : check::workloads()) {
+      std::cout << "  " << w.name << "  [spec: " << w.spec_kind << ", expect "
+                << (w.expect_linearizable ? "LINEARIZABLE" : "violation")
+                << "]\n      " << w.note << "\n";
+    }
+    std::cout << "hardware structures (--hw):\n";
+    for (const std::string& s : check::hw_structures()) {
+      std::cout << "  " << s << "\n";
+    }
+    return 0;
+  }
+  if (!args.replay_path.empty()) {
+    try {
+      return run_replay(args);
+    } catch (const std::exception& ex) {
+      std::cerr << "pwf_check: replay failed: " << ex.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (args.smoke) {
+    // The CI preset: every workload, crash plans on, minimization on,
+    // hardware captures on — sized to finish well under a minute.
+    args.explore.schedules = 40;
+    args.hw = true;
+  }
+
+  std::vector<WorkloadReport> reports;
+  bool all_pass = true;
+  bool saved_trace = false;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (const check::Workload& workload : check::workloads()) {
+    if (!matches_filter(workload.name, args.filter)) continue;
+    WorkloadReport report;
+    report.name = workload.name;
+    report.expect_linearizable = workload.expect_linearizable;
+    const auto w0 = std::chrono::steady_clock::now();
+    try {
+      report.result = check::explore(workload, args.explore);
+      if (report.result.witness) {
+        const auto again = check::replay_trace(
+            workload, report.result.witness->trace, /*strict=*/true,
+            args.explore.check);
+        report.fp_stable = again.history.fingerprint() ==
+                           report.result.witness->history_fingerprint;
+      }
+    } catch (const std::exception& ex) {
+      std::cerr << "pwf_check: workload '" << workload.name
+                << "' failed: " << ex.what() << "\n";
+      return 2;
+    }
+    report.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - w0)
+                         .count();
+    report.pass =
+        report.result.as_expected(workload.expect_linearizable) &&
+        report.result.unknowns == 0 &&
+        (workload.expect_linearizable || report.fp_stable);
+    all_pass = all_pass && report.pass;
+
+    std::cout << workload.name << ": " << report.result.violations << "/"
+              << report.result.schedules_run << " schedules non-linearizable"
+              << (workload.expect_linearizable ? "" : " (mutant)") << " -> "
+              << (report.pass ? "OK" : "FAIL") << "\n";
+    if (report.result.witness) {
+      const check::Witness& w = *report.result.witness;
+      std::cout << "  witness: " << w.history_events << " events, "
+                << w.trace.steps.size() << " steps, trace fp "
+                << w.trace_fingerprint << ", history fp "
+                << w.history_fingerprint
+                << (report.fp_stable ? " (replay-stable)" : " (UNSTABLE)")
+                << "\n";
+      std::istringstream lines(w.rendered);
+      for (std::string line; std::getline(lines, line);) {
+        std::cout << "    " << line << "\n";
+      }
+      if (!args.save_trace_path.empty() && !saved_trace) {
+        std::ofstream out(args.save_trace_path);
+        if (!out) {
+          std::cerr << "pwf_check: cannot open " << args.save_trace_path
+                    << "\n";
+          return 2;
+        }
+        w.trace.serialize(out);
+        saved_trace = true;
+        std::cout << "  trace written to " << args.save_trace_path << "\n";
+      }
+    }
+    reports.push_back(std::move(report));
+  }
+
+  if (reports.empty() && !args.hw) {
+    std::cerr << "pwf_check: no workload matches filter '" << args.filter
+              << "' (see --list)\n";
+    return 2;
+  }
+
+  std::vector<check::HwCaptureResult> hw_results;
+  if (args.hw) {
+    check::HwCaptureOptions hw_opts;
+    hw_opts.seed = args.explore.base_seed;
+    if (args.smoke) hw_opts.ops_per_thread = 120;
+    for (const std::string& structure : check::hw_structures()) {
+      if (!matches_filter(structure, args.filter)) continue;
+      try {
+        check::HwCaptureResult r = check::hw_capture_run(structure, hw_opts);
+        const bool ok = r.lin.ok();
+        all_pass = all_pass && ok;
+        std::cout << "hw " << structure << ": "
+                  << check::verdict_name(r.lin.verdict) << " ("
+                  << r.history.size() << " ops, " << r.lin.nodes
+                  << " nodes)\n";
+        hw_results.push_back(std::move(r));
+      } catch (const std::exception& ex) {
+        std::cerr << "pwf_check: hw capture '" << structure
+                  << "' failed: " << ex.what() << "\n";
+        return 2;
+      }
+    }
+  }
+
+  const double total_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  std::cout << "\npwf_check: "
+            << (all_pass ? "all expectations met" : "EXPECTATION FAILURES")
+            << " in " << static_cast<std::uint64_t>(total_ms) << " ms\n";
+
+  if (!args.out_path.empty()) {
+    std::ostringstream buffer;
+    exp::JsonWriter json(buffer);
+    json.begin_object();
+    json.key("schema").value("pwf-check-report/1");
+    json.key("base_seed").value(static_cast<std::uint64_t>(args.explore.base_seed));
+    json.key("schedules").value(static_cast<std::uint64_t>(args.explore.schedules));
+    json.key("all_pass").value(all_pass);
+    json.key("workloads").begin_array();
+    for (const WorkloadReport& r : reports) {
+      json.begin_object();
+      json.key("name").value(r.name);
+      json.key("expect_linearizable").value(r.expect_linearizable);
+      json.key("schedules_run")
+          .value(static_cast<std::uint64_t>(r.result.schedules_run));
+      json.key("violations")
+          .value(static_cast<std::uint64_t>(r.result.violations));
+      json.key("unknowns")
+          .value(static_cast<std::uint64_t>(r.result.unknowns));
+      json.key("checker_nodes").value(r.result.nodes);
+      json.key("pass").value(r.pass);
+      json.key("wall_ms").value(r.wall_ms);
+      if (r.result.witness) {
+        const check::Witness& w = *r.result.witness;
+        json.key("witness").begin_object();
+        json.key("events").value(static_cast<std::uint64_t>(w.history_events));
+        json.key("schedule_steps")
+            .value(static_cast<std::uint64_t>(w.trace.steps.size()));
+        json.key("trace_fingerprint").value(w.trace_fingerprint);
+        json.key("history_fingerprint").value(w.history_fingerprint);
+        json.key("replay_stable").value(r.fp_stable);
+        json.key("trace").value(w.trace.serialize());
+        json.key("history").value(w.rendered);
+        json.end_object();
+      }
+      json.end_object();
+    }
+    json.end_array();
+    json.key("hardware").begin_array();
+    for (const check::HwCaptureResult& r : hw_results) {
+      json.begin_object();
+      json.key("structure").value(r.structure);
+      json.key("verdict").value(check::verdict_name(r.lin.verdict));
+      json.key("operations").value(static_cast<std::uint64_t>(r.history.size()));
+      json.key("checker_nodes").value(r.lin.nodes);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    buffer << "\n";
+    if (args.out_path == "-") {
+      std::cout << buffer.str();
+    } else {
+      std::ofstream out(args.out_path);
+      if (!out) {
+        std::cerr << "pwf_check: cannot open " << args.out_path
+                  << " for writing\n";
+        return 2;
+      }
+      out << buffer.str();
+      std::cout << "report written to " << args.out_path << "\n";
+    }
+  }
+
+  return all_pass ? 0 : 1;
+}

@@ -46,6 +46,14 @@ build/bench/pwf_bench "${quick_flags[@]+"${quick_flags[@]}"}" \
   --json BENCH_results.json >/dev/null || status=1
 echo "wrote BENCH_results.json"
 
+echo "== linearizability checks (pwf_check) =="
+if ! build/bench/pwf_check --smoke --out CHECK_report.json \
+    2>&1 | tee -a bench_output.txt; then
+  echo "REGRESSION in pwf_check" | tee -a bench_output.txt
+  status=1
+fi
+echo "wrote CHECK_report.json"
+
 if [ "$with_sanitizers" = 1 ]; then
   echo "== ThreadSanitizer (concurrent suites) =="
   cmake -B build-tsan -G Ninja -DPWF_SANITIZE=thread

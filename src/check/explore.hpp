@@ -1,0 +1,93 @@
+// The exploration driver: fans randomized schedules — uniform, sticky,
+// zipf-weighted, and theta-mixed adversarial, with and without crash
+// plans — across seeds, captures each run's operation history, checks it
+// for linearizability, and delta-debugs the first failing trace down to a
+// minimal, strictly-replayable reproducer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/lin_check.hpp"
+#include "check/trace.hpp"
+#include "check/workloads.hpp"
+
+namespace pwf::check {
+
+/// Splitmix64-style seed derivation: independent streams per schedule
+/// index, mirroring the experiment framework's convention.
+std::uint64_t derive_check_seed(std::uint64_t base, std::uint64_t index);
+
+struct ExploreOptions {
+  std::size_t n = 0;          ///< processes; 0 = workload default
+  std::uint64_t steps = 0;    ///< steps per schedule; 0 = workload default
+  std::size_t schedules = 100;
+  std::uint64_t base_seed = 1;
+  bool crashes = true;        ///< inject crash plans on 2 of every 3 runs
+  bool minimize = true;       ///< shrink the first failing trace
+  bool stop_at_first = false; ///< stop exploring after the first violation
+  CheckOptions check;
+};
+
+/// What one recorded (or replayed) run produced.
+struct RunOutcome {
+  ScheduleTrace trace;   ///< the effective schedule (strictly replayable)
+  History history;
+  LinResult lin;
+  std::vector<std::size_t> crash_log;  ///< Scheduler::on_crash order
+};
+
+/// A minimized non-linearizable reproducer.
+struct Witness {
+  ScheduleTrace trace;  ///< minimized; replays strictly and bit-identically
+  std::uint64_t trace_fingerprint = 0;
+  std::uint64_t history_fingerprint = 0;
+  std::size_t history_events = 0;  ///< invoke+response count (witness size)
+  std::string rendered;            ///< human-readable history
+};
+
+struct ExploreResult {
+  std::string workload;
+  std::size_t schedules_run = 0;
+  std::size_t violations = 0;  ///< schedules with a non-linearizable history
+  std::size_t unknowns = 0;    ///< schedules that exhausted the node budget
+  std::uint64_t nodes = 0;     ///< checker nodes over all schedules
+  std::optional<Witness> witness;  ///< first violation, minimized
+
+  /// True iff what we saw matches the workload's expectation.
+  bool as_expected(bool expect_linearizable) const {
+    return expect_linearizable ? violations == 0 : violations > 0;
+  }
+};
+
+/// Records one schedule: builds the workload with the scheduler variant
+/// `variant` (0 uniform, 1 sticky, 2 zipf, 3 theta-mix adversary) and the
+/// given crash plan, runs `steps` steps, and returns the trace + history
+/// + verdict.
+RunOutcome record_run(const Workload& workload, std::size_t n,
+                      std::uint64_t seed, std::uint64_t steps,
+                      std::size_t variant,
+                      const std::vector<CrashEvent>& crashes,
+                      const CheckOptions& check);
+
+/// Replays a trace. Strict mode throws std::runtime_error on any
+/// divergence; lenient mode accepts arbitrary candidate pid sequences
+/// (the minimizer's probe mode).
+RunOutcome replay_trace(const Workload& workload, const ScheduleTrace& trace,
+                        bool strict, const CheckOptions& check);
+
+/// ddmin over the failing trace's pid sequence, then greedy crash-event
+/// dropping. The result is re-recorded from the effective schedule so it
+/// replays *strictly* and still fails. `failing` must itself fail.
+ScheduleTrace minimize_trace(const Workload& workload,
+                             const ScheduleTrace& failing,
+                             const CheckOptions& check);
+
+/// The full pipeline over one workload.
+ExploreResult explore(const Workload& workload, const ExploreOptions& options);
+
+}  // namespace pwf::check

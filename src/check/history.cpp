@@ -1,0 +1,161 @@
+#include "check/history.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pwf::check {
+
+const char* op_name(OpCode op) {
+  switch (op) {
+    case OpCode::kPush: return "push";
+    case OpCode::kPop: return "pop";
+    case OpCode::kEnqueue: return "enq";
+    case OpCode::kDequeue: return "deq";
+    case OpCode::kInsert: return "insert";
+    case OpCode::kErase: return "erase";
+    case OpCode::kContains: return "contains";
+    case OpCode::kFetchInc: return "fetch_inc";
+    case OpCode::kRcuUpdate: return "rcu_update";
+    case OpCode::kRcuRead: return "rcu_read";
+  }
+  return "?";
+}
+
+std::string Operation::render() const {
+  std::ostringstream os;
+  os << "t" << thread << ": " << op_name(op) << "(";
+  if (has_arg) os << arg;
+  os << ")";
+  if (!completed()) {
+    os << " -> *pending*";
+  } else if (has_ret) {
+    os << " -> " << (ret == core::kTornRead ? std::string("TORN")
+                                            : std::to_string(ret));
+  } else {
+    os << " -> empty";
+  }
+  return os.str();
+}
+
+History History::from_events(std::vector<OpEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const OpEvent& a, const OpEvent& b) { return a.seq < b.seq; });
+  std::vector<Operation> ops;
+  ops.reserve(events.size() / 2);
+  // Per-thread index of the pending operation in `ops`.
+  std::vector<std::optional<std::size_t>> pending;
+  for (std::uint64_t index = 0; index < events.size(); ++index) {
+    const OpEvent& e = events[index];
+    if (e.thread >= pending.size()) pending.resize(e.thread + 1);
+    if (e.is_invoke) {
+      if (pending[e.thread]) {
+        throw std::invalid_argument(
+            "History: thread invoked while an operation was pending");
+      }
+      Operation op;
+      op.thread = e.thread;
+      op.op = e.op;
+      op.has_arg = e.has_value;
+      op.arg = e.value;
+      op.invoke = index;
+      pending[e.thread] = ops.size();
+      ops.push_back(op);
+    } else {
+      if (!pending[e.thread]) {
+        throw std::invalid_argument(
+            "History: response without a pending invoke");
+      }
+      Operation& op = ops[*pending[e.thread]];
+      if (op.op != e.op) {
+        throw std::invalid_argument(
+            "History: response op does not match pending invoke");
+      }
+      op.has_ret = e.has_value;
+      op.ret = e.value;
+      op.response = index;
+      pending[e.thread].reset();
+    }
+  }
+  // `ops` is already sorted by invoke index (we appended in event order).
+  return History(std::move(ops));
+}
+
+std::size_t History::num_completed() const noexcept {
+  std::size_t completed = 0;
+  for (const Operation& op : ops_) completed += op.completed() ? 1 : 0;
+  return completed;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t History::fingerprint() const noexcept {
+  std::uint64_t h = kFnvOffset;
+  fnv(h, ops_.size());
+  for (const Operation& op : ops_) {
+    fnv(h, op.thread);
+    fnv(h, static_cast<std::uint64_t>(op.op));
+    fnv(h, op.has_arg ? op.arg + 1 : 0);
+    fnv(h, op.completed() ? (op.has_ret ? op.ret + 2 : 1) : 0);
+    fnv(h, op.invoke);
+    fnv(h, op.response);
+  }
+  return h;
+}
+
+void History::render(std::ostream& os) const {
+  for (const Operation& op : ops_) {
+    os << "  [" << op.invoke << ", "
+       << (op.completed() ? std::to_string(op.response) : std::string("-"))
+       << "] " << op.render() << "\n";
+  }
+}
+
+std::string History::render() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+void SimTraceRecorder::log(std::uint32_t thread, bool is_invoke, OpCode op,
+                           bool has_value, Value value) {
+  if (max_events_ && events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  OpEvent e;
+  e.seq = events_.size();
+  e.thread = thread;
+  e.is_invoke = is_invoke;
+  e.op = op;
+  e.has_value = has_value;
+  e.value = value;
+  events_.push_back(e);
+}
+
+void SimTraceRecorder::on_invoke(std::size_t thread, OpCode op, bool has_arg,
+                                 Value arg) {
+  log(static_cast<std::uint32_t>(thread), /*is_invoke=*/true, op, has_arg, arg);
+}
+
+void SimTraceRecorder::on_response(std::size_t thread, OpCode op,
+                                   bool has_value, Value value) {
+  log(static_cast<std::uint32_t>(thread), /*is_invoke=*/false, op, has_value,
+      value);
+}
+
+}  // namespace pwf::check

@@ -1,0 +1,124 @@
+// Operation histories for linearizability checking.
+//
+// A history is the classic Herlihy & Wing object: a sequence of invoke
+// and response events, one pending operation per thread at most. We store
+// it as a vector of Operation records whose invoke/response fields are
+// *event indices* in the global event order — in the sequential
+// simulation that order is the execution order itself; on hardware it is
+// recovered from an atomic ticket stamped around each call (see
+// hw_capture.hpp). Two operations overlap iff their [invoke, response]
+// intervals intersect; a pending operation (crashed, or still running at
+// capture end) has response = kPending and overlaps everything after its
+// invoke.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/op_trace.hpp"
+
+namespace pwf::check {
+
+using core::OpCode;
+using core::Value;
+
+/// Human-readable operation name ("push", "deq", ...).
+const char* op_name(OpCode op);
+
+/// One raw trace event, stamped with its global order index.
+struct OpEvent {
+  std::uint64_t seq = 0;  ///< global order (event index / hardware ticket)
+  std::uint32_t thread = 0;
+  bool is_invoke = false;
+  OpCode op = OpCode::kPush;
+  bool has_value = false;  ///< invoke: has an argument; response: has a return
+  Value value = 0;         ///< the argument / return value
+};
+
+/// One method invocation, possibly pending.
+struct Operation {
+  static constexpr std::uint64_t kPending =
+      std::numeric_limits<std::uint64_t>::max();
+
+  std::uint32_t thread = 0;
+  OpCode op = OpCode::kPush;
+  bool has_arg = false;
+  Value arg = 0;
+  bool has_ret = false;  ///< meaningful only when completed
+  Value ret = 0;
+  std::uint64_t invoke = 0;
+  std::uint64_t response = kPending;
+
+  bool completed() const noexcept { return response != kPending; }
+  /// Renders "t2: pop() -> 17" style lines for witnesses and logs.
+  std::string render() const;
+};
+
+/// A complete capture: operations sorted by invoke index.
+class History {
+ public:
+  History() = default;
+  explicit History(std::vector<Operation> ops) : ops_(std::move(ops)) {}
+
+  /// Pairs up a raw event stream (any order; sorted by seq internally).
+  /// Throws std::invalid_argument on malformed streams (a response with
+  /// no matching invoke, or two pending invokes on one thread).
+  static History from_events(std::vector<OpEvent> events);
+
+  const std::vector<Operation>& operations() const noexcept { return ops_; }
+  std::size_t size() const noexcept { return ops_.size(); }
+  std::size_t num_completed() const noexcept;
+  std::size_t num_pending() const noexcept {
+    return ops_.size() - num_completed();
+  }
+  /// Total invoke + response events (completed ops contribute 2, pending
+  /// ops 1) — the witness-size measure of the acceptance criteria.
+  std::size_t num_events() const noexcept {
+    return ops_.size() + num_completed();
+  }
+
+  /// FNV-1a over the canonical encoding of every operation; bit-identical
+  /// histories (and only those) agree. Used to certify replays.
+  std::uint64_t fingerprint() const noexcept;
+
+  /// One operation per line, in invoke order.
+  void render(std::ostream& os) const;
+  std::string render() const;
+
+ private:
+  std::vector<Operation> ops_;
+};
+
+/// In-memory trace sink for simulated runs: events are stamped with their
+/// arrival order (the simulation is sequential, so that *is* the real-time
+/// order). `max_events` bounds capture (0 = unbounded); overflow events
+/// are dropped and counted, and a capture that overflowed must not be
+/// checked (the history would be truncated mid-op).
+class SimTraceRecorder final : public core::OpTraceSink {
+ public:
+  explicit SimTraceRecorder(std::size_t max_events = 0)
+      : max_events_(max_events) {}
+
+  void on_invoke(std::size_t thread, OpCode op, bool has_arg,
+                 Value arg) override;
+  void on_response(std::size_t thread, OpCode op, bool has_value,
+                   Value value) override;
+
+  const std::vector<OpEvent>& events() const noexcept { return events_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  History history() const { return History::from_events(events_); }
+
+ private:
+  void log(std::uint32_t thread, bool is_invoke, OpCode op, bool has_value,
+           Value value);
+
+  std::vector<OpEvent> events_;
+  std::size_t max_events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace pwf::check

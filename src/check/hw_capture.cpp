@@ -1,0 +1,190 @@
+#include "check/hw_capture.hpp"
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "check/spec.hpp"
+#include "lockfree/counter.hpp"
+#include "lockfree/ebr.hpp"
+#include "lockfree/harris_list.hpp"
+#include "lockfree/hash_map.hpp"
+#include "lockfree/ms_queue.hpp"
+#include "lockfree/treiber_stack.hpp"
+#include "util/rng.hpp"
+
+namespace pwf::check {
+
+namespace {
+
+/// Per-thread event buffer; tickets from one shared atomic give the
+/// global order. No allocation races: each thread appends locally and
+/// buffers are merged after join.
+class TicketLog {
+ public:
+  explicit TicketLog(std::atomic<std::uint64_t>& ticket) : ticket_(ticket) {}
+
+  void invoke(std::uint32_t tid, OpCode op, bool has_arg, Value arg) {
+    events_.push_back({ticket_.fetch_add(1, std::memory_order_acq_rel), tid,
+                       true, op, has_arg, arg});
+  }
+  void respond(std::uint32_t tid, OpCode op, bool has_ret, Value ret) {
+    events_.push_back({ticket_.fetch_add(1, std::memory_order_acq_rel), tid,
+                       false, op, has_ret, ret});
+  }
+
+  std::vector<OpEvent> take() { return std::move(events_); }
+
+ private:
+  std::atomic<std::uint64_t>& ticket_;
+  std::vector<OpEvent> events_;
+};
+
+/// The per-op body for one structure kind; returns the spec kind.
+template <typename Body>
+HwCaptureResult run_burst(const std::string& structure,
+                          const std::string& spec_kind,
+                          const HwCaptureOptions& options,
+                          const CheckOptions& check, Body&& body) {
+  std::atomic<std::uint64_t> ticket{0};
+  std::vector<std::vector<OpEvent>> buffers(options.threads);
+  std::vector<std::thread> threads;
+  threads.reserve(options.threads);
+  for (std::size_t t = 0; t < options.threads; ++t) {
+    threads.emplace_back([&, t] {
+      TicketLog log(ticket);
+      Xoshiro256pp rng(options.seed + 0x9E3779B97F4A7C15ULL * (t + 1));
+      body(static_cast<std::uint32_t>(t), log, rng);
+      buffers[t] = log.take();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  std::vector<OpEvent> events;
+  for (auto& buffer : buffers) {
+    events.insert(events.end(), buffer.begin(), buffer.end());
+  }
+  HwCaptureResult result;
+  result.structure = structure;
+  result.history = History::from_events(std::move(events));
+  const auto spec = make_spec(spec_kind);
+  result.lin = check_linearizability(result.history, *spec, check);
+  return result;
+}
+
+constexpr Value unique_value(std::uint32_t tid, std::size_t i) {
+  return (static_cast<Value>(tid + 1) << 32) | static_cast<Value>(i);
+}
+
+}  // namespace
+
+const std::vector<std::string>& hw_structures() {
+  static const std::vector<std::string> kNames = {
+      "treiber-stack", "ms-queue",    "harris-list",
+      "hash-set",      "cas-counter", "faa-counter"};
+  return kNames;
+}
+
+HwCaptureResult hw_capture_run(const std::string& structure,
+                               const HwCaptureOptions& options,
+                               const CheckOptions& check) {
+  constexpr Value kKeySpace = 8;  // small key range: operations collide
+
+  if (structure == "treiber-stack") {
+    lockfree::EbrDomain domain;
+    lockfree::TreiberStack<Value> stack(domain);
+    return run_burst(structure, "stack", options, check,
+                     [&](std::uint32_t tid, TicketLog& log, Xoshiro256pp& rng) {
+                       lockfree::EbrThreadHandle handle(domain);
+                       for (std::size_t i = 0; i < options.ops_per_thread; ++i) {
+                         if (rng() % 2 == 0) {
+                           const Value v = unique_value(tid, i);
+                           log.invoke(tid, OpCode::kPush, true, v);
+                           stack.push(handle, v);
+                           log.respond(tid, OpCode::kPush, false, 0);
+                         } else {
+                           log.invoke(tid, OpCode::kPop, false, 0);
+                           const auto popped = stack.pop(handle);
+                           log.respond(tid, OpCode::kPop, popped.has_value(),
+                                       popped.value_or(0));
+                         }
+                       }
+                     });
+  }
+  if (structure == "ms-queue") {
+    lockfree::EbrDomain domain;
+    lockfree::MsQueue<Value> queue(domain);
+    return run_burst(structure, "queue", options, check,
+                     [&](std::uint32_t tid, TicketLog& log, Xoshiro256pp& rng) {
+                       lockfree::EbrThreadHandle handle(domain);
+                       for (std::size_t i = 0; i < options.ops_per_thread; ++i) {
+                         if (rng() % 2 == 0) {
+                           const Value v = unique_value(tid, i);
+                           log.invoke(tid, OpCode::kEnqueue, true, v);
+                           queue.enqueue(handle, v);
+                           log.respond(tid, OpCode::kEnqueue, false, 0);
+                         } else {
+                           log.invoke(tid, OpCode::kDequeue, false, 0);
+                           const auto out = queue.dequeue(handle);
+                           log.respond(tid, OpCode::kDequeue, out.has_value(),
+                                       out.value_or(0));
+                         }
+                       }
+                     });
+  }
+  if (structure == "harris-list" || structure == "hash-set") {
+    lockfree::EbrDomain domain;
+    std::unique_ptr<lockfree::HarrisList<Value>> list;
+    std::unique_ptr<lockfree::HashSet<Value>> set;
+    if (structure == "harris-list") {
+      list = std::make_unique<lockfree::HarrisList<Value>>(domain);
+    } else {
+      set = std::make_unique<lockfree::HashSet<Value>>(domain, 4);
+    }
+    return run_burst(
+        structure, "set", options, check,
+        [&](std::uint32_t tid, TicketLog& log, Xoshiro256pp& rng) {
+          lockfree::EbrThreadHandle handle(domain);
+          for (std::size_t i = 0; i < options.ops_per_thread; ++i) {
+            const Value key = 1 + rng() % kKeySpace;
+            const std::uint64_t roll = rng() % 3;
+            const OpCode op = roll == 0   ? OpCode::kInsert
+                              : roll == 1 ? OpCode::kErase
+                                          : OpCode::kContains;
+            log.invoke(tid, op, true, key);
+            bool ok = false;
+            if (list) {
+              ok = op == OpCode::kInsert   ? list->insert(handle, key)
+                   : op == OpCode::kErase  ? list->erase(handle, key)
+                                           : list->contains(handle, key);
+            } else {
+              ok = op == OpCode::kInsert   ? set->insert(handle, key)
+                   : op == OpCode::kErase  ? set->erase(handle, key)
+                                           : set->contains(handle, key);
+            }
+            log.respond(tid, op, true, ok ? 1 : 0);
+          }
+        });
+  }
+  if (structure == "cas-counter" || structure == "faa-counter") {
+    lockfree::CasCounter cas_counter;
+    lockfree::FetchAddCounter faa_counter;
+    const bool use_cas = structure == "cas-counter";
+    return run_burst(structure, "counter", options, check,
+                     [&](std::uint32_t tid, TicketLog& log, Xoshiro256pp&) {
+                       for (std::size_t i = 0; i < options.ops_per_thread; ++i) {
+                         log.invoke(tid, OpCode::kFetchInc, false, 0);
+                         const std::uint64_t before =
+                             use_cas ? cas_counter.fetch_inc().value
+                                     : faa_counter.fetch_inc().value;
+                         log.respond(tid, OpCode::kFetchInc, true, before);
+                       }
+                     });
+  }
+  throw std::invalid_argument("hw_capture_run: unknown structure '" +
+                              structure + "'");
+}
+
+}  // namespace pwf::check

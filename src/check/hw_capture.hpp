@@ -1,0 +1,47 @@
+// History capture for the hardware lock-free structures (src/lockfree).
+//
+// Real threads stamp an invoke ticket immediately before calling into the
+// structure and a response ticket immediately after returning, from one
+// global atomic counter. The recovered [invoke, response] intervals
+// *over-approximate* the true operation intervals (the stamp happens
+// strictly outside the call), which is sound: widening intervals only
+// adds legal linearization orders, so a NOT-LINEARIZABLE verdict on the
+// captured history implies the true history is broken too. The converse
+// caveat — a torn capture can mask a real violation — is an accepted
+// limitation (see ROADMAP open items).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/lin_check.hpp"
+
+namespace pwf::check {
+
+struct HwCaptureOptions {
+  std::size_t threads = 4;
+  std::size_t ops_per_thread = 200;
+  std::uint64_t seed = 1;
+};
+
+struct HwCaptureResult {
+  std::string structure;
+  History history;
+  LinResult lin;
+};
+
+/// The capturable hardware structures: treiber-stack, ms-queue,
+/// harris-list, hash-set, cas-counter, faa-counter.
+const std::vector<std::string>& hw_structures();
+
+/// Runs a mixed-operation burst on `structure` with real threads,
+/// capturing the history via atomic tickets, then checks it.
+/// Throws std::invalid_argument for an unknown structure name.
+HwCaptureResult hw_capture_run(const std::string& structure,
+                               const HwCaptureOptions& options,
+                               const CheckOptions& check = {});
+
+}  // namespace pwf::check

@@ -1,0 +1,181 @@
+#include "check/lin_check.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_set>
+
+namespace pwf::check {
+
+const char* verdict_name(LinVerdict v) {
+  switch (v) {
+    case LinVerdict::kLinearizable: return "LINEARIZABLE";
+    case LinVerdict::kNotLinearizable: return "NOT-LINEARIZABLE";
+    case LinVerdict::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+namespace {
+
+using Bitset = std::vector<std::uint64_t>;
+
+bool test_bit(const Bitset& bits, std::size_t i) {
+  return (bits[i / 64] >> (i % 64)) & 1;
+}
+void set_bit(Bitset& bits, std::size_t i) { bits[i / 64] |= 1ULL << (i % 64); }
+void clear_bit(Bitset& bits, std::size_t i) {
+  bits[i / 64] &= ~(1ULL << (i % 64));
+}
+
+/// The WGL minimality rule: an un-linearized operation may linearize next
+/// iff its invocation precedes every other un-linearized operation's
+/// response. Equivalently: invoke < min un-linearized response (the
+/// owner of that minimum always qualifies, since invoke < response).
+std::vector<std::size_t> minimal_ops(const std::vector<Operation>& ops,
+                                     const Bitset& linearized) {
+  std::uint64_t min_response = Operation::kPending;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (!test_bit(linearized, i)) {
+      min_response = std::min(min_response, ops[i].response);
+    }
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (!test_bit(linearized, i) && ops[i].invoke < min_response) {
+      out.push_back(i);
+    }
+  }
+  // Also the owner of min_response when its invoke == ... (invoke <
+  // response always holds, so the owner is already included).
+  return out;
+}
+
+std::string memo_key(const Bitset& bits, const SpecState& state) {
+  std::string key;
+  key.reserve(bits.size() * 8 + 16);
+  for (std::uint64_t w : bits) {
+    for (int i = 0; i < 8; ++i) {
+      key.push_back(static_cast<char>((w >> (8 * i)) & 0xff));
+    }
+  }
+  state.digest(key);
+  return key;
+}
+
+}  // namespace
+
+LinResult check_linearizability(const History& history, const Spec& spec,
+                                const CheckOptions& options) {
+  const std::vector<Operation>& ops = history.operations();
+  const std::size_t m = ops.size();
+  LinResult result;
+  const std::size_t completed_total = history.num_completed();
+  if (completed_total == 0) {
+    // Only pending operations (or none): trivially linearizable — every
+    // pending op may simply never have taken effect.
+    result.verdict = LinVerdict::kLinearizable;
+    return result;
+  }
+
+  Bitset linearized((m + 63) / 64, 0);
+  std::size_t completed_done = 0;
+  std::unordered_set<std::string> seen;
+
+  struct Frame {
+    std::vector<std::size_t> candidates;
+    std::size_t next = 0;  ///< next candidate to try
+    std::unique_ptr<SpecState> state;  ///< state on entry to this frame
+    std::size_t chosen = 0;  ///< candidate linearized to reach the child
+  };
+
+  std::vector<Frame> stack;
+  stack.push_back({minimal_ops(ops, linearized), 0, spec.initial(), 0});
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+
+    if (completed_done == completed_total) {
+      // Every completed operation linearized: the remaining (pending)
+      // operations are free to never take effect.
+      result.verdict = LinVerdict::kLinearizable;
+      for (std::size_t d = 0; d + 1 < stack.size(); ++d) {
+        result.linearization.push_back(stack[d].chosen);
+      }
+      return result;
+    }
+
+    bool descended = false;
+    while (frame.next < frame.candidates.size()) {
+      const std::size_t c = frame.candidates[frame.next++];
+      if (++result.nodes > options.max_nodes) {
+        result.verdict = LinVerdict::kUnknown;
+        return result;
+      }
+      std::unique_ptr<SpecState> child_state = frame.state->clone();
+      if (!spec.apply(*child_state, ops[c])) continue;
+      set_bit(linearized, c);
+      if (!seen.insert(memo_key(linearized, *child_state)).second) {
+        clear_bit(linearized, c);  // provably redundant: already explored
+        continue;
+      }
+      frame.chosen = c;
+      if (ops[c].completed()) ++completed_done;
+      stack.push_back({minimal_ops(ops, linearized), 0,
+                       std::move(child_state), 0});
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+
+    // Candidates exhausted: backtrack.
+    stack.pop_back();
+    if (!stack.empty()) {
+      const std::size_t undo = stack.back().chosen;
+      clear_bit(linearized, undo);
+      if (ops[undo].completed()) --completed_done;
+    }
+  }
+
+  result.verdict = LinVerdict::kNotLinearizable;
+  return result;
+}
+
+std::vector<History> partition_history(
+    const History& history,
+    const std::function<std::uint64_t(const Operation&)>& object_of) {
+  std::map<std::uint64_t, std::vector<Operation>> parts;
+  for (const Operation& op : history.operations()) {
+    parts[object_of(op)].push_back(op);
+  }
+  std::vector<History> out;
+  out.reserve(parts.size());
+  for (auto& [object, part_ops] : parts) {
+    out.emplace_back(std::move(part_ops));
+  }
+  return out;
+}
+
+LinResult check_partitioned(
+    const History& history, const Spec& spec,
+    const std::function<std::uint64_t(const Operation&)>& object_of,
+    const CheckOptions& options) {
+  LinResult merged;
+  merged.verdict = LinVerdict::kLinearizable;
+  for (const History& part : partition_history(history, object_of)) {
+    LinResult r = check_linearizability(part, spec, options);
+    merged.nodes += r.nodes;
+    if (r.verdict == LinVerdict::kNotLinearizable) {
+      merged.verdict = LinVerdict::kNotLinearizable;
+      merged.linearization.clear();
+      return merged;
+    }
+    if (r.verdict == LinVerdict::kUnknown) {
+      merged.verdict = LinVerdict::kUnknown;
+      merged.linearization.clear();
+    }
+  }
+  return merged;
+}
+
+}  // namespace pwf::check

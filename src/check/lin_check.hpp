@@ -1,0 +1,71 @@
+// The linearizability checker: a Wing & Gong interval-order search with
+// Lowe-style memoization (WGL).
+//
+// The search maintains (set of linearized operations, sequential state).
+// At every node the *minimal* operations — those whose invocation
+// precedes every other un-linearized operation's response — are the legal
+// next linearization points; a child node exists for each minimal
+// operation the sequential spec accepts. The history is linearizable iff
+// a node is reachable in which every completed operation is linearized
+// (pending operations are free to linearize with any result, or to never
+// take effect at all — the crashed-operation semantics).
+//
+// Memoization keys are exact — the linearized-set bitmask concatenated
+// with the spec state's canonical digest — so a pruned node is provably
+// redundant and verdicts are sound in both directions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/spec.hpp"
+
+namespace pwf::check {
+
+enum class LinVerdict {
+  kLinearizable,
+  kNotLinearizable,
+  kUnknown,  ///< search budget exhausted before a verdict
+};
+
+const char* verdict_name(LinVerdict v);
+
+struct CheckOptions {
+  /// Node budget; the checker reports kUnknown beyond it. The default is
+  /// generous for the short histories the explorer produces.
+  std::uint64_t max_nodes = 4'000'000;
+};
+
+struct LinResult {
+  LinVerdict verdict = LinVerdict::kUnknown;
+  std::uint64_t nodes = 0;  ///< search nodes expanded
+  /// A witness linearization (operation indices into the history) when
+  /// the verdict is kLinearizable.
+  std::vector<std::size_t> linearization;
+
+  bool ok() const noexcept { return verdict == LinVerdict::kLinearizable; }
+};
+
+/// Checks one history against one sequential spec.
+LinResult check_linearizability(const History& history, const Spec& spec,
+                                const CheckOptions& options = {});
+
+/// Splits a history into per-object sub-histories (linearizability is
+/// compositional, so each part can be checked independently — and the
+/// search cost is exponential in the per-part concurrency, not the
+/// total). `object_of` maps an operation to its object id.
+std::vector<History> partition_history(
+    const History& history,
+    const std::function<std::uint64_t(const Operation&)>& object_of);
+
+/// Convenience: partitions with `object_of`, checks every part against
+/// `spec`, and merges verdicts (NotLinearizable dominates Unknown
+/// dominates Linearizable; node counts accumulate).
+LinResult check_partitioned(
+    const History& history, const Spec& spec,
+    const std::function<std::uint64_t(const Operation&)>& object_of,
+    const CheckOptions& options = {});
+
+}  // namespace pwf::check

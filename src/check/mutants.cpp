@@ -1,0 +1,313 @@
+#include "check/mutants.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace pwf::check {
+
+// --- RacyCounter -------------------------------------------------------------
+
+StepMachineFactory RacyCounter::factory() {
+  return [](std::size_t pid, std::size_t /*n*/) {
+    return std::make_unique<RacyCounter>(pid);
+  };
+}
+
+bool RacyCounter::step(SharedMemory& mem) {
+  if (trace_ && !invoked_) {
+    trace_->on_invoke(pid_, OpCode::kFetchInc, false, 0);
+    invoked_ = true;
+  }
+  if (!writing_) {
+    v_ = mem.read(0);
+    writing_ = true;
+    return false;
+  }
+  // The bug: blind write instead of CAS — a concurrent increment between
+  // our read and this write is silently overwritten.
+  mem.write(0, v_ + 1);
+  writing_ = false;
+  if (trace_) trace_->on_response(pid_, OpCode::kFetchInc, true, v_);
+  invoked_ = false;
+  return true;
+}
+
+// --- AbaSimStack -------------------------------------------------------------
+
+AbaSimStack::AbaSimStack(std::size_t pid, std::size_t n,
+                         std::size_t slots_per_process)
+    : pid_(pid), n_(n), phase_(Phase::kPushWriteValue) {
+  if (pid >= n) throw std::invalid_argument("AbaSimStack: pid >= n");
+  if (slots_per_process == 0) {
+    throw std::invalid_argument("AbaSimStack: need at least one slot");
+  }
+  free_slots_.reserve(slots_per_process);
+  for (std::size_t s = 0; s < slots_per_process; ++s) {
+    free_slots_.push_back(pid * slots_per_process + s + 1);
+  }
+  begin_op();
+}
+
+StepMachineFactory AbaSimStack::factory(std::size_t slots_per_process) {
+  return [slots_per_process](std::size_t pid, std::size_t n) {
+    return std::make_unique<AbaSimStack>(pid, n, slots_per_process);
+  };
+}
+
+void AbaSimStack::begin_op() {
+  const bool push_turn = op_counter_ % 2 == 0;
+  if (push_turn && !free_slots_.empty()) {
+    pending_slot_ = free_slots_.back();
+    phase_ = Phase::kPushWriteValue;
+  } else {
+    phase_ = Phase::kPopReadHead;
+  }
+}
+
+bool AbaSimStack::step(SharedMemory& mem) {
+  if (trace_ && !invoked_) {
+    if (phase_ == Phase::kPushWriteValue) {
+      const Value value =
+          (static_cast<Value>(pid_ + 1) << 32) | static_cast<Value>(pushes_);
+      trace_->on_invoke(pid_, OpCode::kPush, true, value);
+    } else {
+      trace_->on_invoke(pid_, OpCode::kPop, false, 0);
+    }
+    invoked_ = true;
+  }
+  switch (phase_) {
+    case Phase::kPushWriteValue: {
+      const Value value =
+          (static_cast<Value>(pid_ + 1) << 32) | static_cast<Value>(pushes_);
+      mem.write(value_reg(pending_slot_), value);
+      phase_ = Phase::kPushReadHead;
+      return false;
+    }
+    case Phase::kPushReadHead: {
+      head_snapshot_ = mem.read(0);
+      phase_ = Phase::kPushLinkNode;
+      return false;
+    }
+    case Phase::kPushLinkNode: {
+      mem.write(next_reg(pending_slot_), head_snapshot_);
+      phase_ = Phase::kPushCas;
+      return false;
+    }
+    case Phase::kPushCas: {
+      // The bug: the head carries no tag, so this CAS succeeds whenever
+      // the *ref* matches, even if the stack changed underneath.
+      if (mem.cas(0, head_snapshot_, pending_slot_)) {
+        free_slots_.pop_back();
+        ++pushes_;
+        ++op_counter_;
+        if (trace_) trace_->on_response(pid_, OpCode::kPush, false, 0);
+        invoked_ = false;
+        begin_op();
+        return true;
+      }
+      phase_ = Phase::kPushReadHead;
+      return false;
+    }
+    case Phase::kPopReadHead: {
+      head_snapshot_ = mem.read(0);
+      if (head_snapshot_ == 0) {
+        ++op_counter_;
+        if (trace_) trace_->on_response(pid_, OpCode::kPop, false, 0);
+        invoked_ = false;
+        begin_op();
+        return true;
+      }
+      phase_ = Phase::kPopReadNext;
+      return false;
+    }
+    case Phase::kPopReadNext: {
+      pop_next_ = mem.read(next_reg(head_snapshot_));
+      phase_ = Phase::kPopReadValue;
+      return false;
+    }
+    case Phase::kPopReadValue: {
+      pop_value_ = mem.read(value_reg(head_snapshot_));
+      phase_ = Phase::kPopCas;
+      return false;
+    }
+    case Phase::kPopCas: {
+      if (mem.cas(0, head_snapshot_, pop_next_)) {
+        free_slots_.push_back(head_snapshot_);
+        ++op_counter_;
+        if (trace_) trace_->on_response(pid_, OpCode::kPop, true, pop_value_);
+        invoked_ = false;
+        begin_op();
+        return true;
+      }
+      phase_ = Phase::kPopReadHead;
+      return false;
+    }
+  }
+  return false;  // unreachable
+}
+
+// --- NoHelpSimQueue ----------------------------------------------------------
+
+NoHelpSimQueue::NoHelpSimQueue(std::size_t pid, std::size_t n,
+                               std::size_t slots_per_process)
+    : pid_(pid), n_(n), phase_(Phase::kEnqWriteValue) {
+  if (pid >= n) throw std::invalid_argument("NoHelpSimQueue: pid >= n");
+  if (slots_per_process == 0) {
+    throw std::invalid_argument("NoHelpSimQueue: need at least one slot");
+  }
+  pool_.reserve(slots_per_process);
+  for (std::size_t s = 0; s < slots_per_process; ++s) {
+    pool_.push_back({2 + pid * slots_per_process + s, /*gen=*/0});
+  }
+  begin_op();
+}
+
+std::vector<std::pair<std::size_t, Value>> NoHelpSimQueue::initial_values() {
+  return {{0, pack(0, 1)}, {1, pack(0, 1)}};
+}
+
+StepMachineFactory NoHelpSimQueue::factory(std::size_t slots_per_process) {
+  return [slots_per_process](std::size_t pid, std::size_t n) {
+    return std::make_unique<NoHelpSimQueue>(pid, n, slots_per_process);
+  };
+}
+
+void NoHelpSimQueue::begin_op() {
+  // Dequeue-heavy mix (1 enq : 2 deq): with the strict alternation the
+  // stock workload uses, every process able to dequeue past the lagging
+  // tail is still on its enqueue turn — and the (retained) enqueue-side
+  // help closes the race window first. Dequeue pressure keeps processes
+  // on dequeue turns long enough for the missing help to bite.
+  const bool enqueue_turn = op_counter_ % 3 == 0;
+  if (enqueue_turn && !pool_.empty()) {
+    my_slot_ = pool_.back().first;
+    my_gen_ = pool_.back().second + 1;
+    phase_ = Phase::kEnqWriteValue;
+  } else {
+    phase_ = Phase::kDeqReadHead;
+  }
+}
+
+bool NoHelpSimQueue::step(SharedMemory& mem) {
+  if (trace_ && !invoked_) {
+    if (phase_ == Phase::kEnqWriteValue) {
+      const Value value =
+          (static_cast<Value>(pid_ + 1) << 32) | static_cast<Value>(enqueues_);
+      trace_->on_invoke(pid_, OpCode::kEnqueue, true, value);
+    } else {
+      trace_->on_invoke(pid_, OpCode::kDequeue, false, 0);
+    }
+    invoked_ = true;
+  }
+  switch (phase_) {
+    case Phase::kEnqWriteValue: {
+      const Value value =
+          (static_cast<Value>(pid_ + 1) << 32) | static_cast<Value>(enqueues_);
+      mem.write(value_reg(my_slot_), value);
+      phase_ = Phase::kEnqResetNext;
+      return false;
+    }
+    case Phase::kEnqResetNext: {
+      mem.write(next_reg(my_slot_), pack(my_gen_, 0));
+      phase_ = Phase::kEnqReadTail;
+      return false;
+    }
+    case Phase::kEnqReadTail: {
+      tail_snapshot_ = mem.read(1);
+      phase_ = Phase::kEnqReadNext;
+      return false;
+    }
+    case Phase::kEnqReadNext: {
+      next_snapshot_ = mem.read(next_reg(lo_of(tail_snapshot_)));
+      phase_ = Phase::kEnqRecheckTail;
+      return false;
+    }
+    case Phase::kEnqRecheckTail: {
+      const Value tail_now = mem.read(1);
+      if (tail_now != tail_snapshot_) {
+        tail_snapshot_ = tail_now;
+        phase_ = Phase::kEnqReadNext;
+        return false;
+      }
+      phase_ = lo_of(next_snapshot_) != 0 ? Phase::kEnqHelpTail
+                                          : Phase::kEnqCasNext;
+      return false;
+    }
+    case Phase::kEnqHelpTail: {
+      mem.cas(1, tail_snapshot_,
+              pack(hi_of(tail_snapshot_) + 1, lo_of(next_snapshot_)));
+      phase_ = Phase::kEnqReadTail;
+      return false;
+    }
+    case Phase::kEnqCasNext: {
+      if (mem.cas(next_reg(lo_of(tail_snapshot_)), next_snapshot_,
+                  pack(hi_of(next_snapshot_), my_slot_))) {
+        phase_ = Phase::kEnqSwingTail;
+      } else {
+        phase_ = Phase::kEnqReadTail;
+      }
+      return false;
+    }
+    case Phase::kEnqSwingTail: {
+      mem.cas(1, tail_snapshot_, pack(hi_of(tail_snapshot_) + 1, my_slot_));
+      pool_.pop_back();
+      ++enqueues_;
+      ++op_counter_;
+      if (trace_) trace_->on_response(pid_, OpCode::kEnqueue, false, 0);
+      invoked_ = false;
+      begin_op();
+      return true;
+    }
+    case Phase::kDeqReadHead: {
+      head_snapshot_ = mem.read(0);
+      phase_ = Phase::kDeqReadNext;
+      return false;
+    }
+    case Phase::kDeqReadNext: {
+      next_snapshot_ = mem.read(next_reg(lo_of(head_snapshot_)));
+      // The bug: the correct dequeue checks head == tail here and helps
+      // the lagging tail forward before touching the node. We barge ahead
+      // and dequeue past the tail, after which the tail register points
+      // at a slot the popper is free to recycle.
+      phase_ = lo_of(next_snapshot_) == 0 ? Phase::kDeqCheckEmpty
+                                          : Phase::kDeqReadValue;
+      return false;
+    }
+    case Phase::kDeqCheckEmpty: {
+      const Value head_now = mem.read(0);
+      if (head_now == head_snapshot_) {
+        ++op_counter_;
+        if (trace_) trace_->on_response(pid_, OpCode::kDequeue, false, 0);
+        invoked_ = false;
+        begin_op();
+        return true;
+      }
+      head_snapshot_ = head_now;
+      phase_ = Phase::kDeqReadNext;
+      return false;
+    }
+    case Phase::kDeqReadValue: {
+      deq_value_ = mem.read(value_reg(lo_of(next_snapshot_)));
+      phase_ = Phase::kDeqCasHead;
+      return false;
+    }
+    case Phase::kDeqCasHead: {
+      if (mem.cas(0, head_snapshot_,
+                  pack(hi_of(head_snapshot_) + 1, lo_of(next_snapshot_)))) {
+        pool_.push_back({lo_of(head_snapshot_), hi_of(next_snapshot_)});
+        ++op_counter_;
+        if (trace_) {
+          trace_->on_response(pid_, OpCode::kDequeue, true, deq_value_);
+        }
+        invoked_ = false;
+        begin_op();
+        return true;
+      }
+      phase_ = Phase::kDeqReadHead;
+      return false;
+    }
+  }
+  return false;  // unreachable
+}
+
+}  // namespace pwf::check

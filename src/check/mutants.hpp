@@ -1,0 +1,185 @@
+// Seeded mutants: deliberately broken step machines used to validate
+// that the linearizability checker actually rejects what it should.
+//
+// Each mutant is a small, realistic concurrency bug:
+//   * RacyCounter      — fetch-and-increment as read-then-blind-write;
+//                        two overlapping increments can both return the
+//                        same "before" value (the classic lost update).
+//   * AbaSimStack      — the Treiber stack with an *untagged* head CAS.
+//                        Slot migration (a popper owns the popped slot
+//                        and re-pushes it) makes the head revisit old
+//                        refs, so a stale pop CAS can succeed and
+//                        resurrect an already-popped node (ABA).
+//   * NoHelpSimQueue   — the Michael-Scott queue with the dequeue-side
+//                        helping CAS removed: a dequeue at head == tail
+//                        pops straight past the lagging tail. Recycling
+//                        the popped slot while tail still points at it
+//                        lets enqueuers link nodes after an off-queue
+//                        node — elements are lost and later dequeues
+//                        report empty after completed enqueues.
+//
+// All three emit the same OpTraceSink events as their correct
+// counterparts, so they plug into the same exploration pipeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/memory.hpp"
+#include "core/step_machine.hpp"
+
+namespace pwf::check {
+
+using core::OpCode;
+using core::OpTraceSink;
+using core::SharedMemory;
+using core::StepMachine;
+using core::StepMachineFactory;
+using core::Value;
+
+/// Lost-update counter: step 1 reads R, step 2 blindly writes R+1 and
+/// reports the read value as the fetched one. Registers: [0] = R.
+class RacyCounter final : public StepMachine {
+ public:
+  explicit RacyCounter(std::size_t pid) : pid_(pid) {}
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override { return "mut-racy-counter"; }
+  void set_trace(OpTraceSink* sink) override { trace_ = sink; }
+
+  static constexpr std::size_t registers_required() { return 1; }
+  static StepMachineFactory factory();
+
+ private:
+  std::size_t pid_;
+  bool writing_ = false;  // false: about to read; true: about to write
+  Value v_ = 0;
+  OpTraceSink* trace_ = nullptr;
+  bool invoked_ = false;
+};
+
+/// SimStack with the tag stripped from the head register: head holds the
+/// bare slot ref (0 = empty) and both CASes compare refs only. Same
+/// register layout as SimStack otherwise:
+///   [0]            head: slot_ref (no tag)
+///   [1 + 2*(s-1)]  slot s: next ref
+///   [2 + 2*(s-1)]  slot s: value
+class AbaSimStack final : public StepMachine {
+ public:
+  AbaSimStack(std::size_t pid, std::size_t n, std::size_t slots_per_process);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override { return "mut-aba-stack"; }
+  void set_trace(OpTraceSink* sink) override { trace_ = sink; }
+
+  static std::size_t registers_required(std::size_t n,
+                                        std::size_t slots_per_process) {
+    return 1 + 2 * n * slots_per_process;
+  }
+  static StepMachineFactory factory(std::size_t slots_per_process);
+
+ private:
+  enum class Phase {
+    kPushWriteValue,
+    kPushReadHead,
+    kPushLinkNode,
+    kPushCas,
+    kPopReadHead,
+    kPopReadNext,
+    kPopReadValue,
+    kPopCas,
+  };
+
+  static std::size_t next_reg(std::uint64_t slot) { return 1 + 2 * (slot - 1); }
+  static std::size_t value_reg(std::uint64_t slot) {
+    return 2 + 2 * (slot - 1);
+  }
+
+  void begin_op();
+
+  std::size_t pid_;
+  std::size_t n_;
+  Phase phase_;
+  OpTraceSink* trace_ = nullptr;
+  bool invoked_ = false;
+  std::vector<std::uint64_t> free_slots_;
+  Value head_snapshot_ = 0;  // bare ref
+  std::uint64_t pending_slot_ = 0;
+  Value pop_next_ = 0;
+  Value pop_value_ = 0;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t op_counter_ = 0;
+};
+
+/// SimQueue whose dequeue never helps a lagging tail: at head == tail with
+/// a non-null next it dequeues anyway, CAS-ing head past the tail. The
+/// popped slot is recycled while tail still points at it. Register layout
+/// and generation stamps are identical to SimQueue.
+class NoHelpSimQueue final : public StepMachine {
+ public:
+  NoHelpSimQueue(std::size_t pid, std::size_t n,
+                 std::size_t slots_per_process);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override { return "mut-nohelp-queue"; }
+  void set_trace(OpTraceSink* sink) override { trace_ = sink; }
+
+  static std::size_t registers_required(std::size_t n,
+                                        std::size_t slots_per_process) {
+    return 2 * (1 + n * slots_per_process + 1);
+  }
+  /// head = tail = (tag 0, dummy slot 1), exactly like SimQueue.
+  static std::vector<std::pair<std::size_t, Value>> initial_values();
+  static StepMachineFactory factory(std::size_t slots_per_process);
+
+ private:
+  enum class Phase {
+    kEnqWriteValue,
+    kEnqResetNext,
+    kEnqReadTail,
+    kEnqReadNext,
+    kEnqRecheckTail,
+    kEnqHelpTail,  // enqueue still helps; the mutation is dequeue-side
+    kEnqCasNext,
+    kEnqSwingTail,
+    kDeqReadHead,
+    kDeqReadNext,
+    kDeqCheckEmpty,
+    kDeqReadValue,
+    kDeqCasHead,
+  };
+
+  static constexpr Value pack(std::uint64_t hi, std::uint64_t lo) {
+    return (hi << 32) | lo;
+  }
+  static std::uint64_t hi_of(Value v) { return v >> 32; }
+  static std::uint64_t lo_of(Value v) { return v & 0xffffffffULL; }
+  static std::size_t next_reg(std::uint64_t slot) {
+    return static_cast<std::size_t>(2 * slot);
+  }
+  static std::size_t value_reg(std::uint64_t slot) {
+    return static_cast<std::size_t>(2 * slot + 1);
+  }
+
+  void begin_op();
+
+  std::size_t pid_;
+  std::size_t n_;
+  Phase phase_;
+  OpTraceSink* trace_ = nullptr;
+  bool invoked_ = false;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pool_;
+  std::uint64_t my_slot_ = 0;
+  std::uint64_t my_gen_ = 0;
+  Value head_snapshot_ = 0;
+  Value tail_snapshot_ = 0;
+  Value next_snapshot_ = 0;
+  Value deq_value_ = 0;
+  std::uint64_t enqueues_ = 0;
+  std::uint64_t op_counter_ = 0;
+};
+
+}  // namespace pwf::check

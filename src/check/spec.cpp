@@ -1,0 +1,222 @@
+#include "check/spec.hpp"
+
+#include <deque>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace pwf::check {
+
+namespace {
+
+void digest_value(std::string& out, Value v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// --- stack -------------------------------------------------------------------
+
+struct StackState final : SpecState {
+  std::vector<Value> items;  // back = top
+
+  std::unique_ptr<SpecState> clone() const override {
+    return std::make_unique<StackState>(*this);
+  }
+  void digest(std::string& out) const override {
+    digest_value(out, items.size());
+    for (Value v : items) digest_value(out, v);
+  }
+};
+
+class StackSpec final : public Spec {
+ public:
+  std::string name() const override { return "stack"; }
+  std::unique_ptr<SpecState> initial() const override {
+    return std::make_unique<StackState>();
+  }
+  bool apply(SpecState& state, const Operation& op) const override {
+    auto& s = static_cast<StackState&>(state);
+    switch (op.op) {
+      case OpCode::kPush:
+        if (!op.has_arg) return false;
+        s.items.push_back(op.arg);
+        return true;
+      case OpCode::kPop: {
+        if (s.items.empty()) {
+          // Sequential result: empty pop (no return value).
+          return !op.completed() || !op.has_ret;
+        }
+        const Value top = s.items.back();
+        if (op.completed() && (!op.has_ret || op.ret != top)) return false;
+        s.items.pop_back();
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+};
+
+// --- queue -------------------------------------------------------------------
+
+struct QueueState final : SpecState {
+  std::deque<Value> items;  // front = oldest
+
+  std::unique_ptr<SpecState> clone() const override {
+    return std::make_unique<QueueState>(*this);
+  }
+  void digest(std::string& out) const override {
+    digest_value(out, items.size());
+    for (Value v : items) digest_value(out, v);
+  }
+};
+
+class QueueSpec final : public Spec {
+ public:
+  std::string name() const override { return "queue"; }
+  std::unique_ptr<SpecState> initial() const override {
+    return std::make_unique<QueueState>();
+  }
+  bool apply(SpecState& state, const Operation& op) const override {
+    auto& s = static_cast<QueueState&>(state);
+    switch (op.op) {
+      case OpCode::kEnqueue:
+        if (!op.has_arg) return false;
+        s.items.push_back(op.arg);
+        return true;
+      case OpCode::kDequeue: {
+        if (s.items.empty()) {
+          return !op.completed() || !op.has_ret;
+        }
+        const Value front = s.items.front();
+        if (op.completed() && (!op.has_ret || op.ret != front)) return false;
+        s.items.pop_front();
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+};
+
+// --- set ---------------------------------------------------------------------
+
+struct SetState final : SpecState {
+  std::set<Value> keys;
+
+  std::unique_ptr<SpecState> clone() const override {
+    return std::make_unique<SetState>(*this);
+  }
+  void digest(std::string& out) const override {
+    digest_value(out, keys.size());
+    for (Value k : keys) digest_value(out, k);  // std::set iterates sorted
+  }
+};
+
+class SetSpec final : public Spec {
+ public:
+  std::string name() const override { return "set"; }
+  std::unique_ptr<SpecState> initial() const override {
+    return std::make_unique<SetState>();
+  }
+  bool apply(SpecState& state, const Operation& op) const override {
+    auto& s = static_cast<SetState&>(state);
+    if (!op.has_arg) return false;
+    Value result = 0;
+    switch (op.op) {
+      case OpCode::kInsert:
+        result = s.keys.insert(op.arg).second ? 1 : 0;
+        break;
+      case OpCode::kErase:
+        result = s.keys.erase(op.arg) ? 1 : 0;
+        break;
+      case OpCode::kContains:
+        result = s.keys.count(op.arg) ? 1 : 0;
+        break;
+      default:
+        return false;
+    }
+    return !op.completed() || (op.has_ret && op.ret == result);
+  }
+};
+
+// --- counter -----------------------------------------------------------------
+
+struct CounterState final : SpecState {
+  Value count = 0;
+
+  std::unique_ptr<SpecState> clone() const override {
+    return std::make_unique<CounterState>(*this);
+  }
+  void digest(std::string& out) const override { digest_value(out, count); }
+};
+
+class CounterSpec final : public Spec {
+ public:
+  std::string name() const override { return "counter"; }
+  std::unique_ptr<SpecState> initial() const override {
+    return std::make_unique<CounterState>();
+  }
+  bool apply(SpecState& state, const Operation& op) const override {
+    auto& s = static_cast<CounterState&>(state);
+    if (op.op != OpCode::kFetchInc) return false;
+    const Value before = s.count;
+    s.count = before + 1;
+    return !op.completed() || (op.has_ret && op.ret == before);
+  }
+};
+
+// --- rcu (version register) --------------------------------------------------
+
+struct RcuState final : SpecState {
+  Value version = 0;
+
+  std::unique_ptr<SpecState> clone() const override {
+    return std::make_unique<RcuState>(*this);
+  }
+  void digest(std::string& out) const override { digest_value(out, version); }
+};
+
+class RcuSpec final : public Spec {
+ public:
+  std::string name() const override { return "rcu"; }
+  std::unique_ptr<SpecState> initial() const override {
+    return std::make_unique<RcuState>();
+  }
+  bool apply(SpecState& state, const Operation& op) const override {
+    auto& s = static_cast<RcuState&>(state);
+    switch (op.op) {
+      case OpCode::kRcuUpdate:
+        s.version += 1;
+        return !op.completed() || (op.has_ret && op.ret == s.version);
+      case OpCode::kRcuRead:
+        // kTornRead (all-ones) can never equal a 32-bit version: a torn
+        // snapshot is unlinearizable by construction.
+        return !op.completed() || (op.has_ret && op.ret == s.version);
+      default:
+        return false;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Spec> make_stack_spec() { return std::make_unique<StackSpec>(); }
+std::unique_ptr<Spec> make_queue_spec() { return std::make_unique<QueueSpec>(); }
+std::unique_ptr<Spec> make_set_spec() { return std::make_unique<SetSpec>(); }
+std::unique_ptr<Spec> make_counter_spec() {
+  return std::make_unique<CounterSpec>();
+}
+std::unique_ptr<Spec> make_rcu_spec() { return std::make_unique<RcuSpec>(); }
+
+std::unique_ptr<Spec> make_spec(const std::string& kind) {
+  if (kind == "stack") return make_stack_spec();
+  if (kind == "queue") return make_queue_spec();
+  if (kind == "set") return make_set_spec();
+  if (kind == "counter") return make_counter_spec();
+  if (kind == "rcu") return make_rcu_spec();
+  throw std::invalid_argument("make_spec: unknown kind '" + kind + "'");
+}
+
+}  // namespace pwf::check

@@ -1,0 +1,68 @@
+// Pluggable sequential specifications for the linearizability checker.
+//
+// A Spec is the abstract object's sequential semantics: an initial state
+// plus a transition relation apply(state, operation). The checker owns
+// the search; a spec only answers "is this operation, with this recorded
+// return value, legal in this state — and what is the state afterwards?".
+// For *pending* operations (crashed or cut off mid-flight) the recorded
+// return does not exist, so apply() accepts any sequential result — a
+// pending operation may have taken effect with any outcome, or (handled
+// by the checker) never taken effect at all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "check/history.hpp"
+
+namespace pwf::check {
+
+/// A cloneable, canonically-serializable sequential state. digest() is
+/// the exact memoization key: two states digest equally iff they are the
+/// same abstract value (no hashing, no collisions).
+class SpecState {
+ public:
+  virtual ~SpecState() = default;
+  virtual std::unique_ptr<SpecState> clone() const = 0;
+  virtual void digest(std::string& out) const = 0;
+};
+
+/// The sequential semantics of one abstract object.
+class Spec {
+ public:
+  virtual ~Spec() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<SpecState> initial() const = 0;
+
+  /// Applies `op` to `state` in place. Returns false (state then
+  /// unspecified) when the operation is illegal here — for completed
+  /// operations that includes a recorded return value that the sequential
+  /// object would not produce; pending operations match any result.
+  virtual bool apply(SpecState& state, const Operation& op) const = 0;
+};
+
+/// LIFO stack of unique values: push(v) -> void, pop() -> v | empty.
+std::unique_ptr<Spec> make_stack_spec();
+
+/// FIFO queue of unique values: enq(v) -> void, deq() -> v | empty.
+std::unique_ptr<Spec> make_queue_spec();
+
+/// Set membership: insert(k) -> 0/1, erase(k) -> 0/1, contains(k) -> 0/1
+/// (1 = the operation found/changed something, mirroring the lockfree
+/// structures' bool returns).
+std::unique_ptr<Spec> make_set_spec();
+
+/// Fetch-and-increment counter: fetch_inc() -> pre-increment value.
+std::unique_ptr<Spec> make_counter_spec();
+
+/// RCU version register: rcu_update() -> published version (old + 1),
+/// rcu_read() -> current version. The torn-read sentinel never matches.
+std::unique_ptr<Spec> make_rcu_spec();
+
+/// The spec for a structure kind name ("stack", "queue", "set",
+/// "counter", "rcu"); throws std::invalid_argument on unknown kinds.
+std::unique_ptr<Spec> make_spec(const std::string& kind);
+
+}  // namespace pwf::check

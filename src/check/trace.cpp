@@ -1,0 +1,177 @@
+#include "check/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pwf::check {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+constexpr const char* kMagic = "pwf-trace/1";
+
+}  // namespace
+
+std::uint64_t ScheduleTrace::fingerprint() const noexcept {
+  std::uint64_t h = kFnvOffset;
+  fnv(h, n);
+  fnv(h, seed);
+  fnv(h, steps.size());
+  for (std::uint32_t s : steps) fnv(h, s);
+  fnv(h, crashes.size());
+  for (const CrashEvent& c : crashes) {
+    fnv(h, c.tau);
+    fnv(h, c.pid);
+  }
+  return h;
+}
+
+void ScheduleTrace::serialize(std::ostream& os) const {
+  os << kMagic << "\n";
+  if (!workload.empty()) os << "workload " << workload << "\n";
+  os << "n " << n << "\n";
+  os << "seed " << seed << "\n";
+  for (const CrashEvent& c : crashes) {
+    os << "crash " << c.tau << " " << c.pid << "\n";
+  }
+  // Run-length encode the schedule: "pid" or "pid*count", 16 per line.
+  os << "sched";
+  std::size_t on_line = 0;
+  for (std::size_t i = 0; i < steps.size();) {
+    std::size_t j = i;
+    while (j < steps.size() && steps[j] == steps[i]) ++j;
+    const std::size_t run = j - i;
+    if (on_line == 16) {
+      os << "\nsched";
+      on_line = 0;
+    }
+    os << " " << steps[i];
+    if (run > 1) os << "*" << run;
+    ++on_line;
+    i = j;
+  }
+  os << "\n";
+}
+
+std::string ScheduleTrace::serialize() const {
+  std::ostringstream os;
+  serialize(os);
+  return os.str();
+}
+
+ScheduleTrace ScheduleTrace::parse(std::istream& is) {
+  ScheduleTrace trace;
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    throw std::invalid_argument("ScheduleTrace: missing pwf-trace/1 header");
+  }
+  bool saw_n = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "workload") {
+      ls >> trace.workload;
+    } else if (keyword == "n") {
+      if (!(ls >> trace.n) || trace.n == 0) {
+        throw std::invalid_argument("ScheduleTrace: bad n line");
+      }
+      saw_n = true;
+    } else if (keyword == "seed") {
+      if (!(ls >> trace.seed)) {
+        throw std::invalid_argument("ScheduleTrace: bad seed line");
+      }
+    } else if (keyword == "crash") {
+      CrashEvent c;
+      if (!(ls >> c.tau >> c.pid)) {
+        throw std::invalid_argument("ScheduleTrace: bad crash line");
+      }
+      trace.crashes.push_back(c);
+    } else if (keyword == "sched") {
+      std::string token;
+      while (ls >> token) {
+        const std::size_t star = token.find('*');
+        try {
+          const std::uint32_t pid =
+              static_cast<std::uint32_t>(std::stoul(token.substr(0, star)));
+          std::size_t count = 1;
+          if (star != std::string::npos) {
+            count = std::stoul(token.substr(star + 1));
+          }
+          if (count == 0) {
+            throw std::invalid_argument("zero-length run");
+          }
+          trace.steps.insert(trace.steps.end(), count, pid);
+        } catch (const std::exception&) {
+          throw std::invalid_argument("ScheduleTrace: bad sched token '" +
+                                      token + "'");
+        }
+      }
+    } else {
+      throw std::invalid_argument("ScheduleTrace: unknown keyword '" +
+                                  keyword + "'");
+    }
+  }
+  if (!saw_n) throw std::invalid_argument("ScheduleTrace: missing n line");
+  for (std::uint32_t s : trace.steps) {
+    if (s >= trace.n) {
+      throw std::invalid_argument("ScheduleTrace: sched pid out of range");
+    }
+  }
+  for (const CrashEvent& c : trace.crashes) {
+    if (c.pid >= trace.n) {
+      throw std::invalid_argument("ScheduleTrace: crash pid out of range");
+    }
+  }
+  std::stable_sort(
+      trace.crashes.begin(), trace.crashes.end(),
+      [](const CrashEvent& a, const CrashEvent& b) { return a.tau < b.tau; });
+  return trace;
+}
+
+ScheduleTrace ScheduleTrace::parse(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+void TraceRecorder::on_step(std::uint64_t /*tau*/, std::size_t process,
+                            bool /*completed*/) {
+  steps_.push_back(static_cast<std::uint32_t>(process));
+}
+
+ReplayScheduler::ReplayScheduler(std::vector<std::uint32_t> steps, bool strict)
+    : steps_(std::move(steps)), strict_(strict) {}
+
+std::size_t ReplayScheduler::next(std::uint64_t /*tau*/,
+                                  std::span<const std::size_t> active,
+                                  Xoshiro256pp& /*rng*/) {
+  while (cursor_ < steps_.size()) {
+    const std::size_t pid = steps_[cursor_++];
+    if (std::binary_search(active.begin(), active.end(), pid)) return pid;
+    if (strict_) {
+      throw std::runtime_error(
+          "ReplayScheduler: scripted process is not active (divergent "
+          "replay)");
+    }
+    // Lenient: the candidate schedule named a crashed process; skip.
+  }
+  if (strict_) {
+    throw std::runtime_error("ReplayScheduler: script exhausted");
+  }
+  return active.front();
+}
+
+}  // namespace pwf::check

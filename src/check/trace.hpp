@@ -1,0 +1,116 @@
+// Deterministic schedule record/replay.
+//
+// A ScheduleTrace captures everything that made a simulated execution
+// what it was: the per-step scheduler decisions, the crash plan, and the
+// seed (the step machines themselves are deterministic, so the trace
+// pins the entire execution). Replaying a trace through ReplayScheduler
+// reproduces the run bit-identically — same schedule, same crash resets,
+// same operation history, same fingerprint — on any host, any thread
+// count, any number of times. That is the foundation the failing-trace
+// minimizer and the witness format stand on.
+//
+// Serialized format (pwf-trace/1, line-oriented, '#' comments):
+//   pwf-trace/1
+//   workload <name>
+//   n <processes>
+//   seed <seed>
+//   crash <tau> <pid>          (zero or more, sorted by tau)
+//   sched <tok> <tok> ...      (one or more lines; token = pid or pid*count)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/simulation.hpp"
+
+namespace pwf::check {
+
+/// One crash event: process `pid` leaves the active set at time `tau`.
+struct CrashEvent {
+  std::uint64_t tau = 0;
+  std::uint32_t pid = 0;
+
+  friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
+
+/// A recorded (or synthesized) schedule.
+struct ScheduleTrace {
+  std::string workload;  ///< the workload this trace drives (informative)
+  std::uint32_t n = 0;   ///< number of processes
+  std::uint64_t seed = 0;  ///< simulation seed (machines are deterministic,
+                           ///< kept for provenance and RNG-using futures)
+  std::vector<std::uint32_t> steps;  ///< scheduler decision per time step
+  std::vector<CrashEvent> crashes;   ///< sorted by tau
+
+  friend bool operator==(const ScheduleTrace&, const ScheduleTrace&) = default;
+
+  /// FNV-1a over (n, seed, steps, crashes); workload name excluded.
+  std::uint64_t fingerprint() const noexcept;
+
+  void serialize(std::ostream& os) const;
+  std::string serialize() const;
+  /// Throws std::invalid_argument on malformed input.
+  static ScheduleTrace parse(std::istream& is);
+  static ScheduleTrace parse(const std::string& text);
+};
+
+/// SimObserver that records the scheduler's decisions as they execute.
+class TraceRecorder final : public core::SimObserver {
+ public:
+  void on_step(std::uint64_t tau, std::size_t process, bool completed) override;
+
+  const std::vector<std::uint32_t>& steps() const noexcept { return steps_; }
+  std::vector<std::uint32_t> take_steps() { return std::move(steps_); }
+
+ private:
+  std::vector<std::uint32_t> steps_;
+};
+
+/// Scheduler that plays back a recorded decision sequence.
+///
+/// Strict mode (replay of a certified trace): any divergence — a scripted
+/// pid that is no longer active, or running past the script — throws
+/// std::runtime_error. Lenient mode (candidate schedules proposed by the
+/// minimizer): inactive entries are skipped and an exhausted script falls
+/// back to the lowest active pid, so *any* pid sequence is a valid
+/// candidate schedule. Crash notifications are logged either way so
+/// replay tests can certify that Scheduler::on_crash fired identically.
+class ReplayScheduler final : public core::Scheduler {
+ public:
+  explicit ReplayScheduler(std::vector<std::uint32_t> steps,
+                           bool strict = true);
+
+  std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
+                   Xoshiro256pp& rng) override;
+  /// theta = 0: a point-mass playback is not a stochastic scheduler.
+  double theta(std::size_t num_active) const override {
+    (void)num_active;
+    return 0.0;
+  }
+  void on_crash(std::size_t process) override {
+    crash_log_.push_back(process);
+  }
+  std::string name() const override {
+    return strict_ ? "replay" : "replay-lenient";
+  }
+
+  /// The crash victims this scheduler was told about, in order.
+  const std::vector<std::size_t>& crash_log() const noexcept {
+    return crash_log_;
+  }
+  /// Script entries consumed so far (>= steps scheduled in lenient mode,
+  /// where inactive entries are skipped).
+  std::size_t cursor() const noexcept { return cursor_; }
+
+ private:
+  std::vector<std::uint32_t> steps_;
+  bool strict_;
+  std::size_t cursor_ = 0;
+  std::vector<std::size_t> crash_log_;
+};
+
+}  // namespace pwf::check

@@ -1,0 +1,47 @@
+// The checkable workload registry: every simulated structure the
+// exploration driver knows how to run, paired with its sequential spec
+// and its expected verdict (stock structures are expected linearizable;
+// seeded mutants are expected to be caught).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/spec.hpp"
+#include "core/op_trace.hpp"
+#include "core/scheduler.hpp"
+#include "core/simulation.hpp"
+
+namespace pwf::check {
+
+/// One checkable workload.
+struct Workload {
+  std::string name;
+  std::string spec_kind;     ///< make_spec key: stack/queue/set/counter/rcu
+  bool expect_linearizable;  ///< stock = true, mutant = false
+  std::size_t default_n;     ///< process count the explorer uses by default
+  std::uint64_t default_steps;  ///< steps per schedule by default
+  std::string note;          ///< one-line description for --list
+
+  /// Builds a fresh simulation whose machines emit trace events to
+  /// `sink` (may be nullptr for an untraced run).
+  std::function<std::unique_ptr<core::Simulation>(
+      std::size_t n, std::uint64_t seed,
+      std::unique_ptr<core::Scheduler> scheduler, core::OpTraceSink* sink)>
+      build;
+
+  std::unique_ptr<Spec> make_spec() const { return check::make_spec(spec_kind); }
+};
+
+/// All registered workloads: the four stock structures first, then the
+/// seeded mutants (names prefixed "mut-").
+const std::vector<Workload>& workloads();
+
+/// Looks a workload up by name; throws std::invalid_argument if unknown.
+const Workload& find_workload(const std::string& name);
+
+}  // namespace pwf::check

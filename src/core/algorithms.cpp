@@ -107,9 +107,15 @@ StepMachineFactory ParallelCode::factory(std::size_t q) {
 FetchAndIncrement::FetchAndIncrement(std::size_t pid) : pid_(pid) { (void)pid_; }
 
 bool FetchAndIncrement::step(SharedMemory& mem) {
+  if (trace_ && !invoked_) {
+    trace_->on_invoke(pid_, OpCode::kFetchInc, false, 0);
+    invoked_ = true;
+  }
   const Value before = mem.cas_fetch(0, v_, v_ + 1);
   if (before == v_) {
     v_ = v_ + 1;  // we wrote the new current value, so we still hold it
+    if (trace_) trace_->on_response(pid_, OpCode::kFetchInc, true, before);
+    invoked_ = false;
     return true;
   }
   v_ = before;  // adopt the current value the augmented CAS returned

@@ -93,6 +93,7 @@ class FetchAndIncrement final : public StepMachine {
 
   bool step(SharedMemory& mem) override;
   std::string name() const override { return "fetch-and-increment"; }
+  void set_trace(OpTraceSink* sink) override { trace_ = sink; }
 
   /// The value this process last observed/wrote; for tests.
   Value local_value() const noexcept { return v_; }
@@ -103,6 +104,8 @@ class FetchAndIncrement final : public StepMachine {
  private:
   std::size_t pid_;
   Value v_ = 0;
+  OpTraceSink* trace_ = nullptr;
+  bool invoked_ = false;
 };
 
 /// Algorithm 1 — the *unbounded* lock-free algorithm used by Lemma 2 to

@@ -1,0 +1,63 @@
+// Operation-trace hooks: the minimal interface src/check needs to turn a
+// run of step machines into a linearizability *history* — a sequence of
+// invoke/response events, each carrying the thread, the abstract
+// operation, and its argument or return value.
+//
+// The hook lives in core (next to StepMachine) so the simulated
+// structures can emit events without depending on the checker; the
+// checker-side recorder implements OpTraceSink. Tracing is opt-in: a
+// machine without a sink attached behaves exactly as before, and the
+// hooks never perform shared-memory steps, so tracing does not perturb
+// the schedule or the latency accounting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/memory.hpp"
+
+namespace pwf::core {
+
+/// The abstract operations the repo's checkable structures perform.
+/// Return-value conventions (what on_response carries):
+///   * kPush/kEnqueue/kInsertOk...  push(v)/enqueue(v) return nothing;
+///   * kPop/kDequeue return the removed value, or "empty" (has_value
+///     false);
+///   * kInsert/kErase/kContains return 0/1 (absent/present semantics);
+///   * kFetchInc returns the pre-increment value;
+///   * kRcuUpdate returns the version it published, kRcuRead the version
+///     it observed (kTornRead sentinel when the snapshot was torn).
+enum class OpCode : std::uint8_t {
+  kPush,
+  kPop,
+  kEnqueue,
+  kDequeue,
+  kInsert,
+  kErase,
+  kContains,
+  kFetchInc,
+  kRcuUpdate,
+  kRcuRead,
+};
+
+/// Returned by a reader whose payload scan observed a recycled block — the
+/// simulation analogue of a use-after-free under missing grace periods.
+/// No version number can ever equal it (versions fit in 32 bits).
+inline constexpr Value kTornRead = ~static_cast<Value>(0);
+
+/// Receives one machine-operation event stream. Implementations must not
+/// touch SharedMemory (events are free, steps are not). The invoke for an
+/// operation is emitted at the operation's *first* shared-memory step and
+/// the response at its completing step, so the [invoke, response] interval
+/// is exactly the span the operation was in flight.
+class OpTraceSink {
+ public:
+  virtual ~OpTraceSink() = default;
+
+  virtual void on_invoke(std::size_t thread, OpCode op, bool has_arg,
+                         Value arg) = 0;
+  virtual void on_response(std::size_t thread, OpCode op, bool has_value,
+                           Value value) = 0;
+};
+
+}  // namespace pwf::core

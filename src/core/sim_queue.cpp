@@ -49,6 +49,17 @@ void SimQueue::begin_op() {
 }
 
 bool SimQueue::step(SharedMemory& mem) {
+  if (trace_ && !invoked_) {
+    // First shared-memory step of the in-flight op: log the invoke.
+    if (phase_ == Phase::kEnqWriteValue) {
+      const Value value =
+          (static_cast<Value>(pid_ + 1) << 32) | static_cast<Value>(enqueues_);
+      trace_->on_invoke(pid_, OpCode::kEnqueue, true, value);
+    } else {
+      trace_->on_invoke(pid_, OpCode::kDequeue, false, 0);
+    }
+    invoked_ = true;
+  }
   switch (phase_) {
     // ---- enqueue --------------------------------------------------------
     case Phase::kEnqWriteValue: {
@@ -114,6 +125,8 @@ bool SimQueue::step(SharedMemory& mem) {
       pool_.pop_back();  // the slot now belongs to the queue
       ++enqueues_;
       ++op_counter_;
+      if (trace_) trace_->on_response(pid_, OpCode::kEnqueue, false, 0);
+      invoked_ = false;
       begin_op();
       return true;  // linearized at the successful kEnqCasNext
     }
@@ -147,6 +160,8 @@ bool SimQueue::step(SharedMemory& mem) {
       if (head_now == head_snapshot_) {
         ++empty_dequeues_;
         ++op_counter_;
+        if (trace_) trace_->on_response(pid_, OpCode::kDequeue, false, 0);
+        invoked_ = false;
         begin_op();
         return true;
       }
@@ -174,6 +189,8 @@ bool SimQueue::step(SharedMemory& mem) {
         dequeued_.push_back(deq_value_);
         ++dequeues_;
         ++op_counter_;
+        if (trace_) trace_->on_response(pid_, OpCode::kDequeue, true, deq_value_);
+        invoked_ = false;
         begin_op();
         return true;
       }

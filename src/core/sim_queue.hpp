@@ -37,6 +37,7 @@ class SimQueue final : public StepMachine {
 
   bool step(SharedMemory& mem) override;
   std::string name() const override { return "sim-ms-queue"; }
+  void set_trace(OpTraceSink* sink) override { trace_ = sink; }
 
   static std::size_t registers_required(std::size_t n,
                                         std::size_t slots_per_process);
@@ -87,6 +88,8 @@ class SimQueue final : public StepMachine {
   std::size_t pid_;
   std::size_t n_;
   Phase phase_;
+  OpTraceSink* trace_ = nullptr;
+  bool invoked_ = false;  // has the in-flight op logged its invoke yet?
   /// Private pool of (slot, generation-of-its-next-field) pairs.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> pool_;
   std::uint64_t my_slot_ = 0;

@@ -32,6 +32,11 @@ std::size_t SimRcu::block_base(std::size_t slot) const {
 
 bool SimRcu::step(SharedMemory& mem) {
   const std::size_t L = config_.payload_len;
+  if (trace_ && !invoked_) {
+    trace_->on_invoke(pid_, is_writer_ ? OpCode::kRcuUpdate : OpCode::kRcuRead,
+                      false, 0);
+    invoked_ = true;
+  }
   if (is_writer_) {
     switch (wphase_) {
       case WPhase::kReadP: {
@@ -56,6 +61,10 @@ bool SimRcu::step(SharedMemory& mem) {
           slot_cursor_ = (slot_cursor_ + 1) % config_.slots_per_writer;
           ++updates_;
           wphase_ = WPhase::kReadP;
+          if (trace_) {
+            trace_->on_response(pid_, OpCode::kRcuUpdate, true, next_version);
+          }
+          invoked_ = false;
           return true;
         }
         wphase_ = WPhase::kReadP;  // rescan and rebuild against the new P
@@ -72,6 +81,8 @@ bool SimRcu::step(SharedMemory& mem) {
     if (base_of(p_snapshot_) == 0) {
       // No version published yet: the read completes trivially.
       ++reads_;
+      if (trace_) trace_->on_response(pid_, OpCode::kRcuRead, true, 0);
+      invoked_ = false;
       return true;
     }
     read_index_ = 1;
@@ -83,6 +94,13 @@ bool SimRcu::step(SharedMemory& mem) {
     ++reads_;
     if (torn_) ++torn_reads_;
     read_index_ = 0;
+    if (trace_) {
+      // A torn snapshot has no consistent version: report the sentinel so
+      // a checker can flag the read as returning an impossible state.
+      trace_->on_response(pid_, OpCode::kRcuRead, true,
+                          torn_ ? kTornRead : version_of(p_snapshot_));
+    }
+    invoked_ = false;
     return true;
   }
   return false;

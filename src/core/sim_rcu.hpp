@@ -47,6 +47,7 @@ class SimRcu final : public StepMachine {
   std::string name() const override {
     return is_writer_ ? "rcu-writer" : "rcu-reader";
   }
+  void set_trace(OpTraceSink* sink) override { trace_ = sink; }
 
   bool is_writer() const noexcept { return is_writer_; }
   std::uint64_t updates() const noexcept { return updates_; }
@@ -69,6 +70,8 @@ class SimRcu final : public StepMachine {
   RcuConfig config_;
   std::size_t pid_;
   bool is_writer_;
+  OpTraceSink* trace_ = nullptr;
+  bool invoked_ = false;  // has the in-flight op logged its invoke yet?
 
   // Writer state.
   enum class WPhase { kReadP, kCopy, kCas };

@@ -41,6 +41,18 @@ void SimStack::begin_op() {
 }
 
 bool SimStack::step(SharedMemory& mem) {
+  if (trace_ && !invoked_) {
+    // The op's first shared-memory step: log the invoke. Push values are
+    // deterministic, so the argument can be computed up front.
+    if (phase_ == Phase::kPushWriteValue) {
+      const Value value =
+          (static_cast<Value>(pid_ + 1) << 32) | static_cast<Value>(pushes_);
+      trace_->on_invoke(pid_, OpCode::kPush, true, value);
+    } else {
+      trace_->on_invoke(pid_, OpCode::kPop, false, 0);
+    }
+    invoked_ = true;
+  }
   switch (phase_) {
     case Phase::kPushWriteValue: {
       const Value value =
@@ -66,6 +78,8 @@ bool SimStack::step(SharedMemory& mem) {
         free_slots_.pop_back();
         ++pushes_;
         ++op_counter_;
+        if (trace_) trace_->on_response(pid_, OpCode::kPush, false, 0);
+        invoked_ = false;
         begin_op();
         return true;
       }
@@ -77,6 +91,8 @@ bool SimStack::step(SharedMemory& mem) {
       if (ref_of(head_snapshot_) == 0) {
         ++empty_pops_;
         ++op_counter_;
+        if (trace_) trace_->on_response(pid_, OpCode::kPop, false, 0);
+        invoked_ = false;
         begin_op();
         return true;  // pop on empty completes immediately
       }
@@ -101,6 +117,8 @@ bool SimStack::step(SharedMemory& mem) {
         popped_.push_back(pop_value_);
         ++pops_;
         ++op_counter_;
+        if (trace_) trace_->on_response(pid_, OpCode::kPop, true, pop_value_);
+        invoked_ = false;
         begin_op();
         return true;
       }

@@ -34,6 +34,7 @@ class SimStack final : public StepMachine {
 
   bool step(SharedMemory& mem) override;
   std::string name() const override { return "sim-treiber-stack"; }
+  void set_trace(OpTraceSink* sink) override { trace_ = sink; }
 
   static std::size_t registers_required(std::size_t n,
                                         std::size_t slots_per_process);
@@ -72,6 +73,8 @@ class SimStack final : public StepMachine {
   std::size_t pid_;
   std::size_t n_;
   Phase phase_;
+  OpTraceSink* trace_ = nullptr;
+  bool invoked_ = false;  // has the in-flight op logged its invoke yet?
   std::vector<std::uint64_t> free_slots_;  // private slot pool
   Value head_snapshot_ = 0;                // last head read
   std::uint64_t pending_slot_ = 0;         // slot being pushed

@@ -26,6 +26,10 @@ double LatencyReport::max_individual_latency() const {
 }
 
 std::uint64_t LatencyReport::min_completions() const {
+  // A default-constructed report tracks no processes; "every process
+  // progressed" is vacuous, but returning the UINT64_MAX fold identity
+  // would make an empty window look infinitely productive.
+  if (completions_per_process.empty()) return 0;
   std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
   for (std::uint64_t c : completions_per_process) lo = std::min(lo, c);
   return lo;

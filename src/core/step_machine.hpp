@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/memory.hpp"
+#include "core/op_trace.hpp"
 
 namespace pwf::core {
 
@@ -29,6 +30,11 @@ class StepMachine {
   virtual bool step(SharedMemory& mem) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Attaches an operation-trace sink (nullptr detaches). Machines that
+  /// model checkable abstract objects emit invoke/response events to it;
+  /// the default is a no-op so purely synthetic workloads need not care.
+  virtual void set_trace(OpTraceSink* sink) { (void)sink; }
 };
 
 /// Creates the step machine for process `process_id` out of `n` processes.

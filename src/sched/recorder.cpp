@@ -50,6 +50,10 @@ std::vector<double> ScheduleStats::next_distribution(std::size_t t) const {
 }
 
 double ScheduleStats::max_share_deviation() const {
+  // With no recorded steps there is no empirical distribution to deviate
+  // from uniform; comparing the all-zero shares() against 1/n would report
+  // a spurious 1/n here.
+  if (total_ == 0) return 0.0;
   const double uniform = 1.0 / static_cast<double>(counts_.size());
   double worst = 0.0;
   for (double share : shares()) {
@@ -62,6 +66,11 @@ double ScheduleStats::max_conditional_deviation() const {
   const double uniform = 1.0 / static_cast<double>(counts_.size());
   double worst = 0.0;
   for (std::size_t t = 0; t < counts_.size(); ++t) {
+    // Unobserved conditioning threads contribute no evidence; their
+    // all-zero next_distribution() must not register as a 1/n deviation.
+    std::uint64_t row_total = 0;
+    for (std::uint64_t c : next_counts_[t]) row_total += c;
+    if (row_total == 0) continue;
     for (double p : next_distribution(t)) {
       worst = std::max(worst, std::abs(p - uniform));
     }

@@ -1,0 +1,126 @@
+// End-to-end exploration: stock workloads come out clean, every seeded
+// mutant is caught, and the minimizer produces a small, strictly
+// replayable, fingerprint-stable witness.
+#include "check/explore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "check/workloads.hpp"
+
+namespace pwf::check {
+namespace {
+
+ExploreOptions quick_options(std::size_t schedules = 40) {
+  ExploreOptions o;
+  o.schedules = schedules;
+  o.base_seed = 20140721;
+  return o;
+}
+
+TEST(Explore, DeriveCheckSeedSpreadsStreams) {
+  const auto a = derive_check_seed(1, 0);
+  const auto b = derive_check_seed(1, 1);
+  const auto c = derive_check_seed(2, 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, derive_check_seed(1, 0));  // pure
+}
+
+TEST(Explore, StockStructuresAreLinearizable) {
+  for (const char* name : {"sim-stack", "sim-queue", "sim-rcu", "fai-counter"}) {
+    const ExploreResult r = explore(find_workload(name), quick_options());
+    EXPECT_EQ(r.violations, 0u) << name;
+    EXPECT_EQ(r.unknowns, 0u) << name;
+    EXPECT_FALSE(r.witness.has_value()) << name;
+    EXPECT_TRUE(r.as_expected(true)) << name;
+  }
+}
+
+class MutantCatch : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MutantCatch, CaughtWithReplayStableMinimizedWitness) {
+  const Workload& w = find_workload(GetParam());
+  ASSERT_FALSE(w.expect_linearizable);
+  const ExploreResult r = explore(w, quick_options());
+  ASSERT_GT(r.violations, 0u) << GetParam();
+  ASSERT_TRUE(r.witness.has_value());
+  const Witness& witness = *r.witness;
+  // Acceptance criterion: minimized witness within the 20-event budget.
+  EXPECT_LE(witness.history_events, 20u);
+  // The witness trace must replay strictly, still fail, and reproduce the
+  // history bit-for-bit, twice.
+  for (int i = 0; i < 2; ++i) {
+    const RunOutcome replay = replay_trace(w, witness.trace, /*strict=*/true,
+                                           quick_options().check);
+    EXPECT_EQ(replay.lin.verdict, LinVerdict::kNotLinearizable);
+    EXPECT_EQ(replay.history.fingerprint(), witness.history_fingerprint);
+    EXPECT_EQ(replay.trace.fingerprint(), witness.trace_fingerprint);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMutants, MutantCatch,
+                         ::testing::Values("mut-racy-counter", "mut-aba-stack",
+                                           "mut-nohelp-queue", "mut-torn-rcu"));
+
+TEST(Explore, ExplorationIsDeterministicInBaseSeed) {
+  const Workload& w = find_workload("mut-racy-counter");
+  const ExploreResult a = explore(w, quick_options(20));
+  const ExploreResult b = explore(w, quick_options(20));
+  EXPECT_EQ(a.violations, b.violations);
+  ASSERT_TRUE(a.witness && b.witness);
+  EXPECT_EQ(a.witness->trace_fingerprint, b.witness->trace_fingerprint);
+  EXPECT_EQ(a.witness->history_fingerprint, b.witness->history_fingerprint);
+}
+
+TEST(Explore, StopAtFirstShortCircuits) {
+  ExploreOptions o = quick_options();
+  o.stop_at_first = true;
+  const ExploreResult r = explore(find_workload("mut-racy-counter"), o);
+  EXPECT_EQ(r.violations, 1u);
+  EXPECT_LT(r.schedules_run, o.schedules);
+}
+
+TEST(Minimize, RefusesAPassingTrace) {
+  const Workload& w = find_workload("sim-queue");
+  const auto good = record_run(w, 3, 5, 80, 0, {}, CheckOptions{});
+  ASSERT_EQ(good.lin.verdict, LinVerdict::kLinearizable);
+  EXPECT_THROW(minimize_trace(w, good.trace, CheckOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Minimize, ShrinksAFailingTrace) {
+  // Find a failing schedule by hand, then check the minimizer contract:
+  // the result fails strictly and is no longer than the input.
+  const Workload& w = find_workload("mut-racy-counter");
+  ExploreOptions o = quick_options();
+  o.minimize = false;
+  o.stop_at_first = true;
+  const ExploreResult r = explore(w, o);
+  ASSERT_TRUE(r.witness.has_value());  // unminimized failing trace
+  const ScheduleTrace& failing = r.witness->trace;
+
+  const ScheduleTrace small = minimize_trace(w, failing, CheckOptions{});
+  EXPECT_LE(small.steps.size(), failing.steps.size());
+  const RunOutcome replay = replay_trace(w, small, /*strict=*/true, {});
+  EXPECT_EQ(replay.lin.verdict, LinVerdict::kNotLinearizable);
+  // The canonical racy-counter witness is two overlapping increments:
+  // 4 events, a handful of steps.
+  EXPECT_LE(replay.history.num_events(), 20u);
+}
+
+TEST(Workloads, RegistryIsWellFormed) {
+  const auto& all = workloads();
+  ASSERT_GE(all.size(), 8u);
+  for (const auto& w : all) {
+    EXPECT_FALSE(w.name.empty());
+    EXPECT_GE(w.default_n, 2u) << w.name;
+    EXPECT_GT(w.default_steps, 0u) << w.name;
+    EXPECT_NO_THROW((void)w.make_spec()) << w.name;
+  }
+  EXPECT_THROW(find_workload("no-such-workload"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pwf::check

@@ -1,0 +1,198 @@
+// The WGL checker on hand-built histories: known-linearizable and
+// known-broken interleavings, pending-operation semantics, budget
+// exhaustion, and per-object partitioning.
+#include "check/lin_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/spec.hpp"
+
+namespace pwf::check {
+namespace {
+
+Operation op(std::uint32_t thread, OpCode code, std::uint64_t invoke,
+             std::uint64_t response, bool has_arg = false, Value arg = 0,
+             bool has_ret = false, Value ret = 0) {
+  Operation o;
+  o.thread = thread;
+  o.op = code;
+  o.has_arg = has_arg;
+  o.arg = arg;
+  o.has_ret = has_ret;
+  o.ret = ret;
+  o.invoke = invoke;
+  o.response = response;
+  return o;
+}
+
+TEST(LinCheck, EmptyHistoryIsLinearizable) {
+  const History h;
+  const auto result = check_linearizability(h, *make_queue_spec());
+  EXPECT_EQ(result.verdict, LinVerdict::kLinearizable);
+  EXPECT_TRUE(result.linearization.empty());
+}
+
+TEST(LinCheck, OverlappingEnqDeqLinearizes) {
+  // t1's deq overlaps t0's enq and returns its value: legal — the enq
+  // linearizes first inside the overlap.
+  const History h({
+      op(0, OpCode::kEnqueue, 0, 3, true, 42),
+      op(1, OpCode::kDequeue, 1, 2, false, 0, true, 42),
+  });
+  const auto result = check_linearizability(h, *make_queue_spec());
+  ASSERT_EQ(result.verdict, LinVerdict::kLinearizable);
+  // The witness linearization must put the enqueue (index 0) first.
+  ASSERT_EQ(result.linearization.size(), 2u);
+  EXPECT_EQ(result.linearization[0], 0u);
+}
+
+TEST(LinCheck, EmptyDequeueAfterCompletedEnqueueIsNot) {
+  // enq(1) completed strictly before a deq that claims empty: in every
+  // linearization the queue holds 1 — the lost-element symptom.
+  const History h({
+      op(0, OpCode::kEnqueue, 0, 1, true, 1),
+      op(1, OpCode::kDequeue, 2, 3, false, 0, false, 0),
+  });
+  EXPECT_EQ(check_linearizability(h, *make_queue_spec()).verdict,
+            LinVerdict::kNotLinearizable);
+}
+
+TEST(LinCheck, DuplicateFetchIncIsNot) {
+  // Two overlapping fetch_inc both returning 0: no sequential counter
+  // produces the same pre-increment value twice.
+  const History h({
+      op(0, OpCode::kFetchInc, 0, 3, false, 0, true, 0),
+      op(1, OpCode::kFetchInc, 1, 2, false, 0, true, 0),
+  });
+  EXPECT_EQ(check_linearizability(h, *make_counter_spec()).verdict,
+            LinVerdict::kNotLinearizable);
+}
+
+TEST(LinCheck, RealTimeOrderIsRespected) {
+  // Non-overlapping pops in the wrong LIFO order must be rejected even
+  // though a reordering would satisfy the spec.
+  const History h({
+      op(0, OpCode::kPush, 0, 1, true, 1),
+      op(0, OpCode::kPush, 2, 3, true, 2),
+      op(1, OpCode::kPop, 4, 5, false, 0, true, 1),
+  });
+  EXPECT_EQ(check_linearizability(h, *make_stack_spec()).verdict,
+            LinVerdict::kNotLinearizable);
+}
+
+TEST(LinCheck, PendingOpMayTakeEffect) {
+  // A crashed enqueue with no response may still have landed: a later
+  // deq of its value is legal.
+  const History h({
+      op(0, OpCode::kEnqueue, 0, Operation::kPending, true, 9),
+      op(1, OpCode::kDequeue, 1, 2, false, 0, true, 9),
+  });
+  EXPECT_EQ(check_linearizability(h, *make_queue_spec()).verdict,
+            LinVerdict::kLinearizable);
+}
+
+TEST(LinCheck, PendingOpMayNeverTakeEffect) {
+  // ... and it is equally legal for the crashed enqueue to have never
+  // happened: a later empty deq is fine too.
+  const History h({
+      op(0, OpCode::kEnqueue, 0, Operation::kPending, true, 9),
+      op(1, OpCode::kDequeue, 1, 2, false, 0, false, 0),
+  });
+  EXPECT_EQ(check_linearizability(h, *make_queue_spec()).verdict,
+            LinVerdict::kLinearizable);
+}
+
+TEST(LinCheck, BudgetExhaustionReportsUnknown) {
+  CheckOptions tiny;
+  tiny.max_nodes = 1;
+  const History h({
+      op(0, OpCode::kEnqueue, 0, 3, true, 1),
+      op(1, OpCode::kEnqueue, 1, 2, true, 2),
+      op(2, OpCode::kDequeue, 4, 5, false, 0, true, 2),
+  });
+  const auto result = check_linearizability(h, *make_queue_spec(), tiny);
+  EXPECT_EQ(result.verdict, LinVerdict::kUnknown);
+}
+
+TEST(LinCheck, MemoizationPrunesExponentialBlowup) {
+  // n concurrent enq of distinct values followed by n deqs: the naive
+  // search is factorial; memoized it is well under a few thousand nodes.
+  std::vector<Operation> ops;
+  constexpr int kN = 8;
+  for (int i = 0; i < kN; ++i) {
+    ops.push_back(op(static_cast<std::uint32_t>(i), OpCode::kEnqueue, 0,
+                     kN + 1, true, 100 + i));
+  }
+  for (int i = 0; i < kN; ++i) {
+    ops.push_back(op(0, OpCode::kDequeue, kN + 2 + 2 * i, kN + 3 + 2 * i,
+                     false, 0, true, 100 + i));
+  }
+  const auto result = check_linearizability(History(ops), *make_queue_spec());
+  EXPECT_EQ(result.verdict, LinVerdict::kLinearizable);
+  EXPECT_LT(result.nodes, 10'000u);
+}
+
+TEST(Partition, SplitsByObjectAndChecksIndependently) {
+  // Set operations on two keys: key 1 is consistent, key 2 is broken
+  // (contains sees a key that was never inserted).
+  const History h({
+      op(0, OpCode::kInsert, 0, 1, true, 1, true, 1),
+      op(1, OpCode::kContains, 2, 3, true, 2, true, 1),
+      op(0, OpCode::kContains, 4, 5, true, 1, true, 1),
+  });
+  const auto object_of = [](const Operation& o) { return o.arg; };
+  const auto parts = partition_history(h, object_of);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].size() + parts[1].size(), 3u);
+
+  const auto merged = check_partitioned(h, *make_set_spec(), object_of);
+  EXPECT_EQ(merged.verdict, LinVerdict::kNotLinearizable);
+
+  // Drop the bad op and the partitioned check goes green.
+  const History good({
+      op(0, OpCode::kInsert, 0, 1, true, 1, true, 1),
+      op(0, OpCode::kContains, 4, 5, true, 1, true, 1),
+  });
+  EXPECT_EQ(check_partitioned(good, *make_set_spec(), object_of).verdict,
+            LinVerdict::kLinearizable);
+}
+
+TEST(HistoryFromEvents, PairsInvokesWithResponses) {
+  std::vector<OpEvent> events;
+  events.push_back({0, 0, true, OpCode::kPush, true, 5});
+  events.push_back({1, 1, true, OpCode::kPop, false, 0});
+  events.push_back({2, 0, false, OpCode::kPush, false, 0});
+  // t1's pop never responds -> pending.
+  const History h = History::from_events(events);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.num_completed(), 1u);
+  EXPECT_EQ(h.num_pending(), 1u);
+  EXPECT_EQ(h.num_events(), 3u);
+}
+
+TEST(HistoryFromEvents, RejectsMalformedStreams) {
+  // Response with no matching invoke.
+  std::vector<OpEvent> orphan;
+  orphan.push_back({0, 0, false, OpCode::kPop, true, 1});
+  EXPECT_THROW(History::from_events(orphan), std::invalid_argument);
+  // Two pending invokes on one thread.
+  std::vector<OpEvent> doubled;
+  doubled.push_back({0, 0, true, OpCode::kPush, true, 1});
+  doubled.push_back({1, 0, true, OpCode::kPush, true, 2});
+  EXPECT_THROW(History::from_events(doubled), std::invalid_argument);
+}
+
+TEST(HistoryFingerprint, SensitiveToAnyFieldChange) {
+  const History a({op(0, OpCode::kPush, 0, 1, true, 5)});
+  const History b({op(0, OpCode::kPush, 0, 1, true, 6)});
+  const History c({op(1, OpCode::kPush, 0, 1, true, 5)});
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  EXPECT_EQ(a.fingerprint(), History(a.operations()).fingerprint());
+}
+
+}  // namespace
+}  // namespace pwf::check

@@ -1,0 +1,168 @@
+// Unit tests for the sequential specifications behind the linearizability
+// checker: legal/illegal transitions, pending-operation semantics, and
+// exactness of the memoization digests.
+#include "check/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/op_trace.hpp"
+
+namespace pwf::check {
+namespace {
+
+Operation completed(OpCode op, bool has_arg, Value arg, bool has_ret,
+                    Value ret) {
+  Operation o;
+  o.op = op;
+  o.has_arg = has_arg;
+  o.arg = arg;
+  o.has_ret = has_ret;
+  o.ret = ret;
+  o.invoke = 0;
+  o.response = 1;
+  return o;
+}
+
+Operation pending(OpCode op, bool has_arg = false, Value arg = 0) {
+  Operation o;
+  o.op = op;
+  o.has_arg = has_arg;
+  o.arg = arg;
+  o.invoke = 0;
+  o.response = Operation::kPending;
+  return o;
+}
+
+std::string digest_of(const SpecState& s) {
+  std::string out;
+  s.digest(out);
+  return out;
+}
+
+TEST(StackSpec, LifoOrder) {
+  const auto spec = make_stack_spec();
+  auto state = spec->initial();
+  EXPECT_TRUE(spec->apply(*state, completed(OpCode::kPush, true, 1, false, 0)));
+  EXPECT_TRUE(spec->apply(*state, completed(OpCode::kPush, true, 2, false, 0)));
+  // LIFO: the next pop must return 2, not 1.
+  auto wrong = state->clone();
+  EXPECT_FALSE(spec->apply(*wrong, completed(OpCode::kPop, false, 0, true, 1)));
+  EXPECT_TRUE(spec->apply(*state, completed(OpCode::kPop, false, 0, true, 2)));
+  EXPECT_TRUE(spec->apply(*state, completed(OpCode::kPop, false, 0, true, 1)));
+  // Now empty: a value-returning pop is illegal, an empty pop is legal.
+  auto nonempty = state->clone();
+  EXPECT_FALSE(
+      spec->apply(*nonempty, completed(OpCode::kPop, false, 0, true, 1)));
+  EXPECT_TRUE(spec->apply(*state, completed(OpCode::kPop, false, 0, false, 0)));
+}
+
+TEST(StackSpec, PendingPopMatchesAnyResult) {
+  const auto spec = make_stack_spec();
+  auto state = spec->initial();
+  // A pending pop on an empty stack is fine (it may have returned empty).
+  EXPECT_TRUE(spec->apply(*state, pending(OpCode::kPop)));
+  // And on a non-empty stack it is fine too — and takes the top.
+  ASSERT_TRUE(spec->apply(*state, completed(OpCode::kPush, true, 7, false, 0)));
+  EXPECT_TRUE(spec->apply(*state, pending(OpCode::kPop)));
+  // The pending pop consumed 7: a completed pop now sees empty.
+  EXPECT_TRUE(spec->apply(*state, completed(OpCode::kPop, false, 0, false, 0)));
+}
+
+TEST(QueueSpec, FifoOrder) {
+  const auto spec = make_queue_spec();
+  auto state = spec->initial();
+  EXPECT_TRUE(
+      spec->apply(*state, completed(OpCode::kEnqueue, true, 1, false, 0)));
+  EXPECT_TRUE(
+      spec->apply(*state, completed(OpCode::kEnqueue, true, 2, false, 0)));
+  auto wrong = state->clone();
+  EXPECT_FALSE(
+      spec->apply(*wrong, completed(OpCode::kDequeue, false, 0, true, 2)));
+  EXPECT_TRUE(
+      spec->apply(*state, completed(OpCode::kDequeue, false, 0, true, 1)));
+  EXPECT_TRUE(
+      spec->apply(*state, completed(OpCode::kDequeue, false, 0, true, 2)));
+  EXPECT_TRUE(
+      spec->apply(*state, completed(OpCode::kDequeue, false, 0, false, 0)));
+}
+
+TEST(QueueSpec, RejectsWrongOpcode) {
+  const auto spec = make_queue_spec();
+  auto state = spec->initial();
+  EXPECT_FALSE(spec->apply(*state, completed(OpCode::kPush, true, 1, false, 0)));
+}
+
+TEST(SetSpec, InsertEraseContains) {
+  const auto spec = make_set_spec();
+  auto state = spec->initial();
+  EXPECT_TRUE(spec->apply(*state, completed(OpCode::kInsert, true, 5, true, 1)));
+  // Second insert of the same key must report 0.
+  auto dup = state->clone();
+  EXPECT_FALSE(spec->apply(*dup, completed(OpCode::kInsert, true, 5, true, 1)));
+  EXPECT_TRUE(spec->apply(*state, completed(OpCode::kInsert, true, 5, true, 0)));
+  EXPECT_TRUE(
+      spec->apply(*state, completed(OpCode::kContains, true, 5, true, 1)));
+  EXPECT_TRUE(spec->apply(*state, completed(OpCode::kErase, true, 5, true, 1)));
+  EXPECT_TRUE(
+      spec->apply(*state, completed(OpCode::kContains, true, 5, true, 0)));
+}
+
+TEST(CounterSpec, ReturnsPreIncrementValue) {
+  const auto spec = make_counter_spec();
+  auto state = spec->initial();
+  EXPECT_TRUE(
+      spec->apply(*state, completed(OpCode::kFetchInc, false, 0, true, 0)));
+  // A duplicate return of 0 is exactly the racy-increment symptom.
+  auto dup = state->clone();
+  EXPECT_FALSE(
+      spec->apply(*dup, completed(OpCode::kFetchInc, false, 0, true, 0)));
+  EXPECT_TRUE(
+      spec->apply(*state, completed(OpCode::kFetchInc, false, 0, true, 1)));
+}
+
+TEST(RcuSpec, TornReadNeverLinearizes) {
+  const auto spec = make_rcu_spec();
+  auto state = spec->initial();
+  EXPECT_TRUE(
+      spec->apply(*state, completed(OpCode::kRcuUpdate, false, 0, true, 1)));
+  EXPECT_TRUE(
+      spec->apply(*state, completed(OpCode::kRcuRead, false, 0, true, 1)));
+  // The torn sentinel is all-ones and versions are 32-bit: no state matches.
+  EXPECT_FALSE(spec->apply(
+      *state, completed(OpCode::kRcuRead, false, 0, true, core::kTornRead)));
+  // But a *pending* read (crashed mid-snapshot) is always allowed.
+  EXPECT_TRUE(spec->apply(*state, pending(OpCode::kRcuRead)));
+}
+
+TEST(SpecStates, DigestIsExact) {
+  const auto spec = make_stack_spec();
+  auto a = spec->initial();
+  auto b = spec->initial();
+  EXPECT_EQ(digest_of(*a), digest_of(*b));
+  ASSERT_TRUE(spec->apply(*a, completed(OpCode::kPush, true, 1, false, 0)));
+  EXPECT_NE(digest_of(*a), digest_of(*b));
+  ASSERT_TRUE(spec->apply(*b, completed(OpCode::kPush, true, 1, false, 0)));
+  EXPECT_EQ(digest_of(*a), digest_of(*b));
+  // Same multiset, different order: stack states must digest differently.
+  auto ab = spec->initial();
+  auto ba = spec->initial();
+  ASSERT_TRUE(spec->apply(*ab, completed(OpCode::kPush, true, 1, false, 0)));
+  ASSERT_TRUE(spec->apply(*ab, completed(OpCode::kPush, true, 2, false, 0)));
+  ASSERT_TRUE(spec->apply(*ba, completed(OpCode::kPush, true, 2, false, 0)));
+  ASSERT_TRUE(spec->apply(*ba, completed(OpCode::kPush, true, 1, false, 0)));
+  EXPECT_NE(digest_of(*ab), digest_of(*ba));
+}
+
+TEST(MakeSpec, KnownKindsAndUnknownKind) {
+  EXPECT_EQ(make_spec("stack")->name(), "stack");
+  EXPECT_EQ(make_spec("queue")->name(), "queue");
+  EXPECT_EQ(make_spec("set")->name(), "set");
+  EXPECT_EQ(make_spec("counter")->name(), "counter");
+  EXPECT_EQ(make_spec("rcu")->name(), "rcu");
+  EXPECT_THROW(make_spec("deque"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pwf::check

@@ -1,0 +1,131 @@
+// Schedule record/replay: serialization roundtrips, bit-identical strict
+// replay, lenient-mode candidate handling, and the crash-under-replay
+// regression net (Scheduler::on_crash must fire identically on replay —
+// the class of bug the sticky-scheduler crash fix addressed).
+#include "check/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "check/explore.hpp"
+#include "check/workloads.hpp"
+
+namespace pwf::check {
+namespace {
+
+ScheduleTrace sample_trace() {
+  ScheduleTrace t;
+  t.workload = "sim-queue";
+  t.n = 3;
+  t.seed = 77;
+  t.steps = {0, 0, 0, 1, 2, 1, 1, 1, 1, 0, 2, 2};
+  t.crashes = {{5, 2}, {9, 0}};
+  return t;
+}
+
+TEST(ScheduleTrace, SerializeParseRoundtrip) {
+  const ScheduleTrace t = sample_trace();
+  const ScheduleTrace back = ScheduleTrace::parse(t.serialize());
+  EXPECT_EQ(back, t);
+  EXPECT_EQ(back.fingerprint(), t.fingerprint());
+}
+
+TEST(ScheduleTrace, RunLengthTokensAreCompact) {
+  ScheduleTrace t;
+  t.workload = "w";
+  t.n = 2;
+  t.steps.assign(1000, 1);
+  const std::string text = t.serialize();
+  // 1000 identical decisions collapse to a single "1*1000" token.
+  EXPECT_NE(text.find("1*1000"), std::string::npos);
+  EXPECT_EQ(ScheduleTrace::parse(text), t);
+}
+
+TEST(ScheduleTrace, ParseRejectsGarbage) {
+  EXPECT_THROW(ScheduleTrace::parse("not-a-trace/9\n"), std::invalid_argument);
+  EXPECT_THROW(ScheduleTrace::parse("pwf-trace/1\nn 2\nsched 5\n"),
+               std::invalid_argument);  // pid out of range
+  EXPECT_THROW(ScheduleTrace::parse("pwf-trace/1\nn 2\nbogus line\n"),
+               std::invalid_argument);
+}
+
+TEST(ScheduleTrace, FingerprintCoversCrashPlan) {
+  const ScheduleTrace a = sample_trace();
+  ScheduleTrace b = a;
+  b.crashes[0].tau += 1;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Replay, StrictReplayIsBitIdentical) {
+  const Workload& w = find_workload("sim-queue");
+  const auto recorded = record_run(w, 3, 42, 160, /*variant=*/1,
+                                   {{40, 1}}, CheckOptions{});
+  const auto once = replay_trace(w, recorded.trace, /*strict=*/true, {});
+  const auto twice = replay_trace(w, recorded.trace, /*strict=*/true, {});
+  EXPECT_EQ(once.history.fingerprint(), recorded.history.fingerprint());
+  EXPECT_EQ(once.history.fingerprint(), twice.history.fingerprint());
+  EXPECT_EQ(once.trace.fingerprint(), recorded.trace.fingerprint());
+}
+
+TEST(Replay, SurvivesSerializationRoundtrip) {
+  const Workload& w = find_workload("sim-stack");
+  const auto recorded =
+      record_run(w, 3, 7, 120, /*variant=*/0, {}, CheckOptions{});
+  const ScheduleTrace parsed = ScheduleTrace::parse(recorded.trace.serialize());
+  const auto replayed = replay_trace(w, parsed, /*strict=*/true, {});
+  EXPECT_EQ(replayed.history.fingerprint(), recorded.history.fingerprint());
+}
+
+TEST(Replay, CrashHandlingUnderReplayMatchesRecording) {
+  // The regression net over crash notification: when a recorded run
+  // crashed processes, the strict replay must observe the *same* crash
+  // victims in the same order through Scheduler::on_crash, and produce
+  // the same history. A scheduler that mishandles on_crash (e.g. keeps
+  // per-process state keyed by a stale active set) diverges here.
+  const Workload& w = find_workload("sim-queue");
+  const std::vector<CrashEvent> plan{{30, 2}, {70, 0}};
+  const auto recorded =
+      record_run(w, 3, 1234, 200, /*variant=*/1, plan, CheckOptions{});
+  ASSERT_EQ(recorded.crash_log, (std::vector<std::size_t>{2, 0}));
+  ASSERT_EQ(recorded.trace.crashes, plan);
+
+  const auto replayed = replay_trace(w, recorded.trace, /*strict=*/true, {});
+  EXPECT_EQ(replayed.crash_log, recorded.crash_log);
+  EXPECT_EQ(replayed.history.fingerprint(), recorded.history.fingerprint());
+  EXPECT_EQ(replayed.trace.steps, recorded.trace.steps);
+}
+
+TEST(Replay, StrictModeThrowsOnDivergence) {
+  const Workload& w = find_workload("sim-queue");
+  const auto recorded =
+      record_run(w, 3, 99, 100, /*variant=*/0, {}, CheckOptions{});
+  // Crash pid 1 at tau 10 but keep the schedule that still *uses* pid 1
+  // afterwards: the script becomes unplayable in strict mode.
+  ScheduleTrace broken = recorded.trace;
+  broken.crashes = {{10, 1}};
+  EXPECT_THROW(replay_trace(w, broken, /*strict=*/true, {}),
+               std::runtime_error);
+  // Lenient mode skips the now-inactive entries instead of throwing.
+  EXPECT_NO_THROW(replay_trace(w, broken, /*strict=*/false, {}));
+}
+
+TEST(Replay, LenientModeFallsBackWhenScriptExhausted) {
+  std::vector<std::uint32_t> script{1, 1};
+  ReplayScheduler lenient(script, /*strict=*/false);
+  Xoshiro256pp rng(1);
+  const std::vector<std::size_t> active{0, 1, 2};
+  EXPECT_EQ(lenient.next(0, active, rng), 1u);
+  EXPECT_EQ(lenient.next(1, active, rng), 1u);
+  // Script exhausted: lowest active pid.
+  EXPECT_EQ(lenient.next(2, active, rng), 0u);
+
+  ReplayScheduler strict(script, /*strict=*/true);
+  (void)strict.next(0, active, rng);
+  (void)strict.next(1, active, rng);
+  EXPECT_THROW(strict.next(2, active, rng), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pwf::check

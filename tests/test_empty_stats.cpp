@@ -1,0 +1,75 @@
+// Degenerate-input hardening for the statistics types: a freshly
+// constructed HarnessResult, ScheduleStats, or LatencyReport must report
+// zeros — not NaN, not 1/n, not a fold identity like UINT64_MAX.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulation.hpp"
+#include "lockfree/harness.hpp"
+#include "sched/recorder.hpp"
+
+namespace pwf {
+namespace {
+
+TEST(EmptyStats, DefaultHarnessResultIsAllZero) {
+  const lockfree::HarnessResult r{};
+  EXPECT_EQ(r.total_ops(), 0u);
+  EXPECT_EQ(r.total_steps(), 0u);
+  EXPECT_EQ(r.completion_rate(), 0.0);
+  EXPECT_FALSE(std::isnan(r.completion_rate()));
+  EXPECT_EQ(r.ops_per_second(), 0.0);
+  EXPECT_FALSE(std::isnan(r.ops_per_second()));
+}
+
+TEST(EmptyStats, HarnessResultWithZeroStepThreadsIsFinite) {
+  lockfree::HarnessResult r{};
+  r.per_thread.resize(4);  // threads that never ran an op
+  EXPECT_EQ(r.completion_rate(), 0.0);
+  EXPECT_EQ(r.ops_per_second(), 0.0);
+}
+
+TEST(EmptyStats, EmptyScheduleStatsDeviationsAreZero) {
+  const sched::ScheduleStats stats(3);
+  EXPECT_EQ(stats.total_steps(), 0u);
+  // No recorded steps: there is no empirical distribution, so the
+  // deviation from uniform is 0, not |0 - 1/n| = 1/n.
+  EXPECT_EQ(stats.max_share_deviation(), 0.0);
+  EXPECT_EQ(stats.max_conditional_deviation(), 0.0);
+  EXPECT_EQ(stats.chi_square_uniform(), 0.0);
+  for (double s : stats.shares()) EXPECT_EQ(s, 0.0);
+}
+
+TEST(EmptyStats, SingleStepScheduleHasNoConditionalEvidence) {
+  sched::ScheduleStats stats(4);
+  stats.add_schedule(std::vector<std::uint32_t>{2});
+  // One step, no transitions: share deviation is real (all mass on one
+  // thread) but conditional deviation has no evidence and must be 0.
+  EXPECT_NEAR(stats.max_share_deviation(), 0.75, 1e-12);
+  EXPECT_EQ(stats.max_conditional_deviation(), 0.0);
+}
+
+TEST(EmptyStats, UnobservedConditioningRowsDoNotPollute) {
+  sched::ScheduleStats stats(3);
+  // Only 0 -> 1 transitions exist; rows 1 and 2 are unobserved. The
+  // conditional deviation must come from row 0 alone (|1 - 1/3| = 2/3),
+  // not be diluted or inflated by the empty rows.
+  stats.add_schedule(std::vector<std::uint32_t>{0, 1});
+  stats.add_schedule(std::vector<std::uint32_t>{0, 1});
+  EXPECT_NEAR(stats.max_conditional_deviation(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(EmptyStats, DefaultLatencyReportIsAllZero) {
+  const core::LatencyReport r{};
+  EXPECT_EQ(r.completion_rate(), 0.0);
+  EXPECT_FALSE(std::isnan(r.completion_rate()));
+  EXPECT_EQ(r.system_latency(), 0.0);
+  EXPECT_FALSE(std::isnan(r.system_latency()));
+  EXPECT_EQ(r.max_individual_latency(), 0.0);
+  // No tracked processes: "min completions over processes" must not be
+  // the empty-fold identity UINT64_MAX.
+  EXPECT_EQ(r.min_completions(), 0u);
+}
+
+}  // namespace
+}  // namespace pwf
