@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "check/explore.hpp"
+#include "check/session.hpp"
 #include "check/workloads.hpp"
 #include "exp/registry.hpp"
 #include "util/table.hpp"
@@ -59,7 +60,8 @@ class LinSoundness final : public exp::Experiment {
     check::ExploreOptions opts;
     opts.base_seed = trial.seed;
     opts.schedules = options.quick ? 40 : 100;
-    const check::ExploreResult result = check::explore(workload, opts);
+    const check::Session session(workload, opts.check);
+    const check::ExploreResult result = session.explore(opts);
 
     double witness_events = 0.0;
     double fp_stable = 0.0;
@@ -68,8 +70,7 @@ class LinSoundness final : public exp::Experiment {
       // Certify the witness: two independent strict replays must agree on
       // the history fingerprint bit-for-bit (the replay determinism
       // guarantee the minimizer and CI artifacts rely on).
-      const auto again = check::replay_trace(workload, result.witness->trace,
-                                             /*strict=*/true, opts.check);
+      const auto again = session.replay(result.witness->trace);
       fp_stable = again.history.fingerprint() ==
                           result.witness->history_fingerprint
                       ? 1.0

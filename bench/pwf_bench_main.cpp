@@ -19,31 +19,18 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
 using namespace pwf;
-
-void print_usage(std::ostream& os) {
-  os << "usage: pwf_bench [options]\n"
-        "  --list            list registered experiments and exit\n"
-        "  --filter NAMES    run experiments whose name contains any of\n"
-        "                    the comma-separated substrings (default: all)\n"
-        "  --seed N          override every experiment's base seed\n"
-        "  --quick           reduced grids/horizons (CI mode)\n"
-        "  --threads N       trial worker threads (0 = hardware, default)\n"
-        "  --trials N        repetitions per grid point, averaged "
-        "(default 1)\n"
-        "  --json PATH       write structured results to PATH\n"
-        "  --out PATH        alias for --json; '-' writes to stdout\n"
-        "  --help            this message\n";
-}
 
 struct Args {
   exp::RunOptions options;
@@ -53,71 +40,54 @@ struct Args {
   bool help = false;
 };
 
-bool parse_args(int argc, char** argv, Args& args, std::string& error) {
-  auto need_value = [&](int& i, const std::string& flag) -> const char* {
-    if (i + 1 >= argc) {
-      error = flag + " requires a value";
-      return nullptr;
-    }
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    try {
-      if (arg == "--list") {
-        args.list = true;
-      } else if (arg == "--help" || arg == "-h") {
-        args.help = true;
-      } else if (arg == "--quick") {
-        args.options.quick = true;
-      } else if (arg == "--filter") {
-        const char* v = need_value(i, arg);
-        if (!v) return false;
-        args.filter = v;
-      } else if (arg == "--seed") {
-        const char* v = need_value(i, arg);
-        if (!v) return false;
-        args.options.seed_override = std::stoull(v);
-      } else if (arg == "--threads") {
-        const char* v = need_value(i, arg);
-        if (!v) return false;
-        args.options.threads = static_cast<unsigned>(std::stoul(v));
-      } else if (arg == "--trials") {
-        const char* v = need_value(i, arg);
-        if (!v) return false;
-        args.options.trials = static_cast<unsigned>(std::stoul(v));
-        if (args.options.trials == 0) {
-          error = "--trials must be >= 1";
-          return false;
-        }
-      } else if (arg == "--json" || arg == "--out") {
-        const char* v = need_value(i, arg);
-        if (!v) return false;
-        args.json_path = v;
-      } else {
-        error = "unknown option: " + arg;
-        return false;
-      }
-    } catch (const std::exception&) {
-      error = "bad value for " + arg;
-      return false;
-    }
-  }
-  return true;
+util::CliParser make_parser(Args& args) {
+  util::CliParser cli("pwf_bench");
+  cli.flag("--list", "list registered experiments and exit", &args.list)
+      .option("--filter", "NAMES",
+              "run experiments whose name contains any of\n"
+              "the comma-separated substrings (default: all)",
+              [&args](const std::string& v) { args.filter = v; })
+      .option("--seed", "N", "override every experiment's base seed",
+              [&args](const std::string& v) {
+                args.options.seed_override = std::stoull(v);
+              })
+      .flag("--quick", "reduced grids/horizons (CI mode)",
+            &args.options.quick)
+      .option("--threads", "N",
+              "trial worker threads (0 = hardware, default)",
+              [&args](const std::string& v) {
+                args.options.threads = static_cast<unsigned>(std::stoul(v));
+              })
+      .option("--trials", "N",
+              "repetitions per grid point, averaged (default 1)",
+              [&args](const std::string& v) {
+                args.options.trials = static_cast<unsigned>(std::stoul(v));
+                if (args.options.trials == 0) {
+                  throw std::invalid_argument("--trials must be >= 1");
+                }
+              })
+      .option_string("--json",
+                     "write structured results to PATH ('-' = stdout)",
+                     &args.json_path)
+      .alias("--out", "--json")
+      .flag("--help", "this message", &args.help)
+      .alias("-h", "--help");
+  return cli;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
+  const util::CliParser cli = make_parser(args);
   std::string error;
-  if (!parse_args(argc, argv, args, error)) {
+  if (!cli.parse(argc, argv, error)) {
     std::cerr << "pwf_bench: " << error << "\n";
-    print_usage(std::cerr);
+    cli.print_usage(std::cerr);
     return 2;
   }
   if (args.help) {
-    print_usage(std::cout);
+    cli.print_usage(std::cout);
     return 0;
   }
 

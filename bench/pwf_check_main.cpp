@@ -5,15 +5,19 @@
 //
 //   pwf_check --list                  enumerate workloads + hw structures
 //   pwf_check --filter stack,queue    substring selection (comma-separated)
-//   pwf_check --schedules 100         schedules per workload
+//   pwf_check --schedules 100         schedules per workload (--trials)
 //   pwf_check --steps N / --n N       override horizon / process count
 //   pwf_check --seed 123              base seed
+//   pwf_check --shards 4              checker threads (--threads); 0 = hw
 //   pwf_check --smoke                 CI preset (small, < 60 s, all checks)
 //   pwf_check --hw                    also capture + check hardware runs
 //   pwf_check --replay t.trace        strict-replay a saved trace
 //   pwf_check --save-trace PATH       save the first witness trace
 //   pwf_check --out PATH              JSON report (pwf-check-report/1);
 //                                     '-' means stdout
+//
+// Flag spellings are shared with pwf_bench via util::CliParser (--out,
+// --seed, --threads, --filter, --trials mean the same thing in both).
 //
 // Exit status: 0 iff every selected workload matched its expectation
 // (stock structures LINEARIZABLE everywhere, mutants caught with a
@@ -30,33 +34,16 @@
 
 #include "check/explore.hpp"
 #include "check/hw_capture.hpp"
+#include "check/session.hpp"
 #include "check/trace.hpp"
 #include "check/workloads.hpp"
 #include "exp/json.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
 using namespace pwf;
-
-void print_usage(std::ostream& os) {
-  os << "usage: pwf_check [options]\n"
-        "  --list            list workloads and hardware structures\n"
-        "  --filter NAMES    run workloads whose name contains any of the\n"
-        "                    comma-separated substrings (default: all)\n"
-        "  --schedules N     random schedules per workload (default 100)\n"
-        "  --steps N         steps per schedule (default: per workload)\n"
-        "  --n N             processes (default: per workload)\n"
-        "  --seed N          base seed (default 1)\n"
-        "  --no-crashes      disable crash plans\n"
-        "  --no-minimize     report the first failing trace unshrunk\n"
-        "  --smoke           CI preset: reduced schedules, all workloads,\n"
-        "                    hardware captures included\n"
-        "  --hw              capture + check the hardware structures too\n"
-        "  --replay PATH     strict-replay a pwf-trace/1 file and exit\n"
-        "  --save-trace PATH write the first witness trace to PATH\n"
-        "  --out PATH        write a JSON report ('-' = stdout)\n"
-        "  --help            this message\n";
-}
+using util::matches_filter;
 
 struct Args {
   check::ExploreOptions explore;
@@ -68,83 +55,66 @@ struct Args {
   bool help = false;
   bool smoke = false;
   bool hw = false;
+  bool no_crashes = false;
+  bool no_minimize = false;
 };
 
-bool parse_args(int argc, char** argv, Args& args, std::string& error) {
-  auto need_value = [&](int& i, const std::string& flag) -> const char* {
-    if (i + 1 >= argc) {
-      error = flag + " requires a value";
-      return nullptr;
-    }
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    try {
-      if (arg == "--list") {
-        args.list = true;
-      } else if (arg == "--help" || arg == "-h") {
-        args.help = true;
-      } else if (arg == "--smoke") {
-        args.smoke = true;
-      } else if (arg == "--hw") {
-        args.hw = true;
-      } else if (arg == "--no-crashes") {
-        args.explore.crashes = false;
-      } else if (arg == "--no-minimize") {
-        args.explore.minimize = false;
-      } else if (arg == "--filter") {
-        const char* v = need_value(i, arg);
-        if (!v) return false;
-        args.filter = v;
-      } else if (arg == "--schedules") {
-        const char* v = need_value(i, arg);
-        if (!v) return false;
-        args.explore.schedules = std::stoul(v);
-      } else if (arg == "--steps") {
-        const char* v = need_value(i, arg);
-        if (!v) return false;
-        args.explore.steps = std::stoull(v);
-      } else if (arg == "--n") {
-        const char* v = need_value(i, arg);
-        if (!v) return false;
-        args.explore.n = std::stoul(v);
-      } else if (arg == "--seed") {
-        const char* v = need_value(i, arg);
-        if (!v) return false;
-        args.explore.base_seed = std::stoull(v);
-      } else if (arg == "--replay") {
-        const char* v = need_value(i, arg);
-        if (!v) return false;
-        args.replay_path = v;
-      } else if (arg == "--save-trace") {
-        const char* v = need_value(i, arg);
-        if (!v) return false;
-        args.save_trace_path = v;
-      } else if (arg == "--out") {
-        const char* v = need_value(i, arg);
-        if (!v) return false;
-        args.out_path = v;
-      } else {
-        error = "unknown option: " + arg;
-        return false;
-      }
-    } catch (const std::exception&) {
-      error = "bad value for " + arg;
-      return false;
-    }
-  }
-  return true;
-}
-
-bool matches_filter(const std::string& name, const std::string& filter) {
-  if (filter.empty()) return true;
-  std::stringstream ss(filter);
-  std::string token;
-  while (std::getline(ss, token, ',')) {
-    if (!token.empty() && name.find(token) != std::string::npos) return true;
-  }
-  return false;
+util::CliParser make_parser(Args& args) {
+  util::CliParser cli("pwf_check");
+  cli.flag("--list", "list workloads and hardware structures", &args.list)
+      .option("--filter", "NAMES",
+              "run workloads whose name contains any of the\n"
+              "comma-separated substrings (default: all)",
+              [&args](const std::string& v) { args.filter = v; })
+      .option("--schedules", "N",
+              "random schedules per workload (default 100)",
+              [&args](const std::string& v) {
+                args.explore.schedules = std::stoul(v);
+              })
+      .alias("--trials", "--schedules")
+      .option("--steps", "N", "steps per schedule (default: per workload)",
+              [&args](const std::string& v) {
+                args.explore.steps = std::stoull(v);
+              })
+      .option("--n", "N", "processes (default: per workload)",
+              [&args](const std::string& v) {
+                args.explore.n = std::stoul(v);
+              })
+      .option("--seed", "N", "base seed (default 1)",
+              [&args](const std::string& v) {
+                args.explore.base_seed = std::stoull(v);
+              })
+      .option("--shards", "N",
+              "checker worker threads for partitioned histories\n"
+              "(0 = hardware, default 1)",
+              [&args](const std::string& v) {
+                args.explore.check.shards =
+                    static_cast<std::size_t>(std::stoull(v));
+              })
+      .alias("--threads", "--shards")
+      .option("--memo-budget", "N",
+              "max memoized states per search (0 = unbounded)",
+              [&args](const std::string& v) {
+                args.explore.check.memo_budget = std::stoull(v);
+              })
+      .flag("--no-crashes", "disable crash plans", &args.no_crashes)
+      .flag("--no-minimize", "report the first failing trace unshrunk",
+            &args.no_minimize)
+      .flag("--smoke",
+            "CI preset: reduced schedules, all workloads,\n"
+            "hardware captures included",
+            &args.smoke)
+      .flag("--hw", "capture + check the hardware structures too", &args.hw)
+      .option_string("--replay",
+                     "strict-replay a pwf-trace/1 file and exit",
+                     &args.replay_path)
+      .option_string("--save-trace", "write the first witness trace to PATH",
+                     &args.save_trace_path)
+      .option_string("--out", "write a JSON report ('-' = stdout)",
+                     &args.out_path)
+      .flag("--help", "this message", &args.help)
+      .alias("-h", "--help");
+  return cli;
 }
 
 struct WorkloadReport {
@@ -165,7 +135,7 @@ int run_replay(const Args& args) {
   const check::ScheduleTrace trace = check::ScheduleTrace::parse(in);
   const check::Workload& workload = check::find_workload(trace.workload);
   const check::RunOutcome out =
-      check::replay_trace(workload, trace, /*strict=*/true, {});
+      check::Session(workload, args.explore.check).replay(trace);
   std::cout << "workload:            " << workload.name << "\n"
             << "trace fingerprint:   " << trace.fingerprint() << "\n"
             << "history fingerprint: " << out.history.fingerprint() << "\n"
@@ -179,16 +149,19 @@ int run_replay(const Args& args) {
 
 int main(int argc, char** argv) {
   Args args;
+  const util::CliParser cli = make_parser(args);
   std::string error;
-  if (!parse_args(argc, argv, args, error)) {
+  if (!cli.parse(argc, argv, error)) {
     std::cerr << "pwf_check: " << error << "\n";
-    print_usage(std::cerr);
+    cli.print_usage(std::cerr);
     return 2;
   }
   if (args.help) {
-    print_usage(std::cout);
+    cli.print_usage(std::cout);
     return 0;
   }
+  if (args.no_crashes) args.explore.crashes = false;
+  if (args.no_minimize) args.explore.minimize = false;
   if (args.list) {
     std::cout << "simulated workloads:\n";
     for (const check::Workload& w : check::workloads()) {
@@ -230,11 +203,10 @@ int main(int argc, char** argv) {
     report.expect_linearizable = workload.expect_linearizable;
     const auto w0 = std::chrono::steady_clock::now();
     try {
-      report.result = check::explore(workload, args.explore);
+      const check::Session session(workload, args.explore.check);
+      report.result = session.explore(args.explore);
       if (report.result.witness) {
-        const auto again = check::replay_trace(
-            workload, report.result.witness->trace, /*strict=*/true,
-            args.explore.check);
+        const auto again = session.replay(report.result.witness->trace);
         report.fp_stable = again.history.fingerprint() ==
                            report.result.witness->history_fingerprint;
       }
@@ -297,13 +269,15 @@ int main(int argc, char** argv) {
     for (const std::string& structure : check::hw_structures()) {
       if (!matches_filter(structure, args.filter)) continue;
       try {
-        check::HwCaptureResult r = check::hw_capture_run(structure, hw_opts);
+        check::HwCaptureResult r =
+            check::hw_capture_run(structure, hw_opts, args.explore.check);
         const bool ok = r.lin.ok();
         all_pass = all_pass && ok;
         std::cout << "hw " << structure << ": "
                   << check::verdict_name(r.lin.verdict) << " ("
-                  << r.history.size() << " ops, " << r.lin.nodes
-                  << " nodes)\n";
+                  << r.history.size() << " ops, " << r.lin.parts
+                  << " parts, " << r.lin.nodes << " nodes, slack mean "
+                  << r.mean_slack << " max " << r.max_slack << ")\n";
         hw_results.push_back(std::move(r));
       } catch (const std::exception& ex) {
         std::cerr << "pwf_check: hw capture '" << structure
@@ -327,6 +301,7 @@ int main(int argc, char** argv) {
     json.key("schema").value("pwf-check-report/1");
     json.key("base_seed").value(static_cast<std::uint64_t>(args.explore.base_seed));
     json.key("schedules").value(static_cast<std::uint64_t>(args.explore.schedules));
+    json.key("shards").value(static_cast<std::uint64_t>(args.explore.check.shards));
     json.key("all_pass").value(all_pass);
     json.key("workloads").begin_array();
     for (const WorkloadReport& r : reports) {
@@ -364,7 +339,24 @@ int main(int argc, char** argv) {
       json.key("structure").value(r.structure);
       json.key("verdict").value(check::verdict_name(r.lin.verdict));
       json.key("operations").value(static_cast<std::uint64_t>(r.history.size()));
+      json.key("parts").value(static_cast<std::uint64_t>(r.lin.parts));
       json.key("checker_nodes").value(r.lin.nodes);
+      json.key("timed_out").value(r.lin.timed_out);
+      // Capture-interval slack distinguishes "linearizable" from
+      // "possibly masked by widened intervals": an op with slack 0 had a
+      // tight interval; large slack means the ticket stamps straddled
+      // many foreign events and the verdict leans on that widening.
+      json.key("mean_slack").value(r.mean_slack);
+      json.key("max_slack").value(r.max_slack);
+      json.key("interval_slack").begin_array();
+      for (const std::uint64_t slack : r.interval_slack) {
+        if (slack == check::HwCaptureResult::kPendingSlack) {
+          json.value("pending");
+        } else {
+          json.value(slack);
+        }
+      }
+      json.end_array();
       json.end_object();
     }
     json.end_array();

@@ -1,77 +1,11 @@
 #include "check/explore.hpp"
 
-#include <algorithm>
-#include <memory>
-#include <stdexcept>
-#include <utility>
+#include "check/session.hpp"
 
-#include "core/scheduler.hpp"
-#include "core/simulation.hpp"
-#include "util/rng.hpp"
+// The pipeline bodies live in Session (check/session.cpp); these free
+// functions survive as one-line wrappers for pre-Session call sites.
 
 namespace pwf::check {
-
-namespace {
-
-using core::Scheduler;
-using core::Simulation;
-
-/// Decorator that records Scheduler::on_crash notifications, so recorded
-/// runs expose the same crash log replays do (the crash-under-replay
-/// regression tests compare the two).
-class CrashLogScheduler final : public Scheduler {
- public:
-  explicit CrashLogScheduler(std::unique_ptr<Scheduler> inner)
-      : inner_(std::move(inner)) {}
-
-  std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
-                   Xoshiro256pp& rng) override {
-    return inner_->next(tau, active, rng);
-  }
-  double theta(std::size_t num_active) const override {
-    return inner_->theta(num_active);
-  }
-  void on_crash(std::size_t process) override {
-    crash_log_.push_back(process);
-    inner_->on_crash(process);
-  }
-  std::string name() const override { return inner_->name(); }
-
-  const std::vector<std::size_t>& crash_log() const noexcept {
-    return crash_log_;
-  }
-
- private:
-  std::unique_ptr<Scheduler> inner_;
-  std::vector<std::size_t> crash_log_;
-};
-
-std::unique_ptr<Scheduler> make_variant_scheduler(std::size_t variant,
-                                                  std::size_t n) {
-  switch (variant % 4) {
-    case 0:
-      return std::make_unique<core::UniformScheduler>();
-    case 1:
-      return std::make_unique<core::StickyScheduler>(0.9);
-    case 2:
-      return std::make_unique<core::WeightedScheduler>(
-          core::make_zipf_scheduler(n, 1.5));
-    default: {
-      // A bursty rotating adversary softened into a stochastic scheduler
-      // with a small theta — the minimal fairness Theorem 3 assumes.
-      auto adversary = std::make_unique<core::AdversarialScheduler>(
-          [](std::uint64_t tau, std::span<const std::size_t> active) {
-            return active[(tau / 5) % active.size()];
-          },
-          "rotating-burst");
-      const double theta = 0.05 / static_cast<double>(n);
-      return std::make_unique<core::ThetaMixScheduler>(theta,
-                                                       std::move(adversary));
-    }
-  }
-}
-
-}  // namespace
 
 std::uint64_t derive_check_seed(std::uint64_t base, std::uint64_t index) {
   std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (index + 1);
@@ -85,208 +19,23 @@ RunOutcome record_run(const Workload& workload, std::size_t n,
                       std::size_t variant,
                       const std::vector<CrashEvent>& crashes,
                       const CheckOptions& check) {
-  SimTraceRecorder events;
-  auto logging = std::make_unique<CrashLogScheduler>(
-      make_variant_scheduler(variant, n));
-  CrashLogScheduler* logging_ptr = logging.get();
-  auto sim = workload.build(n, seed, std::move(logging), &events);
-  TraceRecorder schedule;
-  sim->set_observer(&schedule);
-  for (const CrashEvent& c : crashes) sim->schedule_crash(c.tau, c.pid);
-  sim->run(steps);
-
-  RunOutcome out;
-  out.trace.workload = workload.name;
-  out.trace.n = static_cast<std::uint32_t>(n);
-  out.trace.seed = seed;
-  out.trace.steps = schedule.take_steps();
-  out.trace.crashes = crashes;
-  out.crash_log = logging_ptr->crash_log();
-  out.history = events.history();
-  const auto spec = workload.make_spec();
-  out.lin = check_linearizability(out.history, *spec, check);
-  return out;
+  return Session(workload, check).record(n, seed, steps, variant, crashes);
 }
 
 RunOutcome replay_trace(const Workload& workload, const ScheduleTrace& trace,
                         bool strict, const CheckOptions& check) {
-  SimTraceRecorder events;
-  auto replay = std::make_unique<ReplayScheduler>(trace.steps, strict);
-  ReplayScheduler* replay_ptr = replay.get();
-  auto sim = workload.build(trace.n, trace.seed, std::move(replay), &events);
-  TraceRecorder schedule;
-  sim->set_observer(&schedule);
-  for (const CrashEvent& c : trace.crashes) sim->schedule_crash(c.tau, c.pid);
-  sim->run(trace.steps.size());
-
-  RunOutcome out;
-  out.trace.workload = trace.workload;
-  out.trace.n = trace.n;
-  out.trace.seed = trace.seed;
-  out.trace.steps = schedule.take_steps();  // the *effective* schedule
-  out.trace.crashes = trace.crashes;
-  out.crash_log = replay_ptr->crash_log();
-  out.history = events.history();
-  const auto spec = workload.make_spec();
-  out.lin = check_linearizability(out.history, *spec, check);
-  return out;
+  return Session(workload, check).replay(trace, strict);
 }
-
-namespace {
-
-/// The minimizer's probe: does this candidate trace still produce a
-/// non-linearizable history? Any exception (divergent crash plan, crash
-/// of the last active process, malformed history) rejects the candidate.
-bool still_fails(const Workload& workload, const ScheduleTrace& candidate,
-                 const CheckOptions& check) {
-  if (candidate.steps.empty()) return false;
-  try {
-    const RunOutcome out =
-        replay_trace(workload, candidate, /*strict=*/false, check);
-    return out.lin.verdict == LinVerdict::kNotLinearizable;
-  } catch (const std::exception&) {
-    return false;
-  }
-}
-
-}  // namespace
 
 ScheduleTrace minimize_trace(const Workload& workload,
                              const ScheduleTrace& failing,
                              const CheckOptions& check) {
-  if (!still_fails(workload, failing, check)) {
-    throw std::invalid_argument("minimize_trace: input trace does not fail");
-  }
-  ScheduleTrace current = failing;
-
-  // Classic ddmin over the pid sequence, probing with lenient replay so
-  // any subsequence is a legal candidate schedule.
-  std::size_t granularity = 2;
-  while (current.steps.size() >= 2) {
-    const std::size_t len = current.steps.size();
-    const std::size_t chunk = std::max<std::size_t>(1, len / granularity);
-    bool reduced = false;
-    for (std::size_t start = 0; start < len; start += chunk) {
-      ScheduleTrace candidate = current;
-      const auto first = candidate.steps.begin() +
-                         static_cast<std::ptrdiff_t>(start);
-      const auto last = candidate.steps.begin() +
-                        static_cast<std::ptrdiff_t>(std::min(start + chunk, len));
-      candidate.steps.erase(first, last);
-      if (still_fails(workload, candidate, check)) {
-        current = std::move(candidate);
-        granularity = std::max<std::size_t>(2, granularity - 1);
-        reduced = true;
-        break;
-      }
-    }
-    if (reduced) continue;
-    if (chunk == 1) break;
-    granularity = std::min(granularity * 2, current.steps.size());
-  }
-
-  // Greedy crash-event dropping (a crash the failure does not need only
-  // obscures the reproducer).
-  for (std::size_t i = 0; i < current.crashes.size();) {
-    ScheduleTrace candidate = current;
-    candidate.crashes.erase(candidate.crashes.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-    if (still_fails(workload, candidate, check)) {
-      current = std::move(candidate);
-    } else {
-      ++i;
-    }
-  }
-
-  // Re-record from the effective schedule of a final lenient replay, so
-  // the published witness replays strictly: every entry in the effective
-  // sequence was genuinely scheduled on an active process.
-  RunOutcome final_run =
-      replay_trace(workload, current, /*strict=*/false, check);
-  ScheduleTrace minimized = std::move(final_run.trace);
-  if (final_run.lin.verdict != LinVerdict::kNotLinearizable) {
-    // Should be unreachable: the effective schedule reproduces the same
-    // run the probe just accepted. Fall back to the probed candidate.
-    return current;
-  }
-  return minimized;
+  return Session(workload, check).minimize(failing);
 }
 
 ExploreResult explore(const Workload& workload,
                       const ExploreOptions& options) {
-  const std::size_t n = options.n ? options.n : workload.default_n;
-  const std::uint64_t steps =
-      options.steps ? options.steps : workload.default_steps;
-
-  ExploreResult result;
-  result.workload = workload.name;
-  // ddmin finds a 1-minimal *schedule*, which is only a local minimum in
-  // history events; keep a few failing candidates and publish whichever
-  // minimizes smallest.
-  constexpr std::size_t kWitnessCandidates = 5;
-  std::vector<ScheduleTrace> failures;
-
-  for (std::size_t i = 0; i < options.schedules; ++i) {
-    const std::uint64_t seed = derive_check_seed(options.base_seed, i);
-
-    // Crash plan: none on every third schedule, otherwise 1..n-1 victims
-    // at rng-drawn times (the engine guarantees one survivor).
-    std::vector<CrashEvent> crashes;
-    if (options.crashes && i % 3 != 0 && n >= 2) {
-      Xoshiro256pp rng(derive_check_seed(seed, 0xC7A5ULL));
-      const std::size_t num_crashes =
-          1 + static_cast<std::size_t>(rng() % (n - 1));
-      std::vector<std::uint32_t> victims(n);
-      for (std::size_t p = 0; p < n; ++p) {
-        victims[p] = static_cast<std::uint32_t>(p);
-      }
-      for (std::size_t c = 0; c < num_crashes; ++c) {
-        const std::size_t pick = c + rng() % (victims.size() - c);
-        std::swap(victims[c], victims[pick]);
-        crashes.push_back({1 + rng() % steps, victims[c]});
-      }
-      std::stable_sort(crashes.begin(), crashes.end(),
-                       [](const CrashEvent& a, const CrashEvent& b) {
-                         return a.tau < b.tau;
-                       });
-    }
-
-    RunOutcome run =
-        record_run(workload, n, seed, steps, i, crashes, options.check);
-    ++result.schedules_run;
-    result.nodes += run.lin.nodes;
-    if (run.lin.verdict == LinVerdict::kUnknown) ++result.unknowns;
-    if (run.lin.verdict == LinVerdict::kNotLinearizable) {
-      ++result.violations;
-      if (failures.size() < kWitnessCandidates) {
-        failures.push_back(std::move(run.trace));
-      }
-      if (options.stop_at_first) break;
-    }
-  }
-
-  constexpr std::size_t kSmallEnoughEvents = 20;
-  for (const ScheduleTrace& failure : failures) {
-    Witness witness;
-    witness.trace = options.minimize
-                        ? minimize_trace(workload, failure, options.check)
-                        : failure;
-    witness.trace_fingerprint = witness.trace.fingerprint();
-    const RunOutcome certified =
-        replay_trace(workload, witness.trace, /*strict=*/true, options.check);
-    witness.history_fingerprint = certified.history.fingerprint();
-    witness.history_events = certified.history.num_events();
-    witness.rendered = certified.history.render();
-    if (!result.witness ||
-        witness.history_events < result.witness->history_events) {
-      result.witness = std::move(witness);
-    }
-    if (!options.minimize ||
-        result.witness->history_events <= kSmallEnoughEvents) {
-      break;
-    }
-  }
-  return result;
+  return Session(workload, options.check).explore(options);
 }
 
 }  // namespace pwf::check

@@ -64,30 +64,23 @@ struct ExploreResult {
   }
 };
 
-/// Records one schedule: builds the workload with the scheduler variant
-/// `variant` (0 uniform, 1 sticky, 2 zipf, 3 theta-mix adversary) and the
-/// given crash plan, runs `steps` steps, and returns the trace + history
-/// + verdict.
+/// DEPRECATED — these free functions are thin wrappers over
+/// pwf::check::Session (each constructs a Session from the workload and
+/// the given CheckOptions, then calls the method of the same name). New
+/// code should hold a Session and reuse it.
 RunOutcome record_run(const Workload& workload, std::size_t n,
                       std::uint64_t seed, std::uint64_t steps,
                       std::size_t variant,
                       const std::vector<CrashEvent>& crashes,
                       const CheckOptions& check);
 
-/// Replays a trace. Strict mode throws std::runtime_error on any
-/// divergence; lenient mode accepts arbitrary candidate pid sequences
-/// (the minimizer's probe mode).
 RunOutcome replay_trace(const Workload& workload, const ScheduleTrace& trace,
                         bool strict, const CheckOptions& check);
 
-/// ddmin over the failing trace's pid sequence, then greedy crash-event
-/// dropping. The result is re-recorded from the effective schedule so it
-/// replays *strictly* and still fails. `failing` must itself fail.
 ScheduleTrace minimize_trace(const Workload& workload,
                              const ScheduleTrace& failing,
                              const CheckOptions& check);
 
-/// The full pipeline over one workload.
 ExploreResult explore(const Workload& workload, const ExploreOptions& options);
 
 }  // namespace pwf::check

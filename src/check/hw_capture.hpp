@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,19 @@ struct HwCaptureResult {
   std::string structure;
   History history;
   LinResult lin;
+  /// Per-operation interval slack, in invoke order: foreign tickets
+  /// stamped strictly inside the operation's [invoke, response] interval
+  /// (response − invoke − 1). Slack 0 means the captured interval is
+  /// tight — nothing else happened between the stamps, so the interval
+  /// cannot be masking a reordering. Large slack flags operations whose
+  /// "linearizable" verdict may rest on capture widening rather than on
+  /// the structure (pending operations report kPendingSlack).
+  std::vector<std::uint64_t> interval_slack;
+  std::uint64_t max_slack = 0;   ///< over completed operations
+  double mean_slack = 0.0;       ///< over completed operations
+
+  static constexpr std::uint64_t kPendingSlack =
+      std::numeric_limits<std::uint64_t>::max();
 };
 
 /// The capturable hardware structures: treiber-stack, ms-queue,

@@ -1,8 +1,10 @@
 #include "check/lin_check.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
+#include <numeric>
 #include <unordered_set>
 
 namespace pwf::check {
@@ -19,6 +21,7 @@ const char* verdict_name(LinVerdict v) {
 namespace {
 
 using Bitset = std::vector<std::uint64_t>;
+using Clock = std::chrono::steady_clock;
 
 bool test_bit(const Bitset& bits, std::size_t i) {
   return (bits[i / 64] >> (i % 64)) & 1;
@@ -27,6 +30,34 @@ void set_bit(Bitset& bits, std::size_t i) { bits[i / 64] |= 1ULL << (i % 64); }
 void clear_bit(Bitset& bits, std::size_t i) {
   bits[i / 64] &= ~(1ULL << (i % 64));
 }
+
+/// Wall-clock budget guard, polled coarsely (a steady_clock read every
+/// node would dominate short searches).
+class TimeBudget {
+ public:
+  explicit TimeBudget(double budget_ms)
+      : budget_ms_(budget_ms), start_(Clock::now()) {}
+
+  bool exceeded() {
+    if (budget_ms_ <= 0.0) return false;
+    if (++polls_ % 1024 != 0) return false;
+    const double elapsed = std::chrono::duration<double, std::milli>(
+                               Clock::now() - start_)
+                               .count();
+    return elapsed > budget_ms_;
+  }
+
+ private:
+  double budget_ms_;
+  Clock::time_point start_;
+  std::uint64_t polls_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Legacy engine (pruning = false): the original Wing & Gong search with a
+// full O(history) candidate scan and full-bitmask memo keys. Kept
+// verbatim as the golden baseline the pruned engine is validated against.
+// ---------------------------------------------------------------------------
 
 /// The WGL minimality rule: an un-linearized operation may linearize next
 /// iff its invocation precedes every other un-linearized operation's
@@ -46,12 +77,10 @@ std::vector<std::size_t> minimal_ops(const std::vector<Operation>& ops,
       out.push_back(i);
     }
   }
-  // Also the owner of min_response when its invoke == ... (invoke <
-  // response always holds, so the owner is already included).
   return out;
 }
 
-std::string memo_key(const Bitset& bits, const SpecState& state) {
+std::string legacy_memo_key(const Bitset& bits, const SpecState& state) {
   std::string key;
   key.reserve(bits.size() * 8 + 16);
   for (std::uint64_t w : bits) {
@@ -63,10 +92,8 @@ std::string memo_key(const Bitset& bits, const SpecState& state) {
   return key;
 }
 
-}  // namespace
-
-LinResult check_linearizability(const History& history, const Spec& spec,
-                                const CheckOptions& options) {
+LinResult check_whole_legacy(const History& history, const Spec& spec,
+                             const CheckOptions& options) {
   const std::vector<Operation>& ops = history.operations();
   const std::size_t m = ops.size();
   LinResult result;
@@ -81,6 +108,7 @@ LinResult check_linearizability(const History& history, const Spec& spec,
   Bitset linearized((m + 63) / 64, 0);
   std::size_t completed_done = 0;
   std::unordered_set<std::string> seen;
+  TimeBudget budget(options.time_budget_ms);
 
   struct Frame {
     std::vector<std::size_t> candidates;
@@ -112,12 +140,21 @@ LinResult check_linearizability(const History& history, const Spec& spec,
         result.verdict = LinVerdict::kUnknown;
         return result;
       }
+      if (budget.exceeded()) {
+        result.verdict = LinVerdict::kUnknown;
+        result.timed_out = true;
+        return result;
+      }
       std::unique_ptr<SpecState> child_state = frame.state->clone();
       if (!spec.apply(*child_state, ops[c])) continue;
       set_bit(linearized, c);
-      if (!seen.insert(memo_key(linearized, *child_state)).second) {
+      const std::string key = legacy_memo_key(linearized, *child_state);
+      if (seen.count(key)) {
         clear_bit(linearized, c);  // provably redundant: already explored
         continue;
+      }
+      if (!options.memo_budget || seen.size() < options.memo_budget) {
+        seen.insert(key);
       }
       frame.chosen = c;
       if (ops[c].completed()) ++completed_done;
@@ -141,6 +178,199 @@ LinResult check_linearizability(const History& history, const Spec& spec,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Pruned engine (the default): interval index + frontier-window candidate
+// scan + compact (frontier, beyond-frontier set, state digest) memo keys.
+// ---------------------------------------------------------------------------
+
+LinResult check_whole_pruned(const History& history, const Spec& spec,
+                             const CheckOptions& options) {
+  const std::vector<Operation>& ops = history.operations();
+  const std::size_t m = ops.size();
+  LinResult result;
+  const std::size_t completed_total = history.num_completed();
+  if (completed_total == 0) {
+    result.verdict = LinVerdict::kLinearizable;
+    return result;
+  }
+
+  // The interval index, built once per history: slot s is the s-th
+  // operation in invocation order (histories from captures are already
+  // sorted — the sort is a no-op — but hand-built ones need not be).
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&ops](std::size_t a, std::size_t b) {
+                     return ops[a].invoke < ops[b].invoke;
+                   });
+  std::vector<std::uint64_t> inv(m), resp(m);
+  std::vector<bool> completed(m);
+  for (std::size_t s = 0; s < m; ++s) {
+    inv[s] = ops[order[s]].invoke;
+    resp[s] = ops[order[s]].response;
+    completed[s] = ops[order[s]].completed();
+  }
+
+  Bitset linearized((m + 63) / 64, 0);
+  std::size_t completed_done = 0;
+  // The frontier: every slot below it is linearized. Slots >= frontier
+  // that are linearized anyway live in `high_lin` (sorted ascending);
+  // they are always inside the frontier's overlap window, so it stays
+  // small. (frontier, high_lin) together encode the exact linearized
+  // set in O(window) space — the compact memo key.
+  std::size_t frontier = 0;
+  std::vector<std::size_t> high_lin;
+  std::unordered_set<std::string> seen;
+  TimeBudget budget(options.time_budget_ms);
+
+  // Candidate slots at the current node: scan forward from the frontier,
+  // maintaining the running minimal un-linearized response. Once a slot's
+  // invocation reaches that minimum the scan stops — every later slot
+  // invokes no earlier (sorted) and responds after its own invocation, so
+  // it can neither qualify nor lower the minimum. The collected window is
+  // then filtered against the final minimum (it may have shrunk after a
+  // window slot was admitted).
+  std::vector<std::size_t> window;
+  auto minimal_slots = [&]() {
+    window.clear();
+    std::uint64_t min_response = Operation::kPending;
+    for (std::size_t s = frontier; s < m; ++s) {
+      if (inv[s] >= min_response) break;
+      if (test_bit(linearized, s)) continue;
+      window.push_back(s);
+      min_response = std::min(min_response, resp[s]);
+    }
+    std::vector<std::size_t> out;
+    out.reserve(window.size());
+    for (std::size_t s : window) {
+      if (inv[s] < min_response) out.push_back(s);
+    }
+    return out;
+  };
+
+  auto memo_key = [&](const SpecState& state) {
+    std::string key;
+    key.reserve(16 + 8 * high_lin.size() + 16);
+    auto put = [&key](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        key.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+      }
+    };
+    put(frontier);
+    put(high_lin.size());  // explicit count: the prefix is self-delimiting
+    for (std::size_t s : high_lin) put(s);
+    state.digest(key);
+    return key;
+  };
+
+  // Undoes the linearization of slot c that advanced the frontier from
+  // `saved_frontier`: the consumed run [saved_frontier, frontier) minus c
+  // is still linearized and returns to high_lin's front (ascending, below
+  // every remaining entry); c itself leaves the linearized set.
+  auto undo_choice = [&](std::size_t c, std::size_t saved_frontier) {
+    if (c >= frontier) {
+      high_lin.erase(std::lower_bound(high_lin.begin(), high_lin.end(), c));
+    }
+    std::vector<std::size_t> reopened;
+    reopened.reserve(frontier - saved_frontier);
+    for (std::size_t s = saved_frontier; s < frontier; ++s) {
+      if (s != c) reopened.push_back(s);
+    }
+    high_lin.insert(high_lin.begin(), reopened.begin(), reopened.end());
+    frontier = saved_frontier;
+    clear_bit(linearized, c);
+  };
+
+  struct Frame {
+    std::vector<std::size_t> candidates;
+    std::size_t next = 0;
+    std::unique_ptr<SpecState> state;
+    std::size_t chosen = 0;  ///< slot linearized to reach the child
+    /// Frontier value to restore when this frame is popped (the parent
+    /// node's frontier, before `chosen` advanced it).
+    std::size_t restore_frontier = 0;
+  };
+
+  std::vector<Frame> stack;
+  stack.push_back({minimal_slots(), 0, spec.initial(), 0, 0});
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+
+    if (completed_done == completed_total) {
+      result.verdict = LinVerdict::kLinearizable;
+      for (std::size_t d = 0; d + 1 < stack.size(); ++d) {
+        result.linearization.push_back(order[stack[d].chosen]);
+      }
+      return result;
+    }
+
+    bool descended = false;
+    while (frame.next < frame.candidates.size()) {
+      const std::size_t c = frame.candidates[frame.next++];
+      if (++result.nodes > options.max_nodes) {
+        result.verdict = LinVerdict::kUnknown;
+        return result;
+      }
+      if (budget.exceeded()) {
+        result.verdict = LinVerdict::kUnknown;
+        result.timed_out = true;
+        return result;
+      }
+      std::unique_ptr<SpecState> child_state = frame.state->clone();
+      if (!spec.apply(*child_state, ops[order[c]])) continue;
+
+      // Tentatively linearize c: set its bit, register it beyond the
+      // frontier, then advance the frontier over any now-contiguous run.
+      set_bit(linearized, c);
+      high_lin.insert(std::lower_bound(high_lin.begin(), high_lin.end(), c),
+                      c);
+      const std::size_t saved_frontier = frontier;
+      while (!high_lin.empty() && high_lin.front() == frontier) {
+        high_lin.erase(high_lin.begin());
+        ++frontier;
+      }
+
+      const std::string key = memo_key(*child_state);
+      if (seen.count(key)) {
+        undo_choice(c, saved_frontier);  // provably redundant
+        continue;
+      }
+      if (!options.memo_budget || seen.size() < options.memo_budget) {
+        seen.insert(key);
+      }
+      frame.chosen = c;
+      if (completed[c]) ++completed_done;
+      stack.push_back(
+          {minimal_slots(), 0, std::move(child_state), 0, saved_frontier});
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+
+    // Candidates exhausted: backtrack, undoing the parent's choice that
+    // entered this frame.
+    const std::size_t child_restore = frame.restore_frontier;
+    stack.pop_back();
+    if (!stack.empty()) {
+      const std::size_t undo = stack.back().chosen;
+      undo_choice(undo, child_restore);
+      if (completed[undo]) --completed_done;
+    }
+  }
+
+  result.verdict = LinVerdict::kNotLinearizable;
+  return result;
+}
+
+}  // namespace
+
+LinResult check_linearizability(const History& history, const Spec& spec,
+                                const CheckOptions& options) {
+  return options.pruning ? check_whole_pruned(history, spec, options)
+                         : check_whole_legacy(history, spec, options);
+}
+
 std::vector<History> partition_history(
     const History& history,
     const std::function<std::uint64_t(const Operation&)>& object_of) {
@@ -156,15 +386,24 @@ std::vector<History> partition_history(
   return out;
 }
 
+std::vector<History> partition_history(const History& history,
+                                       const Spec& spec) {
+  return partition_history(
+      history, [&spec](const Operation& op) { return spec.object_of(op); });
+}
+
 LinResult check_partitioned(
     const History& history, const Spec& spec,
     const std::function<std::uint64_t(const Operation&)>& object_of,
     const CheckOptions& options) {
   LinResult merged;
   merged.verdict = LinVerdict::kLinearizable;
-  for (const History& part : partition_history(history, object_of)) {
+  const std::vector<History> parts = partition_history(history, object_of);
+  merged.parts = parts.size() ? parts.size() : 1;
+  for (const History& part : parts) {
     LinResult r = check_linearizability(part, spec, options);
     merged.nodes += r.nodes;
+    merged.timed_out = merged.timed_out || r.timed_out;
     if (r.verdict == LinVerdict::kNotLinearizable) {
       merged.verdict = LinVerdict::kNotLinearizable;
       merged.linearization.clear();

@@ -10,8 +10,23 @@
 // (pending operations are free to linearize with any result, or to never
 // take effect at all — the crashed-operation semantics).
 //
-// Memoization keys are exact — the linearized-set bitmask concatenated
-// with the spec state's canonical digest — so a pruned node is provably
+// Two search engines share that skeleton:
+//
+//   * The default *pruned* engine walks an interval index (operations
+//     sorted by invocation, built once per history). Candidate
+//     generation scans only the overlap window at the frontier — it
+//     stops as soon as an invocation reaches the running minimal
+//     response, which no later operation can undercut (response >
+//     invocation always) — and memo keys encode (frontier, the few
+//     linearized operations beyond it, state digest) instead of a full
+//     bitmask. Cost per node is O(overlap width), not O(history), which
+//     is what lets 10^5-event histories finish in seconds.
+//   * The *legacy* engine (CheckOptions::pruning = false) is the
+//     original O(history)-per-node scan with full-bitmask memo keys,
+//     kept verbatim as the golden baseline the pruned engine is tested
+//     against.
+//
+// Memoization keys are exact in both engines — a pruned node is provably
 // redundant and verdicts are sound in both directions.
 #pragma once
 
@@ -32,23 +47,57 @@ enum class LinVerdict {
 
 const char* verdict_name(LinVerdict v);
 
+/// How Session::check splits a history before searching.
+enum class PartitionMode {
+  kAuto,      ///< per object when the spec is multi-object, else whole
+  kWhole,     ///< never partition
+  kByObject,  ///< always partition by Spec::object_of
+};
+
 struct CheckOptions {
-  /// Node budget; the checker reports kUnknown beyond it. The default is
-  /// generous for the short histories the explorer produces.
+  /// Node budget per (sub-)history; the checker reports kUnknown beyond
+  /// it. The default is generous for the short histories the explorer
+  /// produces.
   std::uint64_t max_nodes = 4'000'000;
+
+  /// Interval-order pruning + compact memo keys (the default engine).
+  /// false selects the legacy whole-scan engine — the golden baseline.
+  bool pruning = true;
+
+  /// Maximum memoization entries per (sub-)history search (0 =
+  /// unbounded). When the cache is full, new states are still explored,
+  /// just no longer recorded — soundness is unaffected, only speed.
+  std::uint64_t memo_budget = 0;
+
+  /// Wall-clock budget for one check() call in milliseconds (0 = none);
+  /// exceeding it yields kUnknown with LinResult::timed_out set.
+  double time_budget_ms = 0.0;
+
+  /// Partitioning mode for Session::check (free-function
+  /// check_linearizability always checks the history it is given whole).
+  PartitionMode partition = PartitionMode::kAuto;
+
+  /// Worker threads Session::check fans partition shards across
+  /// (0 = hardware concurrency, 1 = sequential).
+  std::size_t shards = 1;
 };
 
 struct LinResult {
   LinVerdict verdict = LinVerdict::kUnknown;
   std::uint64_t nodes = 0;  ///< search nodes expanded
+  std::size_t parts = 1;    ///< sub-histories checked (1 = whole history)
+  bool timed_out = false;   ///< kUnknown because the wall budget expired
   /// A witness linearization (operation indices into the history) when
-  /// the verdict is kLinearizable.
+  /// the verdict is kLinearizable and the history was checked whole.
   std::vector<std::size_t> linearization;
 
   bool ok() const noexcept { return verdict == LinVerdict::kLinearizable; }
 };
 
-/// Checks one history against one sequential spec.
+/// Checks one history, whole, against one sequential spec. Prefer
+/// Session::check, which partitions multi-object histories and shards
+/// the parts; this entry point remains for single-object call sites and
+/// as the building block Session uses per part.
 LinResult check_linearizability(const History& history, const Spec& spec,
                                 const CheckOptions& options = {});
 
@@ -60,9 +109,16 @@ std::vector<History> partition_history(
     const History& history,
     const std::function<std::uint64_t(const Operation&)>& object_of);
 
-/// Convenience: partitions with `object_of`, checks every part against
-/// `spec`, and merges verdicts (NotLinearizable dominates Unknown
-/// dominates Linearizable; node counts accumulate).
+/// Partitions using the spec's own key extraction (Spec::object_of).
+std::vector<History> partition_history(const History& history,
+                                       const Spec& spec);
+
+/// DEPRECATED — use pwf::check::Session, which partitions via
+/// Spec::object_of by default and runs shards in parallel. Kept as a
+/// thin sequential wrapper so existing callers compile: partitions with
+/// `object_of`, checks every part against `spec`, and merges verdicts
+/// (NotLinearizable dominates Unknown dominates Linearizable; node
+/// counts accumulate).
 LinResult check_partitioned(
     const History& history, const Spec& spec,
     const std::function<std::uint64_t(const Operation&)>& object_of,

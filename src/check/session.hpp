@@ -1,0 +1,97 @@
+// The checking façade: one object that owns the spec, the check policy
+// (CheckOptions: engine, partitioning, shard pool, budgets), and — for
+// workload sessions — the record/replay/explore pipeline.
+//
+// Before Session, every caller wired the pieces by hand: a spec from
+// make_spec, a lambda for per-object partitioning (or none, silently
+// giving up compositionality), free functions for record/replay/minimize
+// each re-plumbing CheckOptions. Session collapses that into
+//
+//   Session session(find_workload("sharded-counter"), options);
+//   LinResult r = session.check(history);        // partitioned + sharded
+//   ExploreResult e = session.explore(explore_options);
+//   RunOutcome   o = session.replay(trace);      // strict by default
+//
+// check() applies the spec's own key extraction (Spec::object_of) under
+// PartitionMode::kAuto, so multi-object histories are split per object —
+// Herlihy & Wing compositionality — and the parts are fanned across
+// exp::parallel_for with CheckOptions::shards workers, each part's
+// search carrying its own memoization cache. The merged LinResult is
+// shard-count-invariant: parts are always all checked (no early exit)
+// and merged in deterministic part order.
+//
+// The pre-Session free functions (check_linearizability,
+// check_partitioned, record_run, replay_trace, minimize_trace, explore)
+// remain as thin wrappers; new code should use Session.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "check/explore.hpp"
+#include "check/history.hpp"
+#include "check/lin_check.hpp"
+#include "check/spec.hpp"
+#include "check/trace.hpp"
+#include "check/workloads.hpp"
+
+namespace pwf::check {
+
+class Session {
+ public:
+  /// Spec-only session: check() works (e.g. on hardware captures);
+  /// record/replay/explore throw std::logic_error (no workload to run).
+  explicit Session(std::unique_ptr<Spec> spec, CheckOptions options = {});
+
+  /// Workload session: the full pipeline. The workload must outlive the
+  /// session (registry workloads are static, so this is free).
+  explicit Session(const Workload& workload, CheckOptions options = {});
+
+  const CheckOptions& options() const noexcept { return options_; }
+  const Spec& spec() const noexcept { return *spec_; }
+  /// nullptr for spec-only sessions.
+  const Workload* workload() const noexcept { return workload_; }
+
+  /// Checks one history: partitions per Spec::object_of (PartitionMode
+  /// kAuto splits only multi-object specs), fans the parts over
+  /// CheckOptions::shards workers, and merges verdicts in part order
+  /// (NotLinearizable dominates Unknown dominates Linearizable; node
+  /// counts accumulate; budgets apply per part). The result is
+  /// bit-identical for any shard count.
+  LinResult check(const History& history) const;
+
+  /// Records one schedule: builds the workload with scheduler variant
+  /// `variant` (0 uniform, 1 sticky, 2 zipf, 3 theta-mix adversary) and
+  /// the given crash plan, runs `steps` steps, and returns the trace +
+  /// history + verdict (via check()).
+  RunOutcome record(std::size_t n, std::uint64_t seed, std::uint64_t steps,
+                    std::size_t variant,
+                    const std::vector<CrashEvent>& crashes) const;
+
+  /// Replays a trace. Strict mode throws std::runtime_error on any
+  /// divergence; lenient mode accepts arbitrary candidate pid sequences
+  /// (the minimizer's probe mode).
+  RunOutcome replay(const ScheduleTrace& trace, bool strict = true) const;
+
+  /// ddmin over the failing trace's pid sequence, then greedy
+  /// crash-event dropping; the result replays *strictly* and still
+  /// fails. `failing` must itself fail.
+  ScheduleTrace minimize(const ScheduleTrace& failing) const;
+
+  /// The full pipeline: fans randomized schedules and crash plans,
+  /// checks every captured history, and minimizes the smallest failing
+  /// witness. `options.check` is ignored — the session's own
+  /// CheckOptions govern every verdict.
+  ExploreResult explore(const ExploreOptions& options = {}) const;
+
+ private:
+  const Workload& require_workload() const;
+
+  const Workload* workload_ = nullptr;
+  std::unique_ptr<Spec> spec_;
+  CheckOptions options_;
+};
+
+}  // namespace pwf::check

@@ -1,6 +1,7 @@
 #include "check/spec.hpp"
 
 #include <deque>
+#include <map>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -120,6 +121,12 @@ class SetSpec final : public Spec {
   std::unique_ptr<SpecState> initial() const override {
     return std::make_unique<SetState>();
   }
+  // Set membership per key is independent of every other key — the
+  // canonical compositional object.
+  std::uint64_t object_of(const Operation& op) const override {
+    return op.arg;
+  }
+  bool multi_object() const override { return true; }
   bool apply(SpecState& state, const Operation& op) const override {
     auto& s = static_cast<SetState&>(state);
     if (!op.has_arg) return false;
@@ -167,6 +174,43 @@ class CounterSpec final : public Spec {
   }
 };
 
+// --- multi-counter (register file of independent counters) ------------------
+
+struct MultiCounterState final : SpecState {
+  std::map<Value, Value> counts;  // counter id -> value; absent = 0
+
+  std::unique_ptr<SpecState> clone() const override {
+    return std::make_unique<MultiCounterState>(*this);
+  }
+  void digest(std::string& out) const override {
+    digest_value(out, counts.size());
+    for (const auto& [k, v] : counts) {  // std::map iterates sorted
+      digest_value(out, k);
+      digest_value(out, v);
+    }
+  }
+};
+
+class MultiCounterSpec final : public Spec {
+ public:
+  std::string name() const override { return "multi-counter"; }
+  std::unique_ptr<SpecState> initial() const override {
+    return std::make_unique<MultiCounterState>();
+  }
+  bool apply(SpecState& state, const Operation& op) const override {
+    auto& s = static_cast<MultiCounterState&>(state);
+    if (op.op != OpCode::kFetchInc || !op.has_arg) return false;
+    Value& count = s.counts[op.arg];
+    const Value before = count;
+    count = before + 1;
+    return !op.completed() || (op.has_ret && op.ret == before);
+  }
+  std::uint64_t object_of(const Operation& op) const override {
+    return op.arg;
+  }
+  bool multi_object() const override { return true; }
+};
+
 // --- rcu (version register) --------------------------------------------------
 
 struct RcuState final : SpecState {
@@ -209,12 +253,16 @@ std::unique_ptr<Spec> make_counter_spec() {
   return std::make_unique<CounterSpec>();
 }
 std::unique_ptr<Spec> make_rcu_spec() { return std::make_unique<RcuSpec>(); }
+std::unique_ptr<Spec> make_multi_counter_spec() {
+  return std::make_unique<MultiCounterSpec>();
+}
 
 std::unique_ptr<Spec> make_spec(const std::string& kind) {
   if (kind == "stack") return make_stack_spec();
   if (kind == "queue") return make_queue_spec();
   if (kind == "set") return make_set_spec();
   if (kind == "counter") return make_counter_spec();
+  if (kind == "multi-counter") return make_multi_counter_spec();
   if (kind == "rcu") return make_rcu_spec();
   throw std::invalid_argument("make_spec: unknown kind '" + kind + "'");
 }

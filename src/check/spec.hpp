@@ -41,6 +41,21 @@ class Spec {
   /// operations that includes a recorded return value that the sequential
   /// object would not produce; pending operations match any result.
   virtual bool apply(SpecState& state, const Operation& op) const = 0;
+
+  /// The id of the independent abstract object `op` acts on. Herlihy &
+  /// Wing compositionality lets the checker verify each object's
+  /// sub-history separately (search cost is exponential in *per-object*
+  /// concurrency), so every spec knows its own key extraction and
+  /// partitioned checking needs no caller-supplied lambda. Single-object
+  /// specs return 0 for everything.
+  virtual std::uint64_t object_of(const Operation& op) const {
+    (void)op;
+    return 0;
+  }
+
+  /// True when object_of can yield more than one id — i.e. partitioning
+  /// the history is worthwhile. Session's kAuto mode keys off this.
+  virtual bool multi_object() const { return false; }
 };
 
 /// LIFO stack of unique values: push(v) -> void, pop() -> v | empty.
@@ -61,8 +76,15 @@ std::unique_ptr<Spec> make_counter_spec();
 /// rcu_read() -> current version. The torn-read sentinel never matches.
 std::unique_ptr<Spec> make_rcu_spec();
 
+/// A register file of independent fetch-and-increment counters:
+/// fetch_inc(k) -> pre-increment value of counter k. The first genuinely
+/// multi-object spec (object_of = k), so partitioned checking splits its
+/// histories per counter.
+std::unique_ptr<Spec> make_multi_counter_spec();
+
 /// The spec for a structure kind name ("stack", "queue", "set",
-/// "counter", "rcu"); throws std::invalid_argument on unknown kinds.
+/// "counter", "multi-counter", "rcu"); throws std::invalid_argument on
+/// unknown kinds.
 std::unique_ptr<Spec> make_spec(const std::string& kind);
 
 }  // namespace pwf::check

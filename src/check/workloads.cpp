@@ -91,6 +91,21 @@ std::vector<Workload> make_workloads() {
             std::move(sched), opt);
       }});
 
+  out.push_back(Workload{
+      "sharded-counter", "multi-counter", true, 4, 400,
+      "register file of independent fetch-inc counters (multi-object)",
+      [](std::size_t n, std::uint64_t seed,
+         std::unique_ptr<core::Scheduler> sched, core::OpTraceSink* sink) {
+        constexpr std::size_t kCounters = 8;
+        Simulation::Options opt;
+        opt.num_registers =
+            core::ShardedCounter::registers_required(kCounters);
+        opt.seed = seed;
+        return std::make_unique<Simulation>(
+            n, traced(core::ShardedCounter::factory(kCounters), sink),
+            std::move(sched), opt);
+      }});
+
   // --- seeded mutants --------------------------------------------------------
   out.push_back(Workload{
       "mut-racy-counter", "counter", false, 3, 64,

@@ -21,7 +21,7 @@ namespace pwf::check {
 /// One checkable workload.
 struct Workload {
   std::string name;
-  std::string spec_kind;     ///< make_spec key: stack/queue/set/counter/rcu
+  std::string spec_kind;     ///< make_spec key (stack, queue, multi-counter, ...)
   bool expect_linearizable;  ///< stock = true, mutant = false
   std::size_t default_n;     ///< process count the explorer uses by default
   std::uint64_t default_steps;  ///< steps per schedule by default
@@ -37,8 +37,9 @@ struct Workload {
   std::unique_ptr<Spec> make_spec() const { return check::make_spec(spec_kind); }
 };
 
-/// All registered workloads: the four stock structures first, then the
-/// seeded mutants (names prefixed "mut-").
+/// All registered workloads: the stock structures first (including the
+/// multi-object sharded-counter), then the seeded mutants (names
+/// prefixed "mut-").
 const std::vector<Workload>& workloads();
 
 /// Looks a workload up by name; throws std::invalid_argument if unknown.

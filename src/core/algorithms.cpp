@@ -128,6 +128,50 @@ StepMachineFactory FetchAndIncrement::factory() {
   };
 }
 
+// --- ShardedCounter ----------------------------------------------------------
+
+ShardedCounter::ShardedCounter(std::size_t pid, std::size_t num_counters)
+    : pid_(pid), num_counters_(num_counters), local_(num_counters, 0) {
+  if (num_counters == 0) {
+    throw std::invalid_argument("ShardedCounter: need num_counters >= 1");
+  }
+}
+
+bool ShardedCounter::step(SharedMemory& mem) {
+  if (!invoked_) {
+    // Splitmix-style key pick: deterministic in (pid, op index), spread
+    // across the counters so per-counter concurrency stays non-trivial.
+    std::uint64_t z =
+        (static_cast<std::uint64_t>(pid_) << 32) + op_index_ +
+        0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    key_ = static_cast<std::size_t>((z ^ (z >> 31)) % num_counters_);
+    if (trace_) {
+      trace_->on_invoke(pid_, OpCode::kFetchInc, true,
+                        static_cast<Value>(key_));
+    }
+    invoked_ = true;
+  }
+  Value& local = local_[key_];
+  const Value before = mem.cas_fetch(key_, local, local + 1);
+  if (before == local) {
+    local = local + 1;  // as in FetchAndIncrement: the winner stays current
+    if (trace_) trace_->on_response(pid_, OpCode::kFetchInc, true, before);
+    invoked_ = false;
+    ++op_index_;
+    return true;
+  }
+  local = before;
+  return false;
+}
+
+StepMachineFactory ShardedCounter::factory(std::size_t num_counters) {
+  return [num_counters](std::size_t pid, std::size_t /*n*/) {
+    return std::make_unique<ShardedCounter>(pid, num_counters);
+  };
+}
+
 // --- UnboundedLockFree -------------------------------------------------------
 
 UnboundedLockFree::UnboundedLockFree(std::size_t pid, std::size_t n,

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/memory.hpp"
 #include "core/step_machine.hpp"
@@ -104,6 +105,37 @@ class FetchAndIncrement final : public StepMachine {
  private:
   std::size_t pid_;
   Value v_ = 0;
+  OpTraceSink* trace_ = nullptr;
+  bool invoked_ = false;
+};
+
+/// A register file of `num_counters` independent Algorithm 5 counters:
+/// fetch_inc(k) on register [k], each via the augmented CAS. The counter
+/// an operation targets is drawn deterministically from (pid, operation
+/// index), so the same seed and schedule always produce the same key
+/// sequence. Operations on different counters commute, which makes this
+/// the multi-object workload for partitioned linearizability checking —
+/// its histories split per counter (Herlihy & Wing compositionality) and
+/// each part's search sees only that counter's concurrency.
+class ShardedCounter final : public StepMachine {
+ public:
+  ShardedCounter(std::size_t pid, std::size_t num_counters);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override { return "sharded-counter"; }
+  void set_trace(OpTraceSink* sink) override { trace_ = sink; }
+
+  static constexpr std::size_t registers_required(std::size_t num_counters) {
+    return num_counters;
+  }
+  static StepMachineFactory factory(std::size_t num_counters);
+
+ private:
+  std::size_t pid_;
+  std::size_t num_counters_;
+  std::uint64_t op_index_ = 0;  ///< completed ops; keys the next counter pick
+  std::size_t key_ = 0;         ///< counter the in-flight op targets
+  std::vector<Value> local_;    ///< last observed value per counter
   OpTraceSink* trace_ = nullptr;
   bool invoked_ = false;
 };

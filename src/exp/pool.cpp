@@ -1,0 +1,50 @@
+#include "exp/pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace pwf::exp {
+
+std::size_t resolve_threads(std::size_t requested) noexcept {
+  if (requested) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+void parallel_for(std::size_t jobs, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (jobs == 0) return;
+  const std::size_t pool_size =
+      std::min(resolve_threads(threads), jobs);
+
+  if (pool_size <= 1) {
+    for (std::size_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(jobs);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs) return;
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(pool_size);
+  for (std::size_t t = 0; t < pool_size; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace pwf::exp

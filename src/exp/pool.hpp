@@ -1,0 +1,31 @@
+// The shared worker pool primitive behind every fan-out in the repo: the
+// TrialRunner's (config, seed) grid and the linearizability checker's
+// partition shards both go through parallel_for, so there is exactly one
+// place that owns thread creation, work distribution, and exception
+// propagation.
+//
+// Determinism contract: parallel_for only changes *when* fn(i) runs,
+// never what it computes — callers index results by i, so output is
+// bit-identical for any thread count. Exceptions are captured per index
+// and the lowest-index one is rethrown after the pool drains (matching
+// the sequential execution a caller would otherwise have written).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace pwf::exp {
+
+/// Runs fn(0) .. fn(jobs - 1), fanned over up to `threads` workers
+/// (threads <= 1 runs inline on the calling thread; 0 means "use the
+/// hardware concurrency"). Blocks until every job finished. If any jobs
+/// threw, the lowest-index exception is rethrown after the drain.
+void parallel_for(std::size_t jobs, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+/// The pool width "0 = hardware" convention, resolved: returns
+/// `requested` unless it is 0, then std::thread::hardware_concurrency()
+/// (minimum 1).
+std::size_t resolve_threads(std::size_t requested) noexcept;
+
+}  // namespace pwf::exp

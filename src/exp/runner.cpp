@@ -1,11 +1,11 @@
 #include "exp/runner.hpp"
 
-#include <atomic>
 #include <chrono>
 #include <exception>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
+
+#include "exp/pool.hpp"
 
 namespace pwf::exp {
 namespace {
@@ -40,10 +40,7 @@ void run_job(const Experiment& experiment, const RunOptions& options,
 }  // namespace
 
 TrialRunner::TrialRunner(RunOptions options) : options_(options) {
-  if (options_.threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    options_.threads = hw ? hw : 1;
-  }
+  options_.threads = resolve_threads(options_.threads);
   if (options_.trials == 0) options_.trials = 1;
 }
 
@@ -68,24 +65,9 @@ ExperimentRun TrialRunner::run(const Experiment& experiment) const {
     }
   }
 
-  const std::size_t pool_size =
-      experiment.exclusive() ? 1 : std::min(options_.threads, jobs.size());
-  if (pool_size <= 1) {
-    for (Job& job : jobs) run_job(experiment, options_, job);
-  } else {
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= jobs.size()) return;
-        run_job(experiment, options_, jobs[i]);
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(pool_size);
-    for (std::size_t t = 0; t < pool_size; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+  const std::size_t pool_size = experiment.exclusive() ? 1 : options_.threads;
+  parallel_for(jobs.size(), pool_size,
+               [&](std::size_t i) { run_job(experiment, options_, jobs[i]); });
 
   for (const Job& job : jobs) {
     if (job.error) std::rethrow_exception(job.error);

@@ -1,0 +1,134 @@
+#include "util/cli.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pwf::util {
+
+CliParser& CliParser::flag(const std::string& name, const std::string& help,
+                           bool* target) {
+  entries_.push_back({name, "", help, target, nullptr});
+  return *this;
+}
+
+CliParser& CliParser::option(const std::string& name,
+                             const std::string& value_name,
+                             const std::string& help,
+                             std::function<void(const std::string&)> apply) {
+  entries_.push_back({name, value_name, help, nullptr, std::move(apply)});
+  return *this;
+}
+
+CliParser& CliParser::option_u64(const std::string& name,
+                                 const std::string& help,
+                                 std::uint64_t* target) {
+  return option(name, "N", help,
+                [target](const std::string& v) { *target = std::stoull(v); });
+}
+
+CliParser& CliParser::option_size(const std::string& name,
+                                  const std::string& help,
+                                  std::size_t* target) {
+  return option(name, "N", help, [target](const std::string& v) {
+    *target = static_cast<std::size_t>(std::stoull(v));
+  });
+}
+
+CliParser& CliParser::option_string(const std::string& name,
+                                    const std::string& help,
+                                    std::string* target) {
+  return option(name, "PATH", help,
+                [target](const std::string& v) { *target = v; });
+}
+
+CliParser& CliParser::alias(const std::string& from, const std::string& to) {
+  aliases_.emplace_back(from, to);
+  return *this;
+}
+
+const CliParser::Entry* CliParser::find(const std::string& name) const {
+  std::string resolved = name;
+  for (const auto& [from, to] : aliases_) {
+    if (from == resolved) {
+      resolved = to;
+      break;
+    }
+  }
+  for (const Entry& e : entries_) {
+    if (e.name == resolved) return &e;
+  }
+  return nullptr;
+}
+
+bool CliParser::parse(int argc, char** argv, std::string& error) const {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const Entry* entry = find(arg);
+    if (!entry) {
+      error = "unknown option: " + arg;
+      return false;
+    }
+    if (entry->toggle) {
+      *entry->toggle = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      error = arg + " requires a value";
+      return false;
+    }
+    try {
+      entry->apply(argv[++i]);
+    } catch (const std::exception&) {
+      error = "bad value for " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+void CliParser::print_usage(std::ostream& os) const {
+  constexpr std::size_t kHelpColumn = 20;
+  os << "usage: " << program_ << " [options]\n";
+  auto print_entry = [&](const std::string& name,
+                         const std::string& value_name,
+                         const std::string& help) {
+    std::string head = "  " + name;
+    if (!value_name.empty()) head += " " + value_name;
+    os << head;
+    std::size_t column = head.size();
+    std::istringstream lines(help);
+    std::string line;
+    bool first = true;
+    while (std::getline(lines, line)) {
+      if (!first) {
+        os << "\n";
+        column = 0;
+      }
+      for (; column < kHelpColumn; ++column) os << ' ';
+      os << line;
+      first = false;
+    }
+    os << "\n";
+  };
+  for (const Entry& e : entries_) {
+    print_entry(e.name, e.value_name, e.help);
+    for (const auto& [from, to] : aliases_) {
+      if (to == e.name) {
+        print_entry(from, e.value_name, "alias for " + to);
+      }
+    }
+  }
+}
+
+bool matches_filter(const std::string& name, const std::string& filter) {
+  if (filter.empty()) return true;
+  std::stringstream ss(filter);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty() && name.find(token) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace pwf::util

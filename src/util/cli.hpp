@@ -1,0 +1,73 @@
+// Declarative flag parsing shared by the drivers (pwf_bench, pwf_check).
+//
+// Each binary registers its flags once — switches, valued options, and
+// aliases — and gets identical parsing behaviour, error messages, and
+// aligned usage text. The drivers advertise the same spellings for the
+// same concepts (--out, --seed, --threads, --filter, --trials), so the
+// table is also what keeps their CLIs from drifting apart again.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pwf::util {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program) : program_(std::move(program)) {}
+
+  /// A boolean switch: `--name` sets *target to true.
+  CliParser& flag(const std::string& name, const std::string& help,
+                  bool* target);
+
+  /// A valued option: `--name VALUE` calls apply(VALUE). apply may throw
+  /// (std::invalid_argument / std::out_of_range from the sto* family);
+  /// parse() turns that into a "bad value" error.
+  CliParser& option(const std::string& name, const std::string& value_name,
+                    const std::string& help,
+                    std::function<void(const std::string&)> apply);
+
+  /// Typed conveniences over option().
+  CliParser& option_u64(const std::string& name, const std::string& help,
+                        std::uint64_t* target);
+  CliParser& option_size(const std::string& name, const std::string& help,
+                         std::size_t* target);
+  CliParser& option_string(const std::string& name, const std::string& help,
+                           std::string* target);
+
+  /// `from` parses exactly like the already-registered `to` (shown in the
+  /// usage text as "alias for to").
+  CliParser& alias(const std::string& from, const std::string& to);
+
+  /// Parses argv. On failure returns false with a one-line `error`
+  /// (unknown option, missing value, bad value).
+  bool parse(int argc, char** argv, std::string& error) const;
+
+  /// "usage: <program> [options]" plus one aligned line per flag; help
+  /// strings may contain '\n' for continuation lines.
+  void print_usage(std::ostream& os) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string value_name;  ///< empty for switches
+    std::string help;
+    bool* toggle = nullptr;
+    std::function<void(const std::string&)> apply;
+  };
+
+  const Entry* find(const std::string& name) const;
+
+  std::string program_;
+  std::vector<Entry> entries_;
+  std::vector<std::pair<std::string, std::string>> aliases_;  // from -> to
+};
+
+/// The drivers' shared selection predicate: true iff `filter` is empty or
+/// `name` contains any of its comma-separated substrings.
+bool matches_filter(const std::string& name, const std::string& filter);
+
+}  // namespace pwf::util

@@ -1,0 +1,197 @@
+// Session API tests: the golden engine-agreement guarantee (the pruned,
+// partitioned, sharded default must agree verdict-for-verdict with the
+// legacy whole-history WGL search on every workload), shard-count
+// determinism (shards are a pure performance knob — verdicts, node
+// counts, and minimized witnesses are bit-identical for any pool width),
+// and the Session façade's own contract.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "check/explore.hpp"
+#include "check/session.hpp"
+#include "check/workloads.hpp"
+
+namespace {
+
+using namespace pwf::check;
+
+CheckOptions legacy_whole() {
+  CheckOptions o;
+  o.pruning = false;
+  o.partition = PartitionMode::kWhole;
+  return o;
+}
+
+CheckOptions sharded(std::size_t shards) {
+  CheckOptions o;
+  o.partition = PartitionMode::kAuto;
+  o.shards = shards;
+  return o;
+}
+
+// --- golden agreement: every workload, both engines, many schedules --------
+
+// The legacy engine is the original WGL search kept verbatim; the pruned
+// partitioned sharded engine must reach the same verdict on every
+// recorded schedule of every stock structure and every mutant.
+TEST(SessionGolden, ShardedAgreesWithLegacyOnAllWorkloads) {
+  constexpr std::size_t kSchedules = 24;
+  for (const Workload& workload : workloads()) {
+    const Session modern(workload, sharded(4));
+    const Session golden(workload, legacy_whole());
+    for (std::size_t i = 0; i < kSchedules; ++i) {
+      const std::uint64_t seed = derive_check_seed(2024, i);
+      const RunOutcome run =
+          modern.record(workload.default_n, seed, workload.default_steps,
+                        i, {});
+      const LinResult reference = golden.check(run.history);
+      EXPECT_EQ(run.lin.verdict, reference.verdict)
+          << workload.name << " schedule " << i
+          << ": sharded=" << verdict_name(run.lin.verdict)
+          << " legacy=" << verdict_name(reference.verdict);
+    }
+  }
+}
+
+// Partitioning must not manufacture or mask violations on a multi-object
+// mutant-style history: force the whole-history engines over the
+// sharded-counter workload too.
+TEST(SessionGolden, MultiObjectWholeAndPartitionedAgree) {
+  const Workload& workload = find_workload("sharded-counter");
+  CheckOptions whole_pruned;
+  whole_pruned.partition = PartitionMode::kWhole;
+  const Session partitioned(workload, sharded(3));
+  const Session whole(workload, whole_pruned);
+  const Session golden(workload, legacy_whole());
+  for (std::size_t i = 0; i < 10; ++i) {
+    const std::uint64_t seed = derive_check_seed(77, i);
+    const RunOutcome run = partitioned.record(4, seed, 300, i, {});
+    EXPECT_GT(run.lin.parts, 1u);
+    EXPECT_EQ(run.lin.verdict, whole.check(run.history).verdict);
+    EXPECT_EQ(run.lin.verdict, golden.check(run.history).verdict);
+  }
+}
+
+// --- shard-count determinism ----------------------------------------------
+
+TEST(SessionDeterminism, ShardCountNeverChangesTheMergedResult) {
+  const Workload& workload = find_workload("sharded-counter");
+  const Session one(workload, sharded(1));
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::uint64_t seed = derive_check_seed(5150, i);
+    const RunOutcome base = one.record(4, seed, 400, i, {});
+    for (const std::size_t shards : {2u, 4u, 0u}) {
+      const LinResult again =
+          Session(workload, sharded(shards)).check(base.history);
+      EXPECT_EQ(again.verdict, base.lin.verdict) << "shards=" << shards;
+      EXPECT_EQ(again.nodes, base.lin.nodes) << "shards=" << shards;
+      EXPECT_EQ(again.parts, base.lin.parts) << "shards=" << shards;
+      EXPECT_EQ(again.timed_out, base.lin.timed_out) << "shards=" << shards;
+    }
+  }
+}
+
+TEST(SessionDeterminism, ShardCountNeverChangesTheMinimizedWitness) {
+  const Workload& workload = find_workload("mut-racy-counter");
+  ExploreOptions opts;
+  opts.schedules = 12;
+  opts.base_seed = 42;
+
+  std::uint64_t trace_fp = 0;
+  std::uint64_t history_fp = 0;
+  for (const std::size_t shards : {1u, 4u}) {
+    const Session session(workload, sharded(shards));
+    const ExploreResult result = session.explore(opts);
+    ASSERT_TRUE(result.witness.has_value()) << "shards=" << shards;
+    if (shards == 1) {
+      trace_fp = result.witness->trace_fingerprint;
+      history_fp = result.witness->history_fingerprint;
+    } else {
+      EXPECT_EQ(result.witness->trace_fingerprint, trace_fp);
+      EXPECT_EQ(result.witness->history_fingerprint, history_fp);
+    }
+  }
+}
+
+// --- the façade's own contract ---------------------------------------------
+
+TEST(Session, SpecOnlySessionChecksButCannotRun) {
+  const Session session(make_spec("multi-counter"), sharded(2));
+  EXPECT_EQ(session.workload(), nullptr);
+  EXPECT_EQ(session.check(History{}).verdict, LinVerdict::kLinearizable);
+  EXPECT_THROW(session.record(2, 1, 10, 0, {}), std::logic_error);
+  EXPECT_THROW(session.replay(ScheduleTrace{}), std::logic_error);
+  EXPECT_THROW(session.explore(), std::logic_error);
+}
+
+TEST(Session, NullSpecIsRejected) {
+  EXPECT_THROW(Session(nullptr, CheckOptions{}), std::invalid_argument);
+}
+
+TEST(Session, AutoModePartitionsOnlyMultiObjectSpecs) {
+  const Workload& counter = find_workload("fai-counter");
+  const Session single(counter, sharded(4));
+  const RunOutcome run = single.record(3, 9, 120, 0, {});
+  EXPECT_EQ(run.lin.parts, 1u);
+
+  const Workload& multi = find_workload("sharded-counter");
+  const Session partitioned(multi, sharded(4));
+  const RunOutcome multi_run = partitioned.record(4, 9, 300, 0, {});
+  EXPECT_GT(multi_run.lin.parts, 1u);
+  // Partitioned results carry no single witness linearization.
+  EXPECT_TRUE(multi_run.lin.linearization.empty());
+}
+
+TEST(Session, WholeModeForcesOnePart) {
+  const Workload& multi = find_workload("sharded-counter");
+  CheckOptions whole;
+  whole.partition = PartitionMode::kWhole;
+  const Session session(multi, whole);
+  const RunOutcome run = session.record(4, 3, 200, 0, {});
+  EXPECT_EQ(run.lin.parts, 1u);
+  EXPECT_EQ(run.lin.verdict, LinVerdict::kLinearizable);
+  // Whole-history checks keep the witness linearization (every completed
+  // op appears; pending ops may legally never take effect).
+  EXPECT_GE(run.lin.linearization.size(), run.history.num_completed());
+  EXPECT_LE(run.lin.linearization.size(), run.history.size());
+}
+
+TEST(Session, MemoBudgetDoesNotChangeVerdicts) {
+  const Workload& workload = find_workload("sharded-counter");
+  CheckOptions starved = sharded(2);
+  starved.memo_budget = 8;  // nearly no cache: slower, never unsound
+  const Session rich(workload, sharded(2));
+  const Session poor(workload, starved);
+  const RunOutcome run = rich.record(4, 11, 300, 1, {});
+  EXPECT_EQ(poor.check(run.history).verdict, run.lin.verdict);
+}
+
+TEST(Session, TimeBudgetReportsTimedOutUnknown) {
+  const Workload& workload = find_workload("sharded-counter");
+  // The checker polls the wall clock every 1024 nodes, so the history
+  // must be large enough for the whole-history search to pass a poll.
+  CheckOptions instant;
+  instant.partition = PartitionMode::kWhole;
+  instant.time_budget_ms = 1e-6;
+  const Session patient(workload, sharded(2));
+  const RunOutcome run = patient.record(4, 13, 4'000, 0, {});
+  const LinResult rushed = Session(workload, instant).check(run.history);
+  EXPECT_EQ(rushed.verdict, LinVerdict::kUnknown);
+  EXPECT_TRUE(rushed.timed_out);
+}
+
+// The deprecated free functions must keep behaving like the Session
+// methods they wrap.
+TEST(Session, FreeFunctionWrappersMatchSessionMethods) {
+  const Workload& workload = find_workload("mut-aba-stack");
+  const CheckOptions opts = sharded(1);
+  const Session session(workload, opts);
+  const RunOutcome via_session = session.record(3, 21, 240, 0, {});
+  const RunOutcome via_free = record_run(workload, 3, 21, 240, 0, {}, opts);
+  EXPECT_EQ(via_session.lin.verdict, via_free.lin.verdict);
+  EXPECT_EQ(via_session.history.fingerprint(), via_free.history.fingerprint());
+  EXPECT_EQ(via_session.trace.fingerprint(), via_free.trace.fingerprint());
+}
+
+}  // namespace
