@@ -1,0 +1,152 @@
+// Hardware capture-interval slack: call-boundary vs lin-point stamping
+// (src/check/hw_capture). The same structures are captured under forced
+// scheduler jitter in both stamp modes; the metric is per-operation
+// interval slack — foreign tickets strictly inside the interval the
+// checker reasons about. Boundary stamps swallow every preemption that
+// lands between the stamp and the structure call, so jitter inflates
+// their slack; the lin-point bracket hugs the linearizing instruction
+// and stays tight. Tight intervals are what make a LINEARIZABLE verdict
+// evidence about the structure rather than about capture widening, so
+// the median-slack gap is the value of instrumented stamping.
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "check/hw_capture.hpp"
+#include "check/lin_check.hpp"
+#include "exp/registry.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pwf;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
+
+const std::vector<std::string>& structures() {
+  static const std::vector<std::string> kStructures = {
+      "treiber-stack", "ms-queue", "cas-counter", "harris-list"};
+  return kStructures;
+}
+
+constexpr double kModeBoundary = 0.0;
+constexpr double kModeLinPoint = 1.0;
+
+class HwSlack final : public exp::Experiment {
+ public:
+  std::string name() const override { return "hw_slack"; }
+  std::string artifact() const override {
+    return "hardware capture-interval slack: call-boundary vs lin-point "
+           "stamping under forced jitter (src/check/hw_capture)";
+  }
+  std::string claim() const override {
+    return "Claim: lin-point stamping yields strictly lower median "
+           "interval slack than call-boundary stamping on at least two "
+           "structures, with identical LINEARIZABLE verdicts.";
+  }
+  std::uint64_t default_seed() const override { return 20140722; }
+
+  // Real-thread captures; keep the trial pool from stealing the core.
+  bool exclusive() const override { return true; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    std::vector<Trial> grid;
+    for (std::size_t s = 0; s < structures().size(); ++s) {
+      for (const double mode : {kModeBoundary, kModeLinPoint}) {
+        Trial t;
+        t.id = structures()[s] + "/" +
+               (mode == kModeLinPoint ? "lin-point" : "call-boundary");
+        t.params = {{"structure", static_cast<double>(s)}, {"mode", mode}};
+        // One seed per structure, shared by the modes: the workloads are
+        // seed-deterministic, so both modes drive the same op mix.
+        t.seed = exp::derive_seed(base, s);
+        grid.push_back(std::move(t));
+      }
+    }
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    const auto s = static_cast<std::size_t>(trial.params.at("structure"));
+    const bool lin_point = trial.params.at("mode") == kModeLinPoint;
+
+    check::HwOptions hw;
+    hw.threads = 4;
+    hw.ops_per_thread = options.quick ? 300 : 1'500;
+    hw.seed = trial.seed;
+    hw.stamp = lin_point ? check::StampMode::kLinPoint
+                         : check::StampMode::kCallBoundary;
+    // Yield around every op's boundary stamps: on a single-core host this
+    // is what makes the comparison visible — without forced preemption
+    // nearly every interval is tight in both modes.
+    hw.jitter_period = 1;
+
+    check::HwSession session(structures()[s], hw);
+    const check::HwResult& r = session.run();
+    return {{"operations", static_cast<double>(r.total_ops)},
+            {"linearizable",
+             r.lin.verdict == check::LinVerdict::kLinearizable ? 1.0 : 0.0},
+            {"median_slack", r.median_slack},
+            {"mean_slack", r.mean_slack},
+            {"max_slack", static_cast<double>(r.max_slack)},
+            {"boundary_median_slack", r.boundary_median_slack},
+            {"stamped", static_cast<double>(r.stamped_ops)},
+            {"capture_ms", r.capture_ms},
+            {"check_ms", r.check_ms}};
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& options, std::ostream& os) const override {
+    (void)options;
+    Table table({"structure / mode", "ops", "verdict", "median", "mean",
+                 "max", "capture ms", "check ms"});
+    std::vector<double> boundary_median(structures().size(), -1.0);
+    std::vector<double> lin_median(structures().size(), -1.0);
+    bool all_linearizable = true;
+
+    for (const TrialResult& r : results) {
+      const Metrics& m = r.metrics;
+      const bool lin = exp::flag(m.at("linearizable"));
+      all_linearizable = all_linearizable && lin;
+      table.add_row({r.trial.id, fmt(m.at("operations"), 0),
+                     lin ? "LINEARIZABLE" : "NOT-LINEARIZABLE",
+                     fmt(m.at("median_slack"), 1), fmt(m.at("mean_slack"), 2),
+                     fmt(m.at("max_slack"), 0), fmt(m.at("capture_ms"), 1),
+                     fmt(m.at("check_ms"), 1)});
+      const auto s = static_cast<std::size_t>(r.trial.params.at("structure"));
+      if (r.trial.params.at("mode") == kModeLinPoint) {
+        lin_median[s] = m.at("median_slack");
+      } else {
+        boundary_median[s] = m.at("median_slack");
+      }
+    }
+    table.print(os);
+
+    std::size_t tighter = 0;
+    for (std::size_t s = 0; s < structures().size(); ++s) {
+      if (lin_median[s] >= 0.0 && boundary_median[s] >= 0.0 &&
+          lin_median[s] < boundary_median[s]) {
+        ++tighter;
+      }
+    }
+    os << "structures with strictly tighter lin-point median: " << tighter
+       << "/" << structures().size() << "\n";
+
+    Verdict v;
+    v.reproduced = all_linearizable && tighter >= 2;
+    v.detail =
+        "lin-point brackets cut median interval slack below the "
+        "call-boundary capture on >= 2 structures, verdicts unchanged";
+    return v;
+  }
+};
+
+const exp::RegisterExperiment reg(std::make_unique<HwSlack>());
+
+}  // namespace

@@ -11,6 +11,13 @@
 //   pwf_check --shards 4              checker threads (--threads); 0 = hw
 //   pwf_check --smoke                 CI preset (small, < 60 s, all checks)
 //   pwf_check --hw                    also capture + check hardware runs
+//   pwf_check --structure NAME        hardware structure filter ('_' == '-')
+//   pwf_check --stamp-mode lin-point  interval recovery: call-boundary
+//                                     (default) or lin-point
+//   pwf_check --hw-ops N              hardware ops per thread
+//   pwf_check --hw-bursts N           independent capture rounds
+//   pwf_check --jitter K              yield around every K-th hw op
+//   pwf_check --minimize-ops          minimizer operation-drop pre-pass
 //   pwf_check --replay t.trace        strict-replay a saved trace
 //   pwf_check --save-trace PATH       save the first witness trace
 //   pwf_check --out PATH              JSON report (pwf-check-report/1);
@@ -22,6 +29,7 @@
 // Exit status: 0 iff every selected workload matched its expectation
 // (stock structures LINEARIZABLE everywhere, mutants caught with a
 // replayable witness) and every hardware capture (if requested) passed.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <exception>
@@ -47,6 +55,8 @@ using util::matches_filter;
 
 struct Args {
   check::ExploreOptions explore;
+  check::HwOptions hw_options;
+  std::string stamp_mode;
   std::string filter;
   std::string out_path;
   std::string replay_path;
@@ -55,8 +65,10 @@ struct Args {
   bool help = false;
   bool smoke = false;
   bool hw = false;
+  bool hw_ops_set = false;
   bool no_crashes = false;
   bool no_minimize = false;
+  bool minimize_ops = false;
 };
 
 util::CliParser make_parser(Args& args) {
@@ -97,9 +109,40 @@ util::CliParser make_parser(Args& args) {
               [&args](const std::string& v) {
                 args.explore.check.memo_budget = std::stoull(v);
               })
+      .option("--structure", "NAME",
+              "hardware structure filter; '_' is accepted for '-'\n"
+              "(alias of --filter with normalization)",
+              [&args](const std::string& v) {
+                args.filter = v;
+                std::replace(args.filter.begin(), args.filter.end(), '_', '-');
+              })
+      .option("--stamp-mode", "MODE",
+              "hardware interval recovery: call-boundary (default)\n"
+              "or lin-point (tickets at the linearizing instruction)",
+              [&args](const std::string& v) { args.stamp_mode = v; })
+      .option("--hw-ops", "N", "hardware ops per thread (default 2000)",
+              [&args](const std::string& v) {
+                args.hw_options.ops_per_thread = std::stoul(v);
+                args.hw_ops_set = true;
+              })
+      .option("--hw-bursts", "N",
+              "independent hardware capture rounds (default 1)",
+              [&args](const std::string& v) {
+                args.hw_options.bursts = std::stoul(v);
+              })
+      .option("--jitter", "K",
+              "yield around every K-th hardware op (0 = off);\n"
+              "widens call-boundary intervals, not lin-point brackets",
+              [&args](const std::string& v) {
+                args.hw_options.jitter_period = std::stoul(v);
+              })
       .flag("--no-crashes", "disable crash plans", &args.no_crashes)
       .flag("--no-minimize", "report the first failing trace unshrunk",
             &args.no_minimize)
+      .flag("--minimize-ops",
+            "minimizer pre-pass: drop whole completed operations\n"
+            "before ddmin",
+            &args.minimize_ops)
       .flag("--smoke",
             "CI preset: reduced schedules, all workloads,\n"
             "hardware captures included",
@@ -162,6 +205,16 @@ int main(int argc, char** argv) {
   }
   if (args.no_crashes) args.explore.crashes = false;
   if (args.no_minimize) args.explore.minimize = false;
+  if (args.minimize_ops) args.explore.minimize_options.drop_operations = true;
+  if (!args.stamp_mode.empty()) {
+    const auto mode = check::parse_stamp_mode(args.stamp_mode);
+    if (!mode) {
+      std::cerr << "pwf_check: unknown stamp mode '" << args.stamp_mode
+                << "' (call-boundary | lin-point)\n";
+      return 2;
+    }
+    args.hw_options.stamp = *mode;
+  }
   if (args.list) {
     std::cout << "simulated workloads:\n";
     for (const check::Workload& w : check::workloads()) {
@@ -170,8 +223,10 @@ int main(int argc, char** argv) {
                 << "]\n      " << w.note << "\n";
     }
     std::cout << "hardware structures (--hw):\n";
-    for (const std::string& s : check::hw_structures()) {
-      std::cout << "  " << s << "\n";
+    for (const check::HwStructure& s : check::HwSession::registry()) {
+      std::cout << "  " << s.name << "  [spec: " << s.spec_kind << ", expect "
+                << (s.expect_linearizable ? "LINEARIZABLE" : "violation")
+                << "]\n      " << s.note << "\n";
     }
     return 0;
   }
@@ -189,6 +244,7 @@ int main(int argc, char** argv) {
     // hardware captures on — sized to finish well under a minute.
     args.explore.schedules = 40;
     args.hw = true;
+    if (!args.hw_ops_set) args.hw_options.ops_per_thread = 400;
   }
 
   std::vector<WorkloadReport> reports;
@@ -261,29 +317,59 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<check::HwCaptureResult> hw_results;
+  std::vector<check::HwResult> hw_results;
   if (args.hw) {
-    check::HwCaptureOptions hw_opts;
+    check::HwOptions hw_opts = args.hw_options;
     hw_opts.seed = args.explore.base_seed;
-    if (args.smoke) hw_opts.ops_per_thread = 120;
-    for (const std::string& structure : check::hw_structures()) {
-      if (!matches_filter(structure, args.filter)) continue;
+    for (const check::HwStructure& structure : check::HwSession::registry()) {
+      if (!matches_filter(structure.name, args.filter)) continue;
       try {
-        check::HwCaptureResult r =
-            check::hw_capture_run(structure, hw_opts, args.explore.check);
-        const bool ok = r.lin.ok();
+        check::HwSession session(structure.name, hw_opts, args.explore.check);
+        const check::HwResult& r = session.run();
+        const bool ok = r.as_expected() && !r.lin.timed_out;
         all_pass = all_pass && ok;
-        std::cout << "hw " << structure << ": "
-                  << check::verdict_name(r.lin.verdict) << " ("
-                  << r.history.size() << " ops, " << r.lin.parts
-                  << " parts, " << r.lin.nodes << " nodes, slack mean "
-                  << r.mean_slack << " max " << r.max_slack << ")\n";
-        hw_results.push_back(std::move(r));
+        std::cout << "hw " << structure.name << " ["
+                  << check::stamp_mode_name(r.stamp) << "]: "
+                  << check::verdict_name(r.lin.verdict)
+                  << (structure.expect_linearizable ? "" : " (mutant)")
+                  << " -> " << (ok ? "OK" : "FAIL") << "\n"
+                  << "  " << r.total_ops << " ops, " << r.lin.parts
+                  << " parts, " << r.lin.nodes << " nodes; slack median "
+                  << r.median_slack << " mean " << r.mean_slack << " max "
+                  << r.max_slack << " (boundary median "
+                  << r.boundary_median_slack << "); stamped "
+                  << r.stamped_ops << "/" << r.total_ops << "\n"
+                  << "  time: capture " << r.capture_ms << " ms, check "
+                  << r.check_ms << " ms\n";
+        if (r.lin.verdict == check::LinVerdict::kNotLinearizable &&
+            r.witness.size() > 0) {
+          std::cout << "  witness: " << r.witness.size() << " ops"
+                    << (r.witness_minimized
+                            ? " (minimized from " +
+                                  std::to_string(r.history.size()) + ")"
+                            : "")
+                    << "\n";
+          std::istringstream lines(r.witness.render());
+          std::size_t printed = 0;
+          for (std::string line; std::getline(lines, line);) {
+            if (++printed > 30) {
+              std::cout << "    ...\n";
+              break;
+            }
+            std::cout << "    " << line << "\n";
+          }
+        }
+        hw_results.push_back(r);
       } catch (const std::exception& ex) {
-        std::cerr << "pwf_check: hw capture '" << structure
+        std::cerr << "pwf_check: hw capture '" << structure.name
                   << "' failed: " << ex.what() << "\n";
         return 2;
       }
+    }
+    if (reports.empty() && hw_results.empty()) {
+      std::cerr << "pwf_check: no hardware structure matches filter '"
+                << args.filter << "' (see --list)\n";
+      return 2;
     }
   }
 
@@ -334,23 +420,49 @@ int main(int argc, char** argv) {
     }
     json.end_array();
     json.key("hardware").begin_array();
-    for (const check::HwCaptureResult& r : hw_results) {
+    for (const check::HwResult& r : hw_results) {
       json.begin_object();
       json.key("structure").value(r.structure);
+      json.key("stamp_mode").value(check::stamp_mode_name(r.stamp));
       json.key("verdict").value(check::verdict_name(r.lin.verdict));
-      json.key("operations").value(static_cast<std::uint64_t>(r.history.size()));
+      json.key("expect_linearizable").value(r.expect_linearizable);
+      json.key("as_expected").value(r.as_expected());
+      json.key("operations").value(static_cast<std::uint64_t>(r.total_ops));
+      json.key("checked_operations")
+          .value(static_cast<std::uint64_t>(r.history.size()));
+      json.key("stamped_operations")
+          .value(static_cast<std::uint64_t>(r.stamped_ops));
       json.key("parts").value(static_cast<std::uint64_t>(r.lin.parts));
       json.key("checker_nodes").value(r.lin.nodes);
       json.key("timed_out").value(r.lin.timed_out);
+      // Capture vs check time breakdown: capture_ms is thread spawn to
+      // join; check_ms is the verdict plus witness minimization.
+      json.key("capture_ms").value(r.capture_ms);
+      json.key("check_ms").value(r.check_ms);
       // Capture-interval slack distinguishes "linearizable" from
       // "possibly masked by widened intervals": an op with slack 0 had a
       // tight interval; large slack means the ticket stamps straddled
-      // many foreign events and the verdict leans on that widening.
+      // many foreign events and the verdict leans on that widening. In
+      // lin-point mode the effective intervals are the stamp brackets,
+      // and boundary_* report the call-boundary stats for comparison.
       json.key("mean_slack").value(r.mean_slack);
       json.key("max_slack").value(r.max_slack);
+      json.key("median_slack").value(r.median_slack);
+      json.key("boundary_mean_slack").value(r.boundary_mean_slack);
+      json.key("boundary_max_slack").value(r.boundary_max_slack);
+      json.key("boundary_median_slack").value(r.boundary_median_slack);
+      if (r.lin.verdict == check::LinVerdict::kNotLinearizable &&
+          r.witness.size() > 0) {
+        json.key("witness").begin_object();
+        json.key("operations")
+            .value(static_cast<std::uint64_t>(r.witness.size()));
+        json.key("minimized").value(r.witness_minimized);
+        json.key("history").value(r.witness.render());
+        json.end_object();
+      }
       json.key("interval_slack").begin_array();
       for (const std::uint64_t slack : r.interval_slack) {
-        if (slack == check::HwCaptureResult::kPendingSlack) {
+        if (slack == check::HwResult::kPendingSlack) {
           json.value("pending");
         } else {
           json.value(slack);

@@ -54,6 +54,13 @@ if ! build/bench/pwf_check --smoke --out CHECK_report.json \
 fi
 echo "wrote CHECK_report.json"
 
+echo "== hardware capture, lin-point stamping (pwf_check --hw) =="
+if ! build/bench/pwf_check --hw --stamp-mode lin-point --jitter 1 \
+    2>&1 | tee -a bench_output.txt; then
+  echo "REGRESSION in pwf_check --hw" | tee -a bench_output.txt
+  status=1
+fi
+
 if [ "$with_sanitizers" = 1 ]; then
   echo "== ThreadSanitizer (concurrent suites) =="
   cmake -B build-tsan -G Ninja -DPWF_SANITIZE=thread

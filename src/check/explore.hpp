@@ -30,6 +30,7 @@ struct ExploreOptions {
   bool crashes = true;        ///< inject crash plans on 2 of every 3 runs
   bool minimize = true;       ///< shrink the first failing trace
   bool stop_at_first = false; ///< stop exploring after the first violation
+  MinimizeOptions minimize_options;  ///< forwarded to Session::minimize
   CheckOptions check;
 };
 
@@ -39,6 +40,9 @@ struct RunOutcome {
   History history;
   LinResult lin;
   std::vector<std::size_t> crash_log;  ///< Scheduler::on_crash order
+  /// Per effective step: did it complete an operation? Parallel to
+  /// trace.steps; segments the schedule into whole operations.
+  std::vector<char> step_completed;
 };
 
 /// A minimized non-linearizable reproducer.

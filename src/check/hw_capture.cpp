@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "check/session.hpp"
@@ -13,172 +15,230 @@
 #include "lockfree/ebr.hpp"
 #include "lockfree/harris_list.hpp"
 #include "lockfree/hash_map.hpp"
+#include "lockfree/lin_stamp.hpp"
 #include "lockfree/ms_queue.hpp"
+#include "lockfree/scu_object.hpp"
 #include "lockfree/treiber_stack.hpp"
+#ifdef PWF_HW_MUTANTS
+#include "lockfree/treiber_stack_untagged.hpp"
+#endif
 #include "util/rng.hpp"
 
 namespace pwf::check {
 
 namespace {
 
-/// Per-thread event buffer; tickets from one shared atomic give the
-/// global order. No allocation races: each thread appends locally and
-/// buffers are merged after join.
-class TicketLog {
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// One captured operation: boundary tickets plus (in kLinPoint mode) the
+/// lin-point bracket read back from the structure's TicketStamp hooks.
+struct OpRecord {
+  std::uint32_t thread = 0;
+  OpCode op = OpCode::kPush;
+  bool has_arg = false;
+  Value arg = 0;
+  bool has_ret = false;
+  Value ret = 0;
+  std::uint64_t invoke = 0;
+  std::uint64_t response = 0;
+  lockfree::LinStampRecord lin;
+};
+
+/// Per-thread recorder. begin()/end() stamp the boundary tickets and
+/// (lin mode) reset/read the thread-local stamp record around the call.
+/// Jitter yields go between the boundary stamp and the call on both
+/// sides, so they widen the boundary interval but not the lin bracket.
+class CaptureLog {
  public:
-  explicit TicketLog(std::atomic<std::uint64_t>& ticket) : ticket_(ticket) {}
+  CaptureLog(std::atomic<std::uint64_t>& ticket, std::uint32_t tid,
+             const HwOptions& options)
+      : ticket_(ticket),
+        tid_(tid),
+        jitter_period_(options.jitter_period),
+        lin_(options.stamp == StampMode::kLinPoint) {}
 
-  void invoke(std::uint32_t tid, OpCode op, bool has_arg, Value arg) {
-    events_.push_back({ticket_.fetch_add(1, std::memory_order_acq_rel), tid,
-                       true, op, has_arg, arg});
-  }
-  void respond(std::uint32_t tid, OpCode op, bool has_ret, Value ret) {
-    events_.push_back({ticket_.fetch_add(1, std::memory_order_acq_rel), tid,
-                       false, op, has_ret, ret});
+  void begin(OpCode op, bool has_arg, Value arg) {
+    current_ = OpRecord{};
+    current_.thread = tid_;
+    current_.op = op;
+    current_.has_arg = has_arg;
+    current_.arg = arg;
+    jitter_this_op_ =
+        jitter_period_ != 0 && op_index_ % jitter_period_ == 0;
+    current_.invoke = ticket_.fetch_add(1, std::memory_order_acq_rel);
+    if (jitter_this_op_) std::this_thread::yield();
+    if (lin_) lockfree::TicketStamp::reset();
   }
 
-  std::vector<OpEvent> take() { return std::move(events_); }
+  void end(bool has_ret, Value ret) {
+    if (lin_) current_.lin = lockfree::TicketStamp::record();
+    if (jitter_this_op_) std::this_thread::yield();
+    current_.response = ticket_.fetch_add(1, std::memory_order_acq_rel);
+    current_.has_ret = has_ret;
+    current_.ret = ret;
+    records_.push_back(current_);
+    ++op_index_;
+  }
+
+  std::vector<OpRecord> take() { return std::move(records_); }
 
  private:
   std::atomic<std::uint64_t>& ticket_;
-  std::vector<OpEvent> events_;
+  std::uint32_t tid_;
+  std::size_t jitter_period_;
+  bool lin_;
+  bool jitter_this_op_ = false;
+  std::size_t op_index_ = 0;
+  OpRecord current_;
+  std::vector<OpRecord> records_;
 };
 
-/// The per-op body for one structure kind; returns the spec kind.
+/// Spawns options.threads real threads running `body(tid, log, rng)` and
+/// merges their records. In lin mode the burst's ticket counter is bound
+/// to TicketStamp for the duration (bind happens strictly before spawn
+/// and after join, the only times it is safe).
 template <typename Body>
-HwCaptureResult run_burst(const std::string& structure,
-                          const std::string& spec_kind,
-                          const HwCaptureOptions& options,
-                          const CheckOptions& check, Body&& body) {
+std::vector<OpRecord> run_threads(const HwOptions& options, std::uint64_t seed,
+                                  bool bind_lin_ticket, Body&& body) {
   std::atomic<std::uint64_t> ticket{0};
-  std::vector<std::vector<OpEvent>> buffers(options.threads);
-  std::vector<std::thread> threads;
-  threads.reserve(options.threads);
-  for (std::size_t t = 0; t < options.threads; ++t) {
-    threads.emplace_back([&, t] {
-      TicketLog log(ticket);
-      Xoshiro256pp rng(options.seed + 0x9E3779B97F4A7C15ULL * (t + 1));
-      body(static_cast<std::uint32_t>(t), log, rng);
-      buffers[t] = log.take();
-    });
-  }
-  for (std::thread& th : threads) th.join();
-
-  std::vector<OpEvent> events;
-  for (auto& buffer : buffers) {
-    events.insert(events.end(), buffer.begin(), buffer.end());
-  }
-  HwCaptureResult result;
-  result.structure = structure;
-  result.history = History::from_events(std::move(events));
-
-  // Interval slack: each ticket inside [invoke, response] belongs to some
-  // other operation's stamp, so response − invoke − 1 counts the foreign
-  // events the capture interval was widened across.
-  std::uint64_t total_slack = 0;
-  std::size_t completed = 0;
-  for (const Operation& op : result.history.operations()) {
-    if (!op.completed()) {
-      result.interval_slack.push_back(HwCaptureResult::kPendingSlack);
-      continue;
+  if (bind_lin_ticket) lockfree::TicketStamp::bind(&ticket);
+  std::vector<std::vector<OpRecord>> buffers(options.threads);
+  {
+    // Start barrier: a short burst (tens of microseconds of work) can
+    // otherwise finish on one thread before the next is even spawned,
+    // silently serializing the "concurrent" capture. No thread touches
+    // the structure until every thread is runnable.
+    std::atomic<std::size_t> ready{0};
+    std::vector<std::thread> threads;
+    threads.reserve(options.threads);
+    for (std::size_t t = 0; t < options.threads; ++t) {
+      threads.emplace_back([&, t] {
+        ready.fetch_add(1, std::memory_order_acq_rel);
+        while (ready.load(std::memory_order_acquire) < options.threads) {
+          std::this_thread::yield();
+        }
+        CaptureLog log(ticket, static_cast<std::uint32_t>(t), options);
+        Xoshiro256pp rng(seed + 0x9E3779B97F4A7C15ULL * (t + 1));
+        body(static_cast<std::uint32_t>(t), log, rng);
+        buffers[t] = log.take();
+      });
     }
-    const std::uint64_t slack = op.response - op.invoke - 1;
-    result.interval_slack.push_back(slack);
-    result.max_slack = std::max(result.max_slack, slack);
-    total_slack += slack;
-    ++completed;
+    for (std::thread& th : threads) th.join();
   }
-  if (completed > 0) {
-    result.mean_slack =
-        static_cast<double>(total_slack) / static_cast<double>(completed);
-  }
+  if (bind_lin_ticket) lockfree::TicketStamp::bind(nullptr);
 
-  // Session partitions multi-object captures (the set structures) per
-  // key, which is what keeps the large-burst captures tractable.
-  result.lin = Session(make_spec(spec_kind), check).check(result.history);
-  return result;
+  std::vector<OpRecord> records;
+  for (auto& buffer : buffers) {
+    records.insert(records.end(), buffer.begin(), buffer.end());
+  }
+  return records;
 }
 
 constexpr Value unique_value(std::uint32_t tid, std::size_t i) {
   return (static_cast<Value>(tid + 1) << 32) | static_cast<Value>(i);
 }
 
-}  // namespace
+constexpr Value kKeySpace = 8;  // small key range: operations collide
 
-const std::vector<std::string>& hw_structures() {
-  static const std::vector<std::string> kNames = {
-      "treiber-stack", "ms-queue",    "harris-list",
-      "hash-set",      "cas-counter", "faa-counter"};
-  return kNames;
-}
+/// One capture round on a fresh structure instance. `Stamp` is
+/// TicketStamp in kLinPoint mode, NoStamp otherwise.
+template <typename Stamp>
+std::vector<OpRecord> capture_burst(const HwStructure& structure,
+                                    const HwOptions& options,
+                                    std::uint64_t seed) {
+  const bool bind = Stamp::enabled;
+  const std::size_t ops = options.ops_per_thread;
 
-HwCaptureResult hw_capture_run(const std::string& structure,
-                               const HwCaptureOptions& options,
-                               const CheckOptions& check) {
-  constexpr Value kKeySpace = 8;  // small key range: operations collide
-
-  if (structure == "treiber-stack") {
+  if (structure.name == "treiber-stack") {
     lockfree::EbrDomain domain;
-    lockfree::TreiberStack<Value> stack(domain);
-    return run_burst(structure, "stack", options, check,
-                     [&](std::uint32_t tid, TicketLog& log, Xoshiro256pp& rng) {
-                       lockfree::EbrThreadHandle handle(domain);
-                       for (std::size_t i = 0; i < options.ops_per_thread; ++i) {
-                         if (rng() % 2 == 0) {
-                           const Value v = unique_value(tid, i);
-                           log.invoke(tid, OpCode::kPush, true, v);
-                           stack.push(handle, v);
-                           log.respond(tid, OpCode::kPush, false, 0);
-                         } else {
-                           log.invoke(tid, OpCode::kPop, false, 0);
-                           const auto popped = stack.pop(handle);
-                           log.respond(tid, OpCode::kPop, popped.has_value(),
-                                       popped.value_or(0));
-                         }
-                       }
-                     });
-  }
-  if (structure == "ms-queue") {
-    lockfree::EbrDomain domain;
-    lockfree::MsQueue<Value> queue(domain);
-    return run_burst(structure, "queue", options, check,
-                     [&](std::uint32_t tid, TicketLog& log, Xoshiro256pp& rng) {
-                       lockfree::EbrThreadHandle handle(domain);
-                       for (std::size_t i = 0; i < options.ops_per_thread; ++i) {
-                         if (rng() % 2 == 0) {
-                           const Value v = unique_value(tid, i);
-                           log.invoke(tid, OpCode::kEnqueue, true, v);
-                           queue.enqueue(handle, v);
-                           log.respond(tid, OpCode::kEnqueue, false, 0);
-                         } else {
-                           log.invoke(tid, OpCode::kDequeue, false, 0);
-                           const auto out = queue.dequeue(handle);
-                           log.respond(tid, OpCode::kDequeue, out.has_value(),
-                                       out.value_or(0));
-                         }
-                       }
-                     });
-  }
-  if (structure == "harris-list" || structure == "hash-set") {
-    lockfree::EbrDomain domain;
-    std::unique_ptr<lockfree::HarrisList<Value>> list;
-    std::unique_ptr<lockfree::HashSet<Value>> set;
-    if (structure == "harris-list") {
-      list = std::make_unique<lockfree::HarrisList<Value>>(domain);
-    } else {
-      set = std::make_unique<lockfree::HashSet<Value>>(domain, 4);
-    }
-    return run_burst(
-        structure, "set", options, check,
-        [&](std::uint32_t tid, TicketLog& log, Xoshiro256pp& rng) {
+    lockfree::TreiberStack<Value, Stamp> stack(domain);
+    return run_threads(
+        options, seed, bind,
+        [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
           lockfree::EbrThreadHandle handle(domain);
-          for (std::size_t i = 0; i < options.ops_per_thread; ++i) {
+          for (std::size_t i = 0; i < ops; ++i) {
+            if (rng() % 2 == 0) {
+              const Value v = unique_value(tid, i);
+              log.begin(OpCode::kPush, true, v);
+              stack.push(handle, v);
+              log.end(false, 0);
+            } else {
+              log.begin(OpCode::kPop, false, 0);
+              const auto popped = stack.pop(handle);
+              log.end(popped.has_value(), popped.value_or(0));
+            }
+          }
+        });
+  }
+#ifdef PWF_HW_MUTANTS
+  if (structure.name == "treiber-stack-untagged") {
+    lockfree::TreiberStackUntagged<Stamp> stack;
+    return run_threads(
+        options, seed, bind,
+        [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
+          for (std::size_t i = 0; i < ops; ++i) {
+            if (rng() % 2 == 0) {
+              const Value v = unique_value(tid, i);
+              log.begin(OpCode::kPush, true, v);
+              stack.push(v);
+              log.end(false, 0);
+            } else {
+              log.begin(OpCode::kPop, false, 0);
+              const auto popped = stack.pop();
+              log.end(popped.has_value(), popped.value_or(0));
+            }
+          }
+        });
+  }
+#endif
+  if (structure.name == "ms-queue") {
+    lockfree::EbrDomain domain;
+    lockfree::MsQueue<Value, Stamp> queue(domain);
+    return run_threads(
+        options, seed, bind,
+        [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
+          lockfree::EbrThreadHandle handle(domain);
+          for (std::size_t i = 0; i < ops; ++i) {
+            if (rng() % 2 == 0) {
+              const Value v = unique_value(tid, i);
+              log.begin(OpCode::kEnqueue, true, v);
+              queue.enqueue(handle, v);
+              log.end(false, 0);
+            } else {
+              log.begin(OpCode::kDequeue, false, 0);
+              const auto out = queue.dequeue(handle);
+              log.end(out.has_value(), out.value_or(0));
+            }
+          }
+        });
+  }
+  if (structure.name == "harris-list" || structure.name == "hash-set") {
+    lockfree::EbrDomain domain;
+    std::unique_ptr<lockfree::HarrisList<Value, Stamp>> list;
+    std::unique_ptr<lockfree::HashSet<Value, std::hash<Value>, Stamp>> set;
+    if (structure.name == "harris-list") {
+      list = std::make_unique<lockfree::HarrisList<Value, Stamp>>(domain);
+    } else {
+      set = std::make_unique<
+          lockfree::HashSet<Value, std::hash<Value>, Stamp>>(domain, 4);
+    }
+    return run_threads(
+        options, seed, bind,
+        [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
+          (void)tid;
+          lockfree::EbrThreadHandle handle(domain);
+          for (std::size_t i = 0; i < ops; ++i) {
             const Value key = 1 + rng() % kKeySpace;
             const std::uint64_t roll = rng() % 3;
             const OpCode op = roll == 0   ? OpCode::kInsert
                               : roll == 1 ? OpCode::kErase
                                           : OpCode::kContains;
-            log.invoke(tid, op, true, key);
+            log.begin(op, true, key);
             bool ok = false;
             if (list) {
               ok = op == OpCode::kInsert   ? list->insert(handle, key)
@@ -189,27 +249,432 @@ HwCaptureResult hw_capture_run(const std::string& structure,
                    : op == OpCode::kErase  ? set->erase(handle, key)
                                            : set->contains(handle, key);
             }
-            log.respond(tid, op, true, ok ? 1 : 0);
+            log.end(true, ok ? 1 : 0);
           }
         });
   }
-  if (structure == "cas-counter" || structure == "faa-counter") {
-    lockfree::CasCounter cas_counter;
-    lockfree::FetchAddCounter faa_counter;
-    const bool use_cas = structure == "cas-counter";
-    return run_burst(structure, "counter", options, check,
-                     [&](std::uint32_t tid, TicketLog& log, Xoshiro256pp&) {
-                       for (std::size_t i = 0; i < options.ops_per_thread; ++i) {
-                         log.invoke(tid, OpCode::kFetchInc, false, 0);
-                         const std::uint64_t before =
-                             use_cas ? cas_counter.fetch_inc().value
-                                     : faa_counter.fetch_inc().value;
-                         log.respond(tid, OpCode::kFetchInc, true, before);
-                       }
-                     });
+  if (structure.name == "cas-counter" || structure.name == "faa-counter") {
+    lockfree::BasicCasCounter<Stamp> cas_counter;
+    lockfree::BasicFetchAddCounter<Stamp> faa_counter;
+    const bool use_cas = structure.name == "cas-counter";
+    return run_threads(
+        options, seed, bind,
+        [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp&) {
+          (void)tid;
+          for (std::size_t i = 0; i < ops; ++i) {
+            log.begin(OpCode::kFetchInc, false, 0);
+            const std::uint64_t before = use_cas
+                                             ? cas_counter.fetch_inc().value
+                                             : faa_counter.fetch_inc().value;
+            log.end(true, before);
+          }
+        });
   }
-  throw std::invalid_argument("hw_capture_run: unknown structure '" +
-                              structure + "'");
+  if (structure.name == "scu-counter") {
+    lockfree::EbrDomain domain;
+    lockfree::ScuObject<std::uint64_t, Stamp> object(domain, 0);
+    return run_threads(
+        options, seed, bind,
+        [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp&) {
+          (void)tid;
+          lockfree::EbrThreadHandle handle(domain);
+          for (std::size_t i = 0; i < ops; ++i) {
+            log.begin(OpCode::kFetchInc, false, 0);
+            const auto [before, attempts] =
+                object.apply(handle, [](std::uint64_t& s) {
+                  const std::uint64_t old = s;
+                  s += 1;
+                  return old;
+                });
+            (void)attempts;
+            log.end(true, before);
+          }
+        });
+  }
+  throw std::invalid_argument("HwSession: no capture body for '" +
+                              structure.name + "'");
+}
+
+double median_of(std::vector<std::uint64_t> values) {
+  values.erase(std::remove(values.begin(), values.end(),
+                           HwResult::kPendingSlack),
+               values.end());
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double median = static_cast<double>(values[mid]);
+  if (values.size() % 2 == 0) {
+    const auto lower = *std::max_element(values.begin(), values.begin() + mid);
+    median = (median + static_cast<double>(lower)) / 2.0;
+  }
+  return median;
+}
+
+// --------------------------------------------------------------------------
+// Witness minimization.
+//
+// Dropping arbitrary operations from a history is NOT sound for witness
+// purposes: removing a push whose value a kept pop returns fabricates a
+// "pop of a never-pushed value" violation that the structure never
+// committed. For the unique-value stack/queue workloads we instead drop
+// *units* chosen so every kept value-returning pop keeps its push:
+//   - a matched (push v, pop -> v) pair drops or stays together;
+//   - an unmatched push (value never popped) may drop alone;
+//   - an empty pop may drop alone;
+//   - a value-returning pop with no matching push — the corruption
+//     itself — and any value touched by more than one pop or push are
+//     never dropped.
+// Every candidate subhistory is re-checked; the reported witness is
+// checker-verified NOT-LINEARIZABLE, so minimization can only shrink a
+// genuine violation, never invent one.
+
+struct DropUnit {
+  std::vector<std::size_t> ops;  ///< indices into the failing history
+};
+
+struct UnitPartition {
+  std::vector<std::size_t> mandatory;  ///< always kept
+  std::vector<DropUnit> units;         ///< droppable
+};
+
+UnitPartition partition_units(const History& failing,
+                              const std::string& spec_kind) {
+  const OpCode push_op =
+      spec_kind == "stack" ? OpCode::kPush : OpCode::kEnqueue;
+  const OpCode pop_op = spec_kind == "stack" ? OpCode::kPop : OpCode::kDequeue;
+  const auto& ops = failing.operations();
+
+  std::unordered_map<Value, std::vector<std::size_t>> pushes;
+  std::unordered_map<Value, std::vector<std::size_t>> value_pops;
+  UnitPartition out;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
+    if (!op.completed()) {
+      out.mandatory.push_back(i);
+    } else if (op.op == push_op && op.has_arg) {
+      pushes[op.arg].push_back(i);
+    } else if (op.op == pop_op && op.has_ret) {
+      value_pops[op.ret].push_back(i);
+    } else if (op.op == pop_op) {
+      out.units.push_back({{i}});  // empty pop
+    } else {
+      out.mandatory.push_back(i);  // foreign opcode: keep
+    }
+  }
+  for (const auto& [value, idxs] : pushes) {
+    const auto pops_it = value_pops.find(value);
+    const std::size_t npops =
+        pops_it == value_pops.end() ? 0 : pops_it->second.size();
+    if (idxs.size() == 1 && npops == 1) {
+      out.units.push_back({{idxs[0], pops_it->second[0]}});  // matched pair
+    } else if (idxs.size() == 1 && npops == 0) {
+      out.units.push_back({{idxs[0]}});  // unmatched push
+    } else {
+      // Duplicate pushes of one value, or one push popped several times
+      // (the ABA signature): freeze everything touching this value.
+      out.mandatory.insert(out.mandatory.end(), idxs.begin(), idxs.end());
+      if (pops_it != value_pops.end()) {
+        out.mandatory.insert(out.mandatory.end(), pops_it->second.begin(),
+                             pops_it->second.end());
+      }
+    }
+  }
+  for (const auto& [value, idxs] : value_pops) {
+    if (pushes.find(value) == pushes.end()) {
+      // Pop of a never-pushed value: the violation itself.
+      out.mandatory.insert(out.mandatory.end(), idxs.begin(), idxs.end());
+    }
+  }
+  return out;
+}
+
+History build_subhistory(const History& failing,
+                         const std::vector<std::size_t>& mandatory,
+                         const std::vector<DropUnit>& kept) {
+  std::vector<std::size_t> indices = mandatory;
+  for (const DropUnit& unit : kept) {
+    indices.insert(indices.end(), unit.ops.begin(), unit.ops.end());
+  }
+  std::sort(indices.begin(), indices.end());
+  std::vector<Operation> ops;
+  ops.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    ops.push_back(failing.operations()[i]);
+  }
+  return History(std::move(ops));  // indices ascending => invoke-sorted
+}
+
+/// ddmin over droppable units: find a small kept-set whose subhistory
+/// still fails the checker. Probes that time out or exhaust the node
+/// budget count as "passed" (we never adopt an unverified candidate).
+History minimize_hw_witness(const History& failing,
+                            const std::string& spec_kind,
+                            const CheckOptions& check,
+                            std::size_t max_probes, bool* minimized) {
+  *minimized = false;
+  const UnitPartition partition = partition_units(failing, spec_kind);
+
+  CheckOptions probe_options = check;
+  if (probe_options.time_budget_ms <= 0.0 ||
+      probe_options.time_budget_ms > 500.0) {
+    probe_options.time_budget_ms = 500.0;  // keep each probe cheap
+  }
+  Session probe(make_spec(spec_kind), probe_options);
+
+  std::size_t probes = 0;
+  const auto fails = [&](const std::vector<DropUnit>& kept) {
+    if (probes >= max_probes) return false;
+    ++probes;
+    const History candidate =
+        build_subhistory(failing, partition.mandatory, kept);
+    return probe.check(candidate).verdict == LinVerdict::kNotLinearizable;
+  };
+
+  std::vector<DropUnit> kept = partition.units;
+  // Cheapest first: maybe the mandatory core alone is already a witness.
+  if (!kept.empty() && fails({})) {
+    kept.clear();
+  }
+  std::size_t granularity = 2;
+  while (kept.size() >= 2 && probes < max_probes) {
+    const std::size_t chunk = (kept.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (std::size_t start = 0; start < kept.size() && !reduced;
+         start += chunk) {
+      std::vector<DropUnit> candidate;
+      candidate.reserve(kept.size());
+      for (std::size_t j = 0; j < kept.size(); ++j) {
+        if (j < start || j >= start + chunk) candidate.push_back(kept[j]);
+      }
+      if (candidate.size() < kept.size() && fails(candidate)) {
+        kept = std::move(candidate);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= kept.size()) break;
+      granularity = std::min(kept.size(), granularity * 2);
+    }
+  }
+  const History witness =
+      build_subhistory(failing, partition.mandatory, kept);
+  *minimized = witness.size() < failing.size();
+  return witness;
+}
+
+}  // namespace
+
+const char* stamp_mode_name(StampMode mode) {
+  switch (mode) {
+    case StampMode::kCallBoundary:
+      return "call-boundary";
+    case StampMode::kLinPoint:
+      return "lin-point";
+  }
+  return "?";
+}
+
+std::optional<StampMode> parse_stamp_mode(const std::string& name) {
+  if (name == "call-boundary" || name == "call_boundary" ||
+      name == "boundary") {
+    return StampMode::kCallBoundary;
+  }
+  if (name == "lin-point" || name == "lin_point" || name == "lin") {
+    return StampMode::kLinPoint;
+  }
+  return std::nullopt;
+}
+
+bool HwResult::as_expected() const noexcept {
+  return lin.verdict == (expect_linearizable ? LinVerdict::kLinearizable
+                                             : LinVerdict::kNotLinearizable);
+}
+
+const std::vector<HwStructure>& HwSession::registry() {
+  static const std::vector<HwStructure> kRegistry = {
+      {"treiber-stack", "stack", true, "Treiber stack, EBR reclamation"},
+      {"ms-queue", "queue", true, "Michael-Scott FIFO queue"},
+      {"harris-list", "set", true, "Harris ordered-list set"},
+      {"hash-set", "set", true, "hash set over Harris-list buckets"},
+      {"cas-counter", "counter", true, "CAS-loop fetch-and-inc (Alg. 5)"},
+      {"faa-counter", "counter", true, "wait-free fetch_add baseline"},
+      {"scu-counter", "counter", true, "counter via the universal SCU object"},
+#ifdef PWF_HW_MUTANTS
+      {"treiber-stack-untagged", "stack", false,
+       "ABA mutant: untagged head CAS + eager node reuse"},
+#endif
+  };
+  return kRegistry;
+}
+
+const HwStructure& HwSession::find(const std::string& name) {
+  for (const HwStructure& s : registry()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("HwSession: unknown structure '" + name + "'");
+}
+
+HwSession::HwSession(const std::string& structure, HwOptions options,
+                     CheckOptions check)
+    : structure_(find(structure)),
+      options_(options),
+      check_(check) {}
+
+const HwResult& HwSession::run() & {
+  if (result_.has_value()) return *result_;
+
+  HwResult result;
+  result.structure = structure_.name;
+  result.stamp = options_.stamp;
+  result.expect_linearizable = structure_.expect_linearizable;
+
+  const bool lin_mode = options_.stamp == StampMode::kLinPoint;
+  const std::size_t bursts = std::max<std::size_t>(1, options_.bursts);
+  Session checker(make_spec(structure_.spec_kind), check_);
+
+  std::uint64_t total_slack = 0;
+  std::size_t completed = 0;
+  for (std::size_t burst = 0; burst < bursts; ++burst) {
+    const std::uint64_t seed =
+        options_.seed + 0xD1B54A32D192ED03ULL * burst;
+    const auto capture_start = Clock::now();
+    const std::vector<OpRecord> records =
+        lin_mode ? capture_burst<lockfree::TicketStamp>(structure_, options_,
+                                                        seed)
+                 : capture_burst<lockfree::NoStamp>(structure_, options_,
+                                                    seed);
+    result.capture_ms += ms_since(capture_start);
+
+    // Effective intervals: the lin bracket when complete, else the call
+    // boundary. Both contain the true linearization point, so the
+    // checker's verdict is sound in either mode.
+    std::vector<Operation> ops;
+    ops.reserve(records.size());
+    for (const OpRecord& record : records) {
+      Operation op;
+      op.thread = record.thread;
+      op.op = record.op;
+      op.has_arg = record.has_arg;
+      op.arg = record.arg;
+      op.has_ret = record.has_ret;
+      op.ret = record.ret;
+      const bool bracketed =
+          lin_mode && record.lin.has_pre && record.lin.has_post;
+      op.invoke = bracketed ? record.lin.pre : record.invoke;
+      op.response = bracketed ? record.lin.post : record.response;
+      if (bracketed) ++result.stamped_ops;
+
+      const std::uint64_t boundary = record.response - record.invoke - 1;
+      const std::uint64_t effective = op.response - op.invoke - 1;
+      result.boundary_slack.push_back(boundary);
+      result.interval_slack.push_back(effective);
+      result.boundary_max_slack =
+          std::max(result.boundary_max_slack, boundary);
+      result.max_slack = std::max(result.max_slack, effective);
+      result.boundary_mean_slack += static_cast<double>(boundary);
+      total_slack += effective;
+      ++completed;
+      ops.push_back(op);
+    }
+    result.total_ops += records.size();
+    std::sort(ops.begin(), ops.end(),
+              [](const Operation& a, const Operation& b) {
+                return a.invoke < b.invoke;
+              });
+    History history(std::move(ops));
+
+    const auto check_start = Clock::now();
+    LinResult lin = checker.check(history);
+    result.check_ms += ms_since(check_start);
+
+    const bool violating = lin.verdict == LinVerdict::kNotLinearizable;
+    if (violating || burst + 1 == bursts) {
+      result.history = std::move(history);
+      result.lin = std::move(lin);
+    }
+    if (violating) break;  // first violating round is the verdict
+  }
+
+  if (completed > 0) {
+    result.mean_slack =
+        static_cast<double>(total_slack) / static_cast<double>(completed);
+    result.boundary_mean_slack /= static_cast<double>(completed);
+  }
+  result.median_slack = median_of(result.interval_slack);
+  result.boundary_median_slack = median_of(result.boundary_slack);
+
+  if (result.lin.verdict == LinVerdict::kNotLinearizable) {
+    result.witness = result.history;
+    const bool can_minimize = options_.minimize_witness &&
+                              (structure_.spec_kind == "stack" ||
+                               structure_.spec_kind == "queue");
+    if (can_minimize) {
+      const auto minimize_start = Clock::now();
+      result.witness = minimize_hw_witness(
+          result.history, structure_.spec_kind, check_,
+          options_.minimize_max_probes, &result.witness_minimized);
+      result.check_ms += ms_since(minimize_start);
+    }
+  }
+
+  result_ = std::move(result);
+  return *result_;
+}
+
+HwResult HwSession::run() && {
+  run();  // the lvalue overload, on *this
+  return std::move(*result_);
+}
+
+const HwResult& HwSession::result() const& {
+  if (!result_.has_value()) {
+    throw std::logic_error("HwSession::result: run() has not been called");
+  }
+  return *result_;
+}
+
+HwResult HwSession::result() && {
+  if (!result_.has_value()) {
+    throw std::logic_error("HwSession::result: run() has not been called");
+  }
+  return std::move(*result_);
+}
+
+// --------------------------------------------------------------------------
+// Deprecated surface.
+
+const std::vector<std::string>& hw_structures() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const HwStructure& s : HwSession::registry()) {
+      if (s.expect_linearizable) names.push_back(s.name);
+    }
+    return names;
+  }();
+  return kNames;
+}
+
+HwCaptureResult hw_capture_run(const std::string& structure,
+                               const HwCaptureOptions& options,
+                               const CheckOptions& check) {
+  HwOptions hw;
+  hw.threads = options.threads;
+  hw.ops_per_thread = options.ops_per_thread;
+  hw.seed = options.seed;
+  hw.bursts = 1;
+  hw.stamp = StampMode::kCallBoundary;
+  hw.minimize_witness = false;
+  HwSession session(structure, hw, check);
+  const HwResult& r = session.run();
+  HwCaptureResult out;
+  out.structure = r.structure;
+  out.history = r.history;
+  out.lin = r.lin;
+  out.interval_slack = r.interval_slack;
+  out.max_slack = r.max_slack;
+  out.mean_slack = r.mean_slack;
+  return out;
 }
 
 }  // namespace pwf::check

@@ -1,19 +1,34 @@
 // History capture for the hardware lock-free structures (src/lockfree).
 //
-// Real threads stamp an invoke ticket immediately before calling into the
-// structure and a response ticket immediately after returning, from one
-// global atomic counter. The recovered [invoke, response] intervals
-// *over-approximate* the true operation intervals (the stamp happens
-// strictly outside the call), which is sound: widening intervals only
-// adds legal linearization orders, so a NOT-LINEARIZABLE verdict on the
-// captured history implies the true history is broken too. The converse
-// caveat — a torn capture can mask a real violation — is an accepted
-// limitation (see ROADMAP open items).
+// Real threads stamp tickets from one global atomic counter around each
+// structure call; the recovered intervals feed the linearizability
+// checker. Two stamping modes (StampMode):
+//
+//  - kCallBoundary: an invoke ticket immediately before the call and a
+//    response ticket immediately after. The interval *over-approximates*
+//    the true operation interval, which is sound: widening only adds
+//    legal linearization orders, so NOT-LINEARIZABLE on the capture
+//    implies the true history is broken. The converse caveat — a wide
+//    capture can mask a real violation — is the price.
+//
+//  - kLinPoint: the structures are additionally instrumented with the
+//    TicketStamp policy (lockfree/lin_stamp.hpp), which brackets the
+//    linearizing instruction itself: a `pre` ticket before each
+//    linearizing attempt (retries overwrite it) and a `post` ticket once
+//    the attempt is known to have taken effect. The [pre, post] bracket
+//    provably contains the true linearization point and is nested inside
+//    the call boundary, so it is sound in the same widening sense while
+//    being far tighter — less slack for a masked reordering to hide in.
+//    A NOT-LINEARIZABLE verdict in this mode indicts either the structure
+//    or the stamp annotations; for the stock structures the annotations
+//    sit exactly at the linearization points argued in DESIGN.md, so the
+//    mode doubles as a calibration check on those arguments.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +36,142 @@
 #include "check/lin_check.hpp"
 
 namespace pwf::check {
+
+/// How operation intervals are recovered from the hardware run.
+enum class StampMode {
+  kCallBoundary,  ///< tickets just outside the structure call (widest, sound)
+  kLinPoint,      ///< tickets bracketing the linearizing instruction (tight)
+};
+
+const char* stamp_mode_name(StampMode mode);
+std::optional<StampMode> parse_stamp_mode(const std::string& name);
+
+/// Options for one hardware capture session.
+struct HwOptions {
+  std::size_t threads = 4;
+  std::size_t ops_per_thread = 2000;
+  /// Independent capture rounds (fresh structure instance each); the
+  /// verdict is the first violating round, or the last round when all
+  /// pass. Slack statistics aggregate across rounds.
+  std::size_t bursts = 1;
+  std::uint64_t seed = 1;
+  StampMode stamp = StampMode::kCallBoundary;
+  /// When > 0, every jitter_period-th operation of each thread yields
+  /// between the boundary stamps and the structure call (both sides).
+  /// This widens call-boundary intervals without delaying the call
+  /// itself — on a single-core host it is what makes the boundary-vs-
+  /// lin-point slack comparison visible at all (without forced
+  /// preemption, almost every interval is tight in both modes).
+  std::size_t jitter_period = 0;
+  /// Minimize the violating history before reporting it as a witness
+  /// (unique-value stack/queue workloads only; see HwResult::witness).
+  bool minimize_witness = true;
+  /// Probe budget for witness minimization (each probe is one checker
+  /// run on a candidate subhistory).
+  std::size_t minimize_max_probes = 64;
+};
+
+/// A capturable hardware structure.
+struct HwStructure {
+  std::string name;       ///< registry key, e.g. "treiber-stack"
+  std::string spec_kind;  ///< sequential spec for the checker ("stack", ...)
+  bool expect_linearizable = true;  ///< false for compiled-in mutants
+  std::string note;       ///< one-line description for --list / reports
+};
+
+/// Result of HwSession::run().
+struct HwResult {
+  static constexpr std::uint64_t kPendingSlack =
+      std::numeric_limits<std::uint64_t>::max();
+
+  std::string structure;
+  StampMode stamp = StampMode::kCallBoundary;
+  History history;  ///< the checked round (first violating, else last)
+  LinResult lin;
+
+  /// Per-operation slack of the *effective* intervals the checker saw
+  /// (lin-point brackets in kLinPoint mode): foreign tickets strictly
+  /// inside the interval (length − 1). Aggregated across bursts. Slack 0
+  /// means nothing else happened inside the interval, so it cannot be
+  /// masking a reordering. Note that in kLinPoint mode an operation's own
+  /// boundary tickets land inside *other* operations' intervals, so
+  /// cross-mode comparisons should use medians, not sums.
+  std::vector<std::uint64_t> interval_slack;
+  /// Per-operation call-boundary slack (recorded in both modes).
+  std::vector<std::uint64_t> boundary_slack;
+
+  std::uint64_t max_slack = 0;       ///< over interval_slack
+  double mean_slack = 0.0;
+  double median_slack = 0.0;
+  std::uint64_t boundary_max_slack = 0;
+  double boundary_mean_slack = 0.0;
+  double boundary_median_slack = 0.0;
+
+  /// Operations whose lin-point bracket was complete (kLinPoint mode);
+  /// the remainder fell back to their boundary interval.
+  std::size_t stamped_ops = 0;
+  std::size_t total_ops = 0;  ///< across all bursts
+
+  double capture_ms = 0.0;  ///< wall time in thread spawn..join
+  double check_ms = 0.0;    ///< wall time in the checker (+ minimization)
+
+  bool expect_linearizable = true;  ///< from the registry entry
+  /// Minimized violating history (only when NOT-LINEARIZABLE and the
+  /// workload supports sound minimization); checker-verified to still be
+  /// a violation. Empty otherwise.
+  History witness;
+  bool witness_minimized = false;
+
+  /// Verdict matches the registry expectation (mutants are *expected* to
+  /// fail; a mutant that slips past the checker is a capture bug).
+  bool as_expected() const noexcept;
+};
+
+/// One hardware capture: a structure, options, and a cached result.
+///
+/// Replaces the old hw_capture_run() free function. Typical use:
+///
+///   HwSession session("treiber-stack", {.stamp = StampMode::kLinPoint});
+///   const HwResult& r = session.run();
+///
+class HwSession {
+ public:
+  /// The capturable structures. Stock entries are always present; the
+  /// deliberately broken ones (expect_linearizable = false) appear only
+  /// when built with -DPWF_HW_MUTANTS=ON.
+  static const std::vector<HwStructure>& registry();
+
+  /// Registry lookup; throws std::invalid_argument for unknown names.
+  static const HwStructure& find(const std::string& name);
+
+  explicit HwSession(const std::string& structure, HwOptions options = {},
+                     CheckOptions check = {});
+
+  /// Captures and checks; the result is cached (subsequent calls return
+  /// the same result without re-running). On a temporary session the
+  /// result is returned by value instead — `const HwResult& r =
+  /// HwSession(...).run();` lifetime-extends the result rather than
+  /// dangling into a destroyed session.
+  const HwResult& run() &;
+  HwResult run() &&;
+
+  /// The cached result; throws std::logic_error before run(). By value
+  /// on a temporary session, for the same reason as run().
+  const HwResult& result() const&;
+  HwResult result() &&;
+
+  const HwStructure& structure() const noexcept { return structure_; }
+  const HwOptions& options() const noexcept { return options_; }
+
+ private:
+  HwStructure structure_;
+  HwOptions options_;
+  CheckOptions check_;
+  std::optional<HwResult> result_;
+};
+
+// ---------------------------------------------------------------------------
+// Deprecated pre-HwSession surface (thin wrappers; migrate to HwSession).
 
 struct HwCaptureOptions {
   std::size_t threads = 4;
@@ -32,28 +183,17 @@ struct HwCaptureResult {
   std::string structure;
   History history;
   LinResult lin;
-  /// Per-operation interval slack, in invoke order: foreign tickets
-  /// stamped strictly inside the operation's [invoke, response] interval
-  /// (response − invoke − 1). Slack 0 means the captured interval is
-  /// tight — nothing else happened between the stamps, so the interval
-  /// cannot be masking a reordering. Large slack flags operations whose
-  /// "linearizable" verdict may rest on capture widening rather than on
-  /// the structure (pending operations report kPendingSlack).
   std::vector<std::uint64_t> interval_slack;
-  std::uint64_t max_slack = 0;   ///< over completed operations
-  double mean_slack = 0.0;       ///< over completed operations
+  std::uint64_t max_slack = 0;
+  double mean_slack = 0.0;
 
-  static constexpr std::uint64_t kPendingSlack =
-      std::numeric_limits<std::uint64_t>::max();
+  static constexpr std::uint64_t kPendingSlack = HwResult::kPendingSlack;
 };
 
-/// The capturable hardware structures: treiber-stack, ms-queue,
-/// harris-list, hash-set, cas-counter, faa-counter.
+/// Stock structure names (no mutants), for compatibility.
 const std::vector<std::string>& hw_structures();
 
-/// Runs a mixed-operation burst on `structure` with real threads,
-/// capturing the history via atomic tickets, then checks it.
-/// Throws std::invalid_argument for an unknown structure name.
+[[deprecated("use HwSession")]]
 HwCaptureResult hw_capture_run(const std::string& structure,
                                const HwCaptureOptions& options,
                                const CheckOptions& check = {});

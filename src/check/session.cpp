@@ -149,6 +149,7 @@ RunOutcome Session::record(std::size_t n, std::uint64_t seed,
   out.trace.seed = seed;
   out.trace.steps = schedule.take_steps();
   out.trace.crashes = crashes;
+  out.step_completed = schedule.take_completed_flags();
   out.crash_log = logging_ptr->crash_log();
   out.history = events.history();
   out.lin = check(out.history);
@@ -172,6 +173,7 @@ RunOutcome Session::replay(const ScheduleTrace& trace, bool strict) const {
   out.trace.seed = trace.seed;
   out.trace.steps = schedule.take_steps();  // the *effective* schedule
   out.trace.crashes = trace.crashes;
+  out.step_completed = schedule.take_completed_flags();
   out.crash_log = replay_ptr->crash_log();
   out.history = events.history();
   out.lin = check(out.history);
@@ -193,15 +195,86 @@ bool still_fails(const Session& session, const ScheduleTrace& candidate) {
   }
 }
 
+/// Operation-drop pre-pass: segment the effective schedule into whole
+/// operations with the recorder's completion flags, then greedily drop
+/// each completed operation's steps (latest first) while the trace still
+/// fails. Dropping whole operations shrinks the *history*, which ddmin
+/// over raw steps only does by luck; the schedule that survives is what
+/// ddmin then polishes. Every candidate is verified by lenient replay,
+/// so the pre-pass can only keep failing traces.
+ScheduleTrace drop_completed_operations(const Session& session,
+                                        const ScheduleTrace& failing) {
+  RunOutcome base;
+  try {
+    base = session.replay(failing, /*strict=*/false);
+  } catch (const std::exception&) {
+    return failing;
+  }
+  if (base.lin.verdict != LinVerdict::kNotLinearizable ||
+      base.step_completed.size() != base.trace.steps.size()) {
+    return failing;
+  }
+  const std::vector<std::uint32_t>& steps = base.trace.steps;
+  const std::vector<char>& completed = base.step_completed;
+
+  struct OpGroup {
+    std::vector<std::size_t> step_indices;
+    bool complete = false;
+  };
+  std::vector<OpGroup> groups;
+  std::vector<std::size_t> open_group(base.trace.n, SIZE_MAX);
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const std::uint32_t pid = steps[i];
+    if (pid >= base.trace.n) return failing;  // malformed; leave to ddmin
+    if (open_group[pid] == SIZE_MAX) {
+      open_group[pid] = groups.size();
+      groups.emplace_back();
+    }
+    OpGroup& group = groups[open_group[pid]];
+    group.step_indices.push_back(i);
+    if (completed[i]) {
+      group.complete = true;
+      open_group[pid] = SIZE_MAX;
+    }
+  }
+
+  std::vector<char> keep(steps.size(), 1);
+  ScheduleTrace current = base.trace;
+  const auto build = [&](const std::vector<char>& mask) {
+    ScheduleTrace t = base.trace;
+    t.steps.clear();
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      if (mask[i]) t.steps.push_back(steps[i]);
+    }
+    return t;
+  };
+  for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+    if (!it->complete) continue;
+    std::vector<char> trial = keep;
+    for (const std::size_t i : it->step_indices) trial[i] = 0;
+    ScheduleTrace candidate = build(trial);
+    if (candidate.steps.empty()) continue;
+    if (still_fails(session, candidate)) {
+      keep = std::move(trial);
+      current = std::move(candidate);
+    }
+  }
+  return current;
+}
+
 }  // namespace
 
-ScheduleTrace Session::minimize(const ScheduleTrace& failing) const {
+ScheduleTrace Session::minimize(const ScheduleTrace& failing,
+                                const MinimizeOptions& minimize_options) const {
   require_workload();
   if (!still_fails(*this, failing)) {
     throw std::invalid_argument(
         "Session::minimize: input trace does not fail");
   }
   ScheduleTrace current = failing;
+  if (minimize_options.drop_operations) {
+    current = drop_completed_operations(*this, current);
+  }
 
   // Classic ddmin over the pid sequence, probing with lenient replay so
   // any subsequence is a legal candidate schedule.
@@ -311,7 +384,9 @@ ExploreResult Session::explore(const ExploreOptions& options) const {
   constexpr std::size_t kSmallEnoughEvents = 20;
   for (const ScheduleTrace& failure : failures) {
     Witness witness;
-    witness.trace = options.minimize ? minimize(failure) : failure;
+    witness.trace = options.minimize
+                        ? minimize(failure, options.minimize_options)
+                        : failure;
     witness.trace_fingerprint = witness.trace.fingerprint();
     const RunOutcome certified = replay(witness.trace, /*strict=*/true);
     witness.history_fingerprint = certified.history.fingerprint();

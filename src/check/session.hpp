@@ -75,10 +75,13 @@ class Session {
   /// (the minimizer's probe mode).
   RunOutcome replay(const ScheduleTrace& trace, bool strict = true) const;
 
-  /// ddmin over the failing trace's pid sequence, then greedy
-  /// crash-event dropping; the result replays *strictly* and still
-  /// fails. `failing` must itself fail.
-  ScheduleTrace minimize(const ScheduleTrace& failing) const;
+  /// Shrinks a failing trace: optionally an operation-drop pre-pass
+  /// (MinimizeOptions::drop_operations — drop whole completed operations
+  /// and re-derive the schedule), then ddmin over the pid sequence, then
+  /// greedy crash-event dropping. The result replays *strictly* and
+  /// still fails. `failing` must itself fail.
+  ScheduleTrace minimize(const ScheduleTrace& failing,
+                         const MinimizeOptions& minimize_options = {}) const;
 
   /// The full pipeline: fans randomized schedules and crash plans,
   /// checks every captured history, and minimizes the smallest failing

@@ -148,8 +148,9 @@ ScheduleTrace ScheduleTrace::parse(const std::string& text) {
 }
 
 void TraceRecorder::on_step(std::uint64_t /*tau*/, std::size_t process,
-                            bool /*completed*/) {
+                            bool completed) {
   steps_.push_back(static_cast<std::uint32_t>(process));
+  completed_.push_back(completed ? 1 : 0);
 }
 
 ReplayScheduler::ReplayScheduler(std::vector<std::uint32_t> steps, bool strict)

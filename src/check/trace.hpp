@@ -58,16 +58,33 @@ struct ScheduleTrace {
   static ScheduleTrace parse(const std::string& text);
 };
 
-/// SimObserver that records the scheduler's decisions as they execute.
+/// Options for Session::minimize.
+struct MinimizeOptions {
+  /// Pre-pass before ddmin: segment the failing schedule into whole
+  /// operations (via the recorder's completion flags), greedily drop
+  /// completed operations whose removal keeps the failure, and re-derive
+  /// the schedule. Off by default so existing witnesses are unchanged.
+  bool drop_operations = false;
+};
+
+/// SimObserver that records the scheduler's decisions as they execute,
+/// plus a parallel flag per step: did this step complete an operation?
+/// (The completion flags segment the schedule into whole operations for
+/// the minimizer's operation-drop pre-pass.)
 class TraceRecorder final : public core::SimObserver {
  public:
   void on_step(std::uint64_t tau, std::size_t process, bool completed) override;
 
   const std::vector<std::uint32_t>& steps() const noexcept { return steps_; }
   std::vector<std::uint32_t> take_steps() { return std::move(steps_); }
+  const std::vector<char>& completed_flags() const noexcept {
+    return completed_;
+  }
+  std::vector<char> take_completed_flags() { return std::move(completed_); }
 
  private:
   std::vector<std::uint32_t> steps_;
+  std::vector<char> completed_;
 };
 
 /// Scheduler that plays back a recorded decision sequence.

@@ -11,6 +11,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "lockfree/lin_stamp.hpp"
+
 namespace pwf::lockfree {
 
 /// Result of one counter operation, for completion-rate accounting: the
@@ -21,9 +23,15 @@ struct OpCost {
 };
 
 /// Lock-free counter: fetch-and-increment via a CAS loop (Algorithm 5).
-class CasCounter {
+///
+/// `Stamp` is the linearization-point stamping policy (lin_stamp.hpp):
+/// fetch_inc linearizes at its successful compare_exchange. NoStamp
+/// compiles the hooks away.
+template <typename Stamp = NoStamp>
+class BasicCasCounter {
  public:
-  explicit CasCounter(std::uint64_t initial = 0) noexcept : value_(initial) {}
+  explicit BasicCasCounter(std::uint64_t initial = 0) noexcept
+      : value_(initial) {}
 
   /// Increments and returns the pre-increment value plus the number of CAS
   /// attempts it took. Lock-free but not wait-free: an unlucky thread can
@@ -31,18 +39,24 @@ class CasCounter {
   OpCost fetch_inc() noexcept {
     std::uint64_t expected = value_.load(std::memory_order_relaxed);
     std::uint64_t steps = 1;  // the initial load counts as a step
+    Stamp::pre();
     while (!value_.compare_exchange_weak(expected, expected + 1,
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
       // compare_exchange reloads `expected`: the augmented-CAS semantics.
       ++steps;
+      Stamp::pre();
     }
+    Stamp::commit();  // the successful CAS linearizes the increment
     ++steps;  // the successful CAS
     return {expected, steps};
   }
 
   std::uint64_t load() const noexcept {
-    return value_.load(std::memory_order_acquire);
+    Stamp::pre();
+    const std::uint64_t value = value_.load(std::memory_order_acquire);
+    Stamp::commit();  // the load is the linearization point
+    return value;
   }
 
  private:
@@ -50,21 +64,32 @@ class CasCounter {
 };
 
 /// Wait-free counter baseline: hardware fetch_add.
-class FetchAddCounter {
+template <typename Stamp = NoStamp>
+class BasicFetchAddCounter {
  public:
-  explicit FetchAddCounter(std::uint64_t initial = 0) noexcept
+  explicit BasicFetchAddCounter(std::uint64_t initial = 0) noexcept
       : value_(initial) {}
 
   OpCost fetch_inc() noexcept {
-    return {value_.fetch_add(1, std::memory_order_acq_rel), 1};
+    Stamp::pre();
+    const std::uint64_t value = value_.fetch_add(1, std::memory_order_acq_rel);
+    Stamp::commit();  // fetch_add is the linearization point
+    return {value, 1};
   }
 
   std::uint64_t load() const noexcept {
-    return value_.load(std::memory_order_acquire);
+    Stamp::pre();
+    const std::uint64_t value = value_.load(std::memory_order_acquire);
+    Stamp::commit();
+    return value;
   }
 
  private:
   std::atomic<std::uint64_t> value_;
 };
+
+/// Unstamped aliases — the names the rest of the repo uses.
+using CasCounter = BasicCasCounter<>;
+using FetchAddCounter = BasicFetchAddCounter<>;
 
 }  // namespace pwf::lockfree

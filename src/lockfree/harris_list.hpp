@@ -17,11 +17,21 @@
 #include <utility>
 
 #include "lockfree/ebr.hpp"
+#include "lockfree/lin_stamp.hpp"
 
 namespace pwf::lockfree {
 
 /// Lock-free sorted set of Key (requires operator< and operator==).
-template <typename Key>
+///
+/// `Stamp` is the linearization-point stamping policy (lin_stamp.hpp).
+/// Successful insert linearizes at the link CAS and successful erase at
+/// the logical-delete mark CAS, so both get tight [pre, post] brackets.
+/// The failing paths (duplicate insert, absent erase) and contains
+/// linearize at some read *during* a traversal, which cannot be pinned to
+/// one instruction from outside — they stamp a sound wider bracket (the
+/// enclosing attempt, or the whole call for contains). NoStamp compiles
+/// everything away.
+template <typename Key, typename Stamp = NoStamp>
 class HarrisList {
  public:
   explicit HarrisList(EbrDomain& domain) : domain_(&domain) {
@@ -46,17 +56,23 @@ class HarrisList {
     const EbrGuard guard = handle.pin();
     auto* node = new Node{key, {}};
     while (true) {
+      // Brackets the duplicate-found path: its linearizing read is some
+      // load inside this attempt's search.
+      Stamp::pre();
       auto [prev, curr] = search(handle, key);
       if (curr && curr->key == key) {
+        Stamp::commit();  // observed `key` present
         delete node;
         return false;
       }
       node->next.store(pack(curr, false), std::memory_order_relaxed);
       std::uintptr_t expected = pack(curr, false);
       std::atomic<std::uintptr_t>& link = prev ? prev->next : head_raw();
+      Stamp::pre();
       if (link.compare_exchange_strong(expected, pack(node, false),
                                        std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {
+        Stamp::commit();  // the link CAS linearizes the insert
         return true;
       }
       // Validation failed: rescan.
@@ -67,17 +83,25 @@ class HarrisList {
   bool erase(EbrThreadHandle& handle, const Key& key) {
     const EbrGuard guard = handle.pin();
     while (true) {
+      // Brackets the absent path: its linearizing read is inside this
+      // attempt's search.
+      Stamp::pre();
       auto [prev, curr] = search(handle, key);
-      if (!curr || !(curr->key == key)) return false;
+      if (!curr || !(curr->key == key)) {
+        Stamp::commit();  // observed `key` absent
+        return false;
+      }
       const std::uintptr_t succ = curr->next.load(std::memory_order_acquire);
       if (marked(succ)) continue;  // someone is deleting it; re-search helps
       // Logical delete: mark curr's next pointer.
       std::uintptr_t expected = succ;
+      Stamp::pre();
       if (!curr->next.compare_exchange_strong(expected, mark(succ),
                                               std::memory_order_acq_rel,
                                               std::memory_order_acquire)) {
         continue;
       }
+      Stamp::commit();  // the mark CAS linearizes the erase
       // Physical unlink (best effort; search() also unlinks marked nodes).
       std::uintptr_t link_expected = pack(curr, false);
       std::atomic<std::uintptr_t>& link = prev ? prev->next : head_raw();
@@ -93,13 +117,21 @@ class HarrisList {
   /// Membership test. Wait-free except for helping unlink of marked nodes.
   bool contains(EbrThreadHandle& handle, const Key& key) {
     const EbrGuard guard = handle.pin();
+    // The linearizing read is somewhere in the traversal; bracket the
+    // whole traversal (still excludes the pin/call overhead).
+    Stamp::pre();
     Node* curr = strip(head_.load(std::memory_order_acquire));
     while (curr && curr->key < key) {
       curr = strip(curr->next.load(std::memory_order_acquire));
     }
-    if (!curr || !(curr->key == key)) return false;
+    if (!curr || !(curr->key == key)) {
+      Stamp::commit();
+      return false;
+    }
     // Present unless logically deleted.
-    return !marked(curr->next.load(std::memory_order_acquire));
+    const bool present = !marked(curr->next.load(std::memory_order_acquire));
+    Stamp::commit();
+    return present;
   }
 
   /// Number of unmarked nodes; O(n), for tests (call quiescent).

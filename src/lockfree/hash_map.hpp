@@ -13,11 +13,14 @@
 
 #include "lockfree/ebr.hpp"
 #include "lockfree/harris_list.hpp"
+#include "lockfree/lin_stamp.hpp"
 
 namespace pwf::lockfree {
 
-/// Lock-free fixed-capacity hash set of Key.
-template <typename Key, typename Hash = std::hash<Key>>
+/// Lock-free fixed-capacity hash set of Key. The `Stamp`
+/// linearization-point policy is forwarded to the bucket lists (an
+/// operation linearizes wherever its bucket's HarrisList operation does).
+template <typename Key, typename Hash = std::hash<Key>, typename Stamp = NoStamp>
 class HashSet {
  public:
   /// `buckets` should be ~2x the expected element count for short chains.
@@ -28,7 +31,7 @@ class HashSet {
     }
     buckets_.reserve(buckets);
     for (std::size_t i = 0; i < buckets; ++i) {
-      buckets_.push_back(std::make_unique<HarrisList<Key>>(domain));
+      buckets_.push_back(std::make_unique<HarrisList<Key, Stamp>>(domain));
     }
   }
 
@@ -65,12 +68,12 @@ class HashSet {
   }
 
  private:
-  HarrisList<Key>& bucket(const Key& key) {
+  HarrisList<Key, Stamp>& bucket(const Key& key) {
     return *buckets_[hash_(key) % buckets_.size()];
   }
 
   Hash hash_;
-  std::vector<std::unique_ptr<HarrisList<Key>>> buckets_;
+  std::vector<std::unique_ptr<HarrisList<Key, Stamp>>> buckets_;
 };
 
 }  // namespace pwf::lockfree

@@ -1,0 +1,35 @@
+#include "lockfree/lin_stamp.hpp"
+
+namespace pwf::lockfree {
+
+namespace {
+
+// Written only while no instrumented thread runs (bind happens before
+// thread spawn / after join), read concurrently afterwards.
+std::atomic<std::uint64_t>* g_ticket = nullptr;
+
+thread_local LinStampRecord tl_record;
+
+}  // namespace
+
+void TicketStamp::pre() noexcept {
+  if (g_ticket == nullptr) return;
+  tl_record.pre = g_ticket->fetch_add(1, std::memory_order_acq_rel);
+  tl_record.has_pre = true;
+}
+
+void TicketStamp::commit() noexcept {
+  if (g_ticket == nullptr) return;
+  tl_record.post = g_ticket->fetch_add(1, std::memory_order_acq_rel);
+  tl_record.has_post = true;
+}
+
+void TicketStamp::reset() noexcept { tl_record = LinStampRecord{}; }
+
+LinStampRecord TicketStamp::record() noexcept { return tl_record; }
+
+void TicketStamp::bind(std::atomic<std::uint64_t>* ticket) noexcept {
+  g_ticket = ticket;
+}
+
+}  // namespace pwf::lockfree

@@ -1,0 +1,88 @@
+// Linearization-point stamping policies for the native lock-free
+// structures.
+//
+// Every structure in src/lockfree takes a `Stamp` policy template
+// parameter (default NoStamp). At the instruction that linearizes an
+// operation the structure calls
+//
+//   Stamp::pre();     // immediately BEFORE the linearizing attempt
+//   Stamp::commit();  // immediately AFTER it is known to have succeeded
+//
+// With NoStamp both calls are empty constexpr-inline functions, so the
+// default instantiations compile to exactly the uninstrumented code —
+// the hooks are zero-cost when off.
+//
+// With TicketStamp each call draws a ticket from a process-global atomic
+// counter (bound by the capture layer, see check/hw_capture), recording a
+// [pre, post] bracket in thread-local state. Because `pre` runs before
+// the linearizing instruction and `post` after it, the bracket provably
+// contains the operation's true linearization point; a retried attempt
+// simply overwrites `pre`, so the surviving bracket belongs to the
+// attempt that actually linearized. The capture layer reads the bracket
+// after the call returns and uses it in place of the call-boundary
+// stamps, tightening the history's intervals without losing the point
+// that matters.
+//
+// Soundness contract (see DESIGN.md §6a): a LINEARIZABLE verdict on a
+// bracket-stamped history is valid whenever every annotated instruction
+// really is the operation's linearization point (the bracket then
+// contains the point, so the true linearization order remains among the
+// orders the checker may pick). A NOT-LINEARIZABLE verdict means either
+// the structure or the annotation is wrong — which is exactly the
+// calibration the instrumented mode exists to provide.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pwf::lockfree {
+
+/// Disabled policy: hooks vanish at compile time.
+struct NoStamp {
+  static constexpr bool enabled = false;
+  static void pre() noexcept {}
+  static void commit() noexcept {}
+};
+
+/// One operation's linearization bracket, in capture tickets.
+struct LinStampRecord {
+  std::uint64_t pre = 0;
+  std::uint64_t post = 0;
+  bool has_pre = false;
+  bool has_post = false;
+};
+
+/// Enabled policy: tickets from the bound global counter into
+/// thread-local state. Binding is process-global — one instrumented
+/// capture at a time (hw captures run structures one at a time, and the
+/// capture layer binds before spawning its threads and unbinds after
+/// joining them, so the pointer itself is never raced).
+struct TicketStamp {
+  static constexpr bool enabled = true;
+
+  /// Stamp the bracket's lower bound; called before every linearizing
+  /// attempt, so retries overwrite it and the surviving value belongs to
+  /// the attempt that succeeded.
+  static void pre() noexcept;
+
+  /// Stamp the bracket's upper bound; called once the attempt is known
+  /// to have linearized. A commit without a preceding pre (a path whose
+  /// linearization point can only be bounded from above, e.g. a
+  /// traversal) yields a half-bracket the capture layer completes with
+  /// the call-boundary invoke stamp.
+  static void commit() noexcept;
+
+  /// Clears the calling thread's record; the capture layer calls this
+  /// before each structure call.
+  static void reset() noexcept;
+
+  /// The calling thread's current bracket.
+  static LinStampRecord record() noexcept;
+
+  /// Binds (or, with nullptr, unbinds) the global ticket counter all
+  /// threads stamp from. Must not be called while instrumented threads
+  /// are running.
+  static void bind(std::atomic<std::uint64_t>* ticket) noexcept;
+};
+
+}  // namespace pwf::lockfree

@@ -10,11 +10,17 @@
 #include <utility>
 
 #include "lockfree/ebr.hpp"
+#include "lockfree/lin_stamp.hpp"
 
 namespace pwf::lockfree {
 
 /// Lock-free FIFO queue of T (Michael & Scott, PODC '96).
-template <typename T>
+///
+/// `Stamp` is the linearization-point stamping policy (lin_stamp.hpp):
+/// enqueue linearizes at its successful next-pointer CAS, dequeue at its
+/// successful head CAS (non-empty) or at the next == nullptr read of a
+/// consistent head (empty). NoStamp compiles the hooks away.
+template <typename T, typename Stamp = NoStamp>
 class MsQueue {
  public:
   explicit MsQueue(EbrDomain& domain) : domain_(&domain) {
@@ -53,10 +59,12 @@ class MsQueue {
       }
       ++attempts;
       Node* expected = nullptr;
+      Stamp::pre();
       if (tail->next.compare_exchange_weak(expected, node,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
         // Linearization point; swing the tail (may fail if helped).
+        Stamp::commit();
         tail_.compare_exchange_weak(tail, node, std::memory_order_acq_rel,
                                     std::memory_order_acquire);
         return attempts;
@@ -74,11 +82,17 @@ class MsQueue {
     const EbrGuard guard = handle.pin();
     std::uint64_t attempts = 0;
     while (true) {
+      // The pre stamp at the iteration top brackets the empty case: the
+      // linearizing next == nullptr read happens inside this iteration.
+      Stamp::pre();
       Node* head = head_.load(std::memory_order_acquire);
       Node* tail = tail_.load(std::memory_order_acquire);
       Node* next = head->next.load(std::memory_order_acquire);
       if (head != head_.load(std::memory_order_acquire)) continue;
-      if (next == nullptr) return {std::nullopt, attempts};  // empty
+      if (next == nullptr) {
+        Stamp::commit();  // observed empty on a consistent head
+        return {std::nullopt, attempts};
+      }
       if (head == tail) {
         // Tail lagging behind a non-empty queue: help it forward.
         tail_.compare_exchange_weak(tail, next, std::memory_order_acq_rel,
@@ -86,8 +100,10 @@ class MsQueue {
         continue;
       }
       ++attempts;
+      Stamp::pre();
       if (head_.compare_exchange_weak(head, next, std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
+        Stamp::commit();
         T out = std::move(next->value);
         handle.retire(head);
         return {std::move(out), attempts};

@@ -15,11 +15,16 @@
 #include <utility>
 
 #include "lockfree/ebr.hpp"
+#include "lockfree/lin_stamp.hpp"
 
 namespace pwf::lockfree {
 
 /// Universal lock-free wrapper around a copyable sequential state.
-template <typename State>
+///
+/// `Stamp` is the linearization-point stamping policy (lin_stamp.hpp):
+/// apply linearizes at its successful state-pointer CAS, read at the
+/// state-pointer load. NoStamp compiles the hooks away.
+template <typename State, typename Stamp = NoStamp>
 class ScuObject {
  public:
   explicit ScuObject(EbrDomain& domain, State initial = State{})
@@ -46,9 +51,11 @@ class ScuObject {
       auto* proposed = new State(*current);  // scan: copy the state
       auto result = update(*proposed);       // local computation
       ++attempts;
+      Stamp::pre();
       if (state_.compare_exchange_strong(current, proposed,
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
+        Stamp::commit();  // the state-pointer CAS linearizes the update
         handle.retire(current);
         return {std::move(result), attempts};
       }
@@ -61,7 +68,9 @@ class ScuObject {
   template <typename F>
   auto read(EbrThreadHandle& handle, F&& reader) const {
     const EbrGuard guard = handle.pin();
+    Stamp::pre();
     const State* current = state_.load(std::memory_order_acquire);
+    Stamp::commit();  // the state-pointer load linearizes the read
     return reader(*current);
   }
 

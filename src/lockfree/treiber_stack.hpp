@@ -11,12 +11,18 @@
 #include <utility>
 
 #include "lockfree/ebr.hpp"
+#include "lockfree/lin_stamp.hpp"
 
 namespace pwf::lockfree {
 
 /// Lock-free LIFO stack of T. All operations require the calling thread's
 /// EbrThreadHandle for the domain passed at construction.
-template <typename T>
+///
+/// `Stamp` is the linearization-point stamping policy (lin_stamp.hpp):
+/// push linearizes at its successful head CAS, pop at its successful head
+/// CAS (non-empty) or at the head read / failed CAS that observed null
+/// (empty). The default NoStamp compiles the hooks away.
+template <typename T, typename Stamp = NoStamp>
 class TreiberStack {
  public:
   explicit TreiberStack(EbrDomain& domain) noexcept : domain_(&domain) {}
@@ -43,9 +49,11 @@ class TreiberStack {
     do {
       node->next = expected;
       ++attempts;
+      Stamp::pre();
     } while (!head_.compare_exchange_weak(expected, node,
                                           std::memory_order_acq_rel,
                                           std::memory_order_acquire));
+    Stamp::commit();
     return attempts;
   }
 
@@ -60,18 +68,24 @@ class TreiberStack {
       EbrThreadHandle& handle) {
     const EbrGuard guard = handle.pin();
     std::uint64_t attempts = 0;
+    Stamp::pre();
     Node* node = head_.load(std::memory_order_acquire);
     while (node) {
       ++attempts;
+      Stamp::pre();
       if (head_.compare_exchange_weak(node, node->next,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
+        Stamp::commit();
         T out = std::move(node->value);
         handle.retire(node);
         return {std::move(out), attempts};
       }
-      // compare_exchange reloaded `node` with the current head.
+      // compare_exchange reloaded `node` with the current head; if it is
+      // now null, that reload was the linearizing (empty) read and the
+      // pre stamp above brackets it from below.
     }
+    Stamp::commit();  // observed empty
     return {std::nullopt, attempts};
   }
 

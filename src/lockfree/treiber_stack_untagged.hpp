@@ -1,0 +1,149 @@
+// Deliberately broken Treiber stack: the head CAS is untagged AND nodes
+// are reused eagerly (per-thread free pools, FIFO order), so the classic
+// ABA race corrupts it on real hardware. This is the native counterpart of
+// the simulator's seeded mutants — it exists to prove that `pwf_check
+// --hw` catches a real interleaving bug, not just injected ones.
+//
+// The race: thread P reads head = A and next = B, then stalls. Thread Q
+// pops A and B, recycles A (push of a new value reuses A's node), making
+// head = A again with A->next now pointing into Q's free pool. P resumes;
+// its CAS succeeds because the head *address* still compares equal, and
+// the stack head now points at a free-pool node — subsequent pops return
+// values that were never pushed (stale residue), lose pushed values, or
+// observe a premature empty. All of these are linearizability violations
+// the checker flags against the unique-value workload.
+//
+// Deliberate design points that keep the breakage a pure linearizability
+// bug (no C++ undefined behaviour, so ASan/TSan-clean apart from the
+// logical corruption):
+//   - Nodes live in a mutex-protected arena (std::deque) and are never
+//     returned to the allocator until destruction, so a stale pointer is
+//     always dereferenceable.
+//   - value and next are std::atomic with relaxed/acquire ordering, so
+//     racy reuse is not a data race in the C++ memory-model sense.
+//   - Free pools are per-thread FIFO queues: a node popped by thread Q is
+//     reused soon (FIFO makes the A-B-A cycle short) but not instantly
+//     (instant LIFO reuse tends to reproduce the same value, masking the
+//     corruption).
+//   - pop() yields between reading head/next and the CAS — the hazard
+//     window. On a 1-core host the yield forces a context switch exactly
+//     where the ABA swap must happen, so a few thousand ops suffice.
+//
+// Compiled only under PWF_HW_MUTANTS (CMake option, default OFF): the
+// mutant must be impossible to link into a release binary by accident.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "lockfree/lin_stamp.hpp"
+
+namespace pwf::lockfree {
+
+/// ABA-prone LIFO stack of uint64 values. Same call shape as
+/// TreiberStack (minus the EBR handle — reclamation is the bug) so the
+/// hardware-capture driver can run it through the stack workload.
+template <typename Stamp = NoStamp>
+class TreiberStackUntagged {
+ public:
+  TreiberStackUntagged() = default;
+
+  TreiberStackUntagged(const TreiberStackUntagged&) = delete;
+  TreiberStackUntagged& operator=(const TreiberStackUntagged&) = delete;
+
+  /// Pushes `value`; returns the number of CAS attempts (>= 1).
+  std::uint64_t push(std::uint64_t value) {
+    Node* node = acquire_node();
+    node->value.store(value, std::memory_order_relaxed);
+    std::uint64_t attempts = 0;
+    Node* expected = head_.load(std::memory_order_acquire);
+    do {
+      node->next.store(expected, std::memory_order_relaxed);
+      ++attempts;
+      Stamp::pre();
+    } while (!head_.compare_exchange_weak(expected, node,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire));
+    Stamp::commit();
+    return attempts;
+  }
+
+  /// Pops the top element, or nullopt when the stack is empty. Freed
+  /// nodes go to the calling thread's FIFO pool for eager reuse.
+  std::pair<std::optional<std::uint64_t>, std::uint64_t> pop_counted() {
+    std::uint64_t attempts = 0;
+    Stamp::pre();
+    Node* node = head_.load(std::memory_order_acquire);
+    while (node) {
+      // The bug: `next` may be stale by CAS time if `node` was popped and
+      // recycled in between — and the untagged CAS cannot tell.
+      Node* next = node->next.load(std::memory_order_acquire);
+      std::this_thread::yield();  // hazard window: invite the ABA swap
+      ++attempts;
+      Stamp::pre();
+      if (head_.compare_exchange_weak(node, next, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        Stamp::commit();
+        const std::uint64_t out = node->value.load(std::memory_order_relaxed);
+        release_node(node);
+        return {out, attempts};
+      }
+    }
+    Stamp::commit();  // observed empty
+    return {std::nullopt, attempts};
+  }
+
+  std::optional<std::uint64_t> pop() { return pop_counted().first; }
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<Node*> next{nullptr};
+  };
+
+  // Per-thread FIFO free pool. FIFO (not LIFO) so a recycled node comes
+  // back with a different value while its address is still "hot" in some
+  // stalled thread's CAS expectation.
+  struct ThreadCache {
+    std::deque<Node*> free;
+  };
+
+  Node* acquire_node() {
+    ThreadCache& cache = local_cache();
+    if (!cache.free.empty()) {
+      Node* node = cache.free.front();
+      cache.free.pop_front();
+      return node;
+    }
+    const std::lock_guard<std::mutex> lock(arena_mutex_);
+    arena_.emplace_back();
+    return &arena_.back();
+  }
+
+  void release_node(Node* node) { local_cache().free.push_back(node); }
+
+  ThreadCache& local_cache() {
+    thread_local std::vector<std::pair<const void*, ThreadCache>> caches;
+    for (auto& [owner, cache] : caches) {
+      if (owner == this) return cache;
+    }
+    caches.emplace_back(this, ThreadCache{});
+    return caches.back().second;
+  }
+
+  std::atomic<Node*> head_{nullptr};
+  std::mutex arena_mutex_;
+  std::deque<Node> arena_;  // stable addresses; freed only at destruction
+};
+
+}  // namespace pwf::lockfree

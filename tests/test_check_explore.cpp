@@ -7,6 +7,7 @@
 
 #include <stdexcept>
 
+#include "check/session.hpp"
 #include "check/workloads.hpp"
 
 namespace pwf::check {
@@ -108,6 +109,46 @@ TEST(Minimize, ShrinksAFailingTrace) {
   // The canonical racy-counter witness is two overlapping increments:
   // 4 events, a handful of steps.
   EXPECT_LE(replay.history.num_events(), 20u);
+}
+
+TEST(Minimize, OperationDropPrePassKeepsTheContract) {
+  // Same contract as plain ddmin — strictly replayable, still failing,
+  // no larger — with the operation-drop pre-pass switched on. The
+  // pre-pass shrinks the *history* (whole completed operations go), so
+  // the witness must stay within the plain minimizer's event bound.
+  const Workload& w = find_workload("mut-racy-counter");
+  ExploreOptions o = quick_options();
+  o.minimize = false;
+  o.stop_at_first = true;
+  const ExploreResult r = explore(w, o);
+  ASSERT_TRUE(r.witness.has_value());  // unminimized failing trace
+  const ScheduleTrace& failing = r.witness->trace;
+
+  const Session session(w, CheckOptions{});
+  MinimizeOptions with_drop;
+  with_drop.drop_operations = true;
+  const ScheduleTrace small = session.minimize(failing, with_drop);
+  EXPECT_LE(small.steps.size(), failing.steps.size());
+  const RunOutcome replay = session.replay(small, /*strict=*/true);
+  EXPECT_EQ(replay.lin.verdict, LinVerdict::kNotLinearizable);
+  EXPECT_LE(replay.history.num_events(), 20u);
+
+  // Default options leave the pre-pass off: the published witnesses of
+  // existing callers are unchanged.
+  const ScheduleTrace plain = session.minimize(failing);
+  const ScheduleTrace plain_default = session.minimize(failing, {});
+  EXPECT_EQ(plain.fingerprint(), plain_default.fingerprint());
+}
+
+TEST(Explore, RunOutcomeCarriesCompletionFlags) {
+  const Workload& w = find_workload("sim-queue");
+  const auto run = record_run(w, 3, 5, 80, 0, {}, CheckOptions{});
+  ASSERT_EQ(run.step_completed.size(), run.trace.steps.size());
+  // Every completed operation ends at exactly one completion-flagged
+  // step, so the flags must count the completed operations.
+  std::size_t completions = 0;
+  for (const char flag : run.step_completed) completions += flag ? 1 : 0;
+  EXPECT_EQ(completions, run.history.num_completed());
 }
 
 TEST(Workloads, RegistryIsWellFormed) {

@@ -1,42 +1,208 @@
-// Smoke tests for hardware history capture: every real lock-free
+// Tests for hardware history capture (HwSession): every real lock-free
 // structure in src/lockfree runs a small multi-threaded burst whose
-// ticket-recovered history must check out linearizable.
+// ticket-recovered history must check out linearizable — in both stamp
+// modes — and the lin-point brackets must be tighter than the call
+// boundaries they are nested in. With PWF_HW_MUTANTS, the deliberately
+// ABA-broken Treiber stack must be flagged NOT-LINEARIZABLE.
 #include "check/hw_capture.hpp"
 
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace pwf::check {
 namespace {
 
-TEST(HwCapture, KnownStructureList) {
+HwOptions small_options(StampMode mode) {
+  HwOptions o;
+  o.threads = 3;
+  o.ops_per_thread = 60;
+  o.seed = 2014;
+  o.stamp = mode;
+  return o;
+}
+
+TEST(HwSession, RegistryListsStockStructures) {
+  const auto& registry = HwSession::registry();
+  EXPECT_GE(registry.size(), 7u);
+  for (const char* name :
+       {"treiber-stack", "ms-queue", "harris-list", "hash-set", "cas-counter",
+        "faa-counter", "scu-counter"}) {
+    const HwStructure& s = HwSession::find(name);
+    EXPECT_EQ(s.name, name);
+    EXPECT_TRUE(s.expect_linearizable) << name;
+  }
+  EXPECT_THROW(HwSession::find("no-such-structure"), std::invalid_argument);
+  EXPECT_THROW(HwSession("no-such-structure"), std::invalid_argument);
+}
+
+TEST(HwSession, StampModeNamesRoundTrip) {
+  EXPECT_EQ(parse_stamp_mode(stamp_mode_name(StampMode::kCallBoundary)),
+            StampMode::kCallBoundary);
+  EXPECT_EQ(parse_stamp_mode(stamp_mode_name(StampMode::kLinPoint)),
+            StampMode::kLinPoint);
+  EXPECT_EQ(parse_stamp_mode("lin_point"), StampMode::kLinPoint);
+  EXPECT_EQ(parse_stamp_mode("bogus"), std::nullopt);
+}
+
+TEST(HwSession, ResultThrowsBeforeRunAndCachesAfter) {
+  HwSession session("cas-counter", small_options(StampMode::kCallBoundary));
+  EXPECT_THROW(session.result(), std::logic_error);
+  const HwResult& first = session.run();
+  const HwResult& again = session.run();
+  EXPECT_EQ(&first, &again);  // cached, not re-captured
+  EXPECT_EQ(&first, &session.result());
+}
+
+class HwCaptureSmoke
+    : public ::testing::TestWithParam<std::pair<const char*, StampMode>> {};
+
+TEST_P(HwCaptureSmoke, BurstHistoryIsLinearizable) {
+  const auto& [name, mode] = GetParam();
+  HwSession session(name, small_options(mode));
+  const HwResult& r = session.run();
+  EXPECT_EQ(r.lin.verdict, LinVerdict::kLinearizable) << name;
+  EXPECT_TRUE(r.as_expected()) << name;
+  EXPECT_GT(r.history.size(), 0u);
+  // Stamps are taken inside the capture loop, so every operation
+  // completes before the threads join.
+  EXPECT_EQ(r.history.num_pending(), 0u);
+  if (mode == StampMode::kLinPoint) {
+    // Every stock structure is fully instrumented: each operation must
+    // have produced a complete [pre, post] bracket.
+    EXPECT_EQ(r.stamped_ops, r.total_ops) << name;
+  } else {
+    EXPECT_EQ(r.stamped_ops, 0u) << name;
+  }
+}
+
+std::vector<std::pair<const char*, StampMode>> smoke_grid() {
+  std::vector<std::pair<const char*, StampMode>> grid;
+  for (const char* name :
+       {"treiber-stack", "ms-queue", "harris-list", "hash-set", "cas-counter",
+        "faa-counter", "scu-counter"}) {
+    grid.emplace_back(name, StampMode::kCallBoundary);
+    grid.emplace_back(name, StampMode::kLinPoint);
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStructures, HwCaptureSmoke,
+                         ::testing::ValuesIn(smoke_grid()));
+
+TEST(HwSession, LinPointBracketsNestInsideBoundaries) {
+  // Structural guarantee, checked per operation within one run: the lin
+  // bracket is stamped strictly between the boundary tickets, so its
+  // slack can never exceed the boundary slack.
+  HwOptions o = small_options(StampMode::kLinPoint);
+  o.ops_per_thread = 200;
+  o.jitter_period = 1;  // widen the boundaries; the brackets stay tight
+  HwSession session("treiber-stack", o);
+  const HwResult& r = session.run();
+  ASSERT_EQ(r.interval_slack.size(), r.boundary_slack.size());
+  for (std::size_t i = 0; i < r.interval_slack.size(); ++i) {
+    EXPECT_LE(r.interval_slack[i], r.boundary_slack[i]) << "op " << i;
+  }
+  EXPECT_LE(r.median_slack, r.boundary_median_slack);
+}
+
+TEST(HwSession, JitterTightensLinPointMedianBelowBoundary) {
+  // The hw_slack experiment's acceptance shape in miniature: under
+  // forced jitter the lin-point median is strictly below the
+  // call-boundary median on the same structure and seed.
+  HwOptions boundary = small_options(StampMode::kCallBoundary);
+  // With fewer threads the capture can serialize on a single-core host
+  // and both medians collapse to zero; four threads under jitter keep
+  // the run queue populated so boundary intervals absorb preemptions.
+  boundary.threads = 4;
+  boundary.ops_per_thread = 300;
+  boundary.jitter_period = 1;
+  HwOptions lin = boundary;
+  lin.stamp = StampMode::kLinPoint;
+  const HwResult& rb = HwSession("cas-counter", boundary).run();
+  const HwResult& rl = HwSession("cas-counter", lin).run();
+  EXPECT_EQ(rb.lin.verdict, LinVerdict::kLinearizable);
+  EXPECT_EQ(rl.lin.verdict, LinVerdict::kLinearizable);
+  EXPECT_LT(rl.median_slack, rb.median_slack);
+}
+
+TEST(HwSession, StampModeDoesNotChangeVerdicts) {
+  for (const char* name : {"treiber-stack", "ms-queue", "harris-list"}) {
+    const HwResult& boundary =
+        HwSession(name, small_options(StampMode::kCallBoundary)).run();
+    const HwResult& lin =
+        HwSession(name, small_options(StampMode::kLinPoint)).run();
+    EXPECT_EQ(boundary.lin.verdict, lin.lin.verdict) << name;
+  }
+}
+
+TEST(HwSession, BurstsAggregateAcrossRounds) {
+  HwOptions o = small_options(StampMode::kCallBoundary);
+  o.bursts = 3;
+  const HwResult& r = HwSession("faa-counter", o).run();
+  EXPECT_EQ(r.total_ops, 3u * 3u * 60u);  // bursts * threads * ops
+  EXPECT_EQ(r.interval_slack.size(), r.total_ops);
+  // The checked history is one round, not the concatenation.
+  EXPECT_EQ(r.history.size(), 3u * 60u);
+  EXPECT_EQ(r.lin.verdict, LinVerdict::kLinearizable);
+}
+
+TEST(HwSession, ReportsTimeBreakdown) {
+  const HwResult& r =
+      HwSession("treiber-stack", small_options(StampMode::kCallBoundary))
+          .run();
+  EXPECT_GT(r.capture_ms, 0.0);
+  EXPECT_GT(r.check_ms, 0.0);
+}
+
+#ifdef PWF_HW_MUTANTS
+
+TEST(HwMutant, UntaggedTreiberIsInRegistry) {
+  const HwStructure& s = HwSession::find("treiber-stack-untagged");
+  EXPECT_FALSE(s.expect_linearizable);
+  EXPECT_EQ(s.spec_kind, "stack");
+}
+
+TEST(HwMutant, UntaggedTreiberCaughtUnderLinPoint) {
+  HwOptions o;
+  o.threads = 4;
+  o.ops_per_thread = 2000;
+  o.seed = 1;
+  o.stamp = StampMode::kLinPoint;
+  HwSession session("treiber-stack-untagged", o);
+  const HwResult& r = session.run();
+  ASSERT_EQ(r.lin.verdict, LinVerdict::kNotLinearizable)
+      << "ABA mutant slipped past the checker";
+  EXPECT_TRUE(r.as_expected());
+  // The violating history is minimized to a small witness that is still
+  // checker-verified NOT-LINEARIZABLE.
+  EXPECT_GT(r.witness.size(), 0u);
+  EXPECT_LE(r.witness.size(), r.history.size());
+}
+
+#else
+
+TEST(HwMutant, UntaggedTreiberAbsentFromStockBuilds) {
+  EXPECT_THROW(HwSession::find("treiber-stack-untagged"),
+               std::invalid_argument);
+}
+
+#endif  // PWF_HW_MUTANTS
+
+// The deprecated free-function surface stays a faithful thin wrapper.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(HwCaptureCompat, KnownStructureList) {
   const auto& names = hw_structures();
-  ASSERT_EQ(names.size(), 6u);
+  EXPECT_GE(names.size(), 7u);
   EXPECT_THROW(hw_capture_run("no-such-structure", {}),
                std::invalid_argument);
 }
 
-class HwCaptureSmoke : public ::testing::TestWithParam<const char*> {};
-
-TEST_P(HwCaptureSmoke, BurstHistoryIsLinearizable) {
-  HwCaptureOptions o;
-  o.threads = 3;
-  o.ops_per_thread = 60;
-  o.seed = 2014;
-  const HwCaptureResult r = hw_capture_run(GetParam(), o);
-  EXPECT_EQ(r.lin.verdict, LinVerdict::kLinearizable) << GetParam();
-  EXPECT_GT(r.history.size(), 0u);
-  // Stamps are taken outside the call, so every operation completes.
-  EXPECT_EQ(r.history.num_pending(), 0u);
-}
-
-INSTANTIATE_TEST_SUITE_P(AllStructures, HwCaptureSmoke,
-                         ::testing::Values("treiber-stack", "ms-queue",
-                                           "harris-list", "hash-set",
-                                           "cas-counter", "faa-counter"));
-
-TEST(HwCapture, DeterministicOpMixPerSeed) {
+TEST(HwCaptureCompat, DeterministicOpMixPerSeed) {
   // The op mix is seed-derived; the interleaving is not. Two runs agree
   // on the number of operations even though their histories differ.
   HwCaptureOptions o;
@@ -45,7 +211,10 @@ TEST(HwCapture, DeterministicOpMixPerSeed) {
   const auto a = hw_capture_run("treiber-stack", o);
   const auto b = hw_capture_run("treiber-stack", o);
   EXPECT_EQ(a.history.size(), b.history.size());
+  EXPECT_EQ(a.lin.verdict, LinVerdict::kLinearizable);
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace pwf::check
