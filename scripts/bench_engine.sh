@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_engine.json — the committed engine-throughput
+# baseline (steps/sec for Simulation::run across scheduler x n x
+# machine, alias-vs-linear and segmented-vs-legacy speedups). Run it on
+# the reference machine after touching src/core/{simulation,scheduler}
+# or src/util/rng, eyeball the speedup columns, and commit the result so
+# later PRs can regress against it.
+#
+# Usage: scripts/bench_engine.sh [--quick] [extra pwf_bench args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build --target pwf_bench -j"$(nproc)"
+
+build/bench/pwf_bench --filter engine_throughput \
+  --json BENCH_engine.json "$@"
+echo "wrote BENCH_engine.json"

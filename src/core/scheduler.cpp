@@ -9,15 +9,17 @@ namespace pwf::core {
 std::size_t UniformScheduler::next(std::uint64_t /*tau*/,
                                    std::span<const std::size_t> active,
                                    Xoshiro256pp& rng) {
-  return active[rng.uniform(active.size())];
+  if (draw_.bound() != active.size()) draw_ = BoundedDraw(active.size());
+  return active[draw_(rng)];
 }
 
 double UniformScheduler::theta(std::size_t num_active) const {
   return num_active ? 1.0 / static_cast<double>(num_active) : 0.0;
 }
 
-WeightedScheduler::WeightedScheduler(std::vector<double> weights)
-    : weights_(std::move(weights)) {
+WeightedScheduler::WeightedScheduler(std::vector<double> weights,
+                                     SamplingMode mode)
+    : weights_(std::move(weights)), mode_(mode) {
   if (weights_.empty()) {
     throw std::invalid_argument("WeightedScheduler: empty weights");
   }
@@ -32,9 +34,64 @@ WeightedScheduler::WeightedScheduler(std::vector<double> weights)
   }
 }
 
+bool WeightedScheduler::table_matches(
+    std::span<const std::size_t> active) const noexcept {
+  // Under crash containment the active set only ever shrinks, so a table
+  // built for a different active set differs in size — or, for callers
+  // that swap same-sized sets without on_crash, in an endpoint.
+  return !rebuild_ && active.size() == ids_.size() &&
+         active.front() == ids_.front() && active.back() == ids_.back();
+}
+
+void WeightedScheduler::build_alias(std::span<const std::size_t> active) {
+  // Vose's O(k) alias-table construction: scale each active probability
+  // by k, then pair every under-full bucket with an over-full donor so
+  // each bucket carries total mass exactly 1/k.
+  const std::size_t k = active.size();
+  ids_.assign(active.begin(), active.end());
+  alias_.assign(k, 0);
+  cut_.assign(k, 1.0);
+  bucket_ = BoundedDraw(k);
+
+  double total = 0.0;
+  for (std::size_t p : active) total += weights_.at(p);
+  std::vector<double> scaled(k);
+  for (std::size_t b = 0; b < k; ++b) {
+    scaled[b] = weights_[ids_[b]] * static_cast<double>(k) / total;
+  }
+
+  std::vector<std::size_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (std::size_t b = 0; b < k; ++b) {
+    (scaled[b] < 1.0 ? small : large).push_back(b);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    const std::size_t l = large.back();
+    small.pop_back();
+    cut_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (either list) have mass 1 up to rounding: keep own id.
+  for (std::size_t b : small) cut_[b] = 1.0;
+  for (std::size_t b : large) cut_[b] = 1.0;
+  rebuild_ = false;
+}
+
 std::size_t WeightedScheduler::next(std::uint64_t /*tau*/,
                                     std::span<const std::size_t> active,
                                     Xoshiro256pp& rng) {
+  if (mode_ == SamplingMode::alias) {
+    if (!table_matches(active)) build_alias(active);
+    const std::size_t b = bucket_(rng);
+    return rng.uniform_double() < cut_[b] ? ids_[b] : ids_[alias_[b]];
+  }
   double total = 0.0;
   for (std::size_t p : active) total += weights_.at(p);
   double x = rng.uniform_double() * total;
@@ -43,6 +100,28 @@ std::size_t WeightedScheduler::next(std::uint64_t /*tau*/,
     if (x < 0.0) return p;
   }
   return active.back();  // numerical fallthrough
+}
+
+void WeightedScheduler::on_crash(std::size_t /*process*/) { rebuild_ = true; }
+
+std::vector<double> WeightedScheduler::sampling_probabilities(
+    std::span<const std::size_t> active) {
+  std::vector<double> probs(active.size(), 0.0);
+  if (mode_ == SamplingMode::alias) {
+    if (!table_matches(active)) build_alias(active);
+    const double bucket_mass = 1.0 / static_cast<double>(ids_.size());
+    for (std::size_t b = 0; b < ids_.size(); ++b) {
+      probs[b] += bucket_mass * cut_[b];
+      probs[alias_[b]] += bucket_mass * (1.0 - cut_[b]);
+    }
+    return probs;
+  }
+  double total = 0.0;
+  for (std::size_t p : active) total += weights_.at(p);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    probs[i] = weights_.at(active[i]) / total;
+  }
+  return probs;
 }
 
 double WeightedScheduler::theta(std::size_t num_active) const {
@@ -85,7 +164,8 @@ std::size_t StickyScheduler::next(std::uint64_t /*tau*/,
                                            prev_)) {
     if (rng.bernoulli(rho_)) return prev_;
   }
-  prev_ = active[rng.uniform(active.size())];
+  if (draw_.bound() != active.size()) draw_ = BoundedDraw(active.size());
+  prev_ = active[draw_(rng)];
   return prev_;
 }
 

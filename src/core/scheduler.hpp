@@ -55,27 +55,80 @@ class UniformScheduler final : public Scheduler {
                    Xoshiro256pp& rng) override;
   double theta(std::size_t num_active) const override;
   std::string name() const override { return "uniform"; }
+
+ private:
+  // Cached nearly-divisionless draw over |A_tau|; re-keyed when the
+  // active set shrinks. Stream-identical to rng.uniform(active.size()).
+  BoundedDraw draw_;
+};
+
+/// How a WeightedScheduler turns its weights into draws.
+enum class SamplingMode {
+  /// Walker/Vose alias table over the active set: O(1) per draw with a
+  /// fixed two-draw RNG budget (one bounded bucket draw + one uniform
+  /// double), rebuilt in O(|A_tau|) only when the active set changes
+  /// (on_crash). The default.
+  alias,
+  /// The original O(|A_tau|) prefix-sum scan consuming one uniform
+  /// double per draw. Kept as the golden reference for the alias
+  /// sampler's statistical-equivalence tests (mirroring the
+  /// CheckOptions::pruning=false precedent).
+  linear,
 };
 
 /// A fixed-weight stochastic scheduler: process i is chosen with probability
 /// proportional to weights[i] among the active set. Models lottery
 /// scheduling (Petrou et al., reference [19] in the paper) and any other
 /// non-uniform Pi with a positive threshold.
+///
+/// Both sampling modes realize *exactly* the same distribution
+/// (weights renormalized over the active set); they differ only in
+/// per-draw cost and RNG-draw budget, so trajectories — not verdicts —
+/// differ between them.
 class WeightedScheduler final : public Scheduler {
  public:
   /// All weights must be > 0 (otherwise theta would be 0 and the scheduler
   /// would not be stochastic; use an adversary for that).
-  explicit WeightedScheduler(std::vector<double> weights);
+  explicit WeightedScheduler(std::vector<double> weights,
+                             SamplingMode mode = SamplingMode::alias);
 
   std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
                    Xoshiro256pp& rng) override;
   double theta(std::size_t num_active) const override;
+  /// Invalidates the alias table; it is rebuilt from the next next()'s
+  /// active span. (next() additionally guards on the span's size and
+  /// endpoints, so even a caller that never reports crashes cannot draw
+  /// from a table built for a differently-sized active set.)
+  void on_crash(std::size_t process) override;
   std::string name() const override { return "weighted"; }
 
+  SamplingMode mode() const noexcept { return mode_; }
+
+  /// The exact per-process probabilities the sampler realizes for this
+  /// active set, indexed by position in `active`. In alias mode they are
+  /// reconstructed from the built table (bucket masses summed per
+  /// process) so the statistical-equivalence test can verify the table
+  /// against weights[p] / sum of active weights analytically.
+  std::vector<double> sampling_probabilities(
+      std::span<const std::size_t> active);
+
  private:
+  bool table_matches(std::span<const std::size_t> active) const noexcept;
+  void build_alias(std::span<const std::size_t> active);
+
   std::vector<double> weights_;
   double min_weight_;
   double total_weight_;
+  SamplingMode mode_;
+
+  // Alias table over the active set used to build it (Vose 1991):
+  // bucket b holds ids_[b] with probability cut_[b] and ids_[alias_[b]]
+  // with the rest; each bucket carries total mass 1/k.
+  std::vector<std::size_t> ids_;    ///< active ids at build time
+  std::vector<std::size_t> alias_;  ///< alias bucket -> position in ids_
+  std::vector<double> cut_;         ///< P(keep bucket's own id)
+  BoundedDraw bucket_;              ///< cached bounded draw over ids_.size()
+  bool rebuild_ = true;
 };
 
 /// Zipf-weighted scheduler: weight of process i is 1/(i+1)^exponent.
@@ -113,6 +166,7 @@ class StickyScheduler final : public Scheduler {
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   double rho_;
   std::size_t prev_ = kNone;
+  BoundedDraw draw_;  ///< cached bounded draw for the uniform fallback
 };
 
 /// Deterministic round-robin over the active set. Not stochastic

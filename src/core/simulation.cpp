@@ -39,7 +39,8 @@ Simulation::Simulation(std::size_t n, const StepMachineFactory& factory,
                        std::unique_ptr<Scheduler> scheduler, Options options)
     : memory_(options.num_registers, options.initial_value),
       scheduler_(std::move(scheduler)),
-      rng_(options.seed) {
+      rng_(options.seed),
+      loop_mode_(options.loop_mode) {
   if (n == 0) throw std::invalid_argument("Simulation: need n >= 1");
   if (!scheduler_) throw std::invalid_argument("Simulation: null scheduler");
   for (const auto& [reg, value] : options.initial_values) {
@@ -62,14 +63,15 @@ void Simulation::schedule_crash(std::uint64_t tau, std::size_t process) {
   if (tau < now_) {
     throw std::invalid_argument("schedule_crash: time already passed");
   }
-  crash_plan_.push_back({tau, process});
-  std::stable_sort(crash_plan_.begin(), crash_plan_.end(),
-                   [](const Crash& a, const Crash& b) { return a.tau < b.tau; });
-  next_crash_ = 0;
-  while (next_crash_ < crash_plan_.size() &&
-         crash_plan_[next_crash_].tau < now_) {
-    ++next_crash_;
-  }
+  // Insert at the binary-searched position (after equal taus, matching
+  // the old stable_sort's insertion-order tie-break). Already-applied
+  // entries (before next_crash_) all have tau <= now_ <= the new tau, so
+  // the insertion point is at or beyond the cursor and it needs no
+  // rescan — registering k crashes is O(k log k + k) moves, not O(k^2).
+  const auto pos = std::upper_bound(
+      crash_plan_.begin(), crash_plan_.end(), tau,
+      [](std::uint64_t t, const Crash& c) { return t < c.tau; });
+  crash_plan_.insert(pos, {tau, process});
 }
 
 void Simulation::apply_crashes() {
@@ -77,8 +79,9 @@ void Simulation::apply_crashes() {
          crash_plan_[next_crash_].tau <= now_) {
     const std::size_t victim = crash_plan_[next_crash_].process;
     ++next_crash_;
-    auto it = std::find(active_.begin(), active_.end(), victim);
-    if (it == active_.end()) continue;  // already crashed
+    // active_ is sorted ascending (crashes only erase, never reorder).
+    auto it = std::lower_bound(active_.begin(), active_.end(), victim);
+    if (it == active_.end() || *it != victim) continue;  // already crashed
     if (active_.size() == 1) {
       throw std::logic_error(
           "Simulation: cannot crash the last active process (at most n-1 "
@@ -90,6 +93,57 @@ void Simulation::apply_crashes() {
 }
 
 void Simulation::run(std::uint64_t steps) {
+  if (loop_mode_ == LoopMode::legacy) {
+    run_legacy(steps);
+    return;
+  }
+  // Segmented hot loop: after apply_crashes() every pending crash has
+  // tau > now_, so the steps up to the next crash event are crash-free
+  // and run without a per-step plan probe. The observer branch is
+  // resolved once per segment, not once per step.
+  std::uint64_t remaining = steps;
+  while (remaining > 0) {
+    apply_crashes();
+    std::uint64_t segment = remaining;
+    if (next_crash_ < crash_plan_.size()) {
+      const std::uint64_t gap = crash_plan_[next_crash_].tau - now_;
+      if (gap < segment) segment = gap;
+    }
+    if (observer_ != nullptr) {
+      run_segment<true>(segment);
+    } else {
+      run_segment<false>(segment);
+    }
+    remaining -= segment;
+  }
+}
+
+template <bool WithObserver>
+void Simulation::run_segment(std::uint64_t count) {
+  Scheduler& sched = *scheduler_;
+  const std::span<const std::size_t> active(active_);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t p = sched.next(now_, active, rng_);
+    ++now_;
+    const bool completed = machines_[p]->step(memory_);
+
+    ++report_.steps_per_process[p];
+    if (completed) {
+      ++report_.completions;
+      ++report_.completions_per_process[p];
+      report_.system_gaps.add(
+          static_cast<double>(now_ - last_completion_));
+      last_completion_ = now_;
+      report_.individual_gaps[p].add(
+          static_cast<double>(now_ - last_completion_by_[p]));
+      last_completion_by_[p] = now_;
+    }
+    if constexpr (WithObserver) observer_->on_step(now_, p, completed);
+  }
+  report_.steps += count;  // hoisted: one add per segment, not per step
+}
+
+void Simulation::run_legacy(std::uint64_t steps) {
   for (std::uint64_t i = 0; i < steps; ++i) {
     apply_crashes();
     const std::size_t p = scheduler_->next(now_, active_, rng_);

@@ -61,6 +61,19 @@ struct LatencyReport {
   std::uint64_t min_completions() const;
 };
 
+/// How Simulation::run drives the per-step loop.
+enum class LoopMode {
+  /// Crash-free segments: the step count to the next crash event is
+  /// computed once per segment, then a tight inner loop runs with no
+  /// per-step crash probe and the observer branch hoisted into a
+  /// separate template instantiation. The default.
+  segmented,
+  /// The original loop probing the crash plan and the observer pointer
+  /// on every step. Kept as the golden reference: both modes produce
+  /// bit-identical trajectories, which the engine tests assert.
+  legacy,
+};
+
 /// The simulation engine.
 class Simulation {
  public:
@@ -72,6 +85,7 @@ class Simulation {
     /// used to establish data-structure invariants such as a queue's
     /// initial dummy node.
     std::vector<std::pair<std::size_t, Value>> initial_values;
+    LoopMode loop_mode = LoopMode::segmented;
   };
 
   Simulation(std::size_t n, const StepMachineFactory& factory,
@@ -96,6 +110,7 @@ class Simulation {
   std::span<const std::size_t> active() const noexcept { return active_; }
   std::size_t num_processes() const noexcept { return machines_.size(); }
   SharedMemory& memory() noexcept { return memory_; }
+  const SharedMemory& memory() const noexcept { return memory_; }
   const Scheduler& scheduler() const noexcept { return *scheduler_; }
 
   /// System steps since process p last completed (censored open gap);
@@ -109,11 +124,16 @@ class Simulation {
   };
 
   void apply_crashes();
+  void run_legacy(std::uint64_t steps);
+  /// The crash-free inner loop: runs `count` steps with no crash probe.
+  template <bool WithObserver>
+  void run_segment(std::uint64_t count);
 
   SharedMemory memory_;
   std::vector<std::unique_ptr<StepMachine>> machines_;
   std::unique_ptr<Scheduler> scheduler_;
   Xoshiro256pp rng_;
+  LoopMode loop_mode_;
   std::vector<std::size_t> active_;
   std::vector<Crash> crash_plan_;  // sorted by tau
   std::size_t next_crash_ = 0;

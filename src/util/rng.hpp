@@ -60,6 +60,11 @@ class Xoshiro256pp {
   /// rejection method. Precondition: bound > 0.
   std::uint64_t uniform(std::uint64_t bound) noexcept;
 
+  /// State equality: two generators compare equal iff they will produce
+  /// identical streams. Lets tests count the raw draws a component
+  /// consumes by advancing a shadow copy until the states re-align.
+  bool operator==(const Xoshiro256pp&) const noexcept = default;
+
   /// Uniform double in [0, 1) with 53 bits of precision.
   double uniform_double() noexcept;
 
@@ -77,6 +82,42 @@ class Xoshiro256pp {
 
  private:
   std::array<std::uint64_t, 4> s_{};
+};
+
+/// Lemire's *nearly-divisionless* bounded draw with the bound fixed up
+/// front: the rejection threshold 2^64 mod bound is computed once at
+/// construction, so the per-draw cost is one multiply-shift with no
+/// division on any path (Lemire, "Fast Random Integer Generation in an
+/// Interval", ACM TOMACS 2019). Produces *exactly* the same value and
+/// raw-draw sequence as Xoshiro256pp::uniform(bound) — hot loops that
+/// draw repeatedly with a fixed bound (schedulers over a fixed active
+/// set) can hoist the threshold without perturbing trajectories.
+class BoundedDraw {
+ public:
+  /// A default-constructed instance has bound() == 0 and must be
+  /// reassigned before use; it exists so callers can cache "no bound yet".
+  constexpr BoundedDraw() noexcept = default;
+
+  explicit constexpr BoundedDraw(std::uint64_t bound) noexcept
+      : bound_(bound), threshold_(bound ? (0 - bound) % bound : 0) {}
+
+  constexpr std::uint64_t bound() const noexcept { return bound_; }
+
+  /// Uniform integer in [0, bound()). Precondition: bound() > 0.
+  std::uint64_t operator()(Xoshiro256pp& rng) const noexcept {
+    using u128 = unsigned __int128;
+    u128 m = static_cast<u128>(rng()) * static_cast<u128>(bound_);
+    // threshold_ < bound_, so rejecting iff low < threshold_ accepts the
+    // same draws as the lazy-threshold form in Xoshiro256pp::uniform.
+    while (static_cast<std::uint64_t>(m) < threshold_) {
+      m = static_cast<u128>(rng()) * static_cast<u128>(bound_);
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+ private:
+  std::uint64_t bound_ = 0;
+  std::uint64_t threshold_ = 0;
 };
 
 }  // namespace pwf

@@ -6,6 +6,9 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/algorithms.hpp"
 
@@ -202,6 +205,136 @@ TEST(LatencyReport, MinCompletions) {
   auto sim = make_parallel_sim(3, 2, 5);
   sim.run(30'000);
   EXPECT_GT(sim.report().min_completions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Segmented vs legacy loop: the restructured hot path must be a pure
+// performance change — bit-identical trajectories, observer sequences,
+// and reports for every scheduler and crash plan.
+
+class LoggingObserver final : public SimObserver {
+ public:
+  struct Event {
+    std::uint64_t tau;
+    std::size_t process;
+    bool completed;
+    bool operator==(const Event&) const = default;
+  };
+  void on_step(std::uint64_t tau, std::size_t process,
+               bool completed) override {
+    events.push_back({tau, process, completed});
+  }
+  std::vector<Event> events;
+};
+
+Simulation make_mode_sim(LoopMode mode, std::unique_ptr<Scheduler> sched,
+                         std::uint64_t seed) {
+  constexpr std::size_t kN = 6;
+  Simulation::Options opts;
+  opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
+  opts.seed = seed;
+  opts.loop_mode = mode;
+  return Simulation(kN, scan_validate_factory(), std::move(sched), opts);
+}
+
+void expect_reports_identical(const Simulation& a, const Simulation& b) {
+  EXPECT_EQ(a.report().steps, b.report().steps);
+  EXPECT_EQ(a.report().completions, b.report().completions);
+  EXPECT_EQ(a.report().completions_per_process,
+            b.report().completions_per_process);
+  EXPECT_EQ(a.report().steps_per_process, b.report().steps_per_process);
+  EXPECT_EQ(a.report().system_gaps.count(), b.report().system_gaps.count());
+  EXPECT_DOUBLE_EQ(a.report().system_latency(), b.report().system_latency());
+  EXPECT_EQ(a.now(), b.now());
+  EXPECT_EQ(a.memory().peek(0), b.memory().peek(0));
+}
+
+TEST(Simulation, SegmentedLoopIsBitIdenticalToLegacy) {
+  const auto make_scheds = [] {
+    std::vector<std::pair<std::unique_ptr<Scheduler>,
+                          std::unique_ptr<Scheduler>>> out;
+    out.emplace_back(std::make_unique<UniformScheduler>(),
+                     std::make_unique<UniformScheduler>());
+    out.emplace_back(std::make_unique<StickyScheduler>(0.85),
+                     std::make_unique<StickyScheduler>(0.85));
+    out.emplace_back(
+        std::make_unique<WeightedScheduler>(make_zipf_scheduler(6, 1.0)),
+        std::make_unique<WeightedScheduler>(make_zipf_scheduler(6, 1.0)));
+    return out;
+  };
+  for (auto& [sched_a, sched_b] : make_scheds()) {
+    const std::string label = sched_a->name();
+    Simulation seg = make_mode_sim(LoopMode::segmented, std::move(sched_a),
+                                   321);
+    Simulation leg = make_mode_sim(LoopMode::legacy, std::move(sched_b), 321);
+    LoggingObserver obs_seg, obs_leg;
+    seg.set_observer(&obs_seg);
+    leg.set_observer(&obs_leg);
+    // A crash plan straddling the run so segments end mid-run, plus a
+    // duplicate crash and one registered mid-run.
+    for (Simulation* sim : {&seg, &leg}) {
+      sim->schedule_crash(40'000, 5);
+      sim->schedule_crash(10'000, 4);
+      sim->schedule_crash(42'000, 4);  // duplicate: must be a no-op
+      sim->run(30'000);
+      sim->schedule_crash(55'000, 3);
+      sim->run(70'000);
+    }
+    SCOPED_TRACE(label);
+    ASSERT_EQ(obs_seg.events.size(), obs_leg.events.size());
+    EXPECT_TRUE(obs_seg.events == obs_leg.events);
+    expect_reports_identical(seg, leg);
+    EXPECT_EQ(seg.active().size(), 3u);
+  }
+}
+
+TEST(Simulation, SegmentedLoopWithoutObserverMatchesLegacyWithOne) {
+  // The WithObserver=false instantiation must drive the very same
+  // trajectory as the observed legacy run — the observer hoist cannot
+  // leak into scheduling or stats.
+  Simulation seg = make_mode_sim(LoopMode::segmented,
+                                 std::make_unique<UniformScheduler>(), 77);
+  Simulation leg = make_mode_sim(LoopMode::legacy,
+                                 std::make_unique<UniformScheduler>(), 77);
+  LoggingObserver obs;
+  leg.set_observer(&obs);
+  seg.schedule_crash(5'000, 2);
+  leg.schedule_crash(5'000, 2);
+  seg.run(20'000);
+  leg.run(20'000);
+  EXPECT_EQ(obs.events.size(), 20'000u);
+  expect_reports_identical(seg, leg);
+}
+
+TEST(Simulation, ChunkedSegmentedRunsMatchOneShot) {
+  // run(k) many times must equal one run(sum): segment boundaries are an
+  // implementation detail, not a semantic one.
+  Simulation chunked = make_mode_sim(LoopMode::segmented,
+                                     std::make_unique<StickyScheduler>(0.9),
+                                     13);
+  Simulation oneshot = make_mode_sim(LoopMode::segmented,
+                                     std::make_unique<StickyScheduler>(0.9),
+                                     13);
+  chunked.schedule_crash(2'500, 1);
+  oneshot.schedule_crash(2'500, 1);
+  for (int i = 0; i < 100; ++i) chunked.run(100);
+  oneshot.run(10'000);
+  expect_reports_identical(chunked, oneshot);
+}
+
+TEST(Simulation, CrashAtCurrentTimeAppliesBeforeNextStep) {
+  // schedule_crash(now, p) is legal and must remove p before the next
+  // scheduled step in both loop modes.
+  for (const LoopMode mode : {LoopMode::segmented, LoopMode::legacy}) {
+    Simulation sim = make_mode_sim(mode, std::make_unique<UniformScheduler>(),
+                                   3);
+    sim.run(1'000);
+    sim.schedule_crash(sim.now(), 0);
+    const std::uint64_t steps_before = sim.report().steps_per_process[0];
+    sim.run(5'000);
+    EXPECT_EQ(sim.report().steps_per_process[0], steps_before);
+    EXPECT_EQ(sim.active().size(), 5u);
+  }
 }
 
 }  // namespace

@@ -120,5 +120,49 @@ TEST(Xoshiro, JumpChangesState) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(Xoshiro, StateEqualityTracksTheStream) {
+  Xoshiro256pp a(31), b(31);
+  EXPECT_TRUE(a == b);
+  (void)a();
+  EXPECT_FALSE(a == b);
+  (void)b();
+  EXPECT_TRUE(a == b);
+}
+
+TEST(BoundedDraw, MatchesUniformExactly) {
+  // The cached-threshold draw must produce the same values *and consume
+  // the same raw draws* as Xoshiro256pp::uniform — schedulers caching a
+  // BoundedDraw therefore cannot perturb any existing trajectory.
+  for (const std::uint64_t bound :
+       {1ULL, 2ULL, 3ULL, 7ULL, 256ULL, 1'000'003ULL,
+        (1ULL << 63) + 12345ULL}) {
+    Xoshiro256pp plain(91), cached_rng(91);
+    const BoundedDraw draw(bound);
+    for (int i = 0; i < 20'000; ++i) {
+      ASSERT_EQ(plain.uniform(bound), draw(cached_rng)) << "bound " << bound;
+      ASSERT_TRUE(plain == cached_rng) << "draw budget diverged, bound "
+                                       << bound;
+    }
+  }
+}
+
+TEST(BoundedDraw, StaysInRangeAndCoversIt) {
+  const BoundedDraw draw(5);
+  EXPECT_EQ(draw.bound(), 5u);
+  Xoshiro256pp rng(7);
+  std::array<int, 5> seen{};
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = draw(rng);
+    ASSERT_LT(v, 5u);
+    ++seen[v];
+  }
+  for (int count : seen) EXPECT_GT(count, 1'500);
+}
+
+TEST(BoundedDraw, DefaultConstructedIsAnEmptySentinel) {
+  constexpr BoundedDraw none;
+  EXPECT_EQ(none.bound(), 0u);
+}
+
 }  // namespace
 }  // namespace pwf

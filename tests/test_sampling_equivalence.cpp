@@ -1,0 +1,196 @@
+// Statistical equivalence of WeightedScheduler's two sampling modes.
+// The Walker/Vose alias sampler (SamplingMode::alias, the default) must
+// realize *exactly* the distribution of the linear prefix-sum scan
+// (SamplingMode::linear, the golden reference): first analytically — the
+// per-process probabilities reconstructed from the built alias table
+// equal weights[p] / total over the active set to double precision — and
+// then empirically, with a chi-squared goodness-of-fit test over 10^6
+// draws at fixed seeds for both modes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace pwf::core {
+namespace {
+
+std::vector<std::size_t> iota_active(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  std::iota(v.begin(), v.end(), std::size_t{0});
+  return v;
+}
+
+std::vector<double> exact_renormalized(const std::vector<double>& weights,
+                                       std::span<const std::size_t> active) {
+  double total = 0.0;
+  for (std::size_t p : active) total += weights[p];
+  std::vector<double> probs;
+  probs.reserve(active.size());
+  for (std::size_t p : active) probs.push_back(weights[p] / total);
+  return probs;
+}
+
+std::vector<std::vector<double>> weight_fixtures() {
+  std::vector<std::vector<double>> out;
+  out.push_back({1.0, 3.0});
+  out.push_back({1.0, 1.0, 2.0, 5.0, 0.25});
+  {  // Zipf over 256 processes — the alias table's target workload.
+    std::vector<double> zipf(256);
+    for (std::size_t i = 0; i < zipf.size(); ++i) {
+      zipf[i] = 1.0 / static_cast<double>(i + 1);
+    }
+    out.push_back(std::move(zipf));
+  }
+  {  // Lottery holdings, wildly skewed.
+    std::vector<double> lottery{1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 1000};
+    out.push_back(std::move(lottery));
+  }
+  return out;
+}
+
+TEST(AliasSampler, ExactProbabilitiesMatchTheLinearReference) {
+  for (const std::vector<double>& weights : weight_fixtures()) {
+    WeightedScheduler alias(weights, SamplingMode::alias);
+    WeightedScheduler linear(weights, SamplingMode::linear);
+    const auto active = iota_active(weights.size());
+    const auto expect = exact_renormalized(weights, active);
+    const auto from_table = alias.sampling_probabilities(active);
+    const auto from_scan = linear.sampling_probabilities(active);
+    ASSERT_EQ(from_table.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_NEAR(from_table[i], expect[i], 1e-12)
+          << "n=" << weights.size() << " process " << active[i];
+      EXPECT_NEAR(from_scan[i], expect[i], 1e-12);
+    }
+  }
+}
+
+TEST(AliasSampler, ExactProbabilitiesAfterCrashesRenormalize) {
+  // Crashing processes renormalizes the remaining weights; the rebuilt
+  // alias table must carry exactly the renormalized distribution.
+  for (const std::vector<double>& weights : weight_fixtures()) {
+    if (weights.size() < 3) continue;
+    WeightedScheduler alias(weights, SamplingMode::alias);
+    Xoshiro256pp rng(17);
+    auto active = iota_active(weights.size());
+    (void)alias.next(0, active, rng);  // build the full-set table first
+    // Crash every third process.
+    std::vector<std::size_t> survivors;
+    for (std::size_t p : active) {
+      if (p % 3 == 1) {
+        alias.on_crash(p);
+      } else {
+        survivors.push_back(p);
+      }
+    }
+    const auto expect = exact_renormalized(weights, survivors);
+    const auto got = alias.sampling_probabilities(survivors);
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_NEAR(got[i], expect[i], 1e-12) << "survivor " << survivors[i];
+    }
+  }
+}
+
+// Chi-squared statistic of observed counts against exact probabilities.
+double chi_squared(const std::vector<std::uint64_t>& counts,
+                   const std::vector<double>& probs, std::uint64_t draws) {
+  double stat = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double expect = probs[i] * static_cast<double>(draws);
+    const double diff = static_cast<double>(counts[i]) - expect;
+    stat += diff * diff / expect;
+  }
+  return stat;
+}
+
+TEST(AliasSampler, ChiSquaredOverAMillionDrawsBothModes) {
+  // n = 256 Zipf(1.0): the heaviest-tailed fixture. At 10^6 draws the
+  // smallest expected cell is ~640 counts, comfortably in chi-squared
+  // territory. 255 degrees of freedom: P(chi2 > 350) < 1e-4, and the
+  // seeds are fixed, so the test is deterministic.
+  constexpr std::uint64_t kDraws = 1'000'000;
+  constexpr std::size_t kN = 256;
+  constexpr double kCritical = 350.0;
+  std::vector<double> weights(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const auto active = iota_active(kN);
+  const auto probs = exact_renormalized(weights, active);
+
+  for (const SamplingMode mode : {SamplingMode::alias, SamplingMode::linear}) {
+    WeightedScheduler sched(weights, mode);
+    Xoshiro256pp rng(20140806);
+    std::vector<std::uint64_t> counts(kN, 0);
+    for (std::uint64_t i = 0; i < kDraws; ++i) {
+      ++counts.at(sched.next(i, active, rng));
+    }
+    const double stat = chi_squared(counts, probs, kDraws);
+    EXPECT_LT(stat, kCritical)
+        << (mode == SamplingMode::alias ? "alias" : "linear");
+  }
+}
+
+TEST(AliasSampler, ChiSquaredSurvivesACrashMidStream) {
+  // Half the processes crash after 10^6 draws; the next 10^6 draws must
+  // fit the renormalized distribution (fresh table, no stale mass).
+  constexpr std::uint64_t kDraws = 1'000'000;
+  constexpr std::size_t kN = 64;
+  std::vector<double> weights(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    weights[i] = 1.0 / std::sqrt(static_cast<double>(i + 1));
+  }
+  WeightedScheduler sched(weights, SamplingMode::alias);
+  Xoshiro256pp rng(424242);
+  auto active = iota_active(kN);
+  for (std::uint64_t i = 0; i < kDraws; ++i) {
+    (void)sched.next(i, active, rng);
+  }
+  std::vector<std::size_t> survivors;
+  for (std::size_t p = 0; p < kN; ++p) {
+    if (p % 2 == 0) {
+      survivors.push_back(p);
+    } else {
+      sched.on_crash(p);
+    }
+  }
+  std::vector<std::uint64_t> counts(survivors.size(), 0);
+  for (std::uint64_t i = 0; i < kDraws; ++i) {
+    const std::size_t p = sched.next(i, survivors, rng);
+    const auto it = std::lower_bound(survivors.begin(), survivors.end(), p);
+    ASSERT_TRUE(it != survivors.end() && *it == p) << "inactive process " << p;
+    ++counts[static_cast<std::size_t>(it - survivors.begin())];
+  }
+  const auto probs = exact_renormalized(weights, survivors);
+  // 31 degrees of freedom: P(chi2 > 62) < 1e-3, seed fixed.
+  EXPECT_LT(chi_squared(counts, probs, kDraws), 62.0);
+}
+
+TEST(AliasSampler, DeterministicForFixedSeed) {
+  const auto weights = weight_fixtures()[2];  // zipf 256
+  WeightedScheduler a(weights), b(weights);
+  const auto active = iota_active(weights.size());
+  Xoshiro256pp rng_a(5), rng_b(5);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_EQ(a.next(i, active, rng_a), b.next(i, active, rng_b));
+  }
+}
+
+TEST(AliasSampler, ThetaIsModeIndependent) {
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  WeightedScheduler alias(weights, SamplingMode::alias);
+  WeightedScheduler linear(weights, SamplingMode::linear);
+  EXPECT_DOUBLE_EQ(alias.theta(3), linear.theta(3));
+  EXPECT_DOUBLE_EQ(alias.theta(3), 0.1);
+  EXPECT_EQ(alias.mode(), SamplingMode::alias);
+  EXPECT_EQ(linear.mode(), SamplingMode::linear);
+}
+
+}  // namespace
+}  // namespace pwf::core
