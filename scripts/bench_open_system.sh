@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_open_system.json — the committed open-system
+# baseline (queue-length and completion-latency curves under stationary
+# arrival/departure/crash/restart churn at n up to 10^6, plus the
+# engine's steps/sec per cell). Run it on the reference machine after
+# touching src/core/{open_system,process_table,arrival,alias} or
+# src/sched/dynamic, eyeball the shape lines (scu exponent ~ 0.5,
+# parallel flat, fairness ~ 1), and commit the result so later PRs can
+# regress against it.
+#
+# Usage: scripts/bench_open_system.sh [--quick] [extra pwf_bench args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build --target pwf_bench -j"$(nproc)"
+
+build/bench/pwf_bench --filter open_system \
+  --json BENCH_open_system.json "$@"
+echo "wrote BENCH_open_system.json"

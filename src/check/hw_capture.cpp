@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <functional>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -316,14 +318,31 @@ double median_of(std::vector<std::uint64_t> values) {
 // Dropping arbitrary operations from a history is NOT sound for witness
 // purposes: removing a push whose value a kept pop returns fabricates a
 // "pop of a never-pushed value" violation that the structure never
-// committed. For the unique-value stack/queue workloads we instead drop
-// *units* chosen so every kept value-returning pop keeps its push:
+// committed. Each spec kind therefore gets drop units shaped so no kept
+// operation loses the context that justified its return value:
+//
+//   stack / queue (unique-value workloads):
 //   - a matched (push v, pop -> v) pair drops or stays together;
 //   - an unmatched push (value never popped) may drop alone;
 //   - an empty pop may drop alone;
 //   - a value-returning pop with no matching push — the corruption
 //     itself — and any value touched by more than one pop or push are
 //     never dropped.
+//
+//   set / multi-counter (per-key independent objects):
+//   - all operations on one key form a single unit — membership of (or
+//     counts on) a key depend on every earlier op of that key, so a key
+//     group drops or stays whole; keys with a pending op are frozen.
+//   - multi-counter additionally shrinks each kept key group by the
+//     counter suffix rule below.
+//
+//   counter (fetch-and-increment):
+//   - the only sound keep-sets are *down-closed* in the return value:
+//     keeping exactly the ops that returned < T preserves every kept
+//     op's expected return (the dropped suffix only ever extended the
+//     count upward), while dropping from the middle shifts returns and
+//     fabricates gaps. Minimization is a descent on the threshold T.
+//
 // Every candidate subhistory is re-checked; the reported witness is
 // checker-verified NOT-LINEARIZABLE, so minimization can only shrink a
 // genuine violation, never invent one.
@@ -388,6 +407,33 @@ UnitPartition partition_units(const History& failing,
   return out;
 }
 
+/// Whole-key groups for per-key-independent specs (set, multi-counter):
+/// every operation on a key drops or stays with its group; keys touched
+/// by a pending or argument-less operation are frozen. std::map keeps
+/// the unit order (and hence the ddmin trajectory) deterministic.
+UnitPartition partition_key_groups(const History& failing) {
+  const auto& ops = failing.operations();
+  std::map<Value, std::vector<std::size_t>> groups;
+  std::map<Value, bool> frozen;
+  UnitPartition out;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (!ops[i].has_arg) {
+      out.mandatory.push_back(i);
+      continue;
+    }
+    groups[ops[i].arg].push_back(i);
+    if (!ops[i].completed()) frozen[ops[i].arg] = true;
+  }
+  for (auto& [key, idxs] : groups) {
+    if (frozen[key]) {
+      out.mandatory.insert(out.mandatory.end(), idxs.begin(), idxs.end());
+    } else {
+      out.units.push_back({std::move(idxs)});
+    }
+  }
+  return out;
+}
+
 History build_subhistory(const History& failing,
                          const std::vector<std::size_t>& mandatory,
                          const std::vector<DropUnit>& kept) {
@@ -404,32 +450,18 @@ History build_subhistory(const History& failing,
   return History(std::move(ops));  // indices ascending => invoke-sorted
 }
 
+using ProbeFn = std::function<bool(const History&)>;
+
 /// ddmin over droppable units: find a small kept-set whose subhistory
-/// still fails the checker. Probes that time out or exhaust the node
-/// budget count as "passed" (we never adopt an unverified candidate).
-History minimize_hw_witness(const History& failing,
-                            const std::string& spec_kind,
-                            const CheckOptions& check,
-                            std::size_t max_probes, bool* minimized) {
-  *minimized = false;
-  const UnitPartition partition = partition_units(failing, spec_kind);
-
-  CheckOptions probe_options = check;
-  if (probe_options.time_budget_ms <= 0.0 ||
-      probe_options.time_budget_ms > 500.0) {
-    probe_options.time_budget_ms = 500.0;  // keep each probe cheap
-  }
-  Session probe(make_spec(spec_kind), probe_options);
-
-  std::size_t probes = 0;
+/// still fails the checker.
+std::vector<DropUnit> ddmin_units(const History& failing,
+                                  const UnitPartition& partition,
+                                  const ProbeFn& fails_history,
+                                  const std::size_t max_probes,
+                                  std::size_t& probes) {
   const auto fails = [&](const std::vector<DropUnit>& kept) {
-    if (probes >= max_probes) return false;
-    ++probes;
-    const History candidate =
-        build_subhistory(failing, partition.mandatory, kept);
-    return probe.check(candidate).verdict == LinVerdict::kNotLinearizable;
+    return fails_history(build_subhistory(failing, partition.mandatory, kept));
   };
-
   std::vector<DropUnit> kept = partition.units;
   // Cheapest first: maybe the mandatory core alone is already a witness.
   if (!kept.empty() && fails({})) {
@@ -457,13 +489,174 @@ History minimize_hw_witness(const History& failing,
       granularity = std::min(kept.size(), granularity * 2);
     }
   }
-  const History witness =
-      build_subhistory(failing, partition.mandatory, kept);
+  return kept;
+}
+
+/// Splits a group of op indices into the sorted distinct return values
+/// of its completed fetch-incs plus the indices that can never drop
+/// (pending or return-less ops).
+struct CounterGroup {
+  std::vector<std::size_t> frozen;           ///< always kept
+  std::vector<std::size_t> by_ret;           ///< completed, sorted by ret
+  std::vector<Value> distinct_rets;          ///< sorted, deduplicated
+};
+
+CounterGroup split_counter_group(const History& failing,
+                                 const std::vector<std::size_t>& idxs) {
+  const auto& ops = failing.operations();
+  CounterGroup g;
+  for (const std::size_t i : idxs) {
+    if (ops[i].op == core::OpCode::kFetchInc && ops[i].completed() &&
+        ops[i].has_ret) {
+      g.by_ret.push_back(i);
+    } else {
+      g.frozen.push_back(i);  // pending / foreign ops never drop
+    }
+  }
+  std::sort(g.by_ret.begin(), g.by_ret.end(),
+            [&](std::size_t a, std::size_t b) {
+              return ops[a].ret != ops[b].ret ? ops[a].ret < ops[b].ret
+                                              : a < b;
+            });
+  for (const std::size_t i : g.by_ret) {
+    if (g.distinct_rets.empty() || g.distinct_rets.back() != ops[i].ret) {
+      g.distinct_rets.push_back(ops[i].ret);
+    }
+  }
+  return g;
+}
+
+/// The ops of `group` kept at threshold step m: everything frozen plus
+/// completed ops with ret < distinct_rets[m] (m == #distinct keeps all).
+std::vector<std::size_t> counter_keep_at(const History& failing,
+                                         const CounterGroup& group,
+                                         std::size_t m) {
+  const auto& ops = failing.operations();
+  std::vector<std::size_t> out = group.frozen;
+  for (const std::size_t i : group.by_ret) {
+    if (m < group.distinct_rets.size() &&
+        ops[i].ret >= group.distinct_rets[m]) {
+      break;  // by_ret is sorted: the whole suffix is dropped
+    }
+    out.push_back(i);
+  }
+  return out;
+}
+
+/// Binary descent on the down-closed return threshold: the smallest
+/// verified-failing prefix of distinct return values. `make_history`
+/// maps a threshold step to the candidate history (so the multi-counter
+/// path can hold its other key groups fixed). The initial hi (keep-all)
+/// must be a known-failing history.
+std::size_t descend_counter_threshold(
+    std::size_t num_distinct,
+    const std::function<History(std::size_t)>& make_history,
+    const ProbeFn& fails_history) {
+  std::size_t lo = 0;
+  std::size_t hi = num_distinct;  // keep-all: known failing
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (fails_history(make_history(mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+/// Counter witness: one global threshold descent over return values.
+History minimize_counter_witness(const History& failing,
+                                 const ProbeFn& fails_history,
+                                 bool* minimized) {
+  std::vector<std::size_t> all(failing.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const CounterGroup group = split_counter_group(failing, all);
+  const auto make_history = [&](std::size_t m) {
+    std::vector<std::size_t> keep = counter_keep_at(failing, group, m);
+    std::sort(keep.begin(), keep.end());
+    std::vector<Operation> ops;
+    ops.reserve(keep.size());
+    for (const std::size_t i : keep) ops.push_back(failing.operations()[i]);
+    return History(std::move(ops));
+  };
+  const std::size_t m = descend_counter_threshold(
+      group.distinct_rets.size(), make_history, fails_history);
+  const History witness = make_history(m);
+  *minimized = witness.size() < failing.size();
+  return witness;
+}
+
+/// Multi-counter witness: ddmin over whole-key groups, then a per-key
+/// suffix descent inside each surviving group.
+History minimize_multi_counter_witness(const History& failing,
+                                       const ProbeFn& fails_history,
+                                       const std::size_t max_probes,
+                                       std::size_t& probes, bool* minimized) {
+  const UnitPartition partition = partition_key_groups(failing);
+  std::vector<DropUnit> kept =
+      ddmin_units(failing, partition, fails_history, max_probes, probes);
+  for (std::size_t u = 0; u < kept.size(); ++u) {
+    const CounterGroup group = split_counter_group(failing, kept[u].ops);
+    if (group.distinct_rets.size() < 2) continue;
+    const auto make_history = [&](std::size_t m) {
+      std::vector<DropUnit> candidate = kept;
+      candidate[u].ops = counter_keep_at(failing, group, m);
+      return build_subhistory(failing, partition.mandatory, candidate);
+    };
+    const std::size_t m = descend_counter_threshold(
+        group.distinct_rets.size(), make_history, fails_history);
+    kept[u].ops = counter_keep_at(failing, group, m);
+  }
+  const History witness = build_subhistory(failing, partition.mandatory, kept);
   *minimized = witness.size() < failing.size();
   return witness;
 }
 
 }  // namespace
+
+bool minimizable_spec(const std::string& spec_kind) {
+  return spec_kind == "stack" || spec_kind == "queue" || spec_kind == "set" ||
+         spec_kind == "counter" || spec_kind == "multi-counter";
+}
+
+History minimize_witness(const History& failing, const std::string& spec_kind,
+                         const CheckOptions& check, std::size_t max_probes,
+                         bool* minimized) {
+  *minimized = false;
+  if (!minimizable_spec(spec_kind)) return failing;
+
+  CheckOptions probe_options = check;
+  if (probe_options.time_budget_ms <= 0.0 ||
+      probe_options.time_budget_ms > 500.0) {
+    probe_options.time_budget_ms = 500.0;  // keep each probe cheap
+  }
+  Session probe(make_spec(spec_kind), probe_options);
+  std::size_t probes = 0;
+  // Probes that time out or exhaust the node budget count as "passed":
+  // we never adopt an unverified candidate.
+  const ProbeFn fails_history = [&](const History& candidate) {
+    if (probes >= max_probes) return false;
+    ++probes;
+    return probe.check(candidate).verdict == LinVerdict::kNotLinearizable;
+  };
+
+  if (spec_kind == "counter") {
+    return minimize_counter_witness(failing, fails_history, minimized);
+  }
+  if (spec_kind == "multi-counter") {
+    return minimize_multi_counter_witness(failing, fails_history, max_probes,
+                                          probes, minimized);
+  }
+  const UnitPartition partition =
+      spec_kind == "set" ? partition_key_groups(failing)
+                         : partition_units(failing, spec_kind);
+  const std::vector<DropUnit> kept =
+      ddmin_units(failing, partition, fails_history, max_probes, probes);
+  const History witness = build_subhistory(failing, partition.mandatory, kept);
+  *minimized = witness.size() < failing.size();
+  return witness;
+}
 
 const char* stamp_mode_name(StampMode mode) {
   switch (mode) {
@@ -606,12 +799,11 @@ const HwResult& HwSession::run() & {
 
   if (result.lin.verdict == LinVerdict::kNotLinearizable) {
     result.witness = result.history;
-    const bool can_minimize = options_.minimize_witness &&
-                              (structure_.spec_kind == "stack" ||
-                               structure_.spec_kind == "queue");
+    const bool can_minimize =
+        options_.minimize_witness && minimizable_spec(structure_.spec_kind);
     if (can_minimize) {
       const auto minimize_start = Clock::now();
-      result.witness = minimize_hw_witness(
+      result.witness = minimize_witness(
           result.history, structure_.spec_kind, check_,
           options_.minimize_max_probes, &result.witness_minimized);
       result.check_ms += ms_since(minimize_start);

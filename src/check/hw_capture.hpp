@@ -171,6 +171,26 @@ class HwSession {
 };
 
 // ---------------------------------------------------------------------------
+// Witness minimization (public surface; HwSession::run uses it internally).
+
+/// Whether minimize_witness has a sound drop discipline for this spec
+/// kind: stack/queue (matched push/pop pairs), set and multi-counter
+/// (whole-key groups), counter (down-closed return thresholds).
+bool minimizable_spec(const std::string& spec_kind);
+
+/// Shrinks a known-failing history to a smaller one that the checker
+/// still rejects. `failing` must be NotLinearizable under
+/// make_spec(spec_kind) or the result is meaningless. Each candidate is
+/// re-verified with a budget-clamped probe (at most `max_probes` checker
+/// calls); unverified candidates are never adopted, so the returned
+/// history is itself checker-verified failing. `*minimized` reports
+/// whether the witness is strictly smaller than the input. For a
+/// non-minimizable spec kind the input is returned unchanged.
+History minimize_witness(const History& failing, const std::string& spec_kind,
+                         const CheckOptions& check, std::size_t max_probes,
+                         bool* minimized);
+
+// ---------------------------------------------------------------------------
 // Deprecated pre-HwSession surface (thin wrappers; migrate to HwSession).
 
 struct HwCaptureOptions {

@@ -9,10 +9,10 @@ namespace pwf::core {
 
 ScuAlgorithm::ScuAlgorithm(std::size_t pid, std::size_t n, std::size_t q,
                            std::size_t s)
-    : pid_(pid), n_(n), q_(q), s_(s),
-      phase_(q > 0 ? Phase::kPreamble : Phase::kScan) {
+    : pid_(pid), n_(n), q_(q), s_(s) {
   if (s < 1) throw std::invalid_argument("ScuAlgorithm: need s >= 1");
   if (pid >= n) throw std::invalid_argument("ScuAlgorithm: pid >= n");
+  scu_reset(state_, q_);
 }
 
 std::size_t ScuAlgorithm::registers_required(std::size_t n, std::size_t s) {
@@ -20,46 +20,7 @@ std::size_t ScuAlgorithm::registers_required(std::size_t n, std::size_t s) {
 }
 
 bool ScuAlgorithm::step(SharedMemory& mem) {
-  switch (phase_) {
-    case Phase::kPreamble: {
-      // Preamble steps update memory (never R): write to our scratch slot.
-      mem.write(s_ + pid_, static_cast<Value>(phase_step_));
-      if (++phase_step_ == q_) {
-        phase_ = Phase::kScan;
-        phase_step_ = 0;
-      }
-      return false;
-    }
-    case Phase::kScan: {
-      if (phase_step_ == 0) {
-        view_ = mem.read(0);  // v <- R.read()
-      } else {
-        mem.read(phase_step_);  // v_k <- R_k.read()
-      }
-      if (++phase_step_ == s_) {
-        phase_ = Phase::kValidate;
-        phase_step_ = 0;
-      }
-      return false;
-    }
-    case Phase::kValidate: {
-      // Propose a globally unique new state for R.
-      ++attempts_;
-      const Value proposal = static_cast<Value>(attempts_ * n_ + pid_ + 1);
-      const bool won = mem.cas(0, view_, proposal);
-      if (won) {
-        // Operation complete; the next step begins a fresh invocation.
-        phase_ = q_ > 0 ? Phase::kPreamble : Phase::kScan;
-        phase_step_ = 0;
-        return true;
-      }
-      // Validation failed: restart the scan loop (not the preamble).
-      phase_ = Phase::kScan;
-      phase_step_ = 0;
-      return false;
-    }
-  }
-  return false;  // unreachable
+  return scu_step(state_, pid_, n_, q_, s_, mem);
 }
 
 std::string ScuAlgorithm::name() const {
@@ -84,12 +45,7 @@ ParallelCode::ParallelCode(std::size_t pid, std::size_t q)
 }
 
 bool ParallelCode::step(SharedMemory& mem) {
-  mem.read(0);
-  if (++counter_ == q_) {
-    counter_ = 0;
-    return true;
-  }
-  return false;
+  return parallel_step(state_, q_, mem);
 }
 
 std::string ParallelCode::name() const {
@@ -111,14 +67,12 @@ bool FetchAndIncrement::step(SharedMemory& mem) {
     trace_->on_invoke(pid_, OpCode::kFetchInc, false, 0);
     invoked_ = true;
   }
-  const Value before = mem.cas_fetch(0, v_, v_ + 1);
-  if (before == v_) {
-    v_ = v_ + 1;  // we wrote the new current value, so we still hold it
+  Value before = 0;
+  if (fetch_inc_step(state_, mem, before)) {
     if (trace_) trace_->on_response(pid_, OpCode::kFetchInc, true, before);
     invoked_ = false;
     return true;
   }
-  v_ = before;  // adopt the current value the augmented CAS returned
   return false;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/memory.hpp"
+#include "core/step_kernels.hpp"
 #include "core/step_machine.hpp"
 
 namespace pwf::core {
@@ -42,16 +43,11 @@ class ScuAlgorithm final : public StepMachine {
   static StepMachineFactory factory(std::size_t q, std::size_t s);
 
  private:
-  enum class Phase { kPreamble, kScan, kValidate };
-
   std::size_t pid_;
   std::size_t n_;
   std::size_t q_;
   std::size_t s_;
-  Phase phase_;
-  std::size_t phase_step_ = 0;  // preamble step or scan register index
-  Value view_ = 0;              // value of R observed by the current scan
-  std::uint64_t attempts_ = 0;  // proposal uniqueness counter
+  ScuState state_;  // shared kernel state (step_kernels.hpp)
 };
 
 /// Algorithm 3 — the scan-validate pattern == SCU(0, 1).
@@ -74,7 +70,7 @@ class ParallelCode final : public StepMachine {
  private:
   std::size_t pid_;
   std::size_t q_;
-  std::size_t counter_ = 0;
+  ParallelState state_;  // shared kernel state (step_kernels.hpp)
 };
 
 /// Algorithm 5 — lock-free fetch-and-increment on an augmented CAS
@@ -97,14 +93,14 @@ class FetchAndIncrement final : public StepMachine {
   void set_trace(OpTraceSink* sink) override { trace_ = sink; }
 
   /// The value this process last observed/wrote; for tests.
-  Value local_value() const noexcept { return v_; }
+  Value local_value() const noexcept { return state_.v; }
 
   static constexpr std::size_t registers_required() { return 1; }
   static StepMachineFactory factory();
 
  private:
   std::size_t pid_;
-  Value v_ = 0;
+  FetchIncState state_;  // shared kernel state (step_kernels.hpp)
   OpTraceSink* trace_ = nullptr;
   bool invoked_ = false;
 };

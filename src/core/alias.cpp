@@ -1,0 +1,229 @@
+#include "core/alias.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pwf::core {
+
+void AliasTable::build(std::span<const std::size_t> ids,
+                       std::span<const double> weights) {
+  if (ids.size() != weights.size()) {
+    throw std::invalid_argument("AliasTable::build: ids/weights size mismatch");
+  }
+  build_from(std::vector<std::size_t>(ids.begin(), ids.end()),
+             std::vector<double>(weights.begin(), weights.end()));
+}
+
+void AliasTable::build_from(std::vector<std::size_t> ids,
+                            std::vector<double> weights) {
+  // Vose's O(k) alias-table construction: scale each probability by k,
+  // then pair every under-full bucket with an over-full donor so each
+  // bucket carries total mass exactly 1/k. The small/large stack order
+  // is load-bearing: it fixes cut_/alias_ contents and therefore every
+  // seeded draw stream downstream.
+  const std::size_t k = ids.size();
+  ids_ = std::move(ids);
+  w_ = std::move(weights);
+  alias_.assign(k, 0);
+  cut_.assign(k, 1.0);
+  dead_.assign(k, 0);
+  bucket_ = BoundedDraw(k);
+
+  table_total_ = 0.0;
+  std::size_t max_id = 0;
+  for (std::size_t b = 0; b < k; ++b) {
+    if (!(w_[b] > 0.0)) {
+      throw std::invalid_argument("AliasTable: weights must be > 0");
+    }
+    table_total_ += w_[b];
+    max_id = std::max(max_id, ids_[b]);
+  }
+  std::vector<double> scaled(k);
+  for (std::size_t b = 0; b < k; ++b) {
+    scaled[b] = w_[b] * static_cast<double>(k) / table_total_;
+  }
+
+  std::vector<std::size_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (std::size_t b = 0; b < k; ++b) {
+    (scaled[b] < 1.0 ? small : large).push_back(b);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    const std::size_t l = large.back();
+    small.pop_back();
+    cut_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (either list) have mass 1 up to rounding: keep own id.
+  for (std::size_t b : small) cut_[b] = 1.0;
+  for (std::size_t b : large) cut_[b] = 1.0;
+
+  if (pos_.size() <= max_id) pos_.resize(max_id + 1, kNpos);
+  std::fill(pos_.begin(), pos_.end(), kNpos);
+  for (std::size_t b = 0; b < k; ++b) pos_[ids_[b]] = b;
+
+  dead_count_ = 0;
+  dead_mass_ = 0.0;
+  fresh_ids_.clear();
+  fresh_w_.clear();
+  fresh_total_ = 0.0;
+}
+
+std::size_t AliasTable::draw(Xoshiro256pp& rng) const {
+  if (fresh_total_ > 0.0) {
+    // Arm pre-draw: fresh with probability fresh_mass / grand, table
+    // otherwise. The table arm's conditional redraw below keeps the
+    // overall ratios exact (see header).
+    const double grand = table_total_ - dead_mass_ + fresh_total_;
+    double u = rng.uniform_double() * grand;
+    if (u < fresh_total_) {
+      for (std::size_t i = 0; i + 1 < fresh_ids_.size(); ++i) {
+        u -= fresh_w_[i];
+        if (u < 0.0) return fresh_ids_[i];
+      }
+      return fresh_ids_.back();
+    }
+  }
+  for (;;) {
+    const std::size_t b = bucket_(rng);
+    const std::size_t p =
+        rng.uniform_double() < cut_[b] ? b : alias_[b];
+    if (dead_count_ == 0 || !dead_[p]) return ids_[p];
+  }
+}
+
+bool AliasTable::contains(std::size_t id) const noexcept {
+  if (id < pos_.size() && pos_[id] != kNpos && !dead_[pos_[id]]) return true;
+  return std::find(fresh_ids_.begin(), fresh_ids_.end(), id) !=
+         fresh_ids_.end();
+}
+
+void AliasTable::remove(std::size_t id) {
+  if (id < pos_.size() && pos_[id] != kNpos) {
+    const std::size_t p = pos_[id];
+    if (dead_[p]) throw std::logic_error("AliasTable::remove: already dead");
+    dead_[p] = 1;
+    ++dead_count_;
+    dead_mass_ += w_[p];
+    return;
+  }
+  const auto it = std::find(fresh_ids_.begin(), fresh_ids_.end(), id);
+  if (it == fresh_ids_.end()) {
+    throw std::logic_error("AliasTable::remove: id is not a member");
+  }
+  // Swap-remove: fresh order changes deterministically with the op
+  // sequence, and the fresh distribution is order-independent.
+  const std::size_t i = static_cast<std::size_t>(it - fresh_ids_.begin());
+  fresh_total_ -= fresh_w_[i];
+  fresh_ids_[i] = fresh_ids_.back();
+  fresh_w_[i] = fresh_w_.back();
+  fresh_ids_.pop_back();
+  fresh_w_.pop_back();
+  if (fresh_ids_.empty()) fresh_total_ = 0.0;  // clear rounding residue
+}
+
+void AliasTable::add(std::size_t id, double w) {
+  if (!(w > 0.0)) {
+    throw std::invalid_argument("AliasTable::add: weight must be > 0");
+  }
+  if (id < pos_.size() && pos_[id] != kNpos) {
+    const std::size_t p = pos_[id];
+    if (!dead_[p]) throw std::logic_error("AliasTable::add: already a member");
+    // Revive: the restart path. The bucket masses for this position are
+    // still exact for its original weight, so un-marking restores the
+    // pre-departure distribution with no rebuild.
+    dead_[p] = 0;
+    --dead_count_;
+    dead_mass_ -= w_[p];
+    if (dead_count_ == 0) dead_mass_ = 0.0;  // clear rounding residue
+    return;
+  }
+  fresh_ids_.push_back(id);
+  fresh_w_.push_back(w);
+  fresh_total_ += w;
+}
+
+bool AliasTable::needs_rebuild() const noexcept {
+  if (ids_.empty()) return !fresh_ids_.empty();
+  return dead_count_ * 4 > ids_.size() || fresh_ids_.size() * 4 > ids_.size();
+}
+
+std::vector<std::size_t> AliasTable::live_ids() const {
+  std::vector<std::size_t> out;
+  out.reserve(live_count());
+  for (std::size_t b = 0; b < ids_.size(); ++b) {
+    if (!dead_[b]) out.push_back(ids_[b]);
+  }
+  out.insert(out.end(), fresh_ids_.begin(), fresh_ids_.end());
+  return out;
+}
+
+void AliasTable::rebuild() {
+  std::vector<std::size_t> ids;
+  std::vector<double> weights;
+  ids.reserve(live_count());
+  weights.reserve(live_count());
+  for (std::size_t b = 0; b < ids_.size(); ++b) {
+    if (!dead_[b]) {
+      ids.push_back(ids_[b]);
+      weights.push_back(w_[b]);
+    }
+  }
+  ids.insert(ids.end(), fresh_ids_.begin(), fresh_ids_.end());
+  weights.insert(weights.end(), fresh_w_.begin(), fresh_w_.end());
+  build_from(std::move(ids), std::move(weights));
+}
+
+std::vector<double> AliasTable::probabilities(
+    std::span<const std::size_t> query) const {
+  // Per-position table mass reconstructed from the buckets: position p
+  // receives cut_[p]/k from its own bucket plus (1-cut_[b])/k from every
+  // bucket aliasing to it.
+  const std::size_t k = ids_.size();
+  std::vector<double> mass(k, 0.0);
+  if (k > 0) {
+    const double bucket_mass = 1.0 / static_cast<double>(k);
+    for (std::size_t b = 0; b < k; ++b) {
+      mass[b] += bucket_mass * cut_[b];
+      mass[alias_[b]] += bucket_mass * (1.0 - cut_[b]);
+    }
+  }
+  double live_table_mass = 0.0;
+  for (std::size_t b = 0; b < k; ++b) {
+    if (!dead_[b]) live_table_mass += mass[b];
+  }
+  const double table_arm =
+      fresh_total_ > 0.0
+          ? (table_total_ - dead_mass_) /
+                (table_total_ - dead_mass_ + fresh_total_)
+          : 1.0;
+  const double grand = table_total_ - dead_mass_ + fresh_total_;
+
+  std::vector<double> out(query.size(), 0.0);
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    const std::size_t id = query[i];
+    if (id < pos_.size() && pos_[id] != kNpos && !dead_[pos_[id]]) {
+      const std::size_t p = pos_[id];
+      out[i] = live_table_mass > 0.0
+                   ? table_arm * mass[p] / live_table_mass
+                   : 0.0;
+      continue;
+    }
+    for (std::size_t f = 0; f < fresh_ids_.size(); ++f) {
+      if (fresh_ids_[f] == id) {
+        out[i] = fresh_w_[f] / grand;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pwf::core

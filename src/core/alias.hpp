@@ -1,0 +1,131 @@
+// Walker/Vose alias table with incremental membership maintenance.
+//
+// The closed-system WeightedScheduler rebuilds its alias table from
+// scratch on every membership change — O(k) per crash, fine when crashes
+// are rare and the set only shrinks. An open system churns: arrivals,
+// departures, crashes, and restarts hit every few thousand steps at
+// n = 10^6, and a full rebuild per event would turn the O(1) sampler
+// back into an O(k) one. This class keeps the exact Vose construction
+// (byte-for-byte the order the closed scheduler used, so seeded draw
+// streams are preserved when no churn is pending) and layers two O(1)
+// membership deltas on top:
+//
+//   * remove(id): mark the table position dead. Draws reject dead hits
+//     and redraw — conditioning the table distribution on the live set,
+//     which is exactly the renormalized distribution. Expected redraw
+//     cost stays bounded because the table is compacted once dead mass
+//     passes a quarter of the buckets.
+//   * add(id, w): either *revives* a dead position (same id returning —
+//     the restart path — at exact original weight, O(1) and exact), or
+//     appends to a small fresh list sampled by a pre-draw proportional
+//     to its mass. The fresh list is folded into the table once it
+//     passes a quarter of the table size.
+//
+// Distribution exactness: with pending deltas a draw picks the fresh arm
+// with probability fresh_mass / (live_table_mass + fresh_mass), else
+// draws table positions until a live one. P(fresh i) = w_i / grand and
+// P(live j) = (live_table_mass / grand) * (w_j / live_table_mass)
+// = w_j / grand — the renormalized weights, exactly, for every churn
+// state. The statistical-equivalence tests pin this against the linear
+// reference.
+//
+// RNG budget: 2 draws per sample when no deltas are pending (identical
+// to the closed-system table, pinned in test_rng_budget); +1 pre-draw
+// while a fresh list exists; a geometric number of redraws (expected
+// < 4/3 rounds) while dead marks exist.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pwf::core {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table over `ids` with parallel `weights` (> 0 each).
+  /// O(k); clears any pending deltas. The construction order is the
+  /// Vose small/large pairing the closed-system scheduler has always
+  /// used, so cut/alias contents — and therefore seeded draw streams —
+  /// are bit-identical to the pre-refactor code.
+  void build(std::span<const std::size_t> ids,
+             std::span<const double> weights);
+
+  /// Samples one live id. Precondition: live_count() > 0.
+  std::size_t draw(Xoshiro256pp& rng) const;
+
+  /// Marks `id` dead (or drops it from the fresh list). O(1) amortized.
+  /// Precondition: contains(id).
+  void remove(std::size_t id);
+
+  /// Admits `id` with weight `w` > 0: revives a dead table position when
+  /// `id` previously left (the restart path — exact, O(1)), otherwise
+  /// appends to the fresh list. Precondition: !contains(id). A revived
+  /// id keeps its original weight; `w` must match it.
+  void add(std::size_t id, double w);
+
+  /// True iff `id` is currently a live member (table or fresh).
+  bool contains(std::size_t id) const noexcept;
+
+  /// True once pending deltas pass the compaction thresholds (dead or
+  /// fresh count beyond a quarter of the table). Draws stay exact either
+  /// way; rebuilding just restores the flat 2-draw budget.
+  bool needs_rebuild() const noexcept;
+
+  /// Compacts: rebuilds over live table ids (in table order) followed by
+  /// fresh ids (in admission order), clearing all deltas. Deterministic:
+  /// the rebuilt order is a pure function of the operation sequence.
+  void rebuild();
+
+  std::size_t live_count() const noexcept {
+    return ids_.size() - dead_count_ + fresh_ids_.size();
+  }
+  std::size_t table_size() const noexcept { return ids_.size(); }
+  std::size_t dead_count() const noexcept { return dead_count_; }
+  std::size_t fresh_count() const noexcept { return fresh_ids_.size(); }
+  double live_mass() const noexcept {
+    return table_total_ - dead_mass_ + fresh_total_;
+  }
+  /// Table ids in build order (dead positions included).
+  std::span<const std::size_t> ids() const noexcept { return ids_; }
+
+  /// Live ids, table order then fresh order; for tests and compaction.
+  std::vector<std::size_t> live_ids() const;
+
+  /// Exact realized probability of each id in `query` (0 for non-members),
+  /// reconstructed from bucket masses — the analytical check used by the
+  /// statistical-equivalence tests.
+  std::vector<double> probabilities(
+      std::span<const std::size_t> query) const;
+
+ private:
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  void build_from(std::vector<std::size_t> ids, std::vector<double> weights);
+
+  // Vose table: bucket b yields ids_[b] with probability cut_[b], else
+  // ids_[alias_[b]]; every bucket carries total mass 1/k.
+  std::vector<std::size_t> ids_;
+  std::vector<double> w_;           ///< weight of ids_[b] at build time
+  std::vector<std::size_t> alias_;
+  std::vector<double> cut_;
+  std::vector<std::uint8_t> dead_;  ///< per-position dead mark
+  BoundedDraw bucket_;
+  double table_total_ = 0.0;
+
+  std::vector<std::size_t> pos_;    ///< id -> table position (or kNpos)
+
+  std::size_t dead_count_ = 0;
+  double dead_mass_ = 0.0;
+
+  std::vector<std::size_t> fresh_ids_;
+  std::vector<double> fresh_w_;
+  double fresh_total_ = 0.0;
+};
+
+}  // namespace pwf::core

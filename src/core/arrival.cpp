@@ -1,0 +1,88 @@
+#include "core/arrival.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pwf::core {
+
+std::uint64_t geometric_steps(double p, Xoshiro256pp& rng) {
+  if (!(p > 0.0)) return kNeverStep;
+  if (p >= 1.0) {
+    (void)rng.uniform_double();  // fixed one-draw budget across p
+    return 1;
+  }
+  // Inverse-CDF: k = 1 + floor(log(1-u) / log(1-p)), u ~ U[0,1).
+  const double u = rng.uniform_double();
+  const double k = std::floor(std::log1p(-u) / std::log1p(-p));
+  if (!(k < 9.0e18)) return kNeverStep;  // overflow guard (tiny p, u near 1)
+  return 1 + static_cast<std::uint64_t>(k);
+}
+
+PoissonArrivals::PoissonArrivals(double rate) : rate_(rate) {
+  if (!(rate > 0.0 && rate <= 1.0)) {
+    throw std::invalid_argument("PoissonArrivals: need 0 < rate <= 1");
+  }
+}
+
+std::uint64_t PoissonArrivals::next_interarrival(std::uint64_t /*tau*/,
+                                                 Xoshiro256pp& rng) {
+  return geometric_steps(rate_, rng);
+}
+
+BurstyArrivals::BurstyArrivals(double base_rate, double burst_rate,
+                               std::uint64_t period, double duty)
+    : base_rate_(base_rate),
+      burst_rate_(burst_rate),
+      period_(period),
+      duty_(duty) {
+  if (!(base_rate > 0.0 && base_rate <= 1.0) ||
+      !(burst_rate > 0.0 && burst_rate <= 1.0)) {
+    throw std::invalid_argument("BurstyArrivals: rates must be in (0, 1]");
+  }
+  if (period < 1) throw std::invalid_argument("BurstyArrivals: period >= 1");
+  if (!(duty > 0.0 && duty < 1.0)) {
+    throw std::invalid_argument("BurstyArrivals: need 0 < duty < 1");
+  }
+}
+
+double BurstyArrivals::rate_at(std::uint64_t tau) const noexcept {
+  const double phase = static_cast<double>(tau % period_) /
+                       static_cast<double>(period_);
+  return phase < duty_ ? burst_rate_ : base_rate_;
+}
+
+std::uint64_t BurstyArrivals::next_interarrival(std::uint64_t tau,
+                                                Xoshiro256pp& rng) {
+  // Thinning (Lewis & Shedler): draw candidates at the peak rate and
+  // accept with probability rate(candidate)/peak. Exact for any
+  // piecewise rate bounded by the peak, and every draw is a pure
+  // function of the rng stream — deterministic replay holds.
+  const double peak =
+      base_rate_ > burst_rate_ ? base_rate_ : burst_rate_;
+  std::uint64_t t = tau;
+  for (;;) {
+    const std::uint64_t gap = geometric_steps(peak, rng);
+    if (gap == kNeverStep || kNeverStep - t <= gap) return kNeverStep;
+    t += gap;
+    if (rng.uniform_double() * peak < rate_at(t)) return t - tau;
+  }
+}
+
+ReplayArrivals::ReplayArrivals(std::vector<std::uint64_t> times)
+    : times_(std::move(times)) {
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (times_[i] <= times_[i - 1]) {
+      throw std::invalid_argument(
+          "ReplayArrivals: times must be strictly increasing");
+    }
+  }
+}
+
+std::uint64_t ReplayArrivals::next_interarrival(std::uint64_t tau,
+                                                Xoshiro256pp& /*rng*/) {
+  while (idx_ < times_.size() && times_[idx_] <= tau) ++idx_;
+  if (idx_ == times_.size()) return kNeverStep;
+  return times_[idx_++] - tau;
+}
+
+}  // namespace pwf::core

@@ -1,0 +1,100 @@
+// Arrival processes for the open-system engine.
+//
+// An ArrivalProcess generates the stream of client-arrival times. All
+// randomness flows through the engine's Xoshiro256pp, so an arrival
+// trajectory is a pure function of the seed — the open-system
+// determinism tests pin this across thread counts.
+//
+// Discrete time: an interarrival of k means the next client lands k
+// steps after the previous arrival (k >= 1). Poisson arrivals on a
+// discrete clock are geometric interarrivals (a Bernoulli(rate) coin
+// per step); the bursty/diurnal process modulates the rate with a
+// square wave and samples by thinning at the peak rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pwf::core {
+
+/// Geometric(p) on {1, 2, ...}: steps until the first success of a
+/// per-step Bernoulli(p). Consumes exactly one uniform draw. Returns
+/// kNeverStep for p <= 0; returns 1 for p >= 1.
+inline constexpr std::uint64_t kNeverStep = ~std::uint64_t{0};
+std::uint64_t geometric_steps(double p, Xoshiro256pp& rng);
+
+/// The stream of client-arrival times.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Steps after `tau` until the next arrival (>= 1), or kNeverStep when
+  /// the stream is exhausted. May consume rng.
+  virtual std::uint64_t next_interarrival(std::uint64_t tau,
+                                          Xoshiro256pp& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Poisson arrivals at `rate` clients per step (0 < rate <= 1):
+/// geometric interarrivals, one RNG draw each.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate);
+
+  std::uint64_t next_interarrival(std::uint64_t tau,
+                                  Xoshiro256pp& rng) override;
+  std::string name() const override { return "poisson"; }
+
+  double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Bursty / diurnal arrivals: the rate is a square wave — `burst_rate`
+/// during the first `duty` fraction of every `period` steps, `base_rate`
+/// otherwise. Sampled by thinning: candidates are drawn at the peak rate
+/// and accepted with probability rate(t)/peak, which realizes exactly
+/// the modulated process.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  /// Preconditions: 0 < base_rate, burst_rate <= 1; period >= 1;
+  /// 0 < duty < 1.
+  BurstyArrivals(double base_rate, double burst_rate, std::uint64_t period,
+                 double duty);
+
+  std::uint64_t next_interarrival(std::uint64_t tau,
+                                  Xoshiro256pp& rng) override;
+  std::string name() const override { return "bursty"; }
+
+  /// The instantaneous rate at time `tau`; exposed for tests.
+  double rate_at(std::uint64_t tau) const noexcept;
+
+ private:
+  double base_rate_;
+  double burst_rate_;
+  std::uint64_t period_;
+  double duty_;
+};
+
+/// Deterministic replay of a recorded arrival trajectory: consumes no
+/// randomness, lands a client at each listed time exactly once. Times
+/// must be strictly increasing.
+class ReplayArrivals final : public ArrivalProcess {
+ public:
+  explicit ReplayArrivals(std::vector<std::uint64_t> times);
+
+  std::uint64_t next_interarrival(std::uint64_t tau,
+                                  Xoshiro256pp& rng) override;
+  std::string name() const override { return "replay"; }
+
+ private:
+  std::vector<std::uint64_t> times_;
+  std::size_t idx_ = 0;
+};
+
+}  // namespace pwf::core

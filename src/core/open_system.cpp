@@ -1,0 +1,378 @@
+#include "core/open_system.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace pwf::core {
+
+double OpenLatencyReport::completion_rate() const {
+  return steps ? static_cast<double>(completions) / static_cast<double>(steps)
+               : 0.0;
+}
+
+double OpenLatencyReport::mean_op_latency() const {
+  return completions ? static_cast<double>(op_latency_sum) /
+                           static_cast<double>(completions)
+                     : 0.0;
+}
+
+double OpenLatencyReport::mean_queue_length() const {
+  return queue_time ? static_cast<double>(queue_integral) /
+                          static_cast<double>(queue_time)
+                    : 0.0;
+}
+
+void OpenLatencyReport::merge(const OpenLatencyReport& other) {
+  steps += other.steps;
+  completions += other.completions;
+  system_gaps.merge(other.system_gaps);
+  op_latency.merge(other.op_latency);
+  op_latency_sum += other.op_latency_sum;
+  queue_time += other.queue_time;
+  queue_integral += other.queue_integral;
+  queue_peak = std::max(queue_peak, other.queue_peak);
+  queue_curve.insert(queue_curve.end(), other.queue_curve.begin(),
+                     other.queue_curve.end());
+  arrivals += other.arrivals;
+  departures += other.departures;
+  crashes += other.crashes;
+  restarts += other.restarts;
+  shed += other.shed;
+  abandoned += other.abandoned;
+}
+
+std::uint64_t OpenLatencyReport::fingerprint() const noexcept {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(steps);
+  mix(completions);
+  mix(system_gaps.count());
+  mix(std::bit_cast<std::uint64_t>(system_gaps.mean()));
+  mix(op_latency.fingerprint());
+  mix(op_latency_sum);
+  mix(queue_time);
+  mix(queue_integral);
+  mix(queue_peak);
+  mix(arrivals);
+  mix(departures);
+  mix(crashes);
+  mix(restarts);
+  mix(shed);
+  mix(abandoned);
+  for (const auto& [tau, live] : queue_curve) {
+    mix(tau);
+    mix(live);
+  }
+  return h;
+}
+
+std::size_t OpenSimulation::registers_required(CompactKind kind, std::size_t s,
+                                               std::size_t capacity) {
+  switch (kind) {
+    case CompactKind::kScu:
+      return s + capacity;  // scan registers + per-slot scratch
+    case CompactKind::kParallel:
+    case CompactKind::kFetchInc:
+      return 1;
+  }
+  return 1;
+}
+
+OpenSimulation::OpenSimulation(std::unique_ptr<Scheduler> scheduler,
+                               Options options)
+    : memory_(registers_required(options.kind, options.s, options.capacity),
+              0),
+      table_(options.capacity, options.order),
+      scheduler_(std::move(scheduler)),
+      arrivals_(std::move(options.arrivals)),
+      rng_(options.seed),
+      kind_(options.kind),
+      q_(options.q),
+      s_(options.s),
+      weight_(options.process_weight),
+      depart_rate_(options.depart_rate),
+      crash_rate_(options.crash_rate),
+      restart_prob_(options.restart_prob),
+      restart_delay_rate_(options.restart_delay_rate),
+      queue_sample_every_(options.queue_sample_every) {
+  if (!scheduler_) throw std::invalid_argument("OpenSimulation: null scheduler");
+  if (kind_ == CompactKind::kScu && s_ < 1) {
+    throw std::invalid_argument("OpenSimulation: SCU needs s >= 1");
+  }
+  if (kind_ == CompactKind::kParallel && q_ < 1) {
+    throw std::invalid_argument("OpenSimulation: parallel code needs q >= 1");
+  }
+  if (options.initial_n > options.capacity) {
+    throw std::invalid_argument("OpenSimulation: initial_n > capacity");
+  }
+  if (!(weight_ > 0.0)) {
+    throw std::invalid_argument("OpenSimulation: process_weight must be > 0");
+  }
+  {
+    ScuState st;
+    scu_reset(st, q_);
+    initial_phase_ = st.phase;  // kScan when q == 0, kPreamble otherwise
+  }
+  for (std::size_t i = 0; i < options.initial_n; ++i) {
+    admit_one(/*from_arrival_stream=*/false);
+  }
+  if (arrivals_) {
+    const std::uint64_t gap = arrivals_->next_interarrival(0, rng_);
+    if (gap != kNeverStep) {
+      push_event(gap, Event::kArrivalEv, ProcessTable::kNone, 0);
+    }
+  }
+}
+
+void OpenSimulation::push_event(std::uint64_t time, Event::Kind kind,
+                                std::size_t slot, std::uint32_t gen) {
+  events_.push(Event{time, seq_++, kind, slot, gen});
+}
+
+void OpenSimulation::schedule_crash(std::uint64_t tau, std::size_t slot) {
+  if (slot >= table_.capacity()) {
+    throw std::out_of_range("schedule_crash: slot out of range");
+  }
+  if (tau < now_) {
+    throw std::invalid_argument("schedule_crash: time already passed");
+  }
+  push_event(tau, Event::kCrashEv, slot, table_.generation[slot]);
+}
+
+void OpenSimulation::admit_one(bool from_arrival_stream) {
+  const std::size_t slot = table_.admit(weight_, now_);
+  if (slot == ProcessTable::kNone) {
+    ++report_.shed;  // load shedding: the table is full
+    return;
+  }
+  table_.phase[slot] = initial_phase_;
+  if (from_arrival_stream) ++report_.arrivals;
+  report_.queue_peak = std::max<std::uint64_t>(report_.queue_peak,
+                                               table_.live_count());
+  scheduler_->on_membership_change(MembershipEvent::kArrive, slot, weight_);
+  schedule_leave(slot);
+}
+
+void OpenSimulation::schedule_leave(std::size_t slot) {
+  // Draw both leave clocks (departure first — fixed order pins the RNG
+  // stream) and schedule only the earlier: exactly one pending leave
+  // event per tenant, so no stale-event guards are needed in the heap.
+  const std::uint64_t depart = geometric_steps(depart_rate_, rng_);
+  const std::uint64_t crash = geometric_steps(crash_rate_, rng_);
+  const std::uint64_t soonest = std::min(depart, crash);
+  if (soonest == kNeverStep || kNeverStep - now_ <= soonest) return;
+  push_event(now_ + soonest,
+             crash <= depart ? Event::kCrashEv : Event::kDepartEv, slot,
+             table_.generation[slot]);
+}
+
+void OpenSimulation::leave_accounting(std::size_t slot) {
+  // An operation in flight when its process leaves is abandoned — it
+  // must not linger as pending forever in any fairness accounting.
+  if (table_.op_steps[slot] > 0) ++report_.abandoned;
+}
+
+void OpenSimulation::process_due_events() {
+  while (!events_.empty() && events_.top().time <= now_) {
+    const Event ev = events_.top();
+    events_.pop();
+    switch (ev.kind) {
+      case Event::kArrivalEv: {
+        admit_one(/*from_arrival_stream=*/true);
+        const std::uint64_t gap = arrivals_->next_interarrival(now_, rng_);
+        if (gap != kNeverStep && kNeverStep - now_ > gap) {
+          push_event(now_ + gap, Event::kArrivalEv, ProcessTable::kNone, 0);
+        }
+        break;
+      }
+      case Event::kDepartEv: {
+        // A planned crash (schedule_crash) may have removed this tenant
+        // while its organic leave event was still pending.
+        if (!table_.alive(ev.slot) ||
+            table_.generation[ev.slot] != ev.generation) {
+          break;
+        }
+        leave_accounting(ev.slot);
+        ++report_.departures;
+        table_.retire(ev.slot);
+        scheduler_->on_membership_change(MembershipEvent::kDepart, ev.slot,
+                                         table_.weight[ev.slot]);
+        break;
+      }
+      case Event::kCrashEv: {
+        // Planned crashes (schedule_crash) can race the tenant's own
+        // leave event; skip if that tenant is already gone.
+        if (!table_.alive(ev.slot) ||
+            table_.generation[ev.slot] != ev.generation) {
+          break;
+        }
+        leave_accounting(ev.slot);
+        ++report_.crashes;
+        const bool restart =
+            restart_prob_ > 0.0 && rng_.bernoulli(restart_prob_);
+        if (restart) {
+          table_.suspend(ev.slot);  // slot reserved for the revive
+          const std::uint64_t delay =
+              restart_delay_rate_ > 0.0
+                  ? geometric_steps(restart_delay_rate_, rng_)
+                  : 1;
+          if (delay != kNeverStep && kNeverStep - now_ > delay) {
+            push_event(now_ + delay, Event::kRestartEv, ev.slot,
+                       table_.generation[ev.slot]);
+          } else {
+            table_.retire(ev.slot);  // delay overflowed: never restarts
+          }
+        } else {
+          table_.retire(ev.slot);
+        }
+        scheduler_->on_membership_change(MembershipEvent::kCrash, ev.slot,
+                                         table_.weight[ev.slot]);
+        break;
+      }
+      case Event::kRestartEv: {
+        table_.revive(ev.slot, now_);
+        table_.phase[ev.slot] = initial_phase_;
+        ++report_.restarts;
+        report_.queue_peak = std::max<std::uint64_t>(report_.queue_peak,
+                                                     table_.live_count());
+        scheduler_->on_membership_change(MembershipEvent::kRestart, ev.slot,
+                                         table_.weight[ev.slot]);
+        schedule_leave(ev.slot);
+        break;
+      }
+    }
+  }
+}
+
+bool OpenSimulation::step_slot(std::size_t slot) {
+  switch (kind_) {
+    case CompactKind::kParallel: {
+      ParallelState st{table_.pstep[slot]};
+      const bool done = parallel_step(st, q_, memory_);
+      table_.pstep[slot] = st.counter;
+      return done;
+    }
+    case CompactKind::kScu: {
+      ScuState st{table_.phase[slot], table_.pstep[slot], table_.view[slot],
+                  table_.attempts[slot]};
+      const bool done =
+          scu_step(st, slot, table_.capacity(), q_, s_, memory_);
+      table_.phase[slot] = st.phase;
+      table_.pstep[slot] = st.phase_step;
+      table_.view[slot] = st.view;
+      table_.attempts[slot] = st.attempts;
+      return done;
+    }
+    case CompactKind::kFetchInc: {
+      FetchIncState st{table_.view[slot]};
+      Value before = 0;
+      const bool done = fetch_inc_step(st, memory_, before);
+      table_.view[slot] = st.v;
+      return done;
+    }
+  }
+  return false;  // unreachable
+}
+
+void OpenSimulation::account_time(std::uint64_t dt) {
+  const std::uint64_t live = table_.live_count();
+  report_.queue_time += dt;
+  report_.queue_integral += live * dt;
+  if (queue_sample_every_ != 0) {
+    while (next_queue_sample_ < now_ + dt) {
+      report_.queue_curve.emplace_back(next_queue_sample_, live);
+      next_queue_sample_ += queue_sample_every_;
+    }
+  }
+}
+
+template <bool WithObserver>
+void OpenSimulation::run_segment(std::uint64_t count) {
+  Scheduler& sched = *scheduler_;
+  const std::span<const std::size_t> live = table_.live();
+  if (!sched.batch_safe()) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::size_t p = sched.next(now_, live, rng_);
+      ++now_;
+      const bool completed = step_slot(p);
+      ++table_.steps[p];
+      ++table_.op_steps[p];
+      if (completed) {
+        ++report_.completions;
+        ++table_.completions[p];
+        report_.system_gaps.add(static_cast<double>(now_ - last_completion_));
+        last_completion_ = now_;
+        const std::uint64_t lat = now_ - table_.op_start[p];
+        report_.op_latency.add(lat);
+        report_.op_latency_sum += lat;
+        table_.op_start[p] = now_;
+        table_.op_steps[p] = 0;
+      }
+      if constexpr (WithObserver) observer_->on_step(now_, p, completed);
+    }
+    report_.steps += count;
+    return;
+  }
+  if (draw_buf_.size() < kDrawBatch) {
+    draw_buf_.resize(std::min<std::uint64_t>(count, kDrawBatch));
+  }
+  std::uint64_t done = 0;
+  while (done < count) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(count - done, kDrawBatch));
+    const std::span<std::size_t> draws(draw_buf_.data(), chunk);
+    sched.next_batch(now_, live, rng_, draws);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const std::size_t p = draws[i];
+      ++now_;
+      const bool completed = step_slot(p);
+      ++table_.steps[p];
+      ++table_.op_steps[p];
+      if (completed) {
+        ++report_.completions;
+        ++table_.completions[p];
+        report_.system_gaps.add(static_cast<double>(now_ - last_completion_));
+        last_completion_ = now_;
+        const std::uint64_t lat = now_ - table_.op_start[p];
+        report_.op_latency.add(lat);
+        report_.op_latency_sum += lat;
+        table_.op_start[p] = now_;
+        table_.op_steps[p] = 0;
+      }
+      if constexpr (WithObserver) observer_->on_step(now_, p, completed);
+    }
+    done += chunk;
+  }
+  report_.steps += count;
+}
+
+void OpenSimulation::run(std::uint64_t steps) {
+  const std::uint64_t end = now_ + steps;
+  while (now_ < end) {
+    process_due_events();
+    std::uint64_t segment = end - now_;
+    if (!events_.empty()) {
+      // All due events are processed, so the top is strictly future.
+      segment = std::min(segment, events_.top().time - now_);
+    }
+    account_time(segment);
+    if (table_.live_count() == 0) {
+      // Idle: time passes (queue curve records zero) with no steps.
+      now_ += segment;
+      continue;
+    }
+    if (observer_ != nullptr) {
+      run_segment<true>(segment);
+    } else {
+      run_segment<false>(segment);
+    }
+  }
+}
+
+}  // namespace pwf::core

@@ -1,0 +1,212 @@
+// The open-system execution engine: arrivals, departures, crashes, and
+// restarts over a struct-of-arrays ProcessTable.
+//
+// The paper's model (and the closed Simulation) fixes n processes for
+// the whole run. Production traffic is an open system: clients arrive
+// (Poisson, bursty, or replayed), run operations back to back, and
+// leave — voluntarily (departure) or by crashing, possibly restarting
+// after a delay. OpenSimulation scales that model to 10^6 live
+// processes by:
+//
+//   * storing all per-process state in a ProcessTable (SoA + free list,
+//     O(1) admit/retire) instead of boxed StepMachines;
+//   * running the same step kernels (step_kernels.hpp) as the boxed
+//     machines, so the compact engine is bit-identical to the closed
+//     one in the closed configuration (no arrivals, sorted order,
+//     capacity = n) — the golden-reference tests assert this;
+//   * driving all membership changes through a time-ordered event heap,
+//     so the hot loop runs membership-stable segments with batched
+//     scheduler draws (Scheduler::next_batch) and no per-step probes;
+//   * notifying the scheduler through on_membership_change, which lets
+//     the incremental alias table (DynamicWeightedScheduler) apply O(1)
+//     deltas instead of O(n) rebuilds.
+//
+// Every random choice — scheduler draws, interarrivals, lifetimes,
+// crash/restart timing — flows through one seeded Xoshiro256pp in
+// deterministic event order, so the whole trajectory (and the final
+// ProcessTable digest) is a pure function of the seed.
+//
+// Latency bookkeeping (paper, Section 2.4, extended to open systems):
+// an operation's latency is the system steps between two consecutive
+// completions by the same process (the first op starts at admission).
+// Operations pending when their process departs or crashes are counted
+// as `abandoned`, never as still-running — the fairness fix PR 2
+// hardened for the closed report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/arrival.hpp"
+#include "core/memory.hpp"
+#include "core/process_table.hpp"
+#include "core/scheduler.hpp"
+#include "core/simulation.hpp"
+#include "core/step_kernels.hpp"
+#include "util/quantile.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pwf::core {
+
+/// Which step kernel every process in an open simulation runs.
+enum class CompactKind {
+  kParallel,  ///< Algorithm 4, work parameter q
+  kScu,       ///< Algorithm 2, SCU(q, s)
+  kFetchInc,  ///< Algorithm 5, lock-free fetch-and-increment
+};
+
+/// Aggregated open-system statistics. merge() is a deterministic fold —
+/// replicas farmed across the exp pool are merged in replica order, so
+/// the merged report is thread-count invariant.
+struct OpenLatencyReport {
+  std::uint64_t steps = 0;        ///< scheduled steps (idle time excluded)
+  std::uint64_t completions = 0;
+  StreamingStats system_gaps;     ///< steps between consecutive completions
+  QuantileSketch op_latency;      ///< per-op latency; p50/p99/p999 source
+  std::uint64_t op_latency_sum = 0;  ///< exact mean for fairness checks
+
+  // Queue-length curve: live-process count integrated over time.
+  std::uint64_t queue_time = 0;      ///< time units observed (idle included)
+  std::uint64_t queue_integral = 0;  ///< sum of live-count * dt
+  std::uint64_t queue_peak = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>>
+      queue_curve;  ///< decimated (tau, live) samples
+
+  std::uint64_t arrivals = 0;    ///< arrival-process admissions
+  std::uint64_t departures = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t shed = 0;        ///< arrivals dropped: table full
+  std::uint64_t abandoned = 0;   ///< ops pending at departure/crash
+
+  double completion_rate() const;
+  double system_latency() const { return system_gaps.mean(); }
+  double mean_op_latency() const;
+  double mean_queue_length() const;
+
+  /// Folds `other` in; associative and deterministic in fold order.
+  void merge(const OpenLatencyReport& other);
+
+  /// FNV-1a over every counter and the sketch; bit-identical reports
+  /// (and only those) agree. Determinism tests compare fingerprints.
+  std::uint64_t fingerprint() const noexcept;
+};
+
+/// The open-system engine.
+class OpenSimulation {
+ public:
+  struct Options {
+    CompactKind kind = CompactKind::kScu;
+    std::size_t q = 0;  ///< parallel work / SCU preamble length
+    std::size_t s = 1;  ///< SCU scan width
+    std::size_t capacity = 1024;   ///< slots; arrivals beyond this shed
+    std::size_t initial_n = 0;     ///< processes admitted at tau = 0
+    double process_weight = 1.0;   ///< scheduling weight of every client
+    std::uint64_t seed = 1;
+    LiveOrder order = LiveOrder::dense;
+
+    /// Arrival stream; null = no arrivals (closed population).
+    std::unique_ptr<ArrivalProcess> arrivals;
+    // Per-process, per-step leave probabilities (0 disables):
+    double depart_rate = 0.0;
+    double crash_rate = 0.0;
+    double restart_prob = 0.0;        ///< P(a crash is followed by restart)
+    double restart_delay_rate = 0.0;  ///< geometric delay; 0 = next step
+
+    /// Emit a queue-curve sample every this many steps (0 = stats only).
+    std::uint64_t queue_sample_every = 0;
+  };
+
+  OpenSimulation(std::unique_ptr<Scheduler> scheduler, Options options);
+
+  /// Closed-compat crash plan: slot leaves at `tau` (before the step at
+  /// tau), subject to the restart model like any other crash.
+  void schedule_crash(std::uint64_t tau, std::size_t slot);
+
+  /// Runs `steps` more time units. Time passes (and the queue curve
+  /// records zero) even while no process is live.
+  void run(std::uint64_t steps);
+
+  void set_observer(SimObserver* observer) { observer_ = observer; }
+
+  const OpenLatencyReport& report() const noexcept { return report_; }
+  std::uint64_t now() const noexcept { return now_; }
+  const ProcessTable& table() const noexcept { return table_; }
+  SharedMemory& memory() noexcept { return memory_; }
+  const SharedMemory& memory() const noexcept { return memory_; }
+  const Scheduler& scheduler() const noexcept { return *scheduler_; }
+
+  /// Registers the engine allocates for a kind/config; mirrors the boxed
+  /// algorithms' registers_required with n = capacity.
+  static std::size_t registers_required(CompactKind kind, std::size_t s,
+                                        std::size_t capacity);
+
+ private:
+  struct Event {
+    std::uint64_t time;
+    std::uint64_t seq;  ///< schedule order; ties process in this order
+    enum Kind : std::uint8_t {
+      kArrivalEv,
+      kDepartEv,
+      kCrashEv,
+      kRestartEv
+    } kind;
+    std::size_t slot;
+    std::uint32_t generation;  ///< tenant guard for planned crashes
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  void push_event(std::uint64_t time, Event::Kind kind, std::size_t slot,
+                  std::uint32_t gen);
+  void process_due_events();
+  void admit_one(bool from_arrival_stream);
+  /// Draws this tenant's departure and crash clocks and schedules the
+  /// earlier one (exactly one pending leave event per tenant).
+  void schedule_leave(std::size_t slot);
+  void leave_accounting(std::size_t slot);
+  bool step_slot(std::size_t slot);
+  void account_time(std::uint64_t dt);
+  template <bool WithObserver>
+  void run_segment(std::uint64_t count);
+
+  static constexpr std::size_t kDrawBatch = 1024;
+
+  SharedMemory memory_;
+  ProcessTable table_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  Xoshiro256pp rng_;
+  CompactKind kind_;
+  std::size_t q_;
+  std::size_t s_;
+  double weight_;
+  double depart_rate_;
+  double crash_rate_;
+  double restart_prob_;
+  double restart_delay_rate_;
+  std::uint8_t initial_phase_;  ///< ScuState phase for a fresh invocation
+
+  std::uint64_t now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::vector<std::size_t> draw_buf_;
+
+  OpenLatencyReport report_;
+  std::uint64_t last_completion_ = 0;
+  std::uint64_t queue_sample_every_;
+  std::uint64_t next_queue_sample_ = 0;
+  SimObserver* observer_ = nullptr;
+};
+
+}  // namespace pwf::core

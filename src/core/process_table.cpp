@@ -1,0 +1,130 @@
+#include "core/process_table.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace pwf::core {
+
+ProcessTable::ProcessTable(std::size_t capacity, LiveOrder order)
+    : order_(order) {
+  if (capacity == 0) {
+    throw std::invalid_argument("ProcessTable: need capacity >= 1");
+  }
+  weight.assign(capacity, 0.0);
+  alive_flag.assign(capacity, 0);
+  generation.assign(capacity, 0);
+  op_start.assign(capacity, 0);
+  op_steps.assign(capacity, 0);
+  steps.assign(capacity, 0);
+  completions.assign(capacity, 0);
+  phase.assign(capacity, 0);
+  pstep.assign(capacity, 0);
+  view.assign(capacity, 0);
+  attempts.assign(capacity, 0);
+  live_.reserve(capacity);
+  live_pos_.assign(capacity, 0);
+  free_.resize(capacity);
+  // Descending so pop_back hands out slot 0, 1, 2, ... on a fresh table.
+  for (std::size_t i = 0; i < capacity; ++i) free_[i] = capacity - 1 - i;
+}
+
+void ProcessTable::reset_op_state(std::size_t slot, std::uint64_t now) {
+  op_start[slot] = now;
+  op_steps[slot] = 0;
+  phase[slot] = 0;
+  pstep[slot] = 0;
+  view[slot] = 0;
+  // attempts[slot] deliberately survives: SCU proposal uniqueness is
+  // per-slot across generations (a reused slot must never re-propose).
+}
+
+void ProcessTable::insert_live(std::size_t slot) {
+  if (order_ == LiveOrder::sorted) {
+    live_.insert(std::upper_bound(live_.begin(), live_.end(), slot), slot);
+  } else {
+    live_pos_[slot] = live_.size();
+    live_.push_back(slot);
+  }
+}
+
+void ProcessTable::erase_live(std::size_t slot) {
+  if (order_ == LiveOrder::sorted) {
+    const auto it = std::lower_bound(live_.begin(), live_.end(), slot);
+    live_.erase(it);
+  } else {
+    // O(1) swap-remove via the inverse index — a scan here would make
+    // every retire O(live) and sink million-process churn.
+    const std::size_t pos = live_pos_[slot];
+    const std::size_t moved = live_.back();
+    live_[pos] = moved;
+    live_pos_[moved] = pos;
+    live_.pop_back();
+  }
+}
+
+std::size_t ProcessTable::admit(double w, std::uint64_t now) {
+  if (free_.empty()) return kNone;
+  const std::size_t slot = free_.back();
+  free_.pop_back();
+  weight[slot] = w;
+  alive_flag[slot] = 1;
+  ++generation[slot];
+  steps[slot] = 0;
+  completions[slot] = 0;
+  reset_op_state(slot, now);
+  insert_live(slot);
+  return slot;
+}
+
+void ProcessTable::retire(std::size_t slot) {
+  if (!alive(slot)) throw std::logic_error("ProcessTable::retire: not alive");
+  alive_flag[slot] = 0;
+  erase_live(slot);
+  free_.push_back(slot);
+}
+
+void ProcessTable::suspend(std::size_t slot) {
+  if (!alive(slot)) throw std::logic_error("ProcessTable::suspend: not alive");
+  alive_flag[slot] = 0;
+  erase_live(slot);
+  // Deliberately not pushed to free_: reserved for revive().
+}
+
+void ProcessTable::revive(std::size_t slot, std::uint64_t now) {
+  if (alive(slot)) throw std::logic_error("ProcessTable::revive: still alive");
+  alive_flag[slot] = 1;
+  ++generation[slot];
+  reset_op_state(slot, now);
+  insert_live(slot);
+}
+
+std::uint64_t ProcessTable::digest() const noexcept {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(capacity());
+  mix(static_cast<std::uint64_t>(order_));
+  for (std::size_t s = 0; s < capacity(); ++s) {
+    mix(std::bit_cast<std::uint64_t>(weight[s]));
+    mix(alive_flag[s]);
+    mix(generation[s]);
+    mix(op_start[s]);
+    mix(op_steps[s]);
+    mix(steps[s]);
+    mix(completions[s]);
+    mix(phase[s]);
+    mix(pstep[s]);
+    mix(view[s]);
+    mix(attempts[s]);
+  }
+  for (std::size_t s : live_) mix(s);
+  for (std::size_t s : free_) mix(s);
+  return h;
+}
+
+}  // namespace pwf::core

@@ -1,0 +1,109 @@
+// Struct-of-arrays per-process state for the open-system engine.
+//
+// The closed-system Simulation stores each process as a heap-allocated
+// StepMachine — one virtual dispatch and one dependent pointer load per
+// step. At n = 10^6 live processes that layout thrashes: a million
+// scattered 64-byte boxes, touched in scheduler order (i.e. randomly).
+// ProcessTable flips the layout to columnar arrays indexed by *slot*, so
+// the hot loop touches four or five flat arrays, and admission/retirement
+// are O(1) free-list operations instead of allocations.
+//
+// Slot lifecycle:
+//
+//   free --admit--> live --retire--> free
+//                     \--suspend--> suspended --revive--> live
+//
+// `suspend` models a crash with a pending restart: the slot is withheld
+// from the free list so the same identity (and its monotone `attempts`
+// counter — SCU proposal uniqueness) returns on revive. `generation`
+// counts admissions of a slot; membership events carry it so a stale
+// event for a previous tenant of the slot can be recognized.
+//
+// Live-list order policy: LiveOrder::sorted keeps live() ascending
+// (erase via lower_bound, matching the closed Simulation's active_ so
+// the golden bit-identity tests can compare engines); LiveOrder::dense
+// swap-removes in O(1) and is the open-system default — schedulers used
+// in open mode must treat the active span as an unordered set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/memory.hpp"
+
+namespace pwf::core {
+
+enum class LiveOrder {
+  sorted,  ///< live() ascending; O(log n + move) retire. Golden-compat.
+  dense,   ///< O(1) swap-remove retire; live() order is arbitrary.
+};
+
+class ProcessTable {
+ public:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  ProcessTable(std::size_t capacity, LiveOrder order);
+
+  std::size_t capacity() const noexcept { return weight.size(); }
+  LiveOrder order() const noexcept { return order_; }
+  std::size_t live_count() const noexcept { return live_.size(); }
+  bool full() const noexcept { return free_.empty(); }
+  std::span<const std::size_t> live() const noexcept { return live_; }
+  bool alive(std::size_t slot) const { return alive_flag.at(slot) != 0; }
+
+  /// Admits a process with scheduling weight `w`, starting its first
+  /// operation at time `now`. Returns the slot, or kNone when the table
+  /// is full (the caller sheds the arrival). Fresh tables hand out slots
+  /// in ascending order; retired slots are reused LIFO.
+  std::size_t admit(double w, std::uint64_t now);
+
+  /// Removes `slot` from the live set and returns it to the free list
+  /// (departure, or crash with no restart). O(1) dense, O(n) sorted.
+  void retire(std::size_t slot);
+
+  /// Removes `slot` from the live set but withholds it from the free
+  /// list: a crash with a restart pending. The slot's identity — and its
+  /// monotone `attempts` counter — is reserved for the revive.
+  void suspend(std::size_t slot);
+
+  /// Returns a suspended slot to the live set with a fresh generation
+  /// and a fresh operation starting at `now`. Kernel state is reset
+  /// except `attempts` (proposal uniqueness is per-slot, forever).
+  void revive(std::size_t slot, std::uint64_t now);
+
+  /// FNV-1a over every column of every slot plus the live/free lists:
+  /// bit-identical tables (and only those) agree. The open-system
+  /// determinism tests compare digests across thread counts.
+  std::uint64_t digest() const noexcept;
+
+  // SoA columns, indexed by slot. Public by design: the engine's hot
+  // loop reads and writes them directly.
+  std::vector<double> weight;
+  std::vector<std::uint8_t> alive_flag;
+  std::vector<std::uint32_t> generation;    ///< admissions of this slot
+  std::vector<std::uint64_t> op_start;      ///< tau the current op began
+  std::vector<std::uint64_t> op_steps;      ///< steps taken in current op
+  std::vector<std::uint64_t> steps;         ///< lifetime steps of this slot
+  std::vector<std::uint64_t> completions;   ///< lifetime completions
+  // Kernel state (step_kernels.hpp), one column per field; which columns
+  // a kind uses: kParallel -> pstep; kScu -> phase/pstep/view/attempts;
+  // kFetchInc -> view.
+  std::vector<std::uint8_t> phase;
+  std::vector<std::uint64_t> pstep;
+  std::vector<Value> view;
+  std::vector<std::uint64_t> attempts;  ///< never reset: SCU uniqueness
+
+ private:
+  void reset_op_state(std::size_t slot, std::uint64_t now);
+  void insert_live(std::size_t slot);
+  void erase_live(std::size_t slot);
+
+  LiveOrder order_;
+  std::vector<std::size_t> live_;
+  std::vector<std::size_t> live_pos_;  ///< slot -> index in live_ (dense only)
+  std::vector<std::size_t> free_;  ///< stack; initialized descending
+};
+
+}  // namespace pwf::core

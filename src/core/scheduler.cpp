@@ -13,6 +13,14 @@ std::size_t UniformScheduler::next(std::uint64_t /*tau*/,
   return active[draw_(rng)];
 }
 
+void UniformScheduler::next_batch(std::uint64_t /*tau*/,
+                                  std::span<const std::size_t> active,
+                                  Xoshiro256pp& rng,
+                                  std::span<std::size_t> out) {
+  if (draw_.bound() != active.size()) draw_ = BoundedDraw(active.size());
+  for (std::size_t& o : out) o = active[draw_(rng)];
+}
+
 double UniformScheduler::theta(std::size_t num_active) const {
   return num_active ? 1.0 / static_cast<double>(num_active) : 0.0;
 }
@@ -39,48 +47,16 @@ bool WeightedScheduler::table_matches(
   // Under crash containment the active set only ever shrinks, so a table
   // built for a different active set differs in size — or, for callers
   // that swap same-sized sets without on_crash, in an endpoint.
-  return !rebuild_ && active.size() == ids_.size() &&
-         active.front() == ids_.front() && active.back() == ids_.back();
+  const auto ids = table_.ids();
+  return !rebuild_ && active.size() == ids.size() &&
+         active.front() == ids.front() && active.back() == ids.back();
 }
 
 void WeightedScheduler::build_alias(std::span<const std::size_t> active) {
-  // Vose's O(k) alias-table construction: scale each active probability
-  // by k, then pair every under-full bucket with an over-full donor so
-  // each bucket carries total mass exactly 1/k.
-  const std::size_t k = active.size();
-  ids_.assign(active.begin(), active.end());
-  alias_.assign(k, 0);
-  cut_.assign(k, 1.0);
-  bucket_ = BoundedDraw(k);
-
-  double total = 0.0;
-  for (std::size_t p : active) total += weights_.at(p);
-  std::vector<double> scaled(k);
-  for (std::size_t b = 0; b < k; ++b) {
-    scaled[b] = weights_[ids_[b]] * static_cast<double>(k) / total;
-  }
-
-  std::vector<std::size_t> small, large;
-  small.reserve(k);
-  large.reserve(k);
-  for (std::size_t b = 0; b < k; ++b) {
-    (scaled[b] < 1.0 ? small : large).push_back(b);
-  }
-  while (!small.empty() && !large.empty()) {
-    const std::size_t s = small.back();
-    const std::size_t l = large.back();
-    small.pop_back();
-    cut_[s] = scaled[s];
-    alias_[s] = l;
-    scaled[l] -= 1.0 - scaled[s];
-    if (scaled[l] < 1.0) {
-      large.pop_back();
-      small.push_back(l);
-    }
-  }
-  // Leftovers (either list) have mass 1 up to rounding: keep own id.
-  for (std::size_t b : small) cut_[b] = 1.0;
-  for (std::size_t b : large) cut_[b] = 1.0;
+  std::vector<double> w;
+  w.reserve(active.size());
+  for (std::size_t p : active) w.push_back(weights_.at(p));
+  table_.build(active, w);
   rebuild_ = false;
 }
 
@@ -89,8 +65,7 @@ std::size_t WeightedScheduler::next(std::uint64_t /*tau*/,
                                     Xoshiro256pp& rng) {
   if (mode_ == SamplingMode::alias) {
     if (!table_matches(active)) build_alias(active);
-    const std::size_t b = bucket_(rng);
-    return rng.uniform_double() < cut_[b] ? ids_[b] : ids_[alias_[b]];
+    return table_.draw(rng);
   }
   double total = 0.0;
   for (std::size_t p : active) total += weights_.at(p);
@@ -102,6 +77,18 @@ std::size_t WeightedScheduler::next(std::uint64_t /*tau*/,
   return active.back();  // numerical fallthrough
 }
 
+void WeightedScheduler::next_batch(std::uint64_t tau,
+                                   std::span<const std::size_t> active,
+                                   Xoshiro256pp& rng,
+                                   std::span<std::size_t> out) {
+  if (mode_ != SamplingMode::alias) {
+    Scheduler::next_batch(tau, active, rng, out);
+    return;
+  }
+  if (!table_matches(active)) build_alias(active);
+  for (std::size_t& o : out) o = table_.draw(rng);
+}
+
 void WeightedScheduler::on_crash(std::size_t /*process*/) { rebuild_ = true; }
 
 std::vector<double> WeightedScheduler::sampling_probabilities(
@@ -109,12 +96,7 @@ std::vector<double> WeightedScheduler::sampling_probabilities(
   std::vector<double> probs(active.size(), 0.0);
   if (mode_ == SamplingMode::alias) {
     if (!table_matches(active)) build_alias(active);
-    const double bucket_mass = 1.0 / static_cast<double>(ids_.size());
-    for (std::size_t b = 0; b < ids_.size(); ++b) {
-      probs[b] += bucket_mass * cut_[b];
-      probs[alias_[b]] += bucket_mass * (1.0 - cut_[b]);
-    }
-    return probs;
+    return table_.probabilities(active);
   }
   double total = 0.0;
   for (std::size_t p : active) total += weights_.at(p);

@@ -16,9 +16,21 @@
 #include <string>
 #include <vector>
 
+#include "core/alias.hpp"
 #include "util/rng.hpp"
 
 namespace pwf::core {
+
+/// How a process's membership in the active set changed. The closed
+/// system knows only kCrash (processes leave for good — crash
+/// containment); the open system adds arrivals, voluntary departures,
+/// and crash-with-restart.
+enum class MembershipEvent {
+  kArrive,   ///< a new process joined the active set
+  kDepart,   ///< a process left voluntarily (completed its session)
+  kCrash,    ///< a process crashed (may restart later)
+  kRestart,  ///< a previously crashed process rejoined
+};
 
 /// Chooses which process takes the next step. Implementations may be
 /// randomized (stochastic schedulers) or deterministic (adversaries).
@@ -33,6 +45,30 @@ class Scheduler {
                            std::span<const std::size_t> active,
                            Xoshiro256pp& rng) = 0;
 
+  /// Fills `out` with the processes for steps tau, tau+1, ...,
+  /// tau+out.size()-1 under a membership-stable active set. The engine
+  /// batches its per-step draws through this in the hot loop; the
+  /// contract is that the draws — and the raw RNG stream consumed — are
+  /// *identical* to calling next() once per step, so batched and
+  /// unbatched runs produce bit-identical trajectories. The default does
+  /// exactly that; stateless samplers override it to hoist the virtual
+  /// dispatch and table lookups out of the loop.
+  virtual void next_batch(std::uint64_t tau,
+                          std::span<const std::size_t> active,
+                          Xoshiro256pp& rng, std::span<std::size_t> out) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = next(tau + i, active, rng);
+    }
+  }
+
+  /// True when next_batch may be used: the engine pre-draws a whole
+  /// chunk of processes before stepping any machine, which is only
+  /// transparent if draws depend on nothing but (tau, active, rng,
+  /// scheduler state). AdversarialScheduler returns false — its strategy
+  /// is an arbitrary callback that may read simulation state between
+  /// steps — and the engine falls back to per-step draws.
+  virtual bool batch_safe() const { return true; }
+
   /// The weak-fairness threshold theta given the current number of active
   /// processes: every active process is scheduled with probability at least
   /// theta at every step. Returns 0 for non-stochastic (adversarial)
@@ -44,6 +80,22 @@ class Scheduler {
   /// stateful schedulers drop any reference to the crashed process here.
   virtual void on_crash(std::size_t process) { (void)process; }
 
+  /// Open-system membership notification, called before the next draw.
+  /// `weight` is the process's scheduling weight (1.0 for uniform
+  /// members). The default preserves the closed-system behaviour: leave
+  /// events (kDepart, kCrash) forward to on_crash, join events are
+  /// no-ops — correct for every scheduler that re-reads the active span
+  /// on each draw. Schedulers with per-process state (the incremental
+  /// alias table) override this to apply O(1) deltas instead.
+  virtual void on_membership_change(MembershipEvent event, std::size_t process,
+                                    double weight) {
+    (void)weight;
+    if (event == MembershipEvent::kDepart ||
+        event == MembershipEvent::kCrash) {
+      on_crash(process);
+    }
+  }
+
   virtual std::string name() const = 0;
 };
 
@@ -53,6 +105,10 @@ class UniformScheduler final : public Scheduler {
  public:
   std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
                    Xoshiro256pp& rng) override;
+  /// Devirtualized hot loop over the cached bounded draw; stream- and
+  /// value-identical to per-step next().
+  void next_batch(std::uint64_t tau, std::span<const std::size_t> active,
+                  Xoshiro256pp& rng, std::span<std::size_t> out) override;
   double theta(std::size_t num_active) const override;
   std::string name() const override { return "uniform"; }
 
@@ -94,6 +150,11 @@ class WeightedScheduler final : public Scheduler {
 
   std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
                    Xoshiro256pp& rng) override;
+  /// Alias mode: builds the table once, then loops the two-draw sampler
+  /// with no per-step table checks. Linear mode falls back to the
+  /// per-step default. Stream-identical to per-step next() either way.
+  void next_batch(std::uint64_t tau, std::span<const std::size_t> active,
+                  Xoshiro256pp& rng, std::span<std::size_t> out) override;
   double theta(std::size_t num_active) const override;
   /// Invalidates the alias table; it is rebuilt from the next next()'s
   /// active span. (next() additionally guards on the span's size and
@@ -121,13 +182,12 @@ class WeightedScheduler final : public Scheduler {
   double total_weight_;
   SamplingMode mode_;
 
-  // Alias table over the active set used to build it (Vose 1991):
-  // bucket b holds ids_[b] with probability cut_[b] and ids_[alias_[b]]
-  // with the rest; each bucket carries total mass 1/k.
-  std::vector<std::size_t> ids_;    ///< active ids at build time
-  std::vector<std::size_t> alias_;  ///< alias bucket -> position in ids_
-  std::vector<double> cut_;         ///< P(keep bucket's own id)
-  BoundedDraw bucket_;              ///< cached bounded draw over ids_.size()
+  // Vose alias table over the active set at build time; rebuilt eagerly
+  // and in full on every membership change (the closed-system policy —
+  // crashes are rare, so O(|A_tau|) per crash amortizes to nothing; the
+  // open-system DynamicWeightedScheduler uses the same AliasTable with
+  // its incremental deltas instead).
+  AliasTable table_;
   bool rebuild_ = true;
 };
 
@@ -195,6 +255,9 @@ class AdversarialScheduler final : public Scheduler {
 
   std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
                    Xoshiro256pp& rng) override;
+  /// Strategies are arbitrary callbacks; they may capture and read
+  /// simulation state between steps, so pre-drawing is not transparent.
+  bool batch_safe() const override { return false; }
   double theta(std::size_t num_active) const override { (void)num_active; return 0.0; }
   std::string name() const override { return label_; }
 
@@ -215,6 +278,7 @@ class ThetaMixScheduler final : public Scheduler {
 
   std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
                    Xoshiro256pp& rng) override;
+  bool batch_safe() const override { return inner_->batch_safe(); }
   double theta(std::size_t num_active) const override;
   void on_crash(std::size_t process) override { inner_->on_crash(process); }
   std::string name() const override;

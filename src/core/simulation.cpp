@@ -25,14 +25,27 @@ double LatencyReport::max_individual_latency() const {
   return worst;
 }
 
+void LatencyReport::mark_retired(std::size_t p) {
+  if (retired.size() < completions_per_process.size()) {
+    retired.resize(completions_per_process.size(), 0);
+  }
+  retired.at(p) = 1;
+}
+
 std::uint64_t LatencyReport::min_completions() const {
   // A default-constructed report tracks no processes; "every process
   // progressed" is vacuous, but returning the UINT64_MAX fold identity
-  // would make an empty window look infinitely productive.
-  if (completions_per_process.empty()) return 0;
+  // would make an empty window look infinitely productive. The same
+  // guard covers the all-retired window: no live process means no
+  // fairness claim, not an infinitely productive one.
   std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
-  for (std::uint64_t c : completions_per_process) lo = std::min(lo, c);
-  return lo;
+  bool any_live = false;
+  for (std::size_t p = 0; p < completions_per_process.size(); ++p) {
+    if (p < retired.size() && retired[p]) continue;
+    any_live = true;
+    lo = std::min(lo, completions_per_process[p]);
+  }
+  return any_live ? lo : 0;
 }
 
 Simulation::Simulation(std::size_t n, const StepMachineFactory& factory,
@@ -53,6 +66,7 @@ Simulation::Simulation(std::size_t n, const StepMachineFactory& factory,
   report_.individual_gaps.resize(n);
   report_.completions_per_process.assign(n, 0);
   report_.steps_per_process.assign(n, 0);
+  report_.retired.assign(n, 0);
   last_completion_by_.assign(n, 0);
 }
 
@@ -89,6 +103,7 @@ void Simulation::apply_crashes() {
     }
     active_.erase(it);  // keeps the vector sorted
     scheduler_->on_crash(victim);
+    report_.mark_retired(victim);
   }
 }
 
@@ -122,23 +137,61 @@ template <bool WithObserver>
 void Simulation::run_segment(std::uint64_t count) {
   Scheduler& sched = *scheduler_;
   const std::span<const std::size_t> active(active_);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const std::size_t p = sched.next(now_, active, rng_);
-    ++now_;
-    const bool completed = machines_[p]->step(memory_);
+  if (!sched.batch_safe()) {
+    // Adversarial strategies may read simulation state between steps;
+    // draw one process at a time so each draw sees the current state.
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::size_t p = sched.next(now_, active, rng_);
+      ++now_;
+      const bool completed = machines_[p]->step(memory_);
 
-    ++report_.steps_per_process[p];
-    if (completed) {
-      ++report_.completions;
-      ++report_.completions_per_process[p];
-      report_.system_gaps.add(
-          static_cast<double>(now_ - last_completion_));
-      last_completion_ = now_;
-      report_.individual_gaps[p].add(
-          static_cast<double>(now_ - last_completion_by_[p]));
-      last_completion_by_[p] = now_;
+      ++report_.steps_per_process[p];
+      if (completed) {
+        ++report_.completions;
+        ++report_.completions_per_process[p];
+        report_.system_gaps.add(
+            static_cast<double>(now_ - last_completion_));
+        last_completion_ = now_;
+        report_.individual_gaps[p].add(
+            static_cast<double>(now_ - last_completion_by_[p]));
+        last_completion_by_[p] = now_;
+      }
+      if constexpr (WithObserver) observer_->on_step(now_, p, completed);
     }
-    if constexpr (WithObserver) observer_->on_step(now_, p, completed);
+    report_.steps += count;
+    return;
+  }
+  // Batched path: the whole segment is membership-stable, so chunks of
+  // draws are hoisted out of the step loop through next_batch (stream-
+  // and value-identical to per-step next() by the scheduler contract).
+  if (draw_buf_.size() < kDrawBatch) {
+    draw_buf_.resize(std::min<std::uint64_t>(count, kDrawBatch));
+  }
+  std::uint64_t done = 0;
+  while (done < count) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(count - done, kDrawBatch));
+    const std::span<std::size_t> draws(draw_buf_.data(), chunk);
+    sched.next_batch(now_, active, rng_, draws);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const std::size_t p = draws[i];
+      ++now_;
+      const bool completed = machines_[p]->step(memory_);
+
+      ++report_.steps_per_process[p];
+      if (completed) {
+        ++report_.completions;
+        ++report_.completions_per_process[p];
+        report_.system_gaps.add(
+            static_cast<double>(now_ - last_completion_));
+        last_completion_ = now_;
+        report_.individual_gaps[p].add(
+            static_cast<double>(now_ - last_completion_by_[p]));
+        last_completion_by_[p] = now_;
+      }
+      if constexpr (WithObserver) observer_->on_step(now_, p, completed);
+    }
+    done += chunk;
   }
   report_.steps += count;  // hoisted: one add per segment, not per step
 }
@@ -172,6 +225,12 @@ void Simulation::reset_stats() {
   report_.individual_gaps.resize(n);
   report_.completions_per_process.assign(n, 0);
   report_.steps_per_process.assign(n, 0);
+  // Processes already out of the active set stay retired in the fresh
+  // window: they can never complete again, so counting their zero
+  // completions would report permanent starvation for a process that is
+  // simply gone.
+  report_.retired.assign(n, 1);
+  for (std::size_t p : active_) report_.retired[p] = 0;
   last_completion_ = now_;
   last_completion_by_.assign(n, now_);
 }

@@ -47,6 +47,14 @@ struct LatencyReport {
   std::vector<StreamingStats> individual_gaps;  ///< per-process, system steps
   std::vector<std::uint64_t> completions_per_process;
   std::vector<std::uint64_t> steps_per_process;
+  /// 1 = the process left the system (crash or departure) and can never
+  /// complete again; fairness floors skip it instead of treating its
+  /// forever-pending operation as starvation.
+  std::vector<std::uint8_t> retired;
+
+  /// Marks `p` retired. The engine calls this when a process crashes or
+  /// departs; its historical gaps and counts stay in the report.
+  void mark_retired(std::size_t p);
 
   /// completions / steps; the paper's "completion rate" (Appendix B),
   /// approximately 1 / system latency.
@@ -57,7 +65,11 @@ struct LatencyReport {
   double individual_latency(std::size_t p) const;
   /// max_i W_i — the worst process, for fairness checks.
   double max_individual_latency() const;
-  /// min completions over processes; > 0 means every process progressed.
+  /// min completions over *non-retired* processes; > 0 means every
+  /// process still in the system progressed. A process that crashed or
+  /// departed mid-operation is not counted as pending forever. Returns 0
+  /// when no processes are tracked or all are retired (the PR 2
+  /// empty-window hardening).
   std::uint64_t min_completions() const;
 };
 
@@ -126,8 +138,13 @@ class Simulation {
   void apply_crashes();
   void run_legacy(std::uint64_t steps);
   /// The crash-free inner loop: runs `count` steps with no crash probe.
+  /// Scheduler draws are batched through Scheduler::next_batch in chunks
+  /// of kDrawBatch (stream-identical to per-step draws by contract)
+  /// unless the scheduler reports !batch_safe().
   template <bool WithObserver>
   void run_segment(std::uint64_t count);
+
+  static constexpr std::size_t kDrawBatch = 1024;
 
   SharedMemory memory_;
   std::vector<std::unique_ptr<StepMachine>> machines_;
@@ -135,6 +152,7 @@ class Simulation {
   Xoshiro256pp rng_;
   LoopMode loop_mode_;
   std::vector<std::size_t> active_;
+  std::vector<std::size_t> draw_buf_;  // scratch for batched scheduler draws
   std::vector<Crash> crash_plan_;  // sorted by tau
   std::size_t next_crash_ = 0;
   std::uint64_t now_ = 0;

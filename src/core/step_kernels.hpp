@@ -1,0 +1,133 @@
+// Shared step kernels: the paper's algorithms as POD state + free
+// functions, used by *both* representations of a process —
+//
+//   * the boxed StepMachine wrappers in algorithms.{hpp,cpp} (one heap
+//     allocation per process; supports tracing and the virtual
+//     interface), and
+//   * the open-system engine's struct-of-arrays ProcessTable, which
+//     stores the same fields in columnar arrays and calls the same
+//     kernel per step.
+//
+// Because both paths execute literally this code, the compact engine is
+// bit-identical to the boxed one by construction; the engine tests
+// assert it anyway (trajectories, memory contents, and reports).
+//
+// Identity convention: kernels take a `uid` (the process's stable
+// identity inside the register file / proposal space) and a `stride`
+// (the size of that identity space). The boxed machines pass (pid, n);
+// the SoA engine passes (slot, capacity), which keeps SCU proposals
+// globally unique even when a retired slot is reused — `attempts` is
+// monotone per slot across generations, so proposal = attempts * stride
+// + uid + 1 never repeats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/memory.hpp"
+
+namespace pwf::core {
+
+// --- Algorithm 4: parallel code ---------------------------------------------
+
+struct ParallelState {
+  std::uint64_t counter = 0;  ///< shared-memory steps into the current op
+};
+
+/// One step of parallel code with work parameter q: reads register [0];
+/// the op completes after q steps. Precondition: q >= 1.
+inline bool parallel_step(ParallelState& st, std::size_t q,
+                          SharedMemory& mem) {
+  mem.read(0);
+  if (++st.counter == q) {
+    st.counter = 0;
+    return true;
+  }
+  return false;
+}
+
+// --- Algorithm 2: SCU(q, s) --------------------------------------------------
+
+struct ScuState {
+  enum : std::uint8_t { kPreamble = 0, kScan = 1, kValidate = 2 };
+
+  std::uint8_t phase = kPreamble;
+  std::uint64_t phase_step = 0;  ///< preamble step or scan register index
+  Value view = 0;                ///< value of R observed by the current scan
+  std::uint64_t attempts = 0;    ///< proposal uniqueness counter — never reset
+};
+
+/// Puts `st` at the top of a fresh invocation (preamble if q > 0, else
+/// scan). Does NOT touch `attempts`: proposal uniqueness must survive
+/// resets, including a retired slot being readmitted.
+inline void scu_reset(ScuState& st, std::size_t q) {
+  st.phase = q > 0 ? ScuState::kPreamble : ScuState::kScan;
+  st.phase_step = 0;
+}
+
+/// One step of SCU(q, s) for the process with identity `uid` out of
+/// `stride`. Registers: [0] = R, [1..s-1] = scan registers,
+/// [s + uid] = this process's preamble scratch slot.
+inline bool scu_step(ScuState& st, std::size_t uid, std::size_t stride,
+                     std::size_t q, std::size_t s, SharedMemory& mem) {
+  switch (st.phase) {
+    case ScuState::kPreamble: {
+      // Preamble steps update memory (never R): write to our scratch slot.
+      mem.write(s + uid, static_cast<Value>(st.phase_step));
+      if (++st.phase_step == q) {
+        st.phase = ScuState::kScan;
+        st.phase_step = 0;
+      }
+      return false;
+    }
+    case ScuState::kScan: {
+      if (st.phase_step == 0) {
+        st.view = mem.read(0);  // v <- R.read()
+      } else {
+        mem.read(st.phase_step);  // v_k <- R_k.read()
+      }
+      if (++st.phase_step == s) {
+        st.phase = ScuState::kValidate;
+        st.phase_step = 0;
+      }
+      return false;
+    }
+    default: {  // kValidate
+      // Propose a globally unique new state for R.
+      ++st.attempts;
+      const Value proposal =
+          static_cast<Value>(st.attempts * stride + uid + 1);
+      const bool won = mem.cas(0, st.view, proposal);
+      if (won) {
+        // Operation complete; the next step begins a fresh invocation.
+        scu_reset(st, q);
+        return true;
+      }
+      // Validation failed: restart the scan loop (not the preamble).
+      st.phase = ScuState::kScan;
+      st.phase_step = 0;
+      return false;
+    }
+  }
+}
+
+// --- Algorithm 5: lock-free fetch-and-increment ------------------------------
+
+struct FetchIncState {
+  Value v = 0;  ///< the value this process last observed/wrote
+};
+
+/// One augmented-CAS attempt on register [0]. `before` receives the
+/// pre-CAS value of R (the trace wrappers report it as the op's return).
+inline bool fetch_inc_step(FetchIncState& st, SharedMemory& mem,
+                           Value& before) {
+  before = mem.cas_fetch(0, st.v, st.v + 1);
+  if (before == st.v) {
+    st.v = st.v + 1;  // we wrote the new current value, so we still hold it
+    return true;
+  }
+  st.v = before;  // adopt the current value the augmented CAS returned
+  return false;
+}
+
+}  // namespace pwf::core

@@ -1,0 +1,107 @@
+#include "sched/dynamic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pwf::sched {
+
+using core::MembershipEvent;
+
+DynamicWeightedScheduler::DynamicWeightedScheduler(double default_weight)
+    : default_weight_(default_weight) {
+  if (!(default_weight > 0.0)) {
+    throw std::invalid_argument(
+        "DynamicWeightedScheduler: default_weight must be > 0");
+  }
+}
+
+void DynamicWeightedScheduler::on_membership_change(MembershipEvent event,
+                                                    std::size_t process,
+                                                    double weight) {
+  switch (event) {
+    case MembershipEvent::kArrive:
+    case MembershipEvent::kRestart: {
+      const bool weight_changed =
+          process < weights_.size() && weights_[process] != weight;
+      if (process >= weights_.size()) {
+        weights_.resize(process + 1, default_weight_);
+      }
+      weights_[process] = weight;
+      if (stale_) return;
+      if (weight_changed) {
+        // A reused slot with a different weight: AliasTable's O(1)
+        // revive restores the *old* weight, so fall back to a full
+        // rebuild at the next draw. Never fires with uniform weights.
+        stale_ = true;
+        return;
+      }
+      table_.add(process, weight);
+      return;
+    }
+    case MembershipEvent::kDepart:
+    case MembershipEvent::kCrash: {
+      if (stale_) return;
+      table_.remove(process);
+      return;
+    }
+  }
+}
+
+void DynamicWeightedScheduler::on_crash(std::size_t process) {
+  on_membership_change(MembershipEvent::kCrash, process, weight_of(process));
+}
+
+void DynamicWeightedScheduler::ensure_table(
+    std::span<const std::size_t> active) {
+  // Safety net for use without membership events (or a missed one): the
+  // live count must track the engine's active set exactly.
+  if (!stale_ && table_.live_count() != active.size()) stale_ = true;
+  if (stale_) {
+    std::vector<double> w(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      w[i] = weight_of(active[i]);
+    }
+    table_.build(active, w);
+    stale_ = false;
+    return;
+  }
+  if (table_.needs_rebuild()) table_.rebuild();
+}
+
+std::size_t DynamicWeightedScheduler::next(std::uint64_t /*tau*/,
+                                           std::span<const std::size_t> active,
+                                           Xoshiro256pp& rng) {
+  ensure_table(active);
+  return table_.draw(rng);
+}
+
+void DynamicWeightedScheduler::next_batch(std::uint64_t /*tau*/,
+                                          std::span<const std::size_t> active,
+                                          Xoshiro256pp& rng,
+                                          std::span<std::size_t> out) {
+  ensure_table(active);
+  const core::AliasTable& table = table_;  // hoist: no per-draw dispatch
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = table.draw(rng);
+}
+
+double DynamicWeightedScheduler::theta(std::size_t num_active) const {
+  if (num_active == 0) return 0.0;
+  if (stale_) {
+    // Distribution not materialized yet; the bound for equal weights.
+    return 1.0 / static_cast<double>(num_active);
+  }
+  double min_w = 0.0;
+  double mass = 0.0;
+  for (std::size_t id : table_.live_ids()) {
+    const double w = weight_of(id);
+    mass += w;
+    if (min_w == 0.0 || w < min_w) min_w = w;
+  }
+  return mass > 0.0 ? min_w / mass : 0.0;
+}
+
+void DynamicWeightedScheduler::compact() {
+  if (!stale_) table_.rebuild();
+}
+
+}  // namespace pwf::sched

@@ -1,0 +1,78 @@
+// A weighted stochastic scheduler for open systems: membership deltas
+// (arrive / depart / crash / restart) are applied to an incremental
+// alias table in O(1) instead of triggering an O(n) rebuild per event.
+//
+// The closed-system WeightedScheduler rebuilds its alias table whenever
+// the active set changes — fine when crashes are rare and final, fatal
+// when a million-process open system churns every few hundred steps.
+// DynamicWeightedScheduler listens to on_membership_change and applies
+// AliasTable's dead-mark / fresh-list / revive deltas; the table decides
+// for itself when enough churn has accumulated to amortize a rebuild
+// (see alias.hpp for the exactness proof and the RNG-draw budget).
+//
+// RNG budget per draw: exactly 2 uniform draws while the table is
+// compact (no dead marks, no fresh entries); +1 arm pre-draw while a
+// fresh list exists; a geometric number of redraws while dead marks
+// exist. compact() restores the exact 2-draw budget — the rng-budget
+// tests pin all three regimes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/alias.hpp"
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace pwf::sched {
+
+class DynamicWeightedScheduler final : public core::Scheduler {
+ public:
+  /// `default_weight` is assumed for processes the scheduler has never
+  /// been told about (bootstrap from an active span with no events).
+  explicit DynamicWeightedScheduler(double default_weight = 1.0);
+
+  std::size_t next(std::uint64_t tau, std::span<const std::size_t> active,
+                   Xoshiro256pp& rng) override;
+  void next_batch(std::uint64_t tau, std::span<const std::size_t> active,
+                  Xoshiro256pp& rng, std::span<std::size_t> out) override;
+
+  /// theta = min live weight / total live mass (weak fairness bound).
+  double theta(std::size_t num_active) const override;
+
+  void on_crash(std::size_t process) override;
+  void on_membership_change(core::MembershipEvent event, std::size_t process,
+                            double weight) override;
+
+  std::string name() const override { return "dynamic-weighted"; }
+
+  /// Forces a full table rebuild, restoring the exact two-draw RNG
+  /// budget (no dead marks, no fresh list). O(live count).
+  void compact();
+
+  /// The scheduler's current sampling distribution over `query`
+  /// (diagnostics and statistical-equivalence tests).
+  std::vector<double> sampling_probabilities(
+      std::span<const std::size_t> query) const {
+    return table_.probabilities(query);
+  }
+
+ private:
+  /// Rebuilds from `active` when the incremental state cannot be
+  /// trusted (bootstrap, weight change on slot reuse), else folds
+  /// accumulated churn when the table asks for it.
+  void ensure_table(std::span<const std::size_t> active);
+  double weight_of(std::size_t process) const {
+    return process < weights_.size() ? weights_[process] : default_weight_;
+  }
+
+  core::AliasTable table_;
+  std::vector<double> weights_;  ///< last announced weight per slot
+  double default_weight_;
+  bool stale_ = true;  ///< rebuild from the active span at the next draw
+};
+
+}  // namespace pwf::sched

@@ -1,0 +1,100 @@
+#include "util/quantile.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pwf {
+
+QuantileSketch::QuantileSketch(unsigned sub_bits) : sub_bits_(sub_bits) {
+  if (sub_bits < 1 || sub_bits > 8) {
+    throw std::invalid_argument("QuantileSketch: need 1 <= sub_bits <= 8");
+  }
+  // Values below 2^sub_bits are stored exactly (one bucket per value);
+  // every further octave contributes 2^sub_bits sub-buckets. 64 octaves
+  // cover the full uint64 range.
+  counts_.assign((64 - sub_bits_ + 1) << sub_bits_, 0);
+}
+
+std::size_t QuantileSketch::bucket_of(std::uint64_t x) const noexcept {
+  if (x < (std::uint64_t{1} << sub_bits_)) return static_cast<std::size_t>(x);
+  const unsigned msb = 63 - static_cast<unsigned>(std::countl_zero(x));
+  const unsigned shift = msb - sub_bits_;
+  const std::uint64_t sub = (x >> shift) & ((std::uint64_t{1} << sub_bits_) - 1);
+  // Octave `msb` starts at index (msb - sub_bits + 1) << sub_bits: octave
+  // sub_bits is the first non-exact one and begins right after the exact
+  // range [0, 2^sub_bits).
+  return static_cast<std::size_t>(
+      ((std::uint64_t{msb - sub_bits_ + 1} << sub_bits_)) + sub);
+}
+
+std::uint64_t QuantileSketch::bucket_hi(std::size_t b) const noexcept {
+  const std::uint64_t exact = std::uint64_t{1} << sub_bits_;
+  if (b < exact) return static_cast<std::uint64_t>(b);
+  const std::uint64_t octave = (b >> sub_bits_) - 1 + sub_bits_;
+  const std::uint64_t sub = b & (exact - 1);
+  const unsigned shift = static_cast<unsigned>(octave) - sub_bits_;
+  // Upper edge of the sub-bucket: the largest value mapping into it.
+  const std::uint64_t lo =
+      (std::uint64_t{1} << octave) + (sub << shift);
+  return lo + ((std::uint64_t{1} << shift) - 1);
+}
+
+void QuantileSketch::add(std::uint64_t x) noexcept {
+  ++counts_[bucket_of(x)];
+  ++total_;
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.sub_bits_ != sub_bits_) {
+    throw std::invalid_argument("QuantileSketch::merge: sub_bits mismatch");
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
+  if (other.total_) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+std::uint64_t QuantileSketch::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample (1-based, nearest-rank definition).
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  if (rank < 1) rank = 1;
+  if (rank > total_) rank = total_;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b];
+    if (seen >= rank) {
+      const std::uint64_t hi = bucket_hi(b);
+      return hi > max_ ? max_ : (hi < min_ ? min_ : hi);
+    }
+  }
+  return max_;
+}
+
+std::uint64_t QuantileSketch::fingerprint() const noexcept {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(sub_bits_);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b]) {
+      mix(b);
+      mix(counts_[b]);
+    }
+  }
+  return h;
+}
+
+}  // namespace pwf

@@ -1,0 +1,55 @@
+// Log-linear quantile sketch for latency streams (HdrHistogram-style).
+//
+// The open-system engine records one latency sample per completed
+// operation; at n = 10^6 live processes a run produces far too many
+// samples to keep exactly, and the tail (p99, p999) is exactly what the
+// "practically wait-free" question is about. The sketch buckets each
+// sample by its binary magnitude plus `sub_bits` linear sub-buckets per
+// octave, so the relative error of any reported quantile is bounded by
+// 2^-sub_bits (3.125% at the default 5 bits) with O(64 * 2^sub_bits)
+// memory, O(1) insertion, and a deterministic, order-independent merge —
+// the property that lets replica sketches from the exp pool be folded in
+// replica order with a thread-count-invariant result.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pwf {
+
+class QuantileSketch {
+ public:
+  /// `sub_bits` linear sub-buckets per power of two; relative quantile
+  /// error is bounded by 2^-sub_bits. Precondition: 1 <= sub_bits <= 8.
+  explicit QuantileSketch(unsigned sub_bits = 5);
+
+  void add(std::uint64_t x) noexcept;
+  /// Adds every bucket of `other` (which must use the same sub_bits).
+  void merge(const QuantileSketch& other);
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t min() const noexcept { return total_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return max_; }
+
+  /// Value at quantile q in [0, 1] (0 when empty): the representative
+  /// (upper edge) of the bucket containing the q-th sample, clamped to
+  /// the observed max so p100 is exact.
+  std::uint64_t quantile(double q) const noexcept;
+
+  /// FNV-1a over (sub_bits, every non-empty bucket): bit-identical
+  /// sketches (and only those) agree. Used by determinism tests.
+  std::uint64_t fingerprint() const noexcept;
+
+ private:
+  std::size_t bucket_of(std::uint64_t x) const noexcept;
+  std::uint64_t bucket_hi(std::size_t b) const noexcept;
+
+  unsigned sub_bits_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace pwf

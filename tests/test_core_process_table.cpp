@@ -1,0 +1,143 @@
+// Tests for the struct-of-arrays ProcessTable: slot lifecycle, free-list
+// discipline, live-order policies, the attempts-survival rule that keeps
+// SCU proposals unique under slot reuse, and the digest.
+#include "core/process_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace pwf::core {
+namespace {
+
+TEST(ProcessTable, RejectsZeroCapacity) {
+  EXPECT_THROW(ProcessTable(0, LiveOrder::dense), std::invalid_argument);
+}
+
+TEST(ProcessTable, FreshTableAdmitsAscendingSlots) {
+  ProcessTable t(4, LiveOrder::dense);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t.admit(1.0, 0), i);
+  }
+  EXPECT_TRUE(t.full());
+  EXPECT_EQ(t.admit(1.0, 0), ProcessTable::kNone);
+}
+
+TEST(ProcessTable, RetiredSlotsReuseLifo) {
+  ProcessTable t(4, LiveOrder::dense);
+  for (std::size_t i = 0; i < 4; ++i) t.admit(1.0, 0);
+  t.retire(1);
+  t.retire(3);
+  // LIFO: the most recently retired slot is handed out first.
+  EXPECT_EQ(t.admit(1.0, 10), 3u);
+  EXPECT_EQ(t.admit(1.0, 10), 1u);
+}
+
+TEST(ProcessTable, SortedOrderKeepsLiveAscending) {
+  ProcessTable t(8, LiveOrder::sorted);
+  for (std::size_t i = 0; i < 8; ++i) t.admit(1.0, 0);
+  t.retire(3);
+  t.retire(6);
+  const auto live = t.live();
+  std::vector<std::size_t> got(live.begin(), live.end());
+  EXPECT_EQ(got, (std::vector<std::size_t>{0, 1, 2, 4, 5, 7}));
+  // Readmission (reuses slot 6, then 3) stays sorted.
+  t.admit(1.0, 5);
+  t.admit(1.0, 5);
+  const auto live2 = t.live();
+  EXPECT_TRUE(std::is_sorted(live2.begin(), live2.end()));
+}
+
+TEST(ProcessTable, DenseOrderKeepsLiveAsASet) {
+  ProcessTable t(8, LiveOrder::dense);
+  for (std::size_t i = 0; i < 8; ++i) t.admit(1.0, 0);
+  t.retire(0);
+  t.retire(4);
+  const auto live = t.live();
+  std::vector<std::size_t> got(live.begin(), live.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::size_t>{1, 2, 3, 5, 6, 7}));
+  EXPECT_EQ(t.live_count(), 6u);
+}
+
+TEST(ProcessTable, LifecycleGuards) {
+  ProcessTable t(2, LiveOrder::dense);
+  EXPECT_THROW(t.retire(0), std::logic_error);   // never admitted
+  EXPECT_THROW(t.suspend(0), std::logic_error);
+  const std::size_t s = t.admit(1.0, 0);
+  EXPECT_THROW(t.revive(s, 1), std::logic_error);  // still alive
+  t.retire(s);
+  EXPECT_THROW(t.retire(s), std::logic_error);     // double retire
+}
+
+TEST(ProcessTable, SuspendReservesSlotForRevive) {
+  ProcessTable t(2, LiveOrder::dense);
+  const std::size_t a = t.admit(1.0, 0);
+  t.suspend(a);
+  EXPECT_FALSE(t.alive(a));
+  EXPECT_EQ(t.live_count(), 0u);
+  // The suspended slot is withheld from the free list: a new admit gets
+  // the other slot, and a full table sheds rather than stealing it.
+  const std::size_t b = t.admit(1.0, 0);
+  EXPECT_NE(b, a);
+  EXPECT_EQ(t.admit(1.0, 0), ProcessTable::kNone);
+  t.revive(a, 7);
+  EXPECT_TRUE(t.alive(a));
+  EXPECT_EQ(t.op_start[a], 7u);
+}
+
+TEST(ProcessTable, AttemptsSurviveEveryReset) {
+  // SCU proposal uniqueness: attempts is monotone per slot across
+  // retire/readmit and suspend/revive; everything else resets.
+  ProcessTable t(2, LiveOrder::dense);
+  const std::size_t s = t.admit(1.0, 0);
+  t.attempts[s] = 41;
+  t.phase[s] = 2;
+  t.view[s] = 99;
+  t.steps[s] = 10;
+  t.retire(s);
+  ASSERT_EQ(t.admit(1.0, 3), s);  // LIFO reuse of the same slot
+  EXPECT_EQ(t.attempts[s], 41u);
+  EXPECT_EQ(t.phase[s], 0u);
+  EXPECT_EQ(t.view[s], 0u);
+  EXPECT_EQ(t.steps[s], 0u);
+
+  t.attempts[s] = 57;
+  t.suspend(s);
+  t.revive(s, 9);
+  EXPECT_EQ(t.attempts[s], 57u);
+  EXPECT_EQ(t.op_start[s], 9u);
+}
+
+TEST(ProcessTable, GenerationCountsAdmissions) {
+  ProcessTable t(1, LiveOrder::dense);
+  const std::size_t s = t.admit(1.0, 0);
+  EXPECT_EQ(t.generation[s], 1u);
+  t.retire(s);
+  t.admit(1.0, 0);
+  EXPECT_EQ(t.generation[s], 2u);
+  t.suspend(s);
+  t.revive(s, 0);
+  EXPECT_EQ(t.generation[s], 3u);
+}
+
+TEST(ProcessTable, DigestSeparatesStates) {
+  ProcessTable a(4, LiveOrder::dense);
+  ProcessTable b(4, LiveOrder::dense);
+  a.admit(1.0, 0);
+  b.admit(1.0, 0);
+  EXPECT_EQ(a.digest(), b.digest());
+  b.steps[0] = 1;
+  EXPECT_NE(a.digest(), b.digest());
+  b.steps[0] = 0;
+  EXPECT_EQ(a.digest(), b.digest());
+  // Live-order policy is part of the digest.
+  ProcessTable c(4, LiveOrder::sorted);
+  c.admit(1.0, 0);
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+}  // namespace
+}  // namespace pwf::core

@@ -207,6 +207,42 @@ TEST(LatencyReport, MinCompletions) {
   EXPECT_GT(sim.report().min_completions(), 0u);
 }
 
+// Regression: a process that crashed mid-operation must not be counted
+// as pending forever — min_completions (the fairness floor) ranges over
+// live processes only, so one early casualty cannot pin it to zero.
+TEST(LatencyReport, CrashedProcessDoesNotDragMinCompletions) {
+  auto sim = make_parallel_sim(3, 50, 5);
+  sim.schedule_crash(10, 2);  // dies long before its first completion
+  sim.run(60'000);
+  ASSERT_EQ(sim.report().completions_per_process[2], 0u);
+  EXPECT_GT(sim.report().min_completions(), 0u);
+}
+
+TEST(LatencyReport, ResetStatsKeepsCrashedProcessesRetired) {
+  auto sim = make_parallel_sim(3, 2, 5);
+  sim.schedule_crash(100, 1);
+  sim.run(10'000);
+  sim.reset_stats();
+  // The fresh window starts with the casualty already retired: its zero
+  // completions must not drag the floor down.
+  sim.run(10'000);
+  EXPECT_EQ(sim.report().completions_per_process[1], 0u);
+  EXPECT_GT(sim.report().min_completions(), 0u);
+}
+
+TEST(LatencyReport, AllRetiredMinCompletionsIsZero) {
+  LatencyReport r{};
+  r.completions_per_process = {5, 7};
+  r.retired.assign(2, 0);
+  EXPECT_EQ(r.min_completions(), 5u);
+  r.mark_retired(0);
+  EXPECT_EQ(r.min_completions(), 7u);
+  r.mark_retired(1);
+  // Everyone retired: like the empty report, the floor is 0, not the
+  // empty-fold identity UINT64_MAX.
+  EXPECT_EQ(r.min_completions(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Segmented vs legacy loop: the restructured hot path must be a pure
 // performance change — bit-identical trajectories, observer sequences,

@@ -1,0 +1,391 @@
+// Open-system engine tests: the SoA engine is bit-identical to the boxed
+// Simulation in the closed configuration (the golden reference), open
+// trajectories are a pure function of the seed, replica farming over the
+// exp pool is thread-count invariant, and the membership machinery
+// (arrivals, departures, crash/restart, shedding) accounts correctly.
+#include "core/open_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "core/arrival.hpp"
+#include "core/simulation.hpp"
+#include "exp/experiment.hpp"
+#include "exp/pool.hpp"
+#include "sched/dynamic.hpp"
+
+namespace pwf::core {
+namespace {
+
+// Records every (tau, process, completed) step for trajectory equality.
+struct StepLog final : SimObserver {
+  std::vector<std::tuple<std::uint64_t, std::size_t, bool>> events;
+  void on_step(std::uint64_t tau, std::size_t process,
+               bool completed) override {
+    events.emplace_back(tau, process, completed);
+  }
+};
+
+struct ClosedCase {
+  CompactKind kind;
+  std::size_t q;
+  std::size_t s;
+  StepMachineFactory factory;
+  std::size_t regs(std::size_t n) const {
+    switch (kind) {
+      case CompactKind::kScu:
+        return ScuAlgorithm::registers_required(n, s);
+      default:
+        return 1;
+    }
+  }
+};
+
+std::vector<ClosedCase> closed_cases() {
+  return {
+      {CompactKind::kParallel, 4, 0, ParallelCode::factory(4)},
+      {CompactKind::kScu, 3, 2, ScuAlgorithm::factory(3, 2)},
+      {CompactKind::kScu, 0, 1, scan_validate_factory()},
+      {CompactKind::kFetchInc, 0, 0, FetchAndIncrement::factory()},
+  };
+}
+
+// The golden-reference theorem: with no arrivals, no leave rates,
+// sorted live order, and capacity == n, OpenSimulation must replay the
+// boxed Simulation bit for bit — same observer stream, same shared
+// memory, same accounting — including under a crash plan.
+TEST(OpenSimulation, ClosedConfigurationMatchesBoxedEngine) {
+  constexpr std::size_t kN = 6;
+  constexpr std::uint64_t kSteps = 50'000;
+  constexpr std::uint64_t kSeed = 20140806;
+  for (const ClosedCase& c : closed_cases()) {
+    Simulation::Options bopts;
+    bopts.num_registers = c.regs(kN);
+    bopts.seed = kSeed;
+    Simulation boxed(kN, c.factory, std::make_unique<UniformScheduler>(),
+                     bopts);
+
+    OpenSimulation::Options oopts;
+    oopts.kind = c.kind;
+    oopts.q = c.q;
+    oopts.s = c.s;
+    oopts.capacity = kN;
+    oopts.initial_n = kN;
+    oopts.seed = kSeed;
+    oopts.order = LiveOrder::sorted;
+    OpenSimulation compact(std::make_unique<UniformScheduler>(),
+                           std::move(oopts));
+    ASSERT_EQ(compact.memory().num_registers(),
+              boxed.memory().num_registers());
+
+    boxed.schedule_crash(1'000, 2);
+    boxed.schedule_crash(30'000, 5);
+    compact.schedule_crash(1'000, 2);
+    compact.schedule_crash(30'000, 5);
+
+    StepLog blog, clog;
+    boxed.set_observer(&blog);
+    compact.set_observer(&clog);
+    boxed.run(kSteps);
+    compact.run(kSteps);
+
+    EXPECT_EQ(blog.events, clog.events) << "kind " << static_cast<int>(c.kind);
+    EXPECT_EQ(boxed.memory().ops(), compact.memory().ops());
+    for (std::size_t r = 0; r < boxed.memory().num_registers(); ++r) {
+      ASSERT_EQ(boxed.memory().peek(r), compact.memory().peek(r))
+          << "register " << r;
+    }
+    EXPECT_EQ(boxed.report().steps, compact.report().steps);
+    EXPECT_EQ(boxed.report().completions, compact.report().completions);
+    EXPECT_EQ(boxed.report().system_gaps.count(),
+              compact.report().system_gaps.count());
+    EXPECT_DOUBLE_EQ(boxed.report().system_gaps.mean(),
+                     compact.report().system_gaps.mean());
+    EXPECT_EQ(boxed.now(), compact.now());
+  }
+}
+
+// The dynamic scheduler bootstraps its alias table with the same Vose
+// construction the closed WeightedScheduler uses, so with equal weights
+// and stable membership the two produce identical draw streams. (After
+// a membership change they intentionally diverge: WeightedScheduler
+// rebuilds eagerly, the dynamic table dead-marks and redraws.)
+TEST(OpenSimulation, DynamicSchedulerMatchesWeightedInClosedRun) {
+  constexpr std::size_t kN = 5;
+  constexpr std::uint64_t kSteps = 20'000;
+  auto make = [&](std::unique_ptr<Scheduler> sched) {
+    Simulation::Options opts;
+    opts.num_registers = ScuAlgorithm::registers_required(kN, 1);
+    opts.seed = 99;
+    return Simulation(kN, scan_validate_factory(), std::move(sched), opts);
+  };
+  Simulation a = make(std::make_unique<WeightedScheduler>(
+      std::vector<double>(kN, 1.0)));
+  Simulation b = make(std::make_unique<pwf::sched::DynamicWeightedScheduler>());
+  StepLog alog, blog;
+  a.set_observer(&alog);
+  b.set_observer(&blog);
+  a.run(kSteps);
+  b.run(kSteps);
+  EXPECT_EQ(alog.events, blog.events);
+}
+
+OpenSimulation::Options churn_options(std::uint64_t seed) {
+  OpenSimulation::Options o;
+  o.kind = CompactKind::kScu;
+  o.q = 2;
+  o.s = 2;
+  o.capacity = 256;
+  o.initial_n = 64;
+  o.seed = seed;
+  o.order = LiveOrder::dense;
+  o.arrivals = std::make_unique<PoissonArrivals>(0.02);
+  o.depart_rate = 1e-4;
+  o.crash_rate = 5e-5;
+  o.restart_prob = 0.5;
+  o.restart_delay_rate = 1e-3;
+  o.queue_sample_every = 10'000;
+  return o;
+}
+
+TEST(OpenSimulation, OpenTrajectoryIsSeedDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    OpenSimulation sim(std::make_unique<pwf::sched::DynamicWeightedScheduler>(),
+                       churn_options(seed));
+    sim.run(200'000);
+    return std::pair{sim.report().fingerprint(), sim.table().digest()};
+  };
+  const auto a = run_once(42);
+  const auto b = run_once(42);
+  const auto c = run_once(43);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_NE(a.first, c.first);
+  EXPECT_NE(a.second, c.second);
+}
+
+TEST(OpenSimulation, ChurnCountersAllFire) {
+  OpenSimulation sim(std::make_unique<pwf::sched::DynamicWeightedScheduler>(),
+                     churn_options(7));
+  sim.run(400'000);
+  const OpenLatencyReport& rep = sim.report();
+  EXPECT_GT(rep.completions, 0u);
+  EXPECT_GT(rep.arrivals, 0u);
+  EXPECT_GT(rep.departures, 0u);
+  EXPECT_GT(rep.crashes, 0u);
+  EXPECT_GT(rep.restarts, 0u);
+  EXPECT_GT(rep.queue_peak, 0u);
+  EXPECT_EQ(rep.queue_time, 400'000u);
+  EXPECT_FALSE(rep.queue_curve.empty());
+  EXPECT_GT(rep.mean_queue_length(), 0.0);
+  // Conservation: everyone who left either departed or crashed for good
+  // or is still live/suspended; restarts never exceed crashes.
+  EXPECT_LE(rep.restarts, rep.crashes);
+  // Steps happen only while someone is live; idle time still counts in
+  // queue_time.
+  EXPECT_LE(rep.steps, rep.queue_time);
+}
+
+// Replicas farmed across the exp pool and merged in replica order must
+// be bit-identical for every thread count (parallel_for only reorders
+// *when* jobs run, and merge() is a deterministic fold).
+TEST(OpenSimulation, ReplicaMergeIsThreadCountInvariant) {
+  constexpr std::size_t kReplicas = 6;
+  auto farm = [](std::size_t threads) {
+    std::vector<OpenLatencyReport> reps(kReplicas);
+    pwf::exp::parallel_for(kReplicas, threads, [&](std::size_t i) {
+      OpenSimulation sim(
+          std::make_unique<pwf::sched::DynamicWeightedScheduler>(),
+          churn_options(pwf::exp::derive_seed(1234, i)));
+      sim.run(100'000);
+      reps[i] = sim.report();
+    });
+    OpenLatencyReport merged;
+    for (const auto& r : reps) merged.merge(r);
+    return merged;
+  };
+  const OpenLatencyReport seq = farm(1);
+  const OpenLatencyReport par = farm(4);
+  EXPECT_EQ(seq.fingerprint(), par.fingerprint());
+  EXPECT_EQ(seq.completions, par.completions);
+  EXPECT_EQ(seq.op_latency.quantile(0.99), par.op_latency.quantile(0.99));
+}
+
+TEST(OpenSimulation, FullTableShedsArrivals) {
+  OpenSimulation::Options o;
+  o.kind = CompactKind::kParallel;
+  o.q = 4;
+  o.capacity = 4;
+  o.initial_n = 4;
+  o.seed = 5;
+  o.arrivals = std::make_unique<PoissonArrivals>(0.5);
+  // No departures or crashes: the table never frees a slot.
+  OpenSimulation sim(std::make_unique<UniformScheduler>(), std::move(o));
+  sim.run(10'000);
+  EXPECT_GT(sim.report().shed, 0u);
+  EXPECT_EQ(sim.report().departures, 0u);
+  EXPECT_EQ(sim.table().live_count(), 4u);
+}
+
+TEST(OpenSimulation, CrashMidOperationCountsAbandoned) {
+  OpenSimulation::Options o;
+  o.kind = CompactKind::kParallel;
+  o.q = 1'000'000;  // operations essentially never complete
+  o.capacity = 8;
+  o.initial_n = 8;
+  o.seed = 11;
+  o.crash_rate = 1e-3;
+  OpenSimulation sim(std::make_unique<UniformScheduler>(), std::move(o));
+  sim.run(50'000);
+  EXPECT_GT(sim.report().crashes, 0u);
+  EXPECT_EQ(sim.report().abandoned, sim.report().crashes);
+  EXPECT_EQ(sim.report().completions, 0u);
+}
+
+TEST(OpenSimulation, IdleSystemFastForwardsTime) {
+  OpenSimulation::Options o;
+  o.kind = CompactKind::kFetchInc;
+  o.capacity = 4;
+  o.initial_n = 0;  // nobody home, no arrivals
+  OpenSimulation sim(std::make_unique<UniformScheduler>(), std::move(o));
+  sim.run(12'345);
+  EXPECT_EQ(sim.now(), 12'345u);
+  EXPECT_EQ(sim.report().steps, 0u);
+  EXPECT_EQ(sim.report().queue_time, 12'345u);
+  EXPECT_EQ(sim.report().mean_queue_length(), 0.0);
+}
+
+TEST(OpenSimulation, ReplayArrivalsLandExactlyOnSchedule) {
+  OpenSimulation::Options o;
+  o.kind = CompactKind::kFetchInc;
+  o.capacity = 8;
+  o.initial_n = 0;
+  o.seed = 3;
+  o.arrivals = std::make_unique<ReplayArrivals>(
+      std::vector<std::uint64_t>{100, 250, 251});
+  OpenSimulation sim(std::make_unique<UniformScheduler>(), std::move(o));
+  // Boundary convention matches the closed engine's crash plan: an event
+  // at exactly the end time is applied at the start of the next run.
+  sim.run(100);
+  EXPECT_EQ(sim.report().arrivals, 0u);
+  EXPECT_EQ(sim.report().steps, 0u);  // idle until the first arrival
+  sim.run(1);
+  EXPECT_EQ(sim.report().arrivals, 1u);
+  sim.run(400);
+  EXPECT_EQ(sim.report().arrivals, 3u);
+  EXPECT_EQ(sim.table().live_count(), 3u);
+}
+
+TEST(OpenSimulation, RestartReusesTheSameSlot) {
+  OpenSimulation::Options o;
+  o.kind = CompactKind::kScu;
+  o.q = 0;
+  o.s = 1;
+  o.capacity = 4;
+  o.initial_n = 4;
+  o.seed = 17;
+  o.crash_rate = 1e-3;
+  o.restart_prob = 1.0;  // every crash restarts
+  OpenSimulation sim(std::make_unique<pwf::sched::DynamicWeightedScheduler>(),
+                     std::move(o));
+  sim.run(100'000);
+  const OpenLatencyReport& rep = sim.report();
+  EXPECT_GT(rep.crashes, 0u);
+  // All crashes restart (restarts can lag crashes by in-flight delays).
+  EXPECT_GE(rep.restarts + 4, rep.crashes);
+  EXPECT_EQ(rep.departures, 0u);
+  // Nobody ever leaves for good, so the population never grows past the
+  // initial four slots and sheds nothing.
+  EXPECT_EQ(rep.shed, 0u);
+  EXPECT_LE(sim.table().live_count(), 4u);
+  // Generations advanced in place: slots were reused, not leaked.
+  std::uint64_t generations = 0;
+  for (std::size_t s = 0; s < 4; ++s) generations += sim.table().generation[s];
+  EXPECT_EQ(generations, 4u + rep.restarts);
+}
+
+TEST(OpenSimulation, RejectsBadOptions) {
+  OpenSimulation::Options o;
+  o.kind = CompactKind::kScu;
+  o.s = 0;
+  EXPECT_THROW(OpenSimulation(std::make_unique<UniformScheduler>(),
+                              std::move(o)),
+               std::invalid_argument);
+  OpenSimulation::Options o2;
+  o2.capacity = 4;
+  o2.initial_n = 5;
+  EXPECT_THROW(OpenSimulation(std::make_unique<UniformScheduler>(),
+                              std::move(o2)),
+               std::invalid_argument);
+  OpenSimulation::Options o3;
+  EXPECT_THROW(OpenSimulation(nullptr, std::move(o3)), std::invalid_argument);
+}
+
+// --- Arrival-process unit tests ---------------------------------------------
+
+TEST(ArrivalProcess, GeometricStepsEdgeCases) {
+  Xoshiro256pp rng(1);
+  const Xoshiro256pp before = rng;
+  EXPECT_EQ(geometric_steps(0.0, rng), kNeverStep);
+  EXPECT_EQ(geometric_steps(-1.0, rng), kNeverStep);
+  EXPECT_TRUE(rng == before);  // p <= 0 consumes nothing
+  EXPECT_EQ(geometric_steps(1.0, rng), 1u);
+  EXPECT_FALSE(rng == before);  // p >= 1 still burns its one draw
+}
+
+TEST(ArrivalProcess, GeometricStepsMeanIsOneOverP) {
+  Xoshiro256pp rng(99);
+  const double p = 0.25;
+  double sum = 0;
+  const int kSamples = 40'000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(geometric_steps(p, rng));
+  }
+  EXPECT_NEAR(sum / kSamples, 1.0 / p, 0.1);
+}
+
+TEST(ArrivalProcess, BurstySquareWaveAndValidation) {
+  BurstyArrivals b(0.01, 0.2, 100, 0.25);
+  EXPECT_DOUBLE_EQ(b.rate_at(0), 0.2);
+  EXPECT_DOUBLE_EQ(b.rate_at(24), 0.2);
+  EXPECT_DOUBLE_EQ(b.rate_at(25), 0.01);
+  EXPECT_DOUBLE_EQ(b.rate_at(99), 0.01);
+  EXPECT_DOUBLE_EQ(b.rate_at(100), 0.2);
+  EXPECT_THROW(BurstyArrivals(0.0, 0.2, 100, 0.25), std::invalid_argument);
+  EXPECT_THROW(BurstyArrivals(0.1, 0.2, 0, 0.25), std::invalid_argument);
+  EXPECT_THROW(BurstyArrivals(0.1, 0.2, 100, 1.0), std::invalid_argument);
+  // More arrivals land in bursts than in troughs over many periods.
+  Xoshiro256pp rng(5);
+  std::uint64_t t = 0, in_burst = 0, total = 0;
+  while (t < 500'000) {
+    const std::uint64_t gap = b.next_interarrival(t, rng);
+    if (gap == kNeverStep) break;
+    t += gap;
+    ++total;
+    if (t % 100 < 25) ++in_burst;
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_GT(static_cast<double>(in_burst) / static_cast<double>(total), 0.5);
+}
+
+TEST(ArrivalProcess, ReplayValidatesAndConsumesNoRandomness) {
+  EXPECT_THROW(ReplayArrivals({5, 5}), std::invalid_argument);
+  EXPECT_THROW(ReplayArrivals({5, 3}), std::invalid_argument);
+  ReplayArrivals r({10, 20, 40});
+  Xoshiro256pp rng(1);
+  const Xoshiro256pp before = rng;
+  EXPECT_EQ(r.next_interarrival(0, rng), 10u);
+  EXPECT_EQ(r.next_interarrival(10, rng), 10u);
+  EXPECT_EQ(r.next_interarrival(20, rng), 20u);
+  EXPECT_EQ(r.next_interarrival(40, rng), kNeverStep);
+  EXPECT_TRUE(rng == before);
+}
+
+}  // namespace
+}  // namespace pwf::core

@@ -1,0 +1,121 @@
+// Tests for the log-linear quantile sketch: exactness below the linear
+// range, the 2^-sub_bits relative-error bound, order-independent merge,
+// and the fingerprint the determinism tests rely on.
+#include "util/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pwf {
+namespace {
+
+TEST(QuantileSketch, EmptyIsAllZero) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), 0u);
+  EXPECT_EQ(s.quantile(0.0), 0u);
+  EXPECT_EQ(s.quantile(0.5), 0u);
+  EXPECT_EQ(s.quantile(1.0), 0u);
+}
+
+TEST(QuantileSketch, RejectsBadSubBits) {
+  EXPECT_THROW(QuantileSketch(0), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch(9), std::invalid_argument);
+}
+
+TEST(QuantileSketch, SmallValuesAreExact) {
+  // Below 2^sub_bits every value has its own bucket: quantiles of a
+  // small-range stream are exact order statistics (by upper edge).
+  QuantileSketch s(5);
+  for (std::uint64_t v = 0; v < 32; ++v) s.add(v);
+  EXPECT_EQ(s.count(), 32u);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), 31u);
+  EXPECT_EQ(s.quantile(0.0), 0u);
+  EXPECT_EQ(s.quantile(1.0), 31u);
+  // Nearest-rank: the q-th sample of 0..31.
+  EXPECT_EQ(s.quantile(0.5), 15u);
+}
+
+TEST(QuantileSketch, RelativeErrorBound) {
+  // Deterministic heavy-tailed stream; every reported quantile must be
+  // within 2^-sub_bits of the exact order statistic.
+  const unsigned sub_bits = 5;
+  const double tol = 1.0 / 32.0;
+  Xoshiro256pp rng(12345);
+  QuantileSketch s(sub_bits);
+  std::vector<std::uint64_t> exact;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform_double();
+    const auto v = static_cast<std::uint64_t>(std::exp(14.0 * u));
+    s.add(v);
+    exact.push_back(v);
+  }
+  std::sort(exact.begin(), exact.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(exact.size())));
+    const std::uint64_t truth = exact[std::min(rank, exact.size() - 1)];
+    const std::uint64_t got = s.quantile(q);
+    const double rel =
+        std::abs(static_cast<double>(got) - static_cast<double>(truth)) /
+        std::max(1.0, static_cast<double>(truth));
+    EXPECT_LE(rel, tol) << "q=" << q << " got=" << got << " truth=" << truth;
+  }
+}
+
+TEST(QuantileSketch, MergeIsOrderIndependent) {
+  Xoshiro256pp rng(7);
+  QuantileSketch a(4), b(4), whole(4);
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform(1u << 20));
+    (i % 2 ? a : b).add(v);
+    whole.add(v);
+  }
+  QuantileSketch ab(4), ba(4);
+  ab.merge(a);
+  ab.merge(b);
+  ba.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.fingerprint(), ba.fingerprint());
+  EXPECT_EQ(ab.fingerprint(), whole.fingerprint());
+  EXPECT_EQ(ab.count(), whole.count());
+  EXPECT_EQ(ab.quantile(0.99), whole.quantile(0.99));
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedSubBits) {
+  QuantileSketch a(4), b(5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(QuantileSketch, FingerprintSeparatesStreams) {
+  // 70000 and 140000 are in different octaves, hence different buckets.
+  QuantileSketch a, b, c;
+  for (std::uint64_t v : {3u, 900u, 70000u}) a.add(v);
+  for (std::uint64_t v : {3u, 900u, 140000u}) b.add(v);
+  for (std::uint64_t v : {3u, 900u, 70000u, 70000u}) c.add(v);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());  // counts matter too
+}
+
+TEST(QuantileSketch, HandlesExtremes) {
+  QuantileSketch s;
+  s.add(0);
+  s.add(~std::uint64_t{0});
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), ~std::uint64_t{0});
+  // p100 clamps to the observed max even in the giant top bucket.
+  EXPECT_EQ(s.quantile(1.0), ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace pwf

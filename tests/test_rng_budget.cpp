@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/scheduler.hpp"
+#include "sched/dynamic.hpp"
 
 namespace pwf::core {
 namespace {
@@ -147,6 +148,92 @@ TEST(RngBudget, ThetaMixOverAdversaryGoldenTotal) {
   EXPECT_EQ(b.per_step_min, 1u);
   EXPECT_EQ(b.per_step_max, 2u);
   EXPECT_EQ(b.total, 13957u);  // golden: 10000 steps at seed 20140806
+}
+
+TEST(RngBudget, NextBatchConsumesExactlyThePerStepBudget) {
+  // The batched hot path must be stream-identical to per-step next():
+  // same draws consumed AND same processes chosen. Pinned for the two
+  // overriding schedulers (uniform, weighted-alias) plus the virtual
+  // default.
+  const auto active = iota_active(kN);
+  const auto check = [&](Scheduler& batched, Scheduler& stepped,
+                         std::size_t draws_per_step) {
+    Xoshiro256pp brng(kSeed), srng(kSeed);
+    std::vector<std::size_t> batch(257);  // deliberately not a power of two
+    const Xoshiro256pp before = brng;
+    batched.next_batch(0, active, brng, batch);
+    EXPECT_EQ(draws_between(before, brng, batch.size() * 4 + 16),
+              draws_per_step * batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch[i], stepped.next(i, active, srng)) << "i=" << i;
+    }
+    EXPECT_TRUE(brng == srng);
+  };
+  {
+    UniformScheduler a, b;
+    check(a, b, 1);
+  }
+  {
+    WeightedScheduler a(zipf_weights(kN), SamplingMode::alias);
+    WeightedScheduler b(zipf_weights(kN), SamplingMode::alias);
+    check(a, b, 2);
+  }
+  {
+    StickyScheduler a(0.8), b(0.8);  // exercises the default loop
+    Xoshiro256pp brng(kSeed), srng(kSeed);
+    std::vector<std::size_t> batch(100);
+    a.next_batch(0, active, brng, batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch[i], b.next(i, active, srng));
+    }
+    EXPECT_TRUE(brng == srng);
+  }
+}
+
+TEST(RngBudget, DynamicWeightedCompactIsTwoDrawsPerStep) {
+  // Stable membership: same two-draw budget as the closed alias sampler.
+  pwf::sched::DynamicWeightedScheduler sched;
+  const auto active = iota_active(kN);
+  const Budget b = measure(sched, active);
+  EXPECT_EQ(b.per_step_min, 2u);
+  EXPECT_EQ(b.per_step_max, 2u);
+  EXPECT_EQ(b.total, 2u * static_cast<std::uint64_t>(kSteps));
+}
+
+TEST(RngBudget, DynamicWeightedChurnBudgetRegimes) {
+  // Start with a large table so incremental deltas do not trip the
+  // rebuild thresholds (dead*4 > size, fresh*4 > size).
+  constexpr std::size_t n = 64;
+  pwf::sched::DynamicWeightedScheduler sched;
+  auto active = iota_active(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sched.on_membership_change(MembershipEvent::kArrive, i, 1.0);
+  }
+  (void)measure(sched, active, 1);  // materialize the table
+
+  // One departure: dead-mark redraws cost 2 draws normally, 2 more per
+  // rejection — bounded but not fixed. Pin the floor and a sane ceiling.
+  sched.on_membership_change(MembershipEvent::kDepart, n - 1, 1.0);
+  active.pop_back();
+  const Budget dead = measure(sched, active, 2'000);
+  EXPECT_EQ(dead.per_step_min, 2u);
+  EXPECT_LE(dead.per_step_max, 8u);  // geometric tail, P(>3 rejects) ~ 1e-6
+
+  // One arrival: the fresh-list arm adds one pre-draw before each table
+  // draw (3 total), but a fresh-arm hit resolves on the pre-draw alone
+  // (1 total — the arm draw doubles as the scan coordinate).
+  sched.on_membership_change(MembershipEvent::kArrive, n, 1.0);
+  active.push_back(n);
+  const Budget fresh = measure(sched, active, 2'000);
+  EXPECT_EQ(fresh.per_step_min, 1u);
+  EXPECT_GE(fresh.per_step_max, 3u);
+  EXPECT_LE(fresh.per_step_max, 9u);
+
+  // compact() folds everything back into one table: exactly 2 again.
+  sched.compact();
+  const Budget compacted = measure(sched, active, 2'000);
+  EXPECT_EQ(compacted.per_step_min, 2u);
+  EXPECT_EQ(compacted.per_step_max, 2u);
 }
 
 TEST(RngBudget, DeterministicSchedulersConsumeNoRandomness) {

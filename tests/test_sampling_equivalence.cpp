@@ -172,6 +172,84 @@ TEST(AliasSampler, ChiSquaredSurvivesACrashMidStream) {
   EXPECT_LT(chi_squared(counts, probs, kDraws), 62.0);
 }
 
+TEST(IncrementalAlias, ChiSquaredUnderChurnWithoutRebuild) {
+  // The open-system claim: dead-marked positions (departures) and a
+  // fresh list (arrivals) sample *exactly* the live distribution with no
+  // rebuild. Churn a 64-entry table below the rebuild thresholds, verify
+  // analytically via probabilities(), then empirically over 10^6 draws.
+  constexpr std::size_t kN = 64;
+  constexpr std::uint64_t kDraws = 1'000'000;
+  std::vector<double> weights(kN);
+  std::vector<std::size_t> ids(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ids[i] = i;
+    weights[i] = 1.0 / std::sqrt(static_cast<double>(i + 1));
+  }
+  AliasTable table;
+  table.build(ids, weights);
+
+  // Churn: remove 8 members (dead marks, 8*4 <= 64 — no rebuild), then
+  // admit 4 newcomers (fresh list, 4*4 <= 64 — no rebuild).
+  std::vector<std::size_t> live;
+  std::vector<double> live_w;
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (i % 8 == 3) {
+      table.remove(i);
+    } else {
+      live.push_back(i);
+      live_w.push_back(weights[i]);
+    }
+  }
+  for (std::size_t j = 0; j < 4; ++j) {
+    table.add(kN + j, 0.5 + static_cast<double>(j));
+    live.push_back(kN + j);
+    live_w.push_back(0.5 + static_cast<double>(j));
+  }
+  ASSERT_FALSE(table.needs_rebuild());
+  ASSERT_EQ(table.live_count(), live.size());
+
+  double total = 0.0;
+  for (double w : live_w) total += w;
+  const auto analytic = table.probabilities(live);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_NEAR(analytic[i], live_w[i] / total, 1e-12) << "id " << live[i];
+  }
+
+  Xoshiro256pp rng(987654321);
+  std::vector<std::uint64_t> counts(live.size(), 0);
+  for (std::uint64_t d = 0; d < kDraws; ++d) {
+    const std::size_t id = table.draw(rng);
+    const auto it = std::find(live.begin(), live.end(), id);
+    ASSERT_TRUE(it != live.end()) << "drew non-member " << id;
+    ++counts[static_cast<std::size_t>(it - live.begin())];
+  }
+  std::vector<double> probs(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) probs[i] = live_w[i] / total;
+  // 59 degrees of freedom: P(chi2 > 100) < 1e-3, seed fixed.
+  EXPECT_LT(chi_squared(counts, probs, kDraws), 100.0);
+}
+
+TEST(IncrementalAlias, ReviveRestoresTheExactDistribution) {
+  // The restart path: remove + add of the same id with the same weight
+  // must leave the table exactly where it started (dead mark cleared in
+  // place, no fresh entry, no rebuild pressure).
+  std::vector<std::size_t> ids{0, 1, 2, 3, 4};
+  std::vector<double> weights{1.0, 2.0, 3.0, 4.0, 5.0};
+  AliasTable table;
+  table.build(ids, weights);
+  const auto before = table.probabilities(ids);
+  table.remove(2);
+  EXPECT_FALSE(table.contains(2));
+  table.add(2, 3.0);
+  EXPECT_TRUE(table.contains(2));
+  EXPECT_EQ(table.fresh_count(), 0u);
+  EXPECT_EQ(table.dead_count(), 0u);
+  const auto after = table.probabilities(ids);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_DOUBLE_EQ(after[i], before[i]);
+  }
+}
+
 TEST(AliasSampler, DeterministicForFixedSeed) {
   const auto weights = weight_fixtures()[2];  // zipf 256
   WeightedScheduler a(weights), b(weights);
