@@ -1,0 +1,575 @@
+// waitfree_overhead: what the wait-free wrapper costs and what it buys
+// (src/waitfree, DESIGN.md §"Wait-free universal construction").
+//
+// The paper's thesis is that lock-free algorithms are practically
+// wait-free under stochastic schedulers; the Kogan–Petrank-style
+// fast-path/slow-path transformation is the contrapositive probe: if the
+// thesis holds, the wait-free machinery (announce, scan, help) is almost
+// never exercised, so its cost must be near zero on the common path —
+// and its benefit must appear exactly where the thesis's assumptions
+// break (adversarial scheduling).
+//
+// Four measurement families, one telemetry shape (HelpStats):
+//
+//   sim helping-rate  — wrapped-counter step machines under uniform /
+//     Zipf / starving-adversary schedulers: slow-path entries per 10^6
+//     completed ops vs scheduler skew. Verdict: uniform keeps the rate
+//     below 0.1% of ops while the adversary drives it orders of
+//     magnitude higher.
+//   sim overhead      — wrapped counter vs the raw Algorithm-5 fetch-inc
+//     machine, same scheduler and seed: shared-memory steps per
+//     completed op (deterministic) and wall steps/sec.
+//   sim rescue        — the starvation experiment: a victim scheduled
+//     once in 64 steps completes ops through helping but starves
+//     (in-flight own steps grow unboundedly) when helping is compiled
+//     out — the nohelp mutant caught violating the wait-free bound.
+//   native            — real threads: wrapped vs raw CAS-loop counter
+//     ops/sec (the committed wrapped-over-raw ratio), lin-point-stamped
+//     HwSession captures of wf-counter / wf-stack checked linearizable,
+//     and the stall-injection rescue (an announced descriptor committed
+//     by routine foreign traffic).
+//
+// scripts/bench_waitfree.sh serializes the sweep into
+// BENCH_waitfree.json, the committed baseline.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/hw_capture.hpp"
+#include "check/lin_check.hpp"
+#include "core/algorithms.hpp"
+#include "core/scheduler.hpp"
+#include "core/simulation.hpp"
+#include "exp/registry.hpp"
+#include "lockfree/counter.hpp"
+#include "lockfree/ebr.hpp"
+#include "util/table.hpp"
+#include "waitfree/object.hpp"
+#include "waitfree/sim_object.hpp"
+
+namespace {
+
+using namespace pwf;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
+using pwf::waitfree::HelpStats;
+using pwf::waitfree::SimWfConfig;
+using pwf::waitfree::SimWfKind;
+using pwf::waitfree::WaitFreeSim;
+
+enum class Kind : int {
+  kSimHelping = 0,
+  kSimOverhead = 1,
+  kSimRescue = 2,
+  kNativeOverhead = 3,
+  kNativeLin = 4,
+};
+
+// Scheduler skew ladder for the helping-rate sweep.
+enum class Sched : int {
+  kUniform = 0,
+  kZipf15 = 1,
+  kZipf25 = 2,
+  kStarver = 3,  // adversary: pid 0 scheduled once in 64 steps
+};
+constexpr const char* kSchedLabels[] = {"uniform", "zipf-1.5", "zipf-2.5",
+                                        "starver"};
+
+std::unique_ptr<core::Scheduler> make_sched(Sched s, std::size_t n) {
+  switch (s) {
+    case Sched::kUniform:
+      return std::make_unique<core::UniformScheduler>();
+    case Sched::kZipf15:
+      return std::make_unique<core::WeightedScheduler>(
+          core::make_zipf_scheduler(n, 1.5));
+    case Sched::kZipf25:
+      return std::make_unique<core::WeightedScheduler>(
+          core::make_zipf_scheduler(n, 2.5));
+    case Sched::kStarver:
+      return std::make_unique<core::AdversarialScheduler>(
+          [](std::uint64_t tau, std::span<const std::size_t> active) {
+            if (active.size() == 1 || tau % 64 == 0) return active[0];
+            return active[1 + tau % (active.size() - 1)];
+          },
+          "starver");
+  }
+  return nullptr;
+}
+
+/// Runs `horizon` steps of wrapped-counter machines under `sched`,
+/// returning the per-process machines' merged stats plus per-victim
+/// detail (pid 0 is the starver's victim).
+struct SimRun {
+  HelpStats merged;
+  HelpStats victim;
+  std::uint64_t victim_max_own_steps = 0;
+  std::uint64_t victim_steps_in_flight = 0;
+  std::uint64_t completions = 0;
+  double steps_per_sec = 0.0;
+};
+
+SimRun run_sim(Sched sched, std::size_t n, std::uint64_t seed,
+               std::uint64_t horizon, const SimWfConfig& cfg) {
+  auto tap = std::make_shared<std::vector<const WaitFreeSim*>>();
+  core::StepMachineFactory factory = [cfg, tap](std::size_t pid,
+                                                std::size_t num) {
+    auto machine = std::make_unique<WaitFreeSim>(pid, num, cfg);
+    if (pid == tap->size()) tap->push_back(machine.get());
+    return machine;
+  };
+  core::Simulation::Options opt;
+  opt.num_registers = WaitFreeSim::registers_required(n, cfg);
+  opt.seed = seed;
+  opt.initial_values = WaitFreeSim::initial_values(n, cfg);
+  core::Simulation sim(n, std::move(factory), make_sched(sched, n), opt);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run(horizon);
+  const double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  SimRun out;
+  for (const WaitFreeSim* m : *tap) out.merged += m->stats();
+  out.victim = (*tap)[0]->stats();
+  out.victim_max_own_steps = (*tap)[0]->max_own_steps();
+  out.victim_steps_in_flight = (*tap)[0]->steps_in_flight();
+  out.completions = sim.report().completions;
+  out.steps_per_sec = static_cast<double>(horizon) / sec;
+  return out;
+}
+
+class WaitfreeOverhead final : public exp::Experiment {
+ public:
+  std::string name() const override { return "waitfree_overhead"; }
+  std::string artifact() const override {
+    return "wait-free universal construction: helping rate vs scheduler "
+           "skew, wrapped-vs-raw overhead, starvation rescue "
+           "(src/waitfree)";
+  }
+  std::string claim() const override {
+    return "Claim: under uniform stochastic scheduling the slow path is "
+           "entered for < 0.1% of ops (the lock-free fast path is "
+           "practically wait-free), an adversarial starver drives its "
+           "victim's slow-path rate >= 100x higher, helping bounds the victim's "
+           "own-step cost where the nohelp mutant starves it without "
+           "bound, and the wrapped structures stay linearizable under "
+           "lin-point-stamped hardware capture.";
+  }
+  std::uint64_t default_seed() const override { return 20140811; }
+
+  // Wall-clock throughput and real-thread captures: run alone.
+  bool exclusive() const override { return true; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    std::vector<Trial> grid;
+    std::uint64_t idx = 0;
+    auto add = [&](std::string id, Metrics params) {
+      Trial t;
+      t.id = std::move(id);
+      t.params = std::move(params);
+      t.seed = exp::derive_seed(base, idx++);
+      grid.push_back(std::move(t));
+    };
+
+    const std::vector<std::size_t> ns =
+        options.quick ? std::vector<std::size_t>{4}
+                      : std::vector<std::size_t>{4, 16};
+    for (int s = 0; s <= static_cast<int>(Sched::kStarver); ++s) {
+      for (const std::size_t n : ns) {
+        add(std::string("helping ") + kSchedLabels[s] +
+                " n=" + std::to_string(n),
+            {{"kind", static_cast<double>(Kind::kSimHelping)},
+             {"sched", static_cast<double>(s)},
+             {"n", static_cast<double>(n)}});
+      }
+    }
+    add("sim wrapped-vs-raw n=4",
+        {{"kind", static_cast<double>(Kind::kSimOverhead)},
+         {"n", 4.0}});
+    add("sim rescue n=3",
+        {{"kind", static_cast<double>(Kind::kSimRescue)}, {"n", 3.0}});
+    add("native wrapped-vs-raw",
+        {{"kind", static_cast<double>(Kind::kNativeOverhead)}});
+    add("native lin-point captures",
+        {{"kind", static_cast<double>(Kind::kNativeLin)}});
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    switch (static_cast<Kind>(static_cast<int>(trial.params.at("kind")))) {
+      case Kind::kSimHelping:
+        return run_sim_helping(trial, options);
+      case Kind::kSimOverhead:
+        return run_sim_overhead(trial, options);
+      case Kind::kSimRescue:
+        return run_sim_rescue(trial, options);
+      case Kind::kNativeOverhead:
+        return run_native_overhead(trial, options);
+      case Kind::kNativeLin:
+        return run_native_lin(trial, options);
+    }
+    return {};
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& options,
+                  std::ostream& os) const override;
+
+ private:
+  static SimWfConfig sim_config(std::size_t n) {
+    SimWfConfig cfg;
+    cfg.kind = SimWfKind::kCounter;
+    // MAX_FAILURES must out-last the CAS-loss streaks a *stochastic*
+    // scheduler produces, and those lengthen with contention: the
+    // per-attempt loss probability measured on this grid is ~0.65 at
+    // n = 4 uniform and ~0.85 at n = 16, so a fixed budget of 16 leaks
+    // ~2e-3 of ops (n = 4) and 32 leaks ~6e-3 (n = 16) onto the slow
+    // path. A budget linear in n keeps the geometric tail below the
+    // 0.1% claim with margin at both grid sizes, while a starved victim
+    // (which loses *every* attempt) still exhausts it in O(n) of its
+    // own ops.
+    cfg.max_failures = std::max<std::uint32_t>(
+        32, 8 * static_cast<std::uint32_t>(n));
+    cfg.help_delay = 4;
+    // The starver pushes every victim op (and many contender ops) into
+    // the slow path; size the arena for the full horizon.
+    cfg.max_descs_per_process = 1 << 15;
+    return cfg;
+  }
+
+  Metrics run_sim_helping(const Trial& trial,
+                          const RunOptions& options) const {
+    const auto sched =
+        static_cast<Sched>(static_cast<int>(trial.params.at("sched")));
+    const auto n = static_cast<std::size_t>(trial.params.at("n"));
+    const std::uint64_t horizon = options.horizon(1'000'000, 100'000);
+    const SimRun r = run_sim(sched, n, trial.seed, horizon, sim_config(n));
+    Metrics m = r.merged.metrics("wf");
+    m["completions"] = static_cast<double>(r.completions);
+    m["steps_per_sec"] = r.steps_per_sec;
+    m["victim_slow_per_mop"] = r.victim.slow_per_mop();
+    m["victim_ops"] = static_cast<double>(r.victim.ops);
+    return m;
+  }
+
+  Metrics run_sim_overhead(const Trial& trial,
+                           const RunOptions& options) const {
+    const auto n = static_cast<std::size_t>(trial.params.at("n"));
+    const std::uint64_t horizon = options.horizon(1'000'000, 100'000);
+    const SimRun wrapped =
+        run_sim(Sched::kUniform, n, trial.seed, horizon, sim_config(n));
+
+    core::Simulation::Options opt;
+    opt.num_registers = core::FetchAndIncrement::registers_required();
+    opt.seed = trial.seed;
+    core::Simulation raw(n, core::FetchAndIncrement::factory(),
+                         std::make_unique<core::UniformScheduler>(), opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    raw.run(horizon);
+    const double raw_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const double wrapped_spo =
+        static_cast<double>(horizon) /
+        static_cast<double>(std::max<std::uint64_t>(wrapped.completions, 1));
+    const double raw_spo =
+        static_cast<double>(horizon) /
+        static_cast<double>(
+            std::max<std::uint64_t>(raw.report().completions, 1));
+    const double raw_sps = static_cast<double>(horizon) / raw_sec;
+    return {{"wrapped_steps_per_op", wrapped_spo},
+            {"raw_steps_per_op", raw_spo},
+            {"steps_per_op_overhead", wrapped_spo / raw_spo},
+            {"wrapped_steps_per_sec", wrapped.steps_per_sec},
+            {"raw_steps_per_sec", raw_sps},
+            {"steps_per_sec_ratio", wrapped.steps_per_sec / raw_sps},
+            {"wrapped_slow_per_mop", wrapped.merged.slow_per_mop()}};
+  }
+
+  Metrics run_sim_rescue(const Trial& trial,
+                         const RunOptions& options) const {
+    (void)trial;
+    const std::size_t n = 3;
+    const std::uint64_t horizon = options.horizon(200'000, 50'000);
+    auto run = [&](bool helping) {
+      SimWfConfig cfg = sim_config(n);
+      cfg.max_failures = 2;  // announce quickly: the slow path is the point
+      cfg.help_delay = 2;
+      cfg.helping = helping;
+      core::SharedMemory mem(WaitFreeSim::registers_required(n, cfg));
+      for (const auto& [r, v] : WaitFreeSim::initial_values(n, cfg)) {
+        mem.poke(r, v);
+      }
+      std::vector<std::unique_ptr<WaitFreeSim>> procs;
+      for (std::size_t p = 0; p < n; ++p) {
+        procs.push_back(std::make_unique<WaitFreeSim>(p, n, cfg));
+      }
+      // The same starving schedule the sim tests use: the victim gets one
+      // step in fifty, the contenders alternate.
+      for (std::uint64_t tau = 0; tau < horizon; ++tau) {
+        procs[tau % 50 == 0 ? 0 : 1 + (tau % 2)]->step(mem);
+      }
+      return procs;
+    };
+    const auto helped = run(true);
+    const auto nohelp = run(false);
+    const double helped_bound =
+        static_cast<double>(helped[0]->max_own_steps());
+    const double nohelp_in_flight =
+        static_cast<double>(nohelp[0]->steps_in_flight());
+    // Caught = the victim starves without helping (no completions, its
+    // in-flight step count far beyond the helped run's worst op) while
+    // helping keeps it completing within a bounded own-step cost.
+    const bool caught = helped[0]->stats().ops >= 4 &&
+                        nohelp[0]->stats().ops <= 1 &&
+                        nohelp_in_flight > 10.0 * std::max(helped_bound, 1.0);
+    return {{"victim_ops_helping", static_cast<double>(helped[0]->stats().ops)},
+            {"victim_ops_nohelp", static_cast<double>(nohelp[0]->stats().ops)},
+            {"victim_helped_by_other",
+             static_cast<double>(helped[0]->stats().helped_by_other)},
+            {"helping_max_own_steps", helped_bound},
+            {"nohelp_steps_in_flight", nohelp_in_flight},
+            {"nohelp_caught", caught ? 1.0 : 0.0}};
+  }
+
+  Metrics run_native_overhead(const Trial& trial,
+                              const RunOptions& options) const {
+    (void)trial;
+    constexpr std::size_t kThreads = 3;
+    const std::uint64_t ops = options.quick ? 30'000 : 200'000;
+
+    lockfree::EbrDomain domain;
+    using WfCounter = waitfree::WaitFreeObject<waitfree::CounterState>;
+    WfCounter wrapped(domain, waitfree::CounterState{});
+    HelpStats totals;
+    double wrapped_sec = 0.0;
+    {
+      std::vector<std::unique_ptr<HelpStats>> stats(kThreads);
+      std::vector<std::thread> threads;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < kThreads; ++i) {
+        stats[i] = std::make_unique<HelpStats>();
+        threads.emplace_back([&, i] {
+          lockfree::EbrThreadHandle ebr(domain);
+          WfCounter::Thread t(wrapped, ebr);
+          for (std::uint64_t k = 0; k < ops; ++k) {
+            wrapped.apply(t, waitfree::counter_fetch_inc, 0);
+          }
+          *stats[i] = t.stats();
+        });
+      }
+      for (auto& th : threads) th.join();
+      wrapped_sec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      for (const auto& s : stats) totals += *s;
+    }
+
+    lockfree::CasCounter raw;
+    double raw_sec = 0.0;
+    {
+      std::vector<std::thread> threads;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&] {
+          for (std::uint64_t k = 0; k < ops; ++k) raw.fetch_inc();
+        });
+      }
+      for (auto& th : threads) th.join();
+      raw_sec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+
+    const double total = static_cast<double>(kThreads * ops);
+    const double wrapped_mops = total / wrapped_sec / 1e6;
+    const double raw_mops = total / raw_sec / 1e6;
+    Metrics m = totals.metrics("wf");
+    m["wrapped_mops_per_sec"] = wrapped_mops;
+    m["raw_mops_per_sec"] = raw_mops;
+    m["wrapped_over_raw"] = wrapped_mops / raw_mops;
+    return m;
+  }
+
+  Metrics run_native_lin(const Trial& trial,
+                         const RunOptions& options) const {
+    check::HwOptions hw;
+    hw.threads = 4;
+    hw.ops_per_thread = options.quick ? 300 : 1'500;
+    hw.bursts = 2;
+    hw.seed = trial.seed;
+    hw.stamp = check::StampMode::kLinPoint;
+
+    Metrics m;
+    double total_ops = 0.0;
+    for (const char* structure : {"wf-counter", "wf-stack"}) {
+      const check::HwResult r =
+          check::HwSession(structure, hw).run();
+      const std::string key =
+          structure == std::string("wf-counter") ? "counter" : "stack";
+      m["lin_" + key] = r.as_expected() ? 1.0 : 0.0;
+      m["stamped_" + key] = static_cast<double>(r.stamped_ops);
+      total_ops += static_cast<double>(r.total_ops);
+    }
+    m["operations"] = total_ops;
+
+    // Stall-injection rescue on real threads: announce, let routine
+    // foreign traffic commit it, collect.
+    lockfree::EbrDomain domain;
+    using WfCounter = waitfree::WaitFreeObject<waitfree::CounterState>;
+    waitfree::WfConfig cfg;
+    cfg.help_delay = 1;
+    WfCounter object(domain, waitfree::CounterState{}, cfg);
+    lockfree::EbrThreadHandle ebr_a(domain);
+    lockfree::EbrThreadHandle ebr_b(domain);
+    WfCounter::Thread a(object, ebr_a);
+    WfCounter::Thread b(object, ebr_b);
+    auto* d = object.announce_only(a, waitfree::counter_fetch_inc, 0);
+    object.apply(b, waitfree::counter_fetch_inc, 0);
+    const bool committed_by_traffic =
+        object.announced_stage(d) == waitfree::DescStage::kCommitted;
+    const std::uint64_t result = object.finish_announced(a, d);
+    m["stall_rescued"] =
+        committed_by_traffic && result == 0 && a.stats().helped_by_other == 1
+            ? 1.0
+            : 0.0;
+    return m;
+  }
+};
+
+Verdict WaitfreeOverhead::analyze(const std::vector<TrialResult>& results,
+                                  const RunOptions& options,
+                                  std::ostream& os) const {
+  (void)options;
+  Verdict verdict;
+  Table helping({"scheduler", "n", "ops", "slow/Mop", "helped-by-other",
+                 "fast retries/op", "scans/op", "victim slow/Mop"});
+  double uniform_slow = 0.0;        // max merged rate over uniform cells
+  double starver_victim_slow = 0.0; // max victim rate over starver cells
+  double zipf_slow = 0.0;           // max merged rate over zipf cells
+  bool lin_ok = true, rescue_ok = true, stall_ok = true;
+  bool have_lin = false, have_rescue = false;
+
+  for (const TrialResult& r : results) {
+    const Metrics& m = r.metrics;
+    switch (static_cast<Kind>(static_cast<int>(r.trial.params.at("kind")))) {
+      case Kind::kSimHelping: {
+        const auto sched =
+            static_cast<Sched>(static_cast<int>(r.trial.params.at("sched")));
+        const auto n = static_cast<std::size_t>(r.trial.params.at("n"));
+        const double slow = m.at("wf_slow_per_mop");
+        const double ops = m.at("wf_ops");
+        helping.add_row(
+            {kSchedLabels[static_cast<int>(sched)], fmt(n),
+             fmt(ops, 0), fmt(slow, 1), fmt(m.at("wf_helped_by_other"), 0),
+             fmt(m.at("wf_fast_retries") / ops, 3),
+             fmt(m.at("wf_help_scans") / ops, 2),
+             fmt(m.at("victim_slow_per_mop"), 1)});
+        const std::string tag = std::string(kSchedLabels[static_cast<int>(
+                                    sched)]) +
+                                "_n" + std::to_string(n);
+        verdict.summary["slow_per_mop_" + tag] = slow;
+        if (sched == Sched::kUniform) {
+          uniform_slow = std::max(uniform_slow, slow);
+        } else if (sched == Sched::kStarver) {
+          // The merged rate under the starver is diluted by the
+          // contenders fast-pathing among themselves; the adversarial
+          // signal is the victim's own rate (pid 0, one step in 64).
+          starver_victim_slow =
+              std::max(starver_victim_slow, m.at("victim_slow_per_mop"));
+        } else {
+          zipf_slow = std::max(zipf_slow, slow);
+        }
+        break;
+      }
+      case Kind::kSimOverhead:
+        verdict.summary["sim_wrapped_steps_per_op"] =
+            m.at("wrapped_steps_per_op");
+        verdict.summary["sim_raw_steps_per_op"] = m.at("raw_steps_per_op");
+        verdict.summary["sim_steps_per_op_overhead"] =
+            m.at("steps_per_op_overhead");
+        verdict.summary["sim_steps_per_sec_ratio"] =
+            m.at("steps_per_sec_ratio");
+        break;
+      case Kind::kSimRescue:
+        have_rescue = true;
+        rescue_ok = exp::flag(m.at("nohelp_caught"));
+        verdict.summary["victim_ops_helping"] = m.at("victim_ops_helping");
+        verdict.summary["victim_ops_nohelp"] = m.at("victim_ops_nohelp");
+        verdict.summary["helping_max_own_steps"] =
+            m.at("helping_max_own_steps");
+        verdict.summary["nohelp_steps_in_flight"] =
+            m.at("nohelp_steps_in_flight");
+        break;
+      case Kind::kNativeOverhead:
+        verdict.summary["native_wrapped_mops"] = m.at("wrapped_mops_per_sec");
+        verdict.summary["native_raw_mops"] = m.at("raw_mops_per_sec");
+        verdict.summary["native_wrapped_over_raw"] = m.at("wrapped_over_raw");
+        verdict.summary["native_slow_per_mop"] = m.at("wf_slow_per_mop");
+        break;
+      case Kind::kNativeLin:
+        have_lin = true;
+        lin_ok = exp::flag(m.at("lin_counter")) && exp::flag(m.at("lin_stack"));
+        stall_ok = exp::flag(m.at("stall_rescued"));
+        verdict.summary["lin_counter"] = m.at("lin_counter");
+        verdict.summary["lin_stack"] = m.at("lin_stack");
+        verdict.summary["stall_rescued"] = m.at("stall_rescued");
+        break;
+    }
+  }
+
+  os << "helping rate vs scheduler skew (wrapped counter, sim)\n\n";
+  helping.print(os);
+  os << "\nslow/Mop = slow-path entries per 10^6 completed ops, merged "
+        "over processes; the victim column (pid 0) is where the starver "
+        "shows up — the contenders dilute its merged rate.\n";
+
+  const double adv_over_uniform =
+      starver_victim_slow / std::max(uniform_slow, 1.0);
+  verdict.summary["slow_per_mop_uniform_max"] = uniform_slow;
+  verdict.summary["slow_per_mop_zipf_max"] = zipf_slow;
+  verdict.summary["slow_per_mop_starver_victim"] = starver_victim_slow;
+  verdict.summary["starver_victim_over_uniform"] = adv_over_uniform;
+
+  // Verdict thresholds (EXPERIMENTS.md): the thesis's regime separation.
+  // Uniform keeps the slow path under 0.1% of ops; the starver's victim
+  // is pushed onto it orders of magnitude (>= 100x) more often. Zipf
+  // rates sit in between and are reported, not gated — skewed-but-
+  // stochastic is exactly the regime the paper says still behaves.
+  const bool uniform_rare = uniform_slow < 1000.0;    // < 0.1% of ops
+  const bool adversary_loud = adv_over_uniform >= 100.0;
+  verdict.reproduced = uniform_rare && adversary_loud &&
+                       have_rescue && rescue_ok && have_lin && lin_ok &&
+                       stall_ok;
+  verdict.detail =
+      "uniform slow path " + fmt(uniform_slow, 1) + "/Mop, starver victim " +
+      fmt(starver_victim_slow, 0) + "/Mop (" + fmt(adv_over_uniform, 0) +
+      "x); wrapped/raw native " +
+      fmt(verdict.summary.count("native_wrapped_over_raw")
+              ? verdict.summary["native_wrapped_over_raw"]
+              : 0.0,
+          2) +
+      "x, sim steps/op overhead " +
+      fmt(verdict.summary.count("sim_steps_per_op_overhead")
+              ? verdict.summary["sim_steps_per_op_overhead"]
+              : 0.0,
+          2) +
+      "x";
+  return verdict;
+}
+
+const exp::RegisterExperiment reg(std::make_unique<WaitfreeOverhead>());
+
+}  // namespace

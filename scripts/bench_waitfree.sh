@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_waitfree.json — the committed wait-free universal
+# construction baseline (helping rate vs scheduler skew for the wrapped
+# counter, wrapped-vs-raw overhead in the sim and on real threads, the
+# starvation rescue, and the lin-point-stamped hardware checks). Run it
+# on the reference machine after touching src/waitfree, eyeball the
+# slow/Mop column (uniform tiny, starver loud) and the wrapped-over-raw
+# ratio, and commit the result so later PRs can regress against it.
+#
+# Usage: scripts/bench_waitfree.sh [--quick] [extra pwf_bench args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build --target pwf_bench -j"$(nproc)"
+
+build/bench/pwf_bench --filter waitfree_overhead \
+  --json BENCH_waitfree.json "$@"
+echo "wrote BENCH_waitfree.json"

@@ -25,6 +25,7 @@
 #include "lockfree/treiber_stack_untagged.hpp"
 #endif
 #include "util/rng.hpp"
+#include "waitfree/object.hpp"
 
 namespace pwf::check {
 
@@ -290,6 +291,51 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
                 });
             (void)attempts;
             log.end(true, before);
+          }
+        });
+  }
+  if (structure.name == "wf-counter") {
+    lockfree::EbrDomain domain;
+    waitfree::WaitFreeObject<waitfree::CounterState, Stamp> object(
+        domain, waitfree::CounterState{});
+    return run_threads(
+        options, seed, bind,
+        [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp&) {
+          (void)tid;
+          lockfree::EbrThreadHandle handle(domain);
+          typename waitfree::WaitFreeObject<waitfree::CounterState,
+                                            Stamp>::Thread wf(object, handle);
+          for (std::size_t i = 0; i < ops; ++i) {
+            log.begin(OpCode::kFetchInc, false, 0);
+            const std::uint64_t before =
+                object.apply(wf, waitfree::counter_fetch_inc, 0);
+            log.end(true, before);
+          }
+        });
+  }
+  if (structure.name == "wf-stack") {
+    lockfree::EbrDomain domain;
+    waitfree::WaitFreeObject<waitfree::StackState, Stamp> object(
+        domain, waitfree::StackState{});
+    return run_threads(
+        options, seed, bind,
+        [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
+          lockfree::EbrThreadHandle handle(domain);
+          typename waitfree::WaitFreeObject<waitfree::StackState,
+                                            Stamp>::Thread wf(object, handle);
+          for (std::size_t i = 0; i < ops; ++i) {
+            if (rng() % 2 == 0) {
+              const Value v = unique_value(tid, i);
+              log.begin(OpCode::kPush, true, v);
+              object.apply(wf, waitfree::stack_push, v);
+              log.end(false, 0);
+            } else {
+              log.begin(OpCode::kPop, false, 0);
+              const std::uint64_t out =
+                  object.apply(wf, waitfree::stack_pop, 0);
+              log.end(out != waitfree::kEmptyResult,
+                      out != waitfree::kEmptyResult ? out : 0);
+            }
           }
         });
   }
@@ -693,6 +739,10 @@ const std::vector<HwStructure>& HwSession::registry() {
       {"cas-counter", "counter", true, "CAS-loop fetch-and-inc (Alg. 5)"},
       {"faa-counter", "counter", true, "wait-free fetch_add baseline"},
       {"scu-counter", "counter", true, "counter via the universal SCU object"},
+      {"wf-counter", "counter", true,
+       "counter via the wait-free helping wrapper (src/waitfree)"},
+      {"wf-stack", "stack", true,
+       "bounded stack via the wait-free helping wrapper (src/waitfree)"},
 #ifdef PWF_HW_MUTANTS
       {"treiber-stack-untagged", "stack", false,
        "ABA mutant: untagged head CAS + eager node reuse"},

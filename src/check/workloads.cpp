@@ -8,6 +8,7 @@
 #include "core/sim_queue.hpp"
 #include "core/sim_rcu.hpp"
 #include "core/sim_stack.hpp"
+#include "waitfree/sim_object.hpp"
 
 namespace pwf::check {
 
@@ -163,6 +164,48 @@ std::vector<Workload> make_workloads() {
         return std::make_unique<Simulation>(
             n, traced(core::SimRcu::factory(cfg), sink), std::move(sched),
             opt);
+      }});
+
+  // --- wait-free universal construction (src/waitfree) ----------------------
+  // Registered after the mutants: experiments derive per-workload seeds
+  // from the registry index, so appending keeps every pre-existing
+  // workload's exploration seeds (and minimized witnesses) unchanged.
+  out.push_back(Workload{
+      "wf-counter", "counter", true, 3, 400,
+      "wait-free universal construction, fetch-inc (src/waitfree)",
+      [](std::size_t n, std::uint64_t seed,
+         std::unique_ptr<core::Scheduler> sched, core::OpTraceSink* sink) {
+        waitfree::SimWfConfig cfg;
+        cfg.kind = waitfree::SimWfKind::kCounter;
+        // Aggressive knobs: announce after 2 losses, probe every other
+        // op, so short exploration schedules exercise the slow path too.
+        cfg.max_failures = 2;
+        cfg.help_delay = 2;
+        Simulation::Options opt;
+        opt.num_registers = waitfree::WaitFreeSim::registers_required(n, cfg);
+        opt.seed = seed;
+        opt.initial_values = waitfree::WaitFreeSim::initial_values(n, cfg);
+        return std::make_unique<Simulation>(
+            n, traced(waitfree::WaitFreeSim::factory(cfg), sink),
+            std::move(sched), opt);
+      }});
+
+  out.push_back(Workload{
+      "wf-stack", "stack", true, 3, 400,
+      "wait-free universal construction, alternating push/pop",
+      [](std::size_t n, std::uint64_t seed,
+         std::unique_ptr<core::Scheduler> sched, core::OpTraceSink* sink) {
+        waitfree::SimWfConfig cfg;
+        cfg.kind = waitfree::SimWfKind::kStack;
+        cfg.max_failures = 2;
+        cfg.help_delay = 2;
+        Simulation::Options opt;
+        opt.num_registers = waitfree::WaitFreeSim::registers_required(n, cfg);
+        opt.seed = seed;
+        opt.initial_values = waitfree::WaitFreeSim::initial_values(n, cfg);
+        return std::make_unique<Simulation>(
+            n, traced(waitfree::WaitFreeSim::factory(cfg), sink),
+            std::move(sched), opt);
       }});
 
   return out;

@@ -10,25 +10,40 @@
 
 namespace pwf::lockfree {
 
-/// Spins with exponentially growing pause counts, falling back to
-/// std::this_thread::yield() once the spin budget is large. Reset between
-/// operations; escalate after each failed CAS.
+/// Spins with exponentially growing pause counts up to a configurable
+/// cap; once the budget reaches the cap every pause() spins the capped
+/// count *and* yields, so a long retry streak keeps paying a bounded,
+/// constant cost per attempt instead of growing without bound (which
+/// would skew any measurement of how often the retry path is taken).
+/// Reset between operations; escalate after each failed CAS.
 class Backoff {
  public:
+  static constexpr std::uint32_t kDefaultMaxSpins = 64;
+
+  /// `max_spins` caps the per-pause spin count; 0 means "never spin,
+  /// always yield" (useful on oversubscribed hosts).
+  explicit Backoff(std::uint32_t max_spins = kDefaultMaxSpins) noexcept
+      : max_spins_(max_spins), spins_(max_spins == 0 ? 0 : 1) {}
+
   void pause() noexcept {
-    if (spins_ <= kMaxSpins) {
-      for (std::uint32_t i = 0; i < spins_; ++i) cpu_relax();
-      spins_ *= 2;
-    } else {
+    for (std::uint32_t i = 0; i < spins_; ++i) cpu_relax();
+    if (spins_ >= max_spins_) {
+      // Saturated: hold the spin budget at the cap and yield so a
+      // starved competitor gets the core.
       std::this_thread::yield();
+    } else {
+      spins_ = spins_ * 2 <= max_spins_ ? spins_ * 2 : max_spins_;
     }
   }
 
-  void reset() noexcept { spins_ = 1; }
+  void reset() noexcept { spins_ = max_spins_ == 0 ? 0 : 1; }
+
+  /// The spin count the *next* pause() will use (tests; saturates at
+  /// max_spins()).
+  std::uint32_t spins() const noexcept { return spins_; }
+  std::uint32_t max_spins() const noexcept { return max_spins_; }
 
  private:
-  static constexpr std::uint32_t kMaxSpins = 64;
-
   static void cpu_relax() noexcept {
 #if defined(__x86_64__) || defined(__i386__)
     _mm_pause();
@@ -38,7 +53,8 @@ class Backoff {
 #endif
   }
 
-  std::uint32_t spins_ = 1;
+  std::uint32_t max_spins_;
+  std::uint32_t spins_;
 };
 
 }  // namespace pwf::lockfree

@@ -1,0 +1,100 @@
+// Shared telemetry and descriptor vocabulary for the wait-free universal
+// construction (DESIGN.md §"Wait-free universal construction").
+//
+// Both worlds — the native WaitFreeObject on real atomics and the
+// WaitFreeSim step machine on simulated registers — use the same
+// descriptor state machine (prepare → commit → cleanup) and export the
+// same per-thread HelpStats counters, so the waitfree_overhead
+// experiment reports one telemetry shape for both.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pwf::waitfree {
+
+/// Lifecycle of an operation descriptor.
+///
+///   kFree     — arena slot never announced (sim) / not yet published
+///   kPrepared — owner filled (op, arg, phase) and published the
+///               descriptor in the announcement array; any thread may
+///               now apply it
+///   kCommitted— the operation took effect exactly once; the stage word
+///               also names the committer (owner or helper)
+///   kCleaned  — the owner consumed the result and withdrew the
+///               announcement; terminal
+enum class DescStage : std::uint8_t {
+  kFree = 0,
+  kPrepared = 1,
+  kCommitted = 2,
+  kCleaned = 3,
+};
+
+/// Descriptor stage word: low 8 bits the DescStage code, upper bits the
+/// committer's thread id + 1 (0 = no committer recorded). Packing the
+/// committer into the same word as the stage lets one CAS both commit
+/// the descriptor and attribute the commit, so exactly one committer is
+/// ever recorded.
+inline constexpr std::uint64_t stage_word(DescStage stage,
+                                          std::uint64_t committer_plus_1 = 0) {
+  return (committer_plus_1 << 8) | static_cast<std::uint64_t>(stage);
+}
+
+inline constexpr DescStage stage_of(std::uint64_t word) {
+  return static_cast<DescStage>(word & 0xff);
+}
+
+/// Committer thread id + 1; 0 when the descriptor has no committer yet.
+inline constexpr std::uint64_t committer_plus_1_of(std::uint64_t word) {
+  return word >> 8;
+}
+
+/// Per-thread helping telemetry. One instance per thread/process; merge
+/// across threads for a structure-wide view. The counters are the shape
+/// `waitfree_overhead` exports through the bench JSON schema.
+struct HelpStats {
+  std::uint64_t ops = 0;           ///< completed operations
+  std::uint64_t fast_ops = 0;      ///< completed on the fast path
+  std::uint64_t fast_retries = 0;  ///< fast-path CAS losses (retried)
+  std::uint64_t slow_entries = 0;  ///< ops that fell through to the slow path
+  std::uint64_t helped_by_other = 0;  ///< own slow ops committed by a helper
+  std::uint64_t helps_given = 0;   ///< foreign descriptors this thread committed
+  std::uint64_t help_scans = 0;    ///< announcement-array scan probes
+
+  HelpStats& operator+=(const HelpStats& o) noexcept {
+    ops += o.ops;
+    fast_ops += o.fast_ops;
+    fast_retries += o.fast_retries;
+    slow_entries += o.slow_entries;
+    helped_by_other += o.helped_by_other;
+    helps_given += o.helps_given;
+    help_scans += o.help_scans;
+    return *this;
+  }
+
+  /// Slow-path entries per million completed operations — the
+  /// experiment's headline helping-rate metric.
+  double slow_per_mop() const noexcept {
+    return ops == 0 ? 0.0 : 1e6 * static_cast<double>(slow_entries) /
+                                static_cast<double>(ops);
+  }
+
+  /// Flat metric map matching the bench JSON schema: one
+  /// `<prefix>_<counter>` entry per field plus the derived rate.
+  std::map<std::string, double> metrics(const std::string& prefix) const {
+    return {
+        {prefix + "_ops", static_cast<double>(ops)},
+        {prefix + "_fast_ops", static_cast<double>(fast_ops)},
+        {prefix + "_fast_retries", static_cast<double>(fast_retries)},
+        {prefix + "_slow_entries", static_cast<double>(slow_entries)},
+        {prefix + "_helped_by_other", static_cast<double>(helped_by_other)},
+        {prefix + "_helps_given", static_cast<double>(helps_given)},
+        {prefix + "_help_scans", static_cast<double>(help_scans)},
+        {prefix + "_slow_per_mop", slow_per_mop()},
+    };
+  }
+};
+
+}  // namespace pwf::waitfree

@@ -1,0 +1,403 @@
+// Wait-free universal construction on native atomics: the fast-path /
+// slow-path helping transformation (Kogan–Petrank style) over a
+// Herlihy-style universal object.
+//
+// The wrapped object is a `State` value behind one atomic pointer. The
+// fast path is exactly the lock-free universal construction the repo's
+// ScuObject uses: copy the current state, apply the operation, CAS the
+// pointer, retire the old node through EBR. Lock-free, not wait-free —
+// a thread can lose the CAS forever.
+//
+// The slow path makes it wait-free. After `max_failures` fast-path CAS
+// losses the thread *announces* an operation descriptor (prepare), and
+// from then on every thread that touches the object may complete it on
+// the loser's behalf: each attempt — fast or slow — first *finishes*
+// the descriptor carried by the current node (storing its result and
+// CAS-ing its stage word to committed) before installing anything new.
+// That finish-before-install invariant is the heart of the
+// construction:
+//
+//   * exactly-once: a descriptor is installed by at most one successful
+//     pointer CAS (any later attempt re-reads the pointer, sees the
+//     stage word != prepared, and never rebuilds it — see the ordering
+//     argument in DESIGN.md), and its effect is the single installed
+//     node;
+//   * bounded completion: once announced, the descriptor is visible to
+//     the periodic announcement-array scan every thread runs every
+//     `help_delay` operations, so the owner completes in a bounded
+//     number of its own steps provided other threads keep taking steps
+//     — and if they don't, the owner's own install succeeds.
+//
+// Descriptor lifecycle (prepare → commit → cleanup, help_stats.hpp):
+// the stage word packs the committer's id next to the stage code so one
+// CAS both commits and attributes; helped-by-other completions are the
+// `HelpStats::helped_by_other` telemetry the waitfree_overhead
+// experiment reports.
+//
+// Reclamation: a descriptor is reachable through two edges — the
+// installed node's desc pointer and the owner's announcement slot. Each
+// edge is severed exactly once (the node edge by the finisher that wins
+// the desc-clearing CAS, the announcement edge by the owner at
+// cleanup); whoever severs the *second* edge retires the descriptor
+// through its own EBR handle, so no helper can dereference a freed
+// descriptor (the EBR pin taken at operation entry spans every
+// dereference).
+//
+// `Stamp` (lockfree/lin_stamp.hpp) brackets the linearizing pointer-CAS
+// of the *calling* thread's own operations only: fast-path installs and
+// own-descriptor installs. An operation completed by a helper linearizes
+// on the helper's CAS, which the owner cannot bracket — its stamp record
+// stays incomplete and the capture layer soundly falls back to the call
+// boundary for that operation.
+//
+// `Helping = false` compiles the "nohelp" mutant: identical except the
+// announcement array is never scanned, so an announced descriptor whose
+// owner stalls is completed by nobody — the wait-free bound the tests
+// and the PWF_HW_MUTANTS job catch it violating.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+#include "lockfree/backoff.hpp"
+#include "lockfree/ebr.hpp"
+#include "lockfree/lin_stamp.hpp"
+#include "waitfree/help_stats.hpp"
+
+namespace pwf::waitfree {
+
+/// Sentinel return for operations with nothing to report (e.g. pop on an
+/// empty stack). Chosen so no payload value can collide with it.
+inline constexpr std::uint64_t kEmptyResult = ~std::uint64_t{0};
+
+/// Tuning knobs for the fast-path/slow-path transformation.
+struct WfConfig {
+  /// Fast-path CAS losses before the operation is announced. The paper's
+  /// thesis predicts long loss streaks are exponentially rare under
+  /// stochastic scheduling, so a small threshold keeps the slow path off
+  /// the common path while still bounding the worst case.
+  std::uint32_t max_failures = 16;
+  /// Operations between announcement-array scans; smaller helps sooner
+  /// at more overhead per op.
+  std::uint32_t help_delay = 4;
+  /// Cap for the fast path's exponential backoff (lockfree/backoff.hpp).
+  std::uint32_t backoff_max_spins = lockfree::Backoff::kDefaultMaxSpins;
+};
+
+template <typename State, typename Stamp = lockfree::NoStamp,
+          bool Helping = true>
+class WaitFreeObject {
+ public:
+  /// A sequential operation on the state: mutates in place, returns the
+  /// operation's response value.
+  using OpFn = std::uint64_t (*)(State&, std::uint64_t arg);
+
+  static constexpr std::size_t kMaxThreads = 64;
+
+  struct OpDesc {
+    OpFn fn = nullptr;
+    std::uint64_t arg = 0;
+    std::uint32_t owner = 0;
+    std::uint64_t phase = 0;  ///< announcement order, for help priority
+    std::atomic<std::uint64_t> result{0};
+    std::atomic<std::uint64_t> stage{stage_word(DescStage::kPrepared)};
+    std::atomic<std::uint32_t> unlinked{0};  ///< severed-edge bits
+  };
+
+  /// Per-thread participation handle (mirrors EbrThreadHandle: explicit,
+  /// one per thread, no hidden thread_local state).
+  class Thread {
+   public:
+    Thread(WaitFreeObject& obj, lockfree::EbrThreadHandle& ebr)
+        : obj_(obj), ebr_(ebr), tid_(obj.register_thread()) {}
+
+    Thread(const Thread&) = delete;
+    Thread& operator=(const Thread&) = delete;
+
+    std::uint32_t tid() const noexcept { return tid_; }
+    const HelpStats& stats() const noexcept { return stats_; }
+
+   private:
+    friend class WaitFreeObject;
+    WaitFreeObject& obj_;
+    lockfree::EbrThreadHandle& ebr_;
+    std::uint32_t tid_;
+    HelpStats stats_;
+    std::uint32_t ops_since_scan_ = 0;
+  };
+
+  WaitFreeObject(lockfree::EbrDomain& domain, State initial,
+                 WfConfig config = {})
+      : config_(config) {
+    (void)domain;  // documents the domain the caller's handles must share
+    if (config_.max_failures == 0) {
+      throw std::invalid_argument("WaitFreeObject: max_failures must be >= 1");
+    }
+    state_.store(new Node{std::move(initial)}, std::memory_order_release);
+  }
+
+  ~WaitFreeObject() { delete state_.load(std::memory_order_relaxed); }
+
+  WaitFreeObject(const WaitFreeObject&) = delete;
+  WaitFreeObject& operator=(const WaitFreeObject&) = delete;
+
+  /// Applies `fn` exactly once and returns its response. Wait-free when
+  /// Helping is on: completes in a bounded number of the caller's own
+  /// steps regardless of scheduling.
+  std::uint64_t apply(Thread& t, OpFn fn, std::uint64_t arg) {
+    const lockfree::EbrGuard guard = t.ebr_.pin();
+    if constexpr (Helping) {
+      if (++t.ops_since_scan_ >= config_.help_delay) {
+        t.ops_since_scan_ = 0;
+        scan_and_help(t);
+      }
+    }
+    lockfree::Backoff backoff(config_.backoff_max_spins);
+    for (std::uint32_t failures = 0; failures < config_.max_failures;) {
+      Node* cur = state_.load(std::memory_order_acquire);
+      finish(cur, t);
+      Node* cand = new Node{cur->value};
+      cand->result = fn(cand->value, arg);
+      Stamp::pre();
+      if (state_.compare_exchange_strong(cur, cand, std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        Stamp::commit();  // this CAS linearized the operation
+        t.ebr_.retire(cur);
+        ++t.stats_.ops;
+        ++t.stats_.fast_ops;
+        return cand->result;
+      }
+      delete cand;
+      ++failures;
+      ++t.stats_.fast_retries;
+      backoff.pause();
+    }
+    const std::uint64_t result = apply_slow(t, fn, arg);
+    ++t.stats_.ops;
+    return result;
+  }
+
+  /// Reads the current state under the caller's pin. `fn` must not
+  /// mutate observable behaviour; linearizes at the pointer load.
+  template <typename Fn>
+  auto read(Thread& t, Fn&& fn) const {
+    const lockfree::EbrGuard guard = t.ebr_.pin();
+    Stamp::pre();
+    Node* cur = state_.load(std::memory_order_acquire);
+    Stamp::commit();
+    return fn(static_cast<const State&>(cur->value));
+  }
+
+  // -- stall injection (tests and the waitfree_overhead experiment) ---------
+
+  /// Publishes a descriptor as if the owner stalled right after
+  /// announcing: prepared, visible to helpers, driven by nobody. The
+  /// caller must later call finish_announced (same thread) to collect
+  /// the result and release the announcement — at most one outstanding
+  /// announced descriptor per thread.
+  OpDesc* announce_only(Thread& t, OpFn fn, std::uint64_t arg) {
+    OpDesc* d = make_desc(t, fn, arg);
+    announce_[t.tid_].store(d, std::memory_order_release);
+    return d;
+  }
+
+  /// Stage of a descriptor returned by announce_only (valid until
+  /// finish_announced returns).
+  DescStage announced_stage(const OpDesc* d) const noexcept {
+    return stage_of(d->stage.load(std::memory_order_acquire));
+  }
+
+  /// Resumes the stalled owner: drives the descriptor to completion (a
+  /// no-op when a helper already committed it), cleans up, returns the
+  /// operation's response.
+  std::uint64_t finish_announced(Thread& t, OpDesc* d) {
+    const lockfree::EbrGuard guard = t.ebr_.pin();
+    return complete_own(t, d);
+  }
+
+  std::size_t num_threads() const noexcept {
+    return num_threads_.load(std::memory_order_acquire);
+  }
+  const WfConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Node {
+    State value;
+    std::atomic<OpDesc*> desc{nullptr};  ///< pending descriptor, else null
+    std::uint64_t result = 0;  ///< response of the op that built this node
+  };
+
+  static constexpr std::uint32_t kNodeEdge = 1;
+  static constexpr std::uint32_t kAnnounceEdge = 2;
+
+  std::uint32_t register_thread() {
+    const std::size_t tid =
+        num_threads_.fetch_add(1, std::memory_order_acq_rel);
+    if (tid >= kMaxThreads) {
+      throw std::length_error("WaitFreeObject: too many threads");
+    }
+    return static_cast<std::uint32_t>(tid);
+  }
+
+  OpDesc* make_desc(Thread& t, OpFn fn, std::uint64_t arg) {
+    OpDesc* d = new OpDesc;
+    d->fn = fn;
+    d->arg = arg;
+    d->owner = t.tid_;
+    d->phase = phase_.fetch_add(1, std::memory_order_acq_rel);
+    return d;
+  }
+
+  std::uint64_t apply_slow(Thread& t, OpFn fn, std::uint64_t arg) {
+    ++t.stats_.slow_entries;
+    OpDesc* d = make_desc(t, fn, arg);
+    announce_[t.tid_].store(d, std::memory_order_release);
+    return complete_own(t, d);
+  }
+
+  /// Drives the caller's own announced descriptor to completion, then
+  /// performs cleanup: withdraw the announcement, mark the stage
+  /// cleaned, sever the announcement edge. Returns the response.
+  std::uint64_t complete_own(Thread& t, OpDesc* d) {
+    while (stage_of(d->stage.load(std::memory_order_acquire)) ==
+           DescStage::kPrepared) {
+      help_apply(d, t);
+    }
+    const std::uint64_t sw = d->stage.load(std::memory_order_acquire);
+    const std::uint64_t result = d->result.load(std::memory_order_relaxed);
+    if (committer_plus_1_of(sw) != t.tid_ + 1) ++t.stats_.helped_by_other;
+    announce_[t.tid_].store(nullptr, std::memory_order_release);
+    d->stage.store(stage_word(DescStage::kCleaned, committer_plus_1_of(sw)),
+                   std::memory_order_release);
+    release_edge(d, t, kAnnounceEdge);
+    return result;
+  }
+
+  /// One attempt to apply descriptor `d`: finish whatever the current
+  /// node carries, re-check `d`, then try to install a node carrying
+  /// `d`. Caller must hold an EBR pin.
+  void help_apply(OpDesc* d, Thread& t) {
+    Node* cur = state_.load(std::memory_order_acquire);
+    finish(cur, t);
+    // After finish(cur): if d was ever installed, it is committed by now
+    // (either it rides `cur`, which finish just committed, or it rode an
+    // earlier node and the finish-before-install invariant committed it
+    // before `cur` existed), so this check makes re-installation
+    // impossible.
+    if (stage_of(d->stage.load(std::memory_order_acquire)) !=
+        DescStage::kPrepared) {
+      return;
+    }
+    Node* cand = new Node{cur->value};
+    cand->result = d->fn(cand->value, d->arg);
+    cand->desc.store(d, std::memory_order_relaxed);
+    const bool own = d->owner == t.tid_;
+    if (own) Stamp::pre();
+    Node* expected = cur;
+    if (state_.compare_exchange_strong(expected, cand,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      if (own) Stamp::commit();  // installing own descriptor linearizes it
+      finish(cand, t);           // commit the descriptor we just installed
+      t.ebr_.retire(cur);
+    } else {
+      delete cand;
+    }
+  }
+
+  /// Finishes the descriptor carried by `n`, if any: publish the result,
+  /// commit the stage word (one CAS, attributing the committer), then
+  /// sever the node edge. Idempotent; called by every attempt before it
+  /// installs anything (the finish-before-install invariant).
+  void finish(Node* n, Thread& t) {
+    OpDesc* d = n->desc.load(std::memory_order_acquire);
+    if (d == nullptr) return;
+    // The result is determined by the uniquely-installed node, so
+    // concurrent finishers store the same value.
+    d->result.store(n->result, std::memory_order_relaxed);
+    std::uint64_t expected = stage_word(DescStage::kPrepared);
+    if (d->stage.compare_exchange_strong(
+            expected, stage_word(DescStage::kCommitted, t.tid_ + 1),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+      if (d->owner != t.tid_) ++t.stats_.helps_given;
+    }
+    OpDesc* expected_d = d;
+    if (n->desc.compare_exchange_strong(expected_d, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      release_edge(d, t, kNodeEdge);
+    }
+  }
+
+  /// Scans the announcement array and drives the lowest-phase foreign
+  /// prepared descriptor to completion. Caller must hold an EBR pin.
+  void scan_and_help(Thread& t) {
+    const std::size_t nt = num_threads_.load(std::memory_order_acquire);
+    OpDesc* best = nullptr;
+    for (std::size_t i = 0; i < nt && i < kMaxThreads; ++i) {
+      ++t.stats_.help_scans;
+      OpDesc* d = announce_[i].load(std::memory_order_acquire);
+      if (d == nullptr || d->owner == t.tid_) continue;
+      if (stage_of(d->stage.load(std::memory_order_acquire)) !=
+          DescStage::kPrepared) {
+        continue;
+      }
+      if (best == nullptr || d->phase < best->phase) best = d;
+    }
+    if (best == nullptr) return;
+    while (stage_of(best->stage.load(std::memory_order_acquire)) ==
+           DescStage::kPrepared) {
+      help_apply(best, t);
+    }
+  }
+
+  /// Severs one of the descriptor's two reachability edges; whoever
+  /// severs the second retires the descriptor.
+  void release_edge(OpDesc* d, Thread& t, std::uint32_t bit) {
+    const std::uint32_t prev =
+        d->unlinked.fetch_or(bit, std::memory_order_acq_rel);
+    const std::uint32_t both = kNodeEdge | kAnnounceEdge;
+    if (prev != both && (prev | bit) == both) t.ebr_.retire(d);
+  }
+
+  WfConfig config_;
+  std::atomic<Node*> state_{nullptr};
+  std::atomic<std::uint64_t> phase_{0};
+  std::atomic<std::size_t> num_threads_{0};
+  std::atomic<OpDesc*> announce_[kMaxThreads] = {};
+};
+
+// -- ready-made wrapped structures for captures and benches -----------------
+
+/// Wrapped counter state and its fetch-inc operation (pre-increment
+/// return, matching OpCode::kFetchInc).
+struct CounterState {
+  std::uint64_t value = 0;
+};
+
+inline std::uint64_t counter_fetch_inc(CounterState& s, std::uint64_t) {
+  return s.value++;
+}
+
+/// Wrapped bounded-stack state: push returns 0, pop returns the popped
+/// value or kEmptyResult.
+struct StackState {
+  static constexpr std::size_t kCapacity = 128;
+  std::size_t size = 0;
+  std::uint64_t items[kCapacity] = {};
+};
+
+inline std::uint64_t stack_push(StackState& s, std::uint64_t v) {
+  if (s.size < StackState::kCapacity) s.items[s.size++] = v;
+  return 0;
+}
+
+inline std::uint64_t stack_pop(StackState& s, std::uint64_t) {
+  if (s.size == 0) return kEmptyResult;
+  return s.items[--s.size];
+}
+
+}  // namespace pwf::waitfree

@@ -1,0 +1,512 @@
+#include "waitfree/sim_object.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/op_trace.hpp"
+#include "waitfree/object.hpp"  // kEmptyResult
+
+namespace pwf::waitfree {
+
+using core::OpCode;
+using core::SharedMemory;
+using core::Value;
+
+WaitFreeSim::WaitFreeSim(std::size_t pid, std::size_t n, SimWfConfig config)
+    : pid_(pid),
+      n_(n),
+      config_(config),
+      payload_len_(config.kind == SimWfKind::kCounter
+                       ? 1
+                       : 1 + config.stack_capacity) {
+  if (config_.max_failures == 0) {
+    throw std::invalid_argument("WaitFreeSim: max_failures must be >= 1");
+  }
+  if (config_.max_blocks_per_process < 4) {
+    throw std::invalid_argument(
+        "WaitFreeSim: max_blocks_per_process must be >= 4 (candidate + "
+        "current + lazily-reclaimed installs)");
+  }
+  stack_vals_.resize(config_.stack_capacity, 0);
+  free_blocks_.reserve(config_.max_blocks_per_process);
+  for (std::size_t j = 0; j < config_.max_blocks_per_process; ++j) {
+    free_blocks_.push_back(block_arena_base() +
+                           block_regs() *
+                               (1 + pid_ * config_.max_blocks_per_process + j));
+  }
+  // op_counter_ is bumped by begin_op(); start so the first stack op is a
+  // push (matching SimStack's alternation).
+  begin_op();
+}
+
+std::size_t WaitFreeSim::registers_required(std::size_t n,
+                                            const SimWfConfig& config) {
+  const std::size_t payload_len =
+      config.kind == SimWfKind::kCounter ? 1 : 1 + config.stack_capacity;
+  const std::size_t block_regs = 2 + payload_len;
+  const std::size_t desc_regs = n * config.max_descs_per_process * kDescRegs;
+  const std::size_t blocks = 1 + n * config.max_blocks_per_process;
+  return 1 + n + desc_regs + block_regs * blocks;
+}
+
+std::vector<std::pair<std::size_t, Value>> WaitFreeSim::initial_values(
+    std::size_t n, const SimWfConfig& config) {
+  const std::size_t payload_len =
+      config.kind == SimWfKind::kCounter ? 1 : 1 + config.stack_capacity;
+  const std::size_t desc_arena = 1 + n;
+  const std::size_t block0 =
+      desc_arena + n * config.max_descs_per_process * kDescRegs;
+  (void)payload_len;
+  // The initial block's registers are all zero (counter value 0 / empty
+  // stack), so only OBJ needs a poke: seq 0, block0, no descriptor.
+  return {{kObjReg, pack(0, block0, 0)}};
+}
+
+core::StepMachineFactory WaitFreeSim::factory(SimWfConfig config) {
+  return [config](std::size_t pid, std::size_t n) {
+    return std::make_unique<WaitFreeSim>(pid, n, config);
+  };
+}
+
+std::string WaitFreeSim::name() const {
+  std::string base =
+      config_.kind == SimWfKind::kCounter ? "wf-counter" : "wf-stack";
+  if (!config_.helping) base += "-nohelp";
+  return base;
+}
+
+DescStage WaitFreeSim::own_desc_stage(const SharedMemory& mem) const {
+  if (own_desc_ref_ == 0) return DescStage::kFree;
+  return stage_of(mem.peek(own_desc_ref_ + kDescState));
+}
+
+void WaitFreeSim::begin_op() {
+  ++op_counter_;
+  if (config_.kind == SimWfKind::kCounter) {
+    pending_op_ = kOpFetchInc;
+    pending_arg_ = 0;
+  } else if (op_counter_ % 2 == 1) {
+    pending_op_ = kOpPush;
+    pending_arg_ = (static_cast<Value>(pid_ + 1) << 32) | op_counter_;
+  } else {
+    pending_op_ = kOpPop;
+    pending_arg_ = 0;
+  }
+  failures_ = 0;
+  target_ref_ = 0;
+  target_is_own_ = false;
+  own_desc_ref_ = 0;
+  install_desc_ = 0;
+  invoked_ = false;
+  steps_this_op_ = 0;
+  if (config_.helping && ++ops_since_scan_ >= config_.help_delay) {
+    ops_since_scan_ = 0;
+    phase_ = Phase::kScanRead;
+  } else {
+    phase_ = Phase::kReadObj;
+  }
+}
+
+void WaitFreeSim::emit_invoke() {
+  if (invoked_) return;
+  invoked_ = true;
+  if (!trace_) return;
+  switch (pending_op_) {
+    case kOpFetchInc:
+      trace_->on_invoke(pid_, OpCode::kFetchInc, false, 0);
+      break;
+    case kOpPush:
+      trace_->on_invoke(pid_, OpCode::kPush, true, pending_arg_);
+      break;
+    default:
+      trace_->on_invoke(pid_, OpCode::kPop, false, 0);
+      break;
+  }
+}
+
+bool WaitFreeSim::complete_op(Value result) {
+  ++stats_.ops;
+  max_own_steps_ = std::max(max_own_steps_, steps_this_op_);
+  if (trace_) {
+    switch (pending_op_) {
+      case kOpFetchInc:
+        trace_->on_response(pid_, OpCode::kFetchInc, true, result);
+        break;
+      case kOpPush:
+        trace_->on_response(pid_, OpCode::kPush, false, 0);
+        break;
+      default:
+        trace_->on_response(pid_, OpCode::kPop, result != kEmptyResult,
+                            result != kEmptyResult ? result : 0);
+        break;
+    }
+  }
+  if (config_.kind == SimWfKind::kStack) {
+    if (pending_op_ == kOpPush) {
+      ++pushes_;
+    } else {
+      ++pops_;
+      if (result == kEmptyResult) {
+        ++empty_pops_;
+      } else {
+        popped_.push_back(result);
+      }
+    }
+  }
+  begin_op();
+  return true;
+}
+
+void WaitFreeSim::enter_payload_read() {
+  read_cursor_ = 0;
+  phase_ = Phase::kReadPayload;
+}
+
+void WaitFreeSim::enter_attempt() {
+  if (obj_flag_ != 0) {
+    phase_ = Phase::kReadBlockDesc;
+  } else if (target_ref_ != 0) {
+    phase_ = Phase::kCheckTarget;
+  } else {
+    enter_payload_read();
+  }
+}
+
+void WaitFreeSim::reclaim_superseded() {
+  std::size_t i = 0;
+  while (i < installed_.size() && installed_[i].seq < obj_seq_) {
+    free_blocks_.push_back(installed_[i].ref);
+    ++i;
+  }
+  if (i != 0) {
+    installed_.erase(installed_.begin(),
+                     installed_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+std::size_t WaitFreeSim::alloc_desc() {
+  if (next_desc_ >= config_.max_descs_per_process) {
+    throw std::runtime_error(
+        "WaitFreeSim: descriptor arena exhausted; raise "
+        "SimWfConfig::max_descs_per_process");
+  }
+  const std::size_t base =
+      desc_arena_base() +
+      (pid_ * config_.max_descs_per_process + next_desc_) * kDescRegs;
+  ++next_desc_;
+  return base;
+}
+
+std::size_t WaitFreeSim::take_free_block() {
+  if (free_blocks_.empty()) {
+    throw std::runtime_error(
+        "WaitFreeSim: block arena exhausted; raise "
+        "SimWfConfig::max_blocks_per_process");
+  }
+  const std::size_t ref = free_blocks_.back();
+  free_blocks_.pop_back();
+  return ref;
+}
+
+void WaitFreeSim::build_candidate() {
+  install_desc_ = target_ref_;  // 0 = fast-path own operation
+  const Value op = install_desc_ != 0
+                       ? (target_is_own_ ? pending_op_ : target_op_)
+                       : pending_op_;
+  const Value arg = install_desc_ != 0
+                        ? (target_is_own_ ? pending_arg_ : target_arg_)
+                        : pending_arg_;
+  candidate_ref_ = take_free_block();
+  write_plan_.clear();
+  if (install_desc_ != 0) {
+    write_plan_.emplace_back(candidate_ref_ + 0,
+                             static_cast<Value>(install_desc_));
+  }
+  if (config_.kind == SimWfKind::kCounter) {
+    cand_result_ = counter_value_;
+    if (install_desc_ != 0) {
+      write_plan_.emplace_back(candidate_ref_ + 1, cand_result_);
+    }
+    write_plan_.emplace_back(payload_reg(candidate_ref_, 0),
+                             counter_value_ + 1);
+  } else {
+    Value new_size = 0;
+    if (op == kOpPush) {
+      if (stack_size_ >= config_.stack_capacity) {
+        throw std::runtime_error(
+            "WaitFreeSim: stack capacity exceeded; raise "
+            "SimWfConfig::stack_capacity");
+      }
+      cand_result_ = 0;
+      new_size = stack_size_ + 1;
+    } else if (stack_size_ == 0) {
+      cand_result_ = kEmptyResult;
+      new_size = 0;
+    } else {
+      cand_result_ = stack_vals_[stack_size_ - 1];
+      new_size = stack_size_ - 1;
+    }
+    if (install_desc_ != 0) {
+      write_plan_.emplace_back(candidate_ref_ + 1, cand_result_);
+    }
+    write_plan_.emplace_back(payload_reg(candidate_ref_, 0), new_size);
+    const Value keep = std::min<Value>(new_size, stack_size_);
+    for (Value i = 0; i < keep; ++i) {
+      write_plan_.emplace_back(
+          payload_reg(candidate_ref_, 1 + static_cast<std::size_t>(i)),
+          stack_vals_[static_cast<std::size_t>(i)]);
+    }
+    if (op == kOpPush) {
+      write_plan_.emplace_back(
+          payload_reg(candidate_ref_, static_cast<std::size_t>(new_size)),
+          arg);
+    }
+  }
+  write_cursor_ = 0;
+  phase_ = Phase::kWriteCand;
+}
+
+bool WaitFreeSim::step(SharedMemory& mem) {
+  emit_invoke();
+  ++steps_this_op_;
+  switch (phase_) {
+    case Phase::kScanRead: {
+      ++stats_.help_scans;
+      scan_slot_pid_ = scan_cursor_;
+      const Value dref = mem.read(announce_reg(scan_cursor_));
+      scan_cursor_ = (scan_cursor_ + 1) % n_;
+      if (dref != 0 && scan_slot_pid_ != pid_) {
+        scan_dref_ = static_cast<std::size_t>(dref);
+        phase_ = Phase::kScanDescState;
+      } else {
+        phase_ = Phase::kReadObj;
+      }
+      return false;
+    }
+    case Phase::kScanDescState: {
+      const Value sw = mem.read(scan_dref_ + kDescState);
+      if (stage_of(sw) == DescStage::kPrepared) {
+        target_ref_ = scan_dref_;
+        target_is_own_ = false;
+      }
+      phase_ = Phase::kReadObj;
+      return false;
+    }
+    case Phase::kReadObj:
+    case Phase::kRevalidateObj: {
+      const Value v = mem.read(kObjReg);
+      if (phase_ == Phase::kRevalidateObj &&
+          v == pack(obj_seq_, obj_ref_, obj_flag_)) {
+        // Snapshot still current: the (desc_ref, result) pair read from
+        // the current block is stable, so committing through it is safe.
+        phase_ = Phase::kCommitWriteResult;
+        return false;
+      }
+      obj_seq_ = seq_of(v);
+      obj_ref_ = ref_of(v);
+      obj_flag_ = flag_of(v);
+      reclaim_superseded();
+      enter_attempt();
+      return false;
+    }
+    case Phase::kReadBlockDesc: {
+      fdref_ = static_cast<std::size_t>(
+          mem.read(static_cast<std::size_t>(obj_ref_) + 0));
+      phase_ = Phase::kReadBlockResult;
+      return false;
+    }
+    case Phase::kReadBlockResult: {
+      fresult_ = mem.read(static_cast<std::size_t>(obj_ref_) + 1);
+      phase_ = Phase::kRevalidateObj;
+      return false;
+    }
+    case Phase::kCommitWriteResult:
+    case Phase::kPostInstallWriteResult: {
+      mem.write(fdref_ + kDescResult, fresult_);
+      phase_ = phase_ == Phase::kCommitWriteResult
+                   ? Phase::kCommitCasState
+                   : Phase::kPostInstallCasState;
+      return false;
+    }
+    case Phase::kCommitCasState:
+    case Phase::kPostInstallCasState: {
+      const bool post_install = phase_ == Phase::kPostInstallCasState;
+      const bool ok =
+          mem.cas(fdref_ + kDescState, stage_word(DescStage::kPrepared),
+                  stage_word(DescStage::kCommitted, pid_ + 1));
+      if (ok && desc_owner(fdref_) != pid_) ++stats_.helps_given;
+      if (own_desc_ref_ != 0 && fdref_ == own_desc_ref_) {
+        // My own announced operation just committed (by me or earlier by
+        // a helper): collect and clean up.
+        target_ref_ = 0;
+        target_is_own_ = false;
+        if (ok) {
+          own_result_ = fresult_;
+          own_committer_ = pid_;
+          phase_ = Phase::kCleanupAnnounce;
+        } else {
+          phase_ = Phase::kOwnerReadState;
+        }
+        return false;
+      }
+      if (target_ref_ != 0 && fdref_ == target_ref_) {
+        // The helped descriptor is resolved (committed by someone).
+        target_ref_ = 0;
+        target_is_own_ = false;
+      }
+      if (post_install) {
+        phase_ = Phase::kReadObj;  // begin own operation's attempts afresh
+      } else if (target_ref_ != 0) {
+        phase_ = Phase::kCheckTarget;
+      } else {
+        enter_payload_read();
+      }
+      return false;
+    }
+    case Phase::kCheckTarget: {
+      const Value sw = mem.read(target_ref_ + kDescState);
+      if (stage_of(sw) != DescStage::kPrepared) {
+        if (target_is_own_) {
+          own_committer_ =
+              static_cast<std::size_t>(committer_plus_1_of(sw)) - 1;
+          target_ref_ = 0;
+          target_is_own_ = false;
+          phase_ = Phase::kOwnerReadResult;
+        } else {
+          target_ref_ = 0;
+          phase_ = Phase::kReadObj;
+        }
+        return false;
+      }
+      if (target_is_own_ || cached_target_ == target_ref_) {
+        enter_payload_read();
+      } else {
+        phase_ = Phase::kReadTargetOp;
+      }
+      return false;
+    }
+    case Phase::kReadTargetOp: {
+      target_op_ = mem.read(target_ref_ + kDescOp);
+      phase_ = Phase::kReadTargetArg;
+      return false;
+    }
+    case Phase::kReadTargetArg: {
+      target_arg_ = mem.read(target_ref_ + kDescArg);
+      cached_target_ = target_ref_;
+      enter_payload_read();
+      return false;
+    }
+    case Phase::kReadPayload: {
+      const Value v = mem.read(
+          payload_reg(static_cast<std::size_t>(obj_ref_), read_cursor_));
+      if (config_.kind == SimWfKind::kCounter) {
+        counter_value_ = v;
+        build_candidate();
+        return false;
+      }
+      if (read_cursor_ == 0) {
+        // Clamp: a reader racing a block rewrite may see garbage; the
+        // bound keeps register indices legal and the install CAS (seq
+        // compare) rejects anything built from a torn snapshot.
+        stack_size_ = std::min<Value>(v, config_.stack_capacity);
+      } else {
+        stack_vals_[read_cursor_ - 1] = v;
+      }
+      ++read_cursor_;
+      if (read_cursor_ > stack_size_) build_candidate();
+      return false;
+    }
+    case Phase::kWriteCand: {
+      const auto& [reg, val] = write_plan_[write_cursor_];
+      mem.write(reg, val);
+      ++write_cursor_;
+      if (write_cursor_ == write_plan_.size()) phase_ = Phase::kCasObj;
+      return false;
+    }
+    case Phase::kCasObj: {
+      const Value oldv = pack(obj_seq_, obj_ref_, obj_flag_);
+      const Value newv = pack(obj_seq_ + 1, candidate_ref_,
+                              install_desc_ != 0 ? 1 : 0);
+      if (mem.cas(kObjReg, oldv, newv)) {
+        installed_.push_back({obj_seq_ + 1, candidate_ref_});
+        if (install_desc_ != 0) {
+          // Finish the descriptor we just installed so its owner (or the
+          // next attempt) observes the commit promptly.
+          fdref_ = install_desc_;
+          fresult_ = cand_result_;
+          phase_ = Phase::kPostInstallWriteResult;
+          return false;
+        }
+        ++stats_.fast_ops;
+        return complete_op(cand_result_);
+      }
+      free_blocks_.push_back(candidate_ref_);
+      if (install_desc_ == 0) {
+        ++failures_;
+        ++stats_.fast_retries;
+        if (failures_ >= config_.max_failures && own_desc_ref_ == 0) {
+          own_desc_ref_ = alloc_desc();
+          phase_ = Phase::kPrepWriteOp;
+          return false;
+        }
+      }
+      phase_ = Phase::kReadObj;
+      return false;
+    }
+    case Phase::kPrepWriteOp: {
+      mem.write(own_desc_ref_ + kDescOp, pending_op_);
+      phase_ = Phase::kPrepWriteArg;
+      return false;
+    }
+    case Phase::kPrepWriteArg: {
+      mem.write(own_desc_ref_ + kDescArg, pending_arg_);
+      phase_ = Phase::kPrepWritePhase;
+      return false;
+    }
+    case Phase::kPrepWritePhase: {
+      mem.write(own_desc_ref_ + kDescPhase, obj_seq_);
+      phase_ = Phase::kPrepWriteState;
+      return false;
+    }
+    case Phase::kPrepWriteState: {
+      mem.write(own_desc_ref_ + kDescState, stage_word(DescStage::kPrepared));
+      phase_ = Phase::kPrepAnnounce;
+      return false;
+    }
+    case Phase::kPrepAnnounce: {
+      mem.write(announce_reg(pid_), static_cast<Value>(own_desc_ref_));
+      ++stats_.slow_entries;
+      target_ref_ = own_desc_ref_;
+      target_is_own_ = true;
+      phase_ = Phase::kReadObj;
+      return false;
+    }
+    case Phase::kOwnerReadState: {
+      const Value sw = mem.read(own_desc_ref_ + kDescState);
+      own_committer_ = static_cast<std::size_t>(committer_plus_1_of(sw)) - 1;
+      phase_ = Phase::kOwnerReadResult;
+      return false;
+    }
+    case Phase::kOwnerReadResult: {
+      own_result_ = mem.read(own_desc_ref_ + kDescResult);
+      phase_ = Phase::kCleanupAnnounce;
+      return false;
+    }
+    case Phase::kCleanupAnnounce: {
+      mem.write(announce_reg(pid_), 0);
+      phase_ = Phase::kCleanupState;
+      return false;
+    }
+    case Phase::kCleanupState: {
+      mem.write(own_desc_ref_ + kDescState,
+                stage_word(DescStage::kCleaned,
+                           static_cast<Value>(own_committer_) + 1));
+      if (own_committer_ != pid_) ++stats_.helped_by_other;
+      return complete_op(own_result_);
+    }
+  }
+  return false;  // unreachable
+}
+
+}  // namespace pwf::waitfree

@@ -1,0 +1,243 @@
+// The wait-free universal construction as a step machine on simulated
+// shared memory — the twin of waitfree/object.hpp that the stochastic
+// and adversarial schedulers (src/core, src/sched) can drive at scale,
+// one shared-memory operation per scheduled step.
+//
+// Same algorithm as the native object: a fast path (copy the current
+// block, apply the op, CAS the object register), and after
+// `max_failures` CAS losses a slow path that prepares a descriptor in
+// the announcement array; every attempt finishes the descriptor carried
+// by the current block before installing anything (finish-before-install),
+// and every `help_delay` operations a process probes one announcement
+// slot round-robin and drives the lowest... the found prepared foreign
+// descriptor to completion. `helping = false` is the nohelp mutant.
+//
+// Register layout (simulated words are 64-bit Values):
+//   [0]                 OBJ: seq<<33 | block_ref<<1 | has_desc. The
+//                       monotone seq makes block reuse ABA-safe; the
+//                       has_desc bit lets fast-path attempts skip the
+//                       finish probe when the current block carries no
+//                       descriptor.
+//   [1 .. n]            announce[pid]: descriptor base register, 0 = none
+//   desc arena          kDescRegs = 5 per descriptor:
+//                       [state|committer<<8, op, arg, phase, result].
+//                       Descriptors are never recycled within a run
+//                       (slow-path entries are rare by thesis; the arena
+//                       bound is a config knob and exhaustion throws).
+//   block arena         2 + payload_len per block: [desc_ref, result,
+//                       payload...]. Blocks recycle through per-process
+//                       free lists once provably superseded (their
+//                       install seq < the current seq); readers that
+//                       catch a block mid-rewrite are protected by the
+//                       snapshot-revalidate step and the final seq CAS.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/memory.hpp"
+#include "core/step_machine.hpp"
+#include "waitfree/help_stats.hpp"
+
+namespace pwf::waitfree {
+
+/// Which wrapped structure the machine runs.
+enum class SimWfKind { kCounter, kStack };
+
+struct SimWfConfig {
+  SimWfKind kind = SimWfKind::kCounter;
+  std::uint32_t max_failures = 16;  ///< fast-path CAS losses before announcing
+  std::uint32_t help_delay = 4;     ///< ops between announcement probes
+  bool helping = true;              ///< false = the nohelp mutant
+  std::size_t max_descs_per_process = 256;  ///< slow-path arena bound
+  std::size_t max_blocks_per_process = 8;   ///< recycled; >= 4 suffices
+  std::size_t stack_capacity = 32;          ///< kStack payload bound
+};
+
+/// One process of the wait-free universal construction workload
+/// (counter: every op fetch-inc; stack: alternating push/pop).
+class WaitFreeSim final : public core::StepMachine {
+ public:
+  WaitFreeSim(std::size_t pid, std::size_t n, SimWfConfig config);
+
+  bool step(core::SharedMemory& mem) override;
+  std::string name() const override;
+  void set_trace(core::OpTraceSink* sink) override { trace_ = sink; }
+
+  static std::size_t registers_required(std::size_t n,
+                                        const SimWfConfig& config);
+  static core::StepMachineFactory factory(SimWfConfig config);
+  /// Pre-execution pokes establishing the initial block (OBJ register).
+  static std::vector<std::pair<std::size_t, core::Value>> initial_values(
+      std::size_t n, const SimWfConfig& config);
+
+  const HelpStats& stats() const noexcept { return stats_; }
+  /// Own shared-memory steps spent on the most expensive *completed*
+  /// operation — the observable the wait-free step bound is stated over.
+  std::uint64_t max_own_steps() const noexcept { return max_own_steps_; }
+  /// Own steps sunk into the current in-flight operation; unbounded
+  /// growth here is how the nohelp mutant's starvation shows up.
+  std::uint64_t steps_in_flight() const noexcept { return steps_this_op_; }
+  /// Stage of this process's announced descriptor (kFree when the
+  /// process has never announced / is past cleanup). Peeks, no step.
+  DescStage own_desc_stage(const core::SharedMemory& mem) const;
+  /// True while the in-flight operation is on the slow path.
+  bool in_slow_path() const noexcept { return own_desc_ref_ != 0; }
+
+  std::uint64_t pushes() const noexcept { return pushes_; }
+  std::uint64_t pops() const noexcept { return pops_; }
+  std::uint64_t empty_pops() const noexcept { return empty_pops_; }
+  const std::vector<core::Value>& popped_values() const noexcept {
+    return popped_;
+  }
+
+ private:
+  enum class Phase {
+    kScanRead,           // read announce[cursor]
+    kScanDescState,      // read found descriptor's stage word
+    kReadObj,            // read OBJ -> (seq, ref, flag) snapshot
+    kReadBlockDesc,      // flag set: read current block's desc_ref
+    kReadBlockResult,    // read current block's result
+    kRevalidateObj,      // re-read OBJ; unchanged => commit is safe
+    kCommitWriteResult,  // write desc.result (idempotent)
+    kCommitCasState,     // CAS desc.state prepared -> committed|me
+    kCheckTarget,        // read driven descriptor's stage word
+    kReadTargetOp,       // read foreign target's op (cached after)
+    kReadTargetArg,      // read foreign target's arg
+    kReadPayload,        // read current block payload (cursor)
+    kWriteCand,          // write candidate block (cursor over plan)
+    kCasObj,             // CAS OBJ -> install candidate
+    kPostInstallWriteResult,  // after installing a descriptor: finish it
+    kPostInstallCasState,
+    kPrepWriteOp,        // slow path: fill own descriptor...
+    kPrepWriteArg,
+    kPrepWritePhase,
+    kPrepWriteState,     // ...mark prepared...
+    kPrepAnnounce,       // ...and publish it
+    kOwnerReadState,     // own desc committed by a helper: learn committer
+    kOwnerReadResult,    // read own desc result
+    kCleanupAnnounce,    // withdraw announcement
+    kCleanupState,       // mark cleaned; operation completes
+  };
+
+  // Ops stored in descriptor registers.
+  static constexpr core::Value kOpFetchInc = 1;
+  static constexpr core::Value kOpPush = 2;
+  static constexpr core::Value kOpPop = 3;
+
+  static constexpr std::size_t kObjReg = 0;
+  static constexpr std::size_t kDescRegs = 5;
+  static constexpr std::size_t kDescState = 0;
+  static constexpr std::size_t kDescOp = 1;
+  static constexpr std::size_t kDescArg = 2;
+  static constexpr std::size_t kDescPhase = 3;
+  static constexpr std::size_t kDescResult = 4;
+
+  static constexpr core::Value pack(core::Value seq, core::Value ref,
+                                    core::Value flag) {
+    return (seq << 33) | (ref << 1) | flag;
+  }
+  static constexpr core::Value seq_of(core::Value v) { return v >> 33; }
+  static constexpr core::Value ref_of(core::Value v) {
+    return (v >> 1) & 0xffffffffULL;
+  }
+  static constexpr core::Value flag_of(core::Value v) { return v & 1; }
+
+  std::size_t announce_reg(std::size_t pid) const { return 1 + pid; }
+  std::size_t desc_arena_base() const { return 1 + n_; }
+  std::size_t block_regs() const { return 2 + payload_len_; }
+  std::size_t block_arena_base() const {
+    return desc_arena_base() + n_ * config_.max_descs_per_process * kDescRegs;
+  }
+  std::size_t payload_reg(std::size_t block, std::size_t i) const {
+    return block + 2 + i;
+  }
+  /// pid owning a descriptor register (layout inverse).
+  std::size_t desc_owner(std::size_t dref) const {
+    return (dref - desc_arena_base()) /
+           (config_.max_descs_per_process * kDescRegs);
+  }
+
+  void begin_op();
+  bool complete_op(core::Value result);
+  void emit_invoke();
+  void enter_payload_read();
+  void build_candidate();
+  void enter_attempt();  // kReadObj follow-up dispatch after a snapshot
+  void reclaim_superseded();
+  std::size_t alloc_desc();
+  std::size_t take_free_block();
+
+  std::size_t pid_;
+  std::size_t n_;
+  SimWfConfig config_;
+  std::size_t payload_len_;
+  core::OpTraceSink* trace_ = nullptr;
+
+  Phase phase_ = Phase::kReadObj;
+  bool invoked_ = false;
+
+  // Current operation.
+  core::Value pending_op_ = kOpFetchInc;
+  core::Value pending_arg_ = 0;
+  std::uint64_t op_counter_ = 0;
+  std::uint32_t failures_ = 0;
+
+  // Helping state.
+  std::size_t scan_cursor_ = 0;
+  std::size_t scan_slot_pid_ = 0;
+  std::size_t scan_dref_ = 0;
+  std::uint32_t ops_since_scan_ = 0;
+  std::size_t target_ref_ = 0;  ///< descriptor being driven (own or foreign)
+  bool target_is_own_ = false;
+  std::size_t cached_target_ = 0;  ///< target whose op/arg are cached
+  core::Value target_op_ = 0;
+  core::Value target_arg_ = 0;
+
+  // Snapshot of OBJ for the current attempt.
+  core::Value obj_seq_ = 0;
+  core::Value obj_ref_ = 0;
+  core::Value obj_flag_ = 0;
+
+  // Finish (commit) scratch.
+  std::size_t fdref_ = 0;
+  core::Value fresult_ = 0;
+
+  // Candidate build scratch.
+  std::size_t read_cursor_ = 0;
+  core::Value counter_value_ = 0;
+  core::Value stack_size_ = 0;
+  std::vector<core::Value> stack_vals_;
+  std::size_t install_desc_ = 0;  ///< desc the candidate applies (0 = fast)
+  std::size_t candidate_ref_ = 0;
+  core::Value cand_result_ = 0;
+  std::vector<std::pair<std::size_t, core::Value>> write_plan_;
+  std::size_t write_cursor_ = 0;
+
+  // Slow-path / ownership state.
+  std::size_t own_desc_ref_ = 0;
+  std::size_t next_desc_ = 0;
+  core::Value own_result_ = 0;
+  std::size_t own_committer_ = 0;
+
+  // Block bookkeeping.
+  struct Installed {
+    core::Value seq;
+    std::size_t ref;
+  };
+  std::vector<std::size_t> free_blocks_;
+  std::vector<Installed> installed_;  ///< FIFO by seq
+
+  // Telemetry.
+  HelpStats stats_;
+  std::uint64_t steps_this_op_ = 0;
+  std::uint64_t max_own_steps_ = 0;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t pops_ = 0;
+  std::uint64_t empty_pops_ = 0;
+  std::vector<core::Value> popped_;
+};
+
+}  // namespace pwf::waitfree

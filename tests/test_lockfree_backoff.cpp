@@ -1,0 +1,73 @@
+// Backoff cap semantics (src/lockfree/backoff.hpp): the spin budget
+// doubles up to a configurable cap and then *holds* there — the
+// pre-fix behaviour escalated past the cap once and then never spun
+// again (yield-only forever), which made late retries in a long CAS
+// loop behave differently from early ones and skewed helping-rate
+// measurements built on top of the loop.
+#include "lockfree/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pwf::lockfree {
+namespace {
+
+TEST(Backoff, DoublesUpToDefaultCapAndHolds) {
+  Backoff b;
+  EXPECT_EQ(b.max_spins(), Backoff::kDefaultMaxSpins);
+  std::uint32_t expected = 1;
+  // 1, 2, 4, 8, 16, 32, 64.
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(b.spins(), expected);
+    b.pause();
+    expected = expected * 2 <= Backoff::kDefaultMaxSpins
+                   ? expected * 2
+                   : Backoff::kDefaultMaxSpins;
+  }
+  // Saturated: many more pauses never move the budget off the cap (the
+  // regression the fix addresses: it used to leave the spin range
+  // entirely).
+  for (int i = 0; i < 100; ++i) {
+    b.pause();
+    EXPECT_EQ(b.spins(), Backoff::kDefaultMaxSpins);
+  }
+}
+
+TEST(Backoff, CapIsConfigurable) {
+  Backoff b(8);
+  EXPECT_EQ(b.max_spins(), 8u);
+  const std::uint32_t expect[] = {1, 2, 4, 8, 8, 8};
+  for (std::uint32_t e : expect) {
+    EXPECT_EQ(b.spins(), e);
+    b.pause();
+  }
+}
+
+TEST(Backoff, NonPowerOfTwoCapClamps) {
+  Backoff b(6);
+  const std::uint32_t expect[] = {1, 2, 4, 6, 6};
+  for (std::uint32_t e : expect) {
+    EXPECT_EQ(b.spins(), e);
+    b.pause();
+  }
+}
+
+TEST(Backoff, ZeroCapMeansYieldOnly) {
+  Backoff b(0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(b.spins(), 0u);
+    b.pause();
+  }
+}
+
+TEST(Backoff, ResetReturnsToOne) {
+  Backoff b(16);
+  for (int i = 0; i < 10; ++i) b.pause();
+  EXPECT_EQ(b.spins(), 16u);
+  b.reset();
+  EXPECT_EQ(b.spins(), 1u);
+  b.pause();
+  EXPECT_EQ(b.spins(), 2u);
+}
+
+}  // namespace
+}  // namespace pwf::lockfree

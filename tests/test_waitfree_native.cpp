@@ -1,0 +1,222 @@
+// Native wait-free universal construction (src/waitfree/object.hpp):
+// exactly-once semantics under real threads, helping via stall
+// injection, HelpStats telemetry, EBR reclamation, and — under
+// PWF_HW_MUTANTS — the nohelp mutant observably violating the wait-free
+// helping guarantee.
+#include "waitfree/object.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lockfree/ebr.hpp"
+
+namespace pwf::waitfree {
+namespace {
+
+using lockfree::EbrDomain;
+using lockfree::EbrThreadHandle;
+
+using WfCounter = WaitFreeObject<CounterState>;
+using WfStack = WaitFreeObject<StackState>;
+
+TEST(WaitFreeNative, SingleThreadCounterSequential) {
+  EbrDomain domain;
+  WfCounter object(domain, CounterState{});
+  EbrThreadHandle ebr(domain);
+  WfCounter::Thread t(object, ebr);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(object.apply(t, counter_fetch_inc, 0), i);
+  }
+  EXPECT_EQ(t.stats().ops, 1000u);
+  EXPECT_EQ(t.stats().fast_ops, 1000u);
+  EXPECT_EQ(t.stats().slow_entries, 0u);
+  EXPECT_EQ(object.read(t, [](const CounterState& s) { return s.value; }),
+            1000u);
+}
+
+// Aggressive knobs (announce after 2 losses, scan every other op) force
+// real slow-path traffic; fetch-inc returning each value exactly once is
+// the exactly-once invariant end to end. This is also the TSan target:
+// it exercises install, helping, commit, and EBR retirement races.
+TEST(WaitFreeNative, ConcurrentCounterExactlyOnce) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kOps = 5000;
+  EbrDomain domain;
+  WfConfig config;
+  config.max_failures = 2;
+  config.help_delay = 2;
+  WfCounter object(domain, CounterState{}, config);
+
+  std::vector<std::vector<std::uint64_t>> results(kThreads);
+  HelpStats totals;
+  {
+    std::vector<std::thread> threads;
+    std::vector<std::unique_ptr<HelpStats>> stats(kThreads);
+    for (std::size_t i = 0; i < kThreads; ++i) {
+      stats[i] = std::make_unique<HelpStats>();
+      threads.emplace_back([&, i] {
+        EbrThreadHandle ebr(domain);
+        WfCounter::Thread t(object, ebr);
+        results[i].reserve(kOps);
+        for (std::uint64_t k = 0; k < kOps; ++k) {
+          results[i].push_back(object.apply(t, counter_fetch_inc, 0));
+        }
+        *stats[i] = t.stats();
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (const auto& s : stats) totals += *s;
+  }
+
+  std::set<std::uint64_t> seen;
+  for (const auto& r : results) {
+    for (std::uint64_t v : r) {
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate fetch-inc value " << v;
+    }
+  }
+  EXPECT_EQ(seen.size(), kThreads * kOps);
+  EXPECT_EQ(*seen.rbegin(), kThreads * kOps - 1);
+  EXPECT_EQ(totals.ops, kThreads * kOps);
+  EXPECT_EQ(totals.fast_ops + totals.slow_entries, totals.ops);
+
+  EbrThreadHandle ebr(domain);
+  WfCounter::Thread t(object, ebr);
+  EXPECT_EQ(object.read(t, [](const CounterState& s) { return s.value; }),
+            kThreads * kOps);
+  // Nodes churned at every install; reclamation must actually run.
+  EXPECT_GT(domain.freed_count(), 0u);
+}
+
+TEST(WaitFreeNative, ConcurrentStackPopsEachValueAtMostOnce) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kOps = 3000;
+  EbrDomain domain;
+  WfConfig config;
+  config.max_failures = 2;
+  config.help_delay = 2;
+  WfStack object(domain, StackState{}, config);
+
+  std::vector<std::vector<std::uint64_t>> popped(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      EbrThreadHandle ebr(domain);
+      WfStack::Thread t(object, ebr);
+      for (std::uint64_t k = 0; k < kOps; ++k) {
+        if (k % 2 == 0) {
+          object.apply(t, stack_push, ((i + 1ull) << 32) | k);
+        } else {
+          const std::uint64_t v = object.apply(t, stack_pop, 0);
+          if (v != kEmptyResult) popped[i].push_back(v);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::set<std::uint64_t> seen;
+  for (const auto& r : popped) {
+    for (std::uint64_t v : r) {
+      EXPECT_TRUE(seen.insert(v).second) << "value popped twice: " << v;
+      EXPECT_GE(v >> 32, 1u);
+      EXPECT_LE(v >> 32, kThreads);  // provenance: some thread pushed it
+    }
+  }
+  EXPECT_GE(seen.size(), 100u);
+}
+
+// Stall injection, fully deterministic on one OS thread: thread A
+// announces and goes silent; thread B's routine operations (scanning
+// every op) must complete A's operation on its behalf — the helping
+// guarantee the slow path exists to provide.
+TEST(WaitFreeNative, StalledAnnouncerIsHelpedByRoutineTraffic) {
+  EbrDomain domain;
+  WfConfig config;
+  config.help_delay = 1;  // B scans before every operation
+  WfCounter object(domain, CounterState{}, config);
+  EbrThreadHandle ebr_a(domain);
+  EbrThreadHandle ebr_b(domain);
+  WfCounter::Thread a(object, ebr_a);
+  WfCounter::Thread b(object, ebr_b);
+
+  WfCounter::OpDesc* d = object.announce_only(a, counter_fetch_inc, 0);
+  EXPECT_EQ(object.announced_stage(d), DescStage::kPrepared);
+
+  // One ordinary operation by B: its pre-op scan finds and commits A's
+  // descriptor before B's own op runs, so A's fetch-inc gets value 0 and
+  // B's own gets 1.
+  EXPECT_EQ(object.apply(b, counter_fetch_inc, 0), 1u);
+  EXPECT_EQ(object.announced_stage(d), DescStage::kCommitted);
+  EXPECT_EQ(b.stats().helps_given, 1u);
+
+  EXPECT_EQ(object.finish_announced(a, d), 0u);
+  EXPECT_EQ(a.stats().helped_by_other, 1u);
+  EXPECT_EQ(object.read(a, [](const CounterState& s) { return s.value; }), 2u);
+}
+
+// The nohelp mutant (Helping = false): identical object, announcement
+// array never scanned. The same stall scenario now starves the announcer
+// without bound — B completes thousands of operations while A's announced
+// operation sits prepared forever, which is precisely the wait-free step
+// bound being violated (and what the sim-side starvation test and the
+// PWF_HW_MUTANTS CI job catch).
+TEST(WaitFreeNative, NohelpMutantNeverCompletesStalledAnnouncement) {
+#ifndef PWF_HW_MUTANTS
+  GTEST_SKIP() << "mutant builds disabled (configure with -DPWF_HW_MUTANTS=ON)";
+#else
+  using NohelpCounter = WaitFreeObject<CounterState, lockfree::NoStamp, false>;
+  constexpr std::uint64_t kOps = 10000;
+  EbrDomain domain;
+  WfConfig config;
+  config.help_delay = 1;  // would scan every op — compiled out by the mutant
+  NohelpCounter object(domain, CounterState{}, config);
+  EbrThreadHandle ebr_a(domain);
+  EbrThreadHandle ebr_b(domain);
+  NohelpCounter::Thread a(object, ebr_a);
+  NohelpCounter::Thread b(object, ebr_b);
+
+  NohelpCounter::OpDesc* d = object.announce_only(a, counter_fetch_inc, 0);
+  for (std::uint64_t k = 0; k < kOps; ++k) {
+    object.apply(b, counter_fetch_inc, 0);
+  }
+  // kOps completions elapsed; a wait-free construction bounds the wait by
+  // a constant, so "still prepared after 10000 ops" is a caught violation.
+  EXPECT_EQ(object.announced_stage(d), DescStage::kPrepared);
+  EXPECT_EQ(b.stats().helps_given, 0u);
+
+  // The stalled owner can still rescue itself (the mutant is lock-free):
+  // its own drive applies the operation after B's kOps.
+  EXPECT_EQ(object.finish_announced(a, d), kOps);
+  EXPECT_EQ(a.stats().helped_by_other, 0u);
+#endif
+}
+
+TEST(WaitFreeNative, HelpStatsMergeAndMetrics) {
+  HelpStats a;
+  a.ops = 1000000;
+  a.fast_ops = 999000;
+  a.slow_entries = 1000;
+  a.fast_retries = 5000;
+  a.helps_given = 400;
+  a.helped_by_other = 600;
+  a.help_scans = 250000;
+  HelpStats b = a;
+  b += a;
+  EXPECT_EQ(b.ops, 2000000u);
+  EXPECT_EQ(b.slow_entries, 2000u);
+  EXPECT_DOUBLE_EQ(a.slow_per_mop(), 1000.0);
+
+  const auto m = a.metrics("wf");
+  EXPECT_DOUBLE_EQ(m.at("wf_ops"), 1000000.0);
+  EXPECT_DOUBLE_EQ(m.at("wf_slow_entries"), 1000.0);
+  EXPECT_DOUBLE_EQ(m.at("wf_slow_per_mop"), 1000.0);
+  EXPECT_DOUBLE_EQ(m.at("wf_helped_by_other"), 600.0);
+}
+
+}  // namespace
+}  // namespace pwf::waitfree

@@ -1,0 +1,363 @@
+// The wait-free universal construction's step-machine twin
+// (src/waitfree/sim_object.*): descriptor state-machine unit tests under
+// forced interleavings, linearizability of wrapped-counter / wrapped-stack
+// histories via Session::check, schedule record/replay determinism, and
+// the starvation experiment that separates helping from the nohelp
+// mutant.
+//
+// The forced-interleaving tests drive WaitFreeSim instances by hand, one
+// process at a time, against a shared register file — the tightest
+// possible schedule control. The script-based tests force interleavings
+// through the checker's own ReplayScheduler, the same mechanism witness
+// replay uses.
+#include "waitfree/sim_object.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/session.hpp"
+#include "check/trace.hpp"
+#include "check/workloads.hpp"
+#include "core/memory.hpp"
+#include "waitfree/object.hpp"  // kEmptyResult
+
+namespace pwf::waitfree {
+namespace {
+
+using check::LinVerdict;
+using core::SharedMemory;
+using core::Value;
+
+SharedMemory make_memory(std::size_t n, const SimWfConfig& cfg) {
+  SharedMemory mem(WaitFreeSim::registers_required(n, cfg));
+  for (const auto& [r, v] : WaitFreeSim::initial_values(n, cfg)) {
+    mem.poke(r, v);
+  }
+  return mem;
+}
+
+/// Steps `p` until `pred()` holds, at most `budget` steps; returns the
+/// number of steps taken, or -1 if the budget ran out first.
+template <typename Pred>
+int step_until(WaitFreeSim& p, SharedMemory& mem, Pred pred, int budget) {
+  for (int i = 0; i <= budget; ++i) {
+    if (pred()) return i;
+    if (i == budget) break;
+    p.step(mem);
+  }
+  return -1;
+}
+
+TEST(WaitFreeSim, FastPathSoloNeverAnnounces) {
+  SimWfConfig cfg;
+  cfg.kind = SimWfKind::kCounter;
+  cfg.max_failures = 4;
+  cfg.help_delay = 4;
+  SharedMemory mem = make_memory(1, cfg);
+  WaitFreeSim p(0, 1, cfg);
+  for (int i = 0; i < 300; ++i) p.step(mem);
+  EXPECT_GE(p.stats().ops, 40u);
+  EXPECT_EQ(p.stats().fast_ops, p.stats().ops);
+  EXPECT_EQ(p.stats().slow_entries, 0u);
+  EXPECT_EQ(p.stats().fast_retries, 0u);
+  EXPECT_FALSE(p.in_slow_path());
+  // Uncontended counter op: [scan +] read OBJ, read payload, write
+  // candidate, CAS — the wait-free bound is tiny here.
+  EXPECT_LE(p.max_own_steps(), 6u);
+}
+
+// The descriptor lifecycle under a fully scripted interleaving: P0 loses
+// its only allowed fast-path CAS to P1, prepares and announces a
+// descriptor, P1's announcement scan commits it while P0 takes no steps,
+// and P0's resumed cleanup observes prepared -> committed -> cleaned with
+// the helper correctly attributed.
+TEST(WaitFreeSim, ForcedLossDescriptorLifecycle) {
+  SimWfConfig layout;  // layout-affecting fields shared by both processes
+  layout.kind = SimWfKind::kCounter;
+
+  SimWfConfig p0cfg = layout;
+  p0cfg.max_failures = 1;   // announce after a single CAS loss
+  p0cfg.help_delay = 100;   // and never scan within this test
+  SimWfConfig p1cfg = layout;
+  p1cfg.max_failures = 100;  // P1 stays on the fast path
+  p1cfg.help_delay = 1;      // and scans before every operation
+
+  const std::size_t n = 2;
+  SharedMemory mem = make_memory(n, layout);
+  WaitFreeSim p0(0, n, p0cfg);
+  WaitFreeSim p1(1, n, p1cfg);
+
+  // Register-layout landmarks (documented in sim_object.hpp): announce
+  // slots at 1+pid, P0's first descriptor at the desc-arena base.
+  const std::size_t kAnnounceP0 = 1;
+  const std::size_t kDescP0 = 1 + n;
+
+  // P0 walks its fast path up to (not including) the install CAS:
+  // read OBJ, read payload, write candidate.
+  for (int i = 0; i < 3; ++i) p0.step(mem);
+  EXPECT_FALSE(p0.in_slow_path());
+
+  // P1 completes one full fast-path operation, invalidating P0's snapshot.
+  ASSERT_GE(step_until(p1, mem, [&] { return p1.stats().ops == 1; }, 10), 0);
+
+  // P0's CAS now loses; max_failures = 1 sends it to the slow path.
+  p0.step(mem);
+  EXPECT_TRUE(p0.in_slow_path());
+  EXPECT_EQ(p0.own_desc_stage(mem), DescStage::kFree);  // nothing written yet
+  EXPECT_EQ(p0.stats().fast_retries, 1u);
+
+  // Prepare: op, arg, phase writes — still not prepared, still unpublished.
+  for (int i = 0; i < 3; ++i) p0.step(mem);
+  EXPECT_EQ(p0.own_desc_stage(mem), DescStage::kFree);
+  EXPECT_EQ(mem.peek(kAnnounceP0), 0u);
+
+  // The stage write flips the descriptor to prepared...
+  p0.step(mem);
+  EXPECT_EQ(p0.own_desc_stage(mem), DescStage::kPrepared);
+  EXPECT_EQ(mem.peek(kAnnounceP0), 0u);  // ...but it is not yet announced.
+
+  // The announce write publishes it.
+  p0.step(mem);
+  EXPECT_EQ(mem.peek(kAnnounceP0), static_cast<Value>(kDescP0));
+  EXPECT_EQ(p0.stats().slow_entries, 1u);
+
+  // P1 alone — P0 frozen — finds the announcement in its pre-op scan and
+  // drives the descriptor to committed.
+  ASSERT_GE(step_until(
+                p1, mem,
+                [&] { return p0.own_desc_stage(mem) == DescStage::kCommitted; },
+                60),
+            0);
+  EXPECT_GE(p1.stats().helps_given, 1u);
+  // The single commit CAS attributed the committer: P1 is pid 1.
+  EXPECT_EQ(committer_plus_1_of(mem.peek(kDescP0)), 2u);
+
+  // P0 resumes: it observes the commit, reads its result, withdraws the
+  // announcement, and marks the descriptor cleaned.
+  ASSERT_GE(step_until(p0, mem, [&] { return p0.stats().ops == 1; }, 40), 0);
+  EXPECT_EQ(stage_of(mem.peek(kDescP0)), DescStage::kCleaned);
+  EXPECT_EQ(committer_plus_1_of(mem.peek(kDescP0)), 2u);  // attribution kept
+  EXPECT_EQ(mem.peek(kAnnounceP0), 0u);                   // withdrawn
+  EXPECT_EQ(p0.stats().helped_by_other, 1u);
+  EXPECT_EQ(p0.stats().fast_ops, 0u);
+  EXPECT_FALSE(p0.in_slow_path());
+
+  // Exactly-once through the abstract state: three installs happened (two
+  // P1 fast ops, then P0's helped op — P1's third own op is still
+  // pending), so the counter payload behind the current block reads 3.
+  const Value obj = mem.peek(0);
+  EXPECT_EQ(obj >> 33, 3u);                            // seq
+  EXPECT_EQ(mem.peek(((obj >> 1) & 0xffffffffu) + 2), 3u);  // payload
+}
+
+// With no helper taking steps, the announcer drives its own descriptor:
+// install, commit (self-attributed), cleanup.
+TEST(WaitFreeSim, OwnerDrivesOwnDescriptorWithoutHelpers) {
+  SimWfConfig layout;
+  layout.kind = SimWfKind::kCounter;
+  SimWfConfig p0cfg = layout;
+  p0cfg.max_failures = 1;
+  p0cfg.help_delay = 100;
+  SimWfConfig p1cfg = layout;
+  p1cfg.max_failures = 100;
+  p1cfg.help_delay = 100;
+
+  const std::size_t n = 2;
+  SharedMemory mem = make_memory(n, layout);
+  WaitFreeSim p0(0, n, p0cfg);
+  WaitFreeSim p1(1, n, p1cfg);
+  const std::size_t kDescP0 = 1 + n;
+
+  for (int i = 0; i < 3; ++i) p0.step(mem);                  // up to the CAS
+  ASSERT_GE(step_until(p1, mem, [&] { return p1.stats().ops == 1; }, 10), 0);
+  ASSERT_GE(step_until(p0, mem, [&] { return p0.stats().ops == 1; }, 60), 0);
+
+  // Committed and cleaned by the owner itself: committer is pid 0.
+  EXPECT_EQ(stage_of(mem.peek(kDescP0)), DescStage::kCleaned);
+  EXPECT_EQ(committer_plus_1_of(mem.peek(kDescP0)), 1u);
+  EXPECT_EQ(p0.stats().slow_entries, 1u);
+  EXPECT_EQ(p0.stats().helped_by_other, 0u);
+  EXPECT_EQ(p0.stats().helps_given, 0u);  // own descriptor is not a "help"
+}
+
+// The experiment the subsystem exists for, in miniature: an adversarial
+// schedule starves P0 (one step in fifty). With helping, the other
+// processes' announcement scans complete P0's operations and its own-step
+// cost per op stays bounded; with helping compiled out (the nohelp
+// mutant) P0 announces and then starves forever — its in-flight step
+// count grows without bound while system-wide throughput stays high
+// (lock-free, not wait-free). This is the behavioural signature the
+// mutant is "caught" by: linearizability alone cannot see it.
+TEST(WaitFreeSim, HelpingRescuesStarvedVictimButNohelpDoesNot) {
+  const std::size_t n = 3;
+  const std::uint64_t kSteps = 20000;
+  auto starving_schedule = [](std::uint64_t tau) -> std::size_t {
+    return tau % 50 == 0 ? 0 : 1 + (tau % 2);
+  };
+
+  auto run = [&](bool helping) {
+    SimWfConfig cfg;
+    cfg.kind = SimWfKind::kCounter;
+    cfg.max_failures = 2;
+    cfg.help_delay = 2;
+    cfg.helping = helping;
+    cfg.max_descs_per_process = 2048;  // contention makes slow entries common
+    SharedMemory mem = make_memory(n, cfg);
+    std::vector<std::unique_ptr<WaitFreeSim>> procs;
+    for (std::size_t p = 0; p < n; ++p) {
+      procs.push_back(std::make_unique<WaitFreeSim>(p, n, cfg));
+    }
+    for (std::uint64_t tau = 0; tau < kSteps; ++tau) {
+      procs[starving_schedule(tau)]->step(mem);
+    }
+    return std::make_pair(std::move(procs), std::move(mem));
+  };
+
+  auto [helped, helped_mem] = run(true);
+  auto [nohelp, nohelp_mem] = run(false);
+
+  // Both runs keep the *system* busy: the non-starved processes complete
+  // hundreds of operations either way.
+  EXPECT_GE(helped[1]->stats().ops + helped[2]->stats().ops, 200u);
+  EXPECT_GE(nohelp[1]->stats().ops + nohelp[2]->stats().ops, 200u);
+
+  // With helping the victim makes real progress through the slow path...
+  EXPECT_GE(helped[0]->stats().ops, 4u);
+  EXPECT_GE(helped[0]->stats().slow_entries, 1u);
+  EXPECT_GE(helped[0]->stats().helped_by_other, 1u);
+  EXPECT_GE(helped[1]->stats().helps_given + helped[2]->stats().helps_given,
+            1u);
+  // ...within a bounded number of its own steps per operation.
+  EXPECT_LE(helped[0]->max_own_steps(), 150u);
+
+  // The nohelp mutant: the victim announces and then never completes —
+  // its descriptor stays prepared and its in-flight own-step count blows
+  // through any bound the helped run respects.
+  EXPECT_LE(nohelp[0]->stats().ops, 1u);
+  EXPECT_TRUE(nohelp[0]->in_slow_path());
+  EXPECT_EQ(nohelp[0]->own_desc_stage(nohelp_mem), DescStage::kPrepared);
+  EXPECT_GE(nohelp[0]->steps_in_flight(), 200u);
+  EXPECT_GT(nohelp[0]->steps_in_flight(), helped[0]->max_own_steps());
+}
+
+// Forced interleavings through the checker's own replay machinery: a
+// hand-written pid script (long solo runs, tight alternation, bursts)
+// drives the registry workload via ReplayScheduler, and the captured
+// history must check linearizable.
+check::RunOutcome replay_script(const std::string& workload_name,
+                                std::size_t n,
+                                const std::vector<std::uint32_t>& script) {
+  check::ScheduleTrace trace;
+  trace.workload = workload_name;
+  trace.n = static_cast<std::uint32_t>(n);
+  trace.seed = 42;
+  trace.steps = script;
+  check::Session session(check::find_workload(workload_name));
+  return session.replay(trace, /*strict=*/true);
+}
+
+std::vector<std::uint32_t> handcrafted_script(std::size_t n) {
+  std::vector<std::uint32_t> script;
+  // Solo prefix: P0 builds a lead.
+  for (int i = 0; i < 40; ++i) script.push_back(0);
+  // Tight alternation over everyone: maximal CAS contention.
+  for (int i = 0; i < 300; ++i) {
+    script.push_back(static_cast<std::uint32_t>(i % n));
+  }
+  // Bursts: each process gets a long solo run (descriptor self-drive).
+  for (std::uint32_t p = 0; p < n; ++p) {
+    for (int i = 0; i < 60; ++i) script.push_back(p);
+  }
+  // Starve P0 at the tail (others must help it across the line).
+  for (int i = 0; i < 200; ++i) {
+    script.push_back(i % 25 == 0 ? 0u
+                                 : 1u + static_cast<std::uint32_t>(i) %
+                                            static_cast<std::uint32_t>(n - 1));
+  }
+  return script;
+}
+
+TEST(WaitFreeSim, ReplayScriptWrappedCounterLinearizable) {
+  const auto out = replay_script("wf-counter", 3, handcrafted_script(3));
+  EXPECT_EQ(out.lin.verdict, LinVerdict::kLinearizable);
+  EXPECT_GE(out.history.num_completed(), 20u);
+}
+
+TEST(WaitFreeSim, ReplayScriptWrappedStackLinearizable) {
+  const auto out = replay_script("wf-stack", 3, handcrafted_script(3));
+  EXPECT_EQ(out.lin.verdict, LinVerdict::kLinearizable);
+  EXPECT_GE(out.history.num_completed(), 20u);
+}
+
+// Session record/replay across every scheduler variant: recorded
+// wrapped-structure histories are linearizable and the trace replays
+// bit-identically (fingerprint-certified) — the satellite's
+// "Session::check over wrapped-counter and wrapped-stack histories".
+TEST(WaitFreeSim, SessionRecordReplayAllVariants) {
+  for (const char* name : {"wf-counter", "wf-stack"}) {
+    check::Session session(check::find_workload(name));
+    for (std::size_t variant = 0; variant < 4; ++variant) {
+      const auto recorded =
+          session.record(3, 90 + variant, 400, variant, /*crashes=*/{});
+      EXPECT_EQ(recorded.lin.verdict, LinVerdict::kLinearizable)
+          << name << " variant " << variant;
+      const auto replayed = session.replay(recorded.trace, /*strict=*/true);
+      EXPECT_EQ(replayed.trace.fingerprint(), recorded.trace.fingerprint());
+      EXPECT_EQ(replayed.history.fingerprint(), recorded.history.fingerprint())
+          << name << " variant " << variant;
+    }
+  }
+}
+
+// Crashing a process mid-announcement must leave the history checkable:
+// the crashed owner's operation stays pending (possibly completed on its
+// behalf by a helper), which the checker models soundly.
+TEST(WaitFreeSim, SessionRecordWithCrashStillLinearizable) {
+  check::Session session(check::find_workload("wf-counter"));
+  const std::vector<check::CrashEvent> crashes = {{120, 1}};
+  const auto recorded = session.record(3, 17, 400, /*variant=*/3, crashes);
+  EXPECT_EQ(recorded.lin.verdict, LinVerdict::kLinearizable);
+  const auto replayed = session.replay(recorded.trace, /*strict=*/true);
+  EXPECT_EQ(replayed.history.fingerprint(), recorded.history.fingerprint());
+  EXPECT_EQ(replayed.crash_log, recorded.crash_log);
+}
+
+// Exactly-once through the values: every popped value was pushed by a
+// real process and no value is popped twice, even under a schedule that
+// forces heavy helping (duplicate descriptor application would surface
+// here as a repeated pop).
+TEST(WaitFreeSim, StackValuesPoppedAtMostOnceUnderStarvation) {
+  const std::size_t n = 3;
+  SimWfConfig cfg;
+  cfg.kind = SimWfKind::kStack;
+  cfg.max_failures = 2;
+  cfg.help_delay = 2;
+  cfg.max_descs_per_process = 2048;
+  SharedMemory mem = make_memory(n, cfg);
+  std::vector<std::unique_ptr<WaitFreeSim>> procs;
+  for (std::size_t p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<WaitFreeSim>(p, n, cfg));
+  }
+  for (std::uint64_t tau = 0; tau < 12000; ++tau) {
+    procs[tau % 40 == 0 ? 0 : 1 + (tau % 2)]->step(mem);
+  }
+  std::set<Value> seen;
+  std::uint64_t pops = 0;
+  for (const auto& p : procs) {
+    pops += p->pops();
+    for (Value v : p->popped_values()) {
+      EXPECT_TRUE(seen.insert(v).second) << "value popped twice: " << v;
+      const std::size_t pusher = static_cast<std::size_t>(v >> 32) - 1;
+      EXPECT_LT(pusher, n);  // encoded by a real process's push
+    }
+  }
+  EXPECT_GE(pops, 50u);
+}
+
+}  // namespace
+}  // namespace pwf::waitfree
