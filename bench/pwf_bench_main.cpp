@@ -9,6 +9,8 @@
 //   pwf_bench --quick                CI-sized grids and horizons
 //   pwf_bench --threads 8            trial-pool width (0 = hardware)
 //   pwf_bench --trials 3             repetitions per grid point (averaged)
+//   pwf_bench --reclaim pool         reclamation policy for experiments
+//                                    with a pwf::mem axis (default: all)
 //   pwf_bench --json out.json        structured results (schema
 //                                    pwf-bench-results/1)
 //
@@ -26,6 +28,7 @@
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
+#include "mem/reclaimer.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -66,6 +69,10 @@ util::CliParser make_parser(Args& args) {
                   throw std::invalid_argument("--trials must be >= 1");
                 }
               })
+      .option("--reclaim", "POLICY",
+              "restrict reclamation-axis experiments to one\n"
+              "pwf::mem policy: epoch | hazard | pool (default: all)",
+              [&args](const std::string& v) { args.options.reclaim = v; })
       .option_string("--json",
                      "write structured results to PATH ('-' = stdout)",
                      &args.json_path)
@@ -89,6 +96,12 @@ int main(int argc, char** argv) {
   if (args.help) {
     cli.print_usage(std::cout);
     return 0;
+  }
+  if (!args.options.reclaim.empty() &&
+      !mem::parse_reclaim_policy(args.options.reclaim)) {
+    std::cerr << "pwf_bench: unknown reclaim policy '" << args.options.reclaim
+              << "' (epoch | hazard | pool)\n";
+    return 2;
   }
 
   const auto& registry = exp::Registry::instance();

@@ -14,6 +14,9 @@
 //   pwf_check --structure NAME        hardware structure filter ('_' == '-')
 //   pwf_check --stamp-mode lin-point  interval recovery: call-boundary
 //                                     (default) or lin-point
+//   pwf_check --reclaim pool          reclamation policy the hardware
+//                                     structures run under: epoch
+//                                     (default), hazard, or pool
 //   pwf_check --hw-ops N              hardware ops per thread
 //   pwf_check --hw-bursts N           independent capture rounds
 //   pwf_check --jitter K              yield around every K-th hw op
@@ -46,6 +49,7 @@
 #include "check/trace.hpp"
 #include "check/workloads.hpp"
 #include "exp/json.hpp"
+#include "mem/reclaimer.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -57,6 +61,7 @@ struct Args {
   check::ExploreOptions explore;
   check::HwOptions hw_options;
   std::string stamp_mode;
+  std::string reclaim;
   std::string filter;
   std::string out_path;
   std::string replay_path;
@@ -120,6 +125,10 @@ util::CliParser make_parser(Args& args) {
               "hardware interval recovery: call-boundary (default)\n"
               "or lin-point (tickets at the linearizing instruction)",
               [&args](const std::string& v) { args.stamp_mode = v; })
+      .option("--reclaim", "POLICY",
+              "reclamation policy the hardware structures run\n"
+              "under: epoch (default) | hazard | pool",
+              [&args](const std::string& v) { args.reclaim = v; })
       .option("--hw-ops", "N", "hardware ops per thread (default 2000)",
               [&args](const std::string& v) {
                 args.hw_options.ops_per_thread = std::stoul(v);
@@ -214,6 +223,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     args.hw_options.stamp = *mode;
+  }
+  if (!args.reclaim.empty()) {
+    const auto policy = mem::parse_reclaim_policy(args.reclaim);
+    if (!policy) {
+      std::cerr << "pwf_check: unknown reclaim policy '" << args.reclaim
+                << "' (epoch | hazard | pool)\n";
+      return 2;
+    }
+    args.hw_options.reclaim = *policy;
   }
   if (args.list) {
     std::cout << "simulated workloads:\n";
@@ -329,7 +347,8 @@ int main(int argc, char** argv) {
         const bool ok = r.as_expected() && !r.lin.timed_out;
         all_pass = all_pass && ok;
         std::cout << "hw " << structure.name << " ["
-                  << check::stamp_mode_name(r.stamp) << "]: "
+                  << check::stamp_mode_name(r.stamp) << ", "
+                  << mem::reclaim_policy_name(r.reclaim) << "]: "
                   << check::verdict_name(r.lin.verdict)
                   << (structure.expect_linearizable ? "" : " (mutant)")
                   << " -> " << (ok ? "OK" : "FAIL") << "\n"
@@ -424,6 +443,7 @@ int main(int argc, char** argv) {
       json.begin_object();
       json.key("structure").value(r.structure);
       json.key("stamp_mode").value(check::stamp_mode_name(r.stamp));
+      json.key("reclaim").value(mem::reclaim_policy_name(r.reclaim));
       json.key("verdict").value(check::verdict_name(r.lin.verdict));
       json.key("expect_linearizable").value(r.expect_linearizable);
       json.key("as_expected").value(r.as_expected());

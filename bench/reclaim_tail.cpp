@@ -1,0 +1,349 @@
+// reclaim_tail: tail latency and memory robustness of the pwf::mem
+// reclamation spectrum under an injected thread stall (DESIGN.md §7,
+// docs/API.md "pwf::mem").
+//
+// The paper's open question behind this experiment: lock-free structures
+// are practically wait-free under stochastic schedulers, but their
+// *memory reclamation* usually is not — epoch-based reclamation stops
+// reclaiming entirely while any reader stays pinned, so one stalled
+// thread (preempted mid-operation, descheduled by the OS, crashed) turns
+// bounded memory into memory that grows with every subsequent operation.
+// The era-interval policies (mem::HazardEra, mem::WaitFreePool) only
+// block the handful of blocks whose lifetime intersects the staller's
+// frozen reservation, so garbage stays bounded by a constant.
+//
+// Protocol, per (policy, stall, ops) grid point: one TreiberStack, four
+// churn threads doing timed push/pop pairs, and — in the stall rows — a
+// fifth thread that pins, performs one protected load, and then sleeps
+// until the churners finish (the injected stall). Each operation's wall
+// latency feeds a QuantileSketch (p50/p99/p999); the domain's
+// peak_retired_bytes high-water mark is the robustness metric.
+//
+// Verdict: with a staller and 4x the operations, Epoch's peak retired
+// bytes grow ~4x (unbounded in ops) while WaitFreePool's and
+// HazardEra's stay within 2x (bounded by a constant), the pool never
+// throws PoolExhausted, and every policy's churn completes. Latency
+// quantiles are reported (and committed in BENCH_reclaim.json) rather
+// than gated — they are host numbers.
+//
+// scripts/bench_reclaim.sh serializes the sweep into BENCH_reclaim.json.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/registry.hpp"
+#include "lockfree/treiber_stack.hpp"
+#include "mem/epoch.hpp"
+#include "mem/hazard_era.hpp"
+#include "mem/pool.hpp"
+#include "util/quantile.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pwf;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
+
+constexpr std::size_t kChurnThreads = 4;
+
+template <typename Mem>
+std::unique_ptr<typename Mem::Domain> make_domain(std::size_t block_bytes) {
+  // +2 reservation slots: the staller and the pool's constructor-path
+  // temporary handle.
+  const std::size_t max_threads = kChurnThreads + 2;
+  if constexpr (std::is_same_v<Mem, mem::WaitFreePool>) {
+    // The bounded-garbage property under test is what makes a fixed
+    // arena sufficient: steady state needs the stack residue plus each
+    // handle's pending retirements plus the blocks pinned around the
+    // staller's frozen reservation — thousands, not ops-proportional.
+    return std::make_unique<mem::WaitFreePoolDomain>(block_bytes, 1 << 15,
+                                                     max_threads);
+  } else if constexpr (std::is_same_v<Mem, mem::HazardEra>) {
+    return std::make_unique<mem::HazardEraDomain>(max_threads);
+  } else {
+    return std::make_unique<lockfree::EbrDomain>(max_threads);
+  }
+}
+
+struct ChurnOut {
+  QuantileSketch latency;  ///< per-op wall ns, merged over churn threads
+  std::uint64_t peak_retired_bytes = 0;
+  std::uint64_t ops = 0;
+  bool exhausted = false;  ///< the pool threw PoolExhausted
+  double wall_sec = 0.0;
+};
+
+template <typename Mem>
+ChurnOut run_churn(std::uint64_t ops_per_thread, bool stall) {
+  using Stack = lockfree::TreiberStack<std::uint64_t, lockfree::NoStamp, Mem>;
+  auto domain = make_domain<Mem>(Stack::kNodeBytes);
+  Stack stack(*domain);
+
+  std::atomic<bool> staller_ready{!stall};
+  std::atomic<bool> release{false};
+  std::atomic<bool> exhausted{false};
+  std::vector<std::unique_ptr<QuantileSketch>> sketches(kChurnThreads);
+
+  std::thread staller;
+  if (stall) {
+    staller = std::thread([&] {
+      typename Mem::ThreadHandle handle(*domain);
+      // A mid-operation stall: the thread has pinned and issued a
+      // protected load, then stops making progress. Its reservation
+      // stays published until release.
+      std::atomic<std::uint64_t*> src{nullptr};
+      auto* block = Mem::template create<std::uint64_t>(handle, 0);
+      src.store(block, std::memory_order_release);
+      {
+        const auto guard = handle.pin();
+        (void)Mem::load(handle, src);
+        staller_ready.store(true, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+      Mem::retire(handle, src.load(std::memory_order_relaxed));
+    });
+    while (!staller_ready.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+
+  std::vector<std::thread> churners;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kChurnThreads; ++i) {
+    sketches[i] = std::make_unique<QuantileSketch>();
+    churners.emplace_back([&, i] {
+      try {
+        typename Mem::ThreadHandle handle(*domain);
+        for (std::uint64_t k = 0; k < ops_per_thread; ++k) {
+          const auto a = std::chrono::steady_clock::now();
+          stack.push(handle, k);
+          const auto b = std::chrono::steady_clock::now();
+          stack.pop(handle);
+          const auto c = std::chrono::steady_clock::now();
+          sketches[i]->add(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                  .count()));
+          sketches[i]->add(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(c - b)
+                  .count()));
+        }
+      } catch (const mem::PoolExhausted&) {
+        exhausted.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : churners) th.join();
+  const double wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (stall) {
+    release.store(true, std::memory_order_release);
+    staller.join();
+  }
+
+  ChurnOut out;
+  for (const auto& s : sketches) out.latency.merge(*s);
+  out.ops = out.latency.count();
+  out.peak_retired_bytes = domain->peak_retired_bytes();
+  out.exhausted = exhausted.load(std::memory_order_relaxed);
+  out.wall_sec = wall_sec;
+  return out;
+}
+
+ChurnOut run_policy(mem::ReclaimPolicy policy, std::uint64_t ops_per_thread,
+                    bool stall) {
+  switch (policy) {
+    case mem::ReclaimPolicy::kHazardEra:
+      return run_churn<mem::HazardEra>(ops_per_thread, stall);
+    case mem::ReclaimPolicy::kPool:
+      return run_churn<mem::WaitFreePool>(ops_per_thread, stall);
+    case mem::ReclaimPolicy::kEpoch:
+      break;
+  }
+  return run_churn<mem::Epoch>(ops_per_thread, stall);
+}
+
+class ReclaimTail final : public exp::Experiment {
+ public:
+  std::string name() const override { return "reclaim_tail"; }
+  std::string artifact() const override {
+    return "pwf::mem reclamation spectrum: per-policy op latency tails and "
+           "peak retired memory under an injected thread stall (src/mem)";
+  }
+  std::string claim() const override {
+    return "Claim: with one stalled pinned thread, epoch reclamation's "
+           "peak retired memory grows in proportion to the operation "
+           "count, while the hazard-era and wait-free-pool policies keep "
+           "it bounded by a constant (and the fixed pool arena never "
+           "exhausts); per-policy p99/p999 op latencies quantify what the "
+           "robustness costs on the fast path.";
+  }
+  std::uint64_t default_seed() const override { return 20130715; }
+
+  // Wall-clock latency on real threads: run alone, host-dependent.
+  bool exclusive() const override { return true; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    const std::uint64_t small = options.quick ? 5'000 : 20'000;
+    const std::uint64_t large = 4 * small;
+    std::vector<Trial> grid;
+    std::uint64_t idx = 0;
+    for (const mem::ReclaimPolicy policy : mem::kAllReclaimPolicies) {
+      if (!options.reclaim.empty() &&
+          mem::parse_reclaim_policy(options.reclaim) != policy) {
+        continue;
+      }
+      for (const bool stall : {false, true}) {
+        for (const std::uint64_t ops : {small, large}) {
+          Trial t;
+          t.id = std::string(mem::reclaim_policy_name(policy)) +
+                 (stall ? " stall" : " no-stall") +
+                 " ops=" + std::to_string(ops);
+          t.params = {{"policy", static_cast<double>(policy)},
+                      {"stall", stall ? 1.0 : 0.0},
+                      {"ops", static_cast<double>(ops)}};
+          t.seed = exp::derive_seed(base, idx++);
+          grid.push_back(std::move(t));
+        }
+      }
+    }
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    (void)options;
+    const auto policy =
+        static_cast<mem::ReclaimPolicy>(static_cast<int>(trial.params.at("policy")));
+    const auto ops = static_cast<std::uint64_t>(trial.params.at("ops"));
+    const bool stall = trial.params.at("stall") > 0.5;
+    const ChurnOut r = run_policy(policy, ops, stall);
+    return {{"p50_ns", static_cast<double>(r.latency.quantile(0.50))},
+            {"p99_ns", static_cast<double>(r.latency.quantile(0.99))},
+            {"p999_ns", static_cast<double>(r.latency.quantile(0.999))},
+            {"max_ns", static_cast<double>(r.latency.max())},
+            {"peak_retired_bytes", static_cast<double>(r.peak_retired_bytes)},
+            {"ops", static_cast<double>(r.ops)},
+            {"exhausted", r.exhausted ? 1.0 : 0.0},
+            {"mops_per_sec", static_cast<double>(r.ops) / r.wall_sec / 1e6}};
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& options, std::ostream& os) const override;
+};
+
+Verdict ReclaimTail::analyze(const std::vector<TrialResult>& results,
+                             const RunOptions& options,
+                             std::ostream& os) const {
+  Verdict verdict;
+  Table table({"policy", "stall", "ops/thread", "p50 ns", "p99 ns", "p999 ns",
+               "peak retired KiB"});
+
+  // peak[policy][0] = stalled small-ops peak bytes, [1] = stalled large.
+  double peak[3][2] = {};
+  double ops_seen[3][2] = {};
+  bool exhausted = false;
+  bool complete = true;
+
+  for (const TrialResult& r : results) {
+    const Metrics& m = r.metrics;
+    const auto policy = static_cast<mem::ReclaimPolicy>(
+        static_cast<int>(r.trial.params.at("policy")));
+    const bool stall = r.trial.params.at("stall") > 0.5;
+    const double ops = r.trial.params.at("ops");
+    table.add_row({mem::reclaim_policy_name(policy), stall ? "yes" : "no",
+                   fmt(ops, 0), fmt(m.at("p50_ns"), 0), fmt(m.at("p99_ns"), 0),
+                   fmt(m.at("p999_ns"), 0),
+                   fmt(m.at("peak_retired_bytes") / 1024.0, 1)});
+    exhausted = exhausted || exp::flag(m.at("exhausted"));
+    // Every churn must complete its full push+pop schedule.
+    complete = complete &&
+               m.at("ops") >= 2.0 * ops * static_cast<double>(kChurnThreads);
+    if (stall) {
+      const int p = static_cast<int>(policy);
+      const int col = ops_seen[p][0] == 0.0 ? 0 : 1;
+      peak[p][col] = m.at("peak_retired_bytes");
+      ops_seen[p][col] = ops;
+    }
+    const std::string tag = std::string(mem::reclaim_policy_name(policy)) +
+                            (stall ? "_stall" : "_nostall") + "_ops" +
+                            std::to_string(static_cast<std::uint64_t>(ops));
+    verdict.summary["p99_ns_" + tag] = m.at("p99_ns");
+    verdict.summary["p999_ns_" + tag] = m.at("p999_ns");
+    verdict.summary["peak_retired_bytes_" + tag] = m.at("peak_retired_bytes");
+  }
+
+  os << "op latency and peak retired memory by reclamation policy\n"
+     << "(4 churn threads; stall = a fifth thread pinned mid-operation "
+        "for the whole run)\n\n";
+  table.print(os);
+  os << "\npeak retired KiB is the domain's high-water mark of "
+        "retired-but-unreclaimed payload bytes. Under a stall it is the "
+        "robustness axis: epoch cannot reclaim past the staller's pinned "
+        "epoch, so the mark scales with the operation count; the era "
+        "policies only block blocks whose lifetime intersects the "
+        "staller's frozen reservation.\n";
+
+  auto growth = [&](mem::ReclaimPolicy p) {
+    const int i = static_cast<int>(p);
+    return peak[i][1] / std::max(peak[i][0], 1.0);
+  };
+  const double epoch_growth = growth(mem::ReclaimPolicy::kEpoch);
+  const double hazard_growth = growth(mem::ReclaimPolicy::kHazardEra);
+  const double pool_growth = growth(mem::ReclaimPolicy::kPool);
+  const int ep = static_cast<int>(mem::ReclaimPolicy::kEpoch);
+  const int po = static_cast<int>(mem::ReclaimPolicy::kPool);
+  const double epoch_over_pool = peak[ep][1] / std::max(peak[po][1], 1.0);
+
+  verdict.summary["epoch_stall_peak_growth"] = epoch_growth;
+  verdict.summary["hazard_stall_peak_growth"] = hazard_growth;
+  verdict.summary["pool_stall_peak_growth"] = pool_growth;
+  verdict.summary["epoch_over_pool_stall_peak"] = epoch_over_pool;
+  verdict.summary["pool_exhausted"] = exhausted ? 1.0 : 0.0;
+
+  const bool swept_all = ops_seen[ep][1] > 0.0 && ops_seen[po][1] > 0.0 &&
+                         ops_seen[static_cast<int>(
+                             mem::ReclaimPolicy::kHazardEra)][1] > 0.0;
+  if (!swept_all) {
+    // --reclaim restricted the sweep: report, don't judge the contrast.
+    verdict.reproduced = !exhausted && complete;
+    verdict.detail = "partial sweep (--reclaim): growth contrast not judged";
+    return verdict;
+  }
+
+  // The ops ratio between the two stalled grid points is 4x: epoch's
+  // peak must track it (>= 2.5x leaves slack for the pre-stall
+  // transient) while the era policies stay within 2.5x of their
+  // small-run constant — their peak is capped by the scan cadence
+  // (kScanThreshold pending blocks per handle), not by the op count,
+  // so the ratio only reflects how close the small run got to that
+  // ceiling. The headline separation is epoch/pool at the large size.
+  const bool epoch_unbounded = epoch_growth >= 2.5;
+  const bool era_bounded = hazard_growth < 2.5 && pool_growth < 2.5;
+  verdict.reproduced =
+      epoch_unbounded && era_bounded && epoch_over_pool >= 8.0 &&
+      !exhausted && complete;
+  verdict.detail = "stalled peak growth (4x ops): epoch " +
+                   fmt(epoch_growth, 2) + "x, hazard " +
+                   fmt(hazard_growth, 2) + "x, pool " + fmt(pool_growth, 2) +
+                   "x; epoch/pool peak " + fmt(epoch_over_pool, 1) + "x" +
+                   (exhausted ? "; POOL EXHAUSTED" : "");
+  return verdict;
+}
+
+const exp::RegisterExperiment reg(std::make_unique<ReclaimTail>());
+
+}  // namespace

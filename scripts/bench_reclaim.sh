@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_reclaim.json — the committed pwf::mem reclamation
+# baseline (per-policy op latency tails and peak retired memory with and
+# without an injected thread stall, over epoch / hazard-era / wait-free
+# pool). Run it on the reference machine after touching src/mem or the
+# reclamation paths of src/lockfree, eyeball the stalled peak-retired
+# column (epoch grows with ops, the era policies stay flat), and commit
+# the result so later PRs can regress against it.
+#
+# Usage: scripts/bench_reclaim.sh [--quick] [extra pwf_bench args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build --target pwf_bench -j"$(nproc)"
+
+build/bench/pwf_bench --filter reclaim_tail \
+  --json BENCH_reclaim.json "$@"
+echo "wrote BENCH_reclaim.json"

@@ -15,6 +15,8 @@
 #include "check/spec.hpp"
 #include "lockfree/counter.hpp"
 #include "lockfree/ebr.hpp"
+#include "mem/hazard_era.hpp"
+#include "mem/pool.hpp"
 #include "lockfree/harris_list.hpp"
 #include "lockfree/hash_map.hpp"
 #include "lockfree/lin_stamp.hpp"
@@ -148,9 +150,34 @@ constexpr Value unique_value(std::uint32_t tid, std::size_t i) {
 
 constexpr Value kKeySpace = 8;  // small key range: operations collide
 
+/// Constructs the reclamation domain for one capture burst. The three
+/// policies take different constructor arguments, so this is the one
+/// place the dispatch is policy-specific: the pool domain needs the
+/// structure's block size and a capacity covering every allocation the
+/// burst can keep live or blocked at once.
+template <typename Mem>
+std::unique_ptr<typename Mem::Domain> make_domain(std::size_t block_bytes,
+                                                  const HwOptions& options) {
+  // +2 slots: the workers, the constructor's temporary handle, slack.
+  const std::size_t max_threads = options.threads + 2;
+  if constexpr (std::is_same_v<Mem, mem::WaitFreePool>) {
+    // Worst case every operation of the burst leaves a live node (a
+    // push-only run), plus retired-but-blocked slack per thread.
+    const std::size_t capacity =
+        2 * options.threads * options.ops_per_thread + 4096;
+    return std::make_unique<mem::WaitFreePoolDomain>(block_bytes, capacity,
+                                                     max_threads);
+  } else if constexpr (std::is_same_v<Mem, mem::HazardEra>) {
+    return std::make_unique<mem::HazardEraDomain>(max_threads);
+  } else {
+    return std::make_unique<lockfree::EbrDomain>(max_threads);
+  }
+}
+
 /// One capture round on a fresh structure instance. `Stamp` is
-/// TicketStamp in kLinPoint mode, NoStamp otherwise.
-template <typename Stamp>
+/// TicketStamp in kLinPoint mode, NoStamp otherwise; `Mem` is the
+/// reclamation policy under test.
+template <typename Stamp, typename Mem>
 std::vector<OpRecord> capture_burst(const HwStructure& structure,
                                     const HwOptions& options,
                                     std::uint64_t seed) {
@@ -158,12 +185,13 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
   const std::size_t ops = options.ops_per_thread;
 
   if (structure.name == "treiber-stack") {
-    lockfree::EbrDomain domain;
-    lockfree::TreiberStack<Value, Stamp> stack(domain);
+    using Stack = lockfree::TreiberStack<Value, Stamp, Mem>;
+    auto domain = make_domain<Mem>(Stack::kNodeBytes, options);
+    Stack stack(*domain);
     return run_threads(
         options, seed, bind,
         [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
-          lockfree::EbrThreadHandle handle(domain);
+          typename Mem::ThreadHandle handle(*domain);
           for (std::size_t i = 0; i < ops; ++i) {
             if (rng() % 2 == 0) {
               const Value v = unique_value(tid, i);
@@ -200,12 +228,13 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
   }
 #endif
   if (structure.name == "ms-queue") {
-    lockfree::EbrDomain domain;
-    lockfree::MsQueue<Value, Stamp> queue(domain);
+    using Queue = lockfree::MsQueue<Value, Stamp, Mem>;
+    auto domain = make_domain<Mem>(Queue::kNodeBytes, options);
+    Queue queue(*domain);
     return run_threads(
         options, seed, bind,
         [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
-          lockfree::EbrThreadHandle handle(domain);
+          typename Mem::ThreadHandle handle(*domain);
           for (std::size_t i = 0; i < ops; ++i) {
             if (rng() % 2 == 0) {
               const Value v = unique_value(tid, i);
@@ -221,20 +250,21 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
         });
   }
   if (structure.name == "harris-list" || structure.name == "hash-set") {
-    lockfree::EbrDomain domain;
-    std::unique_ptr<lockfree::HarrisList<Value, Stamp>> list;
-    std::unique_ptr<lockfree::HashSet<Value, std::hash<Value>, Stamp>> set;
+    using List = lockfree::HarrisList<Value, Stamp, Mem>;
+    using Set = lockfree::HashSet<Value, std::hash<Value>, Stamp, Mem>;
+    auto domain = make_domain<Mem>(List::kNodeBytes, options);
+    std::unique_ptr<List> list;
+    std::unique_ptr<Set> set;
     if (structure.name == "harris-list") {
-      list = std::make_unique<lockfree::HarrisList<Value, Stamp>>(domain);
+      list = std::make_unique<List>(*domain);
     } else {
-      set = std::make_unique<
-          lockfree::HashSet<Value, std::hash<Value>, Stamp>>(domain, 4);
+      set = std::make_unique<Set>(*domain, 4);
     }
     return run_threads(
         options, seed, bind,
         [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
           (void)tid;
-          lockfree::EbrThreadHandle handle(domain);
+          typename Mem::ThreadHandle handle(*domain);
           for (std::size_t i = 0; i < ops; ++i) {
             const Value key = 1 + rng() % kKeySpace;
             const std::uint64_t roll = rng() % 3;
@@ -274,13 +304,14 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
         });
   }
   if (structure.name == "scu-counter") {
-    lockfree::EbrDomain domain;
-    lockfree::ScuObject<std::uint64_t, Stamp> object(domain, 0);
+    using Object = lockfree::ScuObject<std::uint64_t, Stamp, Mem>;
+    auto domain = make_domain<Mem>(Object::kNodeBytes, options);
+    Object object(*domain, 0);
     return run_threads(
         options, seed, bind,
         [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp&) {
           (void)tid;
-          lockfree::EbrThreadHandle handle(domain);
+          typename Mem::ThreadHandle handle(*domain);
           for (std::size_t i = 0; i < ops; ++i) {
             log.begin(OpCode::kFetchInc, false, 0);
             const auto [before, attempts] =
@@ -295,16 +326,16 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
         });
   }
   if (structure.name == "wf-counter") {
-    lockfree::EbrDomain domain;
-    waitfree::WaitFreeObject<waitfree::CounterState, Stamp> object(
-        domain, waitfree::CounterState{});
+    using Object =
+        waitfree::WaitFreeObject<waitfree::CounterState, Stamp, true, Mem>;
+    auto domain = make_domain<Mem>(Object::kNodeBytes, options);
+    Object object(*domain, waitfree::CounterState{});
     return run_threads(
         options, seed, bind,
         [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp&) {
           (void)tid;
-          lockfree::EbrThreadHandle handle(domain);
-          typename waitfree::WaitFreeObject<waitfree::CounterState,
-                                            Stamp>::Thread wf(object, handle);
+          typename Mem::ThreadHandle handle(*domain);
+          typename Object::Thread wf(object, handle);
           for (std::size_t i = 0; i < ops; ++i) {
             log.begin(OpCode::kFetchInc, false, 0);
             const std::uint64_t before =
@@ -314,15 +345,15 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
         });
   }
   if (structure.name == "wf-stack") {
-    lockfree::EbrDomain domain;
-    waitfree::WaitFreeObject<waitfree::StackState, Stamp> object(
-        domain, waitfree::StackState{});
+    using Object =
+        waitfree::WaitFreeObject<waitfree::StackState, Stamp, true, Mem>;
+    auto domain = make_domain<Mem>(Object::kNodeBytes, options);
+    Object object(*domain, waitfree::StackState{});
     return run_threads(
         options, seed, bind,
         [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
-          lockfree::EbrThreadHandle handle(domain);
-          typename waitfree::WaitFreeObject<waitfree::StackState,
-                                            Stamp>::Thread wf(object, handle);
+          typename Mem::ThreadHandle handle(*domain);
+          typename Object::Thread wf(object, handle);
           for (std::size_t i = 0; i < ops; ++i) {
             if (rng() % 2 == 0) {
               const Value v = unique_value(tid, i);
@@ -341,6 +372,23 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
   }
   throw std::invalid_argument("HwSession: no capture body for '" +
                               structure.name + "'");
+}
+
+/// Resolves the runtime reclaim-policy option to the Mem template
+/// parameter (the stamp mode dispatches one level up, in run()).
+template <typename Stamp>
+std::vector<OpRecord> capture_dispatch(const HwStructure& structure,
+                                       const HwOptions& options,
+                                       std::uint64_t seed) {
+  switch (options.reclaim) {
+    case mem::ReclaimPolicy::kHazardEra:
+      return capture_burst<Stamp, mem::HazardEra>(structure, options, seed);
+    case mem::ReclaimPolicy::kPool:
+      return capture_burst<Stamp, mem::WaitFreePool>(structure, options, seed);
+    case mem::ReclaimPolicy::kEpoch:
+      break;
+  }
+  return capture_burst<Stamp, mem::Epoch>(structure, options, seed);
 }
 
 double median_of(std::vector<std::uint64_t> values) {
@@ -770,6 +818,7 @@ const HwResult& HwSession::run() & {
   HwResult result;
   result.structure = structure_.name;
   result.stamp = options_.stamp;
+  result.reclaim = options_.reclaim;
   result.expect_linearizable = structure_.expect_linearizable;
 
   const bool lin_mode = options_.stamp == StampMode::kLinPoint;
@@ -783,10 +832,10 @@ const HwResult& HwSession::run() & {
         options_.seed + 0xD1B54A32D192ED03ULL * burst;
     const auto capture_start = Clock::now();
     const std::vector<OpRecord> records =
-        lin_mode ? capture_burst<lockfree::TicketStamp>(structure_, options_,
-                                                        seed)
-                 : capture_burst<lockfree::NoStamp>(structure_, options_,
-                                                    seed);
+        lin_mode
+            ? capture_dispatch<lockfree::TicketStamp>(structure_, options_,
+                                                      seed)
+            : capture_dispatch<lockfree::NoStamp>(structure_, options_, seed);
     result.capture_ms += ms_since(capture_start);
 
     // Effective intervals: the lin bracket when complete, else the call

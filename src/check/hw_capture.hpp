@@ -34,6 +34,7 @@
 
 #include "check/history.hpp"
 #include "check/lin_check.hpp"
+#include "mem/reclaimer.hpp"
 
 namespace pwf::check {
 
@@ -56,6 +57,12 @@ struct HwOptions {
   std::size_t bursts = 1;
   std::uint64_t seed = 1;
   StampMode stamp = StampMode::kCallBoundary;
+  /// Reclamation policy the captured structures run under (mem/reclaimer):
+  /// linearizability must hold under every policy, so the checker runs
+  /// the same workloads over epoch, hazard-era, and pool reclamation.
+  /// Structures without a reclamation domain (plain atomic counters, the
+  /// untagged mutant) ignore it.
+  mem::ReclaimPolicy reclaim = mem::ReclaimPolicy::kEpoch;
   /// When > 0, every jitter_period-th operation of each thread yields
   /// between the boundary stamps and the structure call (both sides).
   /// This widens call-boundary intervals without delaying the call
@@ -86,6 +93,7 @@ struct HwResult {
 
   std::string structure;
   StampMode stamp = StampMode::kCallBoundary;
+  mem::ReclaimPolicy reclaim = mem::ReclaimPolicy::kEpoch;
   History history;  ///< the checked round (first violating, else last)
   LinResult lin;
 

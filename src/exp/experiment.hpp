@@ -43,6 +43,10 @@ struct RunOptions {
   bool quick = false;               ///< CI-sized grids / horizons
   std::size_t threads = 1;          ///< worker pool size
   std::size_t trials = 1;           ///< repetitions per grid point
+  /// Reclamation policy filter for experiments that sweep pwf::mem
+  /// policies (--reclaim): "epoch", "hazard", "pool", or empty = sweep
+  /// all three. Experiments without a reclamation axis ignore it.
+  std::string reclaim;
 
   /// The effective base seed for an experiment with the given default.
   std::uint64_t base_seed(std::uint64_t experiment_default) const noexcept {

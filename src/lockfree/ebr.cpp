@@ -1,16 +1,50 @@
 #include "lockfree/ebr.hpp"
 
+#include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace pwf::lockfree {
 
-EbrDomain::EbrDomain() = default;
+EbrDomain::EbrDomain(std::size_t max_threads) : slots_(max_threads) {
+  if (max_threads == 0) {
+    throw std::invalid_argument("EbrDomain: max_threads must be >= 1");
+  }
+}
 
 EbrDomain::~EbrDomain() {
-  // All handles must be gone by now; free whatever they handed over.
-  std::lock_guard<std::mutex> lock(orphan_mu_);
-  for (auto& [ptr, deleter] : orphans_) deleter(ptr);
-  orphans_.clear();
+  // Final flush: all handles must be gone by now; free whatever they
+  // handed over, crediting freed_total_ so the teardown invariant
+  // retired_count() == 0 (equivalently retired == freed) holds.
+  {
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    for (auto& [ptr, deleter, bytes] : orphans_) {
+      deleter(ptr);
+      note_freed(1, bytes);
+    }
+    orphans_.clear();
+  }
+  // Leak-accounting invariant: every retirement has been freed. Firing
+  // means a thread handle outlived its domain (undefined behaviour the
+  // assert turns into a loud teardown failure).
+  assert(retired_count() == 0 &&
+         "EbrDomain destroyed with nodes still retired");
+}
+
+void EbrDomain::note_retired(std::size_t bytes) noexcept {
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t now =
+      retired_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t peak = peak_retired_bytes_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_retired_bytes_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void EbrDomain::note_freed(std::size_t count, std::size_t bytes) noexcept {
+  retired_total_.fetch_sub(count, std::memory_order_relaxed);
+  freed_total_.fetch_add(count, std::memory_order_relaxed);
+  retired_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
 }
 
 void EbrDomain::try_advance() noexcept {
@@ -34,8 +68,8 @@ EbrGuard::EbrGuard(EbrThreadHandle& handle) noexcept : handle_(handle) {
 EbrGuard::~EbrGuard() { handle_.exit(); }
 
 EbrThreadHandle::EbrThreadHandle(EbrDomain& domain)
-    : domain_(domain), slot_index_(EbrDomain::kMaxThreads) {
-  for (std::size_t i = 0; i < EbrDomain::kMaxThreads; ++i) {
+    : domain_(domain), slot_index_(domain.slots_.size()) {
+  for (std::size_t i = 0; i < domain_.slots_.size(); ++i) {
     bool expected = false;
     if (domain_.slots_[i].in_use.compare_exchange_strong(
             expected, true, std::memory_order_seq_cst)) {
@@ -43,20 +77,24 @@ EbrThreadHandle::EbrThreadHandle(EbrDomain& domain)
       break;
     }
   }
-  if (slot_index_ == EbrDomain::kMaxThreads) {
-    throw std::runtime_error("EbrThreadHandle: no free slots");
+  if (slot_index_ == domain_.slots_.size()) {
+    throw std::runtime_error(
+        "EbrThreadHandle: no free slots (domain capacity " +
+        std::to_string(domain_.slots_.size()) +
+        "; raise the EbrDomain max_threads constructor argument)");
   }
 }
 
 EbrThreadHandle::~EbrThreadHandle() {
   collect();
   if (!retired_.empty()) {
+    // Hand the remainder to the domain. The nodes stay counted as
+    // retired — they have not been freed yet — so retired_count()
+    // drops to zero only when the domain destructor runs the deleters.
     std::lock_guard<std::mutex> lock(domain_.orphan_mu_);
     for (const Retired& r : retired_) {
-      domain_.orphans_.emplace_back(r.ptr, r.deleter);
+      domain_.orphans_.emplace_back(r.ptr, r.deleter, r.bytes);
     }
-    domain_.retired_total_.fetch_sub(retired_.size(),
-                                     std::memory_order_relaxed);
     retired_.clear();
   }
   domain_.slots_[slot_index_].pinned.store(false, std::memory_order_seq_cst);
@@ -74,10 +112,12 @@ void EbrThreadHandle::exit() noexcept {
   domain_.slots_[slot_index_].pinned.store(false, std::memory_order_seq_cst);
 }
 
-void EbrThreadHandle::retire_erased(void* p, void (*deleter)(void*)) {
+void EbrThreadHandle::retire_erased(void* p, void (*deleter)(void*),
+                                    std::size_t bytes) {
   retired_.push_back(
-      {p, deleter, domain_.global_epoch_.load(std::memory_order_seq_cst)});
-  domain_.retired_total_.fetch_add(1, std::memory_order_relaxed);
+      {p, deleter, domain_.global_epoch_.load(std::memory_order_seq_cst),
+       bytes});
+  domain_.note_retired(bytes);
   if (retired_.size() >= kScanThreshold) collect();
 }
 
@@ -88,19 +128,18 @@ void EbrThreadHandle::collect() noexcept {
   // Entries retired at epoch e are safe once global >= e + 2.
   std::size_t kept = 0;
   std::size_t freed = 0;
+  std::size_t freed_bytes = 0;
   for (Retired& r : retired_) {
     if (r.epoch + 2 <= safe_before) {
       r.deleter(r.ptr);
       ++freed;
+      freed_bytes += r.bytes;
     } else {
       retired_[kept++] = r;
     }
   }
   retired_.resize(kept);
-  if (freed) {
-    domain_.retired_total_.fetch_sub(freed, std::memory_order_relaxed);
-    domain_.freed_total_.fetch_add(freed, std::memory_order_relaxed);
-  }
+  if (freed) domain_.note_freed(freed, freed_bytes);
 }
 
 }  // namespace pwf::lockfree

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -26,9 +27,14 @@ class EbrThreadHandle;
 /// the caller must ensure no thread is pinned at that point.
 class EbrDomain {
  public:
+  /// Default slot capacity when none is given (the historical fixed cap).
   static constexpr std::size_t kMaxThreads = 256;
 
-  EbrDomain();
+  /// `max_threads` bounds the number of concurrently live thread
+  /// handles. Creating a handle beyond the capacity throws
+  /// std::runtime_error with the capacity in the message — exhaustion is
+  /// a loud, diagnosable failure, not silent misbehaviour.
+  explicit EbrDomain(std::size_t max_threads = kMaxThreads);
   ~EbrDomain();
 
   EbrDomain(const EbrDomain&) = delete;
@@ -38,8 +44,12 @@ class EbrDomain {
     return global_epoch_.load(std::memory_order_acquire);
   }
 
+  /// Slot capacity this domain was constructed with.
+  std::size_t max_threads() const noexcept { return slots_.size(); }
+
   /// Nodes retired and not yet freed, across all handles (approximate;
-  /// for tests and leak accounting).
+  /// for tests and leak accounting). Includes nodes handed over by
+  /// destroyed handles — they stay "retired" until actually freed.
   std::size_t retired_count() const noexcept {
     return retired_total_.load(std::memory_order_relaxed);
   }
@@ -47,6 +57,15 @@ class EbrDomain {
   /// Total nodes freed so far.
   std::size_t freed_count() const noexcept {
     return freed_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Payload bytes retired and not yet freed / the high-water mark —
+  /// the reclaim_tail experiment's robustness metric.
+  std::size_t retired_bytes() const noexcept {
+    return retired_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak_retired_bytes() const noexcept {
+    return peak_retired_bytes_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -62,15 +81,20 @@ class EbrDomain {
   /// thread has observed the current epoch.
   void try_advance() noexcept;
 
+  void note_retired(std::size_t bytes) noexcept;
+  void note_freed(std::size_t count, std::size_t bytes) noexcept;
+
   std::atomic<std::uint64_t> global_epoch_{2};  // start past the free horizon
   std::atomic<std::size_t> retired_total_{0};
   std::atomic<std::size_t> freed_total_{0};
-  std::vector<Slot> slots_{kMaxThreads};
+  std::atomic<std::size_t> retired_bytes_{0};
+  std::atomic<std::size_t> peak_retired_bytes_{0};
+  std::vector<Slot> slots_;
 
   // Retire lists handed over by destroyed thread handles; freed in the
   // domain destructor (coarse locking — handle teardown is a slow path).
   std::mutex orphan_mu_;
-  std::vector<std::pair<void*, void (*)(void*)>> orphans_;
+  std::vector<std::tuple<void*, void (*)(void*), std::size_t>> orphans_;
 };
 
 /// RAII pin: while alive, no node retired at the pinned epoch or later can
@@ -109,7 +133,7 @@ class EbrThreadHandle {
   /// Schedules `p` for deletion once no pinned thread can reach it.
   template <typename T>
   void retire(T* p) {
-    retire_erased(p, [](void* q) { delete static_cast<T*>(q); });
+    retire_erased(p, [](void* q) { delete static_cast<T*>(q); }, sizeof(T));
   }
 
   /// Frees every retired node that is provably unreachable; called
@@ -127,9 +151,10 @@ class EbrThreadHandle {
     void* ptr;
     void (*deleter)(void*);
     std::uint64_t epoch;
+    std::size_t bytes;
   };
 
-  void retire_erased(void* p, void (*deleter)(void*));
+  void retire_erased(void* p, void (*deleter)(void*), std::size_t bytes);
   void enter() noexcept;
   void exit() noexcept;
 

@@ -6,18 +6,25 @@
 // traversal that encounters the mark. Both insert and delete are
 // scan-validate instances: traverse (scan), CAS a next pointer (validate).
 //
-// Memory reclamation is epoch-based: a node is retired only after it has
-// been physically unlinked, and EBR guarantees no pinned traversal still
-// holds it when it is freed.
+// Memory reclamation goes through the pwf::mem policy given as `Mem`: a
+// node is retired only after it has been physically unlinked. Every link
+// read on a traversal is a protected load (Mem::load), which under the
+// era policies certifies alloc_era <= upper for the node reached; and no
+// concurrent traversal ever crosses an unlinked node's frozen successor
+// pointer (search() unlinks marked nodes itself before moving past them,
+// restarting if the unlink CAS fails), which certifies retire_era >= lo.
+// Together the two keep every reachable node blocked from reclamation.
+// Only the quiescent helpers (size_slow, for_each) walk marked chains.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <utility>
 
-#include "lockfree/ebr.hpp"
 #include "lockfree/lin_stamp.hpp"
+#include "mem/epoch.hpp"
 
 namespace pwf::lockfree {
 
@@ -31,10 +38,23 @@ namespace pwf::lockfree {
 /// one instruction from outside — they stamp a sound wider bracket (the
 /// enclosing attempt, or the whole call for contains). NoStamp compiles
 /// everything away.
-template <typename Key, typename Stamp = NoStamp>
+///
+/// `Mem` is the reclamation policy (mem/reclaimer.hpp); the default
+/// mem::Epoch preserves the historical EbrDomain-based signatures.
+template <typename Key, typename Stamp = NoStamp, typename Mem = mem::Epoch>
 class HarrisList {
+  struct Node {
+    Key key;
+    std::atomic<std::uintptr_t> next{0};
+  };
+
  public:
-  explicit HarrisList(EbrDomain& domain) : domain_(&domain) {
+  static_assert(mem::Reclaimer<Mem>);
+
+  /// Node footprint — size mem::WaitFreePoolDomain block_bytes with this.
+  static constexpr std::size_t kNodeBytes = sizeof(Node);
+
+  explicit HarrisList(typename Mem::Domain& domain) : domain_(&domain) {
     head_.store(0, std::memory_order_relaxed);
   }
 
@@ -43,7 +63,7 @@ class HarrisList {
     Node* node = strip(head_.load(std::memory_order_relaxed));
     while (node) {
       Node* next = strip(node->next.load(std::memory_order_relaxed));
-      delete node;
+      Mem::dealloc(*domain_, node);
       node = next;
     }
   }
@@ -52,9 +72,9 @@ class HarrisList {
   HarrisList& operator=(const HarrisList&) = delete;
 
   /// Inserts `key`; returns false if already present.
-  bool insert(EbrThreadHandle& handle, const Key& key) {
-    const EbrGuard guard = handle.pin();
-    auto* node = new Node{key, {}};
+  bool insert(typename Mem::ThreadHandle& handle, const Key& key) {
+    const auto guard = handle.pin();
+    Node* node = Mem::template create<Node>(handle, key);
     while (true) {
       // Brackets the duplicate-found path: its linearizing read is some
       // load inside this attempt's search.
@@ -62,7 +82,7 @@ class HarrisList {
       auto [prev, curr] = search(handle, key);
       if (curr && curr->key == key) {
         Stamp::commit();  // observed `key` present
-        delete node;
+        Mem::destroy(handle, node);  // never published
         return false;
       }
       node->next.store(pack(curr, false), std::memory_order_relaxed);
@@ -80,8 +100,8 @@ class HarrisList {
   }
 
   /// Removes `key`; returns false if absent.
-  bool erase(EbrThreadHandle& handle, const Key& key) {
-    const EbrGuard guard = handle.pin();
+  bool erase(typename Mem::ThreadHandle& handle, const Key& key) {
+    const auto guard = handle.pin();
     while (true) {
       // Brackets the absent path: its linearizing read is inside this
       // attempt's search.
@@ -108,62 +128,61 @@ class HarrisList {
       if (link.compare_exchange_strong(link_expected, succ,
                                        std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {
-        handle.retire(curr);
+        Mem::retire(handle, curr);
       }
       return true;
     }
   }
 
-  /// Membership test. Wait-free except for helping unlink of marked nodes.
-  bool contains(EbrThreadHandle& handle, const Key& key) {
-    const EbrGuard guard = handle.pin();
+  /// Membership test (Harris–Michael style: the traversal unlinks
+  /// marked nodes rather than walking their frozen successor pointers).
+  /// Walking past a still-linked marked node would be fine, but a
+  /// traversal that crosses an *unlinked* node's frozen pointer can
+  /// reach memory whose allocation era postdates its published
+  /// reservation — under the era policies a concurrent collect may
+  /// already have freed it. search() only crosses a frozen pointer
+  /// after this thread performed the unlink itself, which forces the
+  /// successor's retirement to postdate our reservation.
+  bool contains(typename Mem::ThreadHandle& handle, const Key& key) {
+    const auto guard = handle.pin();
     // The linearizing read is somewhere in the traversal; bracket the
     // whole traversal (still excludes the pin/call overhead).
     Stamp::pre();
-    Node* curr = strip(head_.load(std::memory_order_acquire));
-    while (curr && curr->key < key) {
-      curr = strip(curr->next.load(std::memory_order_acquire));
-    }
-    if (!curr || !(curr->key == key)) {
-      Stamp::commit();
-      return false;
-    }
-    // Present unless logically deleted.
-    const bool present = !marked(curr->next.load(std::memory_order_acquire));
+    auto [prev, curr] = search(handle, key);
+    (void)prev;
+    // search() returns the first node it observed unmarked, so reaching
+    // `key` here means it was logically present at that read.
+    const bool present = curr && curr->key == key;
     Stamp::commit();
     return present;
   }
 
   /// Number of unmarked nodes; O(n), for tests (call quiescent).
-  std::size_t size_slow(EbrThreadHandle& handle) {
-    const EbrGuard guard = handle.pin();
+  std::size_t size_slow(typename Mem::ThreadHandle& handle) {
+    const auto guard = handle.pin();
     std::size_t count = 0;
-    Node* curr = strip(head_.load(std::memory_order_acquire));
+    Node* curr = strip(Mem::load(handle, head_));
     while (curr) {
-      if (!marked(curr->next.load(std::memory_order_acquire))) ++count;
-      curr = strip(curr->next.load(std::memory_order_acquire));
+      const std::uintptr_t next = Mem::load(handle, curr->next);
+      if (!marked(next)) ++count;
+      curr = strip(next);
     }
     return count;
   }
 
   /// Applies `fn` to every unmarked key in order (quiescent use only).
-  void for_each(EbrThreadHandle& handle,
+  void for_each(typename Mem::ThreadHandle& handle,
                 const std::function<void(const Key&)>& fn) {
-    const EbrGuard guard = handle.pin();
-    Node* curr = strip(head_.load(std::memory_order_acquire));
+    const auto guard = handle.pin();
+    Node* curr = strip(Mem::load(handle, head_));
     while (curr) {
-      const std::uintptr_t next = curr->next.load(std::memory_order_acquire);
+      const std::uintptr_t next = Mem::load(handle, curr->next);
       if (!marked(next)) fn(curr->key);
       curr = strip(next);
     }
   }
 
  private:
-  struct Node {
-    Key key;
-    std::atomic<std::uintptr_t> next{0};
-  };
-
   static constexpr std::uintptr_t kMark = 1;
 
   static bool marked(std::uintptr_t p) noexcept { return p & kMark; }
@@ -179,15 +198,17 @@ class HarrisList {
 
   /// Finds the first unmarked node with key >= `key`, unlinking marked
   /// nodes on the way (Harris's helping). Returns (predecessor, node);
-  /// predecessor is nullptr when node is the head.
-  std::pair<Node*, Node*> search(EbrThreadHandle& handle, const Key& key) {
+  /// predecessor is nullptr when node is the head. Both returned nodes
+  /// were reached through protected loads, so they stay reclaim-blocked
+  /// for the remainder of the caller's guard.
+  std::pair<Node*, Node*> search(typename Mem::ThreadHandle& handle,
+                                 const Key& key) {
   restart:
     Node* prev = nullptr;
-    std::uintptr_t curr_raw = head_raw().load(std::memory_order_acquire);
+    std::uintptr_t curr_raw = Mem::load(handle, head_raw());
     Node* curr = strip(curr_raw);
     while (curr) {
-      const std::uintptr_t next_raw =
-          curr->next.load(std::memory_order_acquire);
+      const std::uintptr_t next_raw = Mem::load(handle, curr->next);
       if (marked(next_raw)) {
         // curr is logically deleted: unlink it before moving on.
         std::uintptr_t expected = pack(curr, false);
@@ -197,7 +218,7 @@ class HarrisList {
                 std::memory_order_acq_rel, std::memory_order_acquire)) {
           goto restart;  // the predecessor changed under us
         }
-        handle.retire(curr);
+        Mem::retire(handle, curr);
         curr = strip(next_raw);
         continue;
       }
@@ -208,7 +229,7 @@ class HarrisList {
     return {prev, curr};
   }
 
-  EbrDomain* domain_;
+  typename Mem::Domain* domain_;
   std::atomic<std::uintptr_t> head_;  // pack()-encoded, never marked
 };
 

@@ -11,27 +11,35 @@
 #include <stdexcept>
 #include <vector>
 
-#include "lockfree/ebr.hpp"
 #include "lockfree/harris_list.hpp"
 #include "lockfree/lin_stamp.hpp"
+#include "mem/epoch.hpp"
 
 namespace pwf::lockfree {
 
 /// Lock-free fixed-capacity hash set of Key. The `Stamp`
 /// linearization-point policy is forwarded to the bucket lists (an
-/// operation linearizes wherever its bucket's HarrisList operation does).
-template <typename Key, typename Hash = std::hash<Key>, typename Stamp = NoStamp>
+/// operation linearizes wherever its bucket's HarrisList operation does);
+/// the `Mem` reclamation policy likewise — all buckets share the one
+/// domain passed at construction.
+template <typename Key, typename Hash = std::hash<Key>,
+          typename Stamp = NoStamp, typename Mem = mem::Epoch>
 class HashSet {
  public:
+  using Bucket = HarrisList<Key, Stamp, Mem>;
+
+  /// Node footprint — size mem::WaitFreePoolDomain block_bytes with this.
+  static constexpr std::size_t kNodeBytes = Bucket::kNodeBytes;
+
   /// `buckets` should be ~2x the expected element count for short chains.
-  HashSet(EbrDomain& domain, std::size_t buckets)
+  HashSet(typename Mem::Domain& domain, std::size_t buckets)
       : hash_(), buckets_() {
     if (buckets == 0) {
       throw std::invalid_argument("HashSet: need at least one bucket");
     }
     buckets_.reserve(buckets);
     for (std::size_t i = 0; i < buckets; ++i) {
-      buckets_.push_back(std::make_unique<HarrisList<Key, Stamp>>(domain));
+      buckets_.push_back(std::make_unique<Bucket>(domain));
     }
   }
 
@@ -39,41 +47,41 @@ class HashSet {
   HashSet& operator=(const HashSet&) = delete;
 
   /// Inserts `key`; returns false if already present.
-  bool insert(EbrThreadHandle& handle, const Key& key) {
+  bool insert(typename Mem::ThreadHandle& handle, const Key& key) {
     return bucket(key).insert(handle, key);
   }
 
   /// Removes `key`; returns false if absent.
-  bool erase(EbrThreadHandle& handle, const Key& key) {
+  bool erase(typename Mem::ThreadHandle& handle, const Key& key) {
     return bucket(key).erase(handle, key);
   }
 
-  bool contains(EbrThreadHandle& handle, const Key& key) {
+  bool contains(typename Mem::ThreadHandle& handle, const Key& key) {
     return bucket(key).contains(handle, key);
   }
 
   std::size_t bucket_count() const noexcept { return buckets_.size(); }
 
   /// O(total) element count; for tests (call quiescent).
-  std::size_t size_slow(EbrThreadHandle& handle) {
+  std::size_t size_slow(typename Mem::ThreadHandle& handle) {
     std::size_t total = 0;
     for (const auto& b : buckets_) total += b->size_slow(handle);
     return total;
   }
 
   /// Applies `fn` to every key (unordered across buckets; quiescent only).
-  void for_each(EbrThreadHandle& handle,
+  void for_each(typename Mem::ThreadHandle& handle,
                 const std::function<void(const Key&)>& fn) {
     for (const auto& b : buckets_) b->for_each(handle, fn);
   }
 
  private:
-  HarrisList<Key, Stamp>& bucket(const Key& key) {
+  Bucket& bucket(const Key& key) {
     return *buckets_[hash_(key) % buckets_.size()];
   }
 
   Hash hash_;
-  std::vector<std::unique_ptr<HarrisList<Key, Stamp>>> buckets_;
+  std::vector<std::unique_ptr<Bucket>> buckets_;
 };
 
 }  // namespace pwf::lockfree

@@ -1,16 +1,17 @@
 // The Michael-Scott lock-free FIFO queue (reference [17] in the paper),
-// with epoch-based reclamation. Another canonical SCU-pattern structure:
-// enqueue/dequeue scan tail/head and validate with a CAS, helping the tail
-// forward when it lags.
+// reclaimed through the pwf::mem policy given as `Mem`. Another canonical
+// SCU-pattern structure: enqueue/dequeue scan tail/head and validate with
+// a CAS, helping the tail forward when it lags.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <utility>
 
-#include "lockfree/ebr.hpp"
 #include "lockfree/lin_stamp.hpp"
+#include "mem/epoch.hpp"
 
 namespace pwf::lockfree {
 
@@ -20,11 +21,24 @@ namespace pwf::lockfree {
 /// enqueue linearizes at its successful next-pointer CAS, dequeue at its
 /// successful head CAS (non-empty) or at the next == nullptr read of a
 /// consistent head (empty). NoStamp compiles the hooks away.
-template <typename T, typename Stamp = NoStamp>
+///
+/// `Mem` is the reclamation policy (mem/reclaimer.hpp); the default
+/// mem::Epoch preserves the historical EbrDomain-based signatures.
+template <typename T, typename Stamp = NoStamp, typename Mem = mem::Epoch>
 class MsQueue {
+  struct Node {
+    T value{};
+    std::atomic<Node*> next{nullptr};
+  };
+
  public:
-  explicit MsQueue(EbrDomain& domain) : domain_(&domain) {
-    auto* dummy = new Node{};
+  static_assert(mem::Reclaimer<Mem>);
+
+  /// Node footprint — size mem::WaitFreePoolDomain block_bytes with this.
+  static constexpr std::size_t kNodeBytes = sizeof(Node);
+
+  explicit MsQueue(typename Mem::Domain& domain) : domain_(&domain) {
+    Node* dummy = Mem::template create<Node>(domain);
     head_.store(dummy, std::memory_order_relaxed);
     tail_.store(dummy, std::memory_order_relaxed);
   }
@@ -34,7 +48,7 @@ class MsQueue {
     Node* node = head_.load(std::memory_order_relaxed);
     while (node) {
       Node* next = node->next.load(std::memory_order_relaxed);
-      delete node;
+      Mem::dealloc(*domain_, node);
       node = next;
     }
   }
@@ -43,12 +57,15 @@ class MsQueue {
   MsQueue& operator=(const MsQueue&) = delete;
 
   /// Enqueues `value`; returns the number of tail-CAS attempts (>= 1).
-  std::uint64_t enqueue(EbrThreadHandle& handle, T value) {
-    auto* node = new Node{std::move(value)};
-    const EbrGuard guard = handle.pin();
+  std::uint64_t enqueue(typename Mem::ThreadHandle& handle, T value) {
+    Node* node = Mem::template create<Node>(handle, std::move(value));
+    const auto guard = handle.pin();
     std::uint64_t attempts = 0;
     while (true) {
-      Node* tail = tail_.load(std::memory_order_acquire);
+      // tail is dereferenced (tail->next), so it must come from a
+      // protected load; next is only compared/CAS-target, never
+      // dereferenced, so plain loads suffice for it.
+      Node* tail = Mem::load(handle, tail_);
       Node* next = tail->next.load(std::memory_order_acquire);
       if (tail != tail_.load(std::memory_order_acquire)) continue;
       if (next != nullptr) {
@@ -73,21 +90,26 @@ class MsQueue {
   }
 
   /// Dequeues the oldest element, or nullopt when the queue is empty.
-  std::optional<T> dequeue(EbrThreadHandle& handle) {
+  std::optional<T> dequeue(typename Mem::ThreadHandle& handle) {
     return dequeue_counted(handle).first;
   }
 
   std::pair<std::optional<T>, std::uint64_t> dequeue_counted(
-      EbrThreadHandle& handle) {
-    const EbrGuard guard = handle.pin();
+      typename Mem::ThreadHandle& handle) {
+    const auto guard = handle.pin();
     std::uint64_t attempts = 0;
     while (true) {
       // The pre stamp at the iteration top brackets the empty case: the
       // linearizing next == nullptr read happens inside this iteration.
       Stamp::pre();
-      Node* head = head_.load(std::memory_order_acquire);
+      // head and next are both dereferenced, so both loads are
+      // protected; the head_ recheck after protecting next certifies
+      // next was still linked (hence not yet retired) while our
+      // reservation was already published — Michael's hazard-pointer
+      // validation order, which the era intervals inherit.
+      Node* head = Mem::load(handle, head_);
       Node* tail = tail_.load(std::memory_order_acquire);
-      Node* next = head->next.load(std::memory_order_acquire);
+      Node* next = Mem::load(handle, head->next);
       if (head != head_.load(std::memory_order_acquire)) continue;
       if (next == nullptr) {
         Stamp::commit();  // observed empty on a consistent head
@@ -105,24 +127,21 @@ class MsQueue {
                                       std::memory_order_acquire)) {
         Stamp::commit();
         T out = std::move(next->value);
-        handle.retire(head);
+        Mem::retire(handle, head);
         return {std::move(out), attempts};
       }
     }
   }
 
+  /// Quiescent emptiness check (dereferences the head without a guard;
+  /// do not race it against concurrent dequeues under the era policies).
   bool empty() const noexcept {
     Node* head = head_.load(std::memory_order_acquire);
     return head->next.load(std::memory_order_acquire) == nullptr;
   }
 
  private:
-  struct Node {
-    T value{};
-    std::atomic<Node*> next{nullptr};
-  };
-
-  EbrDomain* domain_;
+  typename Mem::Domain* domain_;
   std::atomic<Node*> head_;
   std::atomic<Node*> tail_;
 };

@@ -3,7 +3,8 @@
 // the entire object state lives behind one atomic pointer; an operation
 // scans (loads the state pointer and reads the state), computes the updated
 // state locally (the "preamble" work is the state copy), and validates with
-// a single CAS on the pointer. Old states are reclaimed through EBR.
+// a single CAS on the pointer. Old states are reclaimed through the
+// pwf::mem policy given as `Mem`.
 //
 // Any sequential object gets a lock-free concurrent implementation this
 // way, which is why the paper's analysis of SCU covers "a concurrent
@@ -11,11 +12,12 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 
-#include "lockfree/ebr.hpp"
 #include "lockfree/lin_stamp.hpp"
+#include "mem/epoch.hpp"
 
 namespace pwf::lockfree {
 
@@ -24,13 +26,24 @@ namespace pwf::lockfree {
 /// `Stamp` is the linearization-point stamping policy (lin_stamp.hpp):
 /// apply linearizes at its successful state-pointer CAS, read at the
 /// state-pointer load. NoStamp compiles the hooks away.
-template <typename State, typename Stamp = NoStamp>
+///
+/// `Mem` is the reclamation policy (mem/reclaimer.hpp); the default
+/// mem::Epoch preserves the historical EbrDomain-based signatures.
+template <typename State, typename Stamp = NoStamp, typename Mem = mem::Epoch>
 class ScuObject {
  public:
-  explicit ScuObject(EbrDomain& domain, State initial = State{})
-      : domain_(&domain), state_(new State(std::move(initial))) {}
+  static_assert(mem::Reclaimer<Mem>);
 
-  ~ScuObject() { delete state_.load(std::memory_order_relaxed); }
+  /// State footprint — size mem::WaitFreePoolDomain block_bytes with this.
+  static constexpr std::size_t kNodeBytes = sizeof(State);
+
+  explicit ScuObject(typename Mem::Domain& domain, State initial = State{})
+      : domain_(&domain),
+        state_(Mem::template create<State>(domain, std::move(initial))) {}
+
+  ~ScuObject() {
+    Mem::dealloc(*domain_, state_.load(std::memory_order_relaxed));
+  }
 
   ScuObject(const ScuObject&) = delete;
   ScuObject& operator=(const ScuObject&) = delete;
@@ -42,40 +55,42 @@ class ScuObject {
   /// `update` must be a pure function of its argument — it can run many
   /// times, once per attempt.
   template <typename F>
-  auto apply(EbrThreadHandle& handle, F&& update)
+  auto apply(typename Mem::ThreadHandle& handle, F&& update)
       -> std::pair<decltype(update(std::declval<State&>())), std::uint64_t> {
-    const EbrGuard guard = handle.pin();
+    const auto guard = handle.pin();
     std::uint64_t attempts = 0;
     while (true) {
-      State* current = state_.load(std::memory_order_acquire);
-      auto* proposed = new State(*current);  // scan: copy the state
-      auto result = update(*proposed);       // local computation
+      // The state copy dereferences `current`, so the load is protected.
+      State* current = Mem::load(handle, state_);
+      State* proposed =
+          Mem::template create<State>(handle, *current);  // scan: copy
+      auto result = update(*proposed);  // local computation
       ++attempts;
       Stamp::pre();
       if (state_.compare_exchange_strong(current, proposed,
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
         Stamp::commit();  // the state-pointer CAS linearizes the update
-        handle.retire(current);
+        Mem::retire(handle, current);
         return {std::move(result), attempts};
       }
-      delete proposed;  // validation failed: rescan
+      Mem::destroy(handle, proposed);  // validation failed: rescan
     }
   }
 
   /// Read-only snapshot access: `reader` receives a const reference to a
   /// state that is kept alive for the duration of the call.
   template <typename F>
-  auto read(EbrThreadHandle& handle, F&& reader) const {
-    const EbrGuard guard = handle.pin();
+  auto read(typename Mem::ThreadHandle& handle, F&& reader) const {
+    const auto guard = handle.pin();
     Stamp::pre();
-    const State* current = state_.load(std::memory_order_acquire);
+    const State* current = Mem::load(handle, state_);
     Stamp::commit();  // the state-pointer load linearizes the read
     return reader(*current);
   }
 
  private:
-  EbrDomain* domain_;
+  typename Mem::Domain* domain_;
   std::atomic<State*> state_;
 };
 

@@ -1,38 +1,55 @@
 // Treiber's lock-free stack (reference [21] in the paper) — a canonical
 // member of the class SCU(q, s): push/pop read the head (scan) and CAS it
-// (validate). Memory is reclaimed through epoch-based reclamation, which
-// also makes the head CAS ABA-safe (a node address cannot be reused while
-// any concurrent operation might still compare against it).
+// (validate). Memory is reclaimed through the pwf::mem policy given as
+// the `Mem` parameter (mem/reclaimer.hpp); every policy also makes the
+// head CAS ABA-safe (a node address cannot be reused while any concurrent
+// operation might still compare against it).
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <utility>
 
-#include "lockfree/ebr.hpp"
 #include "lockfree/lin_stamp.hpp"
+#include "mem/epoch.hpp"
 
 namespace pwf::lockfree {
 
 /// Lock-free LIFO stack of T. All operations require the calling thread's
-/// EbrThreadHandle for the domain passed at construction.
+/// Mem::ThreadHandle for the domain passed at construction.
 ///
 /// `Stamp` is the linearization-point stamping policy (lin_stamp.hpp):
 /// push linearizes at its successful head CAS, pop at its successful head
-/// CAS (non-empty) or at the head read / failed CAS that observed null
-/// (empty). The default NoStamp compiles the hooks away.
-template <typename T, typename Stamp = NoStamp>
+/// CAS (non-empty) or at the head read that observed null (empty). The
+/// default NoStamp compiles the hooks away.
+///
+/// `Mem` is the reclamation policy (mem/reclaimer.hpp). The default
+/// mem::Epoch keeps the historical `EbrDomain&` / `EbrThreadHandle&`
+/// signatures compiling unchanged.
+template <typename T, typename Stamp = NoStamp, typename Mem = mem::Epoch>
 class TreiberStack {
+  struct Node {
+    T value;
+    Node* next;
+  };
+
  public:
-  explicit TreiberStack(EbrDomain& domain) noexcept : domain_(&domain) {}
+  static_assert(mem::Reclaimer<Mem>);
+
+  /// Node footprint — size mem::WaitFreePoolDomain block_bytes with this.
+  static constexpr std::size_t kNodeBytes = sizeof(Node);
+
+  explicit TreiberStack(typename Mem::Domain& domain) noexcept
+      : domain_(&domain) {}
 
   ~TreiberStack() {
     // Single-threaded teardown: free remaining nodes directly.
     Node* node = head_.load(std::memory_order_relaxed);
     while (node) {
       Node* next = node->next;
-      delete node;
+      Mem::dealloc(*domain_, node);
       node = next;
     }
   }
@@ -41,10 +58,12 @@ class TreiberStack {
   TreiberStack& operator=(const TreiberStack&) = delete;
 
   /// Pushes `value`; returns the number of CAS attempts (>= 1).
-  std::uint64_t push(EbrThreadHandle& handle, T value) {
-    auto* node = new Node{std::move(value), nullptr};
-    const EbrGuard guard = handle.pin();
+  std::uint64_t push(typename Mem::ThreadHandle& handle, T value) {
+    Node* node = Mem::template create<Node>(handle, std::move(value), nullptr);
+    const auto guard = handle.pin();
     std::uint64_t attempts = 0;
+    // The CAS only compares `expected`; it is never dereferenced, so a
+    // plain load suffices under every reclamation policy.
     Node* expected = head_.load(std::memory_order_acquire);
     do {
       node->next = expected;
@@ -58,35 +77,39 @@ class TreiberStack {
   }
 
   /// Pops the top element, or nullopt when the stack is empty.
-  std::optional<T> pop(EbrThreadHandle& handle) {
+  std::optional<T> pop(typename Mem::ThreadHandle& handle) {
     return pop_counted(handle).first;
   }
 
   /// Pop with CAS-attempt accounting (attempts == 0 means observed empty
   /// on the first read).
   std::pair<std::optional<T>, std::uint64_t> pop_counted(
-      EbrThreadHandle& handle) {
-    const EbrGuard guard = handle.pin();
+      typename Mem::ThreadHandle& handle) {
+    const auto guard = handle.pin();
     std::uint64_t attempts = 0;
-    Stamp::pre();
-    Node* node = head_.load(std::memory_order_acquire);
-    while (node) {
-      ++attempts;
+    for (;;) {
+      // Every dereferenced head must come from a protected load: under
+      // the era policies a pointer reloaded by a failed CAS carries no
+      // reservation, so the loop re-issues Mem::load each iteration.
       Stamp::pre();
-      if (head_.compare_exchange_weak(node, node->next,
-                                      std::memory_order_acq_rel,
-                                      std::memory_order_acquire)) {
+      Node* node = Mem::load(handle, head_);
+      if (node == nullptr) {
+        Stamp::commit();  // observed empty
+        return {std::nullopt, attempts};
+      }
+      ++attempts;
+      Node* next = node->next;
+      Stamp::pre();
+      Node* expected = node;
+      if (head_.compare_exchange_strong(expected, next,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
         Stamp::commit();
         T out = std::move(node->value);
-        handle.retire(node);
+        Mem::retire(handle, node);
         return {std::move(out), attempts};
       }
-      // compare_exchange reloaded `node` with the current head; if it is
-      // now null, that reload was the linearizing (empty) read and the
-      // pre stamp above brackets it from below.
     }
-    Stamp::commit();  // observed empty
-    return {std::nullopt, attempts};
   }
 
   bool empty() const noexcept {
@@ -94,12 +117,7 @@ class TreiberStack {
   }
 
  private:
-  struct Node {
-    T value;
-    Node* next;
-  };
-
-  EbrDomain* domain_;
+  typename Mem::Domain* domain_;
   std::atomic<Node*> head_{nullptr};
 };
 

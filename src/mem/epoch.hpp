@@ -1,0 +1,67 @@
+// mem::Epoch — the epoch-based point of the reclamation spectrum.
+//
+// A zero-overhead policy wrapper around the existing EBR implementation
+// (lockfree/ebr.hpp): Domain/ThreadHandle/Guard ARE the EBR types, so a
+// structure instantiated with the default policy has exactly the old
+// `EbrDomain&` / `EbrThreadHandle&` signatures — that is the deprecated
+// shim that keeps every pre-pwf::mem call site compiling unchanged.
+//
+// Behaviour is identical to the hard-wired code this replaces: heap
+// new/delete, three-epoch grace periods, and the known pathology the
+// reclaim_tail experiment measures — one thread stalled inside a guard
+// pins the global epoch and retired memory grows without bound.
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+#include "lockfree/ebr.hpp"
+#include "mem/reclaimer.hpp"
+
+namespace pwf::mem {
+
+struct Epoch {
+  using Domain = lockfree::EbrDomain;
+  using ThreadHandle = lockfree::EbrThreadHandle;
+  using Guard = lockfree::EbrGuard;
+
+  static constexpr const char* kName = "epoch";
+  static constexpr ReclaimPolicy kPolicy = ReclaimPolicy::kEpoch;
+
+  template <typename T, typename... A>
+  static T* create(ThreadHandle&, A&&... args) {
+    return new T(std::forward<A>(args)...);
+  }
+
+  template <typename T, typename... A>
+  static T* create(Domain&, A&&... args) {
+    return new T(std::forward<A>(args)...);
+  }
+
+  template <typename T>
+  static void destroy(ThreadHandle&, T* p) noexcept {
+    delete p;
+  }
+
+  template <typename T>
+  static void dealloc(Domain&, T* p) noexcept {
+    delete p;
+  }
+
+  template <typename T>
+  static void retire(ThreadHandle& handle, T* p) {
+    handle.retire(p);
+  }
+
+  /// Under EBR the pin already protects every reachable node, so the
+  /// protected load is a plain load — identical codegen to the
+  /// pre-policy structures.
+  template <typename P>
+  static P load(ThreadHandle&, const std::atomic<P>& src) noexcept {
+    return src.load(std::memory_order_acquire);
+  }
+};
+
+static_assert(Reclaimer<Epoch>);
+
+}  // namespace pwf::mem

@@ -1,0 +1,188 @@
+// Shared era machinery for the robust reclaimers (mem::HazardEra and
+// mem::WaitFreePool).
+//
+// A global *era* clock advances on an allocation cadence — crucially,
+// without needing any consensus from pinned readers, which is what EBR
+// requires and what a stalled thread denies it forever. Every block is
+// stamped with its allocation era and, on retirement, its retirement
+// era, so its lifetime is the closed interval [alloc_era, retire_era].
+//
+// Readers publish *reservations*: pinning stores [lo, upper] = [era,
+// era]; every protected load (EraSlotRef::protect) refreshes upper to
+// the current era before the returned pointer may be dereferenced. A
+// retired block is reclaimable iff no active reservation intersects its
+// lifetime interval.
+//
+// Safety sketch (the interval argument; DESIGN.md §7 has the long
+// form): any node a guard can reach was linked at some instant after
+// the pin — the structures' unlink disciplines (Treiber pop, MS-queue
+// head swing, Harris mark-before-unlink) guarantee a node's frozen
+// successor pointers only ever lead to nodes that outlived it — so its
+// retire_era >= lo; and the protect loop re-reads the source until the
+// published upper covers the era of the load, so its alloc_era <=
+// upper. Two intervals with retire >= lo and alloc <= upper always
+// intersect, hence the block stays blocked while the guard lives.
+//
+// Robustness: a stalled guard freezes its [lo, upper]; it blocks only
+// blocks whose lifetime intersects that frozen window. Everything
+// allocated after the era moves past the stall's upper reclaims
+// normally, so garbage is bounded by the blocks live around the stall
+// plus one scan threshold — independent of how many operations execute.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pwf::mem::detail {
+
+/// Header prefixed to every era-managed block (heap allocations for
+/// HazardEra, arena blocks for WaitFreePool). The payload follows at
+/// kHeaderBytes, max_align_t-aligned.
+struct EraBlockHeader {
+  std::uint64_t alloc_era = 0;
+  std::uint64_t retire_era = 0;
+  void (*deleter)(void*) = nullptr;  ///< payload destructor (runs at reclaim)
+  std::size_t bytes = 0;             ///< payload bytes, for telemetry
+  EraBlockHeader* next_free = nullptr;  ///< pool free-list link
+};
+
+inline constexpr std::size_t kHeaderBytes =
+    (sizeof(EraBlockHeader) + alignof(std::max_align_t) - 1) /
+    alignof(std::max_align_t) * alignof(std::max_align_t);
+
+inline void* payload_of(EraBlockHeader* header) noexcept {
+  return reinterpret_cast<char*>(header) + kHeaderBytes;
+}
+
+inline EraBlockHeader* header_of(void* payload) noexcept {
+  return reinterpret_cast<EraBlockHeader*>(static_cast<char*>(payload) -
+                                           kHeaderBytes);
+}
+
+/// The era clock plus the reservation slot table. One per domain.
+/// All accesses are seq_cst, mirroring the EBR implementation: these
+/// paths are amortized by the scan threshold, and the interval-safety
+/// argument leans on the single total order.
+class EraCore {
+ public:
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  explicit EraCore(std::size_t max_threads, const char* who)
+      : who_(who), slots_(max_threads) {
+    if (max_threads == 0) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": max_threads must be >= 1");
+    }
+  }
+
+  EraCore(const EraCore&) = delete;
+  EraCore& operator=(const EraCore&) = delete;
+
+  std::uint64_t current() const noexcept {
+    return era_.load(std::memory_order_seq_cst);
+  }
+
+  void advance() noexcept { era_.fetch_add(1, std::memory_order_seq_cst); }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Claims a reservation slot; throws when every slot is taken (the
+  /// same explicit failure mode as EbrThreadHandle).
+  std::size_t claim_slot() {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      bool expected = false;
+      if (slots_[i].in_use.compare_exchange_strong(
+              expected, true, std::memory_order_seq_cst)) {
+        return i;
+      }
+    }
+    throw std::runtime_error(
+        std::string(who_) + ": no free reservation slots (capacity " +
+        std::to_string(slots_.size()) + "; raise max_threads)");
+  }
+
+  void release_slot(std::size_t slot) noexcept {
+    slots_[slot].lo.store(kIdle, std::memory_order_seq_cst);
+    slots_[slot].upper.store(kIdle, std::memory_order_seq_cst);
+    slots_[slot].in_use.store(false, std::memory_order_seq_cst);
+  }
+
+  /// Publishes the reservation [era, era] for `slot`.
+  void pin(std::size_t slot) noexcept {
+    const std::uint64_t e = current();
+    slots_[slot].lo.store(e, std::memory_order_seq_cst);
+    slots_[slot].upper.store(e, std::memory_order_seq_cst);
+  }
+
+  void unpin(std::size_t slot) noexcept {
+    slots_[slot].lo.store(kIdle, std::memory_order_seq_cst);
+    slots_[slot].upper.store(kIdle, std::memory_order_seq_cst);
+  }
+
+  /// Extends `slot`'s reservation upper bound to at least `era` (no-op
+  /// when idle — an unguarded allocation needs no protection).
+  void cover(std::size_t slot, std::uint64_t era) noexcept {
+    if (slots_[slot].lo.load(std::memory_order_seq_cst) == kIdle) return;
+    if (slots_[slot].upper.load(std::memory_order_seq_cst) < era) {
+      slots_[slot].upper.store(era, std::memory_order_seq_cst);
+    }
+  }
+
+  /// The protected load: re-reads `src` until the published reservation
+  /// upper bound covers the era at which the returned value was read.
+  /// Only then may the caller dereference it (alloc_era <= upper holds).
+  template <typename P>
+  P protect(std::size_t slot, const std::atomic<P>& src) noexcept {
+    P p = src.load(std::memory_order_seq_cst);
+    std::uint64_t e = era_.load(std::memory_order_seq_cst);
+    while (slots_[slot].upper.load(std::memory_order_seq_cst) != e) {
+      slots_[slot].upper.store(e, std::memory_order_seq_cst);
+      p = src.load(std::memory_order_seq_cst);
+      e = era_.load(std::memory_order_seq_cst);
+    }
+    return p;
+  }
+
+  /// Snapshot of the active reservations, for one collect pass (scan
+  /// the table once, then test every retired block against it).
+  void snapshot(std::vector<std::pair<std::uint64_t, std::uint64_t>>& out)
+      const {
+    out.clear();
+    for (const Slot& slot : slots_) {
+      if (!slot.in_use.load(std::memory_order_seq_cst)) continue;
+      const std::uint64_t lo = slot.lo.load(std::memory_order_seq_cst);
+      if (lo == kIdle) continue;
+      const std::uint64_t upper = slot.upper.load(std::memory_order_seq_cst);
+      out.emplace_back(lo, upper == kIdle ? lo : upper);
+    }
+  }
+
+  /// True iff some snapshotted reservation intersects [alloc, retire].
+  static bool blocked(
+      std::uint64_t alloc_era, std::uint64_t retire_era,
+      const std::vector<std::pair<std::uint64_t, std::uint64_t>>& snap)
+      noexcept {
+    for (const auto& [lo, upper] : snap) {
+      if (alloc_era <= upper && retire_era >= lo) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<bool> in_use{false};
+    std::atomic<std::uint64_t> lo{kIdle};
+    std::atomic<std::uint64_t> upper{kIdle};
+  };
+
+  const char* who_;
+  std::atomic<std::uint64_t> era_{1};
+  std::vector<Slot> slots_;
+};
+
+}  // namespace pwf::mem::detail

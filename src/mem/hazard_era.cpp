@@ -1,0 +1,97 @@
+#include "mem/hazard_era.hpp"
+
+#include <cassert>
+
+namespace pwf::mem {
+
+HazardEraDomain::HazardEraDomain(std::size_t max_threads)
+    : core_(max_threads, "HazardEraDomain") {}
+
+HazardEraDomain::~HazardEraDomain() {
+  // Final flush: all handles are gone; free whatever they handed over.
+  {
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    for (detail::EraBlockHeader* hdr : orphans_) {
+      if (hdr->deleter) hdr->deleter(detail::payload_of(hdr));
+      note_freed(hdr->bytes);
+      ::operator delete(hdr);
+    }
+    orphans_.clear();
+  }
+  // Leak-accounting invariant: every retirement has been freed. Firing
+  // means a thread handle outlived its domain (undefined behaviour the
+  // assert turns into a loud teardown failure).
+  assert(retired_count() == 0 &&
+         "HazardEraDomain destroyed with blocks still retired");
+}
+
+void HazardEraDomain::note_retired(std::size_t bytes) noexcept {
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t now =
+      retired_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t peak = peak_retired_bytes_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_retired_bytes_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void HazardEraDomain::note_freed(std::size_t bytes) noexcept {
+  retired_total_.fetch_sub(1, std::memory_order_relaxed);
+  freed_total_.fetch_add(1, std::memory_order_relaxed);
+  retired_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+HazardEraThreadHandle::~HazardEraThreadHandle() {
+  collect();
+  if (!retired_.empty()) {
+    std::lock_guard<std::mutex> lock(domain_.orphan_mu_);
+    domain_.orphans_.insert(domain_.orphans_.end(), retired_.begin(),
+                            retired_.end());
+    retired_.clear();
+  }
+  domain_.core_.release_slot(slot_);
+}
+
+detail::EraBlockHeader* HazardEraThreadHandle::allocate_block(
+    std::size_t bytes, std::size_t align) {
+  // The header pad aligns payloads to max_align_t; stricter types would
+  // need an aligned-new path nothing in the zoo requires.
+  assert(align <= alignof(std::max_align_t));
+  (void)align;
+  if (++alloc_count_ % kAllocsPerEra == 0) domain_.core_.advance();
+  void* raw = ::operator new(detail::kHeaderBytes + bytes);
+  auto* hdr = new (raw) detail::EraBlockHeader;
+  hdr->bytes = bytes;
+  hdr->alloc_era = domain_.core_.current();
+  // Cover our own allocation: once published, a competitor can retire
+  // it while we still dereference it (e.g. reading the result out of a
+  // node we just installed).
+  domain_.core_.cover(slot_, hdr->alloc_era);
+  return hdr;
+}
+
+void HazardEraThreadHandle::retire_block(detail::EraBlockHeader* hdr) {
+  hdr->retire_era = domain_.core_.current();
+  retired_.push_back(hdr);
+  domain_.note_retired(hdr->bytes);
+  if (retired_.size() >= kScanThreshold) collect();
+}
+
+void HazardEraThreadHandle::collect() noexcept {
+  domain_.core_.advance();
+  domain_.core_.snapshot(snapshot_);
+  std::size_t kept = 0;
+  for (detail::EraBlockHeader* hdr : retired_) {
+    if (detail::EraCore::blocked(hdr->alloc_era, hdr->retire_era,
+                                 snapshot_)) {
+      retired_[kept++] = hdr;
+      continue;
+    }
+    if (hdr->deleter) hdr->deleter(detail::payload_of(hdr));
+    domain_.note_freed(hdr->bytes);
+    ::operator delete(hdr);
+  }
+  retired_.resize(kept);
+}
+
+}  // namespace pwf::mem

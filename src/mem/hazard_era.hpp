@@ -1,0 +1,226 @@
+// mem::HazardEra — the intermediate point of the reclamation spectrum
+// (Ramalhete & Correia's hazard eras / interval-based reclamation, the
+// direction Ben-David–Blelloch et al.'s safe-memory-reclamation work
+// motivates).
+//
+// Heap-backed allocation with era-interval safety (mem/era.hpp): every
+// block records [alloc_era, retire_era]; readers hold [lo, upper]
+// reservations refreshed by each protected load; a retired block frees
+// once no reservation intersects its lifetime. Unlike EBR, the era
+// clock advances on the allocation cadence with no consensus from
+// pinned readers, so a stalled thread blocks only the blocks live
+// around its frozen reservation — garbage stays bounded while the rest
+// of the system keeps reclaiming.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "mem/era.hpp"
+#include "mem/reclaimer.hpp"
+
+namespace pwf::mem {
+
+class HazardEraThreadHandle;
+
+/// Reclamation domain for hazard-era managed structures. `max_threads`
+/// bounds concurrent thread handles (reservation slots), with the same
+/// throw-on-exhaustion failure mode as EbrDomain.
+class HazardEraDomain {
+ public:
+  explicit HazardEraDomain(std::size_t max_threads = 64);
+  ~HazardEraDomain();
+
+  HazardEraDomain(const HazardEraDomain&) = delete;
+  HazardEraDomain& operator=(const HazardEraDomain&) = delete;
+
+  std::uint64_t era() const noexcept { return core_.current(); }
+  std::size_t max_threads() const noexcept { return core_.capacity(); }
+
+  /// Blocks retired and not yet freed, across all handles.
+  std::size_t retired_count() const noexcept {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+  /// Blocks freed so far.
+  std::size_t freed_count() const noexcept {
+    return freed_total_.load(std::memory_order_relaxed);
+  }
+  /// Payload bytes retired and not yet freed / the high-water mark —
+  /// the reclaim_tail experiment's robustness metric.
+  std::size_t retired_bytes() const noexcept {
+    return retired_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak_retired_bytes() const noexcept {
+    return peak_retired_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class HazardEraThreadHandle;
+
+  void note_retired(std::size_t bytes) noexcept;
+  void note_freed(std::size_t bytes) noexcept;
+
+  detail::EraCore core_;
+  std::atomic<std::size_t> retired_total_{0};
+  std::atomic<std::size_t> freed_total_{0};
+  std::atomic<std::size_t> retired_bytes_{0};
+  std::atomic<std::size_t> peak_retired_bytes_{0};
+
+  // Retired blocks handed over by destroyed handles; freed in the
+  // domain destructor (coarse locking — handle teardown is cold).
+  std::mutex orphan_mu_;
+  std::vector<detail::EraBlockHeader*> orphans_;
+};
+
+/// RAII reservation: while alive, no block whose lifetime the published
+/// [lo, upper] interval intersects can be freed. Guards do not nest
+/// (same contract as EbrGuard).
+class HazardEraGuard {
+ public:
+  explicit HazardEraGuard(HazardEraThreadHandle& handle) noexcept;
+  ~HazardEraGuard();
+
+  HazardEraGuard(const HazardEraGuard&) = delete;
+  HazardEraGuard& operator=(const HazardEraGuard&) = delete;
+
+ private:
+  HazardEraThreadHandle& handle_;
+};
+
+/// Per-thread participation handle (one per thread, explicit — mirrors
+/// EbrThreadHandle).
+class HazardEraThreadHandle {
+ public:
+  explicit HazardEraThreadHandle(HazardEraDomain& domain)
+      : domain_(domain), slot_(domain.core_.claim_slot()) {}
+
+  ~HazardEraThreadHandle();
+
+  HazardEraThreadHandle(const HazardEraThreadHandle&) = delete;
+  HazardEraThreadHandle& operator=(const HazardEraThreadHandle&) = delete;
+
+  HazardEraDomain& domain() noexcept { return domain_; }
+
+  HazardEraGuard pin() noexcept { return HazardEraGuard(*this); }
+
+  /// Era-stamped heap allocation. The caller's reservation is extended
+  /// over the allocation era, so a node published and then immediately
+  /// retired by a competitor stays dereferenceable by its creator.
+  template <typename T, typename... A>
+  T* create(A&&... args) {
+    detail::EraBlockHeader* hdr = allocate_block(sizeof(T), alignof(T));
+    try {
+      return new (detail::payload_of(hdr)) T(std::forward<A>(args)...);
+    } catch (...) {
+      ::operator delete(hdr);
+      throw;
+    }
+  }
+
+  /// Immediate free of a never-published block.
+  template <typename T>
+  void destroy(T* p) noexcept {
+    p->~T();
+    ::operator delete(detail::header_of(p));
+  }
+
+  /// Defers the free until no reservation can still reach `p`.
+  template <typename T>
+  void retire(T* p) {
+    detail::EraBlockHeader* hdr = detail::header_of(p);
+    hdr->deleter = [](void* q) { static_cast<T*>(q)->~T(); };
+    retire_block(hdr);
+  }
+
+  /// Protected load (see EraCore::protect).
+  template <typename P>
+  P protect(const std::atomic<P>& src) noexcept {
+    return domain_.core_.protect(slot_, src);
+  }
+
+  /// Frees every retired block no active reservation intersects;
+  /// called automatically every kScanThreshold retirements.
+  void collect() noexcept;
+
+  std::size_t pending() const noexcept { return retired_.size(); }
+
+ private:
+  friend class HazardEraGuard;
+
+  static constexpr std::size_t kScanThreshold = 64;
+  static constexpr std::size_t kAllocsPerEra = 64;
+
+  void enter() noexcept { domain_.core_.pin(slot_); }
+  void exit() noexcept { domain_.core_.unpin(slot_); }
+
+  detail::EraBlockHeader* allocate_block(std::size_t bytes,
+                                         std::size_t align);
+  void retire_block(detail::EraBlockHeader* hdr);
+
+  HazardEraDomain& domain_;
+  std::size_t slot_;
+  std::uint64_t alloc_count_ = 0;
+  std::vector<detail::EraBlockHeader*> retired_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> snapshot_;
+};
+
+inline HazardEraGuard::HazardEraGuard(HazardEraThreadHandle& handle) noexcept
+    : handle_(handle) {
+  handle_.enter();
+}
+
+inline HazardEraGuard::~HazardEraGuard() { handle_.exit(); }
+
+/// The hazard-era reclamation policy (see mem/reclaimer.hpp for the
+/// interface contract).
+struct HazardEra {
+  using Domain = HazardEraDomain;
+  using ThreadHandle = HazardEraThreadHandle;
+  using Guard = HazardEraGuard;
+
+  static constexpr const char* kName = "hazard";
+  static constexpr ReclaimPolicy kPolicy = ReclaimPolicy::kHazardEra;
+
+  template <typename T, typename... A>
+  static T* create(ThreadHandle& handle, A&&... args) {
+    return handle.create<T>(std::forward<A>(args)...);
+  }
+
+  /// Cold-path allocation for structure constructors: a temporary
+  /// handle stamps the era (constructors run before any concurrency).
+  template <typename T, typename... A>
+  static T* create(Domain& domain, A&&... args) {
+    ThreadHandle handle(domain);
+    return handle.create<T>(std::forward<A>(args)...);
+  }
+
+  template <typename T>
+  static void destroy(ThreadHandle& handle, T* p) noexcept {
+    handle.destroy(p);
+  }
+
+  template <typename T>
+  static void dealloc(Domain&, T* p) noexcept {
+    p->~T();
+    ::operator delete(detail::header_of(p));
+  }
+
+  template <typename T>
+  static void retire(ThreadHandle& handle, T* p) {
+    handle.retire(p);
+  }
+
+  template <typename P>
+  static P load(ThreadHandle& handle, const std::atomic<P>& src) noexcept {
+    return handle.protect(src);
+  }
+};
+
+static_assert(Reclaimer<HazardEra>);
+
+}  // namespace pwf::mem

@@ -1,0 +1,168 @@
+#include "mem/pool.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pwf::mem {
+
+WaitFreePoolDomain::WaitFreePoolDomain(std::size_t block_bytes,
+                                       std::size_t capacity_blocks,
+                                       std::size_t max_threads)
+    : core_(max_threads, "WaitFreePoolDomain"),
+      block_bytes_(block_bytes),
+      stride_(detail::kHeaderBytes +
+              (block_bytes + alignof(std::max_align_t) - 1) /
+                  alignof(std::max_align_t) * alignof(std::max_align_t)),
+      capacity_(capacity_blocks) {
+  if (block_bytes == 0 || capacity_blocks == 0) {
+    throw std::invalid_argument(
+        "WaitFreePoolDomain: block_bytes and capacity_blocks must be >= 1");
+  }
+  // ::operator new returns max_align_t-aligned storage and every stride
+  // is a multiple of that alignment, so each block header and payload
+  // is suitably aligned.
+  arena_ = static_cast<unsigned char*>(::operator new(stride_ * capacity_));
+}
+
+WaitFreePoolDomain::~WaitFreePoolDomain() {
+  // Final flush: all handles are gone; run the deleters they handed
+  // over (the blocks themselves live in the arena, freed wholesale).
+  {
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    for (detail::EraBlockHeader* hdr : orphan_retired_) {
+      if (hdr->deleter) hdr->deleter(detail::payload_of(hdr));
+      live_blocks_.fetch_sub(1, std::memory_order_relaxed);
+      note_freed(hdr->bytes);
+    }
+    orphan_retired_.clear();
+    orphan_free_.clear();
+  }
+  assert(retired_count() == 0 &&
+         "WaitFreePoolDomain destroyed with blocks still retired");
+  ::operator delete(arena_);
+}
+
+void WaitFreePoolDomain::note_retired(std::size_t bytes) noexcept {
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t now =
+      retired_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t peak = peak_retired_bytes_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_retired_bytes_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void WaitFreePoolDomain::note_freed(std::size_t bytes) noexcept {
+  retired_total_.fetch_sub(1, std::memory_order_relaxed);
+  freed_total_.fetch_add(1, std::memory_order_relaxed);
+  retired_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+WaitFreePoolThreadHandle::~WaitFreePoolThreadHandle() {
+  collect();
+  if (!retired_.empty() || free_head_ != nullptr) {
+    std::lock_guard<std::mutex> lock(domain_.orphan_mu_);
+    domain_.orphan_retired_.insert(domain_.orphan_retired_.end(),
+                                   retired_.begin(), retired_.end());
+    retired_.clear();
+    while (detail::EraBlockHeader* hdr = pop_free()) {
+      domain_.orphan_free_.push_back(hdr);
+    }
+  }
+  domain_.core_.release_slot(slot_);
+}
+
+detail::EraBlockHeader* WaitFreePoolThreadHandle::allocate_block(
+    std::size_t bytes, std::size_t align) {
+  assert(align <= alignof(std::max_align_t));
+  (void)align;
+  if (bytes > domain_.block_bytes_) {
+    throw std::invalid_argument(
+        "WaitFreePool: payload of " + std::to_string(bytes) +
+        " bytes exceeds the domain block size of " +
+        std::to_string(domain_.block_bytes_) +
+        " (size the domain against the structure's kNodeBytes)");
+  }
+  if (++alloc_count_ % kAllocsPerEra == 0) domain_.core_.advance();
+
+  detail::EraBlockHeader* hdr = pop_free();
+  if (hdr == nullptr) {
+    // Fresh block: one fetch_add, wait-free.
+    const std::size_t index =
+        domain_.bump_.fetch_add(1, std::memory_order_seq_cst);
+    if (index < domain_.capacity_) {
+      hdr = new (domain_.block_at(index)) detail::EraBlockHeader;
+    }
+  }
+  if (hdr == nullptr) {
+    // Arena spent: reclaim our own retired blocks, then (cold path)
+    // steal what departed handles left behind.
+    collect();
+    hdr = pop_free();
+  }
+  if (hdr == nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(domain_.orphan_mu_);
+      for (detail::EraBlockHeader* orphan : domain_.orphan_free_) {
+        free_block(orphan);
+      }
+      domain_.orphan_free_.clear();
+      retired_.insert(retired_.end(), domain_.orphan_retired_.begin(),
+                      domain_.orphan_retired_.end());
+      domain_.orphan_retired_.clear();
+    }
+    collect();
+    hdr = pop_free();
+  }
+  if (hdr == nullptr) {
+    throw PoolExhausted(
+        "WaitFreePool: arena exhausted (" +
+        std::to_string(domain_.capacity_) + " blocks of " +
+        std::to_string(domain_.block_bytes_) +
+        " bytes, all live or blocked by active reservations)");
+  }
+  hdr->deleter = nullptr;
+  hdr->bytes = bytes;
+  hdr->alloc_era = domain_.core_.current();
+  domain_.core_.cover(slot_, hdr->alloc_era);
+  domain_.live_blocks_.fetch_add(1, std::memory_order_relaxed);
+  return hdr;
+}
+
+void WaitFreePoolThreadHandle::retire_block(detail::EraBlockHeader* hdr) {
+  hdr->retire_era = domain_.core_.current();
+  retired_.push_back(hdr);
+  domain_.note_retired(hdr->bytes);
+  if (retired_.size() >= kScanThreshold) collect();
+}
+
+void WaitFreePoolThreadHandle::collect() noexcept {
+  domain_.core_.advance();
+  domain_.core_.snapshot(snapshot_);
+  std::size_t kept = 0;
+  for (detail::EraBlockHeader* hdr : retired_) {
+    if (detail::EraCore::blocked(hdr->alloc_era, hdr->retire_era,
+                                 snapshot_)) {
+      retired_[kept++] = hdr;
+      continue;
+    }
+    if (hdr->deleter) hdr->deleter(detail::payload_of(hdr));
+    domain_.live_blocks_.fetch_sub(1, std::memory_order_relaxed);
+    domain_.note_freed(hdr->bytes);
+    free_block(hdr);
+  }
+  retired_.resize(kept);
+}
+
+namespace detail {
+
+void pool_dealloc_block(WaitFreePoolDomain& domain,
+                        EraBlockHeader* hdr) noexcept {
+  domain.live_blocks_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(domain.orphan_mu_);
+  domain.orphan_free_.push_back(hdr);
+}
+
+}  // namespace detail
+
+}  // namespace pwf::mem

@@ -1,0 +1,29 @@
+#include "mem/reclaimer.hpp"
+
+namespace pwf::mem {
+
+const char* reclaim_policy_name(ReclaimPolicy policy) {
+  switch (policy) {
+    case ReclaimPolicy::kEpoch:
+      return "epoch";
+    case ReclaimPolicy::kHazardEra:
+      return "hazard";
+    case ReclaimPolicy::kPool:
+      return "pool";
+  }
+  return "?";
+}
+
+std::optional<ReclaimPolicy> parse_reclaim_policy(const std::string& name) {
+  if (name == "epoch" || name == "ebr") return ReclaimPolicy::kEpoch;
+  if (name == "hazard" || name == "hazard-era" || name == "hazard_era" ||
+      name == "he") {
+    return ReclaimPolicy::kHazardEra;
+  }
+  if (name == "pool" || name == "waitfree-pool" || name == "wf-pool") {
+    return ReclaimPolicy::kPool;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pwf::mem

@@ -1,0 +1,108 @@
+// pwf::mem — the pluggable reclamation API for the native lock-free zoo.
+//
+// Every structure in src/lockfree (and waitfree::WaitFreeObject) is
+// templated on a *reclamation policy* `Mem` that bundles allocation,
+// protection, and deferred reclamation behind one static interface:
+//
+//   struct Policy {
+//     using Domain;        // shared reclamation state, one per structure set
+//     using ThreadHandle;  // per-thread participant (explicit, no TLS)
+//     using Guard;         // RAII protection scope: handle.pin()
+//     static constexpr const char* kName;
+//
+//     // Hot-path allocation through the calling thread's handle. The
+//     // WaitFreePool backs this with a per-structure fixed-size block
+//     // pool; the others heap-allocate.
+//     template <typename T, typename... A>
+//     static T* create(ThreadHandle&, A&&...);
+//
+//     // Cold-path allocation for constructors (no handle exists yet).
+//     template <typename T, typename... A>
+//     static T* create(Domain&, A&&...);
+//
+//     // Immediate deallocation of a node that was never published (a
+//     // failed-CAS candidate): nobody else can hold it, so it skips the
+//     // grace-period machinery entirely.
+//     template <typename T>
+//     static void destroy(ThreadHandle&, T*) noexcept;
+//
+//     // Quiescent deallocation for destructors (single-threaded
+//     // teardown, no handle).
+//     template <typename T>
+//     static void dealloc(Domain&, T*) noexcept;
+//
+//     // Deferred reclamation of an unlinked node: freed once no
+//     // protection scope can still reach it.
+//     template <typename T>
+//     static void retire(ThreadHandle&, T*);
+//
+//     // Protected load: the ONLY way a structure may read a shared word
+//     // it will later dereference. For Epoch this is a plain acquire
+//     // load (the pin already protects everything); for the era-based
+//     // policies it publishes the reader's reservation upper bound
+//     // before returning, which is what makes their garbage bounds
+//     // robust to stalled threads.
+//     template <typename P>
+//     static P load(ThreadHandle&, const std::atomic<P>&) noexcept;
+//   };
+//
+// The three implementations span the robustness spectrum the paper's
+// scheduler model motivates (see DESIGN.md):
+//
+//   mem::Epoch        — wraps the existing EbrDomain/EbrThreadHandle.
+//                       Behaviour-identical to the pre-policy code (and
+//                       the default, so every old EbrDomain-based
+//                       signature still compiles unchanged). One stalled
+//                       pinned thread blocks ALL reclamation forever.
+//   mem::HazardEra    — heap-backed interval (era) reclamation: a global
+//                       era clock advances regardless of pinned threads;
+//                       a stalled reader blocks only nodes whose
+//                       [alloc_era, retire_era] lifetime intersects its
+//                       frozen reservation, so garbage is bounded by the
+//                       nodes live around the stall, not by ops executed.
+//   mem::WaitFreePool — the same era safety over a Blelloch–Wei-style
+//                       fixed-size block pool: constant-time allocate
+//                       and free from a preallocated arena, bounded
+//                       unreclaimed memory under stalls, and an explicit
+//                       failure mode (PoolExhausted) instead of silent
+//                       unbounded growth.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <string>
+
+namespace pwf::mem {
+
+/// Runtime policy selector for CLIs (`--reclaim epoch|hazard|pool`) and
+/// capture dispatch; the template policies above are its compile-time
+/// counterparts.
+enum class ReclaimPolicy {
+  kEpoch,
+  kHazardEra,
+  kPool,
+};
+
+/// Canonical spelling: "epoch", "hazard", "pool".
+const char* reclaim_policy_name(ReclaimPolicy policy);
+
+/// Accepts the canonical spellings plus common aliases ("ebr",
+/// "hazard-era", "hazard_era", "he", "waitfree-pool", "wf-pool").
+std::optional<ReclaimPolicy> parse_reclaim_policy(const std::string& name);
+
+/// All three policies, in registry order (epoch, hazard, pool).
+inline constexpr ReclaimPolicy kAllReclaimPolicies[] = {
+    ReclaimPolicy::kEpoch, ReclaimPolicy::kHazardEra, ReclaimPolicy::kPool};
+
+/// Compile-time shape check for a reclamation policy (the allocation
+/// templates are checked where they are instantiated).
+template <typename M>
+concept Reclaimer = requires(typename M::ThreadHandle& handle) {
+  typename M::Domain;
+  typename M::ThreadHandle;
+  typename M::Guard;
+  { M::kName } -> std::convertible_to<const char*>;
+  handle.pin();
+};
+
+}  // namespace pwf::mem

@@ -5,7 +5,8 @@
 // The wrapped object is a `State` value behind one atomic pointer. The
 // fast path is exactly the lock-free universal construction the repo's
 // ScuObject uses: copy the current state, apply the operation, CAS the
-// pointer, retire the old node through EBR. Lock-free, not wait-free —
+// pointer, retire the old node through the pwf::mem policy given as
+// `Mem` (epoch, hazard-era, or wait-free pool). Lock-free, not wait-free —
 // a thread can lose the CAS forever.
 //
 // The slow path makes it wait-free. After `max_failures` fast-path CAS
@@ -39,9 +40,10 @@
 // edge is severed exactly once (the node edge by the finisher that wins
 // the desc-clearing CAS, the announcement edge by the owner at
 // cleanup); whoever severs the *second* edge retires the descriptor
-// through its own EBR handle, so no helper can dereference a freed
-// descriptor (the EBR pin taken at operation entry spans every
-// dereference).
+// through its own reclamation handle, so no helper can dereference a
+// freed descriptor (the guard taken at operation entry spans every
+// dereference; under the era policies every descriptor pointer is
+// additionally read through a protected load).
 //
 // `Stamp` (lockfree/lin_stamp.hpp) brackets the linearizing pointer-CAS
 // of the *calling* thread's own operations only: fast-path installs and
@@ -63,8 +65,8 @@
 #include <utility>
 
 #include "lockfree/backoff.hpp"
-#include "lockfree/ebr.hpp"
 #include "lockfree/lin_stamp.hpp"
+#include "mem/epoch.hpp"
 #include "waitfree/help_stats.hpp"
 
 namespace pwf::waitfree {
@@ -87,10 +89,16 @@ struct WfConfig {
   std::uint32_t backoff_max_spins = lockfree::Backoff::kDefaultMaxSpins;
 };
 
+/// `Mem` is the reclamation policy (mem/reclaimer.hpp); the default
+/// mem::Epoch preserves the historical EbrDomain-based signatures. Nodes
+/// and descriptors share one domain, so a WaitFreePool domain must be
+/// sized for kNodeBytes (the larger of the two block types).
 template <typename State, typename Stamp = lockfree::NoStamp,
-          bool Helping = true>
+          bool Helping = true, typename Mem = mem::Epoch>
 class WaitFreeObject {
  public:
+  static_assert(mem::Reclaimer<Mem>);
+
   /// A sequential operation on the state: mutates in place, returns the
   /// operation's response value.
   using OpFn = std::uint64_t (*)(State&, std::uint64_t arg);
@@ -107,12 +115,12 @@ class WaitFreeObject {
     std::atomic<std::uint32_t> unlinked{0};  ///< severed-edge bits
   };
 
-  /// Per-thread participation handle (mirrors EbrThreadHandle: explicit,
-  /// one per thread, no hidden thread_local state).
+  /// Per-thread participation handle (mirrors the reclamation thread
+  /// handles: explicit, one per thread, no hidden thread_local state).
   class Thread {
    public:
-    Thread(WaitFreeObject& obj, lockfree::EbrThreadHandle& ebr)
-        : obj_(obj), ebr_(ebr), tid_(obj.register_thread()) {}
+    Thread(WaitFreeObject& obj, typename Mem::ThreadHandle& mem)
+        : obj_(obj), mem_(mem), tid_(obj.register_thread()) {}
 
     Thread(const Thread&) = delete;
     Thread& operator=(const Thread&) = delete;
@@ -123,23 +131,25 @@ class WaitFreeObject {
    private:
     friend class WaitFreeObject;
     WaitFreeObject& obj_;
-    lockfree::EbrThreadHandle& ebr_;
+    typename Mem::ThreadHandle& mem_;
     std::uint32_t tid_;
     HelpStats stats_;
     std::uint32_t ops_since_scan_ = 0;
   };
 
-  WaitFreeObject(lockfree::EbrDomain& domain, State initial,
+  WaitFreeObject(typename Mem::Domain& domain, State initial,
                  WfConfig config = {})
-      : config_(config) {
-    (void)domain;  // documents the domain the caller's handles must share
+      : config_(config), domain_(&domain) {
     if (config_.max_failures == 0) {
       throw std::invalid_argument("WaitFreeObject: max_failures must be >= 1");
     }
-    state_.store(new Node{std::move(initial)}, std::memory_order_release);
+    state_.store(Mem::template create<Node>(domain, std::move(initial)),
+                 std::memory_order_release);
   }
 
-  ~WaitFreeObject() { delete state_.load(std::memory_order_relaxed); }
+  ~WaitFreeObject() {
+    Mem::dealloc(*domain_, state_.load(std::memory_order_relaxed));
+  }
 
   WaitFreeObject(const WaitFreeObject&) = delete;
   WaitFreeObject& operator=(const WaitFreeObject&) = delete;
@@ -148,7 +158,7 @@ class WaitFreeObject {
   /// Helping is on: completes in a bounded number of the caller's own
   /// steps regardless of scheduling.
   std::uint64_t apply(Thread& t, OpFn fn, std::uint64_t arg) {
-    const lockfree::EbrGuard guard = t.ebr_.pin();
+    const auto guard = t.mem_.pin();
     if constexpr (Helping) {
       if (++t.ops_since_scan_ >= config_.help_delay) {
         t.ops_since_scan_ = 0;
@@ -157,20 +167,25 @@ class WaitFreeObject {
     }
     lockfree::Backoff backoff(config_.backoff_max_spins);
     for (std::uint32_t failures = 0; failures < config_.max_failures;) {
-      Node* cur = state_.load(std::memory_order_acquire);
+      // Protected load: cur is dereferenced (value copy, finish). The
+      // returned cand->result read after a winning CAS is safe under the
+      // era policies because create() covers the allocation era — a
+      // competitor retiring cand cannot get it reclaimed while our
+      // reservation is alive.
+      Node* cur = Mem::load(t.mem_, state_);
       finish(cur, t);
-      Node* cand = new Node{cur->value};
+      Node* cand = Mem::template create<Node>(t.mem_, cur->value);
       cand->result = fn(cand->value, arg);
       Stamp::pre();
       if (state_.compare_exchange_strong(cur, cand, std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
         Stamp::commit();  // this CAS linearized the operation
-        t.ebr_.retire(cur);
+        Mem::retire(t.mem_, cur);
         ++t.stats_.ops;
         ++t.stats_.fast_ops;
         return cand->result;
       }
-      delete cand;
+      Mem::destroy(t.mem_, cand);  // never published
       ++failures;
       ++t.stats_.fast_retries;
       backoff.pause();
@@ -184,9 +199,9 @@ class WaitFreeObject {
   /// mutate observable behaviour; linearizes at the pointer load.
   template <typename Fn>
   auto read(Thread& t, Fn&& fn) const {
-    const lockfree::EbrGuard guard = t.ebr_.pin();
+    const auto guard = t.mem_.pin();
     Stamp::pre();
-    Node* cur = state_.load(std::memory_order_acquire);
+    Node* cur = Mem::load(t.mem_, state_);
     Stamp::commit();
     return fn(static_cast<const State&>(cur->value));
   }
@@ -214,7 +229,7 @@ class WaitFreeObject {
   /// no-op when a helper already committed it), cleans up, returns the
   /// operation's response.
   std::uint64_t finish_announced(Thread& t, OpDesc* d) {
-    const lockfree::EbrGuard guard = t.ebr_.pin();
+    const auto guard = t.mem_.pin();
     return complete_own(t, d);
   }
 
@@ -230,6 +245,14 @@ class WaitFreeObject {
     std::uint64_t result = 0;  ///< response of the op that built this node
   };
 
+ public:
+  /// Block footprint for pool sizing: nodes and descriptors are
+  /// allocated from the same domain, so a mem::WaitFreePoolDomain must
+  /// use blocks that fit the larger of the two.
+  static constexpr std::size_t kNodeBytes =
+      sizeof(Node) > sizeof(OpDesc) ? sizeof(Node) : sizeof(OpDesc);
+
+ private:
   static constexpr std::uint32_t kNodeEdge = 1;
   static constexpr std::uint32_t kAnnounceEdge = 2;
 
@@ -243,7 +266,7 @@ class WaitFreeObject {
   }
 
   OpDesc* make_desc(Thread& t, OpFn fn, std::uint64_t arg) {
-    OpDesc* d = new OpDesc;
+    OpDesc* d = Mem::template create<OpDesc>(t.mem_);
     d->fn = fn;
     d->arg = arg;
     d->owner = t.tid_;
@@ -280,7 +303,7 @@ class WaitFreeObject {
   /// node carries, re-check `d`, then try to install a node carrying
   /// `d`. Caller must hold an EBR pin.
   void help_apply(OpDesc* d, Thread& t) {
-    Node* cur = state_.load(std::memory_order_acquire);
+    Node* cur = Mem::load(t.mem_, state_);
     finish(cur, t);
     // After finish(cur): if d was ever installed, it is committed by now
     // (either it rides `cur`, which finish just committed, or it rode an
@@ -291,7 +314,7 @@ class WaitFreeObject {
         DescStage::kPrepared) {
       return;
     }
-    Node* cand = new Node{cur->value};
+    Node* cand = Mem::template create<Node>(t.mem_, cur->value);
     cand->result = d->fn(cand->value, d->arg);
     cand->desc.store(d, std::memory_order_relaxed);
     const bool own = d->owner == t.tid_;
@@ -302,9 +325,9 @@ class WaitFreeObject {
                                        std::memory_order_acquire)) {
       if (own) Stamp::commit();  // installing own descriptor linearizes it
       finish(cand, t);           // commit the descriptor we just installed
-      t.ebr_.retire(cur);
+      Mem::retire(t.mem_, cur);
     } else {
-      delete cand;
+      Mem::destroy(t.mem_, cand);  // never published
     }
   }
 
@@ -313,7 +336,10 @@ class WaitFreeObject {
   /// sever the node edge. Idempotent; called by every attempt before it
   /// installs anything (the finish-before-install invariant).
   void finish(Node* n, Thread& t) {
-    OpDesc* d = n->desc.load(std::memory_order_acquire);
+    // Protected load: while n->desc still holds d, the node edge is
+    // unsevered, so d is not yet retired — the era interval argument
+    // then keeps d reclaim-blocked for the rest of our guard.
+    OpDesc* d = Mem::load(t.mem_, n->desc);
     if (d == nullptr) return;
     // The result is determined by the uniquely-installed node, so
     // concurrent finishers store the same value.
@@ -339,7 +365,9 @@ class WaitFreeObject {
     OpDesc* best = nullptr;
     for (std::size_t i = 0; i < nt && i < kMaxThreads; ++i) {
       ++t.stats_.help_scans;
-      OpDesc* d = announce_[i].load(std::memory_order_acquire);
+      // Protected load: while announce_[i] still holds d, the
+      // announcement edge is unsevered, so d is not yet retired.
+      OpDesc* d = Mem::load(t.mem_, announce_[i]);
       if (d == nullptr || d->owner == t.tid_) continue;
       if (stage_of(d->stage.load(std::memory_order_acquire)) !=
           DescStage::kPrepared) {
@@ -360,10 +388,11 @@ class WaitFreeObject {
     const std::uint32_t prev =
         d->unlinked.fetch_or(bit, std::memory_order_acq_rel);
     const std::uint32_t both = kNodeEdge | kAnnounceEdge;
-    if (prev != both && (prev | bit) == both) t.ebr_.retire(d);
+    if (prev != both && (prev | bit) == both) Mem::retire(t.mem_, d);
   }
 
   WfConfig config_;
+  typename Mem::Domain* domain_;
   std::atomic<Node*> state_{nullptr};
   std::atomic<std::uint64_t> phase_{0};
   std::atomic<std::size_t> num_threads_{0};

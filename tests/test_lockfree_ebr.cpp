@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -103,14 +105,38 @@ TEST(Ebr, EpochDoesNotAdvancePastStalePinnedThread) {
 }
 
 TEST(Ebr, SlotExhaustionThrows) {
-  EbrDomain domain;
+  // Capacity is a constructor parameter now; exhaustion past it is a
+  // loud failure, and releasing a handle frees its slot for reuse.
+  EbrDomain domain(3);
+  EXPECT_EQ(domain.max_threads(), 3u);
   std::vector<std::unique_ptr<EbrThreadHandle>> handles;
-  for (std::size_t i = 0; i < EbrDomain::kMaxThreads; ++i) {
+  for (std::size_t i = 0; i < domain.max_threads(); ++i) {
     handles.push_back(std::make_unique<EbrThreadHandle>(domain));
   }
   EXPECT_THROW(EbrThreadHandle extra(domain), std::runtime_error);
   handles.pop_back();
   EXPECT_NO_THROW(EbrThreadHandle reuse(domain));
+}
+
+TEST(Ebr, DefaultCapacityIsHistoricalCap) {
+  EbrDomain domain;
+  EXPECT_EQ(domain.max_threads(), EbrDomain::kMaxThreads);
+}
+
+TEST(Ebr, ZeroCapacityIsRejected) {
+  EXPECT_THROW(EbrDomain bad(0), std::invalid_argument);
+}
+
+TEST(Ebr, ExhaustionMessageNamesTheCapacity) {
+  EbrDomain domain(1);
+  EbrThreadHandle only(domain);
+  try {
+    EbrThreadHandle extra(domain);
+    FAIL() << "expected slot exhaustion to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("capacity 1"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Ebr, MultithreadedChurnReclaimsEverything) {
@@ -130,8 +156,10 @@ TEST(Ebr, MultithreadedChurnReclaimsEverything) {
       });
     }
     for (auto& w : workers) w.join();
-    // Everything was retired; most is already freed, the rest are orphans.
-    EXPECT_EQ(domain.retired_count(), 0u);
+    // Everything was retired; most is already freed, and whatever the
+    // departing handles handed over stays counted as retired until the
+    // domain destructor frees it — so retired always equals still-live.
+    EXPECT_EQ(static_cast<int>(domain.retired_count()), live.load());
   }
   EXPECT_EQ(live.load(), 0) << "leak: some retired nodes were never freed";
 }
@@ -144,6 +172,22 @@ TEST(Ebr, AccountingIsConsistent) {
   for (int i = 0; i < 4; ++i) handle.collect();
   EXPECT_EQ(domain.freed_count() + domain.retired_count(), 100u);
   EXPECT_EQ(static_cast<int>(domain.retired_count()), live.load());
+}
+
+TEST(Ebr, ByteTelemetryTracksRetiredPayloads) {
+  std::atomic<int> live{0};
+  EbrDomain domain;
+  EbrThreadHandle handle(domain);
+  {
+    // Pin so nothing can be freed: retired bytes must climb to exactly
+    // 10 nodes' worth and the peak must record it.
+    const EbrGuard guard = handle.pin();
+    for (int i = 0; i < 10; ++i) handle.retire(new Tracked(live));
+    EXPECT_EQ(domain.retired_bytes(), 10 * sizeof(Tracked));
+  }
+  for (int i = 0; i < 4; ++i) handle.collect();
+  EXPECT_EQ(domain.retired_bytes(), 0u);
+  EXPECT_EQ(domain.peak_retired_bytes(), 10 * sizeof(Tracked));
 }
 
 }  // namespace
