@@ -12,7 +12,7 @@
 #include "lockfree/ms_queue.hpp"
 #include "lockfree/scu_object.hpp"
 #include "lockfree/harris_list.hpp"
-#include "lockfree/hash_map.hpp"
+#include "lockfree/hash_set.hpp"
 #include "lockfree/statistical_counter.hpp"
 #include "lockfree/treiber_stack.hpp"
 

@@ -11,6 +11,9 @@
 //   pwf_bench --trials 3             repetitions per grid point (averaged)
 //   pwf_bench --reclaim pool         reclamation policy for experiments
 //                                    with a pwf::mem axis (default: all)
+//   pwf_bench --strategy coarse      strategy column for experiments with
+//                                    a skip-list strategy axis
+//                                    (default: all)
 //   pwf_bench --json out.json        structured results (schema
 //                                    pwf-bench-results/1)
 //
@@ -28,6 +31,7 @@
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
+#include "lockfree/strategy.hpp"
 #include "mem/reclaimer.hpp"
 #include "util/cli.hpp"
 
@@ -73,6 +77,11 @@ util::CliParser make_parser(Args& args) {
               "restrict reclamation-axis experiments to one\n"
               "pwf::mem policy: epoch | hazard | pool (default: all)",
               [&args](const std::string& v) { args.options.reclaim = v; })
+      .option("--strategy", "S",
+              "restrict strategy-axis experiments (struct_matrix)\n"
+              "to one column: coarse | optimistic | lockfree\n"
+              "(default: all)",
+              [&args](const std::string& v) { args.options.strategy = v; })
       .option_string("--json",
                      "write structured results to PATH ('-' = stdout)",
                      &args.json_path)
@@ -101,6 +110,12 @@ int main(int argc, char** argv) {
       !mem::parse_reclaim_policy(args.options.reclaim)) {
     std::cerr << "pwf_bench: unknown reclaim policy '" << args.options.reclaim
               << "' (epoch | hazard | pool)\n";
+    return 2;
+  }
+  if (!args.options.strategy.empty() &&
+      !lockfree::parse_sync_strategy(args.options.strategy)) {
+    std::cerr << "pwf_bench: unknown strategy '" << args.options.strategy
+              << "' (coarse | optimistic | lockfree)\n";
     return 2;
   }
 

@@ -17,6 +17,9 @@
 //   pwf_check --reclaim pool          reclamation policy the hardware
 //                                     structures run under: epoch
 //                                     (default), hazard, or pool
+//   pwf_check --strategy lockfree     one strategy column of the structure
+//                                     matrix: coarse | optimistic |
+//                                     lockfree (see check/catalog.hpp)
 //   pwf_check --hw-ops N              hardware ops per thread
 //   pwf_check --hw-bursts N           independent capture rounds
 //   pwf_check --jitter K              yield around every K-th hw op
@@ -43,12 +46,14 @@
 #include <string>
 #include <vector>
 
+#include "check/catalog.hpp"
 #include "check/explore.hpp"
 #include "check/hw_capture.hpp"
 #include "check/session.hpp"
 #include "check/trace.hpp"
 #include "check/workloads.hpp"
 #include "exp/json.hpp"
+#include "lockfree/strategy.hpp"
 #include "mem/reclaimer.hpp"
 #include "util/cli.hpp"
 
@@ -62,6 +67,7 @@ struct Args {
   check::HwOptions hw_options;
   std::string stamp_mode;
   std::string reclaim;
+  std::string strategy;
   std::string filter;
   std::string out_path;
   std::string replay_path;
@@ -129,6 +135,10 @@ util::CliParser make_parser(Args& args) {
               "reclamation policy the hardware structures run\n"
               "under: epoch (default) | hazard | pool",
               [&args](const std::string& v) { args.reclaim = v; })
+      .option("--strategy", "S",
+              "restrict to one strategy column of the structure\n"
+              "matrix: coarse | optimistic | lockfree",
+              [&args](const std::string& v) { args.strategy = v; })
       .option("--hw-ops", "N", "hardware ops per thread (default 2000)",
               [&args](const std::string& v) {
                 args.hw_options.ops_per_thread = std::stoul(v);
@@ -233,6 +243,29 @@ int main(int argc, char** argv) {
     }
     args.hw_options.reclaim = *policy;
   }
+  std::optional<lockfree::SyncStrategy> strategy_column;
+  if (!args.strategy.empty()) {
+    strategy_column = lockfree::parse_sync_strategy(args.strategy);
+    if (!strategy_column) {
+      std::cerr << "pwf_check: unknown strategy '" << args.strategy
+                << "' (coarse | optimistic | lockfree)\n";
+      return 2;
+    }
+  }
+  // --strategy selects one column of the structure matrix: only twins of
+  // catalog entries tagged with that strategy stay eligible.
+  const std::vector<const check::CatalogEntry*> column =
+      check::catalog_column(strategy_column);
+  const auto in_column = [&](const std::string& name) {
+    if (!strategy_column) return true;
+    for (const check::CatalogEntry* e : column) {
+      if ((e->sim && e->sim->workload == name) ||
+          (e->hw && e->hw->structure == name)) {
+        return true;
+      }
+    }
+    return false;
+  };
   if (args.list) {
     std::cout << "simulated workloads:\n";
     for (const check::Workload& w : check::workloads()) {
@@ -272,6 +305,7 @@ int main(int argc, char** argv) {
 
   for (const check::Workload& workload : check::workloads()) {
     if (!matches_filter(workload.name, args.filter)) continue;
+    if (!in_column(workload.name)) continue;
     WorkloadReport report;
     report.name = workload.name;
     report.expect_linearizable = workload.expect_linearizable;
@@ -341,6 +375,7 @@ int main(int argc, char** argv) {
     hw_opts.seed = args.explore.base_seed;
     for (const check::HwStructure& structure : check::HwSession::registry()) {
       if (!matches_filter(structure.name, args.filter)) continue;
+      if (!in_column(structure.name)) continue;
       try {
         check::HwSession session(structure.name, hw_opts, args.explore.check);
         const check::HwResult& r = session.run();

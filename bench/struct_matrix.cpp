@@ -1,0 +1,456 @@
+// struct_matrix: the skip-list strategy matrix — throughput and latency
+// quantiles of the same abstract sorted-set workload across the three
+// synchronization strategies (lockfree/strategy.hpp), three workload
+// mixes, and a thread sweep, plus a linearizability gate that runs every
+// strategy under every pwf::mem reclamation policy through HwSession.
+//
+// The paper argues lock-free algorithms behave wait-free under realistic
+// schedulers; this experiment supplies the *strategy contrast* that
+// claim implicitly leans on: against the identical two-level skip-list
+// workload, a single global mutex (coarse) serializes and convoys under
+// oversubscription, while the optimistic and lock-free variants keep
+// reads out of the serial path entirely. The matrix makes the contrast
+// quantitative per mix:
+//
+//   read-heavy   90% contains /  9% insert /  1% erase
+//   mixed        50% contains / 25% insert / 25% erase
+//   write-heavy  10% contains / 45% insert / 45% erase
+//
+// The matrix has three faces:
+//
+//   * hardware bench cells — wall-clock throughput + per-op latency
+//     quantiles on real threads. Host-dependent context: on a one-core
+//     host every strategy time-slices onto the same pipeline and the
+//     sub-microsecond critical sections almost never span a preemption,
+//     so no physical spread can appear there;
+//   * simulated cells — the same strategies as SimSkipList step
+//     machines under the paper's uniform stochastic scheduler, where
+//     parallelism is logical and one process's held lock provably burns
+//     every other process's steps. This is the paper's own methodology
+//     and the face the cross-strategy spread gate binds on;
+//   * linearizability cells — every strategy under every pwf::mem
+//     reclamation policy through HwSession.
+//
+// Verdict: REPRODUCED iff (a) in the simulated read-heavy cells the
+// best concurrent strategy completes >= 2x the ops per step of coarse,
+// (b) every hardware cell's latency quantiles are ordered
+// p50 <= p95 <= p99, (c) all nine (strategy x reclamation policy)
+// HwSession captures check LINEARIZABLE, and (d) every hardware cell
+// completed its full schedule. With --strategy the sweep is partial and
+// the cross-strategy spread is reported, not judged.
+//
+// scripts/bench_struct_matrix.sh serializes the sweep into
+// BENCH_struct_matrix.json.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/hw_capture.hpp"
+#include "core/scheduler.hpp"
+#include "core/sim_skiplist.hpp"
+#include "core/simulation.hpp"
+#include "exp/registry.hpp"
+#include "lockfree/ebr.hpp"
+#include "lockfree/skiplist.hpp"
+#include "mem/reclaimer.hpp"
+#include "util/quantile.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pwf;
+using pwf::exp::Metrics;
+using pwf::exp::RunOptions;
+using pwf::exp::Trial;
+using pwf::exp::TrialResult;
+using pwf::exp::Verdict;
+using lockfree::SyncStrategy;
+
+constexpr std::uint64_t kKeySpace = 128;
+
+struct Mix {
+  const char* name;
+  std::uint64_t contains_pct;
+  std::uint64_t insert_pct;  // remainder after contains+insert is erase
+};
+
+constexpr Mix kMixes[] = {
+    {"read-heavy", 90, 9},
+    {"mixed", 50, 25},
+    {"write-heavy", 10, 45},
+};
+
+struct CellOut {
+  QuantileSketch latency;  ///< per-op wall ns, merged over threads
+  std::uint64_t ops = 0;
+  double wall_sec = 0.0;
+};
+
+/// One timed cell: `threads` real threads hammer a fresh map with the
+/// mix, every op individually clocked. The map is pre-filled with the
+/// even keys so contains starts at a ~50% hit rate for every strategy.
+template <typename Map>
+CellOut run_cell(std::size_t threads, const Mix& mix,
+                 std::uint64_t ops_per_thread, std::uint64_t seed) {
+  auto domain =
+      std::make_unique<lockfree::EbrDomain>(threads + 2);
+  Map map(*domain);
+  {
+    mem::Epoch::ThreadHandle handle(*domain);
+    for (std::uint64_t k = 2; k <= kKeySpace; k += 2) {
+      map.insert(handle, k, k);
+    }
+  }
+
+  std::vector<std::unique_ptr<QuantileSketch>> sketches(threads);
+  std::atomic<std::size_t> ready{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < threads; ++t) {
+    sketches[t] = std::make_unique<QuantileSketch>();
+    workers.emplace_back([&, t] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (ready.load(std::memory_order_acquire) < threads) {
+        std::this_thread::yield();
+      }
+      mem::Epoch::ThreadHandle handle(*domain);
+      Xoshiro256pp rng(seed + 0x9E3779B97F4A7C15ULL * (t + 1));
+      for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+        const std::uint64_t key = 1 + rng() % kKeySpace;
+        const std::uint64_t roll = rng() % 100;
+        const auto a = std::chrono::steady_clock::now();
+        if (roll < mix.contains_pct) {
+          (void)map.contains(handle, key);
+        } else if (roll < mix.contains_pct + mix.insert_pct) {
+          (void)map.insert(handle, key, key);
+        } else {
+          (void)map.erase(handle, key);
+        }
+        const auto b = std::chrono::steady_clock::now();
+        sketches[t]->add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                .count()));
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+
+  CellOut out;
+  out.wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (const auto& s : sketches) out.latency.merge(*s);
+  out.ops = out.latency.count();
+  return out;
+}
+
+CellOut run_strategy(SyncStrategy strategy, std::size_t threads,
+                     const Mix& mix, std::uint64_t ops_per_thread,
+                     std::uint64_t seed) {
+  using K = std::uint64_t;
+  switch (strategy) {
+    case SyncStrategy::kCoarse:
+      return run_cell<lockfree::CoarseSkipListMap<K, K>>(
+          threads, mix, ops_per_thread, seed);
+    case SyncStrategy::kOptimistic:
+      return run_cell<lockfree::OptimisticSkipListMap<K, K>>(
+          threads, mix, ops_per_thread, seed);
+    case SyncStrategy::kLockFree:
+      break;
+  }
+  return run_cell<lockfree::LockFreeSkipListMap<K, K>>(
+      threads, mix, ops_per_thread, seed);
+}
+
+const char* strategy_hw_name(SyncStrategy strategy) {
+  switch (strategy) {
+    case SyncStrategy::kCoarse:
+      return "skiplist-coarse";
+    case SyncStrategy::kOptimistic:
+      return "skiplist-optimistic";
+    case SyncStrategy::kLockFree:
+      break;
+  }
+  return "skiplist-lockfree";
+}
+
+class StructMatrix final : public exp::Experiment {
+ public:
+  std::string name() const override { return "struct_matrix"; }
+  std::string artifact() const override {
+    return "structure matrix: skip-list strategy x workload-mix x threads "
+           "throughput/latency sweep + per-reclaim-policy linearizability "
+           "gate (lockfree/skiplist.hpp, check/catalog.hpp)";
+  }
+  std::string claim() const override {
+    return "Claim: on the identical skip-list workload under the uniform "
+           "stochastic scheduler, the optimistic and lock-free strategies "
+           "complete >= 2x the read-heavy ops per step of the coarse "
+           "global lock (whose holder serializes every other process), "
+           "hardware cells report host throughput with ordered latency "
+           "quantiles, and all three strategies check LINEARIZABLE under "
+           "all three pwf::mem reclamation policies.";
+  }
+  std::uint64_t default_seed() const override { return 20140715; }
+
+  // Wall-clock throughput on real threads: run alone, host-dependent.
+  bool exclusive() const override { return true; }
+
+  std::vector<Trial> trials(const RunOptions& options) const override {
+    const std::uint64_t base = options.base_seed(default_seed());
+    const std::uint64_t ops = options.quick ? 4'000 : 25'000;
+    std::vector<Trial> grid;
+    std::uint64_t idx = 0;
+    const auto strategy_selected = [&](SyncStrategy s) {
+      return options.strategy.empty() ||
+             lockfree::parse_sync_strategy(options.strategy) == s;
+    };
+    for (const SyncStrategy strategy : lockfree::kAllSyncStrategies) {
+      if (!strategy_selected(strategy)) continue;
+      for (std::size_t mix = 0; mix < 3; ++mix) {
+        for (const std::size_t threads : {1, 2, 4}) {
+          Trial t;
+          t.id = std::string(lockfree::sync_strategy_name(strategy)) + " " +
+                 kMixes[mix].name + " t=" + std::to_string(threads);
+          t.params = {{"kind", 0.0},
+                      {"strategy", static_cast<double>(strategy)},
+                      {"mix", static_cast<double>(mix)},
+                      {"threads", static_cast<double>(threads)},
+                      {"ops", static_cast<double>(ops)}};
+          t.seed = exp::derive_seed(base, idx++);
+          grid.push_back(std::move(t));
+        }
+      }
+    }
+    // The simulated face: the same strategy x mix grid as SimSkipList
+    // step machines under the uniform stochastic scheduler. Logical
+    // parallelism makes the coarse lock's serialization visible on any
+    // host; the read-heavy spread gate binds on these cells.
+    const std::uint64_t steps = options.quick ? 50'000 : 200'000;
+    for (const SyncStrategy strategy : lockfree::kAllSyncStrategies) {
+      if (!strategy_selected(strategy)) continue;
+      for (std::size_t mix = 0; mix < 3; ++mix) {
+        Trial t;
+        t.id = std::string("sim ") + lockfree::sync_strategy_name(strategy) +
+               " " + kMixes[mix].name;
+        t.params = {{"kind", 2.0},
+                    {"strategy", static_cast<double>(strategy)},
+                    {"mix", static_cast<double>(mix)},
+                    {"n", 6.0},
+                    {"steps", static_cast<double>(steps)}};
+        t.seed = exp::derive_seed(base, 2'000 + idx++);
+        grid.push_back(std::move(t));
+      }
+    }
+    // The correctness face of the matrix: every strategy column under
+    // every reclamation policy, captured and checked by HwSession.
+    for (const SyncStrategy strategy : lockfree::kAllSyncStrategies) {
+      if (!strategy_selected(strategy)) continue;
+      for (const mem::ReclaimPolicy policy : mem::kAllReclaimPolicies) {
+        if (!options.reclaim.empty() &&
+            mem::parse_reclaim_policy(options.reclaim) != policy) {
+          continue;
+        }
+        Trial t;
+        t.id = std::string("lincheck ") +
+               lockfree::sync_strategy_name(strategy) + " " +
+               mem::reclaim_policy_name(policy);
+        t.params = {{"kind", 1.0},
+                    {"strategy", static_cast<double>(strategy)},
+                    {"reclaim", static_cast<double>(policy)},
+                    {"ops", options.quick ? 250.0 : 600.0}};
+        t.seed = exp::derive_seed(base, 1'000 + idx++);
+        grid.push_back(std::move(t));
+      }
+    }
+    return grid;
+  }
+
+  Metrics run_trial(const Trial& trial,
+                    const RunOptions& options) const override {
+    (void)options;
+    const auto strategy = static_cast<SyncStrategy>(
+        static_cast<int>(trial.params.at("strategy")));
+    if (trial.params.at("kind") < 0.5) {
+      const auto mix = static_cast<std::size_t>(trial.params.at("mix"));
+      const auto threads =
+          static_cast<std::size_t>(trial.params.at("threads"));
+      const auto ops = static_cast<std::uint64_t>(trial.params.at("ops"));
+      const CellOut r =
+          run_strategy(strategy, threads, kMixes[mix], ops, trial.seed);
+      return {{"mops_per_sec",
+               static_cast<double>(r.ops) / r.wall_sec / 1e6},
+              {"p50_ns", static_cast<double>(r.latency.quantile(0.50))},
+              {"p95_ns", static_cast<double>(r.latency.quantile(0.95))},
+              {"p99_ns", static_cast<double>(r.latency.quantile(0.99))},
+              {"ops", static_cast<double>(r.ops)}};
+    }
+    if (trial.params.at("kind") > 1.5) {
+      const auto mix = static_cast<std::size_t>(trial.params.at("mix"));
+      const auto n = static_cast<std::size_t>(trial.params.at("n"));
+      const auto steps =
+          static_cast<std::uint64_t>(trial.params.at("steps"));
+      core::SimSkipListConfig config;
+      config.strategy = strategy;
+      config.key_space = 3;
+      config.contains_pct = kMixes[mix].contains_pct;
+      config.insert_pct = kMixes[mix].insert_pct;
+      core::Simulation::Options opt;
+      opt.num_registers = core::SimSkipList::registers_required(n, config);
+      opt.seed = trial.seed;
+      core::Simulation sim(n, core::SimSkipList::factory(config),
+                           std::make_unique<core::UniformScheduler>(), opt);
+      sim.run(steps);
+      const core::LatencyReport& report = sim.report();
+      return {{"sim_completions", static_cast<double>(report.completions)},
+              {"sim_ops_per_kstep",
+               static_cast<double>(report.completions) /
+                   static_cast<double>(steps) * 1'000.0}};
+    }
+    check::HwOptions hw;
+    hw.threads = 4;
+    hw.ops_per_thread =
+        static_cast<std::size_t>(trial.params.at("ops"));
+    hw.bursts = 2;
+    hw.seed = trial.seed;
+    hw.reclaim = static_cast<mem::ReclaimPolicy>(
+        static_cast<int>(trial.params.at("reclaim")));
+    check::HwSession session(strategy_hw_name(strategy), hw, {});
+    const check::HwResult& r = session.run();
+    const bool ok =
+        r.lin.verdict == check::LinVerdict::kLinearizable && !r.lin.timed_out;
+    return {{"linearizable", ok ? 1.0 : 0.0},
+            {"checked_ops", static_cast<double>(r.history.size())}};
+  }
+
+  Verdict analyze(const std::vector<TrialResult>& results,
+                  const RunOptions& options, std::ostream& os) const override;
+};
+
+Verdict StructMatrix::analyze(const std::vector<TrialResult>& results,
+                              const RunOptions& options,
+                              std::ostream& os) const {
+  (void)options;
+  Verdict verdict;
+  Table bench({"strategy", "mix", "threads", "Mops/s", "p50 ns", "p95 ns",
+               "p99 ns"});
+  Table sim({"strategy", "mix", "completions", "ops/kstep"});
+  Table lin({"strategy", "reclaim", "checked ops", "verdict"});
+
+  // throughput[strategy][mix] at the widest thread count seen.
+  double throughput[3][3] = {};
+  double widest[3][3] = {};
+  // sim_throughput[strategy][mix]: completed ops per 1000 scheduler
+  // steps under the uniform stochastic scheduler.
+  double sim_throughput[3][3] = {};
+  bool monotone = true;
+  bool complete = true;
+  bool lin_ok = true;
+  std::size_t lin_cells = 0;
+  std::size_t strategies_seen_mask = 0;
+
+  for (const TrialResult& r : results) {
+    const Metrics& m = r.metrics;
+    const auto strategy = static_cast<SyncStrategy>(
+        static_cast<int>(r.trial.params.at("strategy")));
+    const int s = static_cast<int>(strategy);
+    if (r.trial.params.at("kind") < 0.5) {
+      const auto mix = static_cast<std::size_t>(r.trial.params.at("mix"));
+      const double threads = r.trial.params.at("threads");
+      strategies_seen_mask |= 1u << s;
+      bench.add_row({lockfree::sync_strategy_name(strategy),
+                     kMixes[mix].name, fmt(threads, 0),
+                     fmt(m.at("mops_per_sec"), 3), fmt(m.at("p50_ns"), 0),
+                     fmt(m.at("p95_ns"), 0), fmt(m.at("p99_ns"), 0)});
+      monotone = monotone && m.at("p50_ns") <= m.at("p95_ns") &&
+                 m.at("p95_ns") <= m.at("p99_ns");
+      complete = complete &&
+                 m.at("ops") >= r.trial.params.at("ops") * threads;
+      if (threads >= widest[s][mix]) {
+        widest[s][mix] = threads;
+        throughput[s][mix] = m.at("mops_per_sec");
+      }
+      const std::string tag =
+          std::string(lockfree::sync_strategy_name(strategy)) + "_" +
+          kMixes[mix].name + "_t" +
+          std::to_string(static_cast<int>(threads));
+      verdict.summary["mops_" + tag] = m.at("mops_per_sec");
+      verdict.summary["p99_ns_" + tag] = m.at("p99_ns");
+    } else if (r.trial.params.at("kind") > 1.5) {
+      const auto mix = static_cast<std::size_t>(r.trial.params.at("mix"));
+      sim_throughput[s][mix] = m.at("sim_ops_per_kstep");
+      sim.add_row({lockfree::sync_strategy_name(strategy), kMixes[mix].name,
+                   fmt(m.at("sim_completions"), 0),
+                   fmt(m.at("sim_ops_per_kstep"), 1)});
+      verdict.summary[std::string("sim_ops_per_kstep_") +
+                      lockfree::sync_strategy_name(strategy) + "_" +
+                      kMixes[mix].name] = m.at("sim_ops_per_kstep");
+    } else {
+      const auto policy = static_cast<mem::ReclaimPolicy>(
+          static_cast<int>(r.trial.params.at("reclaim")));
+      const bool ok = exp::flag(m.at("linearizable"));
+      lin_ok = lin_ok && ok;
+      ++lin_cells;
+      lin.add_row({lockfree::sync_strategy_name(strategy),
+                   mem::reclaim_policy_name(policy),
+                   fmt(m.at("checked_ops"), 0),
+                   ok ? "LINEARIZABLE" : "VIOLATION"});
+    }
+  }
+
+  os << "skip-list strategy matrix (key space " << kKeySpace
+     << ", pre-filled 50%) — hardware cells, host-dependent\n\n";
+  bench.print(os);
+  os << "\nsimulated cells: SimSkipList under the uniform stochastic "
+        "scheduler (n=6, key space 3); the spread gate binds here\n\n";
+  sim.print(os);
+  os << "\nlinearizability gate: 4-thread HwSession captures per "
+        "(strategy, reclamation policy) cell\n\n";
+  lin.print(os);
+
+  const int co = static_cast<int>(SyncStrategy::kCoarse);
+  const int op = static_cast<int>(SyncStrategy::kOptimistic);
+  const int lf = static_cast<int>(SyncStrategy::kLockFree);
+  const double best_concurrent =
+      std::max(sim_throughput[op][0], sim_throughput[lf][0]);
+  const double spread =
+      best_concurrent / std::max(sim_throughput[co][0], 1e-9);
+  const double hw_spread =
+      std::max(throughput[op][0], throughput[lf][0]) /
+      std::max(throughput[co][0], 1e-9);
+  verdict.summary["read_heavy_spread"] = spread;
+  verdict.summary["hw_read_heavy_spread"] = hw_spread;
+  verdict.summary["lin_cells"] = static_cast<double>(lin_cells);
+  verdict.summary["quantiles_monotone"] = monotone ? 1.0 : 0.0;
+
+  const bool full_sweep = strategies_seen_mask == 0b111u;
+  if (!full_sweep) {
+    // --strategy restricted the sweep: the cross-strategy spread cannot
+    // be judged; report shape of what did run.
+    verdict.reproduced = monotone && complete && lin_ok;
+    verdict.detail =
+        "partial sweep (--strategy): cross-strategy spread not judged";
+    return verdict;
+  }
+
+  verdict.reproduced = spread >= 2.0 && monotone && complete && lin_ok;
+  verdict.detail =
+      "simulated read-heavy spread (best concurrent / coarse) " +
+      fmt(spread, 2) + "x (hw cells " + fmt(hw_spread, 2) +
+      "x, host-dependent); quantiles " +
+      (monotone ? "ordered" : "NOT ordered") + "; " +
+      std::to_string(lin_cells) + " lin cells " +
+      (lin_ok ? "all LINEARIZABLE" : "WITH VIOLATIONS");
+  return verdict;
+}
+
+const exp::RegisterExperiment reg(std::make_unique<StructMatrix>());
+
+}  // namespace

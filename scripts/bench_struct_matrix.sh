@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_struct_matrix.json — the committed strategy-matrix
+# baseline (coarse vs optimistic vs lockfree skip-list throughput and
+# latency quantiles across workload mixes and thread counts, plus the
+# per-reclaim-policy linearizability cells). Run it on the reference
+# machine after touching src/lockfree/skiplist_* or the catalog, check
+# the read-heavy spread and quantile ordering gates, and commit the
+# result so later PRs can regress against it.
+#
+# Usage: scripts/bench_struct_matrix.sh [--quick] [--strategy S] [args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build --target pwf_bench -j"$(nproc)"
+
+build/bench/pwf_bench --filter struct_matrix \
+  --json BENCH_struct_matrix.json "$@"
+echo "wrote BENCH_struct_matrix.json"

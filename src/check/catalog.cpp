@@ -1,0 +1,401 @@
+#include "check/catalog.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "check/mutants.hpp"
+#include "core/algorithms.hpp"
+#include "core/sim_queue.hpp"
+#include "core/sim_rcu.hpp"
+#include "core/sim_skiplist.hpp"
+#include "core/sim_stack.hpp"
+#include "waitfree/sim_object.hpp"
+
+namespace pwf::check {
+
+namespace {
+
+using core::Simulation;
+using lockfree::SyncStrategy;
+
+/// Wraps a machine factory so every machine gets the trace sink attached
+/// at construction.
+core::StepMachineFactory traced(core::StepMachineFactory inner,
+                                core::OpTraceSink* sink) {
+  return [inner = std::move(inner), sink](std::size_t pid, std::size_t n) {
+    auto machine = inner(pid, n);
+    machine->set_trace(sink);
+    return machine;
+  };
+}
+
+/// Sim-twin builder for one cell of the skip-list strategy matrix. A
+/// small key space keeps every schedule on a few hot keys, which is what
+/// gives short exploration runs their discriminating power.
+WorkloadBuildFn skiplist_build(core::SimSkipListConfig config) {
+  return [config](std::size_t n, std::uint64_t seed,
+                  std::unique_ptr<core::Scheduler> sched,
+                  core::OpTraceSink* sink) {
+    Simulation::Options opt;
+    opt.num_registers = core::SimSkipList::registers_required(n, config);
+    opt.seed = seed;
+    return std::make_unique<Simulation>(
+        n, traced(core::SimSkipList::factory(config), sink),
+        std::move(sched), opt);
+  };
+}
+
+core::SimSkipListConfig skiplist_config(SyncStrategy strategy,
+                                        bool novalidate = false) {
+  core::SimSkipListConfig config;
+  config.strategy = strategy;
+  config.key_space = 3;
+  config.novalidate = novalidate;
+  return config;
+}
+
+std::vector<CatalogEntry> make_catalog() {
+  std::vector<CatalogEntry> out;
+
+  // --- stock structures ----------------------------------------------------
+  // Catalog order is chosen so both projections reproduce their legacy
+  // registry order exactly: the sim subsequence is the historical
+  // workloads() order, the hw subsequence the historical
+  // HwSession::registry() order.
+  out.push_back(CatalogEntry{
+      "treiber-stack", "stack", true, false, std::nullopt,
+      CatalogEntry::SimTwin{
+          "sim-stack", 3, 240,
+          "Treiber stack (tagged head), alternating push/pop",
+          [](std::size_t n, std::uint64_t seed,
+             std::unique_ptr<core::Scheduler> sched,
+             core::OpTraceSink* sink) {
+            constexpr std::size_t kSlots = 2;
+            Simulation::Options opt;
+            opt.num_registers = core::SimStack::registers_required(n, kSlots);
+            opt.seed = seed;
+            return std::make_unique<Simulation>(
+                n, traced(core::SimStack::factory(kSlots), sink),
+                std::move(sched), opt);
+          }},
+      CatalogEntry::HwTwin{"treiber-stack",
+                           "Treiber stack, EBR reclamation"}});
+
+  out.push_back(CatalogEntry{
+      "ms-queue", "queue", true, false, std::nullopt,
+      CatalogEntry::SimTwin{
+          "sim-queue", 3, 240,
+          "Michael-Scott queue (generation-stamped), alternating enq/deq",
+          [](std::size_t n, std::uint64_t seed,
+             std::unique_ptr<core::Scheduler> sched,
+             core::OpTraceSink* sink) {
+            constexpr std::size_t kSlots = 2;
+            Simulation::Options opt;
+            opt.num_registers = core::SimQueue::registers_required(n, kSlots);
+            opt.seed = seed;
+            opt.initial_values = core::SimQueue::initial_values();
+            return std::make_unique<Simulation>(
+                n, traced(core::SimQueue::factory(kSlots), sink),
+                std::move(sched), opt);
+          }},
+      CatalogEntry::HwTwin{"ms-queue", "Michael-Scott FIFO queue"}});
+
+  out.push_back(CatalogEntry{
+      "rcu", "rcu", true, false, std::nullopt,
+      CatalogEntry::SimTwin{
+          "sim-rcu", 3, 240,
+          "RCU version register, 1 writer + readers, deep recycling pool",
+          [](std::size_t n, std::uint64_t seed,
+             std::unique_ptr<core::Scheduler> sched,
+             core::OpTraceSink* sink) {
+            core::RcuConfig cfg;
+            cfg.writers = 1;
+            cfg.payload_len = 2;
+            // Deep pool: within a bounded schedule no reader can straddle
+            // enough updates to see a recycled block, so reads never tear.
+            cfg.slots_per_writer = 64;
+            Simulation::Options opt;
+            opt.num_registers = core::SimRcu::registers_required(cfg);
+            opt.seed = seed;
+            return std::make_unique<Simulation>(
+                n, traced(core::SimRcu::factory(cfg), sink),
+                std::move(sched), opt);
+          }},
+      std::nullopt});
+
+  out.push_back(CatalogEntry{
+      "harris-list", "set", true, false, std::nullopt, std::nullopt,
+      CatalogEntry::HwTwin{"harris-list", "Harris ordered-list set"}});
+
+  out.push_back(CatalogEntry{
+      "hash-set", "set", true, false, std::nullopt, std::nullopt,
+      CatalogEntry::HwTwin{"hash-set",
+                           "hash set over Harris-list buckets"}});
+
+  out.push_back(CatalogEntry{
+      "cas-counter", "counter", true, false, std::nullopt,
+      CatalogEntry::SimTwin{
+          "fai-counter", 3, 200,
+          "Algorithm 5 fetch-and-increment on augmented CAS",
+          [](std::size_t n, std::uint64_t seed,
+             std::unique_ptr<core::Scheduler> sched,
+             core::OpTraceSink* sink) {
+            Simulation::Options opt;
+            opt.num_registers =
+                core::FetchAndIncrement::registers_required();
+            opt.seed = seed;
+            return std::make_unique<Simulation>(
+                n, traced(core::FetchAndIncrement::factory(), sink),
+                std::move(sched), opt);
+          }},
+      CatalogEntry::HwTwin{"cas-counter",
+                           "CAS-loop fetch-and-inc (Alg. 5)"}});
+
+  out.push_back(CatalogEntry{
+      "faa-counter", "counter", true, false, std::nullopt, std::nullopt,
+      CatalogEntry::HwTwin{"faa-counter", "wait-free fetch_add baseline"}});
+
+  out.push_back(CatalogEntry{
+      "scu-counter", "counter", true, false, std::nullopt, std::nullopt,
+      CatalogEntry::HwTwin{"scu-counter",
+                           "counter via the universal SCU object"}});
+
+  out.push_back(CatalogEntry{
+      "sharded-counter", "multi-counter", true, false, std::nullopt,
+      CatalogEntry::SimTwin{
+          "sharded-counter", 4, 400,
+          "register file of independent fetch-inc counters (multi-object)",
+          [](std::size_t n, std::uint64_t seed,
+             std::unique_ptr<core::Scheduler> sched,
+             core::OpTraceSink* sink) {
+            constexpr std::size_t kCounters = 8;
+            Simulation::Options opt;
+            opt.num_registers =
+                core::ShardedCounter::registers_required(kCounters);
+            opt.seed = seed;
+            return std::make_unique<Simulation>(
+                n, traced(core::ShardedCounter::factory(kCounters), sink),
+                std::move(sched), opt);
+          }},
+      std::nullopt});
+
+  // --- seeded mutants ------------------------------------------------------
+  out.push_back(CatalogEntry{
+      "racy-counter", "counter", false, true, std::nullopt,
+      CatalogEntry::SimTwin{
+          "mut-racy-counter", 3, 64,
+          "MUTANT: increment as read + blind write (lost updates)",
+          [](std::size_t n, std::uint64_t seed,
+             std::unique_ptr<core::Scheduler> sched,
+             core::OpTraceSink* sink) {
+            Simulation::Options opt;
+            opt.num_registers = RacyCounter::registers_required();
+            opt.seed = seed;
+            return std::make_unique<Simulation>(
+                n, traced(RacyCounter::factory(), sink), std::move(sched),
+                opt);
+          }},
+      std::nullopt});
+
+  out.push_back(CatalogEntry{
+      "aba-stack", "stack", false, true, std::nullopt,
+      CatalogEntry::SimTwin{
+          "mut-aba-stack", 3, 240,
+          "MUTANT: Treiber stack with untagged head CAS (ABA)",
+          [](std::size_t n, std::uint64_t seed,
+             std::unique_ptr<core::Scheduler> sched,
+             core::OpTraceSink* sink) {
+            constexpr std::size_t kSlots = 1;  // tight pool: reuse is fast
+            Simulation::Options opt;
+            opt.num_registers =
+                AbaSimStack::registers_required(n, kSlots);
+            opt.seed = seed;
+            return std::make_unique<Simulation>(
+                n, traced(AbaSimStack::factory(kSlots), sink),
+                std::move(sched), opt);
+          }},
+      std::nullopt});
+
+  out.push_back(CatalogEntry{
+      "nohelp-queue", "queue", false, true, std::nullopt,
+      CatalogEntry::SimTwin{
+          "mut-nohelp-queue", 3, 240,
+          "MUTANT: MS queue whose dequeue never helps the lagging tail",
+          [](std::size_t n, std::uint64_t seed,
+             std::unique_ptr<core::Scheduler> sched,
+             core::OpTraceSink* sink) {
+            constexpr std::size_t kSlots = 1;
+            Simulation::Options opt;
+            opt.num_registers =
+                NoHelpSimQueue::registers_required(n, kSlots);
+            opt.seed = seed;
+            opt.initial_values = NoHelpSimQueue::initial_values();
+            return std::make_unique<Simulation>(
+                n, traced(NoHelpSimQueue::factory(kSlots), sink),
+                std::move(sched), opt);
+          }},
+      std::nullopt});
+
+  out.push_back(CatalogEntry{
+      "torn-rcu", "rcu", false, true, std::nullopt,
+      CatalogEntry::SimTwin{
+          "mut-torn-rcu", 3, 240,
+          "MUTANT: RCU with a single-slot pool (no grace period; torn "
+          "reads)",
+          [](std::size_t n, std::uint64_t seed,
+             std::unique_ptr<core::Scheduler> sched,
+             core::OpTraceSink* sink) {
+            core::RcuConfig cfg;
+            cfg.writers = 1;
+            cfg.payload_len = 3;
+            cfg.slots_per_writer = 1;  // writer reuses the block at once
+            Simulation::Options opt;
+            opt.num_registers = core::SimRcu::registers_required(cfg);
+            opt.seed = seed;
+            return std::make_unique<Simulation>(
+                n, traced(core::SimRcu::factory(cfg), sink),
+                std::move(sched), opt);
+          }},
+      std::nullopt});
+
+  // --- wait-free universal construction (src/waitfree) ---------------------
+  out.push_back(CatalogEntry{
+      "wf-counter", "counter", true, false, std::nullopt,
+      CatalogEntry::SimTwin{
+          "wf-counter", 3, 400,
+          "wait-free universal construction, fetch-inc (src/waitfree)",
+          [](std::size_t n, std::uint64_t seed,
+             std::unique_ptr<core::Scheduler> sched,
+             core::OpTraceSink* sink) {
+            waitfree::SimWfConfig cfg;
+            cfg.kind = waitfree::SimWfKind::kCounter;
+            // Aggressive knobs: announce after 2 losses, probe every
+            // other op, so short exploration schedules exercise the slow
+            // path too.
+            cfg.max_failures = 2;
+            cfg.help_delay = 2;
+            Simulation::Options opt;
+            opt.num_registers =
+                waitfree::WaitFreeSim::registers_required(n, cfg);
+            opt.seed = seed;
+            opt.initial_values =
+                waitfree::WaitFreeSim::initial_values(n, cfg);
+            return std::make_unique<Simulation>(
+                n, traced(waitfree::WaitFreeSim::factory(cfg), sink),
+                std::move(sched), opt);
+          }},
+      CatalogEntry::HwTwin{
+          "wf-counter",
+          "counter via the wait-free helping wrapper (src/waitfree)"}});
+
+  out.push_back(CatalogEntry{
+      "wf-stack", "stack", true, false, std::nullopt,
+      CatalogEntry::SimTwin{
+          "wf-stack", 3, 400,
+          "wait-free universal construction, alternating push/pop",
+          [](std::size_t n, std::uint64_t seed,
+             std::unique_ptr<core::Scheduler> sched,
+             core::OpTraceSink* sink) {
+            waitfree::SimWfConfig cfg;
+            cfg.kind = waitfree::SimWfKind::kStack;
+            cfg.max_failures = 2;
+            cfg.help_delay = 2;
+            Simulation::Options opt;
+            opt.num_registers =
+                waitfree::WaitFreeSim::registers_required(n, cfg);
+            opt.seed = seed;
+            opt.initial_values =
+                waitfree::WaitFreeSim::initial_values(n, cfg);
+            return std::make_unique<Simulation>(
+                n, traced(waitfree::WaitFreeSim::factory(cfg), sink),
+                std::move(sched), opt);
+          }},
+      CatalogEntry::HwTwin{
+          "wf-stack",
+          "bounded stack via the wait-free helping wrapper "
+          "(src/waitfree)"}});
+
+  out.push_back(CatalogEntry{
+      "treiber-stack-untagged", "stack", false, true, std::nullopt,
+      std::nullopt,
+      CatalogEntry::HwTwin{
+          "treiber-stack-untagged",
+          "ABA mutant: untagged head CAS + eager node reuse",
+          /*mutants_only=*/true}});
+
+  // --- skip-list strategy matrix (lockfree/skiplist.hpp) -------------------
+  // One row per synchronization strategy over the same abstract sorted
+  // set; the sim twins share the step-machine (core/sim_skiplist.hpp),
+  // the hw twins the native three-variant family. Appended last: the
+  // projections' legacy indices must not move.
+  out.push_back(CatalogEntry{
+      "skiplist-coarse", "set", true, false, SyncStrategy::kCoarse,
+      CatalogEntry::SimTwin{
+          "sim-skiplist-coarse", 3, 300,
+          "two-level skip list, one global lock register",
+          skiplist_build(skiplist_config(SyncStrategy::kCoarse))},
+      CatalogEntry::HwTwin{"skiplist-coarse",
+                           "skip-list map, single-mutex strategy"}});
+
+  out.push_back(CatalogEntry{
+      "skiplist-optimistic", "set", true, false, SyncStrategy::kOptimistic,
+      CatalogEntry::SimTwin{
+          "sim-skiplist-optimistic", 3, 300,
+          "two-level skip list, lazy locks + post-lock validation",
+          skiplist_build(skiplist_config(SyncStrategy::kOptimistic))},
+      CatalogEntry::HwTwin{"skiplist-optimistic",
+                           "skip-list map, lazy fine-grained locking"}});
+
+  out.push_back(CatalogEntry{
+      "skiplist-lockfree", "set", true, false, SyncStrategy::kLockFree,
+      CatalogEntry::SimTwin{
+          "sim-skiplist-lockfree", 3, 300,
+          "two-level skip list, marked-pointer CAS + helping",
+          skiplist_build(skiplist_config(SyncStrategy::kLockFree))},
+      CatalogEntry::HwTwin{"skiplist-lockfree",
+                           "skip-list map, marked-pointer CAS (Fraser)"}});
+
+  out.push_back(CatalogEntry{
+      "skiplist-novalidate", "set", false, true, SyncStrategy::kOptimistic,
+      CatalogEntry::SimTwin{
+          "mut-novalidate-skiplist", 3, 300,
+          "MUTANT: optimistic skip list without post-lock validation "
+          "(lost updates)",
+          skiplist_build(
+              skiplist_config(SyncStrategy::kOptimistic, true))},
+      CatalogEntry::HwTwin{
+          "skiplist-novalidate",
+          "MUTANT: optimistic skip list, validation skipped",
+          /*mutants_only=*/true}});
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& structure_catalog() {
+  static const std::vector<CatalogEntry> kCatalog = make_catalog();
+  return kCatalog;
+}
+
+const CatalogEntry& find_catalog_entry(const std::string& name) {
+  for (const CatalogEntry& e : structure_catalog()) {
+    if (e.name == name || (e.sim && e.sim->workload == name) ||
+        (e.hw && e.hw->structure == name)) {
+      return e;
+    }
+  }
+  throw std::invalid_argument("find_catalog_entry: unknown structure '" +
+                              name + "'");
+}
+
+std::vector<const CatalogEntry*> catalog_column(
+    std::optional<lockfree::SyncStrategy> strategy) {
+  std::vector<const CatalogEntry*> out;
+  for (const CatalogEntry& e : structure_catalog()) {
+    if (!strategy || e.strategy == strategy) out.push_back(&e);
+  }
+  return out;
+}
+
+}  // namespace pwf::check

@@ -1,0 +1,88 @@
+// The structure catalog: one declarative table describing every
+// structure the checking subsystem knows, in every incarnation it has.
+//
+// Before the catalog there were two hand-maintained registries — the
+// simulated workload list (check/workloads.cpp) and the hardware capture
+// list (HwSession::registry() in check/hw_capture.cpp) — that described
+// the *same* structures under different names with no link between them
+// (sim-stack and treiber-stack are both the Treiber stack). Every driver
+// feature (listing, filtering, strategy columns, mutant gating) had to be
+// wired twice. The catalog replaces both: one row per abstract structure,
+// carrying
+//
+//   * the sequential spec it must linearize against,
+//   * the expected verdict (stock vs seeded mutant),
+//   * its synchronization-strategy tag, when the structure is a column of
+//     the strategy matrix (lockfree/strategy.hpp),
+//   * an optional *sim twin* — the step-machine workload Session explores
+//     on simulated memory (name, defaults, builder), and
+//   * an optional *hw twin* — the native structure HwSession captures on
+//     real threads (name, note, mutant-build gating).
+//
+// workloads() and HwSession::registry() are now thin projections of this
+// table (their legacy names and order are preserved exactly — twin names
+// are the legacy registry names, and experiments derive seeds from
+// registry indices, so order is ABI). New structures are appended here
+// and show up in every driver at once.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/workloads.hpp"
+#include "lockfree/strategy.hpp"
+
+namespace pwf::check {
+
+/// One abstract structure, with up to two checkable incarnations.
+struct CatalogEntry {
+  /// Canonical structure name (the hw twin's name where one exists).
+  std::string name;
+  /// make_spec key: stack, queue, set, counter, multi-counter, rcu.
+  std::string spec_kind;
+  bool expect_linearizable = true;
+  /// Seeded-bug entry: expected to be *caught*, not to pass.
+  bool mutant = false;
+  /// Strategy-matrix column (skip-list family); nullopt for structures
+  /// outside the matrix.
+  std::optional<lockfree::SyncStrategy> strategy;
+
+  /// Step-machine twin explored by Session on simulated shared memory.
+  struct SimTwin {
+    std::string workload;  ///< name in the workload registry
+    std::size_t default_n = 3;
+    std::uint64_t default_steps = 240;
+    std::string note;
+    WorkloadBuildFn build;
+  };
+  std::optional<SimTwin> sim;
+
+  /// Native twin captured by HwSession on hardware threads. The capture
+  /// body (per Stamp × Mem) lives in hw_capture.cpp keyed by `structure`.
+  struct HwTwin {
+    std::string structure;  ///< name in HwSession::registry()
+    std::string note;
+    /// Only registered when the build defines PWF_HW_MUTANTS (native
+    /// seeded bugs are kept out of default builds).
+    bool mutants_only = false;
+  };
+  std::optional<HwTwin> hw;
+};
+
+/// The full catalog, in registry order (append-only: experiments derive
+/// per-structure seeds from projection indices).
+const std::vector<CatalogEntry>& structure_catalog();
+
+/// Looks an entry up by canonical name, sim-twin name, or hw-twin name;
+/// throws std::invalid_argument if unknown.
+const CatalogEntry& find_catalog_entry(const std::string& name);
+
+/// The catalog rows tagged with `strategy` — one strategy column of the
+/// structure matrix (empty filter = every row, tagged or not).
+std::vector<const CatalogEntry*> catalog_column(
+    std::optional<lockfree::SyncStrategy> strategy);
+
+}  // namespace pwf::check

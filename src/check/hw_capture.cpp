@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "check/catalog.hpp"
 #include "check/session.hpp"
 #include "check/spec.hpp"
 #include "lockfree/counter.hpp"
@@ -18,10 +19,11 @@
 #include "mem/hazard_era.hpp"
 #include "mem/pool.hpp"
 #include "lockfree/harris_list.hpp"
-#include "lockfree/hash_map.hpp"
+#include "lockfree/hash_set.hpp"
 #include "lockfree/lin_stamp.hpp"
 #include "lockfree/ms_queue.hpp"
 #include "lockfree/scu_object.hpp"
+#include "lockfree/skiplist.hpp"
 #include "lockfree/treiber_stack.hpp"
 #ifdef PWF_HW_MUTANTS
 #include "lockfree/treiber_stack_untagged.hpp"
@@ -285,6 +287,60 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
             log.end(true, ok ? 1 : 0);
           }
         });
+  }
+  if (structure.name.rfind("skiplist-", 0) == 0) {
+    // The strategy matrix: identical mixed set workload over all three
+    // synchronization strategies (and, in mutant builds, the
+    // validation-skipping mutant), so captures differ in strategy only.
+    const auto capture_map = [&](auto* tag) {
+      using Map = std::remove_pointer_t<decltype(tag)>;
+      auto domain = make_domain<Mem>(Map::kNodeBytes, options);
+      Map map(*domain);
+      return run_threads(
+          options, seed, bind,
+          [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
+            (void)tid;
+            typename Mem::ThreadHandle handle(*domain);
+            for (std::size_t i = 0; i < ops; ++i) {
+              const Value key = 1 + rng() % kKeySpace;
+              const std::uint64_t roll = rng() % 3;
+              const OpCode op = roll == 0   ? OpCode::kInsert
+                                : roll == 1 ? OpCode::kErase
+                                            : OpCode::kContains;
+              log.begin(op, true, key);
+              const bool ok =
+                  op == OpCode::kInsert  ? map.insert(handle, key, key)
+                  : op == OpCode::kErase ? map.erase(handle, key)
+                                         : map.contains(handle, key);
+              log.end(true, ok ? 1 : 0);
+            }
+          });
+    };
+    if (structure.name == "skiplist-coarse") {
+      return capture_map(
+          static_cast<lockfree::CoarseSkipListMap<Value, Value, Stamp, Mem>*>(
+              nullptr));
+    }
+    if (structure.name == "skiplist-optimistic") {
+      return capture_map(
+          static_cast<
+              lockfree::OptimisticSkipListMap<Value, Value, Stamp, Mem>*>(
+              nullptr));
+    }
+    if (structure.name == "skiplist-lockfree") {
+      return capture_map(
+          static_cast<
+              lockfree::LockFreeSkipListMap<Value, Value, Stamp, Mem>*>(
+              nullptr));
+    }
+#ifdef PWF_HW_MUTANTS
+    if (structure.name == "skiplist-novalidate") {
+      return capture_map(
+          static_cast<lockfree::OptimisticSkipListMap<Value, Value, Stamp,
+                                                      Mem, false>*>(
+              nullptr));
+    }
+#endif
   }
   if (structure.name == "cas-counter" || structure.name == "faa-counter") {
     lockfree::BasicCasCounter<Stamp> cas_counter;
@@ -778,24 +834,22 @@ bool HwResult::as_expected() const noexcept {
                                              : LinVerdict::kNotLinearizable);
 }
 
+// The hardware registry is the hw projection of the structure catalog
+// (check/catalog.hpp): every catalog entry with a hw twin, in catalog
+// order, with native mutants gated behind PWF_HW_MUTANTS.
 const std::vector<HwStructure>& HwSession::registry() {
-  static const std::vector<HwStructure> kRegistry = {
-      {"treiber-stack", "stack", true, "Treiber stack, EBR reclamation"},
-      {"ms-queue", "queue", true, "Michael-Scott FIFO queue"},
-      {"harris-list", "set", true, "Harris ordered-list set"},
-      {"hash-set", "set", true, "hash set over Harris-list buckets"},
-      {"cas-counter", "counter", true, "CAS-loop fetch-and-inc (Alg. 5)"},
-      {"faa-counter", "counter", true, "wait-free fetch_add baseline"},
-      {"scu-counter", "counter", true, "counter via the universal SCU object"},
-      {"wf-counter", "counter", true,
-       "counter via the wait-free helping wrapper (src/waitfree)"},
-      {"wf-stack", "stack", true,
-       "bounded stack via the wait-free helping wrapper (src/waitfree)"},
-#ifdef PWF_HW_MUTANTS
-      {"treiber-stack-untagged", "stack", false,
-       "ABA mutant: untagged head CAS + eager node reuse"},
+  static const std::vector<HwStructure> kRegistry = [] {
+    std::vector<HwStructure> out;
+    for (const CatalogEntry& entry : structure_catalog()) {
+      if (!entry.hw) continue;
+#ifndef PWF_HW_MUTANTS
+      if (entry.hw->mutants_only) continue;
 #endif
-  };
+      out.push_back(HwStructure{entry.hw->structure, entry.spec_kind,
+                                entry.expect_linearizable, entry.hw->note});
+    }
+    return out;
+  }();
   return kRegistry;
 }
 

@@ -1,220 +1,28 @@
 #include "check/workloads.hpp"
 
 #include <stdexcept>
-#include <utility>
 
-#include "check/mutants.hpp"
-#include "core/algorithms.hpp"
-#include "core/sim_queue.hpp"
-#include "core/sim_rcu.hpp"
-#include "core/sim_stack.hpp"
-#include "waitfree/sim_object.hpp"
+#include "check/catalog.hpp"
 
 namespace pwf::check {
 
-namespace {
-
-using core::Simulation;
-
-/// Wraps a machine factory so every machine gets the trace sink attached
-/// at construction.
-core::StepMachineFactory traced(core::StepMachineFactory inner,
-                                core::OpTraceSink* sink) {
-  return [inner = std::move(inner), sink](std::size_t pid, std::size_t n) {
-    auto machine = inner(pid, n);
-    machine->set_trace(sink);
-    return machine;
-  };
-}
-
-std::vector<Workload> make_workloads() {
-  std::vector<Workload> out;
-
-  // --- stock structures ------------------------------------------------------
-  out.push_back(Workload{
-      "sim-stack", "stack", true, 3, 240,
-      "Treiber stack (tagged head), alternating push/pop",
-      [](std::size_t n, std::uint64_t seed,
-         std::unique_ptr<core::Scheduler> sched, core::OpTraceSink* sink) {
-        constexpr std::size_t kSlots = 2;
-        Simulation::Options opt;
-        opt.num_registers = core::SimStack::registers_required(n, kSlots);
-        opt.seed = seed;
-        return std::make_unique<Simulation>(
-            n, traced(core::SimStack::factory(kSlots), sink),
-            std::move(sched), opt);
-      }});
-
-  out.push_back(Workload{
-      "sim-queue", "queue", true, 3, 240,
-      "Michael-Scott queue (generation-stamped), alternating enq/deq",
-      [](std::size_t n, std::uint64_t seed,
-         std::unique_ptr<core::Scheduler> sched, core::OpTraceSink* sink) {
-        constexpr std::size_t kSlots = 2;
-        Simulation::Options opt;
-        opt.num_registers = core::SimQueue::registers_required(n, kSlots);
-        opt.seed = seed;
-        opt.initial_values = core::SimQueue::initial_values();
-        return std::make_unique<Simulation>(
-            n, traced(core::SimQueue::factory(kSlots), sink),
-            std::move(sched), opt);
-      }});
-
-  out.push_back(Workload{
-      "sim-rcu", "rcu", true, 3, 240,
-      "RCU version register, 1 writer + readers, deep recycling pool",
-      [](std::size_t n, std::uint64_t seed,
-         std::unique_ptr<core::Scheduler> sched, core::OpTraceSink* sink) {
-        core::RcuConfig cfg;
-        cfg.writers = 1;
-        cfg.payload_len = 2;
-        // Deep pool: within a bounded schedule no reader can straddle
-        // enough updates to see a recycled block, so reads never tear.
-        cfg.slots_per_writer = 64;
-        Simulation::Options opt;
-        opt.num_registers = core::SimRcu::registers_required(cfg);
-        opt.seed = seed;
-        return std::make_unique<Simulation>(
-            n, traced(core::SimRcu::factory(cfg), sink), std::move(sched),
-            opt);
-      }});
-
-  out.push_back(Workload{
-      "fai-counter", "counter", true, 3, 200,
-      "Algorithm 5 fetch-and-increment on augmented CAS",
-      [](std::size_t n, std::uint64_t seed,
-         std::unique_ptr<core::Scheduler> sched, core::OpTraceSink* sink) {
-        Simulation::Options opt;
-        opt.num_registers = core::FetchAndIncrement::registers_required();
-        opt.seed = seed;
-        return std::make_unique<Simulation>(
-            n, traced(core::FetchAndIncrement::factory(), sink),
-            std::move(sched), opt);
-      }});
-
-  out.push_back(Workload{
-      "sharded-counter", "multi-counter", true, 4, 400,
-      "register file of independent fetch-inc counters (multi-object)",
-      [](std::size_t n, std::uint64_t seed,
-         std::unique_ptr<core::Scheduler> sched, core::OpTraceSink* sink) {
-        constexpr std::size_t kCounters = 8;
-        Simulation::Options opt;
-        opt.num_registers =
-            core::ShardedCounter::registers_required(kCounters);
-        opt.seed = seed;
-        return std::make_unique<Simulation>(
-            n, traced(core::ShardedCounter::factory(kCounters), sink),
-            std::move(sched), opt);
-      }});
-
-  // --- seeded mutants --------------------------------------------------------
-  out.push_back(Workload{
-      "mut-racy-counter", "counter", false, 3, 64,
-      "MUTANT: increment as read + blind write (lost updates)",
-      [](std::size_t n, std::uint64_t seed,
-         std::unique_ptr<core::Scheduler> sched, core::OpTraceSink* sink) {
-        Simulation::Options opt;
-        opt.num_registers = RacyCounter::registers_required();
-        opt.seed = seed;
-        return std::make_unique<Simulation>(
-            n, traced(RacyCounter::factory(), sink), std::move(sched), opt);
-      }});
-
-  out.push_back(Workload{
-      "mut-aba-stack", "stack", false, 3, 240,
-      "MUTANT: Treiber stack with untagged head CAS (ABA)",
-      [](std::size_t n, std::uint64_t seed,
-         std::unique_ptr<core::Scheduler> sched, core::OpTraceSink* sink) {
-        constexpr std::size_t kSlots = 1;  // tight pool: reuse is immediate
-        Simulation::Options opt;
-        opt.num_registers = AbaSimStack::registers_required(n, kSlots);
-        opt.seed = seed;
-        return std::make_unique<Simulation>(
-            n, traced(AbaSimStack::factory(kSlots), sink), std::move(sched),
-            opt);
-      }});
-
-  out.push_back(Workload{
-      "mut-nohelp-queue", "queue", false, 3, 240,
-      "MUTANT: MS queue whose dequeue never helps the lagging tail",
-      [](std::size_t n, std::uint64_t seed,
-         std::unique_ptr<core::Scheduler> sched, core::OpTraceSink* sink) {
-        constexpr std::size_t kSlots = 1;
-        Simulation::Options opt;
-        opt.num_registers = NoHelpSimQueue::registers_required(n, kSlots);
-        opt.seed = seed;
-        opt.initial_values = NoHelpSimQueue::initial_values();
-        return std::make_unique<Simulation>(
-            n, traced(NoHelpSimQueue::factory(kSlots), sink),
-            std::move(sched), opt);
-      }});
-
-  out.push_back(Workload{
-      "mut-torn-rcu", "rcu", false, 3, 240,
-      "MUTANT: RCU with a single-slot pool (no grace period; torn reads)",
-      [](std::size_t n, std::uint64_t seed,
-         std::unique_ptr<core::Scheduler> sched, core::OpTraceSink* sink) {
-        core::RcuConfig cfg;
-        cfg.writers = 1;
-        cfg.payload_len = 3;
-        cfg.slots_per_writer = 1;  // writer reuses the block immediately
-        Simulation::Options opt;
-        opt.num_registers = core::SimRcu::registers_required(cfg);
-        opt.seed = seed;
-        return std::make_unique<Simulation>(
-            n, traced(core::SimRcu::factory(cfg), sink), std::move(sched),
-            opt);
-      }});
-
-  // --- wait-free universal construction (src/waitfree) ----------------------
-  // Registered after the mutants: experiments derive per-workload seeds
-  // from the registry index, so appending keeps every pre-existing
-  // workload's exploration seeds (and minimized witnesses) unchanged.
-  out.push_back(Workload{
-      "wf-counter", "counter", true, 3, 400,
-      "wait-free universal construction, fetch-inc (src/waitfree)",
-      [](std::size_t n, std::uint64_t seed,
-         std::unique_ptr<core::Scheduler> sched, core::OpTraceSink* sink) {
-        waitfree::SimWfConfig cfg;
-        cfg.kind = waitfree::SimWfKind::kCounter;
-        // Aggressive knobs: announce after 2 losses, probe every other
-        // op, so short exploration schedules exercise the slow path too.
-        cfg.max_failures = 2;
-        cfg.help_delay = 2;
-        Simulation::Options opt;
-        opt.num_registers = waitfree::WaitFreeSim::registers_required(n, cfg);
-        opt.seed = seed;
-        opt.initial_values = waitfree::WaitFreeSim::initial_values(n, cfg);
-        return std::make_unique<Simulation>(
-            n, traced(waitfree::WaitFreeSim::factory(cfg), sink),
-            std::move(sched), opt);
-      }});
-
-  out.push_back(Workload{
-      "wf-stack", "stack", true, 3, 400,
-      "wait-free universal construction, alternating push/pop",
-      [](std::size_t n, std::uint64_t seed,
-         std::unique_ptr<core::Scheduler> sched, core::OpTraceSink* sink) {
-        waitfree::SimWfConfig cfg;
-        cfg.kind = waitfree::SimWfKind::kStack;
-        cfg.max_failures = 2;
-        cfg.help_delay = 2;
-        Simulation::Options opt;
-        opt.num_registers = waitfree::WaitFreeSim::registers_required(n, cfg);
-        opt.seed = seed;
-        opt.initial_values = waitfree::WaitFreeSim::initial_values(n, cfg);
-        return std::make_unique<Simulation>(
-            n, traced(waitfree::WaitFreeSim::factory(cfg), sink),
-            std::move(sched), opt);
-      }});
-
-  return out;
-}
-
-}  // namespace
-
+// The workload registry is the sim projection of the structure catalog:
+// every catalog entry with a sim twin, in catalog order. The catalog
+// keeps the legacy registry order stable (experiments derive per-workload
+// seeds from the index here), so growth happens by *appending* catalog
+// rows, never by reordering.
 const std::vector<Workload>& workloads() {
-  static const std::vector<Workload> kWorkloads = make_workloads();
+  static const std::vector<Workload> kWorkloads = [] {
+    std::vector<Workload> out;
+    for (const CatalogEntry& entry : structure_catalog()) {
+      if (!entry.sim) continue;
+      out.push_back(Workload{entry.sim->workload, entry.spec_kind,
+                             entry.expect_linearizable, entry.sim->default_n,
+                             entry.sim->default_steps, entry.sim->note,
+                             entry.sim->build});
+    }
+    return out;
+  }();
   return kWorkloads;
 }
 

@@ -18,6 +18,12 @@
 
 namespace pwf::check {
 
+/// Builds a fresh simulation whose machines emit trace events to `sink`
+/// (may be nullptr for an untraced run).
+using WorkloadBuildFn = std::function<std::unique_ptr<core::Simulation>(
+    std::size_t n, std::uint64_t seed,
+    std::unique_ptr<core::Scheduler> scheduler, core::OpTraceSink* sink)>;
+
 /// One checkable workload.
 struct Workload {
   std::string name;
@@ -27,19 +33,15 @@ struct Workload {
   std::uint64_t default_steps;  ///< steps per schedule by default
   std::string note;          ///< one-line description for --list
 
-  /// Builds a fresh simulation whose machines emit trace events to
-  /// `sink` (may be nullptr for an untraced run).
-  std::function<std::unique_ptr<core::Simulation>(
-      std::size_t n, std::uint64_t seed,
-      std::unique_ptr<core::Scheduler> scheduler, core::OpTraceSink* sink)>
-      build;
+  WorkloadBuildFn build;
 
   std::unique_ptr<Spec> make_spec() const { return check::make_spec(spec_kind); }
 };
 
-/// All registered workloads: the stock structures first (including the
-/// multi-object sharded-counter), then the seeded mutants (names
-/// prefixed "mut-").
+/// All registered workloads, derived from the structure catalog
+/// (check/catalog.hpp): every catalog entry with a sim twin, in catalog
+/// order. Stock structures come first, then the seeded mutants (names
+/// prefixed "mut-"), then later additions in append order.
 const std::vector<Workload>& workloads();
 
 /// Looks a workload up by name; throws std::invalid_argument if unknown.

@@ -1,0 +1,810 @@
+#include "core/sim_skiplist.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace pwf::core {
+
+namespace {
+
+// splitmix64 finalizer — op selection must be a pure function of
+// (pid, op index) so record/replay and forced schedules are stable.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SimSkipList::SimSkipList(std::size_t pid, std::size_t n,
+                         SimSkipListConfig config)
+    : config_(config), pid_(pid), n_(n), phase_(Phase::kSearchReadPredNext) {
+  if (pid >= n) throw std::invalid_argument("SimSkipList: pid >= n");
+  if (config_.key_space < 2 || config_.key_space > kRefMask) {
+    throw std::invalid_argument("SimSkipList: key_space out of range");
+  }
+  if (config_.novalidate &&
+      config_.strategy != lockfree::SyncStrategy::kOptimistic) {
+    throw std::invalid_argument(
+        "SimSkipList: novalidate only applies to the optimistic strategy");
+  }
+  if (config_.contains_pct + config_.insert_pct > 100) {
+    throw std::invalid_argument("SimSkipList: op mix exceeds 100%");
+  }
+  begin_op();
+}
+
+std::size_t SimSkipList::registers_required(std::size_t /*n*/,
+                                            const SimSkipListConfig& config) {
+  return 4 + 3 * config.key_space;
+}
+
+StepMachineFactory SimSkipList::factory(SimSkipListConfig config) {
+  return [config](std::size_t pid, std::size_t n) {
+    return std::make_unique<SimSkipList>(pid, n, config);
+  };
+}
+
+std::string SimSkipList::name() const {
+  // Local switch instead of lockfree::sync_strategy_name(): core must not
+  // link against pwf_lockfree (the strategy header is include-only).
+  const char* tag = "lockfree";
+  switch (config_.strategy) {
+    case lockfree::SyncStrategy::kCoarse: tag = "coarse"; break;
+    case lockfree::SyncStrategy::kOptimistic: tag = "optimistic"; break;
+    case lockfree::SyncStrategy::kLockFree: tag = "lockfree"; break;
+  }
+  std::string s = "sim-skiplist-";
+  s += tag;
+  if (config_.novalidate) s += "-novalidate";
+  return s;
+}
+
+void SimSkipList::begin_op() {
+  const std::uint64_t h = mix(mix(pid_ + 1) ^ op_counter_);
+  key_ = 1 + h % config_.key_space;
+  if (config_.contains_pct == 0 && config_.insert_pct == 0) {
+    // Legacy uniform mix: checker workloads pin this op sequence.
+    switch ((h >> 33) % 3) {
+      case 0: kind_ = OpKind::kInsert; break;
+      case 1: kind_ = OpKind::kErase; break;
+      default: kind_ = OpKind::kContains; break;
+    }
+  } else {
+    const std::uint64_t roll = (h >> 33) % 100;
+    if (roll < config_.contains_pct) {
+      kind_ = OpKind::kContains;
+    } else if (roll < config_.contains_pct + config_.insert_pct) {
+      kind_ = OpKind::kInsert;
+    } else {
+      kind_ = OpKind::kErase;
+    }
+  }
+  // Reset all per-op scratch.
+  found_ = false;
+  claimed_ = false;
+  marked_by_us_ = false;
+  relinking_ = false;
+  lock_count_ = 0;
+  lock_idx_ = 0;
+  validate_level_ = 0;
+  result_ = 0;
+  unlock_outcome_ = -1;
+  if (config_.strategy == lockfree::SyncStrategy::kCoarse) {
+    phase_ = Phase::kCoarseAcquire;
+  } else {
+    restart_search();
+  }
+}
+
+void SimSkipList::complete(Value ret) {
+  ++ops_completed_;
+  switch (kind_) {
+    case OpKind::kInsert: inserts_ok_ += ret; break;
+    case OpKind::kErase: erases_ok_ += ret; break;
+    case OpKind::kContains: contains_hits_ += ret; break;
+  }
+  if (trace_) {
+    OpCode code = OpCode::kContains;
+    if (kind_ == OpKind::kInsert) code = OpCode::kInsert;
+    if (kind_ == OpKind::kErase) code = OpCode::kErase;
+    trace_->on_response(pid_, code, true, ret);
+  }
+  invoked_ = false;
+  ++op_counter_;
+  begin_op();
+}
+
+void SimSkipList::restart_search() {
+  level_ = 1;
+  walk_pred_ = 0;
+  walk_pred_snap_ = 0;
+  phase_ = Phase::kSearchReadPredNext;
+}
+
+bool SimSkipList::step(SharedMemory& mem) {
+  if (trace_ && !invoked_) {
+    OpCode code = OpCode::kContains;
+    if (kind_ == OpKind::kInsert) code = OpCode::kInsert;
+    if (kind_ == OpKind::kErase) code = OpCode::kErase;
+    trace_->on_invoke(pid_, code, true, key_);
+    invoked_ = true;
+  }
+  switch (phase_) {
+    case Phase::kSearchReadPredNext:
+    case Phase::kSearchReadCurrNext:
+    case Phase::kSearchSnipCas:
+      return step_search(mem);
+    default:
+      break;
+  }
+  switch (config_.strategy) {
+    case lockfree::SyncStrategy::kCoarse: return step_coarse(mem);
+    case lockfree::SyncStrategy::kOptimistic: return step_optimistic(mem);
+    case lockfree::SyncStrategy::kLockFree: return step_lockfree(mem);
+  }
+  return false;  // unreachable
+}
+
+// --- shared search walker --------------------------------------------------
+
+bool SimSkipList::step_search(SharedMemory& mem) {
+  const bool snip = config_.strategy == lockfree::SyncStrategy::kLockFree;
+  switch (phase_) {
+    case Phase::kSearchReadPredNext: {
+      walk_pred_snap_ = mem.read(next_reg(walk_pred_, level_));
+      if (snip && walk_pred_ != 0 && next_mark(walk_pred_snap_)) {
+        // The pred we resumed from (the level-1 pred, re-read here at
+        // level 0) was erased in between: the mark lives on its own next
+        // register. Linking under it would CAS against the marked snap
+        // and clear the tombstone — resurrecting a deleted node. Rescan
+        // from the head, whose next is never marked.
+        restart_search();
+        return false;
+      }
+      walk_curr_ = next_ref(walk_pred_snap_);
+      if (walk_curr_ == 0) return finish_level(/*curr_snap_valid=*/false);
+      phase_ = Phase::kSearchReadCurrNext;
+      return false;
+    }
+    case Phase::kSearchReadCurrNext: {
+      walk_curr_snap_ = mem.read(next_reg(walk_curr_, level_));
+      if (snip && next_mark(walk_curr_snap_)) {
+        phase_ = Phase::kSearchSnipCas;
+        return false;
+      }
+      if (walk_curr_ < key_) {
+        // Advance: curr becomes pred; its next (just read) names the new
+        // curr, so no extra read is needed before examining it.
+        walk_pred_ = walk_curr_;
+        walk_pred_snap_ = walk_curr_snap_;
+        walk_curr_ = next_ref(walk_curr_snap_);
+        if (walk_curr_ == 0) return finish_level(false);
+        return false;  // stay in kSearchReadCurrNext for the new curr
+      }
+      return finish_level(true);
+    }
+    case Phase::kSearchSnipCas: {
+      // Helping: unlink the marked curr from pred at this level. curr's
+      // next registers are frozen while it is marked and linked (writers
+      // need the slot claim, which needs curr unlinked), so the successor
+      // we splice in is current.
+      const Value desired =
+          bump_next(walk_pred_snap_, next_ref(walk_curr_snap_), false);
+      if (mem.cas(next_reg(walk_pred_, level_), walk_pred_snap_, desired)) {
+        walk_pred_snap_ = desired;
+        walk_curr_ = next_ref(walk_curr_snap_);
+        if (walk_curr_ == 0) return finish_level(false);
+        phase_ = Phase::kSearchReadCurrNext;
+      } else {
+        restart_search();  // pred moved under us; rescan from the top
+      }
+      return false;
+    }
+    default:
+      break;
+  }
+  return false;  // unreachable
+}
+
+bool SimSkipList::finish_level(bool curr_snap_valid) {
+  preds_[level_] = walk_pred_;
+  preds_snap_[level_] = walk_pred_snap_;
+  succs_[level_] = walk_curr_;
+  succs_snap_[level_] = curr_snap_valid ? walk_curr_snap_ : 0;
+  if (level_ == 1) {
+    level_ = 0;
+    // Keys are slot refs, so continuing from the level-1 pred is sound:
+    // its key is < ours whenever it is a real node.
+    walk_curr_ = 0;
+    phase_ = Phase::kSearchReadPredNext;
+    return false;
+  }
+  found_ = succs_[0] == key_;
+  return after_search();
+}
+
+bool SimSkipList::after_search() {
+  switch (config_.strategy) {
+    case lockfree::SyncStrategy::kCoarse: {
+      // Lock already held; the walk and the writes below are one critical
+      // section.
+      switch (kind_) {
+        case OpKind::kInsert:
+          if (found_) {
+            result_ = 0;
+            phase_ = Phase::kCoarseRelease;
+          } else {
+            result_ = 1;
+            phase_ = tall(key_) ? Phase::kCoarseWriteSlotNext1
+                                : Phase::kCoarseWriteSlotNext0;
+          }
+          return false;
+        case OpKind::kErase:
+          if (!found_) {
+            result_ = 0;
+            phase_ = Phase::kCoarseRelease;
+          } else {
+            result_ = 1;
+            phase_ = tall(key_) ? Phase::kCoarseUnlink1 : Phase::kCoarseUnlink0;
+          }
+          return false;
+        case OpKind::kContains:
+          result_ = found_ ? 1 : 0;
+          phase_ = Phase::kCoarseRelease;
+          return false;
+      }
+      return false;
+    }
+    case lockfree::SyncStrategy::kOptimistic: {
+      switch (kind_) {
+        case OpKind::kInsert:
+          if (found_) {
+            // With the claim held, "found" is impossible (only the claim
+            // holder links this key); defensively release and rescan.
+            phase_ = claimed_ ? Phase::kOptReleaseClaimDup
+                              : Phase::kOptReadFoundState;
+          } else if (!claimed_) {
+            phase_ = Phase::kOptClaimRead;
+          } else {
+            setup_pred_locks(height());
+            phase_ = Phase::kOptLockRead;
+          }
+          return false;
+        case OpKind::kErase:
+          if (marked_by_us_) {
+            // Victim is locked + marked by us; this rescan only refreshes
+            // the predecessors for the unlink window.
+            setup_pred_locks(height());
+            phase_ = Phase::kOptLockRead;
+            return false;
+          }
+          if (!found_) {
+            complete(0);
+            return true;
+          }
+          phase_ = Phase::kOptEraseReadVictimState;
+          return false;
+        case OpKind::kContains:
+          if (!found_) {
+            complete(0);
+            return true;
+          }
+          phase_ = Phase::kOptReadFoundState;
+          return false;
+      }
+      return false;
+    }
+    case lockfree::SyncStrategy::kLockFree: {
+      switch (kind_) {
+        case OpKind::kInsert:
+          if (relinking_) {
+            // Already linearized (level-0 link succeeded); we only came
+            // back to finish or abandon the level-1 index link.
+            if (succs_[0] != key_ || succs_[1] == key_) {
+              phase_ = Phase::kLfReleaseClaim;  // erased, or already linked
+            } else {
+              phase_ = Phase::kLfCheckSlotNext1;
+            }
+            return false;
+          }
+          if (found_) {
+            if (claimed_) {
+              // Normal duplicate path under claim: the claim CAS only
+              // checks the lock bit, so a *live* key's slot is claimable
+              // (its previous claimant released after linking). The
+              // post-claim search finding it is the duplicate verdict.
+              result_ = 0;
+              phase_ = Phase::kLfReleaseClaim;
+              return false;
+            }
+            complete(0);
+            return true;
+          }
+          if (!claimed_) {
+            phase_ = Phase::kLfClaimRead;
+            return false;
+          }
+          if (succs_[1] == key_) {
+            // Slot aliasing: the level-1 pass saw this key's previous
+            // (live, claim-free) incarnation, and a concurrent erase
+            // removed it from level 0 before our level-0 pass. Using that
+            // succ would write a self-loop. By now the erase has marked
+            // the old next1 (tall erases mark top-down), so one fresh
+            // search snips the stale index link and converges.
+            restart_search();
+            return false;
+          }
+          phase_ = Phase::kLfReadSlotNext0;  // (re)build the slot and link
+          return false;
+        case OpKind::kErase:
+          if (!found_) {
+            complete(0);
+            return true;
+          }
+          // succs_snap_[0] is the victim's next0, read while the victim was
+          // linked and unmarked — a sound CAS expectation for the mark (any
+          // intervening erase or reuse bumps the tag and fails it).
+          reg_snap_ = succs_snap_[0];
+          phase_ = tall(key_) ? Phase::kLfEraseReadNext1
+                              : Phase::kLfEraseMark0Cas;
+          return false;
+        case OpKind::kContains:
+          complete(found_ ? 1 : 0);
+          return true;
+      }
+      return false;
+    }
+  }
+  return false;  // unreachable
+}
+
+// --- coarse ----------------------------------------------------------------
+
+bool SimSkipList::step_coarse(SharedMemory& mem) {
+  switch (phase_) {
+    case Phase::kCoarseAcquire:
+      if (mem.cas(0, 0, static_cast<Value>(pid_ + 1))) restart_search();
+      return false;  // on failure: spin (stay in kCoarseAcquire)
+    case Phase::kCoarseWriteSlotNext1:
+      mem.write(next_reg(key_, 1), pack_next(0, succs_[1], false));
+      phase_ = Phase::kCoarseWriteSlotNext0;
+      return false;
+    case Phase::kCoarseWriteSlotNext0:
+      mem.write(next_reg(key_, 0), pack_next(0, succs_[0], false));
+      phase_ = Phase::kCoarseLink0;
+      return false;
+    case Phase::kCoarseLink0:
+      mem.write(next_reg(preds_[0], 0), pack_next(0, key_, false));
+      phase_ = tall(key_) ? Phase::kCoarseLink1 : Phase::kCoarseRelease;
+      return false;
+    case Phase::kCoarseLink1:
+      mem.write(next_reg(preds_[1], 1), pack_next(0, key_, false));
+      phase_ = Phase::kCoarseRelease;
+      return false;
+    case Phase::kCoarseUnlink1:
+      mem.write(next_reg(preds_[1], 1),
+                pack_next(0, next_ref(succs_snap_[1]), false));
+      phase_ = Phase::kCoarseUnlink0;
+      return false;
+    case Phase::kCoarseUnlink0:
+      mem.write(next_reg(preds_[0], 0),
+                pack_next(0, next_ref(succs_snap_[0]), false));
+      phase_ = Phase::kCoarseRelease;
+      return false;
+    case Phase::kCoarseRelease: {
+      mem.write(0, 0);
+      const Value ret = result_;
+      complete(ret);
+      return true;
+    }
+    default:
+      break;
+  }
+  return false;  // unreachable
+}
+
+// --- optimistic ------------------------------------------------------------
+
+void SimSkipList::setup_pred_locks(int levels) {
+  // Lock distinct predecessors in ascending level order. Level-0 preds
+  // have keys >= level-1 preds, so lock order is by non-increasing key —
+  // the same deadlock-freedom argument as the native lazy list (an erase's
+  // victim, locked before this window, has the largest key of all).
+  lock_targets_[0] = preds_[0];
+  lock_count_ = 1;
+  if (levels == 2 && preds_[1] != preds_[0]) {
+    lock_targets_[1] = preds_[1];
+    lock_count_ = 2;
+  }
+  lock_idx_ = 0;
+}
+
+bool SimSkipList::step_optimistic(SharedMemory& mem) {
+  switch (phase_) {
+    case Phase::kOptReadFoundState: {
+      const Value raw = mem.read(state_reg(key_));
+      const Value flags = state_flags(raw);
+      if (kind_ == OpKind::kContains) {
+        const bool live =
+            (flags & kLinkedBit) != 0 && (flags & kMarkedBit) == 0;
+        complete(live ? 1 : 0);
+        return true;
+      }
+      // Insert duplicate probe: decide off the state of the found node.
+      if ((flags & kMarkedBit) != 0) {
+        restart_search();  // being removed; retry and likely claim the slot
+        return false;
+      }
+      if ((flags & kLinkedBit) == 0) return false;  // linking in progress: spin
+      complete(0);  // fully linked duplicate
+      return true;
+    }
+    case Phase::kOptClaimRead: {
+      const Value raw = mem.read(state_reg(key_));
+      const Value flags = state_flags(raw);
+      if ((flags & kLinkedBit) != 0) {
+        restart_search();  // someone linked our key; take the dup path
+        return false;
+      }
+      if ((flags & kLockBit) != 0) return false;  // rival claim: spin
+      reg_snap_ = raw;
+      phase_ = Phase::kOptClaimCas;
+      return false;
+    }
+    case Phase::kOptClaimCas: {
+      const Value desired = bump_state(reg_snap_, kLockBit);
+      if (mem.cas(state_reg(key_), reg_snap_, desired)) {
+        claimed_ = true;
+        slot_state_snap_ = desired;
+        setup_pred_locks(height());
+        phase_ = Phase::kOptLockRead;
+      } else {
+        phase_ = Phase::kOptClaimRead;
+      }
+      return false;
+    }
+    case Phase::kOptLockRead: {
+      const std::uint64_t target = lock_targets_[lock_idx_];
+      const Value raw = mem.read(state_reg(target));
+      const Value flags = state_flags(raw);
+      // Pre-lock staleness check (head, ref 0, is always valid): a marked
+      // or not-fully-linked pred is a stale incarnation — in particular,
+      // its lock bit may be another inserter's slot *claim*, and spinning
+      // on that can deadlock against the claimant's own validation
+      // (it waits for our marked victim to unlink, we wait for its claim).
+      // Re-search instead; the fresh walk yields a live pred.
+      if (target != 0 &&
+          ((flags & kLinkedBit) == 0 || (flags & kMarkedBit) != 0)) {
+        if (lock_idx_ == 0) {
+          restart_search();
+        } else {
+          lock_count_ = lock_idx_;  // unlock only what we hold
+          unlock_outcome_ = -1;
+          lock_idx_ = 0;
+          phase_ = Phase::kOptUnlockPreds;
+        }
+        return false;
+      }
+      if ((flags & kLockBit) != 0) return false;  // spin
+      reg_snap_ = raw;
+      phase_ = Phase::kOptLockCas;
+      return false;
+    }
+    case Phase::kOptLockCas: {
+      const Value desired =
+          bump_state(reg_snap_, state_flags(reg_snap_) | kLockBit);
+      if (!mem.cas(state_reg(lock_targets_[lock_idx_]), reg_snap_, desired)) {
+        phase_ = Phase::kOptLockRead;
+        return false;
+      }
+      lock_state_snap_[lock_idx_] = desired;
+      ++lock_idx_;
+      if (lock_idx_ < lock_count_) {
+        phase_ = Phase::kOptLockRead;
+        return false;
+      }
+      // All preds locked (live and unmarked — the pre-lock check filtered
+      // stale ones, and a locked node cannot become marked: marking
+      // requires its lock).
+      if (optimistic_validate()) {
+        validate_level_ = 0;
+        phase_ = Phase::kOptValidateReadPredNext;
+      } else {
+        enter_write_window();
+      }
+      return false;
+    }
+    case Phase::kOptValidateReadPredNext: {
+      const int lvl = validate_level_;
+      const Value raw = mem.read(next_reg(preds_[lvl], lvl));
+      const std::uint64_t expected =
+          kind_ == OpKind::kInsert ? succs_[lvl] : key_;
+      if (next_ref(raw) != expected) {
+        unlock_outcome_ = -1;  // list moved: unlock, rescan, retry
+        lock_idx_ = 0;
+        phase_ = Phase::kOptUnlockPreds;
+        return false;
+      }
+      if (kind_ == OpKind::kInsert && succs_[lvl] != 0) {
+        phase_ = Phase::kOptValidateReadSuccState;
+      } else {
+        advance_validate();
+      }
+      return false;
+    }
+    case Phase::kOptValidateReadSuccState: {
+      const Value raw = mem.read(state_reg(succs_[validate_level_]));
+      if ((state_flags(raw) & kMarkedBit) != 0) {
+        unlock_outcome_ = -1;
+        lock_idx_ = 0;
+        phase_ = Phase::kOptUnlockPreds;
+        return false;
+      }
+      advance_validate();
+      return false;
+    }
+    case Phase::kOptWriteSlotNext0:
+      mem.write(next_reg(key_, 0), pack_next(0, succs_[0], false));
+      phase_ = tall(key_) ? Phase::kOptWriteSlotNext1 : Phase::kOptLink0;
+      return false;
+    case Phase::kOptWriteSlotNext1:
+      mem.write(next_reg(key_, 1), pack_next(0, succs_[1], false));
+      phase_ = Phase::kOptLink0;
+      return false;
+    case Phase::kOptLink0:
+      mem.write(next_reg(preds_[0], 0), pack_next(0, key_, false));
+      phase_ = tall(key_) ? Phase::kOptLink1 : Phase::kOptSetLinked;
+      return false;
+    case Phase::kOptLink1:
+      mem.write(next_reg(preds_[1], 1), pack_next(0, key_, false));
+      phase_ = Phase::kOptSetLinked;
+      return false;
+    case Phase::kOptSetLinked:
+      // Linearization point of a successful insert: fully-linked becomes
+      // visible and the claim (lock bit) is released in the same write.
+      mem.write(state_reg(key_), bump_state(slot_state_snap_, kLinkedBit));
+      claimed_ = false;
+      unlock_outcome_ = 1;
+      lock_idx_ = 0;
+      phase_ = Phase::kOptUnlockPreds;
+      return false;
+    case Phase::kOptUnlockPreds: {
+      const std::uint64_t target = lock_targets_[lock_idx_];
+      const Value snap = lock_state_snap_[lock_idx_];
+      mem.write(state_reg(target),
+                bump_state(snap, state_flags(snap) & ~kLockBit));
+      ++lock_idx_;
+      if (lock_idx_ < lock_count_) return false;
+      if (unlock_outcome_ < 0) {
+        restart_search();
+        return false;
+      }
+      complete(static_cast<Value>(unlock_outcome_));
+      return true;
+    }
+    case Phase::kOptEraseReadVictimState: {
+      const Value raw = mem.read(state_reg(key_));
+      const Value flags = state_flags(raw);
+      if ((flags & kLinkedBit) == 0 || (flags & kMarkedBit) != 0) {
+        complete(0);  // not (or no longer) a live node
+        return true;
+      }
+      if ((flags & kLockBit) != 0) return false;  // spin
+      reg_snap_ = raw;
+      phase_ = Phase::kOptEraseLockVictimCas;
+      return false;
+    }
+    case Phase::kOptEraseLockVictimCas: {
+      const Value desired =
+          bump_state(reg_snap_, state_flags(reg_snap_) | kLockBit);
+      if (mem.cas(state_reg(key_), reg_snap_, desired)) {
+        victim_state_snap_ = desired;
+        phase_ = Phase::kOptEraseMark;
+      } else {
+        phase_ = Phase::kOptEraseReadVictimState;
+      }
+      return false;
+    }
+    case Phase::kOptEraseMark: {
+      // Linearization point of a successful erase: logically deleted. The
+      // victim stays locked across any validation retries.
+      const Value desired =
+          bump_state(victim_state_snap_, kLockBit | kMarkedBit | kLinkedBit);
+      mem.write(state_reg(key_), desired);
+      victim_state_snap_ = desired;
+      marked_by_us_ = true;
+      setup_pred_locks(height());
+      phase_ = Phase::kOptLockRead;
+      return false;
+    }
+    case Phase::kOptEraseReadVictimNext1:
+      victim_next_[1] = next_ref(mem.read(next_reg(key_, 1)));
+      phase_ = Phase::kOptEraseReadVictimNext0;
+      return false;
+    case Phase::kOptEraseReadVictimNext0:
+      victim_next_[0] = next_ref(mem.read(next_reg(key_, 0)));
+      phase_ = tall(key_) ? Phase::kOptEraseUnlink1 : Phase::kOptEraseUnlink0;
+      return false;
+    case Phase::kOptEraseUnlink1:
+      mem.write(next_reg(preds_[1], 1), pack_next(0, victim_next_[1], false));
+      phase_ = Phase::kOptEraseUnlink0;
+      return false;
+    case Phase::kOptEraseUnlink0:
+      mem.write(next_reg(preds_[0], 0), pack_next(0, victim_next_[0], false));
+      phase_ = Phase::kOptEraseRetire;
+      return false;
+    case Phase::kOptEraseRetire:
+      // Unlock the victim and drop linked: the slot is reclaimable (a
+      // later inserter of this key claims it afresh). Unlike the native
+      // map, the sim retires even under novalidate — simulated memory has
+      // no use-after-free hazard, the mutant's bug stays purely logical.
+      mem.write(state_reg(key_), bump_state(victim_state_snap_, kMarkedBit));
+      unlock_outcome_ = 1;
+      lock_idx_ = 0;
+      phase_ = Phase::kOptUnlockPreds;
+      return false;
+    case Phase::kOptReleaseClaimDup:
+      mem.write(state_reg(key_), bump_state(slot_state_snap_, 0));
+      claimed_ = false;
+      restart_search();
+      return false;
+    default:
+      break;
+  }
+  return false;  // unreachable
+}
+
+void SimSkipList::advance_validate() {
+  ++validate_level_;
+  if (validate_level_ < height()) {
+    phase_ = Phase::kOptValidateReadPredNext;
+  } else {
+    enter_write_window();
+  }
+}
+
+void SimSkipList::enter_write_window() {
+  if (kind_ == OpKind::kInsert) {
+    phase_ = Phase::kOptWriteSlotNext0;
+  } else {
+    phase_ = tall(key_) ? Phase::kOptEraseReadVictimNext1
+                        : Phase::kOptEraseReadVictimNext0;
+  }
+}
+
+// --- lockfree --------------------------------------------------------------
+
+bool SimSkipList::step_lockfree(SharedMemory& mem) {
+  switch (phase_) {
+    case Phase::kLfClaimRead: {
+      const Value raw = mem.read(state_reg(key_));
+      if ((state_flags(raw) & kLockBit) != 0) return false;  // rival: spin
+      reg_snap_ = raw;
+      phase_ = Phase::kLfClaimCas;
+      return false;
+    }
+    case Phase::kLfClaimCas:
+      if (mem.cas(state_reg(key_), reg_snap_, bump_state(reg_snap_, kLockBit))) {
+        claimed_ = true;
+        slot_state_snap_ = bump_state(reg_snap_, kLockBit);
+        // Certify pass: the pre-claim search may predate an erase of this
+        // key's previous incarnation, leaving it linked at level 1 (the
+        // walker's level-1 pass ran before the mark landed). Re-searching
+        // *after* the claim snips any such stale link — and once we hold
+        // the claim no new erase of this slot can begin, so the fresh
+        // preds/succs are safe to link against. Without this, the stale
+        // level-1 view can alias our own slot into succs_[1] (self-loop).
+        restart_search();
+      } else {
+        phase_ = Phase::kLfClaimRead;
+      }
+      return false;
+    case Phase::kLfReadSlotNext0:
+      // The slot was not traversed (it is unlinked), so its next registers
+      // must be read before being re-tagged.
+      reg_snap_ = mem.read(next_reg(key_, 0));
+      phase_ = Phase::kLfWriteSlotNext0;
+      return false;
+    case Phase::kLfWriteSlotNext0:
+      mem.write(next_reg(key_, 0), bump_next(reg_snap_, succs_[0], false));
+      phase_ = tall(key_) ? Phase::kLfReadSlotNext1 : Phase::kLfLink0Cas;
+      return false;
+    case Phase::kLfReadSlotNext1:
+      slot_next1_snap_ = mem.read(next_reg(key_, 1));
+      phase_ = Phase::kLfWriteSlotNext1;
+      return false;
+    case Phase::kLfWriteSlotNext1: {
+      const Value desired = bump_next(slot_next1_snap_, succs_[1], false);
+      mem.write(next_reg(key_, 1), desired);
+      slot_next1_snap_ = desired;
+      phase_ = Phase::kLfLink0Cas;
+      return false;
+    }
+    case Phase::kLfLink0Cas:
+      // Linearization point of a successful insert: the bottom-level link.
+      if (mem.cas(next_reg(preds_[0], 0), preds_snap_[0],
+                  bump_next(preds_snap_[0], key_, false))) {
+        result_ = 1;
+        phase_ = tall(key_) ? Phase::kLfLink1Cas : Phase::kLfReleaseClaim;
+      } else {
+        restart_search();  // pred changed; re-find (claim kept)
+      }
+      return false;
+    case Phase::kLfLink1Cas:
+      if (mem.cas(next_reg(preds_[1], 1), preds_snap_[1],
+                  bump_next(preds_snap_[1], key_, false))) {
+        phase_ = Phase::kLfReleaseClaim;
+      } else {
+        relinking_ = true;  // index pred moved; re-find and retarget next1
+        restart_search();
+      }
+      return false;
+    case Phase::kLfCheckSlotNext1: {
+      const Value raw = mem.read(next_reg(key_, 1));
+      if (next_mark(raw)) {
+        // A concurrent erase marked us: abandon the index link (the node
+        // lives on at level 0 until the eraser's traversals snip it).
+        phase_ = Phase::kLfReleaseClaim;
+      } else if (next_ref(raw) == succs_[1]) {
+        phase_ = Phase::kLfLink1Cas;  // preds_snap_[1] fresh from re-search
+      } else {
+        reg_snap_ = raw;
+        phase_ = Phase::kLfRelinkNext1Cas;
+      }
+      return false;
+    }
+    case Phase::kLfRelinkNext1Cas:
+      if (mem.cas(next_reg(key_, 1), reg_snap_,
+                  bump_next(reg_snap_, succs_[1], false))) {
+        phase_ = Phase::kLfLink1Cas;
+      } else {
+        phase_ = Phase::kLfCheckSlotNext1;  // probably marked meanwhile
+      }
+      return false;
+    case Phase::kLfReleaseClaim: {
+      mem.write(state_reg(key_), bump_state(slot_state_snap_, 0));
+      claimed_ = false;
+      relinking_ = false;
+      const Value ret = result_;
+      complete(ret);
+      return true;
+    }
+    case Phase::kLfEraseReadNext1:
+      slot_next1_snap_ = mem.read(next_reg(key_, 1));
+      phase_ = next_mark(slot_next1_snap_) ? Phase::kLfEraseMark0Cas
+                                           : Phase::kLfEraseMark1Cas;
+      return false;
+    case Phase::kLfEraseMark1Cas:
+      // Index-level mark first (top-down, like the native map). Failure
+      // means the register moved (snip, or the slot got reused); re-read.
+      if (mem.cas(next_reg(key_, 1), slot_next1_snap_,
+                  bump_next(slot_next1_snap_, next_ref(slot_next1_snap_),
+                            true))) {
+        phase_ = Phase::kLfEraseMark0Cas;
+      } else {
+        phase_ = Phase::kLfEraseReadNext1;
+      }
+      return false;
+    case Phase::kLfEraseMark0Cas:
+      // Linearization point of a successful erase. The expectation came
+      // from a search that saw the victim linked and unmarked; a success
+      // therefore proves no erase or reuse intervened. On failure, restart
+      // the whole op from the search — re-reading here could capture an
+      // unlinked (reused) incarnation and mark a node before it is linked.
+      if (mem.cas(next_reg(key_, 0), reg_snap_,
+                  bump_next(reg_snap_, next_ref(reg_snap_), true))) {
+        complete(1);
+        return true;
+      }
+      restart_search();
+      return false;
+    default:
+      break;
+  }
+  return false;  // unreachable
+}
+
+}  // namespace pwf::core

@@ -1,0 +1,255 @@
+// The skip-list strategy matrix expressed as a step machine on simulated
+// shared memory — the Session-checkable twin of the native three-variant
+// family in lockfree/skiplist.hpp. One machine class covers all three
+// synchronization strategies (selected per instance), so forced
+// interleavings and record/replay runs compare strategies on an
+// identical register-level footing:
+//
+//   coarse      — CAS-acquired global lock register, sequential two-level
+//                 walk + writes inside the critical section.
+//   optimistic  — lock-free search; per-node lock/marked/linked flags in
+//                 a state register; lock-validate-link/unlink with lazy
+//                 logical deletion (Herlihy–Shavit LazySkipList shape).
+//   lockfree    — mark bit packed into the next registers, snip-on-
+//                 traverse helping, bottom-level CAS linearization
+//                 (Fraser / Herlihy–Shavit shape).
+//
+// The simulated list has exactly two levels: level 0 is the full sorted
+// list, level 1 indexes the "tall" keys (the even ones — heights are
+// key-determined so every schedule is reproducible). Keys live in
+// 1..key_space and key k is permanently assigned node slot k; every next
+// register carries a generation tag (upper 32 bits) so slot reuse cannot
+// ABA a stale CAS.
+//
+// Register layout (all initially zero = empty list):
+//   [0]              coarse global lock (0 free, pid+1 held)
+//   [1], [2]         head next at level 0 / level 1
+//   [3]              head state (lockable as a predecessor)
+//   [4 + 3(k-1) + l] slot k in 1..key_space: next at level l
+//   [4 + 3(k-1) + 2] slot k: state = tag<<32 | linked<<2 | marked<<1 | lock
+//
+// next register encoding: tag<<32 | mark<<16 | successor ref (0 = null).
+// The `lock` state bit doubles as the slot *claim* for inserters (the
+// simulation analogue of allocating a fresh node).
+//
+// `novalidate` (optimistic only) skips the post-lock revalidation reads —
+// the classic lost-update bug the catalog registers as the
+// skiplist-novalidate mutant, caught NOT-LINEARIZABLE by Session.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/memory.hpp"
+#include "core/step_machine.hpp"
+#include "lockfree/strategy.hpp"
+
+namespace pwf::core {
+
+struct SimSkipListConfig {
+  lockfree::SyncStrategy strategy = lockfree::SyncStrategy::kLockFree;
+  /// Keys are drawn from 1..key_space (small = high collision pressure).
+  std::size_t key_space = 4;
+  /// Optimistic only: skip post-lock validation (the mutant).
+  bool novalidate = false;
+  /// Op-mix percentages. Both zero (the default) selects the legacy
+  /// uniform third-each mix — checker workloads depend on that op
+  /// sequence bit-for-bit. Non-zero values switch to percent thresholds
+  /// (contains, then insert, remainder erase), e.g. 90/9 is the
+  /// struct_matrix read-heavy column.
+  std::uint64_t contains_pct = 0;
+  std::uint64_t insert_pct = 0;
+};
+
+/// Mixed insert/erase/contains skip-list workload for one process; the
+/// op sequence is a deterministic hash of (pid, op index).
+class SimSkipList final : public StepMachine {
+ public:
+  SimSkipList(std::size_t pid, std::size_t n, SimSkipListConfig config);
+
+  bool step(SharedMemory& mem) override;
+  std::string name() const override;
+  void set_trace(OpTraceSink* sink) override { trace_ = sink; }
+
+  static std::size_t registers_required(std::size_t n,
+                                        const SimSkipListConfig& config);
+  static StepMachineFactory factory(SimSkipListConfig config);
+
+  std::uint64_t ops_completed() const noexcept { return ops_completed_; }
+  std::uint64_t inserts_ok() const noexcept { return inserts_ok_; }
+  std::uint64_t erases_ok() const noexcept { return erases_ok_; }
+  std::uint64_t contains_hits() const noexcept { return contains_hits_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    // Shared two-level search walker (one read or snip CAS per step).
+    kSearchReadPredNext,
+    kSearchReadCurrNext,
+    kSearchSnipCas,  // lockfree helping: unlink a marked node, then cross
+    // Coarse.
+    kCoarseAcquire,
+    kCoarseWriteSlotNext1,
+    kCoarseWriteSlotNext0,
+    kCoarseLink0,
+    kCoarseLink1,
+    kCoarseUnlink1,
+    kCoarseUnlink0,
+    kCoarseRelease,
+    // Optimistic.
+    kOptReadFoundState,
+    kOptClaimRead,
+    kOptClaimCas,
+    kOptLockRead,
+    kOptLockCas,
+    kOptValidateReadPredNext,
+    kOptValidateReadSuccState,
+    kOptWriteSlotNext0,
+    kOptWriteSlotNext1,
+    kOptLink0,
+    kOptLink1,
+    kOptSetLinked,
+    kOptUnlockPreds,
+    kOptEraseReadVictimState,
+    kOptEraseLockVictimCas,
+    kOptEraseMark,
+    kOptEraseReadVictimNext1,
+    kOptEraseReadVictimNext0,
+    kOptEraseUnlink1,
+    kOptEraseUnlink0,
+    kOptEraseRetire,
+    kOptReleaseClaimDup,
+    // Lockfree.
+    kLfClaimRead,
+    kLfClaimCas,
+    kLfReadSlotNext0,
+    kLfWriteSlotNext0,
+    kLfReadSlotNext1,
+    kLfWriteSlotNext1,
+    kLfLink0Cas,
+    kLfLink1Cas,
+    kLfCheckSlotNext1,
+    kLfRelinkNext1Cas,
+    kLfReleaseClaim,
+    kLfEraseReadNext1,
+    kLfEraseMark1Cas,
+    kLfEraseMark0Cas,
+  };
+
+  enum class OpKind : std::uint8_t { kInsert, kErase, kContains };
+
+  // --- packing helpers -----------------------------------------------------
+  static constexpr Value kRefMask = 0xffffULL;
+  static constexpr Value kMarkBit = 1ULL << 16;
+  static constexpr Value pack_next(std::uint64_t tag, std::uint64_t ref,
+                                   bool mark) {
+    return (tag << 32) | (mark ? kMarkBit : 0) | ref;
+  }
+  static constexpr std::uint64_t next_tag(Value v) { return v >> 32; }
+  static constexpr std::uint64_t next_ref(Value v) { return v & kRefMask; }
+  static constexpr bool next_mark(Value v) { return (v & kMarkBit) != 0; }
+  /// Same successor ref, tag bumped, mark as given — the canonical way
+  /// every writer derives a next value from the one it read.
+  static constexpr Value bump_next(Value old, std::uint64_t ref, bool mark) {
+    return pack_next(next_tag(old) + 1, ref, mark);
+  }
+
+  static constexpr Value kLockBit = 1;    // doubles as the insert claim
+  static constexpr Value kMarkedBit = 2;  // logically deleted
+  static constexpr Value kLinkedBit = 4;  // fully linked (optimistic)
+  static constexpr Value pack_state(std::uint64_t tag, Value flags) {
+    return (tag << 32) | flags;
+  }
+  static constexpr Value state_flags(Value v) { return v & 0xffffffffULL; }
+  static constexpr Value bump_state(Value old, Value flags) {
+    return pack_state((old >> 32) + 1, flags);
+  }
+
+  // --- register map --------------------------------------------------------
+  std::size_t next_reg(std::uint64_t ref, int level) const {
+    return ref == 0 ? 1 + static_cast<std::size_t>(level)
+                    : 4 + 3 * (ref - 1) + static_cast<std::size_t>(level);
+  }
+  std::size_t state_reg(std::uint64_t ref) const {
+    return ref == 0 ? 3 : 4 + 3 * (ref - 1) + 2;
+  }
+
+  /// Tall keys (even) reach level 1; short ones live only at level 0.
+  static bool tall(std::uint64_t key) { return key % 2 == 0; }
+  int height() const { return tall(key_) ? 2 : 1; }
+
+  // --- op lifecycle --------------------------------------------------------
+  void begin_op();
+  /// Emits the response and resets for the next op; the caller's current
+  /// step is the completing step (it returns true).
+  void complete(Value ret);
+  void restart_search();
+  /// Records preds/succs for the walker's current level and either drops
+  /// a level or hands off to after_search(); local only (no memory step
+  /// beyond the caller's). `curr_snap_valid` is false when the level ended
+  /// at null (walk_curr_snap_ is stale then).
+  bool finish_level(bool curr_snap_valid);
+  /// Local decision at the end of a search; may complete the op (then
+  /// returns true and the current step is the completing step).
+  bool after_search();
+
+  bool step_search(SharedMemory& mem);
+  bool step_coarse(SharedMemory& mem);
+  bool step_optimistic(SharedMemory& mem);
+  bool step_lockfree(SharedMemory& mem);
+
+  // Optimistic lock-window helpers.
+  void setup_pred_locks(int levels);
+  void advance_validate();
+  void enter_write_window();
+  bool optimistic_validate() const { return !config_.novalidate; }
+
+  SimSkipListConfig config_;
+  std::size_t pid_;
+  std::size_t n_;
+  Phase phase_;
+  OpTraceSink* trace_ = nullptr;
+  bool invoked_ = false;
+
+  // Current op.
+  OpKind kind_ = OpKind::kInsert;
+  std::uint64_t key_ = 1;
+  std::uint64_t op_counter_ = 0;
+
+  // Search walker state.
+  int level_ = 1;
+  std::uint64_t walk_pred_ = 0;
+  Value walk_pred_snap_ = 0;   // raw next(walk_pred_, level_) that gave curr
+  std::uint64_t walk_curr_ = 0;
+  Value walk_curr_snap_ = 0;   // raw next(walk_curr_, level_)
+  std::uint64_t preds_[2] = {0, 0};
+  Value preds_snap_[2] = {0, 0};
+  std::uint64_t succs_[2] = {0, 0};
+  Value succs_snap_[2] = {0, 0};
+  bool found_ = false;
+
+  // Strategy scratch.
+  Value reg_snap_ = 0;           // last read of the register being CASed
+  bool claimed_ = false;         // inserter holds the slot claim
+  Value slot_state_snap_ = 0;    // our slot's state as last written/read
+  bool marked_by_us_ = false;    // optimistic erase: victim marked, relock
+  Value victim_state_snap_ = 0;  // optimistic: victim state while locked
+  std::uint64_t victim_next_[2] = {0, 0};
+  // Distinct predecessors to lock, ascending level; parallel flags.
+  std::uint64_t lock_targets_[2] = {0, 0};
+  Value lock_state_snap_[2] = {0, 0};  // state observed when we locked it
+  int lock_count_ = 0;
+  int lock_idx_ = 0;       // cursor while acquiring/validating/unlocking
+  int validate_level_ = 0;
+  Value result_ = 0;        // pending return value for multi-step endings
+  int unlock_outcome_ = -1;  // optimistic: -1 retry after unlock, else ret
+  bool relinking_ = false;  // lockfree: re-searching to relink level 1
+  Value slot_next1_snap_ = 0;
+
+  std::uint64_t ops_completed_ = 0;
+  std::uint64_t inserts_ok_ = 0;
+  std::uint64_t erases_ok_ = 0;
+  std::uint64_t contains_hits_ = 0;
+};
+
+}  // namespace pwf::core

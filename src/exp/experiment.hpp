@@ -47,6 +47,11 @@ struct RunOptions {
   /// policies (--reclaim): "epoch", "hazard", "pool", or empty = sweep
   /// all three. Experiments without a reclamation axis ignore it.
   std::string reclaim;
+  /// Synchronization-strategy filter for experiments that sweep the
+  /// skip-list strategy matrix (--strategy): "coarse", "optimistic",
+  /// "lockfree", or empty = sweep all three. Experiments without a
+  /// strategy axis ignore it.
+  std::string strategy;
 
   /// The effective base seed for an experiment with the given default.
   std::uint64_t base_seed(std::uint64_t experiment_default) const noexcept {

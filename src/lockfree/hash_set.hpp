@@ -1,0 +1,87 @@
+// A lock-free hash set built from HarrisList buckets — the shape of the
+// lock-free hash tables in Fraser's "Practical lock-freedom" [6], one of
+// the paper's motivating SCU-class structures. The bucket count is fixed
+// at construction (no resizing), which keeps every operation a pure
+// scan-validate instance on one bucket list.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "lockfree/harris_list.hpp"
+#include "lockfree/lin_stamp.hpp"
+#include "mem/epoch.hpp"
+
+namespace pwf::lockfree {
+
+/// Lock-free fixed-capacity hash set of Key. The `Stamp`
+/// linearization-point policy is forwarded to the bucket lists (an
+/// operation linearizes wherever its bucket's HarrisList operation does);
+/// the `Mem` reclamation policy likewise — all buckets share the one
+/// domain passed at construction.
+template <typename Key, typename Hash = std::hash<Key>,
+          typename Stamp = NoStamp, typename Mem = mem::Epoch>
+class HashSet {
+ public:
+  using Bucket = HarrisList<Key, Stamp, Mem>;
+
+  /// Node footprint — size mem::WaitFreePoolDomain block_bytes with this.
+  static constexpr std::size_t kNodeBytes = Bucket::kNodeBytes;
+
+  /// `buckets` should be ~2x the expected element count for short chains.
+  HashSet(typename Mem::Domain& domain, std::size_t buckets)
+      : hash_(), buckets_() {
+    if (buckets == 0) {
+      throw std::invalid_argument("HashSet: need at least one bucket");
+    }
+    buckets_.reserve(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) {
+      buckets_.push_back(std::make_unique<Bucket>(domain));
+    }
+  }
+
+  HashSet(const HashSet&) = delete;
+  HashSet& operator=(const HashSet&) = delete;
+
+  /// Inserts `key`; returns false if already present.
+  bool insert(typename Mem::ThreadHandle& handle, const Key& key) {
+    return bucket(key).insert(handle, key);
+  }
+
+  /// Removes `key`; returns false if absent.
+  bool erase(typename Mem::ThreadHandle& handle, const Key& key) {
+    return bucket(key).erase(handle, key);
+  }
+
+  bool contains(typename Mem::ThreadHandle& handle, const Key& key) {
+    return bucket(key).contains(handle, key);
+  }
+
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// O(total) element count; for tests (call quiescent).
+  std::size_t size_slow(typename Mem::ThreadHandle& handle) {
+    std::size_t total = 0;
+    for (const auto& b : buckets_) total += b->size_slow(handle);
+    return total;
+  }
+
+  /// Applies `fn` to every key (unordered across buckets; quiescent only).
+  void for_each(typename Mem::ThreadHandle& handle,
+                const std::function<void(const Key&)>& fn) {
+    for (const auto& b : buckets_) b->for_each(handle, fn);
+  }
+
+ private:
+  Bucket& bucket(const Key& key) {
+    return *buckets_[hash_(key) % buckets_.size()];
+  }
+
+  Hash hash_;
+  std::vector<std::unique_ptr<Bucket>> buckets_;
+};
+
+}  // namespace pwf::lockfree

@@ -1,0 +1,59 @@
+// The three-strategy concurrent skip-list map family — one abstract
+// structure (sorted map, insert/erase/contains/get) at three points of
+// the synchronization spectrum (lockfree/strategy.hpp):
+//
+//   CoarseSkipListMap      — skiplist_coarse.hpp      (single mutex)
+//   OptimisticSkipListMap  — skiplist_optimistic.hpp  (lazy fine-grained)
+//   LockFreeSkipListMap    — skiplist_lockfree.hpp    (marked-pointer CAS)
+//
+// All three share the tower-height distribution (skiplist_height.hpp)
+// and the Stamp × Mem policy axes, so struct_matrix cells differ in
+// synchronization strategy only. `SkipListMap` is the default export
+// (the lock-free variant, matching the rest of the src/lockfree zoo);
+// `SkipListMapFor<S, ...>` selects a variant from a runtime-facing
+// SyncStrategy tag at compile time.
+#pragma once
+
+#include "lockfree/skiplist_coarse.hpp"
+#include "lockfree/skiplist_lockfree.hpp"
+#include "lockfree/skiplist_optimistic.hpp"
+#include "lockfree/strategy.hpp"
+
+namespace pwf::lockfree {
+
+/// The default skip-list map: the lock-free variant.
+template <typename Key, typename T, typename Stamp = NoStamp,
+          typename Mem = mem::Epoch>
+using SkipListMap = LockFreeSkipListMap<Key, T, Stamp, Mem>;
+
+namespace detail {
+
+template <SyncStrategy S, typename Key, typename T, typename Stamp,
+          typename Mem>
+struct SkipListMapSelector;
+
+template <typename Key, typename T, typename Stamp, typename Mem>
+struct SkipListMapSelector<SyncStrategy::kCoarse, Key, T, Stamp, Mem> {
+  using type = CoarseSkipListMap<Key, T, Stamp, Mem>;
+};
+
+template <typename Key, typename T, typename Stamp, typename Mem>
+struct SkipListMapSelector<SyncStrategy::kOptimistic, Key, T, Stamp, Mem> {
+  using type = OptimisticSkipListMap<Key, T, Stamp, Mem>;
+};
+
+template <typename Key, typename T, typename Stamp, typename Mem>
+struct SkipListMapSelector<SyncStrategy::kLockFree, Key, T, Stamp, Mem> {
+  using type = LockFreeSkipListMap<Key, T, Stamp, Mem>;
+};
+
+}  // namespace detail
+
+/// Compile-time strategy selection: SkipListMapFor<SyncStrategy::kCoarse,
+/// Key, T> is CoarseSkipListMap<Key, T>, etc.
+template <SyncStrategy S, typename Key, typename T, typename Stamp = NoStamp,
+          typename Mem = mem::Epoch>
+using SkipListMapFor =
+    typename detail::SkipListMapSelector<S, Key, T, Stamp, Mem>::type;
+
+}  // namespace pwf::lockfree

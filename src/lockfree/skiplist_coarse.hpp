@@ -1,0 +1,188 @@
+// Coarse-locked concurrent skip-list map: one std::mutex around a
+// sequential skip list. The golden reference end of the strategy
+// spectrum (lockfree/strategy.hpp) — trivially correct because every
+// operation runs in mutual exclusion, and maximally blocking because of
+// exactly the same fact. struct_matrix measures how far that takes you.
+//
+// Memory: nodes are allocated and destroyed through the `Mem` policy so
+// the same pool-arena churn tests run against all three strategies, but
+// exclusive access means erase can Mem::destroy immediately — no retire,
+// no grace period, the low-watermark baseline for the matrix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "lockfree/lin_stamp.hpp"
+#include "lockfree/skiplist_height.hpp"
+#include "mem/epoch.hpp"
+
+namespace pwf::lockfree {
+
+/// Sorted map from Key to T under a single mutex (requires Key
+/// operator< / operator==).
+///
+/// `Stamp` brackets the linearizing action, which for a coarse lock is
+/// any instruction inside the critical section; we bracket the mutation
+/// (or deciding read) itself, excluding lock acquisition, so the stamp
+/// window is as tight as for the fine-grained variants.
+template <typename Key, typename T, typename Stamp = NoStamp,
+          typename Mem = mem::Epoch>
+class CoarseSkipListMap {
+  struct Node {
+    Key key;
+    T value;
+    int height;
+    Node* next[kSkipListMaxHeight];
+  };
+
+ public:
+  static_assert(mem::Reclaimer<Mem>);
+
+  /// Node footprint — size mem::WaitFreePoolDomain block_bytes with this.
+  static constexpr std::size_t kNodeBytes = sizeof(Node);
+
+  explicit CoarseSkipListMap(typename Mem::Domain& domain) : domain_(&domain) {
+    for (auto& link : head_) link = nullptr;
+  }
+
+  ~CoarseSkipListMap() {
+    // Single-threaded teardown.
+    Node* node = head_[0];
+    while (node) {
+      Node* next = node->next[0];
+      Mem::dealloc(*domain_, node);
+      node = next;
+    }
+  }
+
+  CoarseSkipListMap(const CoarseSkipListMap&) = delete;
+  CoarseSkipListMap& operator=(const CoarseSkipListMap&) = delete;
+
+  /// Inserts `key`; returns false (and leaves the map unchanged) if
+  /// already present.
+  bool insert(typename Mem::ThreadHandle& handle, const Key& key,
+              const T& value) {
+    const auto guard = handle.pin();
+    const int height = height_gen_.next();
+    // Allocate outside the critical section: the mutex should serialize
+    // the structure, not the allocator.
+    Node* node = Mem::template create<Node>(handle);
+    node->key = key;
+    node->value = value;
+    node->height = height;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      Node* preds[kSkipListMaxHeight];
+      Stamp::pre();
+      Node* found = search(key, preds);
+      if (found) {
+        Stamp::commit();  // the deciding read: key observed present
+        Mem::destroy(handle, node);  // never published
+        return false;
+      }
+      for (int level = 0; level < height; ++level) {
+        Node** link = preds[level] ? &preds[level]->next[level] : &head_[level];
+        node->next[level] = *link;
+        *link = node;
+      }
+      Stamp::commit();  // the last link write makes the key visible
+    }
+    return true;
+  }
+
+  /// Removes `key`; returns false if absent.
+  bool erase(typename Mem::ThreadHandle& handle, const Key& key) {
+    const auto guard = handle.pin();
+    Node* victim = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      Node* preds[kSkipListMaxHeight];
+      Stamp::pre();
+      victim = search(key, preds);
+      if (!victim) {
+        Stamp::commit();  // the deciding read: key observed absent
+        return false;
+      }
+      for (int level = 0; level < victim->height; ++level) {
+        Node** link = preds[level] ? &preds[level]->next[level] : &head_[level];
+        *link = victim->next[level];
+      }
+      Stamp::commit();  // the last unlink write removes the key
+    }
+    // Nobody else can hold a reference: destroy, don't retire.
+    Mem::destroy(handle, victim);
+    return true;
+  }
+
+  /// Membership test.
+  bool contains(typename Mem::ThreadHandle& handle, const Key& key) {
+    const auto guard = handle.pin();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Node* preds[kSkipListMaxHeight];
+    Stamp::pre();
+    const bool present = search(key, preds) != nullptr;
+    Stamp::commit();
+    return present;
+  }
+
+  /// Returns the mapped value, or nullopt if absent.
+  std::optional<T> get(typename Mem::ThreadHandle& handle, const Key& key) {
+    const auto guard = handle.pin();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Node* preds[kSkipListMaxHeight];
+    Stamp::pre();
+    Node* found = search(key, preds);
+    std::optional<T> result;
+    if (found) result = found->value;
+    Stamp::commit();
+    return result;
+  }
+
+  /// Number of keys; O(n), for tests.
+  std::size_t size_slow(typename Mem::ThreadHandle& handle) {
+    const auto guard = handle.pin();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t count = 0;
+    for (Node* node = head_[0]; node; node = node->next[0]) ++count;
+    return count;
+  }
+
+  /// Applies `fn` to every (key, value) in key order.
+  void for_each(typename Mem::ThreadHandle& handle,
+                const std::function<void(const Key&, const T&)>& fn) {
+    const auto guard = handle.pin();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (Node* node = head_[0]; node; node = node->next[0]) {
+      fn(node->key, node->value);
+    }
+  }
+
+ private:
+  /// Fills preds[l] with the last node whose key < `key` at level l
+  /// (nullptr when that is the head), and returns the node with `key`
+  /// if present. Caller holds mutex_.
+  Node* search(const Key& key, Node* preds[kSkipListMaxHeight]) {
+    Node* pred = nullptr;
+    for (int level = kSkipListMaxHeight - 1; level >= 0; --level) {
+      Node* curr = pred ? pred->next[level] : head_[level];
+      while (curr && curr->key < key) {
+        pred = curr;
+        curr = pred->next[level];
+      }
+      preds[level] = pred;
+      if (level == 0 && curr && curr->key == key) return curr;
+    }
+    return nullptr;
+  }
+
+  typename Mem::Domain* domain_;
+  std::mutex mutex_;
+  detail::SkipListHeightGen height_gen_;
+  Node* head_[kSkipListMaxHeight];
+};
+
+}  // namespace pwf::lockfree

@@ -1,0 +1,42 @@
+// Shared skip-list geometry: one tower-height distribution for all three
+// synchronization strategies, so strategy comparisons in struct_matrix
+// never confound index shape with synchronization cost.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace pwf::lockfree {
+
+/// Tallest tower any skip-list node can have. Every node embeds a
+/// fixed-size next[kSkipListMaxHeight] array so kNodeBytes is a compile
+/// time constant (mem::WaitFreePoolDomain sizes its blocks from it).
+/// 2^12 = 4096 expected keys per full-height tower — far beyond any
+/// workload in this repo.
+inline constexpr int kSkipListMaxHeight = 12;
+
+namespace detail {
+
+/// Geometric(1/2) tower heights from a per-structure counter: each draw
+/// advances a Weyl sequence and runs it through the splitmix64 finalizer,
+/// so heights are reproducible per structure instance (given the same
+/// allocation order) without any per-thread RNG plumbing.
+class SkipListHeightGen {
+ public:
+  int next() noexcept {
+    std::uint64_t z =
+        state_.fetch_add(0x9E3779B97F4A7C15ULL, std::memory_order_relaxed);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    const int height = 1 + std::countr_one(z & ((1ULL << (kSkipListMaxHeight - 1)) - 1));
+    return height;
+  }
+
+ private:
+  std::atomic<std::uint64_t> state_{0x853C49E6748FEA9BULL};
+};
+
+}  // namespace detail
+}  // namespace pwf::lockfree

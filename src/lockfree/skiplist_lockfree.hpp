@@ -1,0 +1,313 @@
+// Lock-free concurrent skip-list map — marked-pointer CAS splicing à la
+// Fraser / Herlihy–Shavit (ch. 14.4), the lock-free end of the strategy
+// spectrum (lockfree/strategy.hpp). The bottom-level list is the
+// authoritative set (exactly Harris's list, harris_list.hpp); the upper
+// levels are a probabilistic index that can lag behind with no effect on
+// correctness. Membership changes linearize at bottom-level CASes: a
+// successful insert at the level-0 link CAS, a successful erase at the
+// level-0 mark CAS.
+//
+// Deletion marks a node's next pointers top-down (mark bit packed into
+// the pointer word, as in Harris's list, one mark per level), and
+// traversals help: find() unlinks any marked node it meets *before*
+// crossing it, per level, restarting on CAS failure — the same
+// snip-don't-cross discipline harris_list.hpp documents for the era
+// reclamation policies.
+//
+// Retirement discipline (this is where multi-level differs from the flat
+// list): helpers snip but NEVER retire — with links on several levels,
+// the thread that snips one level cannot know the node is unreachable.
+// Only the eraser that won the level-0 mark CAS retires the victim, and
+// only after a full find() pass of its own has observed the victim
+// absent from the search path at every level (that pass snips any link
+// still standing). At that instant no level links to the victim, frozen
+// pointers into it belong to nodes that are themselves unreachable, and
+// every traversal still holding a reference pinned it before the
+// retirement — exactly the precondition mem::Reclaimer requires.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "lockfree/lin_stamp.hpp"
+#include "lockfree/skiplist_height.hpp"
+#include "mem/epoch.hpp"
+
+namespace pwf::lockfree {
+
+/// Lock-free sorted map from Key to T (requires Key operator< /
+/// operator==).
+///
+/// `Stamp` brackets: successful insert at the bottom-level link CAS,
+/// successful erase at the bottom-level mark CAS; failing paths and
+/// contains linearize at a read inside the bracketed traversal.
+template <typename Key, typename T, typename Stamp = NoStamp,
+          typename Mem = mem::Epoch>
+class LockFreeSkipListMap {
+  struct Node {
+    Key key;
+    T value;
+    int height;
+    // pack()-encoded: successor pointer | mark bit. A set mark on
+    // next[l] means THIS node is logically deleted at level l.
+    std::atomic<std::uintptr_t> next[kSkipListMaxHeight];
+  };
+
+ public:
+  static_assert(mem::Reclaimer<Mem>);
+
+  /// Node footprint — size mem::WaitFreePoolDomain block_bytes with this.
+  static constexpr std::size_t kNodeBytes = sizeof(Node);
+
+  explicit LockFreeSkipListMap(typename Mem::Domain& domain)
+      : domain_(&domain) {
+    for (auto& link : head_) link.store(0, std::memory_order_relaxed);
+  }
+
+  ~LockFreeSkipListMap() {
+    // Single-threaded teardown: the bottom level reaches every node
+    // (upper levels are a subset of it).
+    Node* node = strip(head_[0].load(std::memory_order_relaxed));
+    while (node) {
+      Node* next = strip(node->next[0].load(std::memory_order_relaxed));
+      Mem::dealloc(*domain_, node);
+      node = next;
+    }
+  }
+
+  LockFreeSkipListMap(const LockFreeSkipListMap&) = delete;
+  LockFreeSkipListMap& operator=(const LockFreeSkipListMap&) = delete;
+
+  /// Inserts `key`; returns false if already present.
+  bool insert(typename Mem::ThreadHandle& handle, const Key& key,
+              const T& value) {
+    const auto guard = handle.pin();
+    const int height = height_gen_.next();
+    Node* node = nullptr;
+    while (true) {
+      Node* preds[kSkipListMaxHeight];
+      Node* succs[kSkipListMaxHeight];
+      Stamp::pre();  // brackets the duplicate-found path's deciding read
+      if (find(handle, key, preds, succs)) {
+        Stamp::commit();  // observed `key` present (unmarked, level 0)
+        if (node) Mem::destroy(handle, node);  // never published
+        return false;
+      }
+      Stamp::commit();
+      if (!node) {
+        node = Mem::template create<Node>(handle);
+        node->key = key;
+        node->value = value;
+        node->height = height;
+      }
+      for (int level = 0; level < height; ++level) {
+        node->next[level].store(pack(succs[level], false),
+                                std::memory_order_relaxed);
+      }
+      // The bottom-level link CAS publishes the key (linearization
+      // point); the upper levels are linked best-effort afterwards.
+      std::uintptr_t expected = pack(succs[0], false);
+      Stamp::pre();
+      if (!link_at(preds, 0)
+               .compare_exchange_strong(expected, pack(node, false),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        continue;  // window moved; rescan (node stays private)
+      }
+      Stamp::commit();  // the level-0 link CAS linearizes the insert
+
+      for (int level = 1; level < height; ++level) {
+        while (true) {
+          // A concurrent eraser may already be deleting the new node;
+          // stop indexing it (its level-l mark freezes next[l]).
+          const std::uintptr_t node_next =
+              node->next[level].load(std::memory_order_acquire);
+          if (marked(node_next)) return true;
+          std::uintptr_t link_expected = pack(succs[level], false);
+          if (link_at(preds, level)
+                  .compare_exchange_strong(link_expected, pack(node, false),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+            break;
+          }
+          // Window moved: recompute it. The rescan may also discover the
+          // node got erased meanwhile (gone from level 0) — stop then.
+          if (!find(handle, key, preds, succs) || succs[0] != node) {
+            return true;
+          }
+          if (strip(node_next) != succs[level]) {
+            std::uintptr_t swing = node_next;
+            if (!node->next[level].compare_exchange_strong(
+                    swing, pack(succs[level], false),
+                    std::memory_order_acq_rel, std::memory_order_acquire)) {
+              return true;  // next[level] changed: only a mark can do that
+            }
+          }
+        }
+      }
+      return true;
+    }
+  }
+
+  /// Removes `key`; returns false if absent.
+  bool erase(typename Mem::ThreadHandle& handle, const Key& key) {
+    const auto guard = handle.pin();
+    while (true) {
+      Node* preds[kSkipListMaxHeight];
+      Node* succs[kSkipListMaxHeight];
+      Stamp::pre();  // brackets the absent path's deciding read
+      if (!find(handle, key, preds, succs)) {
+        Stamp::commit();  // observed `key` absent
+        return false;
+      }
+      Stamp::commit();
+      Node* victim = succs[0];
+
+      // Mark the index levels top-down (idempotent: any thread's mark
+      // counts; victims of the race just retry the CAS).
+      for (int level = victim->height - 1; level >= 1; --level) {
+        std::uintptr_t next = victim->next[level].load(std::memory_order_acquire);
+        while (!marked(next)) {
+          victim->next[level].compare_exchange_weak(next, mark(next),
+                                                    std::memory_order_acq_rel,
+                                                    std::memory_order_acquire);
+        }
+      }
+
+      // The bottom-level mark decides the race: exactly one eraser wins.
+      std::uintptr_t next = victim->next[0].load(std::memory_order_acquire);
+      while (true) {
+        if (marked(next)) return false;  // another eraser won
+        Stamp::pre();
+        if (victim->next[0].compare_exchange_weak(next, mark(next),
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+          Stamp::commit();  // the level-0 mark CAS linearizes the erase
+          break;
+        }
+      }
+
+      // Snip every remaining link (find() unlinks marked nodes on its
+      // path); when it reports the key gone the victim is unreachable at
+      // every level and — as the mark winner — we alone retire it.
+      find(handle, key, preds, succs);
+      Mem::retire(handle, victim);
+      return true;
+    }
+  }
+
+  /// Membership test. Uses the helping find(): traversals must unlink
+  /// marked nodes rather than cross their frozen successor pointers
+  /// (see harris_list.hpp for the era-reclamation argument).
+  bool contains(typename Mem::ThreadHandle& handle, const Key& key) {
+    const auto guard = handle.pin();
+    Node* preds[kSkipListMaxHeight];
+    Node* succs[kSkipListMaxHeight];
+    Stamp::pre();
+    const bool present = find(handle, key, preds, succs);
+    Stamp::commit();
+    return present;
+  }
+
+  /// Returns the mapped value, or nullopt if absent.
+  std::optional<T> get(typename Mem::ThreadHandle& handle, const Key& key) {
+    const auto guard = handle.pin();
+    Node* preds[kSkipListMaxHeight];
+    Node* succs[kSkipListMaxHeight];
+    Stamp::pre();
+    std::optional<T> result;
+    if (find(handle, key, preds, succs)) result = succs[0]->value;
+    Stamp::commit();
+    return result;
+  }
+
+  /// Number of unmarked bottom-level nodes; O(n), for tests (call
+  /// quiescent).
+  std::size_t size_slow(typename Mem::ThreadHandle& handle) {
+    const auto guard = handle.pin();
+    std::size_t count = 0;
+    Node* curr = strip(Mem::load(handle, head_[0]));
+    while (curr) {
+      const std::uintptr_t next = Mem::load(handle, curr->next[0]);
+      if (!marked(next)) ++count;
+      curr = strip(next);
+    }
+    return count;
+  }
+
+  /// Applies `fn` to every live (key, value) in order (quiescent use).
+  void for_each(typename Mem::ThreadHandle& handle,
+                const std::function<void(const Key&, const T&)>& fn) {
+    const auto guard = handle.pin();
+    Node* curr = strip(Mem::load(handle, head_[0]));
+    while (curr) {
+      const std::uintptr_t next = Mem::load(handle, curr->next[0]);
+      if (!marked(next)) fn(curr->key, curr->value);
+      curr = strip(next);
+    }
+  }
+
+ private:
+  static constexpr std::uintptr_t kMark = 1;
+
+  static bool marked(std::uintptr_t p) noexcept { return p & kMark; }
+  static std::uintptr_t mark(std::uintptr_t p) noexcept { return p | kMark; }
+  static Node* strip(std::uintptr_t p) noexcept {
+    return reinterpret_cast<Node*>(p & ~kMark);
+  }
+  static std::uintptr_t pack(Node* p, bool is_marked) noexcept {
+    return reinterpret_cast<std::uintptr_t>(p) | (is_marked ? kMark : 0);
+  }
+
+  std::atomic<std::uintptr_t>& link_at(Node* preds[kSkipListMaxHeight],
+                                       int level) noexcept {
+    return preds[level] ? preds[level]->next[level] : head_[level];
+  }
+
+  /// Fills preds/succs at every level, unlinking marked nodes on the
+  /// way (helping; restarts on a lost snip CAS). Returns true iff an
+  /// unmarked node with `key` sits at level 0 (then succs[0] is it).
+  /// Helpers snip but never retire — see the retirement note on top.
+  bool find(typename Mem::ThreadHandle& handle, const Key& key,
+            Node* preds[kSkipListMaxHeight], Node* succs[kSkipListMaxHeight]) {
+  restart:
+    Node* pred = nullptr;
+    for (int level = kSkipListMaxHeight - 1; level >= 0; --level) {
+      std::uintptr_t curr_raw =
+          Mem::load(handle, pred ? pred->next[level] : head_[level]);
+      Node* curr = strip(curr_raw);
+      while (curr) {
+        const std::uintptr_t next_raw = Mem::load(handle, curr->next[level]);
+        if (marked(next_raw)) {
+          // curr is logically deleted at this level: unlink before
+          // crossing it.
+          std::uintptr_t expected = pack(curr, false);
+          std::atomic<std::uintptr_t>& link =
+              pred ? pred->next[level] : head_[level];
+          if (!link.compare_exchange_strong(
+                  expected, pack(strip(next_raw), false),
+                  std::memory_order_acq_rel, std::memory_order_acquire)) {
+            goto restart;  // the predecessor changed under us
+          }
+          curr = strip(next_raw);
+          continue;
+        }
+        if (!(curr->key < key)) break;
+        pred = curr;
+        curr = strip(next_raw);
+      }
+      preds[level] = pred;
+      succs[level] = curr;
+    }
+    return succs[0] && succs[0]->key == key;
+  }
+
+  typename Mem::Domain* domain_;
+  detail::SkipListHeightGen height_gen_;
+  std::atomic<std::uintptr_t> head_[kSkipListMaxHeight];  // never marked
+};
+
+}  // namespace pwf::lockfree

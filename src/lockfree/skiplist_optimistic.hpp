@@ -1,0 +1,373 @@
+// Optimistic fine-grained concurrent skip-list map — the lazy skip list
+// of Herlihy–Shavit (ch. 14.3), the middle of the strategy spectrum
+// (lockfree/strategy.hpp). Traversals take no locks; an update locks only
+// the predecessor nodes it will write (plus the victim for erase),
+// re-validates the locked window, and retries on conflict. Deletion is
+// lazy: `marked` logically removes a node before it is physically
+// unlinked, and `fully_linked` hides a node until its whole tower is up.
+//
+// Deadlock freedom: locks are taken in ascending level order along one
+// key's predecessor path, so each thread's successive lock requests have
+// non-increasing keys; a wait cycle would force two distinct nodes to
+// have equal keys.
+//
+// Memory reclamation (the `Mem` policy, mem/reclaimer.hpp): every link
+// read is a protected load, and the validate step is what keeps frozen
+// pointers safe to cross — a marked node's next pointers never change
+// (writers validate `!pred->marked`), and a marked-but-linked node's
+// successor cannot be unlinked (its eraser would have to validate the
+// marked node as predecessor, which fails). So any node a traversal
+// reaches was reachable at some instant after the traversal pinned,
+// which under the era policies blocks its reclamation. The victim is
+// retired only after it is unlinked at every level under validated
+// locks.
+//
+// `Validate = false` is the `novalidate` mutant (skiplist-novalidate in
+// the structure catalog): updates lock and write without re-checking the
+// window, so racing updates lose insertions and unlink the wrong window
+// — the classic bug this design's validation exists to prevent. The
+// mutant *leaks* erased nodes instead of retiring them: with validation
+// gone, a misplaced unlink can leave the victim reachable, so freeing it
+// would turn a logical bug into a use-after-free; leaking keeps the
+// mutant's failures purely logical (NOT-LINEARIZABLE, not a crash).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <thread>
+
+#include "lockfree/backoff.hpp"
+#include "lockfree/lin_stamp.hpp"
+#include "lockfree/skiplist_height.hpp"
+#include "mem/epoch.hpp"
+
+namespace pwf::lockfree {
+
+/// Sorted map from Key to T with per-node spinlocks (requires Key
+/// operator< / operator==).
+///
+/// `Stamp` brackets: successful insert linearizes at the fully_linked
+/// store, successful erase at the marked store; the failing paths and
+/// contains linearize at a read inside the bracketed traversal.
+template <typename Key, typename T, typename Stamp = NoStamp,
+          typename Mem = mem::Epoch, bool Validate = true>
+class OptimisticSkipListMap {
+  struct Node {
+    Key key;
+    T value;
+    int height;
+    // Spin-then-yield lock (std::atomic, not std::mutex: nodes live in
+    // pool-arena blocks and the lock must be trivially reusable).
+    std::atomic<std::uint32_t> lock_word{0};
+    std::atomic<bool> marked{false};
+    std::atomic<bool> fully_linked{false};
+    std::atomic<Node*> next[kSkipListMaxHeight];
+
+    void lock() noexcept {
+      Backoff backoff(64);
+      std::uint32_t expected = 0;
+      while (!lock_word.compare_exchange_weak(expected, 1,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed)) {
+        expected = 0;
+        backoff.pause();
+      }
+    }
+    void unlock() noexcept { lock_word.store(0, std::memory_order_release); }
+  };
+
+ public:
+  static_assert(mem::Reclaimer<Mem>);
+
+  /// Node footprint — size mem::WaitFreePoolDomain block_bytes with this.
+  static constexpr std::size_t kNodeBytes = sizeof(Node);
+
+  explicit OptimisticSkipListMap(typename Mem::Domain& domain)
+      : domain_(&domain) {
+    head_.height = kSkipListMaxHeight;
+    for (auto& link : head_.next) link.store(nullptr, std::memory_order_relaxed);
+    head_.fully_linked.store(true, std::memory_order_relaxed);
+  }
+
+  ~OptimisticSkipListMap() {
+    // Single-threaded teardown. Unlinked-but-leaked mutant nodes
+    // (Validate = false) are not reachable from head_ and stay leaked.
+    Node* node = head_.next[0].load(std::memory_order_relaxed);
+    while (node) {
+      Node* next = node->next[0].load(std::memory_order_relaxed);
+      Mem::dealloc(*domain_, node);
+      node = next;
+    }
+  }
+
+  OptimisticSkipListMap(const OptimisticSkipListMap&) = delete;
+  OptimisticSkipListMap& operator=(const OptimisticSkipListMap&) = delete;
+
+  /// Inserts `key`; returns false if already present.
+  bool insert(typename Mem::ThreadHandle& handle, const Key& key,
+              const T& value) {
+    const auto guard = handle.pin();
+    const int height = height_gen_.next();
+    // Allocated on the first attempt that needs it, reused across
+    // validation retries, never while holding node locks (Mem::create
+    // can throw PoolExhausted).
+    Node* node = nullptr;
+    Backoff backoff(256);
+    while (true) {
+      Node* preds[kSkipListMaxHeight];
+      Node* succs[kSkipListMaxHeight];
+      Stamp::pre();  // brackets the duplicate-found path's deciding read
+      Node* found = find(handle, key, preds, succs);
+      if (found) {
+        if (!found->marked.load(std::memory_order_acquire)) {
+          // Wait out a concurrent inserter's linking phase, then report
+          // the duplicate. Linearizes at the read that saw it unmarked.
+          while (!found->fully_linked.load(std::memory_order_acquire)) {
+            backoff.pause();
+          }
+          Stamp::commit();
+          if (node) Mem::destroy(handle, node);  // never published
+          return false;
+        }
+        Stamp::commit();
+        if constexpr (Validate) {
+          // Found a logically deleted node: wait for its unlink, rescan.
+          backoff.pause();
+          continue;
+        }
+        // Mutant: an unvalidated unlink can leave a marked node reachable
+        // forever (a concurrent writer re-links it from a stale snapshot),
+        // so waiting for the unlink would hang. Link in front of it — one
+        // more observable corruption for the checker to flag.
+      } else {
+        Stamp::commit();
+      }
+      if (!node) {
+        node = Mem::template create<Node>(handle);
+        node->key = key;
+        node->value = value;
+        node->height = height;
+      }
+
+      // The mutant widens its own race: yielding between the search and
+      // the locks invites a concurrent writer to move the predecessor
+      // window, which validation would catch and Validate=false links
+      // under anyway (same technique as treiber_stack_untagged's
+      // hazard-window yield — the seeded bug must fire on one core for
+      // the checker-validation capture to mean anything).
+      if constexpr (!Validate) std::this_thread::yield();
+
+      // Lock the predecessor window, ascending levels, skipping repeats.
+      int locked_to = -1;
+      bool valid = true;
+      Node* last_locked = nullptr;
+      for (int level = 0; level < height; ++level) {
+        Node* pred = preds[level];
+        if (pred != last_locked) {
+          pred->lock();
+          last_locked = pred;
+        }
+        locked_to = level;
+        if constexpr (Validate) {
+          Node* succ = succs[level];
+          valid = !pred->marked.load(std::memory_order_acquire) &&
+                  (!succ || !succ->marked.load(std::memory_order_acquire)) &&
+                  pred->next[level].load(std::memory_order_acquire) == succ;
+          if (!valid) break;
+        }
+      }
+      if (!valid) {
+        unlock_window(preds, locked_to);
+        backoff.pause();
+        continue;
+      }
+
+      for (int level = 0; level < height; ++level) {
+        node->next[level].store(succs[level], std::memory_order_relaxed);
+      }
+      for (int level = 0; level < height; ++level) {
+        preds[level]->next[level].store(node, std::memory_order_release);
+      }
+      Stamp::pre();
+      node->fully_linked.store(true, std::memory_order_release);
+      Stamp::commit();  // the fully_linked store linearizes the insert
+      unlock_window(preds, locked_to);
+      return true;
+    }
+  }
+
+  /// Removes `key`; returns false if absent.
+  bool erase(typename Mem::ThreadHandle& handle, const Key& key) {
+    const auto guard = handle.pin();
+    Node* victim = nullptr;
+    bool marked_by_us = false;
+    int height = 0;
+    Backoff backoff(256);
+    while (true) {
+      Node* preds[kSkipListMaxHeight];
+      Node* succs[kSkipListMaxHeight];
+      Stamp::pre();  // brackets the absent path's deciding read
+      Node* found = find(handle, key, preds, succs);
+      if (!marked_by_us) {
+        if (!found || !found->fully_linked.load(std::memory_order_acquire) ||
+            found->marked.load(std::memory_order_acquire)) {
+          Stamp::commit();  // observed `key` absent (or already deleted)
+          return false;
+        }
+        Stamp::commit();
+        victim = found;
+        height = victim->height;
+        victim->lock();
+        if (victim->marked.load(std::memory_order_acquire)) {
+          victim->unlock();  // another eraser won
+          return false;
+        }
+        Stamp::pre();
+        victim->marked.store(true, std::memory_order_release);
+        Stamp::commit();  // the marked store linearizes the erase
+        marked_by_us = true;
+      } else {
+        Stamp::commit();  // rescan for the unlink; already linearized
+      }
+
+      // Mutant race-widening yield; see insert.
+      if constexpr (!Validate) std::this_thread::yield();
+
+      // Lock the predecessor window and physically unlink.
+      int locked_to = -1;
+      bool valid = true;
+      Node* last_locked = nullptr;
+      for (int level = 0; level < height; ++level) {
+        Node* pred = preds[level];
+        if (pred != last_locked) {
+          pred->lock();
+          last_locked = pred;
+        }
+        locked_to = level;
+        if constexpr (Validate) {
+          valid = !pred->marked.load(std::memory_order_acquire) &&
+                  pred->next[level].load(std::memory_order_acquire) == victim;
+          if (!valid) break;
+        }
+      }
+      if (!valid) {
+        unlock_window(preds, locked_to);
+        backoff.pause();
+        continue;  // window moved; victim stays marked, rescan and retry
+      }
+      for (int level = height - 1; level >= 0; --level) {
+        preds[level]->next[level].store(
+            victim->next[level].load(std::memory_order_relaxed),
+            std::memory_order_release);
+      }
+      victim->unlock();
+      unlock_window(preds, locked_to);
+      if constexpr (Validate) {
+        Mem::retire(handle, victim);
+      }
+      // Validate = false leaks the victim (see the mutant note above).
+      return true;
+    }
+  }
+
+  /// Membership test: lock-free traversal; present means fully linked
+  /// and not logically deleted.
+  bool contains(typename Mem::ThreadHandle& handle, const Key& key) {
+    const auto guard = handle.pin();
+    Node* preds[kSkipListMaxHeight];
+    Node* succs[kSkipListMaxHeight];
+    Stamp::pre();
+    Node* found = find(handle, key, preds, succs);
+    const bool present =
+        found && found->fully_linked.load(std::memory_order_acquire) &&
+        !found->marked.load(std::memory_order_acquire);
+    Stamp::commit();
+    return present;
+  }
+
+  /// Returns the mapped value, or nullopt if absent.
+  std::optional<T> get(typename Mem::ThreadHandle& handle, const Key& key) {
+    const auto guard = handle.pin();
+    Node* preds[kSkipListMaxHeight];
+    Node* succs[kSkipListMaxHeight];
+    Stamp::pre();
+    Node* found = find(handle, key, preds, succs);
+    std::optional<T> result;
+    if (found && found->fully_linked.load(std::memory_order_acquire) &&
+        !found->marked.load(std::memory_order_acquire)) {
+      result = found->value;
+    }
+    Stamp::commit();
+    return result;
+  }
+
+  /// Number of live keys; O(n), for tests (call quiescent).
+  std::size_t size_slow(typename Mem::ThreadHandle& handle) {
+    const auto guard = handle.pin();
+    std::size_t count = 0;
+    for (Node* node = head_.next[0].load(std::memory_order_acquire); node;
+         node = node->next[0].load(std::memory_order_acquire)) {
+      if (node->fully_linked.load(std::memory_order_acquire) &&
+          !node->marked.load(std::memory_order_acquire)) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  /// Applies `fn` to every live (key, value) in order (quiescent use).
+  void for_each(typename Mem::ThreadHandle& handle,
+                const std::function<void(const Key&, const T&)>& fn) {
+    const auto guard = handle.pin();
+    for (Node* node = head_.next[0].load(std::memory_order_acquire); node;
+         node = node->next[0].load(std::memory_order_acquire)) {
+      if (node->fully_linked.load(std::memory_order_acquire) &&
+          !node->marked.load(std::memory_order_acquire)) {
+        fn(node->key, node->value);
+      }
+    }
+  }
+
+ private:
+  /// Fills preds/succs at every level and returns the node with `key`
+  /// (whatever its marked/fully_linked state) if one is linked at level
+  /// 0, else nullptr. Lock-free; all link reads are protected loads.
+  Node* find(typename Mem::ThreadHandle& handle, const Key& key,
+             Node* preds[kSkipListMaxHeight],
+             Node* succs[kSkipListMaxHeight]) {
+    Node* pred = &head_;
+    Node* found = nullptr;
+    for (int level = kSkipListMaxHeight - 1; level >= 0; --level) {
+      Node* curr = Mem::load(handle, pred->next[level]);
+      while (curr && curr->key < key) {
+        pred = curr;
+        curr = Mem::load(handle, pred->next[level]);
+      }
+      preds[level] = pred;
+      succs[level] = curr;
+      if (level == 0 && curr && curr->key == key) found = curr;
+    }
+    return found;
+  }
+
+  /// Unlocks the distinct predecessors locked for levels [0, locked_to].
+  static void unlock_window(Node* preds[kSkipListMaxHeight],
+                            int locked_to) noexcept {
+    Node* last = nullptr;
+    for (int level = 0; level <= locked_to; ++level) {
+      if (preds[level] != last) {
+        preds[level]->unlock();
+        last = preds[level];
+      }
+    }
+  }
+
+  typename Mem::Domain* domain_;
+  detail::SkipListHeightGen height_gen_;
+  Node head_;  // sentinel, key ignored (it is never compared), never freed
+};
+
+}  // namespace pwf::lockfree

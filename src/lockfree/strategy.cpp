@@ -1,0 +1,33 @@
+#include "lockfree/strategy.hpp"
+
+namespace pwf::lockfree {
+
+const char* sync_strategy_name(SyncStrategy strategy) {
+  switch (strategy) {
+    case SyncStrategy::kCoarse:
+      return "coarse";
+    case SyncStrategy::kOptimistic:
+      return "optimistic";
+    case SyncStrategy::kLockFree:
+      return "lockfree";
+  }
+  return "?";
+}
+
+std::optional<SyncStrategy> parse_sync_strategy(const std::string& name) {
+  if (name == "coarse" || name == "mutex" || name == "coarse-lock" ||
+      name == "coarse_lock" || name == "lock") {
+    return SyncStrategy::kCoarse;
+  }
+  if (name == "optimistic" || name == "lazy" || name == "fine" ||
+      name == "fine-grained" || name == "fine_grained" || name == "opt") {
+    return SyncStrategy::kOptimistic;
+  }
+  if (name == "lockfree" || name == "lock-free" || name == "lock_free" ||
+      name == "lf") {
+    return SyncStrategy::kLockFree;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pwf::lockfree

@@ -1,0 +1,50 @@
+// The synchronization-strategy axis of the structure matrix.
+//
+// The paper's "practically wait-free" claim is about individual operation
+// latency under scheduler contention; whether that latency shape is a
+// property of lock-freedom specifically — or of any careful concurrent
+// design — needs a comparison *across* synchronization strategies on the
+// same abstract structure. SyncStrategy names the three points the
+// skip-list family implements (DESIGN.md "strategy spectrum"):
+//
+//   kCoarse      — one mutex around a sequential structure. The golden
+//                  reference: trivially correct, fully blocking, every
+//                  operation serializes.
+//   kOptimistic  — fine-grained lazy locking: traverse without locks,
+//                  lock only the nodes an update touches, validate after
+//                  locking, mark nodes logically deleted before unlink.
+//                  Reads never block; updates block only on conflicts.
+//   kLockFree    — marked-pointer CAS splicing (Fraser / Herlihy–Shavit):
+//                  no locks anywhere, helping on traversal, per-operation
+//                  progress guaranteed for *someone* at every step.
+//
+// Runtime selection (`--strategy coarse|optimistic|lockfree`) mirrors the
+// mem::ReclaimPolicy pattern: the enum is the CLI-facing selector, the
+// concrete class templates (skiplist_*.hpp) are its compile-time
+// counterparts, and check::StructureCatalog tags entries with it so the
+// drivers can filter whole strategy columns.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace pwf::lockfree {
+
+enum class SyncStrategy {
+  kCoarse,
+  kOptimistic,
+  kLockFree,
+};
+
+/// Canonical spelling: "coarse", "optimistic", "lockfree".
+const char* sync_strategy_name(SyncStrategy strategy);
+
+/// Accepts the canonical spellings plus common aliases ("mutex",
+/// "coarse-lock", "lazy", "fine", "fine-grained", "lock-free", "lf").
+std::optional<SyncStrategy> parse_sync_strategy(const std::string& name);
+
+/// All three strategies, in spectrum order (coarse, optimistic, lockfree).
+inline constexpr SyncStrategy kAllSyncStrategies[] = {
+    SyncStrategy::kCoarse, SyncStrategy::kOptimistic, SyncStrategy::kLockFree};
+
+}  // namespace pwf::lockfree

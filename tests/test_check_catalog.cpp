@@ -1,0 +1,205 @@
+// Structure-catalog tests: the catalog is the single source of truth for
+// both checking registries, so these tests pin (a) the legacy projection
+// orders — workloads() and HwSession::registry() are order-ABI, because
+// experiments derive per-structure seeds from registry indices — (b) the
+// name-unification lookup (canonical / sim-twin / hw-twin all resolve to
+// the same row), (c) the strategy-column filter behind --strategy, and
+// (d) the deprecated pre-catalog shims, which must keep compiling and
+// agreeing with the catalog until their removal window closes.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/catalog.hpp"
+#include "check/explore.hpp"
+#include "check/hw_capture.hpp"
+#include "check/session.hpp"
+#include "check/workloads.hpp"
+#include "lockfree/strategy.hpp"
+
+namespace {
+
+using namespace pwf::check;
+using pwf::lockfree::SyncStrategy;
+
+// --- projection orders (ABI) -----------------------------------------------
+
+TEST(Catalog, WorkloadProjectionPreservesLegacyOrder) {
+  // The pre-catalog workload list, verbatim, plus the appended skip-list
+  // family. Any reordering silently reseeds downstream experiments.
+  const std::vector<std::string> expected = {
+      "sim-stack",          "sim-queue",
+      "sim-rcu",            "fai-counter",
+      "sharded-counter",    "mut-racy-counter",
+      "mut-aba-stack",      "mut-nohelp-queue",
+      "mut-torn-rcu",       "wf-counter",
+      "wf-stack",           "sim-skiplist-coarse",
+      "sim-skiplist-optimistic", "sim-skiplist-lockfree",
+      "mut-novalidate-skiplist"};
+  const std::vector<Workload>& all = workloads();
+  ASSERT_EQ(all.size(), expected.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].name, expected[i]) << "workload index " << i;
+  }
+}
+
+TEST(Catalog, HwRegistryProjectionPreservesLegacyOrder) {
+  const std::vector<std::string> expected = {
+      "treiber-stack", "ms-queue",   "harris-list", "hash-set",
+      "cas-counter",   "faa-counter", "scu-counter", "wf-counter",
+      "wf-stack",
+#ifdef PWF_HW_MUTANTS
+      "treiber-stack-untagged",
+#endif
+      "skiplist-coarse", "skiplist-optimistic", "skiplist-lockfree",
+#ifdef PWF_HW_MUTANTS
+      "skiplist-novalidate",
+#endif
+  };
+  const std::vector<HwStructure>& all = HwSession::registry();
+  ASSERT_EQ(all.size(), expected.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].name, expected[i]) << "hw registry index " << i;
+  }
+}
+
+TEST(Catalog, EveryProjectedNameIsUniqueAndResolvable) {
+  std::vector<std::string> seen;
+  for (const CatalogEntry& entry : structure_catalog()) {
+    seen.push_back(entry.name);
+    EXPECT_EQ(&find_catalog_entry(entry.name), &entry) << entry.name;
+    if (entry.sim) {
+      EXPECT_EQ(&find_catalog_entry(entry.sim->workload), &entry)
+          << entry.sim->workload;
+    }
+    if (entry.hw) {
+      EXPECT_EQ(&find_catalog_entry(entry.hw->structure), &entry)
+          << entry.hw->structure;
+    }
+  }
+  std::vector<std::string> unique = seen;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  EXPECT_EQ(unique.size(), seen.size()) << "duplicate canonical names";
+}
+
+// --- name unification ------------------------------------------------------
+
+TEST(Catalog, SimAndHwTwinNamesResolveToTheSameRow) {
+  // The Treiber stack is one structure with two incarnations; both legacy
+  // names find the same catalog row.
+  const CatalogEntry& by_hw = find_catalog_entry("treiber-stack");
+  const CatalogEntry& by_sim = find_catalog_entry("sim-stack");
+  EXPECT_EQ(&by_hw, &by_sim);
+  EXPECT_EQ(by_hw.spec_kind, "stack");
+  ASSERT_TRUE(by_hw.sim.has_value());
+  ASSERT_TRUE(by_hw.hw.has_value());
+  EXPECT_EQ(by_hw.sim->workload, "sim-stack");
+  EXPECT_EQ(by_hw.hw->structure, "treiber-stack");
+
+  EXPECT_THROW(find_catalog_entry("no-such-structure"),
+               std::invalid_argument);
+}
+
+TEST(Catalog, SkipListRowsCarryStrategyTagsAndTwins) {
+  const struct {
+    const char* name;
+    SyncStrategy strategy;
+  } rows[] = {
+      {"skiplist-coarse", SyncStrategy::kCoarse},
+      {"skiplist-optimistic", SyncStrategy::kOptimistic},
+      {"skiplist-lockfree", SyncStrategy::kLockFree},
+  };
+  for (const auto& row : rows) {
+    const CatalogEntry& entry = find_catalog_entry(row.name);
+    EXPECT_EQ(entry.spec_kind, "set") << row.name;
+    EXPECT_TRUE(entry.expect_linearizable) << row.name;
+    EXPECT_FALSE(entry.mutant) << row.name;
+    ASSERT_TRUE(entry.strategy.has_value()) << row.name;
+    EXPECT_EQ(*entry.strategy, row.strategy) << row.name;
+    ASSERT_TRUE(entry.sim.has_value()) << row.name;
+    ASSERT_TRUE(entry.hw.has_value()) << row.name;
+  }
+
+  const CatalogEntry& mutant = find_catalog_entry("skiplist-novalidate");
+  EXPECT_TRUE(mutant.mutant);
+  EXPECT_FALSE(mutant.expect_linearizable);
+  ASSERT_TRUE(mutant.strategy.has_value());
+  EXPECT_EQ(*mutant.strategy, SyncStrategy::kOptimistic);
+  ASSERT_TRUE(mutant.hw.has_value());
+  EXPECT_TRUE(mutant.hw->mutants_only);
+}
+
+// --- strategy columns ------------------------------------------------------
+
+TEST(Catalog, StrategyColumnsPartitionTheMatrix) {
+  EXPECT_EQ(catalog_column(std::nullopt).size(), structure_catalog().size());
+
+  const auto names = [](std::optional<SyncStrategy> s) {
+    std::vector<std::string> out;
+    for (const CatalogEntry* e : catalog_column(s)) out.push_back(e->name);
+    return out;
+  };
+  EXPECT_EQ(names(SyncStrategy::kCoarse),
+            std::vector<std::string>{"skiplist-coarse"});
+  EXPECT_EQ(names(SyncStrategy::kOptimistic),
+            (std::vector<std::string>{"skiplist-optimistic",
+                                      "skiplist-novalidate"}));
+  EXPECT_EQ(names(SyncStrategy::kLockFree),
+            std::vector<std::string>{"skiplist-lockfree"});
+}
+
+// --- deprecated shims ------------------------------------------------------
+
+// The pre-catalog free functions stay as thin projections until their
+// removal window closes; they must agree with the catalog they wrap.
+#ifdef __GNUC__
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+TEST(Catalog, DeprecatedHwShimsAgreeWithCatalog) {
+  const std::vector<std::string>& stock = hw_structures();
+  ASSERT_FALSE(stock.empty());
+  for (const std::string& name : stock) {
+    const CatalogEntry& entry = find_catalog_entry(name);
+    EXPECT_FALSE(entry.mutant) << name;
+  }
+
+  HwCaptureOptions options;
+  options.threads = 2;
+  options.ops_per_thread = 40;
+  options.seed = 7;
+  const HwCaptureResult result = hw_capture_run("cas-counter", options);
+  EXPECT_EQ(result.structure, "cas-counter");
+  EXPECT_TRUE(result.lin.ok());
+  EXPECT_GT(result.history.size(), 0u);
+}
+#ifdef __GNUC__
+#pragma GCC diagnostic pop
+#endif
+
+// --- end-to-end smoke: catalog rows drive Session exploration --------------
+
+TEST(Catalog, SkipListSimTwinsExploreCleanAndMutantIsCaught) {
+  const auto violations = [](const std::string& workload_name,
+                             std::size_t schedules) {
+    const Workload& workload = find_workload(workload_name);
+    const Session session(workload, {});
+    std::size_t caught = 0;
+    for (std::size_t i = 0; i < schedules; ++i) {
+      const RunOutcome run =
+          session.record(workload.default_n, derive_check_seed(20260809, i),
+                         workload.default_steps, i, {});
+      if (!run.lin.ok()) ++caught;
+    }
+    return caught;
+  };
+  EXPECT_EQ(violations("sim-skiplist-coarse", 12), 0u);
+  EXPECT_EQ(violations("sim-skiplist-optimistic", 12), 0u);
+  EXPECT_EQ(violations("sim-skiplist-lockfree", 12), 0u);
+  EXPECT_GT(violations("mut-novalidate-skiplist", 30), 0u);
+}
+
+}  // namespace

@@ -1,5 +1,5 @@
 // Tests for the lock-free hash set (HarrisList buckets).
-#include "lockfree/hash_map.hpp"
+#include "lockfree/hash_set.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,224 @@
+// The three-strategy skip-list map family (lockfree/skiplist.hpp): the
+// same semantic suite runs over coarse, optimistic, and lock-free
+// variants — the strategies must be observationally identical, they only
+// differ in how they synchronize. Sequential semantics, ordering,
+// cross-strategy agreement, and concurrent churn invariants (conservation
+// under per-thread key partitions, quiescent consistency under
+// overlapping churn).
+#include "lockfree/skiplist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace pwf::lockfree {
+namespace {
+
+template <typename Map>
+class SkipListMapTest : public ::testing::Test {};
+
+using Strategies =
+    ::testing::Types<CoarseSkipListMap<std::uint64_t, std::uint64_t>,
+                     OptimisticSkipListMap<std::uint64_t, std::uint64_t>,
+                     LockFreeSkipListMap<std::uint64_t, std::uint64_t>>;
+TYPED_TEST_SUITE(SkipListMapTest, Strategies);
+
+TYPED_TEST(SkipListMapTest, InsertContainsEraseGet) {
+  EbrDomain domain;
+  EbrThreadHandle handle(domain);
+  TypeParam map(domain);
+  EXPECT_FALSE(map.contains(handle, 5));
+  EXPECT_TRUE(map.insert(handle, 5, 50));
+  EXPECT_TRUE(map.contains(handle, 5));
+  EXPECT_EQ(map.get(handle, 5), std::optional<std::uint64_t>(50));
+  EXPECT_FALSE(map.insert(handle, 5, 99));  // duplicate: no overwrite
+  EXPECT_EQ(map.get(handle, 5), std::optional<std::uint64_t>(50));
+  EXPECT_TRUE(map.erase(handle, 5));
+  EXPECT_FALSE(map.contains(handle, 5));
+  EXPECT_FALSE(map.get(handle, 5).has_value());
+  EXPECT_FALSE(map.erase(handle, 5));  // already gone
+}
+
+TYPED_TEST(SkipListMapTest, KeepsKeysSorted) {
+  EbrDomain domain;
+  EbrThreadHandle handle(domain);
+  TypeParam map(domain);
+  for (std::uint64_t k : {5u, 1u, 9u, 3u, 7u, 2u, 8u}) {
+    EXPECT_TRUE(map.insert(handle, k, k * 10));
+  }
+  std::vector<std::uint64_t> keys;
+  map.for_each(handle, [&](const std::uint64_t& k, const std::uint64_t& v) {
+    EXPECT_EQ(v, k * 10);
+    keys.push_back(k);
+  });
+  const std::vector<std::uint64_t> expected{1, 2, 3, 5, 7, 8, 9};
+  EXPECT_EQ(keys, expected);
+  EXPECT_EQ(map.size_slow(handle), expected.size());
+}
+
+TYPED_TEST(SkipListMapTest, EraseMiddleKeepsNeighbours) {
+  EbrDomain domain;
+  EbrThreadHandle handle(domain);
+  TypeParam map(domain);
+  for (std::uint64_t k : {1u, 2u, 3u}) map.insert(handle, k, k);
+  EXPECT_TRUE(map.erase(handle, 2));
+  EXPECT_TRUE(map.contains(handle, 1));
+  EXPECT_FALSE(map.contains(handle, 2));
+  EXPECT_TRUE(map.contains(handle, 3));
+  EXPECT_EQ(map.size_slow(handle), 2u);
+}
+
+TYPED_TEST(SkipListMapTest, ManyKeysSurviveTallTowers) {
+  // Enough keys that every tower height in the geometric distribution
+  // shows up; exercises multi-level search and unlink paths.
+  EbrDomain domain;
+  EbrThreadHandle handle(domain);
+  TypeParam map(domain);
+  constexpr std::uint64_t kKeys = 2048;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_TRUE(map.insert(handle, k * 7919 % kKeys * 2 + 1, k));
+  }
+  EXPECT_EQ(map.size_slow(handle), kKeys);
+  // Erase every other key (by rank), keep the rest findable.
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_TRUE(map.erase(handle, k * 2 + 1));
+    }
+  }
+  EXPECT_EQ(map.size_slow(handle), kKeys / 2);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(map.contains(handle, k * 2 + 1), k % 2 != 0);
+  }
+}
+
+// Concurrent churn on disjoint per-thread key ranges: every thread's
+// inserts and erases land exactly as a single-threaded run would.
+TYPED_TEST(SkipListMapTest, ConcurrentDisjointKeyRanges) {
+  EbrDomain domain;
+  TypeParam map(domain);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 512;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      EbrThreadHandle handle(domain);
+      const std::uint64_t base = t * kPerThread;
+      for (std::uint64_t k = 0; k < kPerThread; ++k) {
+        ASSERT_TRUE(map.insert(handle, base + k, t));
+      }
+      for (std::uint64_t k = 0; k < kPerThread; k += 2) {
+        ASSERT_TRUE(map.erase(handle, base + k));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EbrThreadHandle handle(domain);
+  EXPECT_EQ(map.size_slow(handle), kThreads * kPerThread / 2);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::uint64_t k = 0; k < kPerThread; ++k) {
+      EXPECT_EQ(map.contains(handle, t * kPerThread + k), k % 2 != 0);
+    }
+  }
+}
+
+// Concurrent overlapping churn: no invariant on individual outcomes, but
+// the quiescent state must be internally consistent (size agrees with
+// per-key membership, traversal sees a sorted live set).
+TYPED_TEST(SkipListMapTest, ConcurrentOverlappingChurn) {
+  EbrDomain domain;
+  TypeParam map(domain);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kOps = 2000;
+  constexpr std::uint64_t kKeySpace = 64;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      EbrThreadHandle handle(domain);
+      std::uint64_t state = 0x9e3779b97f4a7c15ull * (t + 1);
+      auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+      };
+      for (std::uint64_t k = 0; k < kOps; ++k) {
+        const std::uint64_t key = next() % kKeySpace;
+        switch (next() % 3) {
+          case 0: map.insert(handle, key, t); break;
+          case 1: map.erase(handle, key); break;
+          default: map.contains(handle, key); break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EbrThreadHandle handle(domain);
+  std::size_t present = 0;
+  for (std::uint64_t key = 0; key < kKeySpace; ++key) {
+    present += map.contains(handle, key) ? 1 : 0;
+  }
+  EXPECT_EQ(map.size_slow(handle), present);
+  std::vector<std::uint64_t> keys;
+  map.for_each(handle,
+               [&](const std::uint64_t& k, const std::uint64_t&) {
+                 keys.push_back(k);
+               });
+  for (std::size_t i = 1; i < keys.size(); ++i) EXPECT_LT(keys[i - 1], keys[i]);
+  for (std::uint64_t key = 0; key < kKeySpace; ++key) map.erase(handle, key);
+  EXPECT_EQ(map.size_slow(handle), 0u);
+}
+
+// The strategy selector maps tags to the right concrete types, and the
+// default export is the lock-free variant.
+TEST(SkipListStrategy, SelectorAndNames) {
+  static_assert(
+      std::is_same_v<SkipListMapFor<SyncStrategy::kCoarse, int, int>,
+                     CoarseSkipListMap<int, int>>);
+  static_assert(
+      std::is_same_v<SkipListMapFor<SyncStrategy::kOptimistic, int, int>,
+                     OptimisticSkipListMap<int, int>>);
+  static_assert(
+      std::is_same_v<SkipListMapFor<SyncStrategy::kLockFree, int, int>,
+                     LockFreeSkipListMap<int, int>>);
+  static_assert(std::is_same_v<SkipListMap<int, int>,
+                               LockFreeSkipListMap<int, int>>);
+
+  EXPECT_STREQ(sync_strategy_name(SyncStrategy::kCoarse), "coarse");
+  EXPECT_STREQ(sync_strategy_name(SyncStrategy::kOptimistic), "optimistic");
+  EXPECT_STREQ(sync_strategy_name(SyncStrategy::kLockFree), "lockfree");
+  EXPECT_EQ(parse_sync_strategy("coarse"), SyncStrategy::kCoarse);
+  EXPECT_EQ(parse_sync_strategy("lazy"), SyncStrategy::kOptimistic);
+  EXPECT_EQ(parse_sync_strategy("lock-free"), SyncStrategy::kLockFree);
+  EXPECT_EQ(parse_sync_strategy("bogus"), std::nullopt);
+  for (const SyncStrategy s : kAllSyncStrategies) {
+    EXPECT_EQ(parse_sync_strategy(sync_strategy_name(s)), s);
+  }
+}
+
+// The novalidate mutant still has the right *sequential* semantics — its
+// bug is a race (missing revalidation), so single-threaded use must be
+// indistinguishable from the real optimistic map.
+TEST(SkipListNovalidateMutant, SequentialSemanticsIntact) {
+  using Mutant =
+      OptimisticSkipListMap<std::uint64_t, std::uint64_t, NoStamp, mem::Epoch,
+                            /*Validate=*/false>;
+  EbrDomain domain;
+  EbrThreadHandle handle(domain);
+  Mutant map(domain);
+  EXPECT_TRUE(map.insert(handle, 3, 30));
+  EXPECT_TRUE(map.insert(handle, 1, 10));
+  EXPECT_FALSE(map.insert(handle, 3, 99));
+  EXPECT_TRUE(map.erase(handle, 3));
+  EXPECT_FALSE(map.contains(handle, 3));
+  EXPECT_TRUE(map.contains(handle, 1));
+  EXPECT_EQ(map.size_slow(handle), 1u);
+}
+
+}  // namespace
+}  // namespace pwf::lockfree

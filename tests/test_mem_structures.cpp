@@ -17,8 +17,9 @@
 #include <vector>
 
 #include "lockfree/harris_list.hpp"
-#include "lockfree/hash_map.hpp"
+#include "lockfree/hash_set.hpp"
 #include "lockfree/ms_queue.hpp"
+#include "lockfree/skiplist.hpp"
 #include "lockfree/scu_object.hpp"
 #include "lockfree/treiber_stack.hpp"
 #include "mem/hazard_era.hpp"
@@ -149,7 +150,9 @@ TYPED_TEST(MemStructuresTest, MsQueuePerProducerFifo) {
       const std::size_t p = v >> 32;
       const std::uint64_t k = v & 0xffffffffu;
       ASSERT_LT(p, kProducers);
-      if (!first[p]) EXPECT_GT(k, last[p]);
+      if (!first[p]) {
+        EXPECT_GT(k, last[p]);
+      }
       first[p] = false;
       last[p] = k;
       EXPECT_TRUE(all.insert(v).second) << "duplicate delivery";
@@ -237,6 +240,74 @@ TYPED_TEST(MemStructuresTest, HashSetConcurrentChurn) {
   }
   EXPECT_EQ(set.size_slow(handle), present);
   drain<Mem>(handle);
+}
+
+// The skip-list strategy matrix under the era policies: the same
+// overlapping-key churn runs over all three synchronization strategies,
+// with the arena again smaller than the total allocation count —
+// coarse recycles through immediate destroy, optimistic and lock-free
+// through retire + era scan.
+template <typename Map, typename Mem>
+void skiplist_churn_all_strategies() {
+  auto domain = make_domain<Mem>(Map::kNodeBytes);
+  Map map(*domain);
+
+  constexpr std::uint64_t kKeySpace = 64;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      typename Mem::ThreadHandle handle(*domain);
+      std::uint64_t state = 0x9e3779b97f4a7c15ull * (t + 1);
+      auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+      };
+      for (std::uint64_t k = 0; k < kOpsPerThread; ++k) {
+        const std::uint64_t key = next() % kKeySpace;
+        switch (next() % 3) {
+          case 0: map.insert(handle, key, t); break;
+          case 1: map.erase(handle, key); break;
+          default: map.contains(handle, key); break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  typename Mem::ThreadHandle handle(*domain);
+  std::size_t present = 0;
+  for (std::uint64_t key = 0; key < kKeySpace; ++key) {
+    present += map.contains(handle, key) ? 1 : 0;
+  }
+  EXPECT_EQ(map.size_slow(handle), present);
+  for (std::uint64_t key = 0; key < kKeySpace; ++key) map.erase(handle, key);
+  EXPECT_EQ(map.size_slow(handle), 0u);
+  drain<Mem>(handle);
+}
+
+TYPED_TEST(MemStructuresTest, SkipListCoarseChurn) {
+  using Mem = TypeParam;
+  skiplist_churn_all_strategies<
+      lockfree::CoarseSkipListMap<std::uint64_t, std::uint64_t, NoStamp, Mem>,
+      Mem>();
+}
+
+TYPED_TEST(MemStructuresTest, SkipListOptimisticChurn) {
+  using Mem = TypeParam;
+  skiplist_churn_all_strategies<
+      lockfree::OptimisticSkipListMap<std::uint64_t, std::uint64_t, NoStamp,
+                                      Mem>,
+      Mem>();
+}
+
+TYPED_TEST(MemStructuresTest, SkipListLockFreeChurn) {
+  using Mem = TypeParam;
+  skiplist_churn_all_strategies<
+      lockfree::LockFreeSkipListMap<std::uint64_t, std::uint64_t, NoStamp,
+                                    Mem>,
+      Mem>();
 }
 
 // SCU object: concurrent read-copy-update increments lose nothing.
