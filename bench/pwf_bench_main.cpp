@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "check/hw_capture.hpp"
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
@@ -82,6 +83,10 @@ util::CliParser make_parser(Args& args) {
               "to one column: coarse | optimistic | lockfree\n"
               "(default: all)",
               [&args](const std::string& v) { args.options.strategy = v; })
+      .option("--clock", "MODE",
+              "restrict clock-axis experiments (capture_overhead)\n"
+              "to one capture clock: ticket | tsc (default: both)",
+              [&args](const std::string& v) { args.options.clock = v; })
       .option_string("--json",
                      "write structured results to PATH ('-' = stdout)",
                      &args.json_path)
@@ -116,6 +121,12 @@ int main(int argc, char** argv) {
       !lockfree::parse_sync_strategy(args.options.strategy)) {
     std::cerr << "pwf_bench: unknown strategy '" << args.options.strategy
               << "' (coarse | optimistic | lockfree)\n";
+    return 2;
+  }
+  if (!args.options.clock.empty() &&
+      !check::parse_clock_mode(args.options.clock)) {
+    std::cerr << "pwf_bench: unknown clock mode '" << args.options.clock
+              << "' (ticket | tsc)\n";
     return 2;
   }
 

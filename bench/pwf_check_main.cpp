@@ -14,6 +14,10 @@
 //   pwf_check --structure NAME        hardware structure filter ('_' == '-')
 //   pwf_check --stamp-mode lin-point  interval recovery: call-boundary
 //                                     (default) or lin-point
+//   pwf_check --clock tsc             stamp clock: ticket (default,
+//                                     global atomic) or tsc (calibrated
+//                                     per-thread TSC, contention-free)
+//   pwf_check --pin                   pin capture threads to CPUs
 //   pwf_check --reclaim pool          reclamation policy the hardware
 //                                     structures run under: epoch
 //                                     (default), hazard, or pool
@@ -66,6 +70,7 @@ struct Args {
   check::ExploreOptions explore;
   check::HwOptions hw_options;
   std::string stamp_mode;
+  std::string clock_mode;
   std::string reclaim;
   std::string strategy;
   std::string filter;
@@ -131,6 +136,15 @@ util::CliParser make_parser(Args& args) {
               "hardware interval recovery: call-boundary (default)\n"
               "or lin-point (tickets at the linearizing instruction)",
               [&args](const std::string& v) { args.stamp_mode = v; })
+      .option("--clock", "MODE",
+              "hardware stamp clock: ticket (default, global\n"
+              "atomic ticket) or tsc (calibrated per-thread TSC;\n"
+              "intervals widened by the measured skew bound)",
+              [&args](const std::string& v) { args.clock_mode = v; })
+      .flag("--pin",
+            "pin hardware capture threads (and calibration\n"
+            "probes) to CPUs for stable TSC domains",
+            &args.hw_options.pin_threads)
       .option("--reclaim", "POLICY",
               "reclamation policy the hardware structures run\n"
               "under: epoch (default) | hazard | pool",
@@ -233,6 +247,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     args.hw_options.stamp = *mode;
+  }
+  if (!args.clock_mode.empty()) {
+    const auto mode = check::parse_clock_mode(args.clock_mode);
+    if (!mode) {
+      std::cerr << "pwf_check: unknown clock mode '" << args.clock_mode
+                << "' (ticket | tsc)\n";
+      return 2;
+    }
+    args.hw_options.clock = *mode;
   }
   if (!args.reclaim.empty()) {
     const auto policy = mem::parse_reclaim_policy(args.reclaim);
@@ -383,6 +406,7 @@ int main(int argc, char** argv) {
         all_pass = all_pass && ok;
         std::cout << "hw " << structure.name << " ["
                   << check::stamp_mode_name(r.stamp) << ", "
+                  << check::clock_mode_name(r.clock) << ", "
                   << mem::reclaim_policy_name(r.reclaim) << "]: "
                   << check::verdict_name(r.lin.verdict)
                   << (structure.expect_linearizable ? "" : " (mutant)")
@@ -395,6 +419,15 @@ int main(int argc, char** argv) {
                   << r.stamped_ops << "/" << r.total_ops << "\n"
                   << "  time: capture " << r.capture_ms << " ms, check "
                   << r.check_ms << " ms\n";
+        if (r.clock == check::ClockMode::kTsc) {
+          std::cout << "  tsc: source "
+                    << util::tsc_source_name(r.calibration.source)
+                    << (r.calibration.fallback ? " (fallback)" : "")
+                    << (r.calibration.serial_host ? " (serial host)" : "")
+                    << ", epsilon " << r.calibration.epsilon
+                    << " ticks, rate " << r.calibration.ticks_per_us
+                    << " ticks/us\n";
+        }
         if (r.lin.verdict == check::LinVerdict::kNotLinearizable &&
             r.witness.size() > 0) {
           std::cout << "  witness: " << r.witness.size() << " ops"
@@ -478,7 +511,21 @@ int main(int argc, char** argv) {
       json.begin_object();
       json.key("structure").value(r.structure);
       json.key("stamp_mode").value(check::stamp_mode_name(r.stamp));
+      json.key("clock").value(check::clock_mode_name(r.clock));
       json.key("reclaim").value(mem::reclaim_policy_name(r.reclaim));
+      if (r.clock == check::ClockMode::kTsc) {
+        json.key("calibration").begin_object();
+        json.key("source").value(util::tsc_source_name(r.calibration.source));
+        json.key("fallback").value(r.calibration.fallback);
+        json.key("serial_host").value(r.calibration.serial_host);
+        json.key("drift").value(r.calibration.drift);
+        json.key("epsilon").value(r.calibration.epsilon);
+        json.key("read_granularity").value(r.calibration.read_granularity);
+        json.key("min_round_trip").value(r.calibration.min_round_trip);
+        json.key("max_abs_offset").value(r.calibration.max_abs_offset);
+        json.key("ticks_per_us").value(r.calibration.ticks_per_us);
+        json.end_object();
+      }
       json.key("verdict").value(check::verdict_name(r.lin.verdict));
       json.key("expect_linearizable").value(r.expect_linearizable);
       json.key("as_expected").value(r.as_expected());

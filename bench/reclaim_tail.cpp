@@ -246,7 +246,7 @@ class ReclaimTail final : public exp::Experiment {
 };
 
 Verdict ReclaimTail::analyze(const std::vector<TrialResult>& results,
-                             const RunOptions& options,
+                             const RunOptions& /*options*/,
                              std::ostream& os) const {
   Verdict verdict;
   Table table({"policy", "stall", "ops/thread", "p50 ns", "p99 ns", "p999 ns",

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_capture.json — the committed hardware-capture
+# stamping-overhead baseline (global-ticket vs calibrated-TSC clocks
+# over structures x thread counts, tsc verdict parity across the stock
+# zoo x reclamation policies, and the mutant catches under tsc). Run it
+# on the reference machine after touching src/util/tsc, src/check or the
+# stamping paths of src/lockfree, eyeball the geomean ticket/tsc
+# overhead ratio at the max thread count (>= 4x with >= 4 cpus; parity
+# band on a serial host — the table records the host cpu count that
+# selected the gate), and commit the result so later PRs can regress
+# against it.
+#
+# Builds with -DPWF_HW_MUTANTS=ON so the mutant gate (untagged-ABA
+# stack and novalidate skip list caught NOT-LINEARIZABLE under tsc,
+# witnesses minimized) is exercised; a stock build skips that cell.
+#
+# Usage: scripts/bench_capture.sh [--quick] [extra pwf_bench args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-mut -S . -DPWF_HW_MUTANTS=ON
+cmake --build build-mut --target pwf_bench -j"$(nproc)"
+
+build-mut/bench/pwf_bench --filter capture_overhead \
+  --json BENCH_capture.json "$@"
+echo "wrote BENCH_capture.json"

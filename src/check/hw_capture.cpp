@@ -28,7 +28,9 @@
 #ifdef PWF_HW_MUTANTS
 #include "lockfree/treiber_stack_untagged.hpp"
 #endif
+#include "util/latch.hpp"
 #include "util/rng.hpp"
+#include "util/tsc.hpp"
 #include "waitfree/object.hpp"
 
 namespace pwf::check {
@@ -42,8 +44,11 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
-/// One captured operation: boundary tickets plus (in kLinPoint mode) the
-/// lin-point bracket read back from the structure's TicketStamp hooks.
+/// One captured operation: boundary stamps plus (in kLinPoint mode) the
+/// lin-point bracket read back from the structure's stamp hooks. In
+/// ticket mode the stamps are global tickets; in tsc mode they are raw
+/// per-thread TSC readings until rank compression rewrites them into
+/// dense ticket-like indices (compress_tsc_ranks).
 struct OpRecord {
   std::uint32_t thread = 0;
   OpCode op = OpCode::kPush;
@@ -56,20 +61,48 @@ struct OpRecord {
   lockfree::LinStampRecord lin;
 };
 
-/// Per-thread recorder. begin()/end() stamp the boundary tickets and
-/// (lin mode) reset/read the thread-local stamp record around the call.
-/// Jitter yields go between the boundary stamp and the call on both
-/// sides, so they widen the boundary interval but not the lin bracket.
+/// Which clock CaptureLog stamps from. kNone compiles the recorder down
+/// to an immediate return on both sides of the call — the uninstrumented
+/// baseline for overhead measurement.
+enum class CaptureClock { kNone, kTicket, kTsc };
+
+/// Per-thread recorder. begin()/end() stamp the boundary and (lin mode)
+/// reset/read the thread-local stamp record around the call. Jitter
+/// yields go between the boundary stamp and the call on both sides, so
+/// they widen the boundary interval but not the lin bracket.
+///
+/// Contention-free discipline (tsc mode): the timed region performs zero
+/// shared writes and zero allocation — records_ is reserved up front
+/// (regrew() trips if that ever fails to hold), boundary stamps are
+/// per-thread counter reads, and the invoke stamp is *deferred*: the
+/// thread's previous stamp already bounds this op's invocation from
+/// below (per-thread program order), so begin() reuses it instead of
+/// reading the clock again, and a bracketed op reuses its lin post stamp
+/// as the response bound. Lin-point tsc capture thus costs two clock
+/// reads per op (pre + commit), call-boundary one.
 class CaptureLog {
  public:
-  CaptureLog(std::atomic<std::uint64_t>& ticket, std::uint32_t tid,
-             const HwOptions& options)
+  CaptureLog(std::atomic<std::uint64_t>* ticket, std::uint32_t tid,
+             const HwOptions& options, CaptureClock clock)
       : ticket_(ticket),
         tid_(tid),
         jitter_period_(options.jitter_period),
-        lin_(options.stamp == StampMode::kLinPoint) {}
+        lin_(options.stamp == StampMode::kLinPoint),
+        clock_(clock) {
+    if (clock_ != CaptureClock::kNone) {
+      records_.reserve(options.ops_per_thread);
+      reserved_ = records_.capacity();
+    }
+  }
+
+  /// Takes the thread's first stamp. Called after the start latch opens
+  /// so the first op's deferred invoke bound does not swallow the wait.
+  void arm() {
+    if (clock_ == CaptureClock::kTsc) last_stamp_ = util::tsc_monotonic();
+  }
 
   void begin(OpCode op, bool has_arg, Value arg) {
+    if (clock_ == CaptureClock::kNone) return;
     current_ = OpRecord{};
     current_.thread = tid_;
     current_.op = op;
@@ -77,62 +110,100 @@ class CaptureLog {
     current_.arg = arg;
     jitter_this_op_ =
         jitter_period_ != 0 && op_index_ % jitter_period_ == 0;
-    current_.invoke = ticket_.fetch_add(1, std::memory_order_acq_rel);
+    if (clock_ == CaptureClock::kTicket) {
+      current_.invoke = ticket_->fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      current_.invoke = last_stamp_;  // deferred lower bound, no clock read
+    }
     if (jitter_this_op_) std::this_thread::yield();
-    if (lin_) lockfree::TicketStamp::reset();
+    if (lin_) {
+      clock_ == CaptureClock::kTicket ? lockfree::TicketStamp::reset()
+                                      : lockfree::TscStamp::reset();
+    }
   }
 
   void end(bool has_ret, Value ret) {
-    if (lin_) current_.lin = lockfree::TicketStamp::record();
-    if (jitter_this_op_) std::this_thread::yield();
-    current_.response = ticket_.fetch_add(1, std::memory_order_acq_rel);
+    if (clock_ == CaptureClock::kNone) return;
+    if (clock_ == CaptureClock::kTicket) {
+      if (lin_) current_.lin = lockfree::TicketStamp::record();
+      if (jitter_this_op_) std::this_thread::yield();
+      current_.response = ticket_->fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      if (lin_) current_.lin = lockfree::TscStamp::record();
+      if (jitter_this_op_) std::this_thread::yield();
+      // A complete bracket already carries a post-linearization stamp;
+      // reuse it as the response bound rather than reading the clock
+      // again. (The effective interval the checker sees is the bracket
+      // either way; the boundary interval only feeds slack statistics.)
+      const bool bracketed = current_.lin.has_pre && current_.lin.has_post;
+      current_.response =
+          bracketed ? current_.lin.post : util::tsc_monotonic();
+      last_stamp_ = current_.response;
+    }
     current_.has_ret = has_ret;
     current_.ret = ret;
     records_.push_back(current_);
     ++op_index_;
   }
 
+  /// True when records_ outgrew its up-front reservation — an allocation
+  /// happened inside the timed region and the burst's timing is suspect.
+  bool regrew() const { return records_.capacity() != reserved_; }
+
   std::vector<OpRecord> take() { return std::move(records_); }
 
  private:
-  std::atomic<std::uint64_t>& ticket_;
+  std::atomic<std::uint64_t>* ticket_;
   std::uint32_t tid_;
   std::size_t jitter_period_;
   bool lin_;
+  CaptureClock clock_;
   bool jitter_this_op_ = false;
   std::size_t op_index_ = 0;
+  std::uint64_t last_stamp_ = 0;
+  std::size_t reserved_ = 0;
   OpRecord current_;
   std::vector<OpRecord> records_;
 };
 
 /// Spawns options.threads real threads running `body(tid, log, rng)` and
-/// merges their records. In lin mode the burst's ticket counter is bound
-/// to TicketStamp for the duration (bind happens strictly before spawn
-/// and after join, the only times it is safe).
+/// merges their records. In ticket lin mode the burst's ticket counter
+/// is bound to TicketStamp for the duration (bind happens strictly
+/// before spawn and after join, the only times it is safe). Each
+/// thread's recorder lives in a cache-line-padded slot, so no two
+/// threads' capture state shares a line.
 template <typename Body>
 std::vector<OpRecord> run_threads(const HwOptions& options, std::uint64_t seed,
-                                  bool bind_lin_ticket, Body&& body) {
+                                  bool bind_lin_ticket, CaptureClock clock,
+                                  Body&& body) {
   std::atomic<std::uint64_t> ticket{0};
   if (bind_lin_ticket) lockfree::TicketStamp::bind(&ticket);
-  std::vector<std::vector<OpRecord>> buffers(options.threads);
+  struct alignas(util::kCacheLineBytes) ThreadSlot {
+    std::vector<OpRecord> records;
+    bool regrew = false;
+  };
+  std::vector<ThreadSlot> slots(options.threads);
   {
-    // Start barrier: a short burst (tens of microseconds of work) can
+    // Start latch: a short burst (tens of microseconds of work) can
     // otherwise finish on one thread before the next is even spawned,
     // silently serializing the "concurrent" capture. No thread touches
     // the structure until every thread is runnable.
-    std::atomic<std::size_t> ready{0};
+    util::StartLatch latch(options.threads);
     std::vector<std::thread> threads;
     threads.reserve(options.threads);
     for (std::size_t t = 0; t < options.threads; ++t) {
       threads.emplace_back([&, t] {
-        ready.fetch_add(1, std::memory_order_acq_rel);
-        while (ready.load(std::memory_order_acquire) < options.threads) {
-          std::this_thread::yield();
-        }
-        CaptureLog log(ticket, static_cast<std::uint32_t>(t), options);
+        if (options.pin_threads) util::pin_this_thread(t);
+        // Recorder construction (and its burst-sized allocation) happens
+        // before the latch, outside the timed region.
+        CaptureLog log(&ticket, static_cast<std::uint32_t>(t), options,
+                       clock);
         Xoshiro256pp rng(seed + 0x9E3779B97F4A7C15ULL * (t + 1));
+        latch.arrive_and_wait();
+        log.arm();
         body(static_cast<std::uint32_t>(t), log, rng);
-        buffers[t] = log.take();
+        slots[t].regrew = log.regrew();
+        slots[t].records = log.take();
       });
     }
     for (std::thread& th : threads) th.join();
@@ -140,10 +211,62 @@ std::vector<OpRecord> run_threads(const HwOptions& options, std::uint64_t seed,
   if (bind_lin_ticket) lockfree::TicketStamp::bind(nullptr);
 
   std::vector<OpRecord> records;
-  for (auto& buffer : buffers) {
-    records.insert(records.end(), buffer.begin(), buffer.end());
+  for (ThreadSlot& slot : slots) {
+    if (slot.regrew) {
+      throw std::logic_error(
+          "hw_capture: record buffer regrew inside a timed burst "
+          "(reserve undersized — ops_per_thread exceeded?)");
+    }
+    records.insert(records.end(), slot.records.begin(), slot.records.end());
   }
   return records;
+}
+
+/// Rewrites raw tsc stamps into dense ticket-like indices, in place.
+///
+/// Every recorded endpoint becomes an event (value, tid, seq): interval
+/// lower bounds widened down by ε, upper bounds widened up by ε, with
+/// seq = 4·record + {0 invoke, 1 pre, 2 post, 3 response} so the sort by
+/// (value, tid, seq) is a deterministic total order even among equal
+/// stamps. Each endpoint is then replaced by its rank in that order.
+/// Widening only ever grows intervals (adds legal linearization orders),
+/// so verdicts stay sound; ranks keep per-op nesting by construction —
+/// invoke < pre strictly (per-thread monotonic repair) and post ties
+/// with response break toward post — so effective ⊆ boundary holds in
+/// rank space exactly as it does for tickets (DESIGN.md §6a).
+void compress_tsc_ranks(std::vector<OpRecord>& records,
+                        std::uint64_t epsilon) {
+  struct Event {
+    std::uint64_t value = 0;
+    std::uint32_t tid = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t* slot = nullptr;
+  };
+  const auto widen_lo = [epsilon](std::uint64_t v) {
+    return v > epsilon ? v - epsilon : 0;
+  };
+  std::vector<Event> events;
+  events.reserve(records.size() * 4);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    OpRecord& r = records[i];
+    events.push_back({widen_lo(r.invoke), r.thread, 4 * i + 0, &r.invoke});
+    if (r.lin.has_pre && r.lin.has_post) {
+      events.push_back({widen_lo(r.lin.pre), r.thread, 4 * i + 1,
+                        &r.lin.pre});
+      events.push_back({r.lin.post + epsilon, r.thread, 4 * i + 2,
+                        &r.lin.post});
+    }
+    events.push_back({r.response + epsilon, r.thread, 4 * i + 3,
+                      &r.response});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.value != b.value) return a.value < b.value;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.seq < b.seq;
+  });
+  for (std::size_t rank = 0; rank < events.size(); ++rank) {
+    *events[rank].slot = rank;
+  }
 }
 
 constexpr Value unique_value(std::uint32_t tid, std::size_t i) {
@@ -177,13 +300,15 @@ std::unique_ptr<typename Mem::Domain> make_domain(std::size_t block_bytes,
 }
 
 /// One capture round on a fresh structure instance. `Stamp` is
-/// TicketStamp in kLinPoint mode, NoStamp otherwise; `Mem` is the
-/// reclamation policy under test.
+/// TicketStamp or TscStamp in kLinPoint mode (matching `clock`), NoStamp
+/// otherwise; `Mem` is the reclamation policy under test.
 template <typename Stamp, typename Mem>
 std::vector<OpRecord> capture_burst(const HwStructure& structure,
                                     const HwOptions& options,
-                                    std::uint64_t seed) {
-  const bool bind = Stamp::enabled;
+                                    CaptureClock clock, std::uint64_t seed) {
+  // Only the ticket policy has shared state to bind; TscStamp stamps
+  // thread-locally and must never capture the burst's ticket counter.
+  const bool bind = std::is_same_v<Stamp, lockfree::TicketStamp>;
   const std::size_t ops = options.ops_per_thread;
 
   if (structure.name == "treiber-stack") {
@@ -191,7 +316,7 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
     auto domain = make_domain<Mem>(Stack::kNodeBytes, options);
     Stack stack(*domain);
     return run_threads(
-        options, seed, bind,
+        options, seed, bind, clock,
         [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
           typename Mem::ThreadHandle handle(*domain);
           for (std::size_t i = 0; i < ops; ++i) {
@@ -212,7 +337,7 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
   if (structure.name == "treiber-stack-untagged") {
     lockfree::TreiberStackUntagged<Stamp> stack;
     return run_threads(
-        options, seed, bind,
+        options, seed, bind, clock,
         [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
           for (std::size_t i = 0; i < ops; ++i) {
             if (rng() % 2 == 0) {
@@ -234,7 +359,7 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
     auto domain = make_domain<Mem>(Queue::kNodeBytes, options);
     Queue queue(*domain);
     return run_threads(
-        options, seed, bind,
+        options, seed, bind, clock,
         [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
           typename Mem::ThreadHandle handle(*domain);
           for (std::size_t i = 0; i < ops; ++i) {
@@ -263,7 +388,7 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
       set = std::make_unique<Set>(*domain, 4);
     }
     return run_threads(
-        options, seed, bind,
+        options, seed, bind, clock,
         [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
           (void)tid;
           typename Mem::ThreadHandle handle(*domain);
@@ -297,7 +422,7 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
       auto domain = make_domain<Mem>(Map::kNodeBytes, options);
       Map map(*domain);
       return run_threads(
-          options, seed, bind,
+          options, seed, bind, clock,
           [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
             (void)tid;
             typename Mem::ThreadHandle handle(*domain);
@@ -347,7 +472,7 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
     lockfree::BasicFetchAddCounter<Stamp> faa_counter;
     const bool use_cas = structure.name == "cas-counter";
     return run_threads(
-        options, seed, bind,
+        options, seed, bind, clock,
         [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp&) {
           (void)tid;
           for (std::size_t i = 0; i < ops; ++i) {
@@ -364,7 +489,7 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
     auto domain = make_domain<Mem>(Object::kNodeBytes, options);
     Object object(*domain, 0);
     return run_threads(
-        options, seed, bind,
+        options, seed, bind, clock,
         [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp&) {
           (void)tid;
           typename Mem::ThreadHandle handle(*domain);
@@ -387,7 +512,7 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
     auto domain = make_domain<Mem>(Object::kNodeBytes, options);
     Object object(*domain, waitfree::CounterState{});
     return run_threads(
-        options, seed, bind,
+        options, seed, bind, clock,
         [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp&) {
           (void)tid;
           typename Mem::ThreadHandle handle(*domain);
@@ -406,7 +531,7 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
     auto domain = make_domain<Mem>(Object::kNodeBytes, options);
     Object object(*domain, waitfree::StackState{});
     return run_threads(
-        options, seed, bind,
+        options, seed, bind, clock,
         [&](std::uint32_t tid, CaptureLog& log, Xoshiro256pp& rng) {
           typename Mem::ThreadHandle handle(*domain);
           typename Object::Thread wf(object, handle);
@@ -431,20 +556,23 @@ std::vector<OpRecord> capture_burst(const HwStructure& structure,
 }
 
 /// Resolves the runtime reclaim-policy option to the Mem template
-/// parameter (the stamp mode dispatches one level up, in run()).
+/// parameter (the stamp mode and clock dispatch one level up, in run()).
 template <typename Stamp>
 std::vector<OpRecord> capture_dispatch(const HwStructure& structure,
                                        const HwOptions& options,
+                                       CaptureClock clock,
                                        std::uint64_t seed) {
   switch (options.reclaim) {
     case mem::ReclaimPolicy::kHazardEra:
-      return capture_burst<Stamp, mem::HazardEra>(structure, options, seed);
+      return capture_burst<Stamp, mem::HazardEra>(structure, options, clock,
+                                                  seed);
     case mem::ReclaimPolicy::kPool:
-      return capture_burst<Stamp, mem::WaitFreePool>(structure, options, seed);
+      return capture_burst<Stamp, mem::WaitFreePool>(structure, options,
+                                                     clock, seed);
     case mem::ReclaimPolicy::kEpoch:
       break;
   }
-  return capture_burst<Stamp, mem::Epoch>(structure, options, seed);
+  return capture_burst<Stamp, mem::Epoch>(structure, options, clock, seed);
 }
 
 double median_of(std::vector<std::uint64_t> values) {
@@ -829,6 +957,22 @@ std::optional<StampMode> parse_stamp_mode(const std::string& name) {
   return std::nullopt;
 }
 
+const char* clock_mode_name(ClockMode mode) {
+  switch (mode) {
+    case ClockMode::kTicket:
+      return "ticket";
+    case ClockMode::kTsc:
+      return "tsc";
+  }
+  return "?";
+}
+
+std::optional<ClockMode> parse_clock_mode(const std::string& name) {
+  if (name == "ticket") return ClockMode::kTicket;
+  if (name == "tsc") return ClockMode::kTsc;
+  return std::nullopt;
+}
+
 bool HwResult::as_expected() const noexcept {
   return lin.verdict == (expect_linearizable ? LinVerdict::kLinearizable
                                              : LinVerdict::kNotLinearizable);
@@ -872,10 +1016,20 @@ const HwResult& HwSession::run() & {
   HwResult result;
   result.structure = structure_.name;
   result.stamp = options_.stamp;
+  result.clock = options_.clock;
   result.reclaim = options_.reclaim;
   result.expect_linearizable = structure_.expect_linearizable;
 
   const bool lin_mode = options_.stamp == StampMode::kLinPoint;
+  const bool tsc = options_.clock == ClockMode::kTsc;
+  const CaptureClock clock =
+      tsc ? CaptureClock::kTsc : CaptureClock::kTicket;
+  if (tsc) {
+    // One calibration per session: the skew bound ε below widens every
+    // recovered interval before rank compression.
+    result.calibration =
+        util::calibrate_tsc(options_.threads, 32, options_.pin_threads);
+  }
   const std::size_t bursts = std::max<std::size_t>(1, options_.bursts);
   Session checker(make_spec(structure_.spec_kind), check_);
 
@@ -885,12 +1039,17 @@ const HwResult& HwSession::run() & {
     const std::uint64_t seed =
         options_.seed + 0xD1B54A32D192ED03ULL * burst;
     const auto capture_start = Clock::now();
-    const std::vector<OpRecord> records =
+    std::vector<OpRecord> records =
         lin_mode
-            ? capture_dispatch<lockfree::TicketStamp>(structure_, options_,
-                                                      seed)
-            : capture_dispatch<lockfree::NoStamp>(structure_, options_, seed);
+            ? (tsc ? capture_dispatch<lockfree::TscStamp>(structure_,
+                                                          options_, clock,
+                                                          seed)
+                   : capture_dispatch<lockfree::TicketStamp>(
+                         structure_, options_, clock, seed))
+            : capture_dispatch<lockfree::NoStamp>(structure_, options_,
+                                                  clock, seed);
     result.capture_ms += ms_since(capture_start);
+    if (tsc) compress_tsc_ranks(records, result.calibration.epsilon);
 
     // Effective intervals: the lin bracket when complete, else the call
     // boundary. Both contain the true linearization point, so the
@@ -929,6 +1088,13 @@ const HwResult& HwSession::run() & {
                 return a.invoke < b.invoke;
               });
     History history(std::move(ops));
+
+    if (!options_.check_history) {
+      // Overhead-measurement mode: record, don't check. lin stays at
+      // its default (kUnknown) and as_expected() is meaningless.
+      if (burst + 1 == bursts) result.history = std::move(history);
+      continue;
+    }
 
     const auto check_start = Clock::now();
     LinResult lin = checker.check(history);
@@ -984,6 +1150,15 @@ HwResult HwSession::result() && {
     throw std::logic_error("HwSession::result: run() has not been called");
   }
   return std::move(*result_);
+}
+
+double hw_uninstrumented_burst_ms(const std::string& structure,
+                                  const HwOptions& options,
+                                  std::uint64_t seed) {
+  const HwStructure& s = HwSession::find(structure);
+  const auto start = Clock::now();
+  capture_dispatch<lockfree::NoStamp>(s, options, CaptureClock::kNone, seed);
+  return ms_since(start);
 }
 
 // --------------------------------------------------------------------------

@@ -35,6 +35,7 @@
 #include "check/history.hpp"
 #include "check/lin_check.hpp"
 #include "mem/reclaimer.hpp"
+#include "util/tsc.hpp"
 
 namespace pwf::check {
 
@@ -47,6 +48,29 @@ enum class StampMode {
 const char* stamp_mode_name(StampMode mode);
 std::optional<StampMode> parse_stamp_mode(const std::string& name);
 
+/// Which clock the stamps are drawn from.
+///
+///  - kTicket: the original process-global atomic ticket counter. Every
+///    stamp is a fetch_add on one shared cache line — a total order for
+///    free, but the capture itself serializes under contention (the very
+///    effect the paper measures). Stays the golden reference.
+///
+///  - kTsc: per-thread invariant-TSC reads (util/tsc) — zero shared
+///    writes in the timed region. Raw per-thread stamps are made
+///    comparable by one calibration per session (skew bound ε); every
+///    recovered interval is widened by ε and the widened endpoints are
+///    rank-compressed into dense ticket-like indices with the
+///    deterministic (stamp, tid, seq) tie-break. Widening only adds
+///    legal linearization orders, so verdicts stay sound (DESIGN.md
+///    §6a); ticket-vs-tsc verdict equivalence is enforced by tests.
+enum class ClockMode {
+  kTicket,  ///< global atomic ticket (serializing, exact total order)
+  kTsc,     ///< calibrated per-thread TSC (contention-free, ε-widened)
+};
+
+const char* clock_mode_name(ClockMode mode);
+std::optional<ClockMode> parse_clock_mode(const std::string& name);
+
 /// Options for one hardware capture session.
 struct HwOptions {
   std::size_t threads = 4;
@@ -57,6 +81,17 @@ struct HwOptions {
   std::size_t bursts = 1;
   std::uint64_t seed = 1;
   StampMode stamp = StampMode::kCallBoundary;
+  ClockMode clock = ClockMode::kTicket;
+  /// Pin capture thread t to allowed CPU t (util::pin_this_thread), so
+  /// each thread samples one TSC domain for the whole burst. Calibration
+  /// pins its probes the same way. Best effort: capture proceeds
+  /// unpinned where pinning is unsupported.
+  bool pin_threads = false;
+  /// When false, capture and record but skip the linearizability checker
+  /// (and witness minimization); HwResult::lin stays kUnknown. The
+  /// capture_overhead experiment uses this to time stamping cost without
+  /// paying for checking.
+  bool check_history = true;
   /// Reclamation policy the captured structures run under (mem/reclaimer):
   /// linearizability must hold under every policy, so the checker runs
   /// the same workloads over epoch, hazard-era, and pool reclamation.
@@ -93,7 +128,12 @@ struct HwResult {
 
   std::string structure;
   StampMode stamp = StampMode::kCallBoundary;
+  ClockMode clock = ClockMode::kTicket;
   mem::ReclaimPolicy reclaim = mem::ReclaimPolicy::kEpoch;
+  /// Cross-thread skew calibration (kTsc only; default-constructed in
+  /// ticket mode). calibration.epsilon is the widening every interval
+  /// received before rank compression.
+  util::TscCalibration calibration;
   History history;  ///< the checked round (first violating, else last)
   LinResult lin;
 
@@ -177,6 +217,15 @@ class HwSession {
   CheckOptions check_;
   std::optional<HwResult> result_;
 };
+
+/// Runs one burst of the structure's capture workload with stamping
+/// compiled out entirely (no clock reads, no records, no allocation) and
+/// returns its wall time in ms — the uninstrumented baseline the
+/// capture_overhead experiment subtracts from instrumented runs. Spawn
+/// and join are included, matching how HwResult::capture_ms is measured.
+double hw_uninstrumented_burst_ms(const std::string& structure,
+                                  const HwOptions& options,
+                                  std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
 // Witness minimization (public surface; HwSession::run uses it internally).

@@ -52,6 +52,10 @@ struct RunOptions {
   /// "lockfree", or empty = sweep all three. Experiments without a
   /// strategy axis ignore it.
   std::string strategy;
+  /// Capture-clock filter for experiments that sweep the hardware
+  /// capture clock (--clock): "ticket", "tsc", or empty = sweep both.
+  /// Experiments without a clock axis ignore it.
+  std::string clock;
 
   /// The effective base seed for an experiment with the given default.
   std::uint64_t base_seed(std::uint64_t experiment_default) const noexcept {

@@ -1,5 +1,7 @@
 #include "lockfree/lin_stamp.hpp"
 
+#include "util/tsc.hpp"
+
 namespace pwf::lockfree {
 
 namespace {
@@ -9,6 +11,10 @@ namespace {
 std::atomic<std::uint64_t>* g_ticket = nullptr;
 
 thread_local LinStampRecord tl_record;
+
+// TscStamp keeps its own record so a capture switching clocks can never
+// read a stale bracket left by the other policy.
+thread_local LinStampRecord tl_tsc_record;
 
 }  // namespace
 
@@ -31,5 +37,19 @@ LinStampRecord TicketStamp::record() noexcept { return tl_record; }
 void TicketStamp::bind(std::atomic<std::uint64_t>* ticket) noexcept {
   g_ticket = ticket;
 }
+
+void TscStamp::pre() noexcept {
+  tl_tsc_record.pre = util::tsc_monotonic();
+  tl_tsc_record.has_pre = true;
+}
+
+void TscStamp::commit() noexcept {
+  tl_tsc_record.post = util::tsc_monotonic();
+  tl_tsc_record.has_post = true;
+}
+
+void TscStamp::reset() noexcept { tl_tsc_record = LinStampRecord{}; }
+
+LinStampRecord TscStamp::record() noexcept { return tl_tsc_record; }
 
 }  // namespace pwf::lockfree

@@ -85,4 +85,26 @@ struct TicketStamp {
   static void bind(std::atomic<std::uint64_t>* ticket) noexcept;
 };
 
+/// Enabled policy with zero shared writes: brackets are raw per-thread
+/// TSC readings (util::tsc_monotonic) into thread-local state, so an
+/// instrumented operation touches no cache line any other thread writes.
+/// Raw stamps from different threads are only comparable after the
+/// capture layer widens each bracket by the calibrated skew bound ε
+/// (util::calibrate_tsc) — the widened bracket provably still contains
+/// the linearization point (DESIGN.md §6a). Needs no bind(): the clock
+/// is the hardware's.
+struct TscStamp {
+  static constexpr bool enabled = true;
+
+  static void pre() noexcept;
+  static void commit() noexcept;
+
+  /// Clears the calling thread's record; the capture layer calls this
+  /// before each structure call.
+  static void reset() noexcept;
+
+  /// The calling thread's current bracket (raw TSC ticks).
+  static LinStampRecord record() noexcept;
+};
+
 }  // namespace pwf::lockfree

@@ -1,0 +1,56 @@
+// Padded start latch for simultaneous burst release.
+//
+// The capture layer previously released its worker threads with a bare
+// `ready.fetch_add(acq_rel)` + spin on the same counter: every arrival
+// invalidated the line all waiters were spinning on, so start cost grew
+// with thread count and the final arrivals started measurably late.
+// StartLatch splits arrival and release onto separate cache lines —
+// arrival is one RMW on a line nobody spins on, and waiters spin on a
+// write-once flag — so burst start cost is uniform across thread counts.
+//
+// Like the barrier it replaces, the latch never blocks in the kernel:
+// a stalled peer cannot silently serialize the measured region, only
+// delay its start (the no-silent-serialization guarantee).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "util/tsc.hpp"
+
+namespace pwf::util {
+
+class StartLatch {
+ public:
+  explicit StartLatch(std::size_t expected) noexcept
+      : expected_(expected == 0 ? 1 : expected) {}
+
+  StartLatch(const StartLatch&) = delete;
+  StartLatch& operator=(const StartLatch&) = delete;
+
+  /// Arrive; the last arrival opens the gate for everyone (itself
+  /// included). seq_cst on both sides so the open is a single global
+  /// event every thread agrees on.
+  void arrive_and_wait() noexcept {
+    if (arrived_.fetch_add(1, std::memory_order_seq_cst) + 1 == expected_) {
+      go_.store(true, std::memory_order_seq_cst);
+      return;
+    }
+    for (;;) {
+      for (int i = 0; i < 4096; ++i) {
+        if (go_.load(std::memory_order_acquire)) return;
+      }
+      std::this_thread::yield();  // keeps serial hosts live
+    }
+  }
+
+  bool open() const noexcept { return go_.load(std::memory_order_acquire); }
+
+ private:
+  std::size_t expected_;
+  alignas(kCacheLineBytes) std::atomic<std::size_t> arrived_{0};
+  alignas(kCacheLineBytes) std::atomic<bool> go_{false};
+};
+
+}  // namespace pwf::util

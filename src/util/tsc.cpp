@@ -1,0 +1,287 @@
+#include "util/tsc.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define PWF_TSC_X86 1
+#endif
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace pwf::util {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          SteadyClock::now().time_since_epoch())
+          .count());
+}
+
+#ifdef PWF_TSC_X86
+bool detect_invariant_rdtsc() noexcept {
+  // CPUID.80000007H:EDX[8] — invariant TSC (constant rate, survives
+  // P/C-state transitions). Without it raw rdtsc deltas are meaningless
+  // and the steady_clock fallback engages.
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(0x80000007u, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (edx & (1u << 8)) != 0;
+}
+#endif
+
+TscSource detect_source() noexcept {
+#ifdef PWF_TSC_X86
+  if (detect_invariant_rdtsc()) return TscSource::kRdtsc;
+#elif defined(__aarch64__)
+  // The generic timer is architecturally invariant and synchronized
+  // across cores.
+  return TscSource::kCntvct;
+#endif
+  return TscSource::kSteadyClock;
+}
+
+// The override is read on every stamp; relaxed is fine — tests install
+// it before spawning stampers.
+std::atomic<int> g_override{-1};  // -1 = auto, else static_cast<TscSource>
+
+std::uint64_t read_source(TscSource source) noexcept {
+  switch (source) {
+    case TscSource::kRdtsc:
+#ifdef PWF_TSC_X86
+      return __builtin_ia32_rdtsc();
+#else
+      return steady_ns();
+#endif
+    case TscSource::kCntvct: {
+#if defined(__aarch64__)
+      std::uint64_t value;
+      asm volatile("mrs %0, cntvct_el0" : "=r"(value));
+      return value;
+#else
+      return steady_ns();
+#endif
+    }
+    case TscSource::kSteadyClock:
+      return steady_ns();
+  }
+  return steady_ns();
+}
+
+/// Spin that stays live on oversubscribed hosts: a bounded busy wait,
+/// then yield. On a multi-core host the condition is usually observed
+/// within the busy phase; on a serial host the yield is what lets the
+/// partner run at all.
+template <typename Cond>
+void spin_until(const Cond& cond) noexcept {
+  for (;;) {
+    for (int i = 0; i < 4096; ++i) {
+      if (cond()) return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+struct alignas(kCacheLineBytes) PingPongChannel {
+  std::atomic<std::uint64_t> request{0};
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> response{0};
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> probe_stamp{0};
+};
+
+std::uint64_t measure_granularity() noexcept {
+  std::uint64_t best = 0;
+  std::uint64_t prev = tsc_now();
+  for (int i = 0; i < 4096; ++i) {
+    const std::uint64_t cur = tsc_now();
+    if (cur > prev && (best == 0 || cur - prev < best)) best = cur - prev;
+    prev = cur;
+  }
+  return best == 0 ? 1 : best;
+}
+
+double measure_ticks_per_us() noexcept {
+  // Rate against steady_clock over a ~2 ms busy window; only run inside
+  // calibrate_tsc, never on a capture path.
+  const auto s0 = SteadyClock::now();
+  const std::uint64_t t0 = tsc_now();
+  for (;;) {
+    const auto elapsed = SteadyClock::now() - s0;
+    if (elapsed >= std::chrono::milliseconds(2)) {
+      const std::uint64_t t1 = tsc_now();
+      const double us =
+          std::chrono::duration<double, std::micro>(elapsed).count();
+      return us > 0.0 ? static_cast<double>(t1 - t0) / us : 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+const char* tsc_source_name(TscSource source) {
+  switch (source) {
+    case TscSource::kRdtsc:
+      return "rdtsc";
+    case TscSource::kCntvct:
+      return "cntvct";
+    case TscSource::kSteadyClock:
+      return "steady-clock";
+  }
+  return "?";
+}
+
+TscSource tsc_source() noexcept {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<TscSource>(forced);
+  static const TscSource kDetected = detect_source();
+  return kDetected;
+}
+
+bool invariant_tsc() noexcept {
+  return tsc_source() != TscSource::kSteadyClock;
+}
+
+std::uint64_t tsc_now() noexcept { return read_source(tsc_source()); }
+
+std::uint64_t tsc_monotonic() noexcept {
+  thread_local std::uint64_t last = 0;
+  std::uint64_t stamp = tsc_now();
+  if (stamp <= last) stamp = last + 1;
+  last = stamp;
+  return stamp;
+}
+
+void set_tsc_source_for_testing(std::optional<TscSource> source) noexcept {
+  g_override.store(source ? static_cast<int>(*source) : -1,
+                   std::memory_order_relaxed);
+}
+
+std::size_t available_cpus() noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int count = CPU_COUNT(&set);
+    if (count > 0) return static_cast<std::size_t>(count);
+  }
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+bool pin_this_thread(std::size_t index) noexcept {
+#if defined(__linux__)
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return false;
+  const int count = CPU_COUNT(&allowed);
+  if (count <= 0) return false;
+  // The index-th set bit of the affinity mask, modulo its population.
+  int target = static_cast<int>(index % static_cast<std::size_t>(count));
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (!CPU_ISSET(cpu, &allowed)) continue;
+    if (target-- == 0) {
+      cpu_set_t one;
+      CPU_ZERO(&one);
+      CPU_SET(cpu, &one);
+      return sched_setaffinity(0, sizeof(one), &one) == 0;
+    }
+  }
+  return false;
+#else
+  (void)index;
+  return false;
+#endif
+}
+
+TscCalibration calibrate_tsc(std::size_t threads, std::size_t rounds,
+                             bool pin) {
+  TscCalibration cal;
+  cal.source = tsc_source();
+  cal.fallback = !invariant_tsc();
+  cal.serial_host = available_cpus() <= 1;
+  cal.threads = threads == 0 ? 1 : threads;
+  cal.rounds = rounds == 0 ? 1 : rounds;
+  cal.read_granularity = measure_granularity();
+  cal.ticks_per_us = measure_ticks_per_us();
+  cal.min_round_trip = 0;
+  cal.offset_lo.reserve(cal.threads);
+  cal.offset_hi.reserve(cal.threads);
+
+  for (std::size_t p = 0; p < cal.threads; ++p) {
+    PingPongChannel channel;
+    std::atomic<bool> done{false};
+    std::thread probe([&, p] {
+      if (pin) pin_this_thread(p + 1);
+      for (std::uint64_t r = 1; r <= cal.rounds; ++r) {
+        spin_until([&] {
+          return channel.request.load(std::memory_order_acquire) >= r;
+        });
+        channel.probe_stamp.store(tsc_now(), std::memory_order_relaxed);
+        channel.response.store(r, std::memory_order_release);
+      }
+      done.store(true, std::memory_order_release);
+    });
+
+    std::int64_t lo = INT64_MIN, hi = INT64_MAX;       // intersection
+    std::int64_t env_lo = INT64_MAX, env_hi = INT64_MIN;  // envelope
+    for (std::uint64_t r = 1; r <= cal.rounds; ++r) {
+      const std::uint64_t t0 = tsc_now();
+      channel.request.store(r, std::memory_order_release);
+      spin_until([&] {
+        return channel.response.load(std::memory_order_acquire) >= r;
+      });
+      const std::uint64_t t2 = tsc_now();
+      const std::uint64_t w =
+          channel.probe_stamp.load(std::memory_order_relaxed);
+      // The probe's read happened at master-time m in [t0, t2], so its
+      // offset w - m lies in [w - t2, w - t0].
+      const std::int64_t round_lo =
+          static_cast<std::int64_t>(w) - static_cast<std::int64_t>(t2);
+      const std::int64_t round_hi =
+          static_cast<std::int64_t>(w) - static_cast<std::int64_t>(t0);
+      lo = lo > round_lo ? lo : round_lo;
+      hi = hi < round_hi ? hi : round_hi;
+      env_lo = env_lo < round_lo ? env_lo : round_lo;
+      env_hi = env_hi > round_hi ? env_hi : round_hi;
+      const std::uint64_t rtt = t2 >= t0 ? t2 - t0 : 0;
+      if (cal.min_round_trip == 0 || rtt < cal.min_round_trip) {
+        cal.min_round_trip = rtt;
+      }
+    }
+    spin_until([&] { return done.load(std::memory_order_acquire); });
+    probe.join();
+
+    if (lo > hi) {
+      // Inconsistent rounds: the counters drifted during calibration.
+      // Fall back to the envelope, which every round is consistent with.
+      cal.drift = true;
+      lo = env_lo;
+      hi = env_hi;
+    }
+    cal.offset_lo.push_back(lo);
+    cal.offset_hi.push_back(hi);
+    const std::uint64_t bound = static_cast<std::uint64_t>(
+        std::max(lo < 0 ? -lo : lo, hi < 0 ? -hi : hi));
+    if (bound > cal.max_abs_offset) cal.max_abs_offset = bound;
+  }
+
+  // The skew bound (header comment): serial hosts read one physical
+  // counter, so only read granularity matters; otherwise any two probes
+  // differ by at most their two master-frame bounds combined.
+  const std::uint64_t floor = cal.read_granularity > 0
+                                  ? cal.read_granularity
+                                  : static_cast<std::uint64_t>(1);
+  cal.epsilon =
+      cal.serial_host ? floor : 2 * cal.max_abs_offset + floor;
+  if (cal.epsilon == 0) cal.epsilon = 1;
+  return cal;
+}
+
+}  // namespace pwf::util

@@ -1,0 +1,126 @@
+// Invariant-TSC timestamping for contention-free hardware capture.
+//
+// The hardware capture layer (check/hw_capture) originally ordered events
+// with one process-global atomic ticket: every stamp was a fetch_add on
+// the same cache line, so the capture serialized the very contention it
+// was built to observe. This module provides the replacement clock: a
+// per-thread hardware counter read (`rdtsc` on x86-64, `cntvct_el0` on
+// aarch64, `steady_clock` elsewhere) that performs *zero shared writes*,
+// plus the calibration machinery that makes raw per-thread readings
+// comparable across threads:
+//
+//  - tsc_now()        raw counter read from the active source;
+//  - tsc_monotonic()  per-thread monotonic repair over tsc_now(): a read
+//    that lands at or below the thread's previous stamp (cross-CPU
+//    migration onto a core whose counter is slightly behind) is lifted
+//    to previous+1, so per-thread stamp order always matches program
+//    order and the displacement is bounded by the cross-CPU skew;
+//  - calibrate_tsc()  ping-pong offset measurement between the calling
+//    thread and N probe threads, producing a measured skew bound ε
+//    (TscCalibration::epsilon): any two threads' raw stamps order events
+//    correctly once intervals are widened by ε on each side.
+//
+// Soundness contract (DESIGN.md §6a): a stamp taken by thread T at true
+// global time t satisfies |stamp - clock_master(t)| <= ε/2 per probe
+// bound, so for any two threads the relative error is at most ε. The
+// capture layer widens every recovered interval by ε before checking;
+// the widened interval provably still contains the linearization point,
+// and widening only ever adds legal linearization orders (same argument
+// as call-boundary over-approximation).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace pwf::util {
+
+/// One cache line, for padding shared-memory layouts (capture buffers,
+/// latches) so independent per-thread state never false-shares.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Where tsc_now() readings come from.
+enum class TscSource {
+  kRdtsc,        ///< x86-64 rdtsc (requires invariant TSC to be trusted)
+  kCntvct,       ///< aarch64 generic timer (architecturally invariant)
+  kSteadyClock,  ///< std::chrono::steady_clock fallback (ns)
+};
+
+const char* tsc_source_name(TscSource source);
+
+/// The source in effect: the testing override if set, else the best
+/// hardware counter this build/host supports, else steady_clock.
+TscSource tsc_source() noexcept;
+
+/// True when the active source is an invariant hardware counter
+/// (constant rate, never stops in deep sleep) — the precondition for
+/// trusting raw cross-time comparisons. The steady_clock fallback
+/// reports false here while still being globally monotonic.
+bool invariant_tsc() noexcept;
+
+/// Raw counter read from the active source. Not serializing: the read
+/// may retire slightly out of program order, which the capture layer's
+/// ε-widening absorbs.
+std::uint64_t tsc_now() noexcept;
+
+/// tsc_now() with per-thread monotonic repair: strictly increasing on
+/// every thread, so per-thread stamp order always matches program order.
+/// A repaired (lifted) stamp is displaced by at most the backwards step
+/// it papered over, which calibration bounds by ε.
+std::uint64_t tsc_monotonic() noexcept;
+
+/// Testing hook: force a source (nullopt restores auto-detection). Not
+/// thread-safe against concurrent stampers; tests set it up front.
+void set_tsc_source_for_testing(std::optional<TscSource> source) noexcept;
+
+/// CPUs the current thread may run on (affinity-aware on Linux, else
+/// std::thread::hardware_concurrency), never 0. On a 1-CPU host every
+/// thread reads the same physical counter, so cross-thread skew is
+/// structurally zero regardless of what ping-pong latency suggests.
+std::size_t available_cpus() noexcept;
+
+/// Pins the calling thread to the index-th allowed CPU (modulo the
+/// affinity set). Returns false when pinning is unsupported or fails;
+/// capture proceeds unpinned in that case.
+bool pin_this_thread(std::size_t index) noexcept;
+
+/// Result of one cross-thread calibration run.
+struct TscCalibration {
+  TscSource source = TscSource::kSteadyClock;
+  bool fallback = false;     ///< no invariant hardware counter; steady_clock
+  bool serial_host = false;  ///< 1 available CPU: skew structurally zero
+  bool drift = false;        ///< a probe's offset intervals were inconsistent
+  std::size_t threads = 0;   ///< probe threads measured
+  std::size_t rounds = 0;    ///< ping-pong rounds per probe
+  double ticks_per_us = 0.0; ///< measured counter rate (steady_clock ref)
+  /// Smallest nonzero delta between back-to-back reads: the clock's
+  /// effective granularity, a floor under any skew bound.
+  std::uint64_t read_granularity = 0;
+  /// Tightest observed ping-pong round trip (ticks): the measurement's
+  /// own resolution — offsets cannot be localized better than this.
+  std::uint64_t min_round_trip = 0;
+  /// max over probes of max(|offset_lo|, |offset_hi|): the largest
+  /// per-probe bound on |probe clock - master clock|.
+  std::uint64_t max_abs_offset = 0;
+  /// The skew bound ε used to widen capture intervals: on a serial host
+  /// just the read granularity; otherwise 2 * max_abs_offset (any two
+  /// threads, through the master frame) + granularity. Always >= 1.
+  std::uint64_t epsilon = 0;
+  /// Per-probe offset bound intervals (probe clock minus master clock):
+  /// after intersecting all rounds, the true offset lies in
+  /// [offset_lo[i], offset_hi[i]].
+  std::vector<std::int64_t> offset_lo;
+  std::vector<std::int64_t> offset_hi;
+};
+
+/// Measures cross-thread offsets with `threads` probe threads and
+/// `rounds` ping-pong rounds each, and derives the skew bound ε. When
+/// `pin` is set, probe i is pinned to allowed CPU (i + 1) mod #cpus so
+/// the probes sample distinct counter domains (the capture layer pins
+/// its threads the same way). Cheap enough to run once per capture
+/// session (~ms).
+TscCalibration calibrate_tsc(std::size_t threads, std::size_t rounds = 32,
+                             bool pin = false);
+
+}  // namespace pwf::util

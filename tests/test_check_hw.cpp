@@ -2,8 +2,12 @@
 // structure in src/lockfree runs a small multi-threaded burst whose
 // ticket-recovered history must check out linearizable — in both stamp
 // modes — and the lin-point brackets must be tighter than the call
-// boundaries they are nested in. With PWF_HW_MUTANTS, the deliberately
-// ABA-broken Treiber stack must be flagged NOT-LINEARIZABLE.
+// boundaries they are nested in. The calibrated-TSC clock (--clock tsc)
+// must reproduce the golden ticket clock's verdicts on every structure
+// while preserving the bracket-nesting invariant through epsilon
+// widening and rank compression. With PWF_HW_MUTANTS, the deliberately
+// ABA-broken Treiber stack must be flagged NOT-LINEARIZABLE under both
+// clocks.
 #include "check/hw_capture.hpp"
 
 #include <gtest/gtest.h>
@@ -138,6 +142,100 @@ TEST(HwSession, StampModeDoesNotChangeVerdicts) {
   }
 }
 
+TEST(HwSession, ClockModeNamesRoundTrip) {
+  EXPECT_EQ(parse_clock_mode(clock_mode_name(ClockMode::kTicket)),
+            ClockMode::kTicket);
+  EXPECT_EQ(parse_clock_mode(clock_mode_name(ClockMode::kTsc)),
+            ClockMode::kTsc);
+  EXPECT_EQ(parse_clock_mode("bogus"), std::nullopt);
+}
+
+TEST(HwSession, TscCaptureIsLinearizableOnEveryStockStructure) {
+  for (const char* name :
+       {"treiber-stack", "ms-queue", "harris-list", "hash-set", "cas-counter",
+        "faa-counter", "scu-counter"}) {
+    for (const StampMode mode :
+         {StampMode::kCallBoundary, StampMode::kLinPoint}) {
+      HwOptions o = small_options(mode);
+      o.clock = ClockMode::kTsc;
+      const HwResult& r = HwSession(name, o).run();
+      EXPECT_EQ(r.clock, ClockMode::kTsc);
+      EXPECT_EQ(r.lin.verdict, LinVerdict::kLinearizable)
+          << name << " " << stamp_mode_name(mode);
+      EXPECT_TRUE(r.as_expected()) << name;
+      EXPECT_EQ(r.history.num_pending(), 0u);
+      // Calibration ran once for the session and produced a usable
+      // widening bound.
+      EXPECT_GE(r.calibration.epsilon, 1u) << name;
+      if (mode == StampMode::kLinPoint) {
+        EXPECT_EQ(r.stamped_ops, r.total_ops) << name;
+      }
+    }
+  }
+}
+
+TEST(HwSession, TscMatchesTicketVerdictsOnSameSeed) {
+  // Satellite acceptance: the tsc clock is a drop-in for the golden
+  // ticket clock — same seed, same structure, same verdict.
+  for (const char* name :
+       {"treiber-stack", "ms-queue", "harris-list", "hash-set", "cas-counter",
+        "faa-counter", "scu-counter"}) {
+    HwOptions ticket = small_options(StampMode::kLinPoint);
+    HwOptions tsc = ticket;
+    tsc.clock = ClockMode::kTsc;
+    const HwResult& rt = HwSession(name, ticket).run();
+    const HwResult& rc = HwSession(name, tsc).run();
+    EXPECT_EQ(rt.lin.verdict, rc.lin.verdict) << name;
+    EXPECT_EQ(rt.total_ops, rc.total_ops) << name;  // same seeded op mix
+  }
+}
+
+TEST(HwSession, TscLinPointBracketsNestInsideBoundaries) {
+  // Epsilon widening is applied to both the effective interval and the
+  // call boundary, and the rank compression breaks ties so that the
+  // bracket stays nested: per-op effective slack can never exceed
+  // boundary slack, even after widening.
+  HwOptions o = small_options(StampMode::kLinPoint);
+  o.ops_per_thread = 200;
+  o.jitter_period = 1;
+  o.clock = ClockMode::kTsc;
+  const HwResult& r = HwSession("treiber-stack", o).run();
+  ASSERT_EQ(r.interval_slack.size(), r.boundary_slack.size());
+  for (std::size_t i = 0; i < r.interval_slack.size(); ++i) {
+    EXPECT_LE(r.interval_slack[i], r.boundary_slack[i]) << "op " << i;
+  }
+  EXPECT_LE(r.median_slack, r.boundary_median_slack);
+}
+
+TEST(HwSession, TscCaptureWithPinnedThreads) {
+  // Pinning is best-effort; on hosts where it works the capture must
+  // still produce a complete, linearizable history.
+  HwOptions o = small_options(StampMode::kLinPoint);
+  o.clock = ClockMode::kTsc;
+  o.pin_threads = true;
+  const HwResult& r = HwSession("cas-counter", o).run();
+  EXPECT_EQ(r.lin.verdict, LinVerdict::kLinearizable);
+  EXPECT_EQ(r.stamped_ops, r.total_ops);
+}
+
+TEST(HwSession, UncheckedCaptureSkipsTheChecker) {
+  // check_history = false is the timing-only mode the capture_overhead
+  // experiment uses: records are captured but the verdict stays unknown.
+  HwOptions o = small_options(StampMode::kLinPoint);
+  o.clock = ClockMode::kTsc;
+  o.check_history = false;
+  const HwResult& r = HwSession("treiber-stack", o).run();
+  EXPECT_EQ(r.lin.verdict, LinVerdict::kUnknown);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GT(r.capture_ms, 0.0);
+}
+
+TEST(HwSession, UninstrumentedBaselineMeasuresSomething) {
+  const HwOptions o = small_options(StampMode::kLinPoint);
+  const double ms = hw_uninstrumented_burst_ms("cas-counter", o, 7);
+  EXPECT_GT(ms, 0.0);
+}
+
 TEST(HwSession, BurstsAggregateAcrossRounds) {
   HwOptions o = small_options(StampMode::kCallBoundary);
   o.bursts = 3;
@@ -178,6 +276,24 @@ TEST(HwMutant, UntaggedTreiberCaughtUnderLinPoint) {
   EXPECT_TRUE(r.as_expected());
   // The violating history is minimized to a small witness that is still
   // checker-verified NOT-LINEARIZABLE.
+  EXPECT_GT(r.witness.size(), 0u);
+  EXPECT_LE(r.witness.size(), r.history.size());
+}
+
+TEST(HwMutant, UntaggedTreiberCaughtUnderTscClock) {
+  // Epsilon widening must not mask a real violation: the ABA window is
+  // architectural, not a timestamping artifact.
+  HwOptions o;
+  o.threads = 4;
+  o.ops_per_thread = 2000;
+  o.seed = 1;
+  o.stamp = StampMode::kLinPoint;
+  o.clock = ClockMode::kTsc;
+  HwSession session("treiber-stack-untagged", o);
+  const HwResult& r = session.run();
+  ASSERT_EQ(r.lin.verdict, LinVerdict::kNotLinearizable)
+      << "ABA mutant slipped past the checker under the tsc clock";
+  EXPECT_TRUE(r.as_expected());
   EXPECT_GT(r.witness.size(), 0u);
   EXPECT_LE(r.witness.size(), r.history.size());
 }

@@ -1,0 +1,168 @@
+// Invariant-TSC timestamping (src/util/tsc): source selection, the
+// per-thread monotonic repair, the cross-thread offset calibration that
+// produces the capture layer's skew bound epsilon, and the steady_clock
+// fallback path. These properties back the soundness argument in
+// DESIGN.md §6a — if any of them break, epsilon-widened capture
+// intervals can stop containing their linearization points.
+#include "util/tsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/latch.hpp"
+
+namespace pwf::util {
+namespace {
+
+// Restores auto-detection even when a test body throws.
+struct SourceOverrideGuard {
+  explicit SourceOverrideGuard(TscSource source) {
+    set_tsc_source_for_testing(source);
+  }
+  ~SourceOverrideGuard() { set_tsc_source_for_testing(std::nullopt); }
+};
+
+TEST(TscSourceTest, NamesAreDistinctAndNonEmpty) {
+  const char* rdtsc = tsc_source_name(TscSource::kRdtsc);
+  const char* cntvct = tsc_source_name(TscSource::kCntvct);
+  const char* steady = tsc_source_name(TscSource::kSteadyClock);
+  ASSERT_NE(rdtsc, nullptr);
+  ASSERT_NE(cntvct, nullptr);
+  ASSERT_NE(steady, nullptr);
+  EXPECT_STRNE(rdtsc, cntvct);
+  EXPECT_STRNE(rdtsc, steady);
+  EXPECT_STRNE(cntvct, steady);
+}
+
+TEST(TscSourceTest, OverrideRoundTrips) {
+  {
+    SourceOverrideGuard guard(TscSource::kSteadyClock);
+    EXPECT_EQ(tsc_source(), TscSource::kSteadyClock);
+    // The fallback is globally monotonic but not an invariant hardware
+    // counter.
+    EXPECT_FALSE(invariant_tsc());
+  }
+  // Auto-detection is restored; whatever it picks, reads must advance.
+  const std::uint64_t a = tsc_monotonic();
+  const std::uint64_t b = tsc_monotonic();
+  EXPECT_LT(a, b);
+}
+
+TEST(TscMonotonicTest, StrictlyIncreasingOnOneThread) {
+  std::uint64_t prev = tsc_monotonic();
+  for (int i = 0; i < 100'000; ++i) {
+    const std::uint64_t now = tsc_monotonic();
+    ASSERT_LT(prev, now) << "iteration " << i;
+    prev = now;
+  }
+}
+
+TEST(TscMonotonicTest, StrictlyIncreasingOnEveryThread) {
+  constexpr std::size_t kThreads = 4;
+  constexpr int kReads = 20'000;
+  StartLatch latch(kThreads);
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      latch.arrive_and_wait();
+      std::uint64_t prev = tsc_monotonic();
+      for (int i = 0; i < kReads; ++i) {
+        const std::uint64_t now = tsc_monotonic();
+        if (now <= prev) ++failures[t];
+        prev = now;
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+  }
+}
+
+TEST(TscMonotonicTest, StrictUnderSteadyClockFallback) {
+  // steady_clock can return the same ns twice back-to-back; the repair
+  // must still produce strictly increasing stamps.
+  SourceOverrideGuard guard(TscSource::kSteadyClock);
+  std::uint64_t prev = tsc_monotonic();
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t now = tsc_monotonic();
+    ASSERT_LT(prev, now) << "iteration " << i;
+    prev = now;
+  }
+}
+
+TEST(TscCalibrationTest, BoundsAreConsistent) {
+  const TscCalibration cal = calibrate_tsc(3);
+  EXPECT_EQ(cal.threads, 3u);
+  EXPECT_GT(cal.rounds, 0u);
+  ASSERT_EQ(cal.offset_lo.size(), 3u);
+  ASSERT_EQ(cal.offset_hi.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    // Intersection (or the drift-envelope fallback) always yields a
+    // non-empty interval containing the probe's offset.
+    EXPECT_LE(cal.offset_lo[i], cal.offset_hi[i]) << "probe " << i;
+  }
+  // Epsilon is the widening bound the capture layer applies per side:
+  // never zero, never below the clock's own read granularity.
+  EXPECT_GE(cal.epsilon, 1u);
+  EXPECT_GE(cal.epsilon, cal.read_granularity);
+  if (!cal.serial_host) {
+    // Through the master frame, any two probes differ by at most
+    // 2 * max_abs_offset; epsilon must cover that plus granularity.
+    EXPECT_GE(cal.epsilon, 2 * cal.max_abs_offset);
+  }
+  EXPECT_GT(cal.ticks_per_us, 0.0);
+  EXPECT_GT(cal.min_round_trip, 0u);
+  EXPECT_EQ(cal.serial_host, available_cpus() == 1);
+}
+
+TEST(TscCalibrationTest, FallbackSourceIsReportedAndStillCalibrates) {
+  SourceOverrideGuard guard(TscSource::kSteadyClock);
+  const TscCalibration cal = calibrate_tsc(2, 16);
+  EXPECT_EQ(cal.source, TscSource::kSteadyClock);
+  EXPECT_TRUE(cal.fallback);
+  EXPECT_GE(cal.epsilon, 1u);
+  EXPECT_GT(cal.ticks_per_us, 0.0);
+}
+
+TEST(TscHostTest, AvailableCpusIsNeverZero) {
+  EXPECT_GE(available_cpus(), 1u);
+}
+
+TEST(TscHostTest, PinningIsBestEffort) {
+  // Must not crash whatever the host supports; on Linux with an
+  // affinity mask, pinning to allowed CPU 0 should succeed.
+  const bool pinned = pin_this_thread(0);
+#ifdef __linux__
+  EXPECT_TRUE(pinned);
+#else
+  (void)pinned;
+#endif
+  // Indices wrap modulo the affinity set instead of failing.
+  (void)pin_this_thread(available_cpus() + 3);
+}
+
+TEST(StartLatchTest, ReleasesAllWaitersTogether) {
+  constexpr std::size_t kThreads = 8;
+  StartLatch latch(kThreads);
+  std::atomic<std::size_t> seen_open_at_release{0};
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      latch.arrive_and_wait();
+      // Every waiter observes the latch open once released.
+      if (latch.open()) seen_open_at_release.fetch_add(1);
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  EXPECT_EQ(seen_open_at_release.load(), kThreads);
+  EXPECT_TRUE(latch.open());
+}
+
+}  // namespace
+}  // namespace pwf::util
